@@ -1,0 +1,139 @@
+// Ablation D (ours): queue-wait dynamics under background load.
+//
+// The paper's queue-wait treatment is static (submit, wait, run). Here
+// the simulated machine carries competing background jobs (Poisson
+// arrivals, log-uniform widths) and we measure how long pilots of
+// different sizes actually wait, under strict-FIFO versus
+// EASY-backfill batch scheduling. Expected: waits grow with pilot
+// size; backfill shortens the wait of *small* pilots on a busy machine
+// dramatically, while big pilots still pay for draining the backlog.
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/entk.hpp"
+#include "pilot/pilot_manager.hpp"
+#include "sim/load_generator.hpp"
+
+namespace {
+
+using namespace entk;
+
+/// Mean queue wait of `trials` pilots of `cores`, submitted at spaced
+/// times into a machine under sustained background load.
+double mean_pilot_wait(sim::BatchPolicy policy, Count cores, int trials) {
+  auto machine = sim::supermic_profile();
+  machine.batch_base_wait = 5.0;
+  machine.batch_wait_per_node = 0.0;  // waits come from the load now
+  RunningStats waits;
+  for (int trial = 0; trial < trials; ++trial) {
+    pilot::SimBackend backend(machine, policy);
+    sim::LoadGenerator::Options load;
+    load.arrival_rate = 1.0 / 180.0;  // ~75% sustained utilization
+    load.min_cores = 20;
+    load.max_cores = 2000;
+    load.min_runtime = 600.0;
+    load.max_runtime = 4000.0;
+    load.horizon = 50000.0;
+    load.seed = 1000 + static_cast<std::uint64_t>(trial);
+    sim::LoadGenerator generator(backend.engine(), backend.batch(),
+                                 backend.cluster(), load);
+    generator.start();
+    backend.engine().run_until(20000.0);  // reach steady state
+
+    pilot::PilotManager manager(backend);
+    pilot::PilotDescription description;
+    description.resource = machine.name;
+    description.cores = cores;
+    description.runtime = 50000.0;
+    auto pilot = manager.submit_pilot(description);
+    ENTK_CHECK(pilot.ok(), "pilot submit failed");
+    ENTK_CHECK(manager.wait_active(pilot.value()).is_ok(),
+               "pilot never became active");
+    waits.add(pilot.value()->startup_time() - machine.pilot_bootstrap);
+  }
+  return waits.mean();
+}
+
+}  // namespace
+
+/// Queue waits of every pilot when the same 2560 cores are requested
+/// as `n_pilots` equal allocations (multi-pilot ResourceHandle).
+std::pair<double, double> split_pilot_waits(Count n_pilots,
+                                            std::uint64_t seed) {
+  auto machine = sim::supermic_profile();
+  machine.batch_base_wait = 5.0;
+  machine.batch_wait_per_node = 0.0;
+  pilot::SimBackend backend(machine, sim::BatchPolicy::kFifo);
+  sim::LoadGenerator::Options load;
+  load.arrival_rate = 1.0 / 180.0;
+  load.min_cores = 20;
+  load.max_cores = 2000;
+  load.min_runtime = 600.0;
+  load.max_runtime = 4000.0;
+  load.horizon = 50000.0;
+  load.seed = seed;
+  sim::LoadGenerator generator(backend.engine(), backend.batch(),
+                               backend.cluster(), load);
+  generator.start();
+  backend.engine().run_until(20000.0);
+
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  core::ResourceOptions options;
+  options.cores = 2560;
+  options.n_pilots = n_pilots;
+  options.runtime = 50000.0;
+  core::ResourceHandle handle(backend, registry, options);
+  ENTK_CHECK(handle.allocate().is_ok(), "allocate failed");
+  double first = 1e300;
+  double last = 0.0;
+  for (const auto& held : handle.pilots()) {
+    const double wait = held->startup_time() - machine.pilot_bootstrap;
+    first = std::min(first, wait);
+    last = std::max(last, wait);
+  }
+  return {first, last};
+}
+
+int main() {
+  std::cout << "=== Ablation D: pilot queue wait under background load "
+               "(simulated SuperMIC, sustained utilization) ===\n\n";
+  Table table({"pilot cores", "FIFO wait [s]", "EASY-backfill wait [s]"});
+  for (const Count cores : {20, 160, 640, 2560}) {
+    const double fifo =
+        mean_pilot_wait(sim::BatchPolicy::kFifo, cores, 5);
+    const double easy =
+        mean_pilot_wait(sim::BatchPolicy::kEasyBackfill, cores, 5);
+    table.add_row({std::to_string(cores), format_double(fifo, 1),
+                   format_double(easy, 1)});
+  }
+  std::cout << table.to_string() << '\n';
+
+  // Multi-pilot splitting: the same 2560 cores as 1, 2 or 4 pilots.
+  Table split({"pilots x cores", "first pilot wait [s]",
+               "all pilots up [s]"});
+  for (const Count n_pilots : {1, 2, 4}) {
+    RunningStats first_stats;
+    RunningStats last_stats;
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto [first, last] = split_pilot_waits(
+          n_pilots, 2000 + static_cast<std::uint64_t>(trial));
+      first_stats.add(first);
+      last_stats.add(last);
+    }
+    split.add_row({std::to_string(n_pilots) + " x " +
+                       std::to_string(2560 / n_pilots),
+                   format_double(first_stats.mean(), 1),
+                   format_double(last_stats.mean(), 1)});
+  }
+  std::cout << "multi-pilot splitting of a 2560-core request "
+               "(ResourceOptions::n_pilots, FIFO queue):\n"
+            << split.to_string()
+            << "\nexpected: waits grow steeply with pilot size; under "
+               "EASY backfill *without reservations* wide pilots wait "
+               "even longer (small background jobs keep jumping them — "
+               "the classic starvation effect). Another reason EnTK "
+               "decouples workload size from the resources requested: "
+               "a modest pilot starts orders of magnitude sooner than "
+               "a full-width request.\n";
+  return 0;
+}

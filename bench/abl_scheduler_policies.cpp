@@ -1,0 +1,78 @@
+// Ablation A (ours): how much does the in-pilot scheduling policy
+// matter when the workload far exceeds the instantaneously available
+// cores? The paper delegates this choice to RADICAL-Pilot; we expose it
+// and measure it.
+//
+// Workload: 512 units with mixed core counts (1-32) on a 64-core pilot
+// — heavy over-subscription with fragmentation pressure, where the
+// policies genuinely differ. FIFO suffers head-of-line blocking;
+// backfill (the default) fills gaps; largest-first reduces
+// fragmentation further for big units.
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace entk;
+
+core::TaskSpec mixed_spec(Count instance) {
+  // Deterministic mixed sizes: mostly small, some wide MPI units.
+  static const Count kSizes[] = {1, 1, 2, 1, 4, 1, 8, 2, 16, 1, 32, 4};
+  const Count cores = kSizes[instance % (sizeof(kSizes) / sizeof(Count))];
+  core::TaskSpec spec;
+  spec.kernel = "misc.sleep";
+  // Duration loosely correlated with size plus deterministic jitter.
+  Xoshiro256 rng(static_cast<std::uint64_t>(instance) * 7919 + 13);
+  spec.args.set("duration", 20.0 + 4.0 * static_cast<double>(cores) +
+                                rng.uniform(0.0, 10.0));
+  spec.args.set("cores", cores);
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  using namespace entk;
+  const auto machine = sim::comet_profile();
+  const Count n_tasks = 512;
+  const Count pilot_cores = 64;
+
+  std::cout << "=== Ablation A: in-pilot scheduler policy, " << n_tasks
+            << " mixed-size units on a " << pilot_cores
+            << "-core pilot ===\n\n";
+
+  Table table({"policy", "TTC [s]", "exec span [s]",
+               "runtime overhead [s]"});
+  for (const char* policy : {"fifo", "backfill", "largest_first"}) {
+    auto registry = kernels::KernelRegistry::with_builtin_kernels();
+    pilot::SimBackend backend(machine);
+    core::ResourceOptions options;
+    options.cores = pilot_cores;
+    options.runtime = 4.0e6;
+    options.scheduler_policy = policy;
+    core::ResourceHandle handle(backend, registry, options);
+    if (Status status = handle.allocate(); !status.is_ok()) {
+      std::cerr << "allocate failed: " << status.to_string() << "\n";
+      return 1;
+    }
+    core::BagOfTasks pattern(n_tasks, [](const core::StageContext& context) {
+      return mixed_spec(context.instance);
+    });
+    auto report = handle.run(pattern);
+    if (!report.ok() || !report.value().outcome.is_ok()) {
+      std::cerr << "run failed for policy " << policy << "\n";
+      return 1;
+    }
+    table.add_row({policy, format_double(report.value().overheads.ttc, 1),
+                   format_double(report.value().overheads.execution_time, 1),
+                   format_double(
+                       report.value().overheads.runtime_overhead, 1)});
+    (void)handle.deallocate();
+  }
+  std::cout << table.to_string()
+            << "\nexpected: fifo slowest (head-of-line blocking on wide "
+               "units); backfill and largest-first close, both much "
+               "better.\n";
+  return 0;
+}

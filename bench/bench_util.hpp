@@ -1,0 +1,84 @@
+// Shared helpers for the figure-reproduction bench harnesses.
+//
+// Every harness follows the same shape: build a simulated backend for
+// the paper's machine, allocate a pilot, run a pattern, and report the
+// decomposed times. These helpers keep the per-figure code about the
+// experiment, not the plumbing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "common/strings.hpp"
+#include "core/entk.hpp"
+
+namespace entk::bench {
+
+/// One experiment run: everything a figure's row needs.
+struct RunResult {
+  core::OverheadProfile overheads;
+  Duration simulation_time = 0.0;  ///< Exec span of "simulation" units.
+  Duration analysis_time = 0.0;    ///< Exec span of analysis/exchange units.
+  std::size_t n_units = 0;
+  Status outcome;
+};
+
+/// Span (first exec start -> last exec stop) of a unit subset.
+inline Duration exec_span(const std::vector<pilot::ComputeUnitPtr>& units) {
+  TimePoint first = kTimeInfinity;
+  TimePoint last = -kTimeInfinity;
+  for (const auto& unit : units) {
+    if (unit->exec_started_at() != kNoTime) {
+      first = std::min(first, unit->exec_started_at());
+    }
+    if (unit->exec_stopped_at() != kNoTime) {
+      last = std::max(last, unit->exec_stopped_at());
+    }
+  }
+  if (first == kTimeInfinity || last <= first) return 0.0;
+  return last - first;
+}
+
+/// Allocates a pilot of `cores` on a fresh simulated `machine`, runs
+/// `pattern`, fills the spans from the given unit subsets.
+template <typename Pattern>
+RunResult run_on_simulated_machine(const sim::MachineProfile& machine,
+                                   Count cores, Pattern& pattern,
+                                   Duration pilot_runtime = 4.0e6) {
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::SimBackend backend(machine);
+  core::ResourceOptions options;
+  options.cores = cores;
+  options.runtime = pilot_runtime;
+  core::ResourceHandle handle(backend, registry, options);
+
+  RunResult result;
+  if (Status status = handle.allocate(); !status.is_ok()) {
+    result.outcome = status;
+    return result;
+  }
+  auto report = handle.run(pattern);
+  if (!report.ok()) {
+    result.outcome = report.status();
+    return result;
+  }
+  result.outcome = report.value().outcome;
+  result.overheads = report.value().overheads;
+  result.n_units = report.value().units.size();
+  (void)handle.deallocate();
+  return result;
+}
+
+/// Exits loudly if a run failed — a bench must never silently report
+/// numbers from a broken run.
+inline void require_ok(const RunResult& result, const std::string& label) {
+  if (!result.outcome.is_ok()) {
+    std::cerr << "BENCH FAILURE (" << label
+              << "): " << result.outcome.to_string() << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace entk::bench

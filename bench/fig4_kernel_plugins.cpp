@@ -1,0 +1,55 @@
+// Figure 4 reproduction: swapping kernel plugins (Gromacs + LSDMap
+// under the SAL pattern on simulated Comet, 24-192 tasks = cores).
+//
+// The paper's point: with the *same* pattern but completely different
+// kernels (real MD + diffusion-map analysis instead of mkfile/ccount),
+// the EnTK overheads are unchanged — the toolkit is kernel-agnostic.
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace entk;
+  const auto machine = sim::comet_profile();
+  const std::vector<Count> sizes{24, 48, 96, 192};
+
+  std::cout << "=== Figure 4: Gromacs + LSDMap under SAL, " << machine.name
+            << " ===\n\n";
+
+  Table table({"tasks=cores", "sim time [s]", "analysis time [s]",
+               "core overhead [s]", "pattern overhead [s]", "TTC [s]"});
+
+  for (const Count n : sizes) {
+    core::SimulationAnalysisLoop sal(1, n, n);
+    sal.set_simulation([](const core::StageContext& context) {
+      core::TaskSpec spec;
+      spec.kernel = "md.simulate";
+      spec.args.set("engine", "gromacs");
+      spec.args.set("steps", 300);  // 0.6 ps equivalent
+      spec.args.set("n_particles", 2881);
+      spec.args.set("out", "traj_" + std::to_string(context.instance) +
+                               ".dat");
+      return spec;
+    });
+    sal.set_analysis([](const core::StageContext& context) {
+      core::TaskSpec spec;
+      spec.kernel = "md.lsdmap";
+      spec.args.set("traj",
+                    "traj_" + std::to_string(context.instance) + ".dat");
+      spec.args.set("n_frames", 30);
+      return spec;
+    });
+    auto result = bench::run_on_simulated_machine(machine, n, sal);
+    bench::require_ok(result, "fig4 n=" + std::to_string(n));
+    table.add_row({std::to_string(n),
+                   format_double(bench::exec_span(sal.simulation_units()), 2),
+                   format_double(bench::exec_span(sal.analysis_units()), 2),
+                   format_double(result.overheads.core_overhead, 2),
+                   format_double(result.overheads.pattern_overhead, 3),
+                   format_double(result.overheads.ttc, 2)});
+  }
+  std::cout << table.to_string()
+            << "\npaper: overheads match Figure 3's magnitudes although "
+               "the kernels changed\n   (core overhead constant, pattern "
+               "overhead grows only with #tasks).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 5 reproduction: strong scaling of the EE pattern on
+// (simulated) SuperMIC — Amber temperature-exchange REMD of solvated
+// alanine dipeptide, 2560 replicas fixed, cores varied 20 -> 2560.
+//
+// Paper shape: simulation time halves when cores double; exchange time
+// is constant (it depends on the replica count, which is fixed).
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace entk;
+  const auto machine = sim::supermic_profile();
+  const Count n_replicas = 2560;
+  const std::vector<Count> core_counts{20, 40, 80, 160, 320, 640, 1280,
+                                       2560};
+
+  std::cout << "=== Figure 5: EE strong scaling, " << machine.name << ", "
+            << n_replicas << " replicas (6 ps Amber, 2881 atoms) ===\n\n";
+
+  Table table({"cores", "simulation time [s]", "exchange time [s]",
+               "TTC [s]"});
+  std::vector<double> xs, ys;
+
+  for (const Count cores : core_counts) {
+    core::EnsembleExchange ee(
+        n_replicas, 1, core::EnsembleExchange::ExchangeMode::kGlobalSweep);
+    ee.set_simulation([](const core::StageContext& context) {
+      core::TaskSpec spec;
+      spec.kernel = "md.simulate";
+      spec.args.set("engine", "amber");
+      spec.args.set("steps", 3000);  // 6 ps
+      spec.args.set("n_particles", 2881);
+      spec.args.set("out", "traj_" + std::to_string(context.instance) +
+                               ".dat");
+      spec.args.set("energy_out",
+                    "replica_" + std::to_string(context.instance) +
+                        ".energy");
+      return spec;
+    });
+    ee.set_exchange([n_replicas](const core::StageContext&) {
+      core::TaskSpec spec;
+      spec.kernel = "md.exchange";
+      spec.args.set("n_replicas", n_replicas);
+      return spec;
+    });
+    auto result = bench::run_on_simulated_machine(machine, cores, ee,
+                                                  /*pilot_runtime=*/4.0e6);
+    bench::require_ok(result, "fig5 cores=" + std::to_string(cores));
+    const double sim_time = bench::exec_span(ee.simulation_units());
+    const double exchange_time = bench::exec_span(ee.exchange_units());
+    table.add_row({std::to_string(cores), format_double(sim_time, 1),
+                   format_double(exchange_time, 2),
+                   format_double(result.overheads.ttc, 1)});
+    xs.push_back(std::log2(static_cast<double>(cores)));
+    ys.push_back(std::log2(sim_time));
+  }
+
+  std::cout << table.to_string();
+  const LinearFit fit = linear_fit(xs, ys);
+  std::cout << "\nlog2(sim time) vs log2(cores): slope = "
+            << format_double(fit.slope, 3) << " (ideal strong scaling = -1)"
+            << ", R^2 = " << format_double(fit.r_squared, 4) << '\n'
+            << "paper: simulation time halves per core doubling; exchange "
+               "time constant.\n";
+  return 0;
+}

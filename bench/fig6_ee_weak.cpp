@@ -1,0 +1,65 @@
+// Figure 6 reproduction: weak scaling of the EE pattern on (simulated)
+// SuperMIC — replicas = cores, varied 20 -> 2560, one core per replica.
+//
+// Paper shape: simulation time roughly constant (fixed work per core);
+// exchange time grows with the number of replicas.
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace entk;
+  const auto machine = sim::supermic_profile();
+  const std::vector<Count> sizes{20, 40, 80, 160, 320, 640, 1280, 2560};
+
+  std::cout << "=== Figure 6: EE weak scaling, " << machine.name
+            << ", replicas = cores (6 ps Amber, 2881 atoms) ===\n\n";
+
+  Table table({"replicas=cores", "simulation time [s]",
+               "exchange time [s]", "TTC [s]"});
+  RunningStats sim_times;
+  std::vector<double> replica_counts, exchange_times;
+
+  for (const Count n : sizes) {
+    core::EnsembleExchange ee(
+        n, 1, core::EnsembleExchange::ExchangeMode::kGlobalSweep);
+    ee.set_simulation([](const core::StageContext& context) {
+      core::TaskSpec spec;
+      spec.kernel = "md.simulate";
+      spec.args.set("engine", "amber");
+      spec.args.set("steps", 3000);
+      spec.args.set("n_particles", 2881);
+      spec.args.set("out", "traj_" + std::to_string(context.instance) +
+                               ".dat");
+      return spec;
+    });
+    ee.set_exchange([n](const core::StageContext&) {
+      core::TaskSpec spec;
+      spec.kernel = "md.exchange";
+      spec.args.set("n_replicas", n);
+      return spec;
+    });
+    auto result = bench::run_on_simulated_machine(machine, n, ee);
+    bench::require_ok(result, "fig6 n=" + std::to_string(n));
+    const double sim_time = bench::exec_span(ee.simulation_units());
+    const double exchange_time = bench::exec_span(ee.exchange_units());
+    table.add_row({std::to_string(n), format_double(sim_time, 1),
+                   format_double(exchange_time, 2),
+                   format_double(result.overheads.ttc, 1)});
+    sim_times.add(sim_time);
+    replica_counts.push_back(static_cast<double>(n));
+    exchange_times.push_back(exchange_time);
+  }
+
+  std::cout << table.to_string();
+  const LinearFit exchange_fit = linear_fit(replica_counts, exchange_times);
+  std::cout << "\nsimulation time: mean "
+            << format_double(sim_times.mean(), 1) << " s, spread "
+            << format_double(sim_times.max() - sim_times.min(), 2)
+            << " s (paper: roughly constant)\n"
+            << "exchange time vs replicas: slope "
+            << format_double(exchange_fit.slope, 4) << " s/replica, R^2 "
+            << format_double(exchange_fit.r_squared, 4)
+            << " (paper: grows with replica count)\n";
+  return 0;
+}

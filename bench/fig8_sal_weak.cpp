@@ -1,0 +1,67 @@
+// Figure 8 reproduction: weak scaling of the SAL pattern on
+// (simulated) Stampede — simulations = cores, varied 64 -> 4096.
+//
+// Paper shape: simulation time constant (fixed work per core); the
+// serial analysis time grows with the number of simulations. The paper
+// notes the analysis kernel's absolute performance is unrelated to the
+// toolkit's scalability.
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace entk;
+  const auto machine = sim::stampede_profile();
+  const std::vector<Count> sizes{64, 128, 256, 512, 1024, 2048, 4096};
+
+  std::cout << "=== Figure 8: SAL weak scaling, " << machine.name
+            << ", simulations = cores (0.6 ps Amber + CoCo) ===\n\n";
+
+  Table table({"sims=cores", "simulation time [s]", "analysis time [s]",
+               "TTC [s]"});
+  RunningStats sim_times;
+  std::vector<double> sim_counts, analysis_times;
+
+  for (const Count n : sizes) {
+    core::SimulationAnalysisLoop sal(1, n, 1);
+    sal.set_simulation([](const core::StageContext& context) {
+      core::TaskSpec spec;
+      spec.kernel = "md.simulate";
+      spec.args.set("engine", "amber");
+      spec.args.set("steps", 300);
+      spec.args.set("n_particles", 2881);
+      spec.args.set("out", "traj_" + std::to_string(context.instance) +
+                               ".dat");
+      return spec;
+    });
+    sal.set_analysis([n](const core::StageContext&) {
+      core::TaskSpec spec;
+      spec.kernel = "md.coco";
+      spec.args.set("n_sims", n);
+      spec.args.set("frames_per_sim", 10);
+      return spec;
+    });
+    auto result = bench::run_on_simulated_machine(machine, n, sal);
+    bench::require_ok(result, "fig8 n=" + std::to_string(n));
+    const double sim_time = bench::exec_span(sal.simulation_units());
+    const double analysis_time = bench::exec_span(sal.analysis_units());
+    table.add_row({std::to_string(n), format_double(sim_time, 1),
+                   format_double(analysis_time, 2),
+                   format_double(result.overheads.ttc, 1)});
+    sim_times.add(sim_time);
+    sim_counts.push_back(static_cast<double>(n));
+    analysis_times.push_back(analysis_time);
+  }
+
+  std::cout << table.to_string();
+  const LinearFit fit = linear_fit(sim_counts, analysis_times);
+  std::cout << "\nsimulation time: mean "
+            << format_double(sim_times.mean(), 1) << " s, spread "
+            << format_double(sim_times.max() - sim_times.min(), 2)
+            << " s (paper: roughly constant)\n"
+            << "analysis time vs #sims: slope "
+            << format_double(fit.slope, 4) << " s/sim, R^2 "
+            << format_double(fit.r_squared, 4)
+            << " (paper: serial analysis grows with ensemble size)\n";
+  return 0;
+}

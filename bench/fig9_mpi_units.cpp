@@ -1,0 +1,67 @@
+// Figure 9 reproduction: MPI capability — Amber-CoCo SAL on (simulated)
+// Stampede with 64 concurrent simulations fixed, 6 ps each, and the
+// cores *per simulation* varied 1, 16, 32, 64 (total cores 64 -> 4096).
+//
+// Paper shape: the simulations' execution time drops linearly with the
+// per-simulation core count, demonstrating multi-core (MPI) units.
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace entk;
+  const auto machine = sim::stampede_profile();
+  const Count n_simulations = 64;
+  const std::vector<Count> cores_per_sim{1, 16, 32, 64};
+
+  std::cout << "=== Figure 9: MPI units, " << machine.name << ", "
+            << n_simulations
+            << " concurrent simulations (6 ps Amber + CoCo) ===\n\n";
+
+  Table table({"cores/sim", "total cores", "simulation time [s]",
+               "analysis time [s]", "TTC [s]"});
+  std::vector<double> xs, ys;
+
+  for (const Count cores : cores_per_sim) {
+    const Count total_cores = cores * n_simulations;
+    core::SimulationAnalysisLoop sal(1, n_simulations, 1);
+    sal.set_simulation([cores](const core::StageContext& context) {
+      core::TaskSpec spec;
+      spec.kernel = "md.simulate";
+      spec.args.set("engine", "amber");
+      spec.args.set("steps", 3000);  // 6 ps (10x the strong-scaling runs)
+      spec.args.set("n_particles", 2881);
+      spec.args.set("cores", cores);  // MPI ranks per simulation
+      spec.args.set("out", "traj_" + std::to_string(context.instance) +
+                               ".dat");
+      return spec;
+    });
+    sal.set_analysis([n_simulations](const core::StageContext&) {
+      core::TaskSpec spec;
+      spec.kernel = "md.coco";
+      spec.args.set("n_sims", n_simulations);
+      spec.args.set("frames_per_sim", 10);
+      return spec;
+    });
+    auto result =
+        bench::run_on_simulated_machine(machine, total_cores, sal);
+    bench::require_ok(result, "fig9 cores/sim=" + std::to_string(cores));
+    const double sim_time = bench::exec_span(sal.simulation_units());
+    table.add_row({std::to_string(cores), std::to_string(total_cores),
+                   format_double(sim_time, 1),
+                   format_double(bench::exec_span(sal.analysis_units()), 2),
+                   format_double(result.overheads.ttc, 1)});
+    xs.push_back(std::log2(static_cast<double>(cores)));
+    ys.push_back(std::log2(sim_time));
+  }
+
+  std::cout << table.to_string();
+  const LinearFit fit = linear_fit(xs, ys);
+  std::cout << "\nlog2(sim time) vs log2(cores/sim): slope = "
+            << format_double(fit.slope, 3)
+            << " (ideal = -1), R^2 = " << format_double(fit.r_squared, 4)
+            << '\n'
+            << "paper: execution time of the simulations drops linearly "
+               "with the cores used per (MPI) simulation.\n";
+  return 0;
+}

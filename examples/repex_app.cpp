@@ -1,0 +1,96 @@
+// The RepEx application framework in action: temperature REMD and
+// Hamiltonian (lambda) REMD with three lines of configuration each.
+//
+// Where examples/replica_exchange.cpp wires the EE pattern by hand,
+// this example uses apps/repex — persistent replica->rung assignments,
+// synchronous or asynchronous exchange, acceptance and round-trip
+// bookkeeping come for free.
+//
+// Usage: repex_app [n_replicas] [n_cycles]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/repex/repex.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/entk.hpp"
+
+namespace {
+
+using namespace entk;
+
+void print_report(const char* title, const apps::RepexReport& report) {
+  std::cout << title << "\n";
+  Table table({"metric", "value"});
+  table.add_row({"cycles", std::to_string(report.cycles_completed)});
+  table.add_row({"tasks", std::to_string(report.tasks_executed)});
+  table.add_row({"swaps attempted",
+                 std::to_string(report.swaps_attempted)});
+  table.add_row({"swaps accepted", std::to_string(report.swaps_accepted)});
+  table.add_row({"acceptance",
+                 format_double(report.acceptance_ratio(), 3)});
+  table.add_row({"round trips", std::to_string(report.round_trips)});
+  table.add_row({"total TTC", format_seconds(report.total_ttc)});
+  std::cout << table.to_string();
+  std::cout << "final rung per replica:";
+  for (const std::size_t rung : report.rung_history.back()) {
+    std::cout << ' ' << rung;
+  }
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Count n_replicas = argc > 1 ? std::atoll(argv[1]) : 6;
+  const Count n_cycles = argc > 2 ? std::atoll(argv[2]) : 4;
+
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::LocalBackend backend(4);
+  core::ResourceOptions options;
+  options.cores = 4;
+  core::ResourceHandle handle(backend, registry, options);
+  if (Status status = handle.allocate(); !status.is_ok()) {
+    std::cerr << "allocate failed: " << status.to_string() << "\n";
+    return 1;
+  }
+
+  // --- temperature REMD, asynchronous exchange ---
+  apps::RepexConfig temperature;
+  temperature.n_replicas = n_replicas;
+  temperature.n_cycles = n_cycles;
+  temperature.asynchronous = true;
+  temperature.system = "fluid";
+  temperature.n_particles = 48;
+  temperature.steps_per_cycle = 60;
+  apps::RepexApplication temperature_study(temperature);
+  auto temperature_report = temperature_study.run(handle);
+  if (!temperature_report.ok()) {
+    std::cerr << "temperature REMD failed: "
+              << temperature_report.status().to_string() << "\n";
+    return 1;
+  }
+  print_report("temperature REMD (asynchronous pairwise exchange):",
+               temperature_report.value());
+
+  // --- Hamiltonian (lambda) REMD: cross-energy exchange ---
+  apps::RepexConfig hamiltonian = temperature;
+  hamiltonian.dimension = apps::RepexConfig::Dimension::kHamiltonian;
+  hamiltonian.eps_min = 0.5;
+  hamiltonian.eps_max = 1.0;
+  hamiltonian.seed = 90210;
+  apps::RepexApplication hamiltonian_study(hamiltonian);
+  auto hamiltonian_report = hamiltonian_study.run(handle);
+  if (!hamiltonian_report.ok()) {
+    std::cerr << "Hamiltonian REMD failed: "
+              << hamiltonian_report.status().to_string() << "\n";
+    return 1;
+  }
+  print_report(
+      "Hamiltonian (lambda) REMD — replicas walk a potential-scale "
+      "ladder at one temperature:",
+      hamiltonian_report.value());
+
+  (void)handle.deallocate();
+  return 0;
+}

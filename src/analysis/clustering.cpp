@@ -1,0 +1,141 @@
+#include "analysis/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace entk::analysis {
+
+namespace {
+double distance2(const std::vector<double>& a,
+                 const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double delta = a[d] - b[d];
+    sum += delta * delta;
+  }
+  return sum;
+}
+}  // namespace
+
+Result<KMeansResult> kmeans(const std::vector<std::vector<double>>& points,
+                            const KMeansOptions& options) {
+  if (options.k == 0) {
+    return make_error(Errc::kInvalidArgument, "k must be >= 1");
+  }
+  if (points.size() < options.k) {
+    return make_error(Errc::kInvalidArgument,
+                      "need at least k points to form k clusters");
+  }
+  const std::size_t dims = points.front().size();
+  for (const auto& point : points) {
+    if (point.size() != dims) {
+      return make_error(Errc::kInvalidArgument,
+                        "points have inconsistent dimensions");
+    }
+  }
+  if (dims == 0) {
+    return make_error(Errc::kInvalidArgument, "points must have dims >= 1");
+  }
+
+  Xoshiro256 rng(options.seed);
+  KMeansResult result;
+  result.centroids.reserve(options.k);
+
+  // k-means++ seeding: first centroid uniform, then proportional to
+  // squared distance from the nearest chosen centroid.
+  result.centroids.push_back(points[rng.uniform_index(points.size())]);
+  std::vector<double> nearest2(points.size(),
+                               std::numeric_limits<double>::max());
+  while (result.centroids.size() < options.k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      nearest2[i] = std::min(nearest2[i],
+                             distance2(points[i], result.centroids.back()));
+      total += nearest2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      result.centroids.push_back(points[rng.uniform_index(points.size())]);
+      continue;
+    }
+    double draw = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      draw -= nearest2[i];
+      if (draw <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  // Lloyd iterations.
+  result.assignment.assign(points.size(), 0);
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best2 = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < options.k; ++c) {
+        const double d2 = distance2(points[i], result.centroids[c]);
+        if (d2 < best2) {
+          best2 = d2;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && result.iterations > 0) break;
+    // Recompute centroids; empty clusters keep their position.
+    std::vector<std::vector<double>> sums(options.k,
+                                          std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> counts(options.k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < options.k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] =
+            sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia +=
+        distance2(points[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+double cluster_separation_score(
+    const std::vector<std::vector<double>>& points,
+    const KMeansResult& result) {
+  if (result.centroids.size() < 2 || points.empty()) return 0.0;
+  double score = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double own = std::sqrt(
+        distance2(points[i], result.centroids[result.assignment[i]]));
+    double other = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      if (c == result.assignment[i]) continue;
+      other = std::min(other,
+                       std::sqrt(distance2(points[i],
+                                           result.centroids[c])));
+    }
+    const double denominator = std::max(own, other);
+    score += denominator > 0.0 ? (other - own) / denominator : 0.0;
+  }
+  return score / static_cast<double>(points.size());
+}
+
+}  // namespace entk::analysis

@@ -1,0 +1,47 @@
+// k-means clustering of projected conformations.
+//
+// Used by adaptive-sampling workflows to identify conformational
+// states in PC / diffusion-coordinate space (the step between "find
+// collective coordinates" and "decide where to spawn new
+// simulations").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace entk::analysis {
+
+struct KMeansOptions {
+  std::size_t k = 2;
+  int max_iterations = 100;
+  /// Converged when no assignment changes in an iteration.
+  std::uint64_t seed = 7;
+};
+
+struct KMeansResult {
+  /// centroids[c] is a point in the input space.
+  std::vector<std::vector<double>> centroids;
+  /// assignment[i] = cluster index of points[i].
+  std::vector<std::size_t> assignment;
+  /// Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Points must share a
+/// dimension; k must not exceed the number of distinct points needed
+/// (k <= points.size()).
+Result<KMeansResult> kmeans(
+    const std::vector<std::vector<double>>& points,
+    const KMeansOptions& options);
+
+/// Silhouette-like quality score in [-1, 1] (higher = tighter,
+/// better-separated clusters); simplified to centroid distances.
+double cluster_separation_score(
+    const std::vector<std::vector<double>>& points,
+    const KMeansResult& result);
+
+}  // namespace entk::analysis

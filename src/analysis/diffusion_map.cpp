@@ -1,0 +1,121 @@
+#include "analysis/diffusion_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/eigen.hpp"
+#include "common/stats.hpp"
+
+namespace entk::analysis {
+
+Matrix rmsd_distance_matrix(const std::vector<md::Frame>& frames) {
+  ENTK_CHECK(frames.size() >= 2, "need at least two frames");
+  Matrix distances(frames.size(), frames.size());
+  for (std::size_t a = 0; a < frames.size(); ++a) {
+    for (std::size_t b = a + 1; b < frames.size(); ++b) {
+      const double d = md::Trajectory::rmsd(frames[a], frames[b]);
+      distances(a, b) = d;
+      distances(b, a) = d;
+    }
+  }
+  return distances;
+}
+
+Result<DiffusionMapResult> diffusion_map(const Matrix& distances,
+                                         const DiffusionMapOptions& options) {
+  if (distances.rows() != distances.cols() || distances.rows() < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "diffusion map needs a square distance matrix (>= 2)");
+  }
+  if (options.n_coordinates == 0) {
+    return make_error(Errc::kInvalidArgument,
+                      "need at least one diffusion coordinate");
+  }
+  const std::size_t n = distances.rows();
+
+  // Kernel scale(s).
+  double epsilon = options.epsilon;
+  if (epsilon <= 0.0) {
+    // Median of squared off-diagonal distances.
+    std::vector<double> squared;
+    squared.reserve(n * (n - 1) / 2);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        squared.push_back(distances(a, b) * distances(a, b));
+      }
+    }
+    epsilon = std::max(median(std::move(squared)), 1e-12);
+  }
+
+  std::vector<double> local_scale(n, std::sqrt(epsilon));
+  if (options.local_scale_neighbour > 0) {
+    const std::size_t k = std::min(options.local_scale_neighbour, n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> row;
+      row.reserve(n - 1);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) row.push_back(distances(i, j));
+      }
+      std::nth_element(row.begin(), row.begin() + (k - 1), row.end());
+      local_scale[i] = std::max(row[k - 1], 1e-9);
+    }
+  }
+
+  // Gaussian kernel; with local scaling K_ij = exp(-d^2 / (s_i s_j)).
+  Matrix kernel(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kernel(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d2 = distances(i, j) * distances(i, j);
+      const double value = std::exp(-d2 / (local_scale[i] * local_scale[j]));
+      kernel(i, j) = value;
+      kernel(j, i) = value;
+    }
+  }
+
+  // Row sums -> normalised symmetric form S = D^-1/2 K D^-1/2, which is
+  // similar to the Markov matrix M = D^-1 K, so S's eigenvalues are
+  // M's, and M's right eigenvectors are D^-1/2 times S's.
+  std::vector<double> row_sum(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row_sum[i] += kernel(i, j);
+  }
+  Matrix symmetric(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      symmetric(i, j) =
+          kernel(i, j) / std::sqrt(row_sum[i] * row_sum[j]);
+    }
+  }
+  auto decomposition = eigen_symmetric(symmetric);
+  if (!decomposition.ok()) return decomposition.status();
+  const EigenDecomposition& eig = decomposition.value();
+
+  DiffusionMapResult result;
+  result.epsilon_used = epsilon;
+  const std::size_t k_coords = std::min(options.n_coordinates, n - 1);
+  result.eigenvalues.assign(eig.values.begin(),
+                            eig.values.begin() +
+                                static_cast<std::ptrdiff_t>(k_coords + 1));
+  result.coordinates = Matrix(n, k_coords);
+  for (std::size_t k = 0; k < k_coords; ++k) {
+    // Skip the trivial first eigenvector (constant, eigenvalue 1).
+    for (std::size_t i = 0; i < n; ++i) {
+      result.coordinates(i, k) =
+          eig.vectors(i, k + 1) / std::sqrt(row_sum[i]);
+    }
+  }
+  return result;
+}
+
+Result<DiffusionMapResult> diffusion_map_frames(
+    const std::vector<md::Frame>& frames,
+    const DiffusionMapOptions& options) {
+  if (frames.size() < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "diffusion map needs at least two frames");
+  }
+  return diffusion_map(rmsd_distance_matrix(frames), options);
+}
+
+}  // namespace entk::analysis

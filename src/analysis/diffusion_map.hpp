@@ -1,0 +1,49 @@
+// Diffusion maps (the LSDMap analogue).
+//
+// LSDMap (locally scaled diffusion maps; Preto & Clementi 2014) finds
+// slow collective coordinates of an MD ensemble: build pairwise RMSD
+// distances, form a Gaussian kernel, row-normalise it into a Markov
+// matrix and take its dominant non-trivial eigenvectors as diffusion
+// coordinates. We implement the standard (single-epsilon) variant with
+// optional local scaling by the k-th nearest neighbour distance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/matrix.hpp"
+#include "common/status.hpp"
+#include "md/trajectory.hpp"
+
+namespace entk::analysis {
+
+struct DiffusionMapOptions {
+  std::size_t n_coordinates = 2;  ///< Diffusion coordinates to return.
+  double epsilon = 0.0;           ///< Kernel scale; <= 0 = median rule.
+  /// If > 0, use locally scaled kernels with the distance to this
+  /// nearest neighbour as the per-point scale (LSDMap's key feature).
+  std::size_t local_scale_neighbour = 0;
+};
+
+struct DiffusionMapResult {
+  /// Eigenvalues of the Markov matrix, descending; values[0] == 1.
+  std::vector<double> eigenvalues;
+  /// coordinates(i, k): diffusion coordinate k of frame i (the
+  /// trivial constant eigenvector is skipped).
+  Matrix coordinates;
+  double epsilon_used = 0.0;
+};
+
+/// Full pairwise RMSD distance matrix of the given frames.
+Matrix rmsd_distance_matrix(const std::vector<md::Frame>& frames);
+
+/// Computes a diffusion map from a precomputed distance matrix.
+Result<DiffusionMapResult> diffusion_map(const Matrix& distances,
+                                         const DiffusionMapOptions& options);
+
+/// Convenience: distances + diffusion map from frames.
+Result<DiffusionMapResult> diffusion_map_frames(
+    const std::vector<md::Frame>& frames,
+    const DiffusionMapOptions& options);
+
+}  // namespace entk::analysis

@@ -1,0 +1,92 @@
+#include "analysis/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace entk::analysis {
+
+Result<EigenDecomposition> eigen_symmetric(const Matrix& input,
+                                           double tolerance,
+                                           int max_sweeps) {
+  if (input.rows() != input.cols()) {
+    return make_error(Errc::kInvalidArgument,
+                      "eigensolver needs a square matrix");
+  }
+  if (!input.is_symmetric(1e-8)) {
+    return make_error(Errc::kInvalidArgument,
+                      "eigensolver needs a symmetric matrix");
+  }
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diagonal_norm = [&] {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = r + 1; c < n; ++c) sum += a(r, c) * a(r, c);
+    }
+    return std::sqrt(sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p, q, theta) on both sides of A and
+        // accumulate it into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (off_diagonal_norm() > std::max(tolerance, 1e-8)) {
+    return make_error(Errc::kInternal, "Jacobi failed to converge");
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a(x, x) > a(y, y);
+  });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors(i, k) = v(i, order[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace entk::analysis

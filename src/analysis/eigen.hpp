@@ -1,0 +1,29 @@
+// Symmetric eigensolver (cyclic Jacobi rotations).
+//
+// Robust and simple; the analysis matrices are small enough
+// (O(100–1000)) that Jacobi's O(n^3) per sweep is fine.
+#pragma once
+
+#include <vector>
+
+#include "analysis/matrix.hpp"
+#include "common/status.hpp"
+
+namespace entk::analysis {
+
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// vectors(i, k): component i of the eigenvector for values[k];
+  /// columns are orthonormal.
+  Matrix vectors;
+};
+
+/// Diagonalises a symmetric matrix. Fails with kInvalidArgument if the
+/// input is not square/symmetric, kInternal if convergence is not
+/// reached (practically impossible for symmetric input).
+Result<EigenDecomposition> eigen_symmetric(const Matrix& input,
+                                           double tolerance = 1e-12,
+                                           int max_sweeps = 100);
+
+}  // namespace entk::analysis

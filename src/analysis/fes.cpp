@@ -1,0 +1,81 @@
+#include "analysis/fes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace entk::analysis {
+
+Histogram2D::Histogram2D(double x_lo, double x_hi, std::size_t x_bins,
+                         double y_lo, double y_hi, std::size_t y_bins)
+    : x_lo_(x_lo),
+      x_hi_(x_hi),
+      y_lo_(y_lo),
+      y_hi_(y_hi),
+      x_bins_(x_bins),
+      y_bins_(y_bins),
+      counts_(x_bins * y_bins, 0) {
+  ENTK_CHECK(x_bins > 0 && y_bins > 0, "histogram needs bins");
+  ENTK_CHECK(x_hi > x_lo && y_hi > y_lo, "histogram range must be non-empty");
+}
+
+void Histogram2D::add(double x, double y) {
+  auto bin_of = [](double value, double lo, double hi, std::size_t bins) {
+    const double fraction = (value - lo) / (hi - lo);
+    auto bin = static_cast<std::ptrdiff_t>(
+        std::floor(fraction * static_cast<double>(bins)));
+    return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(bins) - 1));
+  };
+  ++counts_[index(bin_of(x, x_lo_, x_hi_, x_bins_),
+                  bin_of(y, y_lo_, y_hi_, y_bins_))];
+  ++total_;
+}
+
+std::size_t Histogram2D::count(std::size_t bx, std::size_t by) const {
+  ENTK_CHECK(bx < x_bins_ && by < y_bins_, "bin out of range");
+  return counts_[index(bx, by)];
+}
+
+double Histogram2D::x_center(std::size_t bx) const {
+  ENTK_CHECK(bx < x_bins_, "bin out of range");
+  const double width = (x_hi_ - x_lo_) / static_cast<double>(x_bins_);
+  return x_lo_ + (static_cast<double>(bx) + 0.5) * width;
+}
+
+double Histogram2D::y_center(std::size_t by) const {
+  ENTK_CHECK(by < y_bins_, "bin out of range");
+  const double width = (y_hi_ - y_lo_) / static_cast<double>(y_bins_);
+  return y_lo_ + (static_cast<double>(by) + 0.5) * width;
+}
+
+std::vector<double> Histogram2D::probabilities() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ == 0) return p;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+std::vector<double> Histogram2D::free_energy(double kT) const {
+  ENTK_CHECK(kT > 0.0, "temperature must be positive");
+  const auto p = probabilities();
+  std::vector<double> g(p.size(),
+                        std::numeric_limits<double>::infinity());
+  double minimum = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > 0.0) {
+      g[i] = -kT * std::log(p[i]);
+      minimum = std::min(minimum, g[i]);
+    }
+  }
+  if (std::isfinite(minimum)) {
+    for (auto& value : g) {
+      if (std::isfinite(value)) value -= minimum;
+    }
+  }
+  return g;
+}
+
+}  // namespace entk::analysis

@@ -1,0 +1,45 @@
+// 2-D histograms and free-energy surfaces over collective coordinates
+// (the standard way REMD/CoCo results are presented).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace entk::analysis {
+
+class Histogram2D {
+ public:
+  Histogram2D(double x_lo, double x_hi, std::size_t x_bins, double y_lo,
+              double y_hi, std::size_t y_bins);
+
+  /// Out-of-range samples clamp into the edge bins.
+  void add(double x, double y);
+
+  std::size_t x_bins() const { return x_bins_; }
+  std::size_t y_bins() const { return y_bins_; }
+  std::size_t count(std::size_t bx, std::size_t by) const;
+  std::size_t total() const { return total_; }
+  double x_center(std::size_t bx) const;
+  double y_center(std::size_t by) const;
+
+  /// Normalised probability grid (row-major, x outer), sums to 1.
+  std::vector<double> probabilities() const;
+
+  /// Free-energy surface -kT ln p, min-shifted to 0; empty bins are
+  /// +infinity.
+  std::vector<double> free_energy(double kT) const;
+
+ private:
+  std::size_t index(std::size_t bx, std::size_t by) const {
+    return bx * y_bins_ + by;
+  }
+
+  double x_lo_, x_hi_, y_lo_, y_hi_;
+  std::size_t x_bins_, y_bins_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace entk::analysis

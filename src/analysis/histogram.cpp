@@ -1,0 +1,69 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace entk::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ENTK_CHECK(bins > 0, "histogram needs at least one bin");
+  ENTK_CHECK(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double value) {
+  const double fraction = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      std::floor(fraction * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (const double value : values) add(value);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  ENTK_CHECK(bin < counts_.size(), "bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  ENTK_CHECK(bin < counts_.size(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::vector<double> Histogram::probabilities() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ == 0) return p;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    p[b] = static_cast<double>(counts_[b]) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+std::vector<double> Histogram::free_energy(double kT) const {
+  ENTK_CHECK(kT > 0.0, "temperature must be positive");
+  const auto p = probabilities();
+  std::vector<double> g(p.size(),
+                        std::numeric_limits<double>::infinity());
+  double minimum = std::numeric_limits<double>::infinity();
+  for (std::size_t b = 0; b < p.size(); ++b) {
+    if (p[b] > 0.0) {
+      g[b] = -kT * std::log(p[b]);
+      minimum = std::min(minimum, g[b]);
+    }
+  }
+  if (std::isfinite(minimum)) {
+    for (auto& value : g) {
+      if (std::isfinite(value)) value -= minimum;
+    }
+  }
+  return g;
+}
+
+}  // namespace entk::analysis

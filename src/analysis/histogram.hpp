@@ -1,0 +1,38 @@
+// 1-D histogramming and free-energy profiles for example workflows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace entk::analysis {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds a sample; out-of-range samples clamp into the edge bins.
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t bin) const;
+
+  /// Normalised probability per bin (sums to 1; 0 if empty).
+  std::vector<double> probabilities() const;
+
+  /// Free-energy profile -kT ln p(bin), shifted so the minimum is 0.
+  /// Empty bins get +infinity.
+  std::vector<double> free_energy(double kT) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace entk::analysis

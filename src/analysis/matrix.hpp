@@ -1,0 +1,45 @@
+// Small dense matrix (row-major) for the analysis kernels. The
+// matrices here are O(frames x frames) or O(dims x dims) — hundreds,
+// not millions — so a straightforward dense implementation is right.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace entk::analysis {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& other) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  /// Max |a_ij - b_ij|; matrices must be the same shape.
+  double max_abs_diff(const Matrix& other) const;
+
+  bool is_symmetric(double tolerance = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace entk::analysis

@@ -1,0 +1,197 @@
+#include "analysis/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "analysis/eigen.hpp"
+
+namespace entk::analysis {
+
+namespace {
+/// Flattens a frame to its centred coordinate vector (3N dims).
+std::vector<double> features_of(const md::Frame& frame) {
+  md::Vec3 centroid{};
+  for (const auto& p : frame.positions) centroid += p;
+  centroid *= 1.0 / static_cast<double>(frame.positions.size());
+  std::vector<double> features;
+  features.reserve(frame.positions.size() * 3);
+  for (const auto& p : frame.positions) {
+    features.push_back(p.x - centroid.x);
+    features.push_back(p.y - centroid.y);
+    features.push_back(p.z - centroid.z);
+  }
+  return features;
+}
+}  // namespace
+
+Result<PcaResult> pca_frames(const std::vector<md::Frame>& frames,
+                             std::size_t n_components) {
+  if (frames.size() < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "PCA needs at least two frames");
+  }
+  if (n_components == 0) {
+    return make_error(Errc::kInvalidArgument,
+                      "PCA needs at least one component");
+  }
+  const std::size_t f_count = frames.size();
+  const std::size_t dims = frames.front().positions.size() * 3;
+  n_components = std::min({n_components, f_count - 1, dims});
+
+  // Centred data matrix X (frames x dims), kept as rows.
+  std::vector<std::vector<double>> x(f_count);
+  for (std::size_t f = 0; f < f_count; ++f) {
+    if (frames[f].positions.size() * 3 != dims) {
+      return make_error(Errc::kInvalidArgument,
+                        "frames have inconsistent particle counts");
+    }
+    x[f] = features_of(frames[f]);
+  }
+  std::vector<double> mean(dims, 0.0);
+  for (const auto& row : x) {
+    for (std::size_t d = 0; d < dims; ++d) mean[d] += row[d];
+  }
+  for (auto& m : mean) m /= static_cast<double>(f_count);
+  for (auto& row : x) {
+    for (std::size_t d = 0; d < dims; ++d) row[d] -= mean[d];
+  }
+
+  // Gram trick: eigen-decompose X X^T (frames x frames).
+  Matrix gram(f_count, f_count);
+  for (std::size_t a = 0; a < f_count; ++a) {
+    for (std::size_t b = a; b < f_count; ++b) {
+      const double dot = std::inner_product(x[a].begin(), x[a].end(),
+                                            x[b].begin(), 0.0);
+      gram(a, b) = dot;
+      gram(b, a) = dot;
+    }
+  }
+  auto decomposition = eigen_symmetric(gram);
+  if (!decomposition.ok()) return decomposition.status();
+  const EigenDecomposition& eig = decomposition.value();
+
+  PcaResult result;
+  result.mean = std::move(mean);
+  result.eigenvalues.reserve(n_components);
+  result.components = Matrix(dims, n_components);
+  result.projections = Matrix(f_count, n_components);
+  for (std::size_t k = 0; k < n_components; ++k) {
+    const double mu = std::max(eig.values[k], 0.0);
+    result.eigenvalues.push_back(mu / static_cast<double>(f_count - 1));
+    // Feature-space component: v = X^T u / |X^T u|.
+    std::vector<double> v(dims, 0.0);
+    for (std::size_t f = 0; f < f_count; ++f) {
+      const double u = eig.vectors(f, k);
+      if (u == 0.0) continue;
+      for (std::size_t d = 0; d < dims; ++d) v[d] += u * x[f][d];
+    }
+    const double norm = std::sqrt(
+        std::inner_product(v.begin(), v.end(), v.begin(), 0.0));
+    if (norm > 1e-12) {
+      for (auto& value : v) value /= norm;
+    }
+    for (std::size_t d = 0; d < dims; ++d) result.components(d, k) = v[d];
+    for (std::size_t f = 0; f < f_count; ++f) {
+      result.projections(f, k) = std::inner_product(
+          x[f].begin(), x[f].end(), v.begin(), 0.0);
+    }
+  }
+  return result;
+}
+
+Result<CocoResult> coco_analysis(
+    const std::vector<const md::Trajectory*>& trajectories,
+    const CocoOptions& options) {
+  if (options.n_components == 0 || options.n_components > 3) {
+    return make_error(Errc::kInvalidArgument,
+                      "CoCo supports 1-3 PC dimensions");
+  }
+  if (options.grid_bins < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "CoCo needs at least 2 grid bins per axis");
+  }
+  std::vector<md::Frame> frames;
+  for (const auto* trajectory : trajectories) {
+    if (trajectory == nullptr) continue;
+    frames.insert(frames.end(), trajectory->frames().begin(),
+                  trajectory->frames().end());
+  }
+  if (frames.size() < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "CoCo needs at least two frames across trajectories");
+  }
+
+  CocoResult result;
+  auto pca = pca_frames(frames, options.n_components);
+  if (!pca.ok()) return pca.status();
+  result.pca = pca.take();
+
+  const std::size_t k_dims = result.pca.eigenvalues.size();
+  const std::size_t bins = options.grid_bins;
+
+  // Bounding box of the projections, slightly padded so extreme frames
+  // land inside the grid.
+  std::vector<double> lo(k_dims, 0.0), hi(k_dims, 0.0);
+  for (std::size_t k = 0; k < k_dims; ++k) {
+    double mn = result.pca.projections(0, k);
+    double mx = mn;
+    for (std::size_t f = 1; f < frames.size(); ++f) {
+      mn = std::min(mn, result.pca.projections(f, k));
+      mx = std::max(mx, result.pca.projections(f, k));
+    }
+    const double pad = std::max(1e-9, 0.05 * (mx - mn));
+    lo[k] = mn - pad;
+    hi[k] = mx + pad;
+  }
+
+  std::size_t n_cells = 1;
+  for (std::size_t k = 0; k < k_dims; ++k) n_cells *= bins;
+  std::vector<std::size_t> counts(n_cells, 0);
+  auto cell_of = [&](std::size_t frame_index) {
+    std::size_t cell = 0;
+    for (std::size_t k = 0; k < k_dims; ++k) {
+      const double span = hi[k] - lo[k];
+      const double fraction =
+          (result.pca.projections(frame_index, k) - lo[k]) / span;
+      auto bin = static_cast<std::size_t>(fraction *
+                                          static_cast<double>(bins));
+      bin = std::min(bin, bins - 1);
+      cell = cell * bins + bin;
+    }
+    return cell;
+  };
+  for (std::size_t f = 0; f < frames.size(); ++f) ++counts[cell_of(f)];
+
+  const std::size_t occupied = static_cast<std::size_t>(
+      std::count_if(counts.begin(), counts.end(),
+                    [](std::size_t c) { return c > 0; }));
+  result.occupancy =
+      static_cast<double>(occupied) / static_cast<double>(n_cells);
+
+  // Emit new points at the centres of the least-sampled cells
+  // (deterministic tie-break on the cell index).
+  std::vector<std::size_t> order(n_cells);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return counts[a] < counts[b];
+                   });
+  const std::size_t n_points = std::min(options.n_new_points, n_cells);
+  result.new_points.reserve(n_points);
+  for (std::size_t p = 0; p < n_points; ++p) {
+    std::size_t cell = order[p];
+    std::vector<double> point(k_dims, 0.0);
+    for (std::size_t k = k_dims; k-- > 0;) {
+      const std::size_t bin = cell % bins;
+      cell /= bins;
+      const double span = hi[k] - lo[k];
+      point[k] = lo[k] + (static_cast<double>(bin) + 0.5) * span /
+                             static_cast<double>(bins);
+    }
+    result.new_points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace entk::analysis

@@ -1,0 +1,56 @@
+// PCA over trajectory frames + CoCo-style resampling.
+//
+// CoCo ("complementary coordinates", Laughton et al. 2009) enriches an
+// MD ensemble by (1) running PCA over all sampled conformations,
+// (2) projecting every frame into the leading PC subspace, (3) finding
+// *unsampled* regions of that subspace on a grid, and (4) emitting new
+// start points there. This module implements exactly that pipeline on
+// our trajectory type; the md.coco kernel plugin wraps it. The
+// analysis is serial and its cost grows with the total number of
+// frames — the property Figures 7/8 of the paper rely on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/matrix.hpp"
+#include "common/status.hpp"
+#include "md/trajectory.hpp"
+
+namespace entk::analysis {
+
+struct PcaResult {
+  std::vector<double> mean;          ///< Mean feature vector (3N dims).
+  std::vector<double> eigenvalues;   ///< Descending variances.
+  Matrix components;                 ///< components(d, k): PC k.
+  Matrix projections;                ///< projections(f, k): frame f on PC k.
+};
+
+/// PCA over the concatenated (x,y,z) coordinates of all frames, after
+/// centroid removal per frame. `n_components` caps the retained PCs.
+/// The covariance is computed in frame space (Gram trick) so the cost
+/// is O(F^2 D + F^3) for F frames, D dimensions.
+Result<PcaResult> pca_frames(const std::vector<md::Frame>& frames,
+                             std::size_t n_components);
+
+struct CocoOptions {
+  std::size_t n_components = 2;   ///< PC subspace dimension (<= 3).
+  std::size_t grid_bins = 10;     ///< Bins per PC axis.
+  std::size_t n_new_points = 8;   ///< Start points to generate.
+};
+
+struct CocoResult {
+  PcaResult pca;
+  /// New start points in PC space, one per requested point, placed in
+  /// the emptiest grid cells (frontier expansion).
+  std::vector<std::vector<double>> new_points;
+  /// Fraction of grid cells with at least one sample (coverage).
+  double occupancy = 0.0;
+};
+
+/// Runs the CoCo pipeline over all frames of all trajectories.
+Result<CocoResult> coco_analysis(
+    const std::vector<const md::Trajectory*>& trajectories,
+    const CocoOptions& options);
+
+}  // namespace entk::analysis

@@ -1,0 +1,288 @@
+#include "apps/repex/repex.hpp"
+
+#include <fstream>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "md/remd.hpp"
+#include "pilot/agent.hpp"
+
+namespace entk::apps {
+
+namespace fs = std::filesystem;
+
+Status RepexConfig::validate() const {
+  if (n_replicas < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "repex needs at least 2 replicas");
+  }
+  if (n_cycles < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "repex needs at least 1 cycle");
+  }
+  if (t_min <= 0.0 || t_max <= t_min) {
+    return make_error(Errc::kInvalidArgument,
+                      "repex needs 0 < t_min < t_max");
+  }
+  if (steps_per_cycle < 1 || n_particles < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "repex needs steps_per_cycle >= 1 and "
+                      "n_particles >= 2");
+  }
+  if (dimension == Dimension::kHamiltonian) {
+    if (!asynchronous) {
+      return make_error(Errc::kInvalidArgument,
+                        "repex: Hamiltonian exchange is pairwise-only; "
+                        "set asynchronous = true");
+    }
+    if (eps_min <= 0.0 || eps_max <= eps_min) {
+      return make_error(Errc::kInvalidArgument,
+                        "repex needs 0 < eps_min < eps_max");
+    }
+  }
+  return Status::ok();
+}
+
+RepexApplication::RepexApplication(RepexConfig config)
+    : config_(std::move(config)) {
+  // The ladder holds temperatures (kTemperature) or potential scales
+  // (kHamiltonian) — geometric in both cases.
+  ladder_ = config_.dimension == RepexConfig::Dimension::kHamiltonian
+                ? md::geometric_ladder(
+                      static_cast<std::size_t>(config_.n_replicas),
+                      config_.eps_min, config_.eps_max)
+                : md::geometric_ladder(
+                      static_cast<std::size_t>(config_.n_replicas),
+                      config_.t_min, config_.t_max);
+  rung_of_.resize(static_cast<std::size_t>(config_.n_replicas));
+  leg_.assign(rung_of_.size(), -1);
+  for (std::size_t r = 0; r < rung_of_.size(); ++r) rung_of_[r] = r;
+  if (!leg_.empty()) leg_[0] = 0;  // the rung-0 replica is armed
+}
+
+Result<RepexReport> RepexApplication::run(core::ResourceHandle& handle) {
+  ENTK_RETURN_IF_ERROR(config_.validate());
+  if (!handle.allocated()) {
+    return make_error(Errc::kFailedPrecondition,
+                      "repex needs an allocated resource handle");
+  }
+  const fs::path shared =
+      handle.pilot()->agent()->shared_directory();
+  if (shared.empty()) {
+    return make_error(Errc::kFailedPrecondition,
+                      "repex needs a backend with a shared directory "
+                      "(use the local backend)");
+  }
+
+  RepexReport report;
+  round_trips_ = 0;
+  report.rung_history.push_back(rung_of_);
+  for (Count cycle = 1; cycle <= config_.n_cycles; ++cycle) {
+    ENTK_RETURN_IF_ERROR(run_cycle(handle, cycle, shared, &report));
+    note_round_trips();
+    report.rung_history.push_back(rung_of_);
+    report.cycles_completed = cycle;
+  }
+  report.round_trips = round_trips_;
+  return report;
+}
+
+Status RepexApplication::run_cycle(core::ResourceHandle& handle,
+                                   Count cycle, const fs::path& shared,
+                                   RepexReport* report) {
+  // replica_at[rung] — the pattern's `instance` indexes *rungs* so the
+  // pairwise mode's neighbour pairing happens in temperature space.
+  std::vector<Count> replica_at(rung_of_.size());
+  for (std::size_t r = 0; r < rung_of_.size(); ++r) {
+    replica_at[rung_of_[r]] = static_cast<Count>(r);
+  }
+
+  core::EnsembleExchange pattern(
+      config_.n_replicas, 1,
+      config_.asynchronous
+          ? core::EnsembleExchange::ExchangeMode::kPairwise
+          : core::EnsembleExchange::ExchangeMode::kGlobalSweep);
+  pattern.set_cycle_offset(cycle - 1);  // alternate pair parity
+
+  pattern.set_simulation([&, cycle](const core::StageContext& context) {
+    const Count replica = replica_at[context.instance];
+    core::TaskSpec spec;
+    spec.kernel = "md.simulate";
+    spec.args.set("system", config_.system);
+    spec.args.set("n_particles", config_.n_particles);
+    spec.args.set("steps", config_.steps_per_cycle);
+    spec.args.set("sample_every", config_.sample_every);
+    if (config_.dimension == RepexConfig::Dimension::kHamiltonian) {
+      spec.args.set("temperature", config_.t_min);
+      spec.args.set("epsilon", ladder_[context.instance]);
+    } else {
+      spec.args.set("temperature", ladder_[context.instance]);
+    }
+    spec.args.set("seed", static_cast<std::int64_t>(
+                              config_.seed + 1000 * cycle + replica));
+    spec.args.set("out", "traj_r" + std::to_string(replica) + "_c" +
+                             std::to_string(cycle) + ".dat");
+    spec.args.set("energy_out",
+                  "replica_" + std::to_string(replica) + ".energy");
+    if (cycle > 1) {
+      spec.args.set("start_from",
+                    "traj_r" + std::to_string(replica) + "_c" +
+                        std::to_string(cycle - 1) + ".dat");
+    }
+    return spec;
+  });
+
+  if (config_.asynchronous) {
+    pattern.set_pair_exchange([&, cycle](Count, Count slot_a,
+                                         Count slot_b) {
+      const Count replica_a = replica_at[slot_a];
+      const Count replica_b = replica_at[slot_b];
+      core::TaskSpec spec;
+      spec.kernel = "md.exchange";
+      spec.args.set("pair_a", replica_a);
+      spec.args.set("pair_b", replica_b);
+      if (config_.dimension == RepexConfig::Dimension::kHamiltonian) {
+        spec.args.set("eps_a", ladder_[slot_a]);
+        spec.args.set("eps_b", ladder_[slot_b]);
+        spec.args.set("temperature", config_.t_min);
+        spec.args.set("traj_a", "traj_r" + std::to_string(replica_a) +
+                                    "_c" + std::to_string(cycle) +
+                                    ".dat");
+        spec.args.set("traj_b", "traj_r" + std::to_string(replica_b) +
+                                    "_c" + std::to_string(cycle) +
+                                    ".dat");
+        spec.args.set("system", config_.system);
+        spec.args.set("n_particles", config_.n_particles);
+      } else {
+        spec.args.set("t_a", ladder_[slot_a]);
+        spec.args.set("t_b", ladder_[slot_b]);
+      }
+      spec.args.set("seed",
+                    static_cast<std::int64_t>(config_.seed + 77 * cycle));
+      spec.args.set("out", "exchange_pair_" + std::to_string(slot_a) +
+                               "_" + std::to_string(slot_b) + "_c" +
+                               std::to_string(cycle) + ".txt");
+      return spec;
+    });
+  } else {
+    pattern.set_exchange([&, cycle](const core::StageContext&) {
+      std::vector<std::string> rungs;
+      rungs.reserve(rung_of_.size());
+      for (const std::size_t rung : rung_of_) {
+        rungs.push_back(std::to_string(rung));
+      }
+      core::TaskSpec spec;
+      spec.kernel = "md.exchange";
+      spec.args.set("n_replicas", config_.n_replicas);
+      spec.args.set("t_min", config_.t_min);
+      spec.args.set("t_max", config_.t_max);
+      spec.args.set("sweep", cycle - 1);
+      spec.args.set("rungs", join(rungs, ","));
+      spec.args.set("seed",
+                    static_cast<std::int64_t>(config_.seed + 77 * cycle));
+      spec.args.set("out",
+                    "exchange_c" + std::to_string(cycle) + ".txt");
+      return spec;
+    });
+  }
+
+  auto run_report = handle.run(pattern);
+  if (!run_report.ok()) return run_report.status();
+  ENTK_RETURN_IF_ERROR(run_report.value().outcome);
+  report->total_ttc += run_report.value().overheads.ttc;
+  report->tasks_executed += run_report.value().units.size();
+
+  return config_.asynchronous
+             ? apply_async_exchange(shared, cycle, report)
+             : apply_sync_exchange(shared, cycle, report);
+}
+
+Status RepexApplication::apply_sync_exchange(const fs::path& shared,
+                                             Count cycle,
+                                             RepexReport* report) {
+  const fs::path path =
+      shared / ("exchange_c" + std::to_string(cycle) + ".txt");
+  std::ifstream in(path);
+  std::string key;
+  std::size_t attempted = 0;
+  std::size_t accepted = 0;
+  if (!(in >> key >> attempted) || key != "attempted" ||
+      !(in >> key >> accepted) || key != "accepted") {
+    return make_error(Errc::kIoError,
+                      "repex: malformed exchange result " + path.string());
+  }
+  report->swaps_attempted += attempted;
+  report->swaps_accepted += accepted;
+  std::int64_t replica = 0;
+  std::size_t rung = 0;
+  double temperature = 0.0;
+  while (in >> replica >> rung >> temperature) {
+    if (replica < 0 ||
+        static_cast<std::size_t>(replica) >= rung_of_.size() ||
+        rung >= rung_of_.size()) {
+      return make_error(Errc::kIoError,
+                        "repex: assignment out of range in " +
+                            path.string());
+    }
+    rung_of_[static_cast<std::size_t>(replica)] = rung;
+  }
+  return Status::ok();
+}
+
+Status RepexApplication::apply_async_exchange(const fs::path& shared,
+                                              Count cycle,
+                                              RepexReport* report) {
+  // The 1-cycle pattern ran with cycle_offset = cycle - 1, so its pair
+  // parity was (1 - 1 + cycle - 1) % 2.
+  const Count parity = (cycle - 1) % 2;
+  std::vector<Count> replica_at(rung_of_.size());
+  for (std::size_t r = 0; r < rung_of_.size(); ++r) {
+    replica_at[rung_of_[r]] = static_cast<Count>(r);
+  }
+  for (Count low = parity; low + 1 < config_.n_replicas; low += 2) {
+    const fs::path path =
+        shared / ("exchange_pair_" + std::to_string(low) + "_" +
+                  std::to_string(low + 1) + "_c" + std::to_string(cycle) +
+                  ".txt");
+    std::ifstream in(path);
+    std::string key;
+    std::size_t attempted = 0;
+    std::size_t accepted = 0;
+    if (!(in >> key >> attempted) || key != "attempted" ||
+        !(in >> key >> accepted) || key != "accepted") {
+      return make_error(Errc::kIoError,
+                        "repex: malformed pair result " + path.string());
+    }
+    report->swaps_attempted += attempted;
+    report->swaps_accepted += accepted;
+    if (accepted != 0) {
+      const auto replica_lo =
+          static_cast<std::size_t>(replica_at[low]);
+      const auto replica_hi =
+          static_cast<std::size_t>(replica_at[low + 1]);
+      std::swap(rung_of_[replica_lo], rung_of_[replica_hi]);
+    }
+  }
+  return Status::ok();
+}
+
+void RepexApplication::note_round_trips() {
+  // Per-replica legs: counts completed bottom -> top -> bottom
+  // traversals of the temperature ladder (the standard REMD mixing
+  // diagnostic).
+  for (std::size_t r = 0; r < rung_of_.size(); ++r) {
+    const std::size_t rung = rung_of_[r];
+    if (leg_[r] == -1) {
+      if (rung == 0) leg_[r] = 0;
+      continue;
+    }
+    if (leg_[r] == 0 && rung == rung_of_.size() - 1) {
+      leg_[r] = 1;  // reached the top; heading down
+    } else if (leg_[r] == 1 && rung == 0) {
+      leg_[r] = 0;  // completed a round trip
+      ++round_trips_;
+    }
+  }
+}
+
+}  // namespace entk::apps

@@ -1,0 +1,116 @@
+// RepEx: a replica-exchange application framework built ON TOP of the
+// Ensemble Toolkit — the C++ analogue of Treikalis et al., "RepEx: A
+// Flexible Framework for Scalable Replica Exchange Molecular Dynamics
+// Simulations" (ICPP 2016), which the EnTK paper cites as a companion
+// application ([32]).
+//
+// Where the EnTK patterns expose *mechanism* (run these tasks, couple
+// them like so), RepEx adds the *science bookkeeping* a production
+// REMD study needs: persistent replica->rung assignment across cycles,
+// synchronous (global-sweep) or asynchronous (pairwise, no global
+// barrier) exchange, acceptance statistics, temperature random-walk
+// histories and round-trip counting.
+//
+// Runs on the local backend (real MD, real exchange decisions read
+// back from the pilot's shared space).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/resource_handle.hpp"
+
+namespace entk::apps {
+
+struct RepexConfig {
+  Count n_replicas = 8;
+  Count n_cycles = 4;
+  /// false: synchronous (one global exchange task per cycle);
+  /// true: asynchronous (one exchange task per ready neighbour pair,
+  /// exchanges fire as soon as both partners finish).
+  bool asynchronous = false;
+
+  /// Exchange dimension: replicas walk a temperature ladder, or a
+  /// Hamiltonian (potential-scale lambda) ladder at one temperature.
+  /// Hamiltonian exchange needs the full configurations for its cross
+  /// energies and is implemented pairwise: it requires
+  /// asynchronous = true.
+  enum class Dimension { kTemperature, kHamiltonian };
+  Dimension dimension = Dimension::kTemperature;
+
+  // Temperature ladder (kTemperature); t_min is also the common
+  // temperature of a Hamiltonian study.
+  double t_min = 0.8;
+  double t_max = 2.0;
+
+  // Potential-scale ladder (kHamiltonian).
+  double eps_min = 0.6;
+  double eps_max = 1.0;
+
+  // Per-replica MD (the md.simulate kernel's knobs).
+  std::string system = "dipeptide";
+  Count n_particles = 100;
+  Count steps_per_cycle = 120;
+  Count sample_every = 12;
+  std::uint64_t seed = 20160802;
+
+  Status validate() const;
+};
+
+struct RepexReport {
+  Count cycles_completed = 0;
+  std::size_t swaps_attempted = 0;
+  std::size_t swaps_accepted = 0;
+  double acceptance_ratio() const {
+    return swaps_attempted == 0
+               ? 0.0
+               : static_cast<double>(swaps_accepted) /
+                     static_cast<double>(swaps_attempted);
+  }
+  /// rung_history[cycle][replica] = rung held *after* that cycle's
+  /// exchange (entry 0 is the initial identity assignment).
+  std::vector<std::vector<std::size_t>> rung_history;
+  /// Completed bottom->top->bottom traversals summed over replicas.
+  std::size_t round_trips = 0;
+  /// Sum of the per-cycle TTCs.
+  Duration total_ttc = 0.0;
+  std::size_t tasks_executed = 0;
+};
+
+class RepexApplication {
+ public:
+  explicit RepexApplication(RepexConfig config);
+
+  const RepexConfig& config() const { return config_; }
+
+  /// Current temperature ladder (ascending).
+  const std::vector<double>& ladder() const { return ladder_; }
+
+  /// Runs the full study on an allocated resource handle. The handle's
+  /// backend must expose a shared directory (local backend).
+  Result<RepexReport> run(core::ResourceHandle& handle);
+
+ private:
+  /// One cycle: MD for every replica at its current rung, then the
+  /// exchange stage; returns the per-cycle report contributions.
+  Status run_cycle(core::ResourceHandle& handle, Count cycle,
+                   const std::filesystem::path& shared,
+                   RepexReport* report);
+
+  Status apply_sync_exchange(const std::filesystem::path& shared,
+                             Count cycle, RepexReport* report);
+  Status apply_async_exchange(const std::filesystem::path& shared,
+                              Count cycle, RepexReport* report);
+  void note_round_trips();
+
+  RepexConfig config_;
+  std::vector<double> ladder_;
+  std::vector<std::size_t> rung_of_;  ///< replica -> rung
+  /// Round-trip tracking: -1 = not yet at the bottom, 0 = heading up
+  /// (must visit the top), 1 = heading down (must revisit the bottom).
+  std::vector<int> leg_;
+  std::size_t round_trips_ = 0;
+};
+
+}  // namespace entk::apps

@@ -1,0 +1,124 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace entk {
+
+Result<Config> Config::from_pairs(const std::vector<std::string>& pairs) {
+  Config config;
+  for (const auto& pair : pairs) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return make_error(Errc::kInvalidArgument,
+                        "expected key=value, got '" + pair + "'");
+    }
+    config.set(trim(pair.substr(0, eq)), trim(pair.substr(eq + 1)));
+  }
+  return config;
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+void Config::set(const std::string& key, const char* value) {
+  values_[key] = value;
+}
+void Config::set(const std::string& key, double value) {
+  values_[key] = format_double(value, 17);
+}
+void Config::set(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+void Config::set(const std::string& key, int value) {
+  values_[key] = std::to_string(value);
+}
+void Config::set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+Result<std::string> Config::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return make_error(Errc::kNotFound, "config key '" + key + "' missing");
+  }
+  return it->second;
+}
+
+Result<double> Config::get_double(const std::string& key) const {
+  auto raw = get_string(key);
+  if (!raw.ok()) return raw.status();
+  const std::string& text = raw.value();
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return make_error(Errc::kInvalidArgument,
+                      "config key '" + key + "' is not a number: " + text);
+  }
+  return value;
+}
+
+Result<std::int64_t> Config::get_int(const std::string& key) const {
+  auto raw = get_string(key);
+  if (!raw.ok()) return raw.status();
+  const std::string& text = raw.value();
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return make_error(Errc::kInvalidArgument,
+                      "config key '" + key + "' is not an integer: " + text);
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+Result<bool> Config::get_bool(const std::string& key) const {
+  auto raw = get_string(key);
+  if (!raw.ok()) return raw.status();
+  const std::string& text = raw.value();
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  return make_error(Errc::kInvalidArgument,
+                    "config key '" + key + "' is not a bool: " + text);
+}
+
+std::string Config::get_string_or(const std::string& key,
+                                  const std::string& fallback) const {
+  auto result = get_string(key);
+  return result.ok() ? result.take() : fallback;
+}
+
+double Config::get_double_or(const std::string& key, double fallback) const {
+  if (!contains(key)) return fallback;
+  return get_double(key).value();
+}
+
+std::int64_t Config::get_int_or(const std::string& key,
+                                std::int64_t fallback) const {
+  if (!contains(key)) return fallback;
+  return get_int(key).value();
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  if (!contains(key)) return fallback;
+  return get_bool(key).value();
+}
+
+Config Config::merged_with(const Config& other) const {
+  Config merged = *this;
+  for (const auto& [key, value] : other.values_) merged.values_[key] = value;
+  return merged;
+}
+
+}  // namespace entk

@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace entk {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  // Opt-in verbosity for debugging: ENTK_LOG=debug|info|warn|error.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* env = std::getenv("ENTK_LOG")) {
+      const std::string level(env);
+      if (level == "trace") logger.set_level(LogLevel::kTrace);
+      else if (level == "debug") logger.set_level(LogLevel::kDebug);
+      else if (level == "info") logger.set_level(LogLevel::kInfo);
+      else if (level == "error") logger.set_level(LogLevel::kError);
+    }
+  });
+  return logger;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?    ";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_tag(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace entk

@@ -1,0 +1,68 @@
+// Minimal leveled, thread-safe logger.
+//
+// The toolkit logs sparingly: state transitions at kDebug, lifecycle
+// milestones at kInfo, recoverable anomalies at kWarn, failures at
+// kError. Tests and benches run with the logger silenced (the default
+// threshold is kWarn).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace entk {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  /// Global logger used by every component.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes a single line "[level] component: message" to stderr.
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+/// Builds the message lazily: the stream is only evaluated when enabled.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ENTK_LOG(level, component)                      \
+  if (!::entk::Logger::instance().enabled(level)) {     \
+  } else                                                \
+    ::entk::detail::LogLine(level, component)
+
+#define ENTK_DEBUG(component) ENTK_LOG(::entk::LogLevel::kDebug, component)
+#define ENTK_INFO(component) ENTK_LOG(::entk::LogLevel::kInfo, component)
+#define ENTK_WARN(component) ENTK_LOG(::entk::LogLevel::kWarn, component)
+#define ENTK_ERROR(component) ENTK_LOG(::entk::LogLevel::kError, component)
+
+}  // namespace entk

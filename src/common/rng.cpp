@@ -1,0 +1,85 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace entk {
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 mixer(seed);
+  for (auto& word : state_) word = mixer.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  ENTK_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::uniform_index(std::uint64_t n) {
+  ENTK_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t draw = next();
+    if (draw >= threshold) return draw % n;
+  }
+}
+
+double Xoshiro256::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller: two uniforms -> two independent standard normals.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Xoshiro256::exponential(double mean) {
+  ENTK_CHECK(mean > 0.0, "exponential mean must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+Xoshiro256 Xoshiro256::split() {
+  Xoshiro256 child(0);
+  SplitMix64 mixer(next());
+  for (auto& word : child.state_) word = mixer.next();
+  return child;
+}
+
+}  // namespace entk

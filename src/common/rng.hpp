@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component (queue-wait jitter, Langevin thermostat,
+// Metropolis exchange, workload generators) draws from an explicitly
+// seeded generator so that simulations and benchmarks are bit-for-bit
+// reproducible. Xoshiro256** is the workhorse; SplitMix64 expands seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace entk {
+
+/// SplitMix64: used to derive well-mixed seed material from one word.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal deviate (Box–Muller with caching).
+  double normal();
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponential deviate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Forks an independent stream (for per-replica / per-task RNGs).
+  Xoshiro256 split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace entk

@@ -1,0 +1,56 @@
+// Streaming and batch descriptive statistics.
+//
+// Used by the profiler (overhead decomposition), the benchmark
+// harnesses (per-figure summary tables) and the MD engine (temperature,
+// energy averages).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace entk {
+
+/// Welford's online algorithm: numerically stable running mean/variance
+/// with min/max tracking. Accepts any number of observations.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample by linear interpolation (q in [0, 100]).
+/// The input is copied and sorted; empty input yields 0.
+double percentile(std::vector<double> values, double q);
+
+/// Median shorthand.
+double median(std::vector<double> values);
+
+/// Ordinary least-squares fit y = a + b*x; returns {intercept, slope,
+/// r_squared}. Requires xs.size() == ys.size() >= 2.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+}  // namespace entk

@@ -1,0 +1,45 @@
+#include "common/status.hpp"
+
+#include <sstream>
+
+namespace entk {
+
+const char* errc_name(Errc code) {
+  switch (code) {
+    case Errc::kOk: return "ok";
+    case Errc::kInvalidArgument: return "invalid_argument";
+    case Errc::kNotFound: return "not_found";
+    case Errc::kAlreadyExists: return "already_exists";
+    case Errc::kFailedPrecondition: return "failed_precondition";
+    case Errc::kResourceExhausted: return "resource_exhausted";
+    case Errc::kCancelled: return "cancelled";
+    case Errc::kTimedOut: return "timed_out";
+    case Errc::kInternal: return "internal";
+    case Errc::kExecutionFailed: return "execution_failed";
+    case Errc::kIoError: return "io_error";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = errc_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "ENTK_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace entk

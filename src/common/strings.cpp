@@ -1,0 +1,80 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace entk {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += separator;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string format_seconds(double seconds) {
+  const double magnitude = std::fabs(seconds);
+  char buffer[64];
+  if (magnitude >= 3600.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f h", seconds / 3600.0);
+  } else if (magnitude >= 60.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f min", seconds / 60.0);
+  } else if (magnitude >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+  } else if (magnitude >= 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  } else if (magnitude > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f us", seconds * 1e6);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "0 s");
+  }
+  return buffer;
+}
+
+}  // namespace entk

@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/status.hpp"
+#include "common/strings.hpp"
+
+namespace entk {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ENTK_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ENTK_CHECK(cells.size() == headers_.size(),
+             "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells,
+                            int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double cell : cells) {
+    formatted.push_back(format_double(cell, precision));
+  }
+  add_row(std::move(formatted));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (const std::size_t width : widths) {
+    os << std::string(width + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  os << join(headers_, ",") << '\n';
+  for (const auto& row : rows_) os << join(row, ",") << '\n';
+  return os.str();
+}
+
+}  // namespace entk

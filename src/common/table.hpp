@@ -1,0 +1,39 @@
+// ASCII table rendering for benchmark harnesses.
+//
+// Every figure-reproduction bench prints its series as a table (and
+// optionally CSV) via this helper so all harness output has one format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace entk {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision. (A
+  /// separate name: a two-element brace list of string literals would
+  /// otherwise ambiguously match vector<double>'s iterator-range
+  /// constructor.)
+  void add_numeric_row(const std::vector<double>& cells,
+                       int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with aligned columns, `| a | b |` style.
+  std::string to_string() const;
+
+  /// Renders as comma-separated values (header row first).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace entk

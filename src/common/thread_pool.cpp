@@ -1,0 +1,59 @@
+#include "common/thread_pool.hpp"
+
+#include "common/status.hpp"
+
+namespace entk {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  ENTK_CHECK(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ENTK_CHECK(static_cast<bool>(task), "task must be callable");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ENTK_CHECK(!stopping_, "submit after shutdown");
+    tasks_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace entk

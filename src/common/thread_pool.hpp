@@ -1,0 +1,47 @@
+// Fixed-size thread pool used by the local (real-execution) backend.
+//
+// The simulated backend never spawns threads; only the LocalAdaptor and
+// the local pilot agent run kernels here, so pool sizes stay small
+// (bounded by the local "machine" core count).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace entk {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks run FIFO across workers. Must not be called
+  /// after shutdown started (destructor).
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace entk

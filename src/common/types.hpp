@@ -1,0 +1,30 @@
+// Fundamental value types shared across the toolkit.
+//
+// All simulated and wall-clock times in the toolkit are expressed in
+// seconds as `double`; durations likewise. This mirrors the profiling
+// convention of the original Ensemble Toolkit / RADICAL-Pilot stack,
+// where every state transition is stamped with an epoch-seconds float.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace entk {
+
+/// A point in (simulated or wall-clock) time, in seconds.
+using TimePoint = double;
+
+/// A span of time, in seconds.
+using Duration = double;
+
+/// Sentinel for "not yet stamped" profiling timestamps.
+inline constexpr TimePoint kNoTime = -1.0;
+
+/// Number of cores, nodes, tasks, ... Negative values are never valid.
+using Count = std::int64_t;
+
+/// Largest representable time; used as an "infinite" horizon.
+inline constexpr TimePoint kTimeInfinity =
+    std::numeric_limits<TimePoint>::infinity();
+
+}  // namespace entk

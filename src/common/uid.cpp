@@ -1,0 +1,33 @@
+#include "common/uid.hpp"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace entk {
+namespace {
+std::mutex g_mutex;
+std::map<std::string, std::uint64_t>& counters() {
+  static std::map<std::string, std::uint64_t> instance;
+  return instance;
+}
+}  // namespace
+
+std::string next_uid(const std::string& prefix) {
+  std::uint64_t value = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    value = counters()[prefix]++;
+  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".%06llu",
+                static_cast<unsigned long long>(value));
+  return prefix + suffix;
+}
+
+void reset_uid_counters_for_testing() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  counters().clear();
+}
+
+}  // namespace entk

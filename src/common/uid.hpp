@@ -1,0 +1,21 @@
+// Unique-id generation for toolkit entities.
+//
+// Every task, unit, pilot, job and pattern instance gets a uid of the
+// form "<prefix>.<counter>" (e.g. "unit.000042"), matching the naming
+// scheme of the original toolkit's profiler output. Counters are
+// per-prefix and process-global; generation is thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace entk {
+
+/// Returns the next uid for the given prefix, e.g. uid("task") ->
+/// "task.000000", "task.000001", ...
+std::string next_uid(const std::string& prefix);
+
+/// Resets all counters; intended for test isolation only.
+void reset_uid_counters_for_testing();
+
+}  // namespace entk

@@ -1,0 +1,35 @@
+// Umbrella header: the public API of the Ensemble Toolkit (C++).
+//
+// Typical usage:
+//
+//   #include "core/entk.hpp"
+//
+//   auto registry = entk::kernels::KernelRegistry::with_builtin_kernels();
+//   entk::pilot::SimBackend backend(entk::sim::comet_profile());
+//   entk::core::ResourceOptions options;
+//   options.cores = 192;
+//   entk::core::ResourceHandle handle(backend, registry, options);
+//   handle.allocate();
+//
+//   entk::core::BagOfTasks pattern(192, [](const entk::core::StageContext&) {
+//     entk::core::TaskSpec spec;
+//     spec.kernel = "misc.mkfile";
+//     return spec;
+//   });
+//   auto report = handle.run(pattern);
+//   handle.deallocate();
+#pragma once
+
+#include "core/execution_plugin.hpp"
+#include "core/overheads.hpp"
+#include "core/pattern.hpp"
+#include "core/profile_export.hpp"
+#include "core/resource_handle.hpp"
+#include "core/strategy.hpp"
+#include "core/task.hpp"
+#include "core/utilization.hpp"
+#include "core/workload_file.hpp"
+#include "kernels/registry.hpp"
+#include "pilot/local_backend.hpp"
+#include "pilot/sim_backend.hpp"
+#include "sim/machine.hpp"

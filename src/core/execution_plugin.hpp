@@ -1,0 +1,61 @@
+// Execution plugin: binds execution pattern x kernel plugins.
+//
+// The internal component that receives TaskSpecs from a pattern,
+// resolves each kernel against the target machine (static binding and
+// translation, as in the paper), charges the toolkit's per-task
+// creation/submission overhead, and forwards the resulting compute
+// units to the pilot runtime.
+#pragma once
+
+#include <mutex>
+
+#include "core/pattern.hpp"
+#include "kernels/registry.hpp"
+#include "pilot/backend.hpp"
+#include "pilot/unit_manager.hpp"
+
+namespace entk::core {
+
+class ExecutionPlugin final : public PatternExecutor {
+ public:
+  struct Options {
+    /// Modelled cost of creating + submitting one task through the
+    /// toolkit (the paper's "pattern overhead"; charged to the clock
+    /// on the simulated backend).
+    Duration per_task_overhead = 0.004;
+  };
+
+  ExecutionPlugin(const kernels::KernelRegistry& registry,
+                  pilot::UnitManager& unit_manager,
+                  pilot::ExecutionBackend& backend, Options options);
+  /// Uses default Options.
+  ExecutionPlugin(const kernels::KernelRegistry& registry,
+                  pilot::UnitManager& unit_manager,
+                  pilot::ExecutionBackend& backend);
+
+  Result<std::vector<pilot::ComputeUnitPtr>> submit(
+      const std::vector<TaskSpec>& specs) override;
+  Status drive_until(const std::function<bool()>& done) override;
+
+  /// Translates a single spec without submitting (exposed for tests
+  /// and for tools that inspect the binding).
+  Result<pilot::UnitDescription> translate(const TaskSpec& spec) const;
+
+  /// Accumulated pattern overhead (task creation + submission time).
+  Duration pattern_overhead() const;
+  std::size_t tasks_submitted() const;
+  /// Every unit this plugin has submitted, in submission order.
+  std::vector<pilot::ComputeUnitPtr> all_units() const;
+
+ private:
+  const kernels::KernelRegistry& registry_;
+  pilot::UnitManager& unit_manager_;
+  pilot::ExecutionBackend& backend_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  Duration pattern_overhead_ = 0.0;
+  std::vector<pilot::ComputeUnitPtr> all_units_;
+};
+
+}  // namespace entk::core

@@ -1,0 +1,42 @@
+#include "core/overheads.hpp"
+
+#include <algorithm>
+
+namespace entk::core {
+
+OverheadProfile build_overhead_profile(
+    const std::vector<pilot::ComputeUnitPtr>& units,
+    const pilot::PilotPtr& pilot, Duration run_span, Duration core_overhead,
+    Duration pattern_overhead) {
+  OverheadProfile profile;
+  profile.core_overhead = core_overhead;
+  profile.pattern_overhead = pattern_overhead;
+  profile.n_units = units.size();
+
+  TimePoint first_start = kTimeInfinity;
+  TimePoint last_stop = -kTimeInfinity;
+  for (const auto& unit : units) {
+    const Duration execution = unit->execution_time();
+    profile.total_unit_execution += execution;
+    if (unit->exec_started_at() != kNoTime) {
+      first_start = std::min(first_start, unit->exec_started_at());
+    }
+    if (unit->exec_stopped_at() != kNoTime) {
+      last_stop = std::max(last_stop, unit->exec_stopped_at());
+    }
+  }
+  if (!units.empty()) {
+    profile.mean_unit_execution =
+        profile.total_unit_execution / static_cast<double>(units.size());
+  }
+  if (first_start != kTimeInfinity && last_stop > first_start) {
+    profile.execution_time = last_stop - first_start;
+  }
+  profile.runtime_overhead = std::max(
+      0.0, run_span - profile.pattern_overhead - profile.execution_time);
+  profile.ttc = core_overhead + run_span;
+  if (pilot != nullptr) profile.pilot_startup = pilot->startup_time();
+  return profile;
+}
+
+}  // namespace entk::core

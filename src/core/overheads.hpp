@@ -1,0 +1,46 @@
+// TTC decomposition: the measurement model of the paper's Section IV.
+//
+// Total time to completion splits into
+//   core overhead     — toolkit init + resource request/teardown
+//                       (constant: independent of pattern and #tasks)
+//   pattern overhead  — task creation + submission (grows with #tasks)
+//   execution time    — span from first task start to last task stop
+//   runtime overhead  — everything the pilot runtime adds: agent
+//                       scheduling, serialized spawns, staging, idle
+//                       gaps between stages
+//   pilot startup     — queue wait + agent bootstrap, reported
+//                       separately (the paper excludes queue wait from
+//                       its TTC decomposition)
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "pilot/compute_unit.hpp"
+#include "pilot/pilot.hpp"
+
+namespace entk::core {
+
+struct OverheadProfile {
+  Duration ttc = 0.0;
+  Duration core_overhead = 0.0;
+  Duration pattern_overhead = 0.0;
+  Duration execution_time = 0.0;
+  Duration runtime_overhead = 0.0;
+  Duration pilot_startup = 0.0;
+
+  std::size_t n_units = 0;
+  Duration mean_unit_execution = 0.0;
+  Duration total_unit_execution = 0.0;
+};
+
+/// Builds the decomposition from a finished run.
+/// `run_span` is the wall/virtual time the pattern execution took
+/// (pattern overhead + execution + runtime overheads); `core_overhead`
+/// is the (modelled, constant) toolkit cost outside the run.
+OverheadProfile build_overhead_profile(
+    const std::vector<pilot::ComputeUnitPtr>& units,
+    const pilot::PilotPtr& pilot, Duration run_span,
+    Duration core_overhead, Duration pattern_overhead);
+
+}  // namespace entk::core

@@ -1,0 +1,566 @@
+#include "core/pattern.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/log.hpp"
+
+namespace entk::core {
+
+namespace {
+
+/// A unit is settled when it is final and no retry is pending.
+bool unit_settled(const pilot::ComputeUnit& unit) {
+  const pilot::UnitState state = unit.state();
+  if (!pilot::is_final(state)) return false;
+  if (state == pilot::UnitState::kFailed &&
+      unit.retries() < unit.description().max_retries) {
+    return false;  // the unit manager is about to resubmit it
+  }
+  return true;
+}
+
+bool all_settled(const std::vector<pilot::ComputeUnitPtr>& units) {
+  return std::all_of(units.begin(), units.end(),
+                     [](const pilot::ComputeUnitPtr& unit) {
+                       return unit_settled(*unit);
+                     });
+}
+
+/// First failure among settled units, or OK.
+Status first_failure(const std::vector<pilot::ComputeUnitPtr>& units) {
+  for (const auto& unit : units) {
+    switch (unit->state()) {
+      case pilot::UnitState::kFailed:
+        return unit->final_status();
+      case pilot::UnitState::kCanceled:
+        return make_error(Errc::kCancelled,
+                          "unit " + unit->uid() + " was cancelled");
+      default:
+        break;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status PatternExecutor::wait_all(
+    const std::vector<pilot::ComputeUnitPtr>& units) {
+  ENTK_RETURN_IF_ERROR(drive_until([&] { return all_settled(units); }));
+  return first_failure(units);
+}
+
+void watch_unit(const pilot::ComputeUnitPtr& unit,
+                std::function<void(pilot::ComputeUnit&,
+                                   pilot::UnitState)> handler) {
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  auto shared_handler = std::make_shared<
+      std::function<void(pilot::ComputeUnit&, pilot::UnitState)>>(
+      std::move(handler));
+  unit->on_state_change(
+      [fired, shared_handler](pilot::ComputeUnit& changed,
+                              pilot::UnitState) {
+        if (!unit_settled(changed)) return;
+        if (fired->exchange(true)) return;
+        (*shared_handler)(changed, changed.state());
+      });
+  // The unit may already be final (fast local execution).
+  if (unit_settled(*unit) && !fired->exchange(true)) {
+    (*shared_handler)(*unit, unit->state());
+  }
+}
+
+// --------------------------------------------------------------- BagOfTasks
+
+BagOfTasks::BagOfTasks(Count n_tasks, StageFn task_fn)
+    : n_tasks_(n_tasks), task_fn_(std::move(task_fn)) {}
+
+Status BagOfTasks::validate() const {
+  if (n_tasks_ < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "bag_of_tasks needs at least one task");
+  }
+  if (!task_fn_) {
+    return make_error(Errc::kInvalidArgument,
+                      "bag_of_tasks needs a task callback");
+  }
+  return Status::ok();
+}
+
+Status BagOfTasks::execute(PatternExecutor& executor) {
+  ENTK_RETURN_IF_ERROR(validate());
+  units_.clear();
+  std::vector<TaskSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n_tasks_));
+  for (Count t = 0; t < n_tasks_; ++t) {
+    specs.push_back(task_fn_({1, 1, t, n_tasks_}));
+  }
+  auto submitted = executor.submit(specs);
+  if (!submitted.ok()) return submitted.status();
+  units_ = submitted.take();
+  return executor.wait_all(units_);
+}
+
+// ------------------------------------------------------ EnsembleOfPipelines
+
+EnsembleOfPipelines::EnsembleOfPipelines(Count n_pipelines, Count n_stages)
+    : n_pipelines_(n_pipelines),
+      n_stages_(n_stages),
+      stage_fns_(static_cast<std::size_t>(std::max<Count>(n_stages, 0))) {}
+
+void EnsembleOfPipelines::set_stage(Count stage, StageFn fn) {
+  ENTK_CHECK(stage >= 1 && stage <= n_stages_, "stage index out of range");
+  stage_fns_[static_cast<std::size_t>(stage - 1)] = std::move(fn);
+}
+
+Status EnsembleOfPipelines::validate() const {
+  if (n_pipelines_ < 1 || n_stages_ < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "ensemble_of_pipelines needs >= 1 pipeline and stage");
+  }
+  for (Count s = 0; s < n_stages_; ++s) {
+    if (!stage_fns_[static_cast<std::size_t>(s)]) {
+      return make_error(Errc::kInvalidArgument,
+                        "ensemble_of_pipelines stage " +
+                            std::to_string(s + 1) + " has no workload");
+    }
+  }
+  return Status::ok();
+}
+
+Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
+  ENTK_RETURN_IF_ERROR(validate());
+  units_.clear();
+
+  struct State {
+    std::mutex mutex;
+    std::vector<pilot::ComputeUnitPtr> all;
+    std::vector<Status> errors;
+    Count pipelines_done = 0;
+  };
+  auto state = std::make_shared<State>();
+  // Recursive launcher, held by shared_ptr so watcher closures can
+  // chain the next stage; the self-reference cycle is broken below.
+  auto launch = std::make_shared<std::function<void(Count, Count)>>();
+  *launch = [this, &executor, state, launch](Count pipeline, Count stage) {
+    const StageContext context{1, stage, pipeline, n_pipelines_};
+    const TaskSpec spec =
+        stage_fns_[static_cast<std::size_t>(stage - 1)](context);
+    auto submitted = executor.submit({spec});
+    if (!submitted.ok()) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->errors.push_back(submitted.status());
+      ++state->pipelines_done;
+      return;
+    }
+    pilot::ComputeUnitPtr unit = submitted.value().front();
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->all.push_back(unit);
+    }
+    watch_unit(unit, [this, state, launch, pipeline, stage](
+                         pilot::ComputeUnit& settled,
+                         pilot::UnitState final_state) {
+      if (final_state == pilot::UnitState::kDone) {
+        if (stage < n_stages_) {
+          (*launch)(pipeline, stage + 1);
+        } else {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          ++state->pipelines_done;
+        }
+        return;
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->errors.push_back(
+          final_state == pilot::UnitState::kFailed
+              ? settled.final_status()
+              : make_error(Errc::kCancelled,
+                           "unit " + settled.uid() + " was cancelled"));
+      ++state->pipelines_done;
+    });
+  };
+
+  for (Count p = 0; p < n_pipelines_; ++p) (*launch)(p, 1);
+  const Status driven = executor.drive_until([state, this] {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    return state->pipelines_done == n_pipelines_;
+  });
+  *launch = nullptr;  // break the launcher's self-reference cycle
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    units_ = state->all;
+  }
+  ENTK_RETURN_IF_ERROR(driven);
+  std::lock_guard<std::mutex> lock(state->mutex);
+  if (!state->errors.empty()) return state->errors.front();
+  return Status::ok();
+}
+
+// --------------------------------------------------- SimulationAnalysisLoop
+
+SimulationAnalysisLoop::SimulationAnalysisLoop(Count n_iterations,
+                                               Count n_simulations,
+                                               Count n_analyses)
+    : n_iterations_(n_iterations),
+      n_simulations_(n_simulations),
+      n_analyses_(n_analyses) {}
+
+Status SimulationAnalysisLoop::validate() const {
+  if (n_iterations_ < 1 || n_simulations_ < 1 || n_analyses_ < 1) {
+    return make_error(
+        Errc::kInvalidArgument,
+        "simulation_analysis_loop needs >= 1 iteration, simulation and "
+        "analysis");
+  }
+  if (!simulation_ || !analysis_) {
+    return make_error(Errc::kInvalidArgument,
+                      "simulation_analysis_loop needs simulation and "
+                      "analysis workloads");
+  }
+  return Status::ok();
+}
+
+Status SimulationAnalysisLoop::execute(PatternExecutor& executor) {
+  ENTK_RETURN_IF_ERROR(validate());
+  units_.clear();
+  simulation_units_.clear();
+  analysis_units_.clear();
+
+  auto run_stage = [&](const std::vector<TaskSpec>& specs,
+                       std::vector<pilot::ComputeUnitPtr>* bucket)
+      -> Status {
+    auto submitted = executor.submit(specs);
+    if (!submitted.ok()) return submitted.status();
+    auto stage_units = submitted.take();
+    units_.insert(units_.end(), stage_units.begin(), stage_units.end());
+    if (bucket != nullptr) {
+      bucket->insert(bucket->end(), stage_units.begin(), stage_units.end());
+    }
+    return executor.wait_all(stage_units);
+  };
+
+  if (pre_loop_) {
+    ENTK_RETURN_IF_ERROR(
+        run_stage({pre_loop_({0, 0, 0, 1})}, nullptr));
+  }
+  for (Count iteration = 1; iteration <= n_iterations_; ++iteration) {
+    Count n_sims = n_simulations_;
+    Count n_ana = n_analyses_;
+    if (counts_fn_) {
+      const auto counts = counts_fn_(iteration);
+      n_sims = counts.first;
+      n_ana = counts.second;
+      if (n_sims < 1 || n_ana < 1) {
+        return make_error(Errc::kInvalidArgument,
+                          "adaptive counts must stay >= 1");
+      }
+    }
+    std::vector<TaskSpec> sims;
+    sims.reserve(static_cast<std::size_t>(n_sims));
+    for (Count s = 0; s < n_sims; ++s) {
+      sims.push_back(simulation_({iteration, 1, s, n_sims}));
+    }
+    ENTK_RETURN_IF_ERROR(run_stage(sims, &simulation_units_));
+
+    std::vector<TaskSpec> analyses;
+    analyses.reserve(static_cast<std::size_t>(n_ana));
+    for (Count a = 0; a < n_ana; ++a) {
+      analyses.push_back(analysis_({iteration, 2, a, n_ana}));
+    }
+    ENTK_RETURN_IF_ERROR(run_stage(analyses, &analysis_units_));
+  }
+  if (post_loop_) {
+    ENTK_RETURN_IF_ERROR(
+        run_stage({post_loop_({n_iterations_ + 1, 0, 0, 1})}, nullptr));
+  }
+  return Status::ok();
+}
+
+// --------------------------------------------------------- EnsembleExchange
+
+EnsembleExchange::EnsembleExchange(Count n_replicas, Count n_cycles,
+                                   ExchangeMode mode)
+    : n_replicas_(n_replicas), n_cycles_(n_cycles), mode_(mode) {}
+
+Status EnsembleExchange::validate() const {
+  if (n_replicas_ < 2 || n_cycles_ < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "ensemble_exchange needs >= 2 replicas and >= 1 cycle");
+  }
+  if (!simulation_) {
+    return make_error(Errc::kInvalidArgument,
+                      "ensemble_exchange needs a simulation workload");
+  }
+  if (mode_ == ExchangeMode::kGlobalSweep && !exchange_) {
+    return make_error(Errc::kInvalidArgument,
+                      "ensemble_exchange (global) needs an exchange "
+                      "workload");
+  }
+  if (mode_ == ExchangeMode::kPairwise && !pair_exchange_) {
+    return make_error(Errc::kInvalidArgument,
+                      "ensemble_exchange (pairwise) needs a pair-exchange "
+                      "workload");
+  }
+  return Status::ok();
+}
+
+Status EnsembleExchange::execute(PatternExecutor& executor) {
+  ENTK_RETURN_IF_ERROR(validate());
+  units_.clear();
+  simulation_units_.clear();
+  exchange_units_.clear();
+  return mode_ == ExchangeMode::kGlobalSweep ? execute_global(executor)
+                                             : execute_pairwise(executor);
+}
+
+Status EnsembleExchange::execute_global(PatternExecutor& executor) {
+  for (Count cycle = 1; cycle <= n_cycles_; ++cycle) {
+    std::vector<TaskSpec> sims;
+    sims.reserve(static_cast<std::size_t>(n_replicas_));
+    for (Count r = 0; r < n_replicas_; ++r) {
+      sims.push_back(simulation_({cycle, 1, r, n_replicas_}));
+    }
+    auto submitted = executor.submit(sims);
+    if (!submitted.ok()) return submitted.status();
+    auto sim_units = submitted.take();
+    units_.insert(units_.end(), sim_units.begin(), sim_units.end());
+    simulation_units_.insert(simulation_units_.end(), sim_units.begin(),
+                             sim_units.end());
+    ENTK_RETURN_IF_ERROR(executor.wait_all(sim_units));
+
+    auto exchange_submitted =
+        executor.submit({exchange_({cycle, 2, 0, n_replicas_})});
+    if (!exchange_submitted.ok()) return exchange_submitted.status();
+    auto exchange_unit = exchange_submitted.take();
+    units_.insert(units_.end(), exchange_unit.begin(), exchange_unit.end());
+    exchange_units_.insert(exchange_units_.end(), exchange_unit.begin(),
+                           exchange_unit.end());
+    ENTK_RETURN_IF_ERROR(executor.wait_all(exchange_unit));
+  }
+  return Status::ok();
+}
+
+// Fully asynchronous pairwise execution: a replica's cycle-(c+1)
+// simulation starts the moment its own cycle-c exchange (or sim, when
+// it had no partner that cycle) finishes. There is no barrier of any
+// kind across the ensemble — fast pairs race ahead of slow ones, the
+// paper's "no obligatory global synchronization".
+Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
+  struct State {
+    std::mutex mutex;
+    std::vector<pilot::ComputeUnitPtr> sims;
+    std::vector<pilot::ComputeUnitPtr> exchanges;
+    std::vector<Status> errors;
+    Count replicas_finished = 0;  // completed (or abandoned) all cycles
+    /// Per (cycle, low-replica) pair: completed members and death flag.
+    struct PairProgress {
+      int arrived = 0;
+      bool dead = false;  // a member failed; survivors stop here
+    };
+    std::map<std::pair<Count, Count>, PairProgress> pairs;
+  };
+  auto state = std::make_shared<State>();
+
+  // Partner of replica r in a given cycle; -1 when unpaired.
+  auto partner_of = [this](Count cycle, Count replica) -> Count {
+    const Count parity = (cycle - 1 + cycle_offset_) % 2;
+    if (replica < parity) return -1;  // unpaired edge replica
+    const Count partner = ((replica - parity) % 2 == 0) ? replica + 1
+                                                        : replica - 1;
+    return partner < n_replicas_ ? partner : -1;
+  };
+
+  // Forward declarations for the mutually recursive chain.
+  auto launch_sim =
+      std::make_shared<std::function<void(Count, Count)>>();
+  auto abort_replica = [state](Count, Status error) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->errors.push_back(std::move(error));
+    ++state->replicas_finished;
+  };
+  auto advance_replica = [this, state, launch_sim](Count cycle,
+                                                   Count replica) {
+    if (cycle >= n_cycles_) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->replicas_finished;
+      return;
+    }
+    (*launch_sim)(cycle + 1, replica);
+  };
+
+  *launch_sim = [this, state, &executor, partner_of, abort_replica,
+                 advance_replica, launch_sim](Count cycle,
+                                              Count replica) {
+    auto submitted = executor.submit(
+        {simulation_({cycle, 1, replica, n_replicas_})});
+    if (!submitted.ok()) {
+      abort_replica(replica, submitted.status());
+      return;
+    }
+    pilot::ComputeUnitPtr sim = submitted.value().front();
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->sims.push_back(sim);
+    }
+    watch_unit(sim, [this, state, &executor, partner_of, abort_replica,
+                     advance_replica, cycle,
+                     replica](pilot::ComputeUnit& settled,
+                              pilot::UnitState final_state) {
+      const Count partner = partner_of(cycle, replica);
+      if (final_state != pilot::UnitState::kDone) {
+        abort_replica(replica,
+                      final_state == pilot::UnitState::kFailed
+                          ? settled.final_status()
+                          : make_error(Errc::kCancelled,
+                                       "unit " + settled.uid() +
+                                           " cancelled"));
+        if (partner >= 0) {
+          // Release a partner that may already be waiting on the pair.
+          std::lock_guard<std::mutex> lock(state->mutex);
+          auto& progress = state->pairs[{cycle, std::min(replica,
+                                                         partner)}];
+          progress.dead = true;
+          if (progress.arrived > 0) ++state->replicas_finished;
+        }
+        return;
+      }
+      if (partner < 0) {  // unpaired this cycle: straight on
+        advance_replica(cycle, replica);
+        return;
+      }
+      const auto key = std::make_pair(cycle, std::min(replica, partner));
+      bool fire_exchange = false;
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        auto& progress = state->pairs[key];
+        if (progress.dead) {
+          ++state->replicas_finished;  // partner failed; stop here
+          return;
+        }
+        fire_exchange = ++progress.arrived == 2;
+      }
+      if (!fire_exchange) return;  // partner will trigger the exchange
+      auto exchange_submitted = executor.submit(
+          {pair_exchange_(cycle, key.second, key.second + 1)});
+      if (!exchange_submitted.ok()) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->errors.push_back(exchange_submitted.status());
+        state->replicas_finished += 2;
+        return;
+      }
+      pilot::ComputeUnitPtr exchange = exchange_submitted.value().front();
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->exchanges.push_back(exchange);
+      }
+      watch_unit(exchange, [state, advance_replica, cycle, key](
+                               pilot::ComputeUnit& done_exchange,
+                               pilot::UnitState exchange_state) {
+        if (exchange_state != pilot::UnitState::kDone) {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->errors.push_back(
+              exchange_state == pilot::UnitState::kFailed
+                  ? done_exchange.final_status()
+                  : make_error(Errc::kCancelled,
+                               "exchange " + done_exchange.uid() +
+                                   " cancelled"));
+          state->replicas_finished += 2;
+          return;
+        }
+        // Both members proceed to their next cycle, independently of
+        // the rest of the ensemble.
+        advance_replica(cycle, key.second);
+        advance_replica(cycle, key.second + 1);
+      });
+    });
+  };
+
+  for (Count replica = 0; replica < n_replicas_; ++replica) {
+    (*launch_sim)(1, replica);
+  }
+  const Status driven = executor.drive_until([state, this] {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    return state->replicas_finished == n_replicas_;
+  });
+  *launch_sim = nullptr;  // break the launcher's self-reference cycle
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    units_.insert(units_.end(), state->sims.begin(), state->sims.end());
+    units_.insert(units_.end(), state->exchanges.begin(),
+                  state->exchanges.end());
+    simulation_units_ = state->sims;
+    exchange_units_ = state->exchanges;
+    ENTK_RETURN_IF_ERROR(driven);
+    if (!state->errors.empty()) return state->errors.front();
+  }
+  return Status::ok();
+}
+
+// ------------------------------------------------------------- AdaptiveLoop
+
+AdaptiveLoop::AdaptiveLoop(std::unique_ptr<ExecutionPattern> body,
+                           Count max_rounds, ContinueFn continue_fn)
+    : body_(std::move(body)),
+      max_rounds_(max_rounds),
+      continue_fn_(std::move(continue_fn)) {}
+
+Status AdaptiveLoop::validate() const {
+  if (body_ == nullptr) {
+    return make_error(Errc::kInvalidArgument,
+                      "adaptive_loop needs a body pattern");
+  }
+  if (max_rounds_ < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "adaptive_loop needs max_rounds >= 1");
+  }
+  if (!continue_fn_) {
+    return make_error(Errc::kInvalidArgument,
+                      "adaptive_loop needs a continuation predicate");
+  }
+  return body_->validate();
+}
+
+Status AdaptiveLoop::execute(PatternExecutor& executor) {
+  ENTK_RETURN_IF_ERROR(validate());
+  rounds_completed_ = 0;
+  for (Count round = 1; round <= max_rounds_; ++round) {
+    ENTK_RETURN_IF_ERROR(body_->execute(executor));
+    rounds_completed_ = round;
+    if (!continue_fn_(round)) break;
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------- SequencePattern
+
+SequencePattern::SequencePattern(std::string name)
+    : name_(std::move(name)) {}
+
+void SequencePattern::append(std::unique_ptr<ExecutionPattern> pattern) {
+  ENTK_CHECK(pattern != nullptr, "cannot append a null pattern");
+  children_.push_back(std::move(pattern));
+}
+
+Status SequencePattern::validate() const {
+  if (children_.empty()) {
+    return make_error(Errc::kInvalidArgument,
+                      "sequence pattern has no children");
+  }
+  for (const auto& child : children_) {
+    ENTK_RETURN_IF_ERROR(child->validate());
+  }
+  return Status::ok();
+}
+
+Status SequencePattern::execute(PatternExecutor& executor) {
+  ENTK_RETURN_IF_ERROR(validate());
+  for (const auto& child : children_) {
+    ENTK_RETURN_IF_ERROR(child->execute(executor));
+  }
+  return Status::ok();
+}
+
+}  // namespace entk::core

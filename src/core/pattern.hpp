@@ -1,0 +1,272 @@
+// Execution patterns: the core abstraction of the Ensemble Toolkit.
+//
+// A pattern is a parametrised template capturing how an ensemble's
+// tasks synchronise and communicate; the user supplies only the
+// workload of each stage (a callback returning a TaskSpec). Patterns
+// orchestrate through the PatternExecutor interface and never touch
+// the runtime system directly — the paper's decoupling of expression
+// from execution.
+//
+// Unit patterns provided (paper Section III-D):
+//   BagOfTasks            — independent tasks, no coupling
+//   EnsembleOfPipelines   — N independent pipelines of M ordered stages
+//   EnsembleExchange      — cycles of simulation + exchange interaction
+//   SimulationAnalysisLoop— iterated simulate-all / analyse-all stages
+// plus SequencePattern for composing higher-order patterns.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/task.hpp"
+#include "pilot/compute_unit.hpp"
+
+namespace entk::core {
+
+/// Where in the pattern a stage callback is being invoked.
+struct StageContext {
+  Count iteration = 1;  ///< 1-based iteration / cycle.
+  Count stage = 1;      ///< 1-based stage within the pattern.
+  Count instance = 0;   ///< 0-based pipeline / replica / member index.
+  Count instances = 0;  ///< Total members in this stage.
+};
+
+/// Produces the task for one (iteration, stage, instance) slot.
+using StageFn = std::function<TaskSpec(const StageContext&)>;
+
+/// The pattern-facing execution interface, implemented by the
+/// execution plugin. submit() translates specs into compute units and
+/// hands them to the runtime; drive_until() advances execution.
+class PatternExecutor {
+ public:
+  virtual ~PatternExecutor() = default;
+
+  virtual Result<std::vector<pilot::ComputeUnitPtr>> submit(
+      const std::vector<TaskSpec>& specs) = 0;
+
+  /// Advances the backend until `done()` holds.
+  virtual Status drive_until(const std::function<bool()>& done) = 0;
+
+  /// Convenience: drives until all given units are settled, then
+  /// reports the first failure (if any).
+  Status wait_all(const std::vector<pilot::ComputeUnitPtr>& units);
+};
+
+class ExecutionPattern {
+ public:
+  virtual ~ExecutionPattern() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Structural validation (counts > 0, all stage callbacks set, ...).
+  virtual Status validate() const = 0;
+
+  /// Orchestrates the pattern to completion through `executor`.
+  /// Returns the first error (validation, submission, task failure).
+  virtual Status execute(PatternExecutor& executor) = 0;
+};
+
+/// Registers `handler` to run exactly once when `unit` settles into a
+/// *final* state. Handles the already-final and retry-pending cases
+/// (a kFailed notification that the unit manager immediately retried
+/// is not final). Used by patterns that chain work off completions.
+void watch_unit(const pilot::ComputeUnitPtr& unit,
+                std::function<void(pilot::ComputeUnit&,
+                                   pilot::UnitState)> handler);
+
+// ---------------------------------------------------------------------------
+
+/// Independent tasks with no coupling: the degenerate-but-common case.
+class BagOfTasks final : public ExecutionPattern {
+ public:
+  BagOfTasks(Count n_tasks, StageFn task_fn);
+
+  std::string name() const override { return "bag_of_tasks"; }
+  Status validate() const override;
+  Status execute(PatternExecutor& executor) override;
+
+  const std::vector<pilot::ComputeUnitPtr>& units() const { return units_; }
+
+ private:
+  Count n_tasks_;
+  StageFn task_fn_;
+  std::vector<pilot::ComputeUnitPtr> units_;
+};
+
+/// N independent pipelines of M ordered stages. Stage s+1 of pipeline
+/// p starts as soon as stage s of pipeline p finishes — there is no
+/// barrier across pipelines (paper Fig 2a).
+class EnsembleOfPipelines final : public ExecutionPattern {
+ public:
+  EnsembleOfPipelines(Count n_pipelines, Count n_stages);
+
+  /// Sets the workload of 1-based `stage`.
+  void set_stage(Count stage, StageFn fn);
+
+  std::string name() const override { return "ensemble_of_pipelines"; }
+  Status validate() const override;
+  Status execute(PatternExecutor& executor) override;
+
+  const std::vector<pilot::ComputeUnitPtr>& units() const { return units_; }
+
+ private:
+  Count n_pipelines_;
+  Count n_stages_;
+  std::vector<StageFn> stage_fns_;
+  std::vector<pilot::ComputeUnitPtr> units_;
+};
+
+/// Iterated two-stage pattern with global barriers: all simulations of
+/// an iteration run (synchronise), then all analyses run (synchronise),
+/// then the next iteration starts (paper Fig 2c). Optional pre- and
+/// post-loop stages. The member counts may adapt between iterations
+/// via set_adaptive_counts (a paper "future work" feature).
+class SimulationAnalysisLoop final : public ExecutionPattern {
+ public:
+  SimulationAnalysisLoop(Count n_iterations, Count n_simulations,
+                         Count n_analyses);
+
+  void set_pre_loop(StageFn fn) { pre_loop_ = std::move(fn); }
+  void set_simulation(StageFn fn) { simulation_ = std::move(fn); }
+  void set_analysis(StageFn fn) { analysis_ = std::move(fn); }
+  void set_post_loop(StageFn fn) { post_loop_ = std::move(fn); }
+
+  /// Adaptive member counts: called before each iteration with the
+  /// iteration number; returns {n_simulations, n_analyses} for it.
+  using CountsFn = std::function<std::pair<Count, Count>(Count iteration)>;
+  void set_adaptive_counts(CountsFn fn) { counts_fn_ = std::move(fn); }
+
+  std::string name() const override { return "simulation_analysis_loop"; }
+  Status validate() const override;
+  Status execute(PatternExecutor& executor) override;
+
+  const std::vector<pilot::ComputeUnitPtr>& units() const { return units_; }
+  const std::vector<pilot::ComputeUnitPtr>& simulation_units() const {
+    return simulation_units_;
+  }
+  const std::vector<pilot::ComputeUnitPtr>& analysis_units() const {
+    return analysis_units_;
+  }
+
+ private:
+  Count n_iterations_;
+  Count n_simulations_;
+  Count n_analyses_;
+  StageFn pre_loop_;
+  StageFn simulation_;
+  StageFn analysis_;
+  StageFn post_loop_;
+  CountsFn counts_fn_;
+  std::vector<pilot::ComputeUnitPtr> units_;
+  std::vector<pilot::ComputeUnitPtr> simulation_units_;
+  std::vector<pilot::ComputeUnitPtr> analysis_units_;
+};
+
+/// Interacting ensemble members: each cycle every replica simulates,
+/// then replicas exchange (paper Fig 2b).
+///
+/// Two exchange modes:
+///  - kGlobalSweep: one exchange task per cycle over all replicas
+///    (the configuration of the paper's scaling experiments).
+///  - kPairwise: one exchange task per neighbour pair, submitted the
+///    moment both partners finish — no global barrier inside a cycle.
+class EnsembleExchange final : public ExecutionPattern {
+ public:
+  enum class ExchangeMode { kGlobalSweep, kPairwise };
+
+  EnsembleExchange(Count n_replicas, Count n_cycles,
+                   ExchangeMode mode = ExchangeMode::kGlobalSweep);
+
+  void set_simulation(StageFn fn) { simulation_ = std::move(fn); }
+
+  /// kGlobalSweep: workload of the per-cycle exchange task. The
+  /// context's `instance` is 0 and `instances` the replica count.
+  void set_exchange(StageFn fn) { exchange_ = std::move(fn); }
+
+  /// kPairwise: workload of the exchange between replicas `a` and `b`.
+  using PairFn = std::function<TaskSpec(Count cycle, Count a, Count b)>;
+  void set_pair_exchange(PairFn fn) { pair_exchange_ = std::move(fn); }
+
+  /// Offsets the pairwise neighbour parity (pairs start at
+  /// (cycle - 1 + offset) % 2). Lets applications that drive cycles
+  /// one pattern at a time still alternate even/odd sweeps.
+  void set_cycle_offset(Count offset) { cycle_offset_ = offset; }
+
+  std::string name() const override { return "ensemble_exchange"; }
+  Status validate() const override;
+  Status execute(PatternExecutor& executor) override;
+
+  const std::vector<pilot::ComputeUnitPtr>& units() const { return units_; }
+  const std::vector<pilot::ComputeUnitPtr>& simulation_units() const {
+    return simulation_units_;
+  }
+  const std::vector<pilot::ComputeUnitPtr>& exchange_units() const {
+    return exchange_units_;
+  }
+
+ private:
+  Status execute_global(PatternExecutor& executor);
+  Status execute_pairwise(PatternExecutor& executor);
+
+  Count n_replicas_;
+  Count n_cycles_;
+  ExchangeMode mode_;
+  Count cycle_offset_ = 0;
+  StageFn simulation_;
+  StageFn exchange_;
+  PairFn pair_exchange_;
+  std::vector<pilot::ComputeUnitPtr> units_;
+  std::vector<pilot::ComputeUnitPtr> simulation_units_;
+  std::vector<pilot::ComputeUnitPtr> exchange_units_;
+};
+
+/// Higher-order composition: repeats a body pattern until the
+/// application decides it has converged (or a round cap is hit) — the
+/// paper's adaptive-execution outlook, where the amount of work is
+/// only known at runtime.
+class AdaptiveLoop final : public ExecutionPattern {
+ public:
+  /// Called after each completed round with the 1-based round number;
+  /// return true to run another round.
+  using ContinueFn = std::function<bool(Count round)>;
+
+  AdaptiveLoop(std::unique_ptr<ExecutionPattern> body, Count max_rounds,
+               ContinueFn continue_fn);
+
+  std::string name() const override { return "adaptive_loop"; }
+  Status validate() const override;
+  Status execute(PatternExecutor& executor) override;
+
+  Count rounds_completed() const { return rounds_completed_; }
+  ExecutionPattern& body() { return *body_; }
+
+ private:
+  std::unique_ptr<ExecutionPattern> body_;
+  Count max_rounds_;
+  ContinueFn continue_fn_;
+  Count rounds_completed_ = 0;
+};
+
+/// Higher-order composition: runs child patterns one after another
+/// (the paper's "unit patterns combine into complex patterns").
+class SequencePattern final : public ExecutionPattern {
+ public:
+  explicit SequencePattern(std::string name = "sequence");
+
+  void append(std::unique_ptr<ExecutionPattern> pattern);
+  std::size_t size() const { return children_.size(); }
+
+  std::string name() const override { return name_; }
+  Status validate() const override;
+  Status execute(PatternExecutor& executor) override;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<ExecutionPattern>> children_;
+};
+
+}  // namespace entk::core

@@ -1,0 +1,75 @@
+#include "core/profile_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace entk::core {
+
+namespace {
+std::string time_cell(TimePoint t) {
+  return t == kNoTime ? "" : format_double(t, 6);
+}
+}  // namespace
+
+std::string units_timeline_csv(
+    const std::vector<pilot::ComputeUnitPtr>& units) {
+  std::ostringstream os;
+  os << "uid,name,cores,retries,state,created,submitted,exec_start,"
+        "exec_stop,finished,execution_time\n";
+  for (const auto& unit : units) {
+    os << unit->uid() << ',' << unit->description().name << ','
+       << unit->description().cores << ',' << unit->retries() << ','
+       << pilot::unit_state_name(unit->state()) << ','
+       << time_cell(unit->created_at()) << ','
+       << time_cell(unit->submitted_at()) << ','
+       << time_cell(unit->exec_started_at()) << ','
+       << time_cell(unit->exec_stopped_at()) << ','
+       << time_cell(unit->finished_at()) << ','
+       << format_double(unit->execution_time(), 6) << '\n';
+  }
+  return os.str();
+}
+
+std::string overheads_csv(const OverheadProfile& overheads) {
+  std::ostringstream os;
+  os << "metric,seconds\n"
+     << "ttc," << format_double(overheads.ttc, 6) << '\n'
+     << "core_overhead," << format_double(overheads.core_overhead, 6)
+     << '\n'
+     << "pattern_overhead,"
+     << format_double(overheads.pattern_overhead, 6) << '\n'
+     << "execution_time," << format_double(overheads.execution_time, 6)
+     << '\n'
+     << "runtime_overhead,"
+     << format_double(overheads.runtime_overhead, 6) << '\n'
+     << "pilot_startup," << format_double(overheads.pilot_startup, 6)
+     << '\n'
+     << "mean_unit_execution,"
+     << format_double(overheads.mean_unit_execution, 6) << '\n'
+     << "total_unit_execution,"
+     << format_double(overheads.total_unit_execution, 6) << '\n';
+  return os.str();
+}
+
+Status export_run_profile(const RunReport& report,
+                          const std::string& path_prefix) {
+  {
+    std::ofstream units_file(path_prefix + "_units.csv");
+    if (!units_file) {
+      return make_error(Errc::kIoError,
+                        "cannot open " + path_prefix + "_units.csv");
+    }
+    units_file << units_timeline_csv(report.units);
+  }
+  std::ofstream overheads_file(path_prefix + "_overheads.csv");
+  if (!overheads_file) {
+    return make_error(Errc::kIoError,
+                      "cannot open " + path_prefix + "_overheads.csv");
+  }
+  overheads_file << overheads_csv(report.overheads);
+  return Status::ok();
+}
+
+}  // namespace entk::core

@@ -1,0 +1,29 @@
+// Profile export: per-unit state timelines and run summaries as CSV,
+// mirroring the profiling output of the original toolkit's stack that
+// the paper's figures were produced from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/resource_handle.hpp"
+#include "pilot/compute_unit.hpp"
+
+namespace entk::core {
+
+/// CSV with one row per unit:
+/// uid,name,cores,retries,state,created,submitted,exec_start,exec_stop,
+/// finished,execution_time
+std::string units_timeline_csv(
+    const std::vector<pilot::ComputeUnitPtr>& units);
+
+/// CSV with the run's TTC decomposition (one metric per row).
+std::string overheads_csv(const OverheadProfile& overheads);
+
+/// Writes both CSVs for a run report: <prefix>_units.csv and
+/// <prefix>_overheads.csv.
+Status export_run_profile(const RunReport& report,
+                          const std::string& path_prefix);
+
+}  // namespace entk::core

@@ -1,0 +1,92 @@
+// ResourceHandle: the user-facing entry point of the toolkit.
+//
+// Mirrors the paper's five-step workflow (Fig 1):
+//   1. pick an execution pattern,
+//   2. define its kernel plugins (stage callbacks),
+//   3. create a resource handle and allocate(),
+//   4. run(pattern) — the execution plugin binds and executes,
+//   5. inspect the RunReport, then deallocate().
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/execution_plugin.hpp"
+#include "core/overheads.hpp"
+#include "core/pattern.hpp"
+#include "kernels/registry.hpp"
+#include "pilot/pilot_manager.hpp"
+#include "pilot/unit_manager.hpp"
+
+namespace entk::core {
+
+struct ResourceOptions {
+  Count cores = 1;                ///< Total cores across all pilots.
+  /// Number of pilots to split `cores` over (several smaller
+  /// allocations often clear a busy queue far sooner than one wide
+  /// request — see bench/abl_queue_model). Units are routed
+  /// round-robin over the active pilots.
+  Count n_pilots = 1;
+  Duration runtime = 36000;       ///< Pilot walltime (seconds).
+  std::string queue;              ///< Batch queue (informational).
+  std::string project;            ///< Allocation (informational).
+  std::string scheduler_policy = "backfill";  ///< In-pilot scheduler.
+
+  // Toolkit overhead model (core overhead is their sum; constant per
+  // run, matching the paper's Fig 3).
+  Duration init_overhead = 1.2;        ///< Toolkit initialisation.
+  Duration allocate_overhead = 0.9;    ///< Resource request handling.
+  Duration deallocate_overhead = 0.8;  ///< Resource cancel handling.
+  Duration per_task_overhead = 0.004;  ///< Task creation + submission.
+};
+
+/// What one run(pattern) produced.
+struct RunReport {
+  Status outcome;                 ///< Pattern-level success/failure.
+  OverheadProfile overheads;      ///< TTC decomposition.
+  std::vector<pilot::ComputeUnitPtr> units;  ///< All submitted units.
+  Duration run_span = 0.0;        ///< Clock time inside run().
+};
+
+class ResourceHandle {
+ public:
+  ResourceHandle(pilot::ExecutionBackend& backend,
+                 const kernels::KernelRegistry& registry,
+                 ResourceOptions options);
+
+  /// Submits the pilot and waits for it to come up.
+  Status allocate();
+
+  /// Executes a pattern on the allocated resources. Task failures are
+  /// reported in RunReport::outcome; an error Result means the handle
+  /// itself could not run (not allocated, pilot lost, ...).
+  Result<RunReport> run(ExecutionPattern& pattern);
+
+  /// Cancels/completes the pilot and releases resources.
+  Status deallocate();
+
+  bool allocated() const;
+  /// The first pilot (the only one unless n_pilots > 1).
+  const pilot::PilotPtr& pilot() const;
+  const std::vector<pilot::PilotPtr>& pilots() const { return pilots_; }
+  pilot::UnitManager* unit_manager() { return unit_manager_.get(); }
+  const ResourceOptions& options() const { return options_; }
+
+  /// Constant core overhead charged per run (init + allocate +
+  /// deallocate model).
+  Duration core_overhead() const {
+    return options_.init_overhead + options_.allocate_overhead +
+           options_.deallocate_overhead;
+  }
+
+ private:
+  pilot::ExecutionBackend& backend_;
+  const kernels::KernelRegistry& registry_;
+  ResourceOptions options_;
+
+  pilot::PilotManager pilot_manager_;
+  std::unique_ptr<pilot::UnitManager> unit_manager_;
+  std::vector<pilot::PilotPtr> pilots_;
+};
+
+}  // namespace entk::core

@@ -1,0 +1,150 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace entk::core {
+
+Status WorkloadProfile::validate() const {
+  if (total_tasks < 1 || max_concurrent_tasks < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "workload needs at least one task");
+  }
+  if (max_concurrent_tasks > total_tasks) {
+    return make_error(Errc::kInvalidArgument,
+                      "peak concurrency cannot exceed total tasks");
+  }
+  if (cores_per_task < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "tasks need at least one core");
+  }
+  if (reference_task_duration <= 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "reference task duration must be positive");
+  }
+  if (sequential_stages < 1) {
+    return make_error(Errc::kInvalidArgument, "need at least one stage");
+  }
+  return Status::ok();
+}
+
+Result<WorkloadProfile> profile_for_ensemble(
+    Count n_tasks, Count stages, const TaskSpec& sample,
+    const kernels::KernelRegistry& registry) {
+  if (n_tasks < 1 || stages < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "ensemble needs >= 1 task and stage");
+  }
+  auto kernel = registry.find(sample.kernel);
+  if (!kernel.ok()) return kernel.status();
+  // Bind on a unit-performance reference machine to read the kernel's
+  // cost model and core requirement.
+  sim::MachineProfile reference = sim::localhost_profile();
+  reference.performance_factor = 1.0;
+  auto bound = kernel.value()->bind(sample.args, reference);
+  if (!bound.ok()) return bound.status();
+
+  WorkloadProfile workload;
+  workload.total_tasks = n_tasks * stages;
+  workload.max_concurrent_tasks = n_tasks;
+  workload.cores_per_task =
+      sample.cores > 0 ? sample.cores : bound.value().cores;
+  workload.reference_task_duration = bound.value().estimated_duration;
+  if (sample.cores > 0 && sample.cores != bound.value().cores) {
+    workload.reference_task_duration *=
+        static_cast<double>(bound.value().cores) /
+        static_cast<double>(sample.cores);
+  }
+  workload.sequential_stages = stages;
+  return workload;
+}
+
+ExecutionStrategy::ExecutionStrategy(const sim::MachineCatalog& catalog)
+    : catalog_(catalog) {}
+
+ResourcePlan ExecutionStrategy::evaluate(const sim::MachineProfile& machine,
+                                         Count cores,
+                                         const WorkloadProfile& workload) {
+  ENTK_CHECK(workload.validate().is_ok(), "invalid workload profile");
+  ENTK_CHECK(cores >= workload.cores_per_task,
+             "pilot smaller than one task");
+  ResourcePlan plan;
+  plan.machine = machine.name;
+  plan.pilot_cores = cores;
+
+  const double duration =
+      workload.reference_task_duration / machine.performance_factor;
+  const Count stage_width = (workload.total_tasks +
+                             workload.sequential_stages - 1) /
+                            workload.sequential_stages;
+  const Count slots =
+      std::min<Count>(cores / workload.cores_per_task, stage_width);
+  const Count waves = (stage_width + slots - 1) / slots;
+  const double spawn_serial =
+      std::ceil(static_cast<double>(stage_width) /
+                static_cast<double>(machine.spawner_concurrency)) *
+      machine.unit_spawn_overhead;
+  const double stage_time = static_cast<double>(waves) * duration +
+                            machine.unit_launch_latency + spawn_serial;
+  plan.predicted_makespan =
+      machine.pilot_bootstrap +
+      static_cast<double>(workload.sequential_stages) * stage_time;
+
+  const Count nodes = (cores + machine.cores_per_node - 1) /
+                      machine.cores_per_node;
+  plan.predicted_queue_wait =
+      machine.batch_base_wait +
+      machine.batch_wait_per_node * static_cast<double>(nodes);
+  plan.predicted_ttc = plan.predicted_queue_wait + plan.predicted_makespan;
+  plan.pilot_runtime = 1.25 * plan.predicted_makespan + 120.0;
+  return plan;
+}
+
+Result<ResourcePlan> ExecutionStrategy::plan(
+    const WorkloadProfile& workload,
+    const StrategyObjective& objective) const {
+  ENTK_RETURN_IF_ERROR(workload.validate());
+  last_candidates_.clear();
+
+  for (const auto& name : catalog_.names()) {
+    const sim::MachineProfile machine = catalog_.find(name).value();
+    // Candidate pilot sizes: power-of-two task slots up to the peak
+    // concurrency, plus the exact peak.
+    std::set<Count> core_candidates;
+    for (Count slot_count = 1; slot_count < workload.max_concurrent_tasks;
+         slot_count *= 2) {
+      core_candidates.insert(slot_count * workload.cores_per_task);
+    }
+    core_candidates.insert(workload.max_concurrent_tasks *
+                           workload.cores_per_task);
+    for (const Count cores : core_candidates) {
+      if (cores > machine.total_cores()) continue;
+      if (objective.max_cores > 0 && cores > objective.max_cores) continue;
+      ResourcePlan candidate = evaluate(machine, cores, workload);
+      if (objective.max_core_seconds > 0.0 &&
+          static_cast<double>(cores) * candidate.predicted_makespan >
+              objective.max_core_seconds) {
+        continue;
+      }
+      last_candidates_.push_back(std::move(candidate));
+    }
+  }
+  if (last_candidates_.empty()) {
+    return make_error(Errc::kResourceExhausted,
+                      "no machine in the catalog can run this workload "
+                      "within the objective's bounds");
+  }
+  const auto score = [&](const ResourcePlan& plan_candidate) {
+    return objective.queue_wait_weight *
+               plan_candidate.predicted_queue_wait +
+           plan_candidate.predicted_makespan;
+  };
+  std::stable_sort(last_candidates_.begin(), last_candidates_.end(),
+                   [&](const ResourcePlan& a, const ResourcePlan& b) {
+                     return score(a) < score(b);
+                   });
+  return last_candidates_.front();
+}
+
+}  // namespace entk::core

@@ -1,0 +1,98 @@
+// Execution strategies: from static workload-resource mapping to
+// dynamic, informed mapping (the paper's Section V outlook, following
+// Turilli et al., "Integrating Abstractions to Enhance the Execution
+// of Distributed Applications", IPDPS 2016).
+//
+// An ExecutionStrategy turns a workload description plus a machine
+// catalog into a ResourcePlan: which machine to target, how many cores
+// the pilot should hold, for how long, and under which in-pilot
+// scheduling policy. The analytic TTC model used for ranking mirrors
+// the simulated backend's cost accounting (waves of concurrent tasks,
+// per-unit spawn overheads, queue wait, bootstrap), so its predictions
+// can be validated against discrete-event simulation — which the
+// abl_execution_strategy bench does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/task.hpp"
+#include "kernels/registry.hpp"
+#include "sim/machine.hpp"
+
+namespace entk::core {
+
+/// Resource-relevant shape of a workload.
+struct WorkloadProfile {
+  Count total_tasks = 0;          ///< Tasks over the whole run.
+  Count max_concurrent_tasks = 0; ///< Widest stage (peak parallelism).
+  Count cores_per_task = 1;       ///< Cores each task occupies.
+  /// Mean task duration on the *reference* machine (performance
+  /// factor 1.0); per-machine durations divide by the factor.
+  Duration reference_task_duration = 0.0;
+  /// Sequential stages/barriers the tasks flow through (>= 1).
+  Count sequential_stages = 1;
+
+  Status validate() const;
+};
+
+/// Helper: derives a profile for a width-`n` single-stage ensemble of
+/// tasks like `sample`, using the kernel's cost model on the reference
+/// machine. `stages` > 1 models iterated/barriered patterns whose
+/// stages all look like `sample`.
+Result<WorkloadProfile> profile_for_ensemble(
+    Count n_tasks, Count stages, const TaskSpec& sample,
+    const kernels::KernelRegistry& registry);
+
+/// One candidate execution: machine + pilot sizing + predicted times.
+struct ResourcePlan {
+  std::string machine;
+  Count pilot_cores = 0;
+  Duration pilot_runtime = 0.0;     ///< Requested walltime (padded).
+  std::string scheduler_policy = "backfill";
+  Duration predicted_queue_wait = 0.0;
+  Duration predicted_makespan = 0.0;  ///< Bootstrap + task execution.
+  Duration predicted_ttc = 0.0;       ///< Queue wait + makespan.
+};
+
+/// What the strategy optimises.
+struct StrategyObjective {
+  /// Relative weight of queue-wait time versus run time; 1.0 treats a
+  /// queued second like a running second, 0 ignores the queue.
+  double queue_wait_weight = 1.0;
+  /// Upper bound on pilot cores (0 = no bound beyond the machines').
+  Count max_cores = 0;
+  /// Charge budget in core-seconds (0 = unconstrained). Plans whose
+  /// cores x makespan exceed this are rejected.
+  double max_core_seconds = 0.0;
+};
+
+class ExecutionStrategy {
+ public:
+  explicit ExecutionStrategy(const sim::MachineCatalog& catalog);
+
+  /// Predicts queue wait + makespan for running `workload` with a
+  /// `cores`-sized pilot on `machine`.
+  static ResourcePlan evaluate(const sim::MachineProfile& machine,
+                               Count cores,
+                               const WorkloadProfile& workload);
+
+  /// Enumerates candidate (machine, cores) choices and returns the one
+  /// minimising weighted TTC. Candidate core counts are the powers of
+  /// two (times cores_per_task) up to the peak concurrency.
+  Result<ResourcePlan> plan(const WorkloadProfile& workload,
+                            const StrategyObjective& objective) const;
+
+  /// All evaluated candidates of the last plan() call, best first
+  /// (diagnostics for tooling and tests).
+  const std::vector<ResourcePlan>& last_candidates() const {
+    return last_candidates_;
+  }
+
+ private:
+  const sim::MachineCatalog& catalog_;
+  mutable std::vector<ResourcePlan> last_candidates_;
+};
+
+}  // namespace entk::core

@@ -1,0 +1,25 @@
+// TaskSpec: what a user's stage callback returns — a kernel name plus
+// arguments, still unbound to any machine (binding is the execution
+// plugin's job, which is how applications stay resource-agnostic).
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace entk::core {
+
+struct TaskSpec {
+  std::string kernel;   ///< Kernel-plugin name, e.g. "md.simulate".
+  Config args;          ///< Kernel arguments (see each kernel's docs).
+  /// Cores for this task; 0 = let the kernel decide (its "cores" arg
+  /// or 1). Values > 1 imply an MPI launch.
+  Count cores = 0;
+  /// Automatic resubmissions if the task fails.
+  Count max_retries = 0;
+  /// Test hook: inject one failure on first execution.
+  bool inject_failure = false;
+};
+
+}  // namespace entk::core

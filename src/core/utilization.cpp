@@ -1,0 +1,51 @@
+#include "core/utilization.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace entk::core {
+
+UtilizationReport compute_utilization(
+    const std::vector<pilot::ComputeUnitPtr>& units, Count pilot_cores) {
+  ENTK_CHECK(pilot_cores >= 1, "pilot must have at least one core");
+  UtilizationReport report;
+
+  std::vector<std::pair<TimePoint, Count>> edges;
+  TimePoint first = kTimeInfinity;
+  TimePoint last = -kTimeInfinity;
+  for (const auto& unit : units) {
+    const TimePoint start = unit->exec_started_at();
+    const TimePoint stop = unit->exec_stopped_at();
+    if (start == kNoTime || stop == kNoTime || stop <= start) continue;
+    ++report.executed_units;
+    const Count cores = unit->description().cores;
+    report.busy_core_seconds += static_cast<double>(cores) * (stop - start);
+    edges.emplace_back(start, cores);
+    edges.emplace_back(stop, -cores);
+    first = std::min(first, start);
+    last = std::max(last, stop);
+  }
+  if (report.executed_units == 0) return report;
+
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;  // process releases first
+            });
+  Count concurrent = 0;
+  for (const auto& [time, delta] : edges) {
+    concurrent += delta;
+    report.peak_concurrent_cores =
+        std::max(report.peak_concurrent_cores, concurrent);
+  }
+  report.window = last - first;
+  if (report.window > 0.0) {
+    report.average_utilization =
+        report.busy_core_seconds /
+        (static_cast<double>(pilot_cores) * report.window);
+  }
+  return report;
+}
+
+}  // namespace entk::core

@@ -1,0 +1,33 @@
+// Resource-utilization analysis over a run's unit timelines.
+//
+// Answers the question behind the paper's "decouple total required
+// from instantaneously available resources": how well did the pilot's
+// cores actually get used?
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "pilot/compute_unit.hpp"
+
+namespace entk::core {
+
+struct UtilizationReport {
+  /// busy core-seconds / (pilot_cores * window); 0 without executions.
+  double average_utilization = 0.0;
+  /// First execution start to last execution stop.
+  Duration window = 0.0;
+  /// Sum over units of cores * execution time.
+  double busy_core_seconds = 0.0;
+  /// Largest number of cores simultaneously executing units.
+  Count peak_concurrent_cores = 0;
+  /// Number of units that actually executed.
+  std::size_t executed_units = 0;
+};
+
+/// Sweeps the units' execution intervals against a pilot of
+/// `pilot_cores` cores.
+UtilizationReport compute_utilization(
+    const std::vector<pilot::ComputeUnitPtr>& units, Count pilot_cores);
+
+}  // namespace entk::core

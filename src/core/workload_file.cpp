@@ -1,0 +1,327 @@
+#include "core/workload_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "pilot/local_backend.hpp"
+#include "pilot/sim_backend.hpp"
+
+namespace entk::core {
+
+Status WorkloadSpec::validate() const {
+  if (backend != "sim" && backend != "local") {
+    return make_error(Errc::kInvalidArgument,
+                      "backend must be 'sim' or 'local', got '" + backend +
+                          "'");
+  }
+  if (!auto_cores && cores < 1) {
+    return make_error(Errc::kInvalidArgument, "cores must be >= 1");
+  }
+  if ((auto_cores || auto_machine) && backend != "sim") {
+    return make_error(Errc::kInvalidArgument,
+                      "cores/machine = auto requires the sim backend "
+                      "(the strategy plans over the machine catalog)");
+  }
+  auto require_section = [this](const std::string& name) {
+    if (sections.count(name) == 0) {
+      return make_error(Errc::kInvalidArgument,
+                        "pattern '" + pattern + "' needs a [" + name +
+                            "] section");
+    }
+    if (!sections.at(name).contains("kernel")) {
+      return make_error(Errc::kInvalidArgument,
+                        "[" + name + "] needs a 'kernel' key");
+    }
+    return Status::ok();
+  };
+  if (pattern == "bag") {
+    if (simulations < 1) {
+      return make_error(Errc::kInvalidArgument,
+                        "bag needs simulations >= 1");
+    }
+    return require_section("task");
+  }
+  if (pattern == "eop") {
+    if (simulations < 1 || stages < 1) {
+      return make_error(Errc::kInvalidArgument,
+                        "eop needs simulations >= 1 and stages >= 1");
+    }
+    for (Count s = 1; s <= stages; ++s) {
+      ENTK_RETURN_IF_ERROR(require_section("stage" + std::to_string(s)));
+    }
+    return Status::ok();
+  }
+  if (pattern == "sal") {
+    if (simulations < 1 || analyses < 1 || iterations < 1) {
+      return make_error(Errc::kInvalidArgument,
+                        "sal needs simulations, analyses and iterations "
+                        ">= 1");
+    }
+    ENTK_RETURN_IF_ERROR(require_section("simulation"));
+    return require_section("analysis");
+  }
+  if (pattern == "ee") {
+    if (simulations < 2 || iterations < 1) {
+      return make_error(Errc::kInvalidArgument,
+                        "ee needs simulations >= 2 and iterations >= 1");
+    }
+    ENTK_RETURN_IF_ERROR(require_section("simulation"));
+    return require_section("exchange");
+  }
+  return make_error(Errc::kInvalidArgument,
+                    "unknown pattern '" + pattern +
+                        "' (expected bag, eop, sal or ee)");
+}
+
+Result<WorkloadSpec> parse_workload(const std::string& text) {
+  WorkloadSpec spec;
+  std::string section;  // empty = resource/pattern block
+  std::istringstream stream(text);
+  std::string raw_line;
+  int line_number = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    std::string line = trim(raw_line);
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line = trim(line.substr(0, comment));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return make_error(Errc::kInvalidArgument,
+                          "line " + std::to_string(line_number) +
+                              ": malformed section header '" + line + "'");
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      spec.sections.emplace(section, Config{});
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return make_error(Errc::kInvalidArgument,
+                        "line " + std::to_string(line_number) +
+                            ": expected key = value, got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (!section.empty()) {
+      spec.sections[section].set(key, value);
+      continue;
+    }
+    // Resource/pattern block.
+    if (key == "backend") {
+      spec.backend = value;
+    } else if (key == "machine") {
+      if (value == "auto") {
+        spec.auto_machine = true;
+      } else {
+        spec.machine = value;
+      }
+    } else if (key == "cores") {
+      if (value == "auto") {
+        spec.auto_cores = true;
+      } else {
+        spec.cores = std::strtoll(value.c_str(), nullptr, 10);
+      }
+    } else if (key == "runtime") {
+      spec.runtime = std::strtod(value.c_str(), nullptr);
+    } else if (key == "scheduler") {
+      spec.scheduler = value;
+    } else if (key == "pattern") {
+      spec.pattern = value;
+    } else if (key == "simulations" || key == "tasks" ||
+               key == "pipelines" || key == "replicas") {
+      spec.simulations = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "analyses") {
+      spec.analyses = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "iterations" || key == "cycles") {
+      spec.iterations = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "stages") {
+      spec.stages = std::strtoll(value.c_str(), nullptr, 10);
+    } else {
+      return make_error(Errc::kInvalidArgument,
+                        "line " + std::to_string(line_number) +
+                            ": unknown key '" + key + "'");
+    }
+  }
+  ENTK_RETURN_IF_ERROR(spec.validate());
+  return spec;
+}
+
+Result<WorkloadSpec> load_workload(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return make_error(Errc::kIoError, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_workload(buffer.str());
+}
+
+std::string substitute_placeholders(const std::string& value,
+                                    const StageContext& context) {
+  std::string out = value;
+  const std::pair<const char*, Count> replacements[] = {
+      {"{instance}", context.instance},
+      {"{iteration}", context.iteration},
+      {"{stage}", context.stage},
+      {"{instances}", context.instances},
+  };
+  for (const auto& [token, number] : replacements) {
+    const std::string text = std::to_string(number);
+    for (std::size_t at = out.find(token); at != std::string::npos;
+         at = out.find(token, at + text.size())) {
+      out.replace(at, std::string(token).size(), text);
+    }
+  }
+  return out;
+}
+
+Result<TaskSpec> task_from_section(const Config& section,
+                                   const StageContext& context) {
+  auto kernel = section.get_string("kernel");
+  if (!kernel.ok()) return kernel.status();
+  TaskSpec spec;
+  spec.kernel = kernel.value();
+  for (const auto& key : section.keys()) {
+    if (key == "kernel") continue;
+    if (key == "max_retries") {
+      auto retries = section.get_int(key);
+      if (!retries.ok()) return retries.status();
+      spec.max_retries = retries.value();
+      continue;
+    }
+    spec.args.set(key, substitute_placeholders(
+                           section.get_string(key).value(), context));
+  }
+  return spec;
+}
+
+Result<std::unique_ptr<ExecutionPattern>> build_pattern(
+    const WorkloadSpec& spec) {
+  ENTK_RETURN_IF_ERROR(spec.validate());
+  // Stage callbacks copy their section so the pattern outlives `spec`.
+  auto stage_fn = [](Config section) {
+    return [section = std::move(section)](const StageContext& context) {
+      auto task = task_from_section(section, context);
+      // Errors surface when the execution plugin validates the kernel.
+      return task.ok() ? task.take() : TaskSpec{};
+    };
+  };
+  if (spec.pattern == "bag") {
+    return std::unique_ptr<ExecutionPattern>(std::make_unique<BagOfTasks>(
+        spec.simulations, stage_fn(spec.sections.at("task"))));
+  }
+  if (spec.pattern == "eop") {
+    auto pattern = std::make_unique<EnsembleOfPipelines>(spec.simulations,
+                                                         spec.stages);
+    for (Count s = 1; s <= spec.stages; ++s) {
+      pattern->set_stage(
+          s, stage_fn(spec.sections.at("stage" + std::to_string(s))));
+    }
+    return std::unique_ptr<ExecutionPattern>(std::move(pattern));
+  }
+  if (spec.pattern == "sal") {
+    auto pattern = std::make_unique<SimulationAnalysisLoop>(
+        spec.iterations, spec.simulations, spec.analyses);
+    pattern->set_simulation(stage_fn(spec.sections.at("simulation")));
+    pattern->set_analysis(stage_fn(spec.sections.at("analysis")));
+    return std::unique_ptr<ExecutionPattern>(std::move(pattern));
+  }
+  // ee
+  auto pattern = std::make_unique<EnsembleExchange>(
+      spec.simulations, spec.iterations,
+      EnsembleExchange::ExchangeMode::kGlobalSweep);
+  pattern->set_simulation(stage_fn(spec.sections.at("simulation")));
+  pattern->set_exchange(stage_fn(spec.sections.at("exchange")));
+  return std::unique_ptr<ExecutionPattern>(std::move(pattern));
+}
+
+namespace {
+
+/// Strategy-plans the pilot for an `auto` workload: profiles the
+/// primary stage's kernel and sizes/places the pilot over the catalog
+/// (or the named machine alone).
+Result<ResourcePlan> plan_auto_resources(
+    const WorkloadSpec& spec, const kernels::KernelRegistry& registry,
+    const sim::MachineCatalog& full_catalog) {
+  const char* primary =
+      spec.pattern == "bag"
+          ? "task"
+          : (spec.pattern == "eop" ? "stage1" : "simulation");
+  auto sample = task_from_section(spec.sections.at(primary),
+                                  {1, 1, 0, spec.simulations});
+  if (!sample.ok()) return sample.status();
+  // Sequential stages the tasks flow through (per-iteration stages x
+  // iterations); width = the ensemble size.
+  Count stage_count = 1;
+  if (spec.pattern == "eop") stage_count = spec.stages;
+  if (spec.pattern == "sal" || spec.pattern == "ee") {
+    stage_count = 2 * spec.iterations;
+  }
+  auto workload = profile_for_ensemble(spec.simulations, stage_count,
+                                       sample.value(), registry);
+  if (!workload.ok()) return workload.status();
+
+  sim::MachineCatalog scoped;
+  if (!spec.auto_machine) {
+    auto machine = full_catalog.find(spec.machine);
+    if (!machine.ok()) return machine.status();
+    ENTK_RETURN_IF_ERROR(scoped.register_machine(machine.take()));
+  }
+  const sim::MachineCatalog& catalog =
+      spec.auto_machine ? full_catalog : scoped;
+  ExecutionStrategy strategy(catalog);
+  StrategyObjective objective;
+  if (!spec.auto_cores) objective.max_cores = spec.cores;
+  return strategy.plan(workload.value(), objective);
+}
+
+}  // namespace
+
+Result<WorkloadSpec> resolve_workload(
+    const WorkloadSpec& spec, const kernels::KernelRegistry& registry) {
+  if (!spec.auto_cores && !spec.auto_machine) return spec;
+  const auto catalog = sim::MachineCatalog::with_builtin_profiles();
+  auto plan = plan_auto_resources(spec, registry, catalog);
+  if (!plan.ok()) return plan.status();
+  WorkloadSpec resolved = spec;
+  resolved.machine = plan.value().machine;
+  if (spec.auto_cores) resolved.cores = plan.value().pilot_cores;
+  resolved.runtime =
+      std::max(resolved.runtime, plan.value().pilot_runtime);
+  resolved.auto_cores = false;
+  resolved.auto_machine = false;
+  return resolved;
+}
+
+Result<RunReport> run_workload(const WorkloadSpec& original,
+                               const kernels::KernelRegistry& registry) {
+  auto resolved = resolve_workload(original, registry);
+  if (!resolved.ok()) return resolved.status();
+  const WorkloadSpec& spec = resolved.value();
+  auto pattern = build_pattern(spec);
+  if (!pattern.ok()) return pattern.status();
+
+  std::unique_ptr<pilot::ExecutionBackend> backend;
+  if (spec.backend == "sim") {
+    const auto catalog = sim::MachineCatalog::with_builtin_profiles();
+    auto machine = catalog.find(spec.machine);
+    if (!machine.ok()) return machine.status();
+    backend = std::make_unique<pilot::SimBackend>(machine.take());
+  } else {
+    backend = std::make_unique<pilot::LocalBackend>(spec.cores);
+  }
+
+  ResourceOptions options;
+  options.cores = spec.cores;
+  options.runtime = spec.runtime;
+  options.scheduler_policy = spec.scheduler;
+  ResourceHandle handle(*backend, registry, options);
+  ENTK_RETURN_IF_ERROR(handle.allocate());
+  auto report = handle.run(*pattern.value());
+  if (report.ok()) (void)handle.deallocate();
+  return report;
+}
+
+}  // namespace entk::core

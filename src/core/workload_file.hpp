@@ -1,0 +1,107 @@
+// Declarative workload files: describe an ensemble application in a
+// small INI-style text format and run it with one call (or via the
+// `entk-run` command-line tool). This is the "no-code" front door a
+// production toolkit ships for users whose workload fits a stock
+// pattern.
+//
+// Format:
+//
+//   # resource section (top, before any [section])
+//   backend   = sim            # sim | local
+//   machine   = xsede.comet    # sim backend only
+//   cores     = 96
+//   runtime   = 36000
+//   scheduler = backfill       # fifo | backfill | largest_first
+//   pattern   = sal            # bag | eop | sal | ee
+//   iterations  = 2            # sal: loop count; ee: cycles
+//   simulations = 16           # sal width; ee replicas; bag/eop width
+//   analyses    = 1            # sal analysis width
+//   stages      = 2            # eop stage count
+//
+//   # one section per stage; values support {instance}, {iteration},
+//   # {stage} and {instances} placeholders
+//   [simulation]
+//   kernel      = md.simulate
+//   steps       = 300
+//   out         = traj_{instance}.dat
+//
+//   [analysis]
+//   kernel = md.coco
+//   n_sims = 16
+//
+// Section names by pattern: bag -> [task]; eop -> [stage1]..[stageN];
+// sal -> [simulation], [analysis]; ee -> [simulation], [exchange].
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/config.hpp"
+#include "core/pattern.hpp"
+#include "core/resource_handle.hpp"
+#include "core/strategy.hpp"
+#include "kernels/registry.hpp"
+
+namespace entk::core {
+
+struct WorkloadSpec {
+  // Resource block.
+  std::string backend = "sim";
+  std::string machine = "localhost";
+  Count cores = 4;
+  /// `cores = auto` / `machine = auto`: let the execution strategy
+  /// size the pilot / pick the machine (sim backend only).
+  bool auto_cores = false;
+  bool auto_machine = false;
+  Duration runtime = 36000.0;
+  std::string scheduler = "backfill";
+
+  // Pattern block.
+  std::string pattern;           ///< bag | eop | sal | ee
+  Count simulations = 0;         ///< Width (bag tasks, eop pipelines,
+                                 ///< sal simulations, ee replicas).
+  Count analyses = 1;            ///< sal only.
+  Count iterations = 1;          ///< sal iterations / ee cycles.
+  Count stages = 0;              ///< eop only.
+
+  /// Stage sections: name -> kernel args (incl. the "kernel" key).
+  std::map<std::string, Config> sections;
+
+  Status validate() const;
+};
+
+/// Parses the text of a workload file.
+Result<WorkloadSpec> parse_workload(const std::string& text);
+
+/// Reads and parses a workload file from disk.
+Result<WorkloadSpec> load_workload(const std::string& path);
+
+/// Replaces {instance}, {iteration}, {stage} and {instances} in a
+/// value with the context's fields.
+std::string substitute_placeholders(const std::string& value,
+                                    const StageContext& context);
+
+/// Builds the TaskSpec for a stage section under a context
+/// (placeholder substitution applied to every argument).
+Result<TaskSpec> task_from_section(const Config& section,
+                                   const StageContext& context);
+
+/// Builds the pattern described by `spec`. The returned pattern holds
+/// copies of the relevant sections.
+Result<std::unique_ptr<ExecutionPattern>> build_pattern(
+    const WorkloadSpec& spec);
+
+/// Resolves `auto` cores/machine into concrete values using the
+/// execution strategy over the built-in machine catalog; a spec
+/// without auto flags is returned unchanged.
+Result<WorkloadSpec> resolve_workload(const WorkloadSpec& spec,
+                                      const kernels::KernelRegistry&
+                                          registry);
+
+/// End-to-end: resolve, construct the backend and resource handle, run
+/// the pattern, and return the report. Task failures are reported in
+/// RunReport::outcome.
+Result<RunReport> run_workload(const WorkloadSpec& spec,
+                               const kernels::KernelRegistry& registry);
+
+}  // namespace entk::core

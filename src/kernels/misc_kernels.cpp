@@ -1,0 +1,267 @@
+// Utility kernels: the paper's mkfile/ccount validation workloads plus
+// sleep and checksum helpers used by tests and ablations.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <thread>
+
+#include "kernels/registry.hpp"
+
+namespace entk::kernels {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// misc.mkfile — writes `size_kb` kilobytes into `filename` and stages
+/// it to the pilot's shared space (stage one of the paper's
+/// character-count application).
+class MkfileKernel final : public KernelBase {
+ public:
+  MkfileKernel()
+      : KernelBase("misc.mkfile", "create a file of a given size") {
+    add_machine_entry("*", {"/bin/dd", {}});
+  }
+
+  Status validate(const Config& args) const override {
+    const auto size = args.get_double_or("size_kb", 1.0);
+    if (size <= 0.0) {
+      return make_error(Errc::kInvalidArgument,
+                        "misc.mkfile: size_kb must be > 0");
+    }
+    return Status::ok();
+  }
+
+  Result<BoundKernel> bind(const Config& args,
+                           const sim::MachineProfile& machine)
+      const override {
+    ENTK_RETURN_IF_ERROR(validate(args));
+    auto entry = machine_entry(machine.name);
+    if (!entry.ok()) return entry.status();
+
+    const std::string filename =
+        args.get_string_or("filename", "output.txt");
+    const double size_kb = args.get_double_or("size_kb", 1.0);
+
+    BoundKernel bound;
+    bound.kernel_name = name();
+    bound.executable = entry.value().executable;
+    bound.pre_exec = entry.value().pre_exec;
+    bound.arguments = {"if=/dev/zero", "of=" + filename, "bs=1024",
+                       "count=" + std::to_string(
+                                      static_cast<long long>(size_kb))};
+    bound.estimated_duration =
+        (0.3 + 2e-4 * size_kb) / machine.performance_factor;
+    bound.payload = [filename, size_kb](
+                        const pilot::UnitRuntimeContext& context) -> Status {
+      std::ofstream out(context.sandbox / filename);
+      if (!out) {
+        return make_error(Errc::kIoError,
+                          "misc.mkfile: cannot open " + filename);
+      }
+      const auto bytes = static_cast<std::size_t>(size_kb * 1024.0);
+      std::string chunk(64, 'x');
+      chunk.back() = '\n';
+      for (std::size_t written = 0; written < bytes;
+           written += chunk.size()) {
+        out.write(chunk.data(),
+                  static_cast<std::streamsize>(
+                      std::min(chunk.size(), bytes - written)));
+      }
+      return out ? Status::ok()
+                 : make_error(Errc::kIoError,
+                              "misc.mkfile: short write to " + filename);
+    };
+    pilot::StagingDirective stage_out;
+    stage_out.source = filename;
+    stage_out.target = args.get_string_or("stage_as", filename);
+    stage_out.size_mb = size_kb / 1024.0;
+    bound.output_staging.push_back(std::move(stage_out));
+    apply_staging_args(args, bound);
+    return bound;
+  }
+};
+
+/// misc.ccount — counts the characters of a staged-in file and writes
+/// the count to an output file (stage two of the paper's validation
+/// application).
+class CcountKernel final : public KernelBase {
+ public:
+  CcountKernel()
+      : KernelBase("misc.ccount", "count characters in a file") {
+    add_machine_entry("*", {"/usr/bin/wc", {}});
+  }
+
+  Status validate(const Config& args) const override {
+    if (!args.contains("input")) {
+      return make_error(Errc::kInvalidArgument,
+                        "misc.ccount: 'input' argument is required");
+    }
+    return Status::ok();
+  }
+
+  Result<BoundKernel> bind(const Config& args,
+                           const sim::MachineProfile& machine)
+      const override {
+    ENTK_RETURN_IF_ERROR(validate(args));
+    auto entry = machine_entry(machine.name);
+    if (!entry.ok()) return entry.status();
+
+    const std::string input = args.get_string(("input")).value();
+    const std::string output =
+        args.get_string_or("output", input + ".count");
+    const double size_mb = args.get_double_or("io_mb", 0.001);
+
+    BoundKernel bound;
+    bound.kernel_name = name();
+    bound.executable = entry.value().executable;
+    bound.pre_exec = entry.value().pre_exec;
+    bound.arguments = {"-c", input};
+    bound.estimated_duration =
+        (0.3 + 0.02 * size_mb) / machine.performance_factor;
+    bound.payload = [input, output](
+                        const pilot::UnitRuntimeContext& context) -> Status {
+      std::ifstream in(context.sandbox / input, std::ios::binary);
+      if (!in) {
+        return make_error(Errc::kIoError,
+                          "misc.ccount: cannot open " + input);
+      }
+      std::size_t count = 0;
+      char buffer[4096];
+      while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+        count += static_cast<std::size_t>(in.gcount());
+        if (in.eof()) break;
+      }
+      std::ofstream out(context.sandbox / output);
+      if (!out) {
+        return make_error(Errc::kIoError,
+                          "misc.ccount: cannot open " + output);
+      }
+      out << count << '\n';
+      return Status::ok();
+    };
+    pilot::StagingDirective stage_in;
+    stage_in.source = input;
+    stage_in.size_mb = size_mb;
+    bound.input_staging.push_back(std::move(stage_in));
+    pilot::StagingDirective stage_out;
+    stage_out.source = output;
+    stage_out.size_mb = 0.0001;
+    bound.output_staging.push_back(std::move(stage_out));
+    apply_staging_args(args, bound);
+    return bound;
+  }
+};
+
+/// misc.chksum — FNV-1a 64-bit checksum of a staged-in file.
+class ChksumKernel final : public KernelBase {
+ public:
+  ChksumKernel() : KernelBase("misc.chksum", "FNV-1a checksum of a file") {
+    add_machine_entry("*", {"/usr/bin/cksum", {}});
+  }
+
+  Status validate(const Config& args) const override {
+    if (!args.contains("input")) {
+      return make_error(Errc::kInvalidArgument,
+                        "misc.chksum: 'input' argument is required");
+    }
+    return Status::ok();
+  }
+
+  Result<BoundKernel> bind(const Config& args,
+                           const sim::MachineProfile& machine)
+      const override {
+    ENTK_RETURN_IF_ERROR(validate(args));
+    auto entry = machine_entry(machine.name);
+    if (!entry.ok()) return entry.status();
+
+    const std::string input = args.get_string(("input")).value();
+    const std::string output = args.get_string_or("output", input + ".sum");
+
+    BoundKernel bound;
+    bound.kernel_name = name();
+    bound.executable = entry.value().executable;
+    bound.arguments = {input};
+    bound.estimated_duration = 0.2 / machine.performance_factor;
+    bound.payload = [input, output](
+                        const pilot::UnitRuntimeContext& context) -> Status {
+      std::ifstream in(context.sandbox / input, std::ios::binary);
+      if (!in) {
+        return make_error(Errc::kIoError,
+                          "misc.chksum: cannot open " + input);
+      }
+      std::uint64_t hash = 1469598103934665603ULL;
+      char byte = 0;
+      while (in.get(byte)) {
+        hash ^= static_cast<unsigned char>(byte);
+        hash *= 1099511628211ULL;
+      }
+      std::ofstream out(context.sandbox / output);
+      if (!out) {
+        return make_error(Errc::kIoError,
+                          "misc.chksum: cannot open " + output);
+      }
+      out << hash << '\n';
+      return Status::ok();
+    };
+    pilot::StagingDirective stage_in;
+    stage_in.source = input;
+    stage_in.size_mb = args.get_double_or("io_mb", 0.001);
+    bound.input_staging.push_back(std::move(stage_in));
+    pilot::StagingDirective stage_out;
+    stage_out.source = output;
+    stage_out.size_mb = 0.0001;
+    bound.output_staging.push_back(std::move(stage_out));
+    return bound;
+  }
+};
+
+/// misc.sleep — occupies a core for `duration` seconds. On the local
+/// backend it really sleeps; on the simulated backend the cost model
+/// is the duration itself. Useful as a precisely controllable
+/// synthetic workload.
+class SleepKernel final : public KernelBase {
+ public:
+  SleepKernel() : KernelBase("misc.sleep", "hold a core for a duration") {
+    add_machine_entry("*", {"/bin/sleep", {}});
+  }
+
+  Status validate(const Config& args) const override {
+    if (args.get_double_or("duration", 1.0) < 0.0) {
+      return make_error(Errc::kInvalidArgument,
+                        "misc.sleep: duration must be >= 0");
+    }
+    return Status::ok();
+  }
+
+  Result<BoundKernel> bind(const Config& args,
+                           const sim::MachineProfile& machine)
+      const override {
+    ENTK_RETURN_IF_ERROR(validate(args));
+    auto entry = machine_entry(machine.name);
+    if (!entry.ok()) return entry.status();
+    const double duration = args.get_double_or("duration", 1.0);
+
+    BoundKernel bound;
+    bound.kernel_name = name();
+    bound.executable = entry.value().executable;
+    bound.arguments = {std::to_string(duration)};
+    bound.cores = args.get_int_or("cores", 1);
+    bound.uses_mpi = bound.cores > 1;
+    bound.estimated_duration = duration;  // machine-independent
+    bound.payload = [duration](const pilot::UnitRuntimeContext&) -> Status {
+      std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+      return Status::ok();
+    };
+    apply_staging_args(args, bound);
+    return bound;
+  }
+};
+
+}  // namespace
+
+KernelPtr make_mkfile_kernel() { return std::make_shared<MkfileKernel>(); }
+KernelPtr make_ccount_kernel() { return std::make_shared<CcountKernel>(); }
+KernelPtr make_chksum_kernel() { return std::make_shared<ChksumKernel>(); }
+KernelPtr make_sleep_kernel() { return std::make_shared<SleepKernel>(); }
+
+}  // namespace entk::kernels

@@ -1,0 +1,53 @@
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+
+namespace entk::kernels {
+
+KernelRegistry KernelRegistry::with_builtin_kernels() {
+  KernelRegistry registry;
+  for (auto& kernel :
+       {make_mkfile_kernel(), make_ccount_kernel(), make_chksum_kernel(),
+        make_sleep_kernel(), make_md_simulate_kernel(),
+        make_md_exchange_kernel(), make_md_coco_kernel(),
+        make_md_lsdmap_kernel()}) {
+    ENTK_CHECK(registry.register_kernel(kernel).is_ok(),
+               "duplicate built-in kernel");
+  }
+  return registry;
+}
+
+Status KernelRegistry::register_kernel(KernelPtr kernel) {
+  ENTK_CHECK(kernel != nullptr, "cannot register a null kernel");
+  if (contains(kernel->name())) {
+    return make_error(Errc::kAlreadyExists,
+                      "kernel '" + kernel->name() + "' already registered");
+  }
+  kernels_.push_back(std::move(kernel));
+  return Status::ok();
+}
+
+Result<KernelPtr> KernelRegistry::find(const std::string& name) const {
+  const auto it = std::find_if(
+      kernels_.begin(), kernels_.end(),
+      [&](const KernelPtr& kernel) { return kernel->name() == name; });
+  if (it == kernels_.end()) {
+    return make_error(Errc::kNotFound, "unknown kernel '" + name + "'");
+  }
+  return *it;
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  return std::any_of(
+      kernels_.begin(), kernels_.end(),
+      [&](const KernelPtr& kernel) { return kernel->name() == name; });
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const auto& kernel : kernels_) out.push_back(kernel->name());
+  return out;
+}
+
+}  // namespace entk::kernels

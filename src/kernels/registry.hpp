@@ -1,0 +1,37 @@
+// Kernel registry: name -> plugin, with the built-in set preloaded.
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace entk::kernels {
+
+class KernelRegistry {
+ public:
+  /// Registry with all built-in kernels (misc.* and md.*) registered.
+  static KernelRegistry with_builtin_kernels();
+
+  /// Empty registry (for tests / custom toolchains).
+  KernelRegistry() = default;
+
+  Status register_kernel(KernelPtr kernel);
+  Result<KernelPtr> find(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<KernelPtr> kernels_;
+};
+
+// Built-in kernel constructors.
+KernelPtr make_mkfile_kernel();   ///< misc.mkfile: write a file of N chars.
+KernelPtr make_ccount_kernel();   ///< misc.ccount: count characters.
+KernelPtr make_chksum_kernel();   ///< misc.chksum: FNV-1a of a file.
+KernelPtr make_sleep_kernel();    ///< misc.sleep: hold a core.
+KernelPtr make_md_simulate_kernel();  ///< md.simulate: Amber/Gromacs-like MD.
+KernelPtr make_md_exchange_kernel();  ///< md.exchange: REMD T-swap stage.
+KernelPtr make_md_coco_kernel();      ///< md.coco: PCA resampling analysis.
+KernelPtr make_md_lsdmap_kernel();    ///< md.lsdmap: diffusion-map analysis.
+
+}  // namespace entk::kernels

@@ -1,0 +1,144 @@
+#include "md/builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/forcefield.hpp"
+
+namespace entk::md {
+
+void relax(System& system, int max_iterations, double max_step,
+           double force_tolerance) {
+  const ForceField forcefield;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    forcefield.compute(system);
+    double worst = 0.0;
+    for (const auto& f : system.forces) worst = std::max(worst, f.norm());
+    if (worst < force_tolerance) return;
+    // Scale so the most-stressed particle moves exactly max_step.
+    const double scale = max_step / worst;
+    for (std::size_t i = 0; i < system.size(); ++i) {
+      system.positions[i] += system.forces[i] * scale;
+    }
+    system.wrap_positions();
+  }
+}
+
+namespace {
+/// Places `count` sites on a cubic lattice inside a box of side `box`,
+/// starting at lattice slot `first_slot`; returns positions.
+std::vector<Vec3> lattice_positions(std::size_t count, std::size_t first_slot,
+                                    double box, std::size_t slots_per_side) {
+  std::vector<Vec3> out;
+  out.reserve(count);
+  const double spacing = box / static_cast<double>(slots_per_side);
+  for (std::size_t s = first_slot; s < first_slot + count; ++s) {
+    const std::size_t x = s % slots_per_side;
+    const std::size_t y = (s / slots_per_side) % slots_per_side;
+    const std::size_t z = s / (slots_per_side * slots_per_side);
+    out.push_back({(static_cast<double>(x) + 0.5) * spacing,
+                   (static_cast<double>(y) + 0.5) * spacing,
+                   (static_cast<double>(z) + 0.5) * spacing});
+  }
+  return out;
+}
+}  // namespace
+
+BuiltSystem build_solvated_dipeptide(std::size_t n_waters, double density) {
+  ENTK_CHECK(density > 0.0, "density must be positive");
+  constexpr std::size_t kSoluteBeads = 22;
+  const std::size_t n = kSoluteBeads + 3 * n_waters;
+  const double box = std::cbrt(static_cast<double>(n) / density);
+
+  BuiltSystem built{System(n, box), kSoluteBeads};
+  System& sys = built.system;
+
+  // Solute: a backbone chain with short side branches, loosely shaped
+  // like the dipeptide's heavy-atom graph. Bonds are stiff harmonics.
+  const double bond_k = 200.0;
+  const double bond_r0 = 0.9;
+  // Backbone of 14 beads; branches hang off beads 2, 5, 8 and 11.
+  std::size_t next_bead = 0;
+  std::vector<std::size_t> backbone;
+  for (std::size_t b = 0; b < 14; ++b) backbone.push_back(next_bead++);
+  for (std::size_t b = 0; b + 1 < backbone.size(); ++b) {
+    sys.bonds.push_back({backbone[b], backbone[b + 1], bond_k, bond_r0});
+  }
+  const std::size_t branch_roots[4] = {2, 5, 8, 11};
+  for (const std::size_t root : branch_roots) {
+    const std::size_t a = next_bead++;
+    const std::size_t b = next_bead++;
+    sys.bonds.push_back({backbone[root], a, bond_k, bond_r0});
+    sys.bonds.push_back({a, b, bond_k, bond_r0});
+    // Branch geometry: angle at the attachment point.
+    sys.angles.push_back({backbone[root - 1], backbone[root], a, 15.0,
+                          1.911});
+  }
+  ENTK_CHECK(next_bead == kSoluteBeads, "solute bead count mismatch");
+
+  // Backbone angles keep the chain extended; backbone torsions give it
+  // a rough multi-minimum conformational landscape (the phi/psi
+  // analogue the CoCo and LSDMap analyses operate on).
+  for (std::size_t b = 0; b + 2 < backbone.size(); ++b) {
+    sys.angles.push_back(
+        {backbone[b], backbone[b + 1], backbone[b + 2], 15.0, 1.911});
+  }
+  for (std::size_t b = 0; b + 3 < backbone.size(); ++b) {
+    sys.dihedrals.push_back({backbone[b], backbone[b + 1],
+                             backbone[b + 2], backbone[b + 3], 1.5, 3,
+                             0.0});
+  }
+
+  // Position the solute as a compact coil near the box centre.
+  const double centre = box / 2.0;
+  for (std::size_t i = 0; i < kSoluteBeads; ++i) {
+    const double angle = 0.6 * static_cast<double>(i);
+    sys.positions[i] = {centre + 1.2 * std::cos(angle),
+                        centre + 1.2 * std::sin(angle),
+                        centre + 0.45 * static_cast<double>(i) -
+                            0.225 * kSoluteBeads};
+  }
+
+  // Waters: 3 beads (O at lattice site, two H offset), bent geometry.
+  const std::size_t slots_needed = n_waters + 8;  // skip centre region
+  std::size_t slots_per_side = 1;
+  while (slots_per_side * slots_per_side * slots_per_side < slots_needed) {
+    ++slots_per_side;
+  }
+  const auto sites =
+      lattice_positions(n_waters, 0, box, slots_per_side);
+  const double oh = 0.35;
+  for (std::size_t w = 0; w < n_waters; ++w) {
+    const std::size_t o = kSoluteBeads + 3 * w;
+    const std::size_t h1 = o + 1;
+    const std::size_t h2 = o + 2;
+    sys.positions[o] = sites[w];
+    sys.positions[h1] = sites[w] + Vec3{oh, oh * 0.3, 0.0};
+    sys.positions[h2] = sites[w] + Vec3{-oh * 0.3, oh, 0.0};
+    sys.masses[h1] = 0.3;
+    sys.masses[h2] = 0.3;
+    sys.bonds.push_back({o, h1, 300.0, oh});
+    sys.bonds.push_back({o, h2, 300.0, oh});
+    sys.bonds.push_back({h1, h2, 150.0, oh * 1.55});  // bend surrogate
+  }
+  sys.wrap_positions();
+  // The lattice ignores the solute; push overlapping waters off it
+  // before anyone integrates this system.
+  relax(sys);
+  return built;
+}
+
+System build_fluid(std::size_t n, double density) {
+  ENTK_CHECK(density > 0.0, "density must be positive");
+  const double box = std::cbrt(static_cast<double>(n) / density);
+  System sys(n, box);
+  std::size_t slots_per_side = 1;
+  while (slots_per_side * slots_per_side * slots_per_side < n) {
+    ++slots_per_side;
+  }
+  const auto sites = lattice_positions(n, 0, box, slots_per_side);
+  for (std::size_t i = 0; i < n; ++i) sys.positions[i] = sites[i];
+  return sys;
+}
+
+}  // namespace entk::md

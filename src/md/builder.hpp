@@ -1,0 +1,41 @@
+// System builders for the workloads used in the paper's experiments.
+//
+// The paper's physical system is "solvated alanine dipeptide, 2881
+// atoms": a 22-atom dipeptide in 953 three-site waters
+// (22 + 3*953 = 2881). We build the same composition as a coarse
+// model: a 22-bead bonded chain (with side branches approximating the
+// methyl groups) solvated by 3-bead bent "water" molecules on a cubic
+// lattice.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "md/system.hpp"
+
+namespace entk::md {
+
+struct BuiltSystem {
+  System system;
+  std::size_t solute_atoms = 0;  ///< First `solute_atoms` particles.
+};
+
+/// Builds the paper's 2881-particle composition by default
+/// (22-bead solute + `n_waters` 3-bead waters), at number density
+/// ~`density` (reduced units).
+BuiltSystem build_solvated_dipeptide(std::size_t n_waters = 953,
+                                     double density = 0.4);
+
+/// Builds a homogeneous fluid of `n` particles at the given density
+/// (small, fast systems for tests).
+System build_fluid(std::size_t n, double density = 0.4);
+
+/// Capped steepest-descent relaxation: removes initial overlaps so
+/// dynamics can start from any constructed configuration. Iterates
+/// until the largest force falls below `force_tolerance` or
+/// `max_iterations` is reached; each particle moves at most `max_step`
+/// per iteration.
+void relax(System& system, int max_iterations = 200,
+           double max_step = 0.05, double force_tolerance = 50.0);
+
+}  // namespace entk::md

@@ -1,0 +1,45 @@
+// Force field: harmonic bonds + WCA (purely repulsive Lennard-Jones)
+// non-bonded interactions, evaluated with a cell list (O(N)).
+//
+// This is deliberately the simplest force field that still produces
+// genuine molecular dynamics: solvated systems have excluded volume,
+// bonded topology and a rough conformational landscape — enough for
+// replica exchange and the PCA/diffusion-map analyses to operate on
+// physically meaningful data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace entk::md {
+
+struct ForceFieldParams {
+  double epsilon = 1.0;  ///< WCA energy scale.
+  double sigma = 1.0;    ///< WCA length scale; cutoff = 2^(1/6) sigma.
+};
+
+class ForceField {
+ public:
+  explicit ForceField(ForceFieldParams params = {});
+
+  /// Recomputes `system.forces` in place and returns the potential
+  /// energy. Bonded pairs are excluded from the non-bonded sum.
+  double compute(System& system) const;
+
+  /// Potential energy only (forces untouched).
+  double energy(const System& system) const;
+
+  double cutoff() const { return cutoff_; }
+  const ForceFieldParams& params() const { return params_; }
+
+ private:
+  double evaluate(const System& system, std::vector<Vec3>* forces) const;
+
+  ForceFieldParams params_;
+  double cutoff_;
+  double cutoff2_;
+};
+
+}  // namespace entk::md

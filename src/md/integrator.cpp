@@ -1,0 +1,73 @@
+#include "md/integrator.hpp"
+
+#include <cmath>
+
+namespace entk::md {
+
+VelocityVerlet::VelocityVerlet(double dt) : dt_(dt) {
+  ENTK_CHECK(dt > 0.0, "time step must be positive");
+}
+
+double VelocityVerlet::step(System& system,
+                            const ForceField& forcefield) const {
+  const std::size_t n = system.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    system.velocities[i] +=
+        system.forces[i] * (0.5 * dt_ / system.masses[i]);
+    system.positions[i] += system.velocities[i] * dt_;
+  }
+  const double potential = forcefield.compute(system);
+  for (std::size_t i = 0; i < n; ++i) {
+    system.velocities[i] +=
+        system.forces[i] * (0.5 * dt_ / system.masses[i]);
+  }
+  return potential;
+}
+
+LangevinIntegrator::LangevinIntegrator(double dt, double gamma, double kT)
+    : dt_(dt), gamma_(gamma), kT_(kT) {
+  ENTK_CHECK(dt > 0.0, "time step must be positive");
+  ENTK_CHECK(gamma > 0.0, "friction must be positive");
+  ENTK_CHECK(kT > 0.0, "temperature must be positive");
+  ou_decay_ = std::exp(-gamma_ * dt_);
+}
+
+void LangevinIntegrator::set_kT(double kT) {
+  ENTK_CHECK(kT > 0.0, "temperature must be positive");
+  kT_ = kT;
+}
+
+double LangevinIntegrator::step(System& system, const ForceField& forcefield,
+                                Xoshiro256& rng) const {
+  const std::size_t n = system.size();
+  const double half_dt = 0.5 * dt_;
+  // B: half kick.
+  for (std::size_t i = 0; i < n; ++i) {
+    system.velocities[i] += system.forces[i] * (half_dt / system.masses[i]);
+  }
+  // A: half drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    system.positions[i] += system.velocities[i] * half_dt;
+  }
+  // O: Ornstein–Uhlenbeck exact solve.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma =
+        std::sqrt(kT_ / system.masses[i] * (1.0 - ou_decay_ * ou_decay_));
+    system.velocities[i] = system.velocities[i] * ou_decay_ +
+                           Vec3{rng.normal(0.0, sigma),
+                                rng.normal(0.0, sigma),
+                                rng.normal(0.0, sigma)};
+  }
+  // A: half drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    system.positions[i] += system.velocities[i] * half_dt;
+  }
+  // B: half kick with fresh forces.
+  const double potential = forcefield.compute(system);
+  for (std::size_t i = 0; i < n; ++i) {
+    system.velocities[i] += system.forces[i] * (half_dt / system.masses[i]);
+  }
+  return potential;
+}
+
+}  // namespace entk::md

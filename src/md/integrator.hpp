@@ -1,0 +1,47 @@
+// Time integration: velocity Verlet (NVE) and Langevin BAOAB (NVT).
+#pragma once
+
+#include "common/rng.hpp"
+#include "md/forcefield.hpp"
+#include "md/system.hpp"
+
+namespace entk::md {
+
+/// Microcanonical velocity-Verlet integrator. Forces must be current
+/// on entry (call forcefield.compute once before the first step);
+/// they are current again on exit.
+class VelocityVerlet {
+ public:
+  explicit VelocityVerlet(double dt);
+
+  /// Advances one step; returns the potential energy after the step.
+  double step(System& system, const ForceField& forcefield) const;
+
+  double dt() const { return dt_; }
+
+ private:
+  double dt_;
+};
+
+/// Langevin thermostat in the BAOAB splitting (Leimkuhler–Matthews):
+/// excellent configurational sampling at large time steps.
+class LangevinIntegrator {
+ public:
+  /// `gamma` is the friction (1/time), `kT` the target temperature.
+  LangevinIntegrator(double dt, double gamma, double kT);
+
+  double step(System& system, const ForceField& forcefield,
+              Xoshiro256& rng) const;
+
+  double dt() const { return dt_; }
+  double kT() const { return kT_; }
+  void set_kT(double kT);
+
+ private:
+  double dt_;
+  double gamma_;
+  double kT_;
+  double ou_decay_;  ///< exp(-gamma dt), cached.
+};
+
+}  // namespace entk::md

@@ -1,0 +1,69 @@
+#include "md/observables.hpp"
+
+#include <cmath>
+
+namespace entk::md {
+
+double radius_of_gyration(const std::vector<Vec3>& positions,
+                          std::size_t first, std::size_t last) {
+  if (last == 0) last = positions.size();
+  ENTK_CHECK(first < last && last <= positions.size(),
+             "invalid particle range");
+  Vec3 centre{};
+  for (std::size_t i = first; i < last; ++i) centre += positions[i];
+  centre *= 1.0 / static_cast<double>(last - first);
+  double sum = 0.0;
+  for (std::size_t i = first; i < last; ++i) {
+    sum += (positions[i] - centre).norm2();
+  }
+  return std::sqrt(sum / static_cast<double>(last - first));
+}
+
+double end_to_end_distance(const std::vector<Vec3>& positions,
+                           std::size_t i, std::size_t j) {
+  ENTK_CHECK(i < positions.size() && j < positions.size(),
+             "particle index out of range");
+  return (positions[i] - positions[j]).norm();
+}
+
+double dihedral_angle(const Vec3& a, const Vec3& b, const Vec3& c,
+                      const Vec3& d) {
+  const Vec3 b1 = b - a;
+  const Vec3 b2 = c - b;
+  const Vec3 b3 = d - c;
+  const Vec3 n1 = b1.cross(b2);
+  const Vec3 n2 = b2.cross(b3);
+  const double b2_norm = b2.norm();
+  ENTK_CHECK(b2_norm > 1e-12, "degenerate dihedral (coincident atoms)");
+  return std::atan2(n1.cross(n2).dot(b2) / b2_norm, n1.dot(n2));
+}
+
+Result<std::vector<double>> mean_squared_displacement(
+    const Trajectory& trajectory, std::size_t max_lag) {
+  if (trajectory.size() < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "MSD needs at least two frames");
+  }
+  const std::size_t n_frames = trajectory.size();
+  if (max_lag == 0 || max_lag > n_frames - 1) max_lag = n_frames - 1;
+  const std::size_t n_particles = trajectory.frame(0).positions.size();
+  std::vector<double> msd(max_lag, 0.0);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    double sum = 0.0;
+    std::size_t samples = 0;
+    for (std::size_t f = 0; f + lag < n_frames; ++f) {
+      const auto& early = trajectory.frame(f).positions;
+      const auto& late = trajectory.frame(f + lag).positions;
+      for (std::size_t i = 0; i < n_particles; ++i) {
+        sum += (late[i] - early[i]).norm2();
+      }
+      ++samples;
+    }
+    msd[lag - 1] =
+        sum / (static_cast<double>(samples) *
+               static_cast<double>(n_particles));
+  }
+  return msd;
+}
+
+}  // namespace entk::md

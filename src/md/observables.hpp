@@ -1,0 +1,49 @@
+// Structural and dynamical observables over configurations and
+// trajectories — the quantities ensemble applications actually compute
+// from their MD output (radius of gyration, end-to-end distances,
+// torsion angles for free-energy surfaces, mean-squared displacement).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+#include "md/trajectory.hpp"
+#include "md/vec3.hpp"
+
+namespace entk::md {
+
+/// Radius of gyration of a subset [first, last) of the positions
+/// (whole set by default).
+double radius_of_gyration(const std::vector<Vec3>& positions,
+                          std::size_t first = 0, std::size_t last = 0);
+
+/// Distance between two particles (no periodic wrapping: callers pass
+/// unwrapped or solute-local coordinates).
+double end_to_end_distance(const std::vector<Vec3>& positions,
+                           std::size_t i, std::size_t j);
+
+/// Signed torsion angle (radians, in (-pi, pi]) of the chain
+/// a-b-c-d.
+double dihedral_angle(const Vec3& a, const Vec3& b, const Vec3& c,
+                      const Vec3& d);
+
+/// Mean-squared displacement per lag (in frames): msd[k] is the MSD
+/// over all pairs of frames k apart, averaged over particles.
+/// Requires >= 2 frames; lag 0 is omitted (msd[0] is lag 1).
+Result<std::vector<double>> mean_squared_displacement(
+    const Trajectory& trajectory, std::size_t max_lag = 0);
+
+/// Time series of one observable over a trajectory's frames.
+template <typename Fn>
+std::vector<double> observable_series(const Trajectory& trajectory,
+                                      Fn&& observable) {
+  std::vector<double> series;
+  series.reserve(trajectory.size());
+  for (const auto& frame : trajectory.frames()) {
+    series.push_back(observable(frame));
+  }
+  return series;
+}
+
+}  // namespace entk::md

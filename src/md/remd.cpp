@@ -1,0 +1,89 @@
+#include "md/remd.hpp"
+
+#include <cmath>
+
+namespace entk::md {
+
+std::vector<double> geometric_ladder(std::size_t n_replicas, double t_min,
+                                     double t_max) {
+  ENTK_CHECK(n_replicas >= 1, "ladder needs at least one rung");
+  ENTK_CHECK(t_min > 0.0 && t_max >= t_min, "invalid temperature range");
+  std::vector<double> ladder(n_replicas);
+  if (n_replicas == 1) {
+    ladder[0] = t_min;
+    return ladder;
+  }
+  const double ratio = std::pow(
+      t_max / t_min, 1.0 / static_cast<double>(n_replicas - 1));
+  double t = t_min;
+  for (auto& rung : ladder) {
+    rung = t;
+    t *= ratio;
+  }
+  return ladder;
+}
+
+ReplicaExchange::ReplicaExchange(std::vector<double> temperatures)
+    : ladder_(std::move(temperatures)) {
+  ENTK_CHECK(!ladder_.empty(), "ladder must not be empty");
+  for (std::size_t r = 1; r < ladder_.size(); ++r) {
+    ENTK_CHECK(ladder_[r] > ladder_[r - 1],
+               "temperature ladder must be strictly ascending");
+  }
+  const std::size_t n = ladder_.size();
+  replica_at_.resize(n);
+  temperature_of_.resize(n);
+  visits_.assign(n, std::vector<std::size_t>(n, 0));
+  for (std::size_t r = 0; r < n; ++r) {
+    replica_at_[r] = r;
+    temperature_of_[r] = r;
+    visits_[r][r] = 1;
+  }
+}
+
+double ReplicaExchange::temperature_of(std::size_t r) const {
+  ENTK_CHECK(r < temperature_of_.size(), "replica index out of range");
+  return ladder_[temperature_of_[r]];
+}
+
+std::size_t ReplicaExchange::rung_of(std::size_t r) const {
+  ENTK_CHECK(r < temperature_of_.size(), "replica index out of range");
+  return temperature_of_[r];
+}
+
+ExchangeStats ReplicaExchange::attempt_sweep(
+    const std::vector<double>& potential_energies, Xoshiro256& rng) {
+  ENTK_CHECK(potential_energies.size() == replica_count(),
+             "need one energy per replica");
+  ExchangeStats sweep;
+  const std::size_t first = sweeps_ % 2;  // alternate even/odd pairs
+  for (std::size_t low = first; low + 1 < ladder_.size(); low += 2) {
+    const std::size_t high = low + 1;
+    const std::size_t replica_lo = replica_at_[low];
+    const std::size_t replica_hi = replica_at_[high];
+    const double beta_lo = 1.0 / ladder_[low];
+    const double beta_hi = 1.0 / ladder_[high];
+    const double delta = (beta_lo - beta_hi) *
+                         (potential_energies[replica_lo] -
+                          potential_energies[replica_hi]);
+    ++sweep.attempted;
+    // Metropolis: accept with min(1, exp(delta)).
+    const bool accept = delta >= 0.0 || rng.uniform() < std::exp(delta);
+    if (accept) {
+      ++sweep.accepted;
+      replica_at_[low] = replica_hi;
+      replica_at_[high] = replica_lo;
+      temperature_of_[replica_lo] = high;
+      temperature_of_[replica_hi] = low;
+    }
+  }
+  for (std::size_t r = 0; r < replica_count(); ++r) {
+    ++visits_[r][temperature_of_[r]];
+  }
+  stats_.attempted += sweep.attempted;
+  stats_.accepted += sweep.accepted;
+  ++sweeps_;
+  return sweep;
+}
+
+}  // namespace entk::md

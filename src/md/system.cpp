@@ -1,0 +1,65 @@
+#include "md/system.hpp"
+
+namespace entk::md {
+
+System::System(std::size_t n, double box_length) : box_(box_length) {
+  ENTK_CHECK(n > 0, "system needs at least one particle");
+  ENTK_CHECK(box_length > 0.0, "box length must be positive");
+  positions.assign(n, Vec3{});
+  velocities.assign(n, Vec3{});
+  forces.assign(n, Vec3{});
+  masses.assign(n, 1.0);
+}
+
+Vec3 System::minimum_image(const Vec3& a, const Vec3& b) const {
+  Vec3 d = a - b;
+  d.x -= box_ * std::round(d.x / box_);
+  d.y -= box_ * std::round(d.y / box_);
+  d.z -= box_ * std::round(d.z / box_);
+  return d;
+}
+
+void System::wrap_positions() {
+  for (auto& p : positions) {
+    p.x -= box_ * std::floor(p.x / box_);
+    p.y -= box_ * std::floor(p.y / box_);
+    p.z -= box_ * std::floor(p.z / box_);
+  }
+}
+
+void System::thermalize_velocities(double kT, Xoshiro256& rng) {
+  ENTK_CHECK(kT > 0.0, "temperature must be positive");
+  for (std::size_t i = 0; i < size(); ++i) {
+    const double sigma = std::sqrt(kT / masses[i]);
+    velocities[i] = {rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+                     rng.normal(0.0, sigma)};
+  }
+  remove_drift();
+}
+
+void System::remove_drift() {
+  Vec3 momentum{};
+  double total_mass = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    momentum += masses[i] * velocities[i];
+    total_mass += masses[i];
+  }
+  const Vec3 drift = momentum * (1.0 / total_mass);
+  for (auto& v : velocities) v -= drift;
+}
+
+double System::kinetic_energy() const {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    ke += 0.5 * masses[i] * velocities[i].norm2();
+  }
+  return ke;
+}
+
+double System::temperature() const {
+  if (size() <= 1) return 0.0;
+  const double dof = 3.0 * static_cast<double>(size()) - 3.0;
+  return 2.0 * kinetic_energy() / dof;
+}
+
+}  // namespace entk::md

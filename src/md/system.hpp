@@ -1,0 +1,83 @@
+// Particle system state for the toy MD engine.
+//
+// Reduced (Lennard-Jones-like) units: k_B = 1, unit mass, unit length.
+// The box is cubic and periodic; minimum-image convention applies to
+// all pair interactions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "md/vec3.hpp"
+
+namespace entk::md {
+
+/// Harmonic bond between two particles: U = 1/2 k (r - r0)^2.
+struct Bond {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double k = 100.0;
+  double r0 = 1.0;
+};
+
+/// Harmonic angle i-j-k (j is the apex): U = 1/2 k (theta - theta0)^2.
+struct Angle {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t k = 0;
+  double k_theta = 20.0;
+  double theta0 = 1.911;  ///< ~109.5 degrees.
+};
+
+/// Periodic (cosine) torsion i-j-k-l: U = k (1 + cos(n phi - phi0)).
+struct Dihedral {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t k = 0;
+  std::size_t l = 0;
+  double k_phi = 2.0;
+  int n = 3;
+  double phi0 = 0.0;
+};
+
+class System {
+ public:
+  /// Creates `n` particles at the origin with unit mass in a cubic
+  /// periodic box of side `box_length`.
+  System(std::size_t n, double box_length);
+
+  std::size_t size() const { return positions.size(); }
+  double box_length() const { return box_; }
+
+  /// Minimum-image displacement from particle j to particle i.
+  Vec3 minimum_image(const Vec3& a, const Vec3& b) const;
+
+  /// Wraps all positions back into the primary box.
+  void wrap_positions();
+
+  /// Draws velocities from Maxwell–Boltzmann at temperature `kT` and
+  /// removes centre-of-mass drift.
+  void thermalize_velocities(double kT, Xoshiro256& rng);
+
+  /// Removes net momentum.
+  void remove_drift();
+
+  double kinetic_energy() const;
+  /// Instantaneous temperature: 2 KE / (3 N - 3).
+  double temperature() const;
+
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+  std::vector<Vec3> forces;
+  std::vector<double> masses;
+  std::vector<Bond> bonds;
+  std::vector<Angle> angles;
+  std::vector<Dihedral> dihedrals;
+
+ private:
+  double box_;
+};
+
+}  // namespace entk::md

@@ -1,0 +1,88 @@
+#include "md/trajectory.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace entk::md {
+
+void Trajectory::add_frame(Frame frame) {
+  if (!frames_.empty()) {
+    ENTK_CHECK(frame.positions.size() == frames_.front().positions.size(),
+               "all frames must have the same particle count");
+  }
+  frames_.push_back(std::move(frame));
+}
+
+const Frame& Trajectory::frame(std::size_t i) const {
+  ENTK_CHECK(i < frames_.size(), "frame index out of range");
+  return frames_[i];
+}
+
+double Trajectory::rmsd(const Frame& a, const Frame& b) {
+  ENTK_CHECK(a.positions.size() == b.positions.size(),
+             "rmsd requires equally sized frames");
+  ENTK_CHECK(!a.positions.empty(), "rmsd of empty frames");
+  Vec3 ca{}, cb{};
+  for (const auto& p : a.positions) ca += p;
+  for (const auto& p : b.positions) cb += p;
+  const double inv_n = 1.0 / static_cast<double>(a.positions.size());
+  ca *= inv_n;
+  cb *= inv_n;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    sum += ((a.positions[i] - ca) - (b.positions[i] - cb)).norm2();
+  }
+  return std::sqrt(sum * inv_n);
+}
+
+Status Trajectory::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(Errc::kIoError, "cannot open " + path + " for write");
+  }
+  out.precision(12);
+  out << frames_.size() << '\n';
+  for (const auto& frame : frames_) {
+    out << frame.time << ' ' << frame.potential_energy << ' '
+        << frame.temperature << ' ' << frame.positions.size() << '\n';
+    for (const auto& p : frame.positions) {
+      out << p.x << ' ' << p.y << ' ' << p.z << '\n';
+    }
+  }
+  if (!out) {
+    return make_error(Errc::kIoError, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+Result<Trajectory> Trajectory::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(Errc::kIoError, "cannot open " + path);
+  }
+  std::size_t n_frames = 0;
+  if (!(in >> n_frames)) {
+    return make_error(Errc::kIoError, "corrupt trajectory header in " + path);
+  }
+  Trajectory trajectory;
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    Frame frame;
+    std::size_t n_particles = 0;
+    if (!(in >> frame.time >> frame.potential_energy >> frame.temperature >>
+          n_particles)) {
+      return make_error(Errc::kIoError,
+                        "corrupt frame header in " + path);
+    }
+    frame.positions.resize(n_particles);
+    for (auto& p : frame.positions) {
+      if (!(in >> p.x >> p.y >> p.z)) {
+        return make_error(Errc::kIoError,
+                          "corrupt frame payload in " + path);
+      }
+    }
+    trajectory.add_frame(std::move(frame));
+  }
+  return trajectory;
+}
+
+}  // namespace entk::md

@@ -1,0 +1,45 @@
+// Trajectory storage and structural comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "md/vec3.hpp"
+
+namespace entk::md {
+
+/// One stored snapshot: positions plus scalar observables.
+struct Frame {
+  double time = 0.0;
+  double potential_energy = 0.0;
+  double temperature = 0.0;
+  std::vector<Vec3> positions;
+};
+
+class Trajectory {
+ public:
+  void add_frame(Frame frame);
+
+  std::size_t size() const { return frames_.size(); }
+  bool empty() const { return frames_.empty(); }
+  const Frame& frame(std::size_t i) const;
+  const std::vector<Frame>& frames() const { return frames_; }
+
+  /// Root-mean-square deviation between two frames after removing the
+  /// centroid (no rotational alignment; adequate for coarse
+  /// conformational distances).
+  static double rmsd(const Frame& a, const Frame& b);
+
+  /// Serialises to a simple whitespace text format (one frame header
+  /// line + one line per particle) and reads it back — the toolkit's
+  /// on-disk trajectory exchange between simulation and analysis
+  /// kernels.
+  Status save(const std::string& path) const;
+  static Result<Trajectory> load(const std::string& path);
+
+ private:
+  std::vector<Frame> frames_;
+};
+
+}  // namespace entk::md

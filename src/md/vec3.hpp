@@ -1,0 +1,44 @@
+// Minimal 3-vector for the MD engine (reduced units throughout).
+#pragma once
+
+#include <cmath>
+
+namespace entk::md {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+}  // namespace entk::md

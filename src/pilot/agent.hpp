@@ -1,0 +1,57 @@
+// Agent: the in-pilot executor.
+//
+// Once a pilot's container job starts, its agent bootstraps and then
+// continuously maps waiting units onto the pilot's cores using a
+// pluggable Scheduler. The agent charges each launched unit a
+// *serialized* spawn overhead (one spawner process, as in
+// RADICAL-Pilot) — this is the machine-profile parameter behind the
+// paper's "overheads depend on the number of tasks, not their size".
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pilot/compute_unit.hpp"
+#include "pilot/scheduler.hpp"
+
+namespace entk::pilot {
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Called once when the container job starts. The agent bootstraps
+  /// (a machine-profile delay on the simulated backend) and then calls
+  /// `on_ready` and begins scheduling.
+  virtual void start(std::function<void()> on_ready) = 0;
+
+  /// Enqueues units for execution. Units must be kPendingExecution.
+  virtual Status submit(std::vector<ComputeUnitPtr> units) = 0;
+
+  /// Cancels all waiting units (running ones finish).
+  virtual void cancel_waiting() = 0;
+
+  /// Cancels one unit (the paper's kill/replace adaptivity). Waiting
+  /// units cancel on every backend; an *executing* unit can be killed
+  /// on the simulated backend (its remaining events are voided and its
+  /// cores reclaimed) but not on the local backend, where payloads run
+  /// on uninterruptible threads — there the call fails with
+  /// kFailedPrecondition. Unknown units fail with kNotFound.
+  virtual Status cancel_unit(const ComputeUnitPtr& unit) = 0;
+
+  virtual Count total_cores() const = 0;
+  virtual Count free_cores() const = 0;
+  virtual std::size_t waiting_units() const = 0;
+  virtual std::size_t running_units() const = 0;
+
+  /// Cumulative serialized spawn overhead charged so far (profiling).
+  virtual Duration total_spawn_overhead() const = 0;
+
+  /// The pilot-wide shared directory, if this agent has one (local
+  /// backend); empty on backends without a real filesystem.
+  virtual std::filesystem::path shared_directory() const { return {}; }
+};
+
+}  // namespace entk::pilot

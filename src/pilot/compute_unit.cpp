@@ -1,0 +1,132 @@
+#include "pilot/compute_unit.hpp"
+
+#include "common/log.hpp"
+
+namespace entk::pilot {
+
+ComputeUnit::ComputeUnit(std::string uid, UnitDescription description,
+                         const Clock& clock)
+    : uid_(std::move(uid)),
+      description_(std::move(description)),
+      clock_(clock) {}
+
+UnitState ComputeUnit::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+Status ComputeUnit::final_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return final_status_;
+}
+
+Count ComputeUnit::retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retries_;
+}
+
+TimePoint ComputeUnit::created_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return created_at_;
+}
+TimePoint ComputeUnit::submitted_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_at_;
+}
+TimePoint ComputeUnit::exec_started_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return exec_started_at_;
+}
+TimePoint ComputeUnit::exec_stopped_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return exec_stopped_at_;
+}
+TimePoint ComputeUnit::finished_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_at_;
+}
+
+Duration ComputeUnit::execution_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (exec_started_at_ == kNoTime || exec_stopped_at_ == kNoTime) return 0.0;
+  return exec_stopped_at_ - exec_started_at_;
+}
+
+void ComputeUnit::on_state_change(Callback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_.push_back(std::move(callback));
+}
+
+Status ComputeUnit::advance_state(UnitState to, Status failure) {
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!is_valid_transition(state_, to)) {
+      return make_error(Errc::kFailedPrecondition,
+                        "unit " + uid_ + ": illegal transition " +
+                            unit_state_name(state_) + " -> " +
+                            unit_state_name(to));
+    }
+    state_ = to;
+    const TimePoint now = clock_.now();
+    switch (to) {
+      case UnitState::kExecuting:
+        exec_started_at_ = now;
+        break;
+      case UnitState::kStagingOutput:
+        exec_stopped_at_ = now;
+        break;
+      case UnitState::kDone:
+      case UnitState::kFailed:
+      case UnitState::kCanceled:
+        if (exec_started_at_ != kNoTime && exec_stopped_at_ == kNoTime) {
+          exec_stopped_at_ = now;
+        }
+        finished_at_ = now;
+        break;
+      default:
+        break;
+    }
+    if (to == UnitState::kFailed) {
+      final_status_ = failure.is_ok()
+                          ? make_error(Errc::kExecutionFailed,
+                                       "unit " + uid_ + " failed")
+                          : failure;
+    }
+    callbacks = callbacks_;
+  }
+  ENTK_DEBUG("pilot.unit") << uid_ << " -> " << unit_state_name(to);
+  for (const auto& callback : callbacks) callback(*this, to);
+  return Status::ok();
+}
+
+void ComputeUnit::stamp_created() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (created_at_ == kNoTime) created_at_ = clock_.now();
+}
+
+void ComputeUnit::stamp_submitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  submitted_at_ = clock_.now();
+}
+
+void ComputeUnit::note_retry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++retries_;
+}
+
+Status ComputeUnit::reset_for_retry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != UnitState::kFailed) {
+    return make_error(Errc::kFailedPrecondition,
+                      "unit " + uid_ + " is not failed; cannot retry");
+  }
+  state_ = UnitState::kPendingExecution;
+  final_status_ = Status::ok();
+  exec_started_at_ = kNoTime;
+  exec_stopped_at_ = kNoTime;
+  finished_at_ = kNoTime;
+  return Status::ok();
+}
+
+}  // namespace entk::pilot

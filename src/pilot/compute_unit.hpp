@@ -1,0 +1,81 @@
+// ComputeUnit: one task in flight, with its profiling timeline.
+//
+// The timeline drives the paper's overhead decomposition:
+//   created -> submitted  : EnTK pattern overhead (creation+submission)
+//   submitted -> started  : runtime (agent) overhead: queueing + spawn
+//   started -> stopped    : execution time
+//   stopped -> finalised  : output staging + bookkeeping
+// Thread-safe for the local backend (worker threads mutate state).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "pilot/descriptions.hpp"
+#include "pilot/states.hpp"
+
+namespace entk::pilot {
+
+class ComputeUnit {
+ public:
+  using Callback = std::function<void(ComputeUnit&, UnitState)>;
+
+  ComputeUnit(std::string uid, UnitDescription description,
+              const Clock& clock);
+
+  const std::string& uid() const { return uid_; }
+  const UnitDescription& description() const { return description_; }
+
+  UnitState state() const;
+  Status final_status() const;
+
+  /// Number of times this unit has been (re)started after failure.
+  Count retries() const;
+
+  // Profiling timeline (kNoTime until stamped).
+  TimePoint created_at() const;    ///< Accepted by the unit manager.
+  TimePoint submitted_at() const;  ///< Handed to the agent.
+  TimePoint exec_started_at() const;
+  TimePoint exec_stopped_at() const;
+  TimePoint finished_at() const;
+
+  /// Time spent occupying cores (exec_stopped - exec_started); 0 if the
+  /// unit never executed.
+  Duration execution_time() const;
+
+  void on_state_change(Callback callback);
+
+  // --- runtime interface (agents and unit managers only) ---
+  Status advance_state(UnitState to, Status failure = Status::ok());
+  void stamp_created();
+  void stamp_submitted();
+  void note_retry();
+  /// Rewinds a failed unit to kPendingExecution for resubmission.
+  Status reset_for_retry();
+
+ private:
+  const std::string uid_;
+  const UnitDescription description_;
+  const Clock& clock_;
+
+  mutable std::mutex mutex_;
+  UnitState state_ = UnitState::kNew;
+  Status final_status_;
+  Count retries_ = 0;
+  TimePoint created_at_ = kNoTime;
+  TimePoint submitted_at_ = kNoTime;
+  TimePoint exec_started_at_ = kNoTime;
+  TimePoint exec_stopped_at_ = kNoTime;
+  TimePoint finished_at_ = kNoTime;
+  std::vector<Callback> callbacks_;
+};
+
+using ComputeUnitPtr = std::shared_ptr<ComputeUnit>;
+
+}  // namespace entk::pilot

@@ -1,0 +1,54 @@
+#include "pilot/descriptions.hpp"
+
+namespace entk::pilot {
+
+Status PilotDescription::validate() const {
+  if (resource.empty()) {
+    return make_error(Errc::kInvalidArgument,
+                      "pilot description needs a resource name");
+  }
+  if (cores < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "pilot must request at least one core");
+  }
+  if (runtime <= 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "pilot runtime must be positive");
+  }
+  return Status::ok();
+}
+
+Status UnitDescription::validate() const {
+  if (cores < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "unit '" + name + "' must request at least one core");
+  }
+  if (!uses_mpi && cores > 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "unit '" + name +
+                          "' requests multiple cores but is not MPI");
+  }
+  if (simulated_duration < 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "unit '" + name + "' has negative duration");
+  }
+  if (max_retries < 0) {
+    return make_error(Errc::kInvalidArgument,
+                      "unit '" + name + "' has negative max_retries");
+  }
+  for (const auto& directive : input_staging) {
+    if (directive.source.empty()) {
+      return make_error(Errc::kInvalidArgument,
+                        "unit '" + name + "' has staging without a source");
+    }
+  }
+  for (const auto& directive : output_staging) {
+    if (directive.source.empty()) {
+      return make_error(Errc::kInvalidArgument,
+                        "unit '" + name + "' has staging without a source");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace entk::pilot

@@ -1,0 +1,75 @@
+// Descriptions of pilots and compute units (the RP API analogues of
+// ComputePilotDescription / ComputeUnitDescription).
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace entk::pilot {
+
+/// Requests one pilot: a container job holding `cores` cores on
+/// `resource` for `runtime` seconds, inside which any number of units
+/// can be scheduled (application-level scheduling).
+struct PilotDescription {
+  std::string resource;      ///< Machine name, e.g. "xsede.comet".
+  Count cores = 0;           ///< Cores to hold.
+  Duration runtime = 3600;   ///< Walltime of the container job.
+  std::string queue;         ///< Batch queue (informational).
+  std::string project;       ///< Allocation to charge (informational).
+
+  Status validate() const;
+};
+
+/// One file-staging action. On the simulated backend the transfer costs
+/// latency + size/bandwidth; on the local backend the file is really
+/// copied (or linked) between the unit sandbox and the shared space.
+struct StagingDirective {
+  enum class Action { kCopy, kLink, kMove };
+  std::string source;      ///< Path relative to shared space (input) or
+                           ///< sandbox (output).
+  std::string target;      ///< Destination path, same conventions.
+  Action action = Action::kCopy;
+  double size_mb = 0.0;    ///< Transfer size for the simulated backend.
+};
+
+/// Runtime context a unit payload executes in (local backend).
+struct UnitRuntimeContext {
+  std::filesystem::path sandbox;  ///< Private working directory.
+  std::filesystem::path shared;   ///< Pilot-wide shared directory.
+  Count cores = 1;                ///< Cores assigned to this unit.
+  const std::map<std::string, std::string>* environment = nullptr;
+};
+
+/// In-process stand-in for the unit's executable.
+using UnitPayload = std::function<Status(const UnitRuntimeContext&)>;
+
+/// Requests one compute unit (task).
+struct UnitDescription {
+  std::string name;                 ///< Kernel/task label for profiling.
+  std::string executable;           ///< Command line (informational).
+  std::vector<std::string> arguments;
+  std::map<std::string, std::string> environment;
+  Count cores = 1;                  ///< Cores (MPI ranks) required.
+  bool uses_mpi = false;            ///< Multi-core MPI launch.
+  std::vector<StagingDirective> input_staging;
+  std::vector<StagingDirective> output_staging;
+
+  /// Real work for the local backend.
+  UnitPayload payload;
+  /// Core occupancy time for the simulated backend.
+  Duration simulated_duration = 0.0;
+  /// Failure injection (simulated backend): unit fails after running.
+  bool simulated_fail = false;
+  /// Automatic resubmissions on failure (both backends).
+  Count max_retries = 0;
+
+  Status validate() const;
+};
+
+}  // namespace entk::pilot

@@ -1,0 +1,218 @@
+#include "pilot/local_agent.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "pilot/stager.hpp"
+
+namespace entk::pilot {
+
+namespace fs = std::filesystem;
+
+LocalAgent::LocalAgent(sim::MachineProfile machine, Count cores,
+                       std::unique_ptr<Scheduler> scheduler,
+                       const Clock& clock, fs::path session_dir)
+    : machine_(std::move(machine)),
+      cores_(cores),
+      scheduler_(std::move(scheduler)),
+      clock_(clock),
+      session_dir_(std::move(session_dir)),
+      free_(cores) {
+  ENTK_CHECK(cores_ >= 1, "agent needs at least one core");
+  ENTK_CHECK(scheduler_ != nullptr, "agent needs a scheduler");
+  shared_dir_ = session_dir_ / "shared";
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(cores_), 16);
+  pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+LocalAgent::~LocalAgent() {
+  // Workers reference this object; drain them before members die.
+  pool_.reset();
+}
+
+void LocalAgent::start(std::function<void()> on_ready) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ENTK_CHECK(!started_, "agent started twice");
+    fs::create_directories(shared_dir_);
+    fs::create_directories(session_dir_ / "units");
+    started_ = true;
+  }
+  if (on_ready) on_ready();
+  std::lock_guard<std::mutex> lock(mutex_);
+  schedule_locked();
+}
+
+Status LocalAgent::submit(std::vector<ComputeUnitPtr> units) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& unit : units) {
+    if (unit->state() != UnitState::kPendingExecution) {
+      return make_error(Errc::kFailedPrecondition,
+                        "unit " + unit->uid() + " is " +
+                            unit_state_name(unit->state()) +
+                            "; expected pending_execution");
+    }
+    if (unit->description().cores > cores_) {
+      ENTK_RETURN_IF_ERROR(unit->advance_state(
+          UnitState::kFailed,
+          make_error(Errc::kResourceExhausted,
+                     "unit " + unit->uid() + " needs " +
+                         std::to_string(unit->description().cores) +
+                         " cores; pilot has " + std::to_string(cores_))));
+      continue;
+    }
+    unit->stamp_submitted();
+    waiting_.push_back(std::move(unit));
+  }
+  if (started_) schedule_locked();
+  return Status::ok();
+}
+
+Status LocalAgent::cancel_unit(const ComputeUnitPtr& unit) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = std::find(waiting_.begin(), waiting_.end(), unit);
+    if (it != waiting_.end()) {
+      waiting_.erase(it);
+    } else if (!pilot::is_final(unit->state()) &&
+               unit->state() != UnitState::kNew) {
+      // Executing on a worker thread: payloads are uninterruptible.
+      return make_error(Errc::kFailedPrecondition,
+                        "unit " + unit->uid() +
+                            " is executing locally and cannot be killed");
+    } else {
+      return make_error(Errc::kNotFound,
+                        "unit " + unit->uid() +
+                            " is not active on this agent");
+    }
+  }
+  return unit->advance_state(UnitState::kCanceled);
+}
+
+void LocalAgent::cancel_waiting() {
+  std::deque<ComputeUnitPtr> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled.swap(waiting_);
+  }
+  for (const auto& unit : cancelled) {
+    (void)unit->advance_state(UnitState::kCanceled);
+  }
+}
+
+Count LocalAgent::free_cores() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_;
+}
+
+std::size_t LocalAgent::waiting_units() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiting_.size();
+}
+
+std::size_t LocalAgent::running_units() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+Duration LocalAgent::total_spawn_overhead() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spawn_total_;
+}
+
+void LocalAgent::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return waiting_.empty() && running_ == 0; });
+}
+
+void LocalAgent::schedule_locked() {
+  if (waiting_.empty() || free_ <= 0) return;
+  const auto picks = scheduler_->select(waiting_, free_);
+  if (picks.empty()) return;
+  Count requested = 0;
+  for (const std::size_t i : picks) {
+    ENTK_CHECK(i < waiting_.size(), "scheduler returned bad index");
+    requested += waiting_[i]->description().cores;
+  }
+  ENTK_CHECK(requested <= free_, "scheduler over-committed cores");
+  std::vector<ComputeUnitPtr> selected;
+  selected.reserve(picks.size());
+  for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
+    selected.push_back(waiting_[*it]);
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  std::reverse(selected.begin(), selected.end());
+  for (auto& unit : selected) {
+    free_ -= unit->description().cores;
+    ++running_;
+    spawn_total_ += machine_.unit_spawn_overhead;
+    ComputeUnitPtr launched = std::move(unit);
+    pool_->submit([this, launched] { execute(launched); });
+  }
+}
+
+void LocalAgent::execute(ComputeUnitPtr unit) {
+  const auto& desc = unit->description();
+  const fs::path sandbox = session_dir_ / "units" / unit->uid();
+  Status status;
+  std::error_code ec;
+  fs::create_directories(sandbox, ec);
+  if (ec) {
+    status = make_error(Errc::kIoError,
+                        "cannot create sandbox: " + ec.message());
+  }
+
+  if (status.is_ok()) {
+    (void)unit->advance_state(UnitState::kStagingInput);
+    status = execute_staging(desc.input_staging, shared_dir_, sandbox);
+  }
+  if (status.is_ok()) {
+    (void)unit->advance_state(UnitState::kExecuting);
+    if (desc.simulated_fail && unit->retries() == 0) {
+      status = make_error(Errc::kExecutionFailed,
+                          "unit " + unit->uid() + " failed (injected)");
+    } else if (desc.payload) {
+      UnitRuntimeContext context;
+      context.sandbox = sandbox;
+      context.shared = shared_dir_;
+      context.cores = desc.cores;
+      context.environment = &desc.environment;
+      // A payload that throws must fail its unit, not kill the worker
+      // thread (and with it the whole process).
+      try {
+        status = desc.payload(context);
+      } catch (const std::exception& error) {
+        status = make_error(Errc::kExecutionFailed,
+                            "unit " + unit->uid() +
+                                " payload threw: " + error.what());
+      } catch (...) {
+        status = make_error(Errc::kExecutionFailed,
+                            "unit " + unit->uid() +
+                                " payload threw a non-exception");
+      }
+    }
+  }
+  if (status.is_ok()) {
+    (void)unit->advance_state(UnitState::kStagingOutput);
+    status = execute_staging(desc.output_staging, sandbox, shared_dir_);
+  }
+
+  // Finalize the unit before releasing cores: by the time wait_idle()
+  // observes the agent idle, every unit must be in a final state.
+  if (status.is_ok()) {
+    (void)unit->advance_state(UnitState::kDone);
+  } else {
+    (void)unit->advance_state(UnitState::kFailed, status);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_ += desc.cores;
+    ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
+    --running_;
+    schedule_locked();
+    if (waiting_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace entk::pilot

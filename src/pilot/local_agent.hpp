@@ -1,0 +1,68 @@
+// Agent implementation for the local backend: really executes unit
+// payloads on a thread pool, with real file staging between each
+// unit's private sandbox and the pilot's shared space.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/thread_pool.hpp"
+#include "pilot/agent.hpp"
+#include "sim/machine.hpp"
+
+namespace entk::pilot {
+
+class LocalAgent final : public Agent {
+ public:
+  /// `session_dir` is created if missing; it gains `shared/` (visible
+  /// to all units) and `units/<uid>/` sandboxes.
+  LocalAgent(sim::MachineProfile machine, Count cores,
+             std::unique_ptr<Scheduler> scheduler, const Clock& clock,
+             std::filesystem::path session_dir);
+  ~LocalAgent() override;
+
+  void start(std::function<void()> on_ready) override;
+  Status submit(std::vector<ComputeUnitPtr> units) override;
+  void cancel_waiting() override;
+  Status cancel_unit(const ComputeUnitPtr& unit) override;
+
+  Count total_cores() const override { return cores_; }
+  Count free_cores() const override;
+  std::size_t waiting_units() const override;
+  std::size_t running_units() const override;
+  Duration total_spawn_overhead() const override;
+
+  const std::filesystem::path& shared_dir() const { return shared_dir_; }
+  std::filesystem::path shared_directory() const override {
+    return shared_dir_;
+  }
+
+  /// Blocks until no units are waiting or running.
+  void wait_idle();
+
+ private:
+  void schedule_locked();  // requires mutex_ held
+  void execute(ComputeUnitPtr unit);
+
+  const sim::MachineProfile machine_;
+  const Count cores_;
+  std::unique_ptr<Scheduler> scheduler_;
+  const Clock& clock_;
+  std::filesystem::path session_dir_;
+  std::filesystem::path shared_dir_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  bool started_ = false;
+  Count free_;
+  std::deque<ComputeUnitPtr> waiting_;
+  std::size_t running_ = 0;
+  Duration spawn_total_ = 0.0;
+};
+
+}  // namespace entk::pilot

@@ -1,0 +1,60 @@
+#include "pilot/local_backend.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/uid.hpp"
+#include "pilot/local_agent.hpp"
+
+namespace entk::pilot {
+
+namespace fs = std::filesystem;
+
+LocalBackend::LocalBackend(Count cores, fs::path session_dir) {
+  ENTK_CHECK(cores >= 1, "local backend needs at least one core");
+  machine_ = sim::localhost_profile();
+  machine_.nodes = 1;
+  machine_.cores_per_node = cores;
+  adaptor_ = std::make_unique<saga::LocalAdaptor>(cores);
+  if (session_dir.empty()) {
+    session_dir_ = fs::temp_directory_path() / next_uid("entk-session");
+    owns_session_dir_ = true;
+  } else {
+    session_dir_ = std::move(session_dir);
+  }
+  fs::create_directories(session_dir_);
+}
+
+LocalBackend::~LocalBackend() {
+  // Join all workers before tearing down the session directory.
+  adaptor_.reset();
+  if (owns_session_dir_) {
+    std::error_code ec;
+    fs::remove_all(session_dir_, ec);
+  }
+}
+
+Result<std::unique_ptr<Agent>> LocalBackend::make_agent(
+    Count cores, const std::string& scheduler_policy) {
+  auto scheduler = make_scheduler(scheduler_policy);
+  if (!scheduler.ok()) return scheduler.status();
+  return std::unique_ptr<Agent>(std::make_unique<LocalAgent>(
+      machine_, cores, scheduler.take(), adaptor_->clock(),
+      session_dir_ / next_uid("pilot-session")));
+}
+
+Status LocalBackend::drive_until(const std::function<bool()>& done,
+                                 Duration timeout) {
+  // Real work happens on agent worker threads; this thread just polls.
+  const TimePoint deadline =
+      timeout == kTimeInfinity ? kTimeInfinity : clock().now() + timeout;
+  while (!done()) {
+    if (clock().now() > deadline) {
+      return make_error(Errc::kTimedOut, "local wait deadline passed");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return Status::ok();
+}
+
+}  // namespace entk::pilot

@@ -1,0 +1,42 @@
+// Local execution backend: pilots become slot reservations on this
+// host; units really execute their payloads (files are written, MD is
+// integrated, analyses run) in real time.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+
+#include "pilot/backend.hpp"
+#include "saga/local_adaptor.hpp"
+
+namespace entk::pilot {
+
+class LocalBackend final : public ExecutionBackend {
+ public:
+  /// `cores` is the local machine size exposed to pilots. If
+  /// `session_dir` is empty a fresh directory under the system temp
+  /// path is used; it is removed on destruction only if we created it.
+  explicit LocalBackend(Count cores,
+                        std::filesystem::path session_dir = {});
+  ~LocalBackend() override;
+
+  saga::JobService& job_service() override { return *adaptor_; }
+  const Clock& clock() const override { return adaptor_->clock(); }
+  const sim::MachineProfile& machine() const override { return machine_; }
+  Result<std::unique_ptr<Agent>> make_agent(
+      Count cores, const std::string& scheduler_policy) override;
+  Status drive_until(const std::function<bool()>& done,
+                     Duration timeout = kTimeInfinity) override;
+  void advance(Duration) override {}  // real work takes real time
+  std::string name() const override { return "local"; }
+
+  const std::filesystem::path& session_dir() const { return session_dir_; }
+
+ private:
+  sim::MachineProfile machine_;
+  std::unique_ptr<saga::LocalAdaptor> adaptor_;
+  std::filesystem::path session_dir_;
+  bool owns_session_dir_ = false;
+};
+
+}  // namespace entk::pilot

@@ -1,0 +1,70 @@
+// Pilot: a placeholder/container job plus the agent living inside it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "pilot/descriptions.hpp"
+#include "pilot/states.hpp"
+#include "saga/job.hpp"
+
+namespace entk::pilot {
+
+class Agent;
+
+class Pilot {
+ public:
+  using Callback = std::function<void(Pilot&, PilotState)>;
+
+  Pilot(std::string uid, PilotDescription description, const Clock& clock);
+  ~Pilot();
+
+  const std::string& uid() const { return uid_; }
+  const PilotDescription& description() const { return description_; }
+
+  PilotState state() const;
+  Status final_status() const;
+
+  // Profiling timeline.
+  TimePoint submitted_at() const;  ///< Container job entered the queue.
+  TimePoint active_at() const;     ///< Agent finished bootstrapping.
+  TimePoint finished_at() const;
+
+  /// Queue wait + bootstrap: active_at - submitted_at (0 until active).
+  Duration startup_time() const;
+
+  /// The agent executing units inside this pilot; null until active.
+  Agent* agent() const { return agent_.get(); }
+
+  void on_state_change(Callback callback);
+
+  // --- runtime interface (pilot manager only) ---
+  Status advance_state(PilotState to, Status failure = Status::ok());
+  void attach_job(saga::JobPtr job);
+  saga::JobPtr job() const;
+  void attach_agent(std::unique_ptr<Agent> agent);
+
+ private:
+  const std::string uid_;
+  const PilotDescription description_;
+  const Clock& clock_;
+
+  mutable std::mutex mutex_;
+  PilotState state_ = PilotState::kNew;
+  Status final_status_;
+  TimePoint submitted_at_ = kNoTime;
+  TimePoint active_at_ = kNoTime;
+  TimePoint finished_at_ = kNoTime;
+  saga::JobPtr job_;
+  std::unique_ptr<Agent> agent_;
+  std::vector<Callback> callbacks_;
+};
+
+using PilotPtr = std::shared_ptr<Pilot>;
+
+}  // namespace entk::pilot

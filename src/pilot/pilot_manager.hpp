@@ -1,0 +1,45 @@
+// PilotManager: submits container jobs and brings agents to life
+// (the RP PilotManager analogue).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pilot/backend.hpp"
+#include "pilot/pilot.hpp"
+
+namespace entk::pilot {
+
+class PilotManager {
+ public:
+  explicit PilotManager(ExecutionBackend& backend);
+
+  /// Submits a pilot: validates against the backend's machine, submits
+  /// the container job and wires the agent to start when the job runs.
+  /// The returned pilot is kPendingQueue.
+  Result<PilotPtr> submit_pilot(PilotDescription description,
+                                const std::string& scheduler_policy =
+                                    "backfill");
+
+  /// Drives the backend until the pilot is active (or failed).
+  Status wait_active(const PilotPtr& pilot,
+                     Duration timeout = kTimeInfinity);
+
+  /// Completes the container job and marks the pilot done. Waiting
+  /// units are cancelled; running ones are lost with the allocation
+  /// (as on a real machine).
+  Status deallocate(const PilotPtr& pilot);
+
+  /// Cancels a pending or active pilot.
+  Status cancel(const PilotPtr& pilot);
+
+  const std::vector<PilotPtr>& pilots() const { return pilots_; }
+  ExecutionBackend& backend() { return backend_; }
+
+ private:
+  ExecutionBackend& backend_;
+  std::vector<PilotPtr> pilots_;
+};
+
+}  // namespace entk::pilot

@@ -1,0 +1,72 @@
+#include "pilot/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace entk::pilot {
+
+std::vector<std::size_t> FifoScheduler::select(
+    const std::deque<ComputeUnitPtr>& waiting, Count free_cores) {
+  std::vector<std::size_t> picks;
+  Count budget = free_cores;
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    const Count need = waiting[i]->description().cores;
+    if (need > budget) break;  // head-of-line blocking, by design
+    picks.push_back(i);
+    budget -= need;
+  }
+  return picks;
+}
+
+std::vector<std::size_t> BackfillScheduler::select(
+    const std::deque<ComputeUnitPtr>& waiting, Count free_cores) {
+  std::vector<std::size_t> picks;
+  Count budget = free_cores;
+  for (std::size_t i = 0; i < waiting.size() && budget > 0; ++i) {
+    const Count need = waiting[i]->description().cores;
+    if (need <= budget) {
+      picks.push_back(i);
+      budget -= need;
+    }
+  }
+  return picks;
+}
+
+std::vector<std::size_t> LargestFirstScheduler::select(
+    const std::deque<ComputeUnitPtr>& waiting, Count free_cores) {
+  std::vector<std::size_t> order(waiting.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return waiting[a]->description().cores >
+                            waiting[b]->description().cores;
+                   });
+  std::vector<std::size_t> picks;
+  Count budget = free_cores;
+  for (const std::size_t i : order) {
+    const Count need = waiting[i]->description().cores;
+    if (need <= budget) {
+      picks.push_back(i);
+      budget -= need;
+    }
+  }
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+Result<std::unique_ptr<Scheduler>> make_scheduler(const std::string& policy) {
+  if (policy == "fifo") {
+    return std::unique_ptr<Scheduler>(std::make_unique<FifoScheduler>());
+  }
+  if (policy == "backfill") {
+    return std::unique_ptr<Scheduler>(std::make_unique<BackfillScheduler>());
+  }
+  if (policy == "largest_first") {
+    return std::unique_ptr<Scheduler>(
+        std::make_unique<LargestFirstScheduler>());
+  }
+  return make_error(Errc::kNotFound,
+                    "unknown scheduler policy '" + policy + "'");
+}
+
+}  // namespace entk::pilot

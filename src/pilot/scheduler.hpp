@@ -1,0 +1,68 @@
+// Application-level (agent) schedulers.
+//
+// Once a pilot holds an allocation, *the application* decides which
+// waiting units occupy which cores — the defining capability of
+// pilot systems. The policy is pluggable; the paper delegates it to
+// RADICAL-Pilot's default (FIFO with backfill), and our ablation bench
+// compares the policies below.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pilot/compute_unit.hpp"
+
+namespace entk::pilot {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Picks units from `waiting` (FIFO order preserved in the deque)
+  /// that should start now given `free_cores`. Returns indices into
+  /// `waiting`, each selected unit's cores counted against the budget.
+  /// Implementations must never over-commit: the summed cores of the
+  /// returned units must be <= free_cores.
+  virtual std::vector<std::size_t> select(
+      const std::deque<ComputeUnitPtr>& waiting, Count free_cores) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Strict FIFO: launch from the front while units fit; the first unit
+/// that does not fit blocks everything behind it (no backfill).
+class FifoScheduler final : public Scheduler {
+ public:
+  std::vector<std::size_t> select(const std::deque<ComputeUnitPtr>& waiting,
+                                  Count free_cores) override;
+  std::string name() const override { return "fifo"; }
+};
+
+/// FIFO with backfill (first-fit): scan the whole queue and launch any
+/// unit that fits. This is RADICAL-Pilot's default behaviour and the
+/// toolkit's default policy.
+class BackfillScheduler final : public Scheduler {
+ public:
+  std::vector<std::size_t> select(const std::deque<ComputeUnitPtr>& waiting,
+                                  Count free_cores) override;
+  std::string name() const override { return "backfill"; }
+};
+
+/// Largest-first: sort candidates by core count descending (FIFO as a
+/// tie-break) and first-fit. Reduces fragmentation for mixed-size
+/// workloads at the price of delaying small units.
+class LargestFirstScheduler final : public Scheduler {
+ public:
+  std::vector<std::size_t> select(const std::deque<ComputeUnitPtr>& waiting,
+                                  Count free_cores) override;
+  std::string name() const override { return "largest_first"; }
+};
+
+/// Creates a scheduler by policy name ("fifo", "backfill",
+/// "largest_first").
+Result<std::unique_ptr<Scheduler>> make_scheduler(const std::string& policy);
+
+}  // namespace entk::pilot

@@ -1,0 +1,187 @@
+#include "pilot/sim_agent.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "pilot/stager.hpp"
+
+namespace entk::pilot {
+
+SimAgent::SimAgent(sim::Engine& engine, sim::MachineProfile machine,
+                   Count cores, std::unique_ptr<Scheduler> scheduler)
+    : engine_(engine),
+      machine_(std::move(machine)),
+      cores_(cores),
+      scheduler_(std::move(scheduler)),
+      free_(cores) {
+  ENTK_CHECK(cores_ >= 1, "agent needs at least one core");
+  ENTK_CHECK(scheduler_ != nullptr, "agent needs a scheduler");
+}
+
+void SimAgent::start(std::function<void()> on_ready) {
+  ENTK_CHECK(!start_requested_, "agent started twice");
+  start_requested_ = true;
+  // Agent bootstrap: units submitted in the meantime queue up.
+  engine_.schedule(machine_.pilot_bootstrap,
+                   [this, on_ready = std::move(on_ready)] {
+                     started_ = true;
+                     spawner_free_at_.assign(
+                         static_cast<std::size_t>(
+                             std::max<Count>(machine_.spawner_concurrency,
+                                             1)),
+                         engine_.now());
+                     if (on_ready) on_ready();
+                     schedule_loop();
+                   });
+}
+
+Status SimAgent::submit(std::vector<ComputeUnitPtr> units) {
+  for (auto& unit : units) {
+    if (unit->state() != UnitState::kPendingExecution) {
+      return make_error(Errc::kFailedPrecondition,
+                        "unit " + unit->uid() + " is " +
+                            unit_state_name(unit->state()) +
+                            "; expected pending_execution");
+    }
+    if (unit->description().cores > cores_) {
+      ENTK_RETURN_IF_ERROR(unit->advance_state(
+          UnitState::kFailed,
+          make_error(Errc::kResourceExhausted,
+                     "unit " + unit->uid() + " needs " +
+                         std::to_string(unit->description().cores) +
+                         " cores; pilot has " + std::to_string(cores_))));
+      continue;
+    }
+    unit->stamp_submitted();
+    waiting_.push_back(std::move(unit));
+  }
+  if (started_) schedule_loop();
+  return Status::ok();
+}
+
+void SimAgent::cancel_waiting() {
+  std::deque<ComputeUnitPtr> cancelled;
+  cancelled.swap(waiting_);
+  for (const auto& unit : cancelled) {
+    (void)unit->advance_state(UnitState::kCanceled);
+  }
+}
+
+void SimAgent::schedule_loop() {
+  if (!started_ || waiting_.empty() || free_ <= 0) return;
+  const auto picks = scheduler_->select(waiting_, free_);
+  if (picks.empty()) return;
+  // Validate the scheduler's core budget before committing.
+  Count requested = 0;
+  for (const std::size_t i : picks) {
+    ENTK_CHECK(i < waiting_.size(), "scheduler returned bad index");
+    requested += waiting_[i]->description().cores;
+  }
+  ENTK_CHECK(requested <= free_, "scheduler over-committed cores");
+  // Remove back-to-front so indices stay valid.
+  std::vector<ComputeUnitPtr> selected;
+  selected.reserve(picks.size());
+  for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
+    selected.push_back(waiting_[*it]);
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  // Launch in FIFO order (picks were ascending).
+  std::reverse(selected.begin(), selected.end());
+  for (auto& unit : selected) {
+    free_ -= unit->description().cores;
+    ++running_;
+    occupying_.insert(unit.get());
+    launch(std::move(unit));
+  }
+}
+
+Status SimAgent::cancel_unit(const ComputeUnitPtr& unit) {
+  // Waiting: remove from the queue.
+  const auto it = std::find(waiting_.begin(), waiting_.end(), unit);
+  if (it != waiting_.end()) {
+    waiting_.erase(it);
+    return unit->advance_state(UnitState::kCanceled);
+  }
+  // Occupying cores: void its future events (their callbacks check the
+  // unit state) and reclaim the cores now.
+  if (occupying_.count(unit.get()) != 0) {
+    occupying_.erase(unit.get());
+    ENTK_RETURN_IF_ERROR(unit->advance_state(UnitState::kCanceled));
+    free_ += unit->description().cores;
+    ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
+    --running_;
+    schedule_loop();
+    return Status::ok();
+  }
+  return make_error(Errc::kNotFound,
+                    "unit " + unit->uid() + " is not active on this agent");
+}
+
+void SimAgent::launch(ComputeUnitPtr unit) {
+  const auto& desc = unit->description();
+  ENTK_CHECK(unit->advance_state(UnitState::kStagingInput).is_ok(),
+             "launch on non-pending unit");
+
+  const TimePoint now = engine_.now();
+  const Duration stage_in = staging_delay(machine_, desc.input_staging);
+  // Spawn on the earliest-free spawner worker; per-worker FIFO.
+  auto earliest = std::min_element(spawner_free_at_.begin(),
+                                   spawner_free_at_.end());
+  ENTK_CHECK(earliest != spawner_free_at_.end(), "agent not bootstrapped");
+  const TimePoint spawn_start = std::max(now + stage_in, *earliest);
+  *earliest = spawn_start + machine_.unit_spawn_overhead;
+  spawn_total_ += machine_.unit_spawn_overhead;
+  const TimePoint exec_start =
+      spawn_start + machine_.unit_spawn_overhead +
+      machine_.unit_launch_latency;
+  const TimePoint exec_stop = exec_start + desc.simulated_duration;
+
+  engine_.schedule_at(exec_start, [unit] {
+    if (unit->state() != UnitState::kStagingInput) return;
+    ENTK_CHECK(unit->advance_state(UnitState::kExecuting).is_ok(),
+               "unit lost before execution");
+  });
+  engine_.schedule_at(exec_stop, [this, unit] {
+    if (unit->state() != UnitState::kExecuting) return;
+    finalize(unit);
+  });
+}
+
+void SimAgent::finalize(const ComputeUnitPtr& unit) {
+  const auto& desc = unit->description();
+  // `simulated_fail` injects one failure on the first execution so that
+  // retry logic can be exercised deterministically.
+  const bool fail_now = desc.simulated_fail && unit->retries() == 0;
+  const Duration stage_out =
+      fail_now ? 0.0 : staging_delay(machine_, desc.output_staging);
+
+  auto release = [this, unit] {
+    if (occupying_.erase(unit.get()) == 0) return;  // cancelled earlier
+    free_ += unit->description().cores;
+    ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
+    --running_;
+    schedule_loop();
+  };
+
+  if (fail_now) {
+    ENTK_CHECK(unit->advance_state(
+                       UnitState::kFailed,
+                       make_error(Errc::kExecutionFailed,
+                                  "unit " + unit->uid() +
+                                      " failed (injected)"))
+                   .is_ok(),
+               "failing unit");
+    release();
+    return;
+  }
+  ENTK_CHECK(unit->advance_state(UnitState::kStagingOutput).is_ok(),
+             "unit lost before output staging");
+  engine_.schedule(stage_out, [unit, release] {
+    if (unit->state() != UnitState::kStagingOutput) return;
+    ENTK_CHECK(unit->advance_state(UnitState::kDone).is_ok(),
+               "unit lost before done");
+    release();
+  });
+}
+
+}  // namespace entk::pilot

@@ -1,0 +1,61 @@
+// Agent implementation for the simulated backend.
+//
+// Drives the full unit lifecycle on the event engine:
+//   select (scheduler) -> input staging -> serialized spawn ->
+//   launch latency -> execution -> output staging -> done
+// Core accounting is exact: cores are reserved at selection and
+// released when the unit leaves the machine, so the scheduler can never
+// over-subscribe the pilot.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "pilot/agent.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+
+namespace entk::pilot {
+
+class SimAgent final : public Agent {
+ public:
+  SimAgent(sim::Engine& engine, sim::MachineProfile machine, Count cores,
+           std::unique_ptr<Scheduler> scheduler);
+
+  void start(std::function<void()> on_ready) override;
+  Status submit(std::vector<ComputeUnitPtr> units) override;
+  void cancel_waiting() override;
+  Status cancel_unit(const ComputeUnitPtr& unit) override;
+
+  Count total_cores() const override { return cores_; }
+  Count free_cores() const override { return free_; }
+  std::size_t waiting_units() const override { return waiting_.size(); }
+  std::size_t running_units() const override { return running_; }
+  Duration total_spawn_overhead() const override { return spawn_total_; }
+
+ private:
+  void schedule_loop();
+  void launch(ComputeUnitPtr unit);
+  void finalize(const ComputeUnitPtr& unit);
+
+  sim::Engine& engine_;
+  const sim::MachineProfile machine_;
+  const Count cores_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  bool start_requested_ = false;
+  bool started_ = false;  ///< true once the bootstrap delay elapsed
+  Count free_;
+  std::deque<ComputeUnitPtr> waiting_;
+  std::size_t running_ = 0;
+  /// Units currently holding cores (launch -> release window).
+  std::unordered_set<const ComputeUnit*> occupying_;
+  /// Per-spawner-worker busy-until times: each launch occupies the
+  /// earliest-free worker for unit_spawn_overhead (RP runs a small pool
+  /// of spawner workers; launches queue when all are busy).
+  std::vector<TimePoint> spawner_free_at_;
+  Duration spawn_total_ = 0.0;
+};
+
+}  // namespace entk::pilot

@@ -1,0 +1,40 @@
+#include "pilot/sim_backend.hpp"
+
+#include "pilot/sim_agent.hpp"
+
+namespace entk::pilot {
+
+SimBackend::SimBackend(sim::MachineProfile machine,
+                       sim::BatchPolicy batch_policy)
+    : cluster_(machine), batch_(engine_, cluster_, batch_policy) {
+  adaptor_ = std::make_unique<saga::SimBatchAdaptor>(engine_, batch_,
+                                                     machine.name);
+}
+
+Result<std::unique_ptr<Agent>> SimBackend::make_agent(
+    Count cores, const std::string& scheduler_policy) {
+  auto scheduler = make_scheduler(scheduler_policy);
+  if (!scheduler.ok()) return scheduler.status();
+  return std::unique_ptr<Agent>(std::make_unique<SimAgent>(
+      engine_, cluster_.profile(), cores, scheduler.take()));
+}
+
+Status SimBackend::drive_until(const std::function<bool()>& done,
+                               Duration timeout) {
+  const TimePoint deadline =
+      timeout == kTimeInfinity ? kTimeInfinity : engine_.now() + timeout;
+  while (!done()) {
+    if (engine_.now() > deadline) {
+      return make_error(Errc::kTimedOut,
+                        "simulation passed the wait deadline");
+    }
+    if (!engine_.step()) {
+      return make_error(Errc::kInternal,
+                        "simulation drained with the wait condition unmet "
+                        "(deadlock in the modelled system?)");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace entk::pilot

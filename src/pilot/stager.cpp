@@ -1,0 +1,66 @@
+#include "pilot/stager.hpp"
+
+#include <system_error>
+
+namespace entk::pilot {
+
+namespace fs = std::filesystem;
+
+Status execute_staging(const std::vector<StagingDirective>& directives,
+                       const fs::path& from_base, const fs::path& to_base) {
+  for (const auto& directive : directives) {
+    const fs::path source = from_base / directive.source;
+    const fs::path target =
+        to_base / (directive.target.empty()
+                       ? fs::path(directive.source).filename().string()
+                       : directive.target);
+    std::error_code ec;
+    if (!fs::exists(source, ec)) {
+      return make_error(Errc::kIoError,
+                        "staging source missing: " + source.string());
+    }
+    fs::create_directories(target.parent_path(), ec);
+    switch (directive.action) {
+      case StagingDirective::Action::kCopy:
+        fs::copy(source, target, fs::copy_options::overwrite_existing, ec);
+        break;
+      case StagingDirective::Action::kLink:
+        fs::remove(target, ec);
+        fs::create_hard_link(source, target, ec);
+        // Cross-device links fall back to copy.
+        if (ec) {
+          ec.clear();
+          fs::copy(source, target, fs::copy_options::overwrite_existing, ec);
+        }
+        break;
+      case StagingDirective::Action::kMove:
+        fs::rename(source, target, ec);
+        if (ec) {  // cross-device rename fallback
+          ec.clear();
+          fs::copy(source, target, fs::copy_options::overwrite_existing, ec);
+          if (!ec) fs::remove(source, ec);
+        }
+        break;
+    }
+    if (ec) {
+      return make_error(Errc::kIoError, "staging " + source.string() +
+                                            " -> " + target.string() +
+                                            " failed: " + ec.message());
+    }
+  }
+  return Status::ok();
+}
+
+Duration staging_delay(const sim::MachineProfile& machine,
+                       const std::vector<StagingDirective>& directives) {
+  Duration delay = 0.0;
+  for (const auto& directive : directives) {
+    delay += machine.staging_latency;
+    if (directive.size_mb > 0.0) {
+      delay += directive.size_mb / machine.staging_bandwidth_mb_per_s;
+    }
+  }
+  return delay;
+}
+
+}  // namespace entk::pilot

@@ -1,0 +1,30 @@
+// Data staging: real file movement (local backend) and transfer-cost
+// modelling (simulated backend).
+//
+// Conventions: input directives read `source` relative to the pilot's
+// shared space and write `target` (default: basename of source) into
+// the unit sandbox; output directives read `source` relative to the
+// sandbox and write `target` into the shared space.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pilot/descriptions.hpp"
+#include "sim/machine.hpp"
+
+namespace entk::pilot {
+
+/// Executes staging directives with real filesystem operations.
+/// `from_base`/`to_base` are the resolution roots for source/target.
+Status execute_staging(const std::vector<StagingDirective>& directives,
+                       const std::filesystem::path& from_base,
+                       const std::filesystem::path& to_base);
+
+/// Models the (simulated) time the given transfers take on `machine`:
+/// one latency charge per directive plus size/bandwidth.
+Duration staging_delay(const sim::MachineProfile& machine,
+                       const std::vector<StagingDirective>& directives);
+
+}  // namespace entk::pilot

@@ -1,0 +1,75 @@
+#include "pilot/states.hpp"
+
+namespace entk::pilot {
+
+const char* pilot_state_name(PilotState state) {
+  switch (state) {
+    case PilotState::kNew: return "new";
+    case PilotState::kPendingQueue: return "pending_queue";
+    case PilotState::kActive: return "active";
+    case PilotState::kDone: return "done";
+    case PilotState::kFailed: return "failed";
+    case PilotState::kCanceled: return "canceled";
+  }
+  return "unknown";
+}
+
+const char* unit_state_name(UnitState state) {
+  switch (state) {
+    case UnitState::kNew: return "new";
+    case UnitState::kPendingExecution: return "pending_execution";
+    case UnitState::kStagingInput: return "staging_input";
+    case UnitState::kExecuting: return "executing";
+    case UnitState::kStagingOutput: return "staging_output";
+    case UnitState::kDone: return "done";
+    case UnitState::kFailed: return "failed";
+    case UnitState::kCanceled: return "canceled";
+  }
+  return "unknown";
+}
+
+bool is_final(PilotState state) {
+  return state == PilotState::kDone || state == PilotState::kFailed ||
+         state == PilotState::kCanceled;
+}
+
+bool is_final(UnitState state) {
+  return state == UnitState::kDone || state == UnitState::kFailed ||
+         state == UnitState::kCanceled;
+}
+
+bool is_valid_transition(UnitState from, UnitState to) {
+  if (is_final(from)) return false;
+  if (to == UnitState::kFailed || to == UnitState::kCanceled) return true;
+  switch (from) {
+    case UnitState::kNew:
+      return to == UnitState::kPendingExecution;
+    case UnitState::kPendingExecution:
+      return to == UnitState::kStagingInput || to == UnitState::kExecuting;
+    case UnitState::kStagingInput:
+      return to == UnitState::kExecuting;
+    case UnitState::kExecuting:
+      return to == UnitState::kStagingOutput || to == UnitState::kDone;
+    case UnitState::kStagingOutput:
+      return to == UnitState::kDone;
+    default:
+      return false;
+  }
+}
+
+bool is_valid_transition(PilotState from, PilotState to) {
+  if (is_final(from)) return false;
+  if (to == PilotState::kFailed || to == PilotState::kCanceled) return true;
+  switch (from) {
+    case PilotState::kNew:
+      return to == PilotState::kPendingQueue;
+    case PilotState::kPendingQueue:
+      return to == PilotState::kActive;
+    case PilotState::kActive:
+      return to == PilotState::kDone;
+    default:
+      return false;
+  }
+}
+
+}  // namespace entk::pilot

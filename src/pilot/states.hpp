@@ -1,0 +1,42 @@
+// State models for pilots and compute units.
+//
+// These mirror the RADICAL-Pilot state models the paper's profiling is
+// based on, collapsed to the states that matter for overhead
+// accounting: a unit spends time in scheduling queues, input staging,
+// execution and output staging, and each boundary is timestamped.
+#pragma once
+
+namespace entk::pilot {
+
+enum class PilotState {
+  kNew,           ///< Described, not yet submitted.
+  kPendingQueue,  ///< Container job waiting in the batch queue.
+  kActive,        ///< Agent bootstrapped; units can execute.
+  kDone,          ///< Deallocated normally.
+  kFailed,        ///< Container job failed/expired.
+  kCanceled,      ///< Cancelled by the application.
+};
+
+enum class UnitState {
+  kNew,              ///< Described, not yet accepted by a unit manager.
+  kPendingExecution, ///< In an agent's scheduling queue.
+  kStagingInput,     ///< Input staging in progress.
+  kExecuting,        ///< Occupying cores.
+  kStagingOutput,    ///< Output staging in progress.
+  kDone,
+  kFailed,
+  kCanceled,
+};
+
+const char* pilot_state_name(PilotState state);
+const char* unit_state_name(UnitState state);
+
+bool is_final(PilotState state);
+bool is_final(UnitState state);
+
+/// Legal transitions of the unit state machine (forward-only pipeline
+/// with failure/cancel exits from every non-final state).
+bool is_valid_transition(UnitState from, UnitState to);
+bool is_valid_transition(PilotState from, PilotState to);
+
+}  // namespace entk::pilot

@@ -1,0 +1,215 @@
+#include "pilot/unit_manager.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/uid.hpp"
+#include "pilot/agent.hpp"
+
+namespace entk::pilot {
+
+UnitManager::UnitManager(ExecutionBackend& backend) : backend_(backend) {}
+
+void UnitManager::add_pilot(PilotPtr pilot) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pilots_.push_back(pilot);
+  }
+  // Flush held units the moment the pilot comes up.
+  pilot->on_state_change([this](Pilot&, PilotState state) {
+    if (state == PilotState::kActive) route_locked();
+  });
+  if (pilot->state() == PilotState::kActive) route_locked();
+}
+
+Result<std::vector<ComputeUnitPtr>> UnitManager::submit_units(
+    std::vector<UnitDescription> descriptions) {
+  std::vector<ComputeUnitPtr> units;
+  units.reserve(descriptions.size());
+  for (auto& description : descriptions) {
+    ENTK_RETURN_IF_ERROR(description.validate());
+    auto unit = std::make_shared<ComputeUnit>(
+        next_uid("unit"), std::move(description), backend_.clock());
+    unit->stamp_created();
+    ENTK_CHECK(unit->advance_state(UnitState::kPendingExecution).is_ok(),
+               "fresh unit");
+    unit->on_state_change([this](ComputeUnit& changed, UnitState state) {
+      handle_state_change(changed, state);
+    });
+    units.push_back(std::move(unit));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& unit : units) {
+      entries_.emplace(unit.get(), Entry{unit, false});
+      unrouted_.push_back(unit);
+      ++total_units_;
+    }
+  }
+  route_locked();
+  return units;
+}
+
+// Routes every held unit to an active pilot, round-robin. Agent
+// submission and state transitions happen outside the manager lock so
+// their callbacks can re-enter the manager.
+void UnitManager::route_locked() {
+  struct Batch {
+    Agent* agent;
+    std::vector<ComputeUnitPtr> units;
+  };
+  std::vector<Batch> batches;
+  std::vector<ComputeUnitPtr> oversized;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Pilot*> active;
+    std::vector<Agent*> agents;
+    for (const auto& pilot : pilots_) {
+      if (pilot->state() == PilotState::kActive && pilot->agent()) {
+        active.push_back(pilot.get());
+        agents.push_back(pilot->agent());
+      }
+    }
+    if (agents.empty()) return;
+    std::unordered_map<Agent*, std::size_t> batch_of;
+    while (!unrouted_.empty()) {
+      ComputeUnitPtr unit = std::move(unrouted_.front());
+      unrouted_.pop_front();
+      // Find a pilot large enough, starting at the round-robin cursor.
+      Agent* target = nullptr;
+      for (std::size_t probe = 0; probe < agents.size(); ++probe) {
+        Agent* candidate = agents[(next_pilot_ + probe) % agents.size()];
+        if (unit->description().cores <= candidate->total_cores()) {
+          target = candidate;
+          next_pilot_ = (next_pilot_ + probe + 1) % agents.size();
+          break;
+        }
+      }
+      if (target == nullptr) {
+        entries_[unit.get()].settled = true;
+        oversized.push_back(std::move(unit));
+        continue;
+      }
+      const auto [it, inserted] =
+          batch_of.try_emplace(target, batches.size());
+      if (inserted) batches.push_back({target, {}});
+      batches[it->second].units.push_back(std::move(unit));
+    }
+  }
+  for (auto& batch : batches) {
+    const Status status = batch.agent->submit(std::move(batch.units));
+    ENTK_CHECK(status.is_ok(),
+               "agent rejected routed units: " + status.to_string());
+  }
+  for (const auto& unit : oversized) {
+    (void)unit->advance_state(
+        UnitState::kFailed,
+        make_error(Errc::kResourceExhausted,
+                   "unit " + unit->uid() + " needs " +
+                       std::to_string(unit->description().cores) +
+                       " cores; no pilot is large enough"));
+  }
+}
+
+void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
+  if (state == UnitState::kDone || state == UnitState::kCanceled) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(&unit);
+    if (it != entries_.end()) it->second.settled = true;
+    return;
+  }
+  if (state != UnitState::kFailed) return;
+
+  ComputeUnitPtr retry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(&unit);
+    if (it == entries_.end()) return;  // not managed here
+    if (unit.retries() >= unit.description().max_retries) {
+      it->second.settled = true;
+      return;
+    }
+    retry = it->second.unit;
+  }
+  // Reset before bumping the retry counter: observers treat "failed
+  // with retries left" as not-settled, so the unit must never be
+  // visible as (failed, retries == max) while a retry is coming.
+  if (!unit.reset_for_retry().is_ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[&unit].settled = true;
+    return;
+  }
+  unit.note_retry();
+  ENTK_INFO("pilot.umgr") << unit.uid() << " retry " << unit.retries()
+                          << "/" << unit.description().max_retries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    unrouted_.push_back(std::move(retry));
+  }
+  route_locked();
+}
+
+Status UnitManager::cancel_unit(const ComputeUnitPtr& unit) {
+  ENTK_CHECK(unit != nullptr, "cannot cancel a null unit");
+  std::vector<Agent*> agents;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto held =
+        std::find(unrouted_.begin(), unrouted_.end(), unit);
+    if (held != unrouted_.end()) {
+      unrouted_.erase(held);
+      entries_[unit.get()].settled = true;
+    } else {
+      for (const auto& pilot : pilots_) {
+        if (pilot->agent() != nullptr) agents.push_back(pilot->agent());
+      }
+    }
+  }
+  if (agents.empty()) {
+    // Was unrouted: finalize outside the lock.
+    return unit->advance_state(UnitState::kCanceled);
+  }
+  for (Agent* agent : agents) {
+    const Status status = agent->cancel_unit(unit);
+    if (status.is_ok() || status.code() == Errc::kFailedPrecondition) {
+      return status;  // cancelled, or found-but-unkillable
+    }
+  }
+  return make_error(Errc::kNotFound,
+                    "unit " + unit->uid() + " is not active anywhere");
+}
+
+Status UnitManager::wait_units(const std::vector<ComputeUnitPtr>& units,
+                               Duration timeout) {
+  return backend_.drive_until(
+      [&] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return std::all_of(units.begin(), units.end(),
+                           [&](const ComputeUnitPtr& unit) {
+                             return settled_locked(*unit);
+                           });
+      },
+      timeout);
+}
+
+bool UnitManager::settled_locked(const ComputeUnit& unit) const {
+  const auto it = entries_.find(&unit);
+  if (it == entries_.end()) return is_final(unit.state());
+  return it->second.settled;
+}
+
+std::size_t UnitManager::total_units() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_units_;
+}
+
+std::size_t UnitManager::inflight_units() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [pointer, entry] : entries_) {
+    if (!entry.settled) ++count;
+  }
+  return count;
+}
+
+}  // namespace entk::pilot

@@ -1,0 +1,72 @@
+// UnitManager: accepts compute-unit descriptions, routes them to pilot
+// agents, tracks completion and drives automatic retries (the RP
+// UnitManager analogue).
+//
+// Units submitted before any pilot is active are held and flushed the
+// moment a pilot comes up — this is the late binding that lets an
+// application describe more work than the resources instantaneously
+// available.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "pilot/backend.hpp"
+#include "pilot/pilot.hpp"
+
+namespace entk::pilot {
+
+class UnitManager {
+ public:
+  explicit UnitManager(ExecutionBackend& backend);
+
+  /// Registers a pilot as an execution target. Units are distributed
+  /// round-robin over active pilots.
+  void add_pilot(PilotPtr pilot);
+
+  /// Creates units from descriptions and routes them. Returned units
+  /// are kPendingExecution (or already kFailed if oversized).
+  Result<std::vector<ComputeUnitPtr>> submit_units(
+      std::vector<UnitDescription> descriptions);
+
+  /// Drives the backend until every given unit is settled: done,
+  /// cancelled, or failed with retries exhausted.
+  Status wait_units(const std::vector<ComputeUnitPtr>& units,
+                    Duration timeout = kTimeInfinity);
+
+  /// Kills one unit (the paper's kill/replace adaptivity): cancels it
+  /// wherever it currently lives — held by this manager, waiting in an
+  /// agent, or (simulated backend only) executing. See
+  /// Agent::cancel_unit for backend-specific limits.
+  Status cancel_unit(const ComputeUnitPtr& unit);
+
+  /// Number of units handed to this manager over its lifetime.
+  std::size_t total_units() const;
+  /// Units not yet settled.
+  std::size_t inflight_units() const;
+
+  ExecutionBackend& backend() { return backend_; }
+
+ private:
+  bool settled_locked(const ComputeUnit& unit) const;
+  void route_locked();
+  void handle_state_change(ComputeUnit& unit, UnitState state);
+
+  ExecutionBackend& backend_;
+
+  struct Entry {
+    ComputeUnitPtr unit;
+    bool settled = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<PilotPtr> pilots_;
+  std::size_t next_pilot_ = 0;  // round-robin cursor
+  std::deque<ComputeUnitPtr> unrouted_;
+  std::unordered_map<const ComputeUnit*, Entry> entries_;
+  std::size_t total_units_ = 0;
+};
+
+}  // namespace entk::pilot

@@ -1,0 +1,145 @@
+#include "saga/job.hpp"
+
+#include <chrono>
+
+#include "common/log.hpp"
+
+namespace entk::saga {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kNew: return "new";
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCanceled: return "canceled";
+  }
+  return "unknown";
+}
+
+bool is_final(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCanceled;
+}
+
+bool is_valid_transition(JobState from, JobState to) {
+  switch (from) {
+    case JobState::kNew:
+      return to == JobState::kPending;
+    case JobState::kPending:
+      return to == JobState::kRunning || to == JobState::kCanceled ||
+             to == JobState::kFailed;
+    case JobState::kRunning:
+      return is_final(to);
+    default:
+      return false;
+  }
+}
+
+Job::Job(std::string uid, JobDescription description, const Clock& clock)
+    : uid_(std::move(uid)),
+      description_(std::move(description)),
+      clock_(clock) {}
+
+JobState Job::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+Status Job::final_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return final_status_;
+}
+
+TimePoint Job::submitted_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_at_;
+}
+
+TimePoint Job::started_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return started_at_;
+}
+
+TimePoint Job::finished_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_at_;
+}
+
+std::optional<sim::Allocation> Job::allocation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocation_;
+}
+
+void Job::on_state_change(Callback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_.push_back(std::move(callback));
+}
+
+Status Job::wait(Duration timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto is_done = [this] { return is_final(state_); };
+  if (timeout == kTimeInfinity) {
+    final_cv_.wait(lock, is_done);
+    return Status::ok();
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout));
+  if (!final_cv_.wait_until(lock, deadline, is_done)) {
+    return make_error(Errc::kTimedOut,
+                      "job " + uid_ + " still " + job_state_name(state_));
+  }
+  return Status::ok();
+}
+
+Status Job::advance_state(JobState to, Status failure) {
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!is_valid_transition(state_, to)) {
+      return make_error(Errc::kFailedPrecondition,
+                        "job " + uid_ + ": illegal transition " +
+                            job_state_name(state_) + " -> " +
+                            job_state_name(to));
+    }
+    state_ = to;
+    const TimePoint now = clock_.now();
+    switch (to) {
+      case JobState::kPending:
+        submitted_at_ = now;
+        break;
+      case JobState::kRunning:
+        started_at_ = now;
+        break;
+      default:
+        finished_at_ = now;
+        break;
+    }
+    if (to == JobState::kFailed) {
+      final_status_ = failure.is_ok()
+                          ? make_error(Errc::kExecutionFailed,
+                                       "job " + uid_ + " failed")
+                          : failure;
+    }
+    callbacks = callbacks_;
+  }
+  ENTK_DEBUG("saga.job") << uid_ << " -> " << job_state_name(to);
+  for (const auto& callback : callbacks) callback(*this, to);
+  if (is_final(to)) final_cv_.notify_all();
+  return Status::ok();
+}
+
+void Job::set_allocation(sim::Allocation allocation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  allocation_ = std::move(allocation);
+}
+
+void Job::clear_allocation() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  allocation_.reset();
+}
+
+}  // namespace entk::saga

@@ -1,0 +1,93 @@
+// SAGA job object: state machine + profiling timestamps.
+//
+// States follow the SAGA job model: New -> Pending -> Running ->
+// {Done, Failed, Canceled}; Pending may also go straight to Canceled.
+// All mutation goes through advance_state(), which validates the
+// transition, stamps the profiling clock and fires callbacks. The
+// object is thread-safe: the local adaptor completes jobs from worker
+// threads while the application polls or waits.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "saga/job_description.hpp"
+#include "sim/cluster.hpp"
+
+namespace entk::saga {
+
+enum class JobState { kNew, kPending, kRunning, kDone, kFailed, kCanceled };
+
+const char* job_state_name(JobState state);
+
+/// True if no further transitions are possible from `state`.
+bool is_final(JobState state);
+
+/// True if the SAGA model allows `from` -> `to`.
+bool is_valid_transition(JobState from, JobState to);
+
+class Job {
+ public:
+  using Callback = std::function<void(Job&, JobState)>;
+
+  Job(std::string uid, JobDescription description, const Clock& clock);
+
+  const std::string& uid() const { return uid_; }
+  const JobDescription& description() const { return description_; }
+
+  JobState state() const;
+  /// Set when the job failed; empty otherwise.
+  Status final_status() const;
+
+  /// Profiling timestamps (kNoTime until stamped).
+  TimePoint submitted_at() const;
+  TimePoint started_at() const;
+  TimePoint finished_at() const;
+
+  /// Cores granted while running (sim backend only).
+  std::optional<sim::Allocation> allocation() const;
+
+  /// Registers a state-change callback; fired after each transition,
+  /// outside the job lock.
+  void on_state_change(Callback callback);
+
+  /// Blocks until the job reaches a final state or `timeout` elapses
+  /// (wall-clock; only meaningful with the local adaptor). Returns
+  /// kTimedOut on timeout.
+  Status wait(Duration timeout = kTimeInfinity);
+
+  // --- adaptor interface (called by JobService implementations) ---
+
+  /// Performs a validated state transition; `failure` is recorded when
+  /// transitioning to kFailed.
+  Status advance_state(JobState to, Status failure = Status::ok());
+
+  void set_allocation(sim::Allocation allocation);
+  void clear_allocation();
+
+ private:
+  const std::string uid_;
+  const JobDescription description_;
+  const Clock& clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable final_cv_;
+  JobState state_ = JobState::kNew;
+  Status final_status_;
+  TimePoint submitted_at_ = kNoTime;
+  TimePoint started_at_ = kNoTime;
+  TimePoint finished_at_ = kNoTime;
+  std::optional<sim::Allocation> allocation_;
+  std::vector<Callback> callbacks_;
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+}  // namespace entk::saga

@@ -1,0 +1,31 @@
+// SAGA job service: the uniform submission interface over backends.
+//
+// The pilot layer only ever talks to this interface, which is how the
+// toolkit stays agnostic to whether pilots land on a simulated batch
+// system or on the local host — the same decoupling SAGA provides in
+// the original stack.
+#pragma once
+
+#include "saga/job.hpp"
+
+namespace entk::saga {
+
+class JobService {
+ public:
+  virtual ~JobService() = default;
+
+  /// Validates and submits a job; the returned job is kPending.
+  virtual Result<JobPtr> submit(JobDescription description) = 0;
+
+  /// Cancels a pending or running job.
+  virtual Status cancel(Job& job) = 0;
+
+  /// Owner signals that an externally driven (container) job is done.
+  /// Fails unless the job is running under this service.
+  virtual Status complete(Job& job) = 0;
+
+  /// Backend identifier, e.g. "sim:xsede.comet" or "local".
+  virtual std::string backend_name() const = 0;
+};
+
+}  // namespace entk::saga

@@ -1,0 +1,95 @@
+#include "saga/jsdl.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace entk::saga {
+
+std::string to_jsdl(const JobDescription& description) {
+  std::ostringstream os;
+  os << "jsdl:ApplicationName = " << description.name << '\n'
+     << "jsdl:Executable = " << description.executable << '\n';
+  for (const auto& argument : description.arguments) {
+    os << "jsdl:Argument = " << argument << '\n';
+  }
+  for (const auto& [key, value] : description.environment) {
+    os << "jsdl:Environment = " << key << '=' << value << '\n';
+  }
+  if (!description.working_directory.empty()) {
+    os << "jsdl:WorkingDirectory = " << description.working_directory
+       << '\n';
+  }
+  os << "jsdl:TotalCPUCount = " << description.total_cpu_count << '\n';
+  if (description.processes_per_host > 0) {
+    os << "jsdl:ProcessesPerHost = " << description.processes_per_host
+       << '\n';
+  }
+  os << "jsdl:WallTimeLimit = "
+     << format_double(description.wall_time_limit, 3) << '\n';
+  if (!description.queue.empty()) {
+    os << "jsdl:Queue = " << description.queue << '\n';
+  }
+  if (!description.project.empty()) {
+    os << "jsdl:Project = " << description.project << '\n';
+  }
+  return os.str();
+}
+
+Result<JobDescription> from_jsdl(const std::string& text) {
+  JobDescription description;
+  std::istringstream stream(text);
+  std::string raw_line;
+  int line_number = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    const std::string line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (!starts_with(line, "jsdl:") || eq == std::string::npos) {
+      return make_error(Errc::kInvalidArgument,
+                        "line " + std::to_string(line_number) +
+                            ": expected 'jsdl:Key = value'");
+    }
+    const std::string key = trim(line.substr(5, eq - 5));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "ApplicationName") {
+      description.name = value;
+    } else if (key == "Executable") {
+      description.executable = value;
+    } else if (key == "Argument") {
+      description.arguments.push_back(value);
+    } else if (key == "Environment") {
+      const auto sep = value.find('=');
+      if (sep == std::string::npos || sep == 0) {
+        return make_error(Errc::kInvalidArgument,
+                          "line " + std::to_string(line_number) +
+                              ": Environment needs KEY=VALUE");
+      }
+      description.environment[trim(value.substr(0, sep))] =
+          trim(value.substr(sep + 1));
+    } else if (key == "WorkingDirectory") {
+      description.working_directory = value;
+    } else if (key == "TotalCPUCount") {
+      description.total_cpu_count =
+          std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "ProcessesPerHost") {
+      description.processes_per_host =
+          std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "WallTimeLimit") {
+      description.wall_time_limit = std::strtod(value.c_str(), nullptr);
+    } else if (key == "Queue") {
+      description.queue = value;
+    } else if (key == "Project") {
+      description.project = value;
+    } else {
+      return make_error(Errc::kInvalidArgument,
+                        "line " + std::to_string(line_number) +
+                            ": unknown JSDL element '" + key + "'");
+    }
+  }
+  ENTK_RETURN_IF_ERROR(description.validate());
+  return description;
+}
+
+}  // namespace entk::saga

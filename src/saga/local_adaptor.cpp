@@ -1,0 +1,144 @@
+#include "saga/local_adaptor.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/uid.hpp"
+
+namespace entk::saga {
+
+LocalAdaptor::LocalAdaptor(Count cores, std::size_t workers)
+    : cores_(cores), free_(cores) {
+  ENTK_CHECK(cores >= 1, "local adaptor needs at least one core");
+  if (workers == 0) {
+    workers = std::min<std::size_t>(static_cast<std::size_t>(cores), 16);
+  }
+  pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+LocalAdaptor::~LocalAdaptor() {
+  // Drain payloads before members are destroyed: worker lambdas
+  // reference this adaptor.
+  pool_.reset();
+}
+
+Count LocalAdaptor::free_cores() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_;
+}
+
+Result<JobPtr> LocalAdaptor::submit(JobDescription description) {
+  ENTK_RETURN_IF_ERROR(description.validate());
+  if (description.total_cpu_count > cores_) {
+    return make_error(Errc::kResourceExhausted,
+                      "job requests " +
+                          std::to_string(description.total_cpu_count) +
+                          " cores; local host has " + std::to_string(cores_));
+  }
+  auto job =
+      std::make_shared<Job>(next_uid("job"), std::move(description), clock_);
+  ENTK_CHECK(job->advance_state(JobState::kPending).is_ok(), "fresh job");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    waiting_.push_back(job);
+    try_start_locked();
+  }
+  return job;
+}
+
+void LocalAdaptor::try_start_locked() {
+  while (!waiting_.empty()) {
+    JobPtr job = waiting_.front();
+    if (is_final(job->state())) {  // cancelled while waiting
+      waiting_.pop_front();
+      continue;
+    }
+    const Count need = job->description().total_cpu_count;
+    if (need > free_) return;  // FIFO: head of queue blocks the rest
+    waiting_.pop_front();
+    free_ -= need;
+    running_.emplace(job.get(), job);
+    ENTK_CHECK(job->advance_state(JobState::kRunning).is_ok(),
+               "pending job failed to start");
+    if (job->description().payload) {
+      pool_->submit([this, job] {
+        const Status status = job->description().payload();
+        finish(job, status.is_ok() ? JobState::kDone : JobState::kFailed,
+               status);
+      });
+    }
+    // Container jobs (no payload) keep their cores until complete().
+  }
+}
+
+void LocalAdaptor::finish(const JobPtr& job, JobState final_state,
+                          Status failure) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = running_.find(job.get());
+    if (it == running_.end()) return;  // raced with cancel()
+    running_.erase(it);
+    free_ += job->description().total_cpu_count;
+    ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
+    try_start_locked();
+  }
+  (void)job->advance_state(final_state, std::move(failure));
+}
+
+Status LocalAdaptor::cancel(Job& job) {
+  JobPtr handle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = running_.find(&job);
+    if (it != running_.end()) {
+      handle = it->second;
+      // A running payload cannot be interrupted mid-flight (we never
+      // kill threads); only container jobs are cancellable once
+      // running.
+      if (job.description().payload) {
+        return make_error(Errc::kFailedPrecondition,
+                          "job " + job.uid() +
+                              " is executing a payload and cannot be "
+                              "cancelled mid-run");
+      }
+    } else {
+      const auto waiting_it = std::find_if(
+          waiting_.begin(), waiting_.end(),
+          [&](const JobPtr& candidate) { return candidate.get() == &job; });
+      if (waiting_it == waiting_.end()) {
+        return make_error(Errc::kNotFound,
+                          "job " + job.uid() + " is not active locally");
+      }
+      handle = *waiting_it;
+      waiting_.erase(waiting_it);
+      // Not running: transition directly.
+    }
+  }
+  if (handle->state() == JobState::kRunning) {
+    finish(handle, JobState::kCanceled, Status::ok());
+    return Status::ok();
+  }
+  return handle->advance_state(JobState::kCanceled);
+}
+
+Status LocalAdaptor::complete(Job& job) {
+  JobPtr handle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = running_.find(&job);
+    if (it == running_.end()) {
+      return make_error(Errc::kNotFound,
+                        "job " + job.uid() + " is not running locally");
+    }
+    if (job.description().payload) {
+      return make_error(Errc::kFailedPrecondition,
+                        "job " + job.uid() +
+                            " has a payload; it completes by itself");
+    }
+    handle = it->second;
+  }
+  finish(handle, JobState::kDone, Status::ok());
+  return Status::ok();
+}
+
+}  // namespace entk::saga

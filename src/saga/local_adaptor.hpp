@@ -1,0 +1,57 @@
+// SAGA adaptor for the local host.
+//
+// Jobs start immediately when enough local "cores" (slots) are free,
+// FIFO otherwise — there is no queue-wait model. A job with a payload
+// runs it on the pool and finishes with the payload's status; a
+// container job (no payload) runs until its owner calls complete().
+// This adaptor executes real work in real time and is what examples
+// and integration tests run on.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/thread_pool.hpp"
+#include "saga/job_service.hpp"
+
+namespace entk::saga {
+
+class LocalAdaptor final : public JobService {
+ public:
+  /// `cores` bounds the summed total_cpu_count of concurrently running
+  /// jobs; `workers` sizes the payload thread pool (defaults to cores,
+  /// capped at 16 actual threads).
+  explicit LocalAdaptor(Count cores, std::size_t workers = 0);
+  ~LocalAdaptor() override;
+
+  Result<JobPtr> submit(JobDescription description) override;
+  Status cancel(Job& job) override;
+  Status complete(Job& job) override;
+  std::string backend_name() const override { return "local"; }
+
+  Count total_cores() const { return cores_; }
+  Count free_cores() const;
+
+  const Clock& clock() const { return clock_; }
+
+ private:
+  struct Waiting {
+    JobPtr job;
+  };
+
+  void try_start_locked();  // requires mutex_ held
+  void finish(const JobPtr& job, JobState final_state, Status failure);
+
+  const Count cores_;
+  WallClock clock_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;
+  Count free_ = 0;
+  std::deque<JobPtr> waiting_;
+  std::unordered_map<const Job*, JobPtr> running_;
+};
+
+}  // namespace entk::saga

@@ -1,0 +1,77 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace entk::sim {
+
+Cluster::Cluster(const MachineProfile& profile) : profile_(profile) {
+  ENTK_CHECK(profile.validate().is_ok(), "invalid machine profile");
+  free_per_node_.assign(static_cast<std::size_t>(profile.nodes),
+                        profile.cores_per_node);
+  free_total_ = profile.total_cores();
+}
+
+Result<Allocation> Cluster::allocate(Count cores) {
+  if (cores <= 0) {
+    return make_error(Errc::kInvalidArgument,
+                      "allocation must request at least one core");
+  }
+  if (cores > free_total_) {
+    return make_error(Errc::kResourceExhausted,
+                      "requested " + std::to_string(cores) + " cores, " +
+                          std::to_string(free_total_) + " free on " +
+                          profile_.name);
+  }
+  Allocation allocation;
+  allocation.id = next_allocation_id_++;
+  Count remaining = cores;
+  // Whole nodes first (pilots prefer full nodes), then fill from the
+  // node with the most free cores to limit fragmentation.
+  for (std::size_t n = 0; n < free_per_node_.size() && remaining > 0; ++n) {
+    if (free_per_node_[n] == profile_.cores_per_node &&
+        remaining >= profile_.cores_per_node) {
+      allocation.slices.push_back(
+          {static_cast<Count>(n), profile_.cores_per_node});
+      free_per_node_[n] = 0;
+      remaining -= profile_.cores_per_node;
+    }
+  }
+  while (remaining > 0) {
+    const auto best = std::max_element(free_per_node_.begin(),
+                                       free_per_node_.end());
+    ENTK_CHECK(best != free_per_node_.end() && *best > 0,
+               "free-core accounting out of sync");
+    const Count take = std::min<Count>(remaining, *best);
+    allocation.slices.push_back(
+        {static_cast<Count>(best - free_per_node_.begin()), take});
+    *best -= take;
+    remaining -= take;
+  }
+  free_total_ -= cores;
+  live_allocations_.push_back(allocation.id);
+  return allocation;
+}
+
+void Cluster::release(const Allocation& allocation) {
+  const auto it = std::find(live_allocations_.begin(),
+                            live_allocations_.end(), allocation.id);
+  ENTK_CHECK(it != live_allocations_.end(),
+             "release of unknown or already released allocation");
+  live_allocations_.erase(it);
+  for (const auto& slice : allocation.slices) {
+    ENTK_CHECK(slice.node_index >= 0 &&
+                   slice.node_index < static_cast<Count>(
+                                          free_per_node_.size()),
+               "allocation references a node outside the cluster");
+    auto& free_cores =
+        free_per_node_[static_cast<std::size_t>(slice.node_index)];
+    free_cores += slice.cores;
+    ENTK_CHECK(free_cores <= profile_.cores_per_node,
+               "release overflows node capacity");
+    free_total_ += slice.cores;
+  }
+  ENTK_CHECK(free_total_ <= total_cores(), "release overflows cluster");
+}
+
+}  // namespace entk::sim

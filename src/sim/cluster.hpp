@@ -1,0 +1,65 @@
+// Cluster core-allocation model.
+//
+// Tracks per-node free cores of a simulated machine and hands out
+// allocations for batch jobs (pilot container jobs). Allocations may
+// span nodes (pilots routinely do); within a node, cores are fungible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/machine.hpp"
+
+namespace entk::sim {
+
+/// A slice of cores on one node.
+struct NodeSlice {
+  Count node_index = 0;
+  Count cores = 0;
+};
+
+/// A set of cores granted to one batch job. Opaque to holders; returned
+/// to the cluster on release.
+struct Allocation {
+  std::uint64_t id = 0;
+  std::vector<NodeSlice> slices;
+
+  Count total_cores() const {
+    Count total = 0;
+    for (const auto& slice : slices) total += slice.cores;
+    return total;
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const MachineProfile& profile);
+
+  const MachineProfile& profile() const { return profile_; }
+
+  Count total_cores() const { return profile_.total_cores(); }
+  Count free_cores() const { return free_total_; }
+  Count used_cores() const { return total_cores() - free_total_; }
+
+  /// True if `cores` could be allocated right now.
+  bool can_allocate(Count cores) const { return cores <= free_total_; }
+
+  /// Carves `cores` out of the freest nodes (first-fit descending).
+  /// Fails with kResourceExhausted if the cluster is too busy.
+  Result<Allocation> allocate(Count cores);
+
+  /// Returns an allocation's cores. Each allocation may be released
+  /// exactly once; double release is an invariant violation.
+  void release(const Allocation& allocation);
+
+ private:
+  MachineProfile profile_;
+  std::vector<Count> free_per_node_;
+  Count free_total_ = 0;
+  std::uint64_t next_allocation_id_ = 1;
+  std::vector<std::uint64_t> live_allocations_;
+};
+
+}  // namespace entk::sim

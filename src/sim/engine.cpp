@@ -1,0 +1,75 @@
+#include "sim/engine.hpp"
+
+namespace entk::sim {
+
+EventId Engine::schedule(Duration delay, std::function<void()> fn) {
+  ENTK_CHECK(delay >= 0.0, "cannot schedule an event in the past");
+  return schedule_at(clock_.now() + delay, std::move(fn));
+}
+
+EventId Engine::schedule_at(TimePoint t, std::function<void()> fn) {
+  ENTK_CHECK(t >= clock_.now(), "cannot schedule an event in the past");
+  ENTK_CHECK(static_cast<bool>(fn), "event callback must be callable");
+  auto event = std::make_shared<Event>();
+  event->time = t;
+  event->seq = next_seq_++;
+  event->id = next_id_++;
+  event->fn = std::move(fn);
+  index_[event->id] = event;
+  queue_.push(event);
+  ++live_events_;
+  return event->id;
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  auto event = it->second.lock();
+  index_.erase(it);
+  if (!event || event->cancelled) return false;
+  event->cancelled = true;
+  --live_events_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    auto event = queue_.top();
+    queue_.pop();
+    if (event->cancelled) continue;
+    index_.erase(event->id);
+    --live_events_;
+    clock_.advance_to(event->time);
+    ++dispatched_;
+    // Move the callback out: it may schedule further events or even
+    // re-enter cancel(); the Event node itself is already retired.
+    auto fn = std::move(event->fn);
+    const bool was_dispatching = dispatching_;
+    dispatching_ = true;
+    fn();
+    dispatching_ = was_dispatching;
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(TimePoint horizon) {
+  ENTK_CHECK(horizon >= clock_.now(), "horizon lies in the past");
+  while (!queue_.empty()) {
+    const auto& top = queue_.top();
+    if (top->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top->time > horizon) break;
+    step();
+  }
+  clock_.advance_to(horizon);
+}
+
+}  // namespace entk::sim

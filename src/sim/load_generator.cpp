@@ -1,0 +1,69 @@
+#include "sim/load_generator.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace entk::sim {
+
+LoadGenerator::LoadGenerator(Engine& engine, BatchQueue& batch,
+                             Cluster& cluster, Options options)
+    : engine_(engine),
+      batch_(batch),
+      cluster_(cluster),
+      options_(options),
+      rng_(options.seed) {
+  ENTK_CHECK(options_.arrival_rate > 0.0, "arrival rate must be positive");
+  ENTK_CHECK(options_.min_runtime > 0.0 &&
+                 options_.max_runtime >= options_.min_runtime,
+             "invalid runtime range");
+  if (options_.max_cores <= 0) {
+    options_.max_cores = std::max<Count>(1, cluster.total_cores() / 4);
+  }
+  ENTK_CHECK(options_.min_cores >= 1 &&
+                 options_.max_cores >= options_.min_cores,
+             "invalid core range");
+}
+
+void LoadGenerator::start() {
+  ENTK_CHECK(!started_, "load generator started twice");
+  started_ = true;
+  engine_.schedule(rng_.exponential(1.0 / options_.arrival_rate),
+                   [this] { arrive(); });
+}
+
+void LoadGenerator::arrive() {
+  if (engine_.now() > options_.horizon) return;
+
+  // Log-uniform width: many small jobs, few wide ones, as on real
+  // machines.
+  const double log_min = std::log(static_cast<double>(options_.min_cores));
+  const double log_max = std::log(static_cast<double>(options_.max_cores));
+  const Count cores = std::max<Count>(
+      options_.min_cores,
+      static_cast<Count>(std::exp(rng_.uniform(log_min, log_max))));
+  const Duration runtime =
+      rng_.uniform(options_.min_runtime, options_.max_runtime);
+
+  // The id is only known after submit(); share it with the start hook.
+  auto job_id = std::make_shared<BatchJobId>(0);
+  BatchJobRequest request;
+  request.cores = std::min(cores, cluster_.total_cores());
+  request.walltime = runtime * 1.2 + 60.0;
+  request.on_start = [this, runtime, job_id](const Allocation&) {
+    // The job "runs" for its runtime, then completes itself.
+    engine_.schedule(runtime, [this, job_id] {
+      (void)batch_.complete(*job_id);  // no-op if expired meanwhile
+    });
+  };
+  request.on_end = [this](BatchJobState) { ++finished_; };
+  auto id = batch_.submit(std::move(request));
+  if (id.ok()) {
+    *job_id = id.value();
+    ++submitted_;
+  }
+  engine_.schedule(rng_.exponential(1.0 / options_.arrival_rate),
+                   [this] { arrive(); });
+}
+
+}  // namespace entk::sim

@@ -1,0 +1,52 @@
+// Background-load generator: the other users of a shared machine.
+//
+// Production queue waits are dominated by competing jobs, not by the
+// scheduler's own latency. The generator submits a stream of
+// synthetic batch jobs (Poisson arrivals, log-uniform widths, bounded
+// runtimes) against the same BatchQueue a pilot targets, so
+// experiments can study queue-wait dynamics rather than assume the
+// machine is idle.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/batch.hpp"
+
+namespace entk::sim {
+
+class LoadGenerator {
+ public:
+  struct Options {
+    double arrival_rate = 1.0 / 120.0;  ///< Mean jobs per second.
+    Count min_cores = 1;
+    Count max_cores = 0;        ///< 0 = a quarter of the machine.
+    Duration min_runtime = 300.0;
+    Duration max_runtime = 7200.0;
+    Duration horizon = 86400.0; ///< Stop generating after this time.
+    std::uint64_t seed = 20160627;
+  };
+
+  LoadGenerator(Engine& engine, BatchQueue& batch, Cluster& cluster,
+                Options options);
+
+  /// Schedules the first arrival; subsequent arrivals self-schedule.
+  void start();
+
+  std::size_t jobs_submitted() const { return submitted_; }
+  std::size_t jobs_finished() const { return finished_; }
+
+ private:
+  void arrive();
+
+  Engine& engine_;
+  BatchQueue& batch_;
+  Cluster& cluster_;
+  Options options_;
+  Xoshiro256 rng_;
+  std::size_t submitted_ = 0;
+  std::size_t finished_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace entk::sim

@@ -1,0 +1,188 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+namespace entk::sim {
+
+Status MachineProfile::validate() const {
+  if (name.empty()) {
+    return make_error(Errc::kInvalidArgument, "machine name is empty");
+  }
+  if (nodes <= 0 || cores_per_node <= 0) {
+    return make_error(Errc::kInvalidArgument,
+                      "machine '" + name + "' must have positive shape");
+  }
+  if (performance_factor <= 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "machine '" + name + "' performance factor must be > 0");
+  }
+  if (spawner_concurrency < 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "machine '" + name + "' needs >= 1 spawner worker");
+  }
+  if (unit_spawn_overhead < 0.0 || unit_launch_latency < 0.0 ||
+      pilot_bootstrap < 0.0 || batch_base_wait < 0.0 ||
+      batch_wait_per_node < 0.0 || staging_latency < 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "machine '" + name + "' overheads must be >= 0");
+  }
+  if (staging_bandwidth_mb_per_s <= 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "machine '" + name + "' staging bandwidth must be > 0");
+  }
+  return Status::ok();
+}
+
+MachineProfile comet_profile() {
+  MachineProfile p;
+  p.name = "xsede.comet";
+  p.nodes = 1984;
+  p.cores_per_node = 24;
+  p.memory_per_node_gb = 120.0;
+  p.performance_factor = 1.10;  // Haswell-era Xeon, fastest of the three
+  p.unit_spawn_overhead = 0.040;
+  p.spawner_concurrency = 32;
+  p.unit_launch_latency = 0.25;
+  p.pilot_bootstrap = 12.0;
+  p.batch_base_wait = 30.0;
+  p.batch_wait_per_node = 0.5;
+  p.staging_latency = 0.020;
+  p.staging_bandwidth_mb_per_s = 250.0;
+  return p;
+}
+
+MachineProfile stampede_profile() {
+  MachineProfile p;
+  p.name = "xsede.stampede";
+  p.nodes = 6400;
+  p.cores_per_node = 16;
+  p.memory_per_node_gb = 32.0;
+  p.performance_factor = 1.00;  // Sandy Bridge Xeon reference
+  p.unit_spawn_overhead = 0.050;
+  p.spawner_concurrency = 32;
+  p.unit_launch_latency = 0.30;
+  p.pilot_bootstrap = 15.0;
+  p.batch_base_wait = 45.0;
+  p.batch_wait_per_node = 0.4;
+  p.staging_latency = 0.025;
+  p.staging_bandwidth_mb_per_s = 200.0;
+  return p;
+}
+
+MachineProfile supermic_profile() {
+  MachineProfile p;
+  p.name = "lsu.supermic";
+  p.nodes = 360;
+  p.cores_per_node = 20;
+  p.memory_per_node_gb = 60.0;
+  p.performance_factor = 1.05;  // Ivy Bridge Xeon host cores
+  p.unit_spawn_overhead = 0.045;
+  p.spawner_concurrency = 32;
+  p.unit_launch_latency = 0.28;
+  p.pilot_bootstrap = 14.0;
+  p.batch_base_wait = 25.0;
+  p.batch_wait_per_node = 0.6;
+  p.staging_latency = 0.022;
+  p.staging_bandwidth_mb_per_s = 220.0;
+  return p;
+}
+
+MachineProfile bluewaters_profile() {
+  MachineProfile p;
+  p.name = "ncsa.bluewaters";
+  p.nodes = 22640;  // XE6 compute nodes
+  p.cores_per_node = 32;
+  p.memory_per_node_gb = 64.0;
+  p.performance_factor = 0.85;  // Interlagos cores, slower per core
+  // Cray ALPS launches are slower per task than Linux-cluster forks.
+  p.unit_spawn_overhead = 0.120;
+  p.spawner_concurrency = 16;
+  p.unit_launch_latency = 0.60;
+  p.pilot_bootstrap = 25.0;
+  p.batch_base_wait = 60.0;
+  p.batch_wait_per_node = 0.2;
+  p.staging_latency = 0.030;
+  p.staging_bandwidth_mb_per_s = 400.0;
+  return p;
+}
+
+MachineProfile titan_profile() {
+  MachineProfile p;
+  p.name = "ornl.titan";
+  p.nodes = 18688;  // XK7 compute nodes
+  p.cores_per_node = 16;
+  p.memory_per_node_gb = 32.0;
+  p.performance_factor = 0.90;
+  p.unit_spawn_overhead = 0.110;
+  p.spawner_concurrency = 16;
+  p.unit_launch_latency = 0.55;
+  p.pilot_bootstrap = 22.0;
+  p.batch_base_wait = 90.0;
+  p.batch_wait_per_node = 0.15;
+  p.staging_latency = 0.028;
+  p.staging_bandwidth_mb_per_s = 350.0;
+  return p;
+}
+
+MachineProfile localhost_profile() {
+  MachineProfile p;
+  p.name = "localhost";
+  p.nodes = 4;
+  p.cores_per_node = 8;
+  p.memory_per_node_gb = 16.0;
+  p.performance_factor = 1.0;
+  p.unit_spawn_overhead = 0.001;
+  p.spawner_concurrency = 8;
+  p.unit_launch_latency = 0.002;
+  p.pilot_bootstrap = 0.05;
+  p.batch_base_wait = 0.0;
+  p.batch_wait_per_node = 0.0;
+  p.staging_latency = 0.001;
+  p.staging_bandwidth_mb_per_s = 1000.0;
+  return p;
+}
+
+MachineCatalog MachineCatalog::with_builtin_profiles() {
+  MachineCatalog catalog;
+  ENTK_CHECK(catalog.register_machine(comet_profile()).is_ok(), "");
+  ENTK_CHECK(catalog.register_machine(stampede_profile()).is_ok(), "");
+  ENTK_CHECK(catalog.register_machine(supermic_profile()).is_ok(), "");
+  ENTK_CHECK(catalog.register_machine(bluewaters_profile()).is_ok(), "");
+  ENTK_CHECK(catalog.register_machine(titan_profile()).is_ok(), "");
+  ENTK_CHECK(catalog.register_machine(localhost_profile()).is_ok(), "");
+  return catalog;
+}
+
+Status MachineCatalog::register_machine(MachineProfile profile) {
+  ENTK_RETURN_IF_ERROR(profile.validate());
+  if (contains(profile.name)) {
+    return make_error(Errc::kAlreadyExists,
+                      "machine '" + profile.name + "' already registered");
+  }
+  profiles_.push_back(std::move(profile));
+  return Status::ok();
+}
+
+Result<MachineProfile> MachineCatalog::find(const std::string& name) const {
+  const auto it =
+      std::find_if(profiles_.begin(), profiles_.end(),
+                   [&](const MachineProfile& p) { return p.name == name; });
+  if (it == profiles_.end()) {
+    return make_error(Errc::kNotFound, "unknown machine '" + name + "'");
+  }
+  return *it;
+}
+
+bool MachineCatalog::contains(const std::string& name) const {
+  return std::any_of(profiles_.begin(), profiles_.end(),
+                     [&](const MachineProfile& p) { return p.name == name; });
+}
+
+std::vector<std::string> MachineCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& profile : profiles_) out.push_back(profile.name);
+  return out;
+}
+
+}  // namespace entk::sim

@@ -1,0 +1,87 @@
+// Machine profiles: the static description of an HPC platform.
+//
+// Profiles carry both the physical shape of a machine (nodes, cores,
+// memory — taken from the paper's Section IV descriptions of XSEDE
+// Comet, Stampede and SuperMIC) and the calibrated overhead parameters
+// that drive the simulated backend (per-unit spawn cost, launch
+// latency, agent bootstrap, queue-wait model, staging). Overhead
+// magnitudes are calibrated to the decompositions reported in the
+// paper's Figures 3–4 (core overhead ~O(10 s), pattern overhead
+// sub-second per task, RP spawn overheads of tens of milliseconds per
+// unit).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace entk::sim {
+
+struct MachineProfile {
+  std::string name;
+
+  // Physical shape.
+  Count nodes = 0;
+  Count cores_per_node = 0;
+  double memory_per_node_gb = 0.0;
+
+  /// Relative per-core speed; 1.0 is the reference. Kernel cost models
+  /// divide their reference runtime by this factor.
+  double performance_factor = 1.0;
+
+  // Pilot-agent overheads (the RADICAL-Pilot analogues).
+  /// Per-unit spawn cost inside the agent. Spawning is serialized per
+  /// spawner worker, so the total spawn overhead grows with #units.
+  Duration unit_spawn_overhead = 0.0;
+  /// Parallel spawner workers in the agent (RP runs several).
+  Count spawner_concurrency = 1;
+  /// Per-unit launch latency after spawn (parallel across units).
+  Duration unit_launch_latency = 0.0;
+  /// Agent bootstrap once the container job starts.
+  Duration pilot_bootstrap = 0.0;
+
+  // Batch-queue wait model: wait = base + per_node * requested_nodes.
+  Duration batch_base_wait = 0.0;
+  Duration batch_wait_per_node = 0.0;
+
+  // Data staging model: delay = latency + bytes / bandwidth.
+  Duration staging_latency = 0.0;
+  double staging_bandwidth_mb_per_s = 100.0;
+
+  Count total_cores() const { return nodes * cores_per_node; }
+
+  /// Validates shape and model parameters.
+  Status validate() const;
+};
+
+/// Registry of known machines. Pre-populated with the three XSEDE
+/// platforms used in the paper plus a "localhost" profile used by
+/// tests.
+class MachineCatalog {
+ public:
+  /// Catalog with the built-in profiles registered.
+  static MachineCatalog with_builtin_profiles();
+
+  Status register_machine(MachineProfile profile);
+  Result<MachineProfile> find(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<MachineProfile> profiles_;
+};
+
+/// Built-in profile constructors (usable without a catalog).
+MachineProfile comet_profile();      ///< XSEDE Comet: 1984 nodes x 24 cores.
+MachineProfile stampede_profile();   ///< XSEDE Stampede: 6400 nodes x 16 cores.
+MachineProfile supermic_profile();   ///< LSU SuperMIC: 360 nodes x 20 cores.
+/// NCSA Blue Waters (Cray XE6 portion): the paper's Section V target
+/// for O(10,000) concurrent tasks.
+MachineProfile bluewaters_profile();
+/// ORNL Titan (Cray XK7): the paper's "2K tasks on Cray machines".
+MachineProfile titan_profile();
+MachineProfile localhost_profile();  ///< Small profile for tests/examples.
+
+}  // namespace entk::sim

@@ -1,0 +1,363 @@
+// Unit and property tests of the analysis substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/diffusion_map.hpp"
+#include "analysis/eigen.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/matrix.hpp"
+#include "analysis/pca.hpp"
+#include "common/rng.hpp"
+
+namespace entk::analysis {
+namespace {
+
+TEST(Matrix, BasicOperations) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+
+  const Matrix product = a * t;  // 2x2
+  EXPECT_DOUBLE_EQ(product(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(product(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(product(1, 1), 77.0);
+  EXPECT_TRUE(product.is_symmetric());
+
+  const std::vector<double> v{1.0, 0.0, -1.0};
+  const auto av = a * v;
+  EXPECT_DOUBLE_EQ(av[0], -2.0);
+  EXPECT_DOUBLE_EQ(av[1], -2.0);
+
+  EXPECT_DOUBLE_EQ(Matrix::identity(3)(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Matrix::identity(3)(0, 1), 0.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::logic_error);
+  EXPECT_THROW(a * std::vector<double>{1.0}, std::logic_error);
+  EXPECT_THROW(a.max_abs_diff(Matrix(3, 2)), std::logic_error);
+}
+
+TEST(Eigen, DiagonalMatrixTrivial) {
+  Matrix m(3, 3);
+  m(0, 0) = 5.0;
+  m(1, 1) = -1.0;
+  m(2, 2) = 2.0;
+  auto result = eigen_symmetric(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().values[0], 5.0, 1e-10);
+  EXPECT_NEAR(result.value().values[1], 2.0, 1e-10);
+  EXPECT_NEAR(result.value().values[2], -1.0, 1e-10);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  auto result = eigen_symmetric(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().values[0], 3.0, 1e-10);
+  EXPECT_NEAR(result.value().values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::fabs(result.value().vectors(0, 0)), inv_sqrt2, 1e-9);
+  EXPECT_NEAR(std::fabs(result.value().vectors(1, 0)), inv_sqrt2, 1e-9);
+}
+
+TEST(Eigen, ReconstructsRandomSymmetricMatrix) {
+  Xoshiro256 rng(71);
+  const std::size_t n = 12;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double value = rng.normal();
+      m(i, j) = value;
+      m(j, i) = value;
+    }
+  }
+  auto result = eigen_symmetric(m);
+  ASSERT_TRUE(result.ok());
+  const auto& eig = result.value();
+  // Orthonormal columns.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += eig.vectors(i, a) * eig.vectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+  // V diag(L) V^T == M.
+  Matrix reconstruction(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += eig.vectors(i, k) * eig.values[k] * eig.vectors(j, k);
+      }
+      reconstruction(i, j) = sum;
+    }
+  }
+  EXPECT_LT(reconstruction.max_abs_diff(m), 1e-8);
+  // Eigenvalues descending.
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_GE(eig.values[k - 1], eig.values[k] - 1e-12);
+  }
+}
+
+TEST(Eigen, RejectsNonSquareAndAsymmetric) {
+  EXPECT_EQ(eigen_symmetric(Matrix(2, 3)).status().code(),
+            Errc::kInvalidArgument);
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 0) = 2.0;
+  EXPECT_EQ(eigen_symmetric(m).status().code(), Errc::kInvalidArgument);
+}
+
+// --------------------------------------------------------------------- PCA
+
+std::vector<md::Frame> planted_frames(std::size_t n_frames,
+                                      std::size_t n_particles,
+                                      double main_amplitude,
+                                      double noise, std::uint64_t seed) {
+  // Frames move along one collective direction with small noise.
+  Xoshiro256 rng(seed);
+  std::vector<md::Vec3> base(n_particles);
+  std::vector<md::Vec3> direction(n_particles);
+  for (std::size_t i = 0; i < n_particles; ++i) {
+    base[i] = {rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)};
+    direction[i] = {rng.normal(), rng.normal(), rng.normal()};
+  }
+  std::vector<md::Frame> frames;
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    md::Frame frame;
+    frame.time = static_cast<double>(f);
+    const double phase =
+        main_amplitude *
+        std::sin(2.0 * M_PI * static_cast<double>(f) /
+                 static_cast<double>(n_frames));
+    for (std::size_t i = 0; i < n_particles; ++i) {
+      frame.positions.push_back(base[i] + phase * direction[i] +
+                                md::Vec3{noise * rng.normal(),
+                                         noise * rng.normal(),
+                                         noise * rng.normal()});
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+TEST(Pca, RecoversDominantMode) {
+  const auto frames = planted_frames(40, 30, 2.0, 0.01, 81);
+  auto result = pca_frames(frames, 3);
+  ASSERT_TRUE(result.ok());
+  const auto& pca = result.value();
+  ASSERT_EQ(pca.eigenvalues.size(), 3u);
+  // One dominant mode: first eigenvalue well above the rest.
+  EXPECT_GT(pca.eigenvalues[0], 20.0 * pca.eigenvalues[1]);
+  EXPECT_EQ(pca.projections.rows(), 40u);
+  // Projections on PC1 follow the planted sinusoid: strongly
+  // correlated with it.
+  double correlation = 0.0;
+  double norm_a = 0.0, norm_b = 0.0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const double planted =
+        std::sin(2.0 * M_PI * static_cast<double>(f) / 40.0);
+    correlation += planted * pca.projections(f, 0);
+    norm_a += planted * planted;
+    norm_b += pca.projections(f, 0) * pca.projections(f, 0);
+  }
+  EXPECT_GT(std::fabs(correlation) / std::sqrt(norm_a * norm_b), 0.98);
+}
+
+TEST(Pca, InvariantToRigidTranslation) {
+  auto frames = planted_frames(20, 10, 1.0, 0.05, 83);
+  auto moved = frames;
+  for (auto& frame : moved) {
+    for (auto& p : frame.positions) p += md::Vec3{100.0, -50.0, 25.0};
+  }
+  const auto a = pca_frames(frames, 2);
+  const auto b = pca_frames(moved, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a.value().eigenvalues[0], b.value().eigenvalues[0], 1e-6);
+  EXPECT_NEAR(a.value().eigenvalues[1], b.value().eigenvalues[1], 1e-6);
+}
+
+TEST(Pca, RejectsDegenerateInput) {
+  EXPECT_EQ(pca_frames({}, 2).status().code(), Errc::kInvalidArgument);
+  const auto frames = planted_frames(5, 4, 1.0, 0.1, 85);
+  EXPECT_EQ(pca_frames(frames, 0).status().code(), Errc::kInvalidArgument);
+  auto inconsistent = frames;
+  inconsistent[2].positions.pop_back();
+  EXPECT_EQ(pca_frames(inconsistent, 2).status().code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(Coco, FindsUnsampledRegionsAndReportsOccupancy) {
+  // Two trajectories clustered in one corner of PC space: CoCo must
+  // report low occupancy and emit points away from the samples.
+  const auto frames = planted_frames(30, 20, 0.5, 0.02, 87);
+  md::Trajectory t1, t2;
+  for (std::size_t f = 0; f < 15; ++f) t1.add_frame(frames[f]);
+  for (std::size_t f = 15; f < 30; ++f) t2.add_frame(frames[f]);
+
+  CocoOptions options;
+  options.n_components = 2;
+  options.grid_bins = 6;
+  options.n_new_points = 4;
+  auto result = coco_analysis({&t1, &t2}, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const auto& coco = result.value();
+  EXPECT_GT(coco.occupancy, 0.0);
+  EXPECT_LT(coco.occupancy, 1.0);
+  ASSERT_EQ(coco.new_points.size(), 4u);
+  for (const auto& point : coco.new_points) {
+    EXPECT_EQ(point.size(), 2u);
+    for (const double coordinate : point) {
+      EXPECT_TRUE(std::isfinite(coordinate));
+    }
+  }
+}
+
+TEST(Coco, ValidatesOptions) {
+  const auto frames = planted_frames(10, 8, 1.0, 0.1, 89);
+  md::Trajectory trajectory;
+  for (const auto& frame : frames) trajectory.add_frame(frame);
+  CocoOptions bad;
+  bad.n_components = 5;
+  EXPECT_EQ(coco_analysis({&trajectory}, bad).status().code(),
+            Errc::kInvalidArgument);
+  bad = CocoOptions{};
+  bad.grid_bins = 1;
+  EXPECT_EQ(coco_analysis({&trajectory}, bad).status().code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(coco_analysis({}, CocoOptions{}).status().code(),
+            Errc::kInvalidArgument);
+}
+
+// ----------------------------------------------------------- diffusion map
+
+TEST(DiffusionMap, MarkovSpectrumIsBoundedByOne) {
+  const auto frames = planted_frames(25, 12, 1.5, 0.05, 91);
+  DiffusionMapOptions options;
+  options.n_coordinates = 3;
+  auto result = diffusion_map_frames(frames, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const auto& map = result.value();
+  ASSERT_GE(map.eigenvalues.size(), 4u);
+  EXPECT_NEAR(map.eigenvalues[0], 1.0, 1e-8);  // trivial eigenvalue
+  for (std::size_t k = 1; k < map.eigenvalues.size(); ++k) {
+    EXPECT_LE(map.eigenvalues[k], 1.0 + 1e-9);
+    EXPECT_GE(map.eigenvalues[k], -1.0 - 1e-9);
+  }
+  EXPECT_EQ(map.coordinates.rows(), 25u);
+  EXPECT_EQ(map.coordinates.cols(), 3u);
+  EXPECT_GT(map.epsilon_used, 0.0);
+}
+
+TEST(DiffusionMap, SeparatesTwoClusters) {
+  // Two well separated conformational clusters: the first diffusion
+  // coordinate must split them by sign.
+  Xoshiro256 rng(93);
+  std::vector<md::Frame> frames;
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    for (int f = 0; f < 10; ++f) {
+      md::Frame frame;
+      for (int i = 0; i < 8; ++i) {
+        frame.positions.push_back(
+            {cluster * 50.0 + 0.1 * rng.normal() + i * 1.0,
+             0.1 * rng.normal() - cluster * 30.0 * ((i % 2) ? 1.0 : -1.0),
+             0.1 * rng.normal()});
+      }
+      frames.push_back(std::move(frame));
+    }
+  }
+  DiffusionMapOptions options;
+  options.n_coordinates = 1;
+  auto result = diffusion_map_frames(frames, options);
+  ASSERT_TRUE(result.ok());
+  const auto& coords = result.value().coordinates;
+  int sign_changes_within_cluster = 0;
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    const double reference = coords(cluster * 10, 0);
+    for (int f = 1; f < 10; ++f) {
+      if (coords(cluster * 10 + f, 0) * reference < 0) {
+        ++sign_changes_within_cluster;
+      }
+    }
+  }
+  EXPECT_EQ(sign_changes_within_cluster, 0);
+  EXPECT_LT(coords(0, 0) * coords(10, 0), 0.0);  // clusters on opposite sides
+}
+
+TEST(DiffusionMap, LocalScalingWorks) {
+  const auto frames = planted_frames(20, 10, 1.0, 0.05, 95);
+  DiffusionMapOptions options;
+  options.n_coordinates = 2;
+  options.local_scale_neighbour = 3;  // LSDMap-style local epsilon
+  auto result = diffusion_map_frames(frames, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().eigenvalues[0], 1.0, 1e-8);
+}
+
+TEST(DiffusionMap, ValidatesInput) {
+  DiffusionMapOptions options;
+  EXPECT_EQ(diffusion_map_frames({}, options).status().code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(diffusion_map(Matrix(2, 3), options).status().code(),
+            Errc::kInvalidArgument);
+  options.n_coordinates = 0;
+  EXPECT_EQ(
+      diffusion_map(Matrix(3, 3), options).status().code(),
+      Errc::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- histogram
+
+TEST(Histogram, CountsAndClampsOutliers) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.add_all({1.0, 3.0, 5.0, 7.0, 9.0, -100.0, 100.0});
+  EXPECT_EQ(histogram.total(), 7u);
+  EXPECT_EQ(histogram.count(0), 2u);  // 1.0 and the clamped -100
+  EXPECT_EQ(histogram.count(4), 2u);  // 9.0 and the clamped 100
+  EXPECT_DOUBLE_EQ(histogram.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.bin_center(4), 9.0);
+}
+
+TEST(Histogram, ProbabilitiesSumToOne) {
+  Histogram histogram(0.0, 1.0, 10);
+  Xoshiro256 rng(97);
+  for (int i = 0; i < 1000; ++i) histogram.add(rng.uniform());
+  const auto p = histogram.probabilities();
+  double sum = 0.0;
+  for (const double value : p) sum += value;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, FreeEnergyMinimumIsZero) {
+  Histogram histogram(0.0, 2.0, 4);
+  histogram.add_all({0.1, 0.1, 0.1, 0.6, 1.1});
+  const auto g = histogram.free_energy(1.0);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);  // most populated bin
+  EXPECT_GT(g[1], 0.0);
+  EXPECT_TRUE(std::isinf(g[3]));  // empty bin
+}
+
+}  // namespace
+}  // namespace entk::analysis

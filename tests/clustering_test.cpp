@@ -1,0 +1,136 @@
+// Tests of k-means clustering and 2-D free-energy surfaces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/clustering.hpp"
+#include "analysis/fes.hpp"
+#include "common/rng.hpp"
+
+namespace entk::analysis {
+namespace {
+
+std::vector<std::vector<double>> two_blobs(std::size_t per_blob,
+                                           double separation,
+                                           std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<double>> points;
+  for (int blob = 0; blob < 2; ++blob) {
+    const double cx = blob * separation;
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      points.push_back({cx + 0.3 * rng.normal(), 0.3 * rng.normal()});
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  const auto points = two_blobs(50, 10.0, 11);
+  KMeansOptions options;
+  options.k = 2;
+  auto result = kmeans(points, options);
+  ASSERT_TRUE(result.ok());
+  // Each blob is one cluster: the first 50 share a label, the last 50
+  // share the other.
+  const std::size_t label0 = result.value().assignment[0];
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(result.value().assignment[i], label0);
+  }
+  for (std::size_t i = 50; i < 100; ++i) {
+    EXPECT_NE(result.value().assignment[i], label0);
+  }
+  // Centroids near (0,0) and (10,0).
+  std::vector<double> xs{result.value().centroids[0][0],
+                         result.value().centroids[1][0]};
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[0], 0.0, 0.5);
+  EXPECT_NEAR(xs[1], 10.0, 0.5);
+  EXPECT_GT(cluster_separation_score(points, result.value()), 0.8);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const auto points = two_blobs(40, 6.0, 21);
+  double previous = std::numeric_limits<double>::max();
+  for (std::size_t k = 1; k <= 4; ++k) {
+    KMeansOptions options;
+    options.k = k;
+    auto result = kmeans(points, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.value().inertia, previous + 1e-9) << "k=" << k;
+    previous = result.value().inertia;
+  }
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const auto points = two_blobs(30, 4.0, 31);
+  KMeansOptions options;
+  options.k = 3;
+  const auto a = kmeans(points, options);
+  const auto b = kmeans(points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().assignment, b.value().assignment);
+  EXPECT_DOUBLE_EQ(a.value().inertia, b.value().inertia);
+}
+
+TEST(KMeans, ValidatesInput) {
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_EQ(kmeans({{1.0}}, options).status().code(),
+            Errc::kInvalidArgument);
+  options.k = 5;
+  EXPECT_EQ(kmeans({{1.0}, {2.0}}, options).status().code(),
+            Errc::kInvalidArgument);
+  options.k = 1;
+  EXPECT_EQ(kmeans({{1.0}, {2.0, 3.0}}, options).status().code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  std::vector<std::vector<double>> points(10, {1.0, 2.0});
+  KMeansOptions options;
+  options.k = 3;
+  auto result = kmeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().inertia, 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------------- FES
+
+TEST(Histogram2D, CountsAndCenters) {
+  Histogram2D histogram(0.0, 4.0, 4, 0.0, 2.0, 2);
+  histogram.add(0.5, 0.5);
+  histogram.add(0.5, 0.6);
+  histogram.add(3.5, 1.5);
+  histogram.add(-100.0, 100.0);  // clamps to (0, 1)
+  EXPECT_EQ(histogram.total(), 4u);
+  EXPECT_EQ(histogram.count(0, 0), 2u);
+  EXPECT_EQ(histogram.count(3, 1), 1u);
+  EXPECT_EQ(histogram.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(histogram.x_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.y_center(1), 1.5);
+}
+
+TEST(Histogram2D, FreeEnergyBasinsOrdered) {
+  Histogram2D histogram(0.0, 2.0, 2, 0.0, 1.0, 1);
+  for (int i = 0; i < 90; ++i) histogram.add(0.5, 0.5);  // deep basin
+  for (int i = 0; i < 10; ++i) histogram.add(1.5, 0.5);  // shallow
+  const auto g = histogram.free_energy(1.0);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_NEAR(g[1], std::log(9.0), 1e-12);  // kT ln(p0/p1)
+}
+
+TEST(Histogram2D, ProbabilitiesNormalised) {
+  Histogram2D histogram(-1.0, 1.0, 8, -1.0, 1.0, 8);
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    histogram.add(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  const auto p = histogram.probabilities();
+  double sum = 0.0;
+  for (const double value : p) sum += value;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace entk::analysis

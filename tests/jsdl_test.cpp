@@ -1,0 +1,86 @@
+// Tests of JSDL-style job-description serialization.
+#include <gtest/gtest.h>
+
+#include "saga/jsdl.hpp"
+
+namespace entk::saga {
+namespace {
+
+JobDescription sample_description() {
+  JobDescription description;
+  description.name = "md-production-17";
+  description.executable = "/opt/amber/bin/pmemd.MPI";
+  description.arguments = {"-i", "prod.in", "-o", "prod.out"};
+  description.environment = {{"OMP_NUM_THREADS", "1"},
+                             {"AMBERHOME", "/opt/amber"}};
+  description.working_directory = "/scratch/run17";
+  description.total_cpu_count = 64;
+  description.processes_per_host = 16;
+  description.wall_time_limit = 7200.0;
+  description.queue = "normal";
+  description.project = "TG-MCB090174";
+  return description;
+}
+
+TEST(Jsdl, RoundTripPreservesEveryField) {
+  const JobDescription original = sample_description();
+  const std::string text = to_jsdl(original);
+  auto parsed = from_jsdl(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const JobDescription& restored = parsed.value();
+  EXPECT_EQ(restored.name, original.name);
+  EXPECT_EQ(restored.executable, original.executable);
+  EXPECT_EQ(restored.arguments, original.arguments);
+  EXPECT_EQ(restored.environment, original.environment);
+  EXPECT_EQ(restored.working_directory, original.working_directory);
+  EXPECT_EQ(restored.total_cpu_count, original.total_cpu_count);
+  EXPECT_EQ(restored.processes_per_host, original.processes_per_host);
+  EXPECT_DOUBLE_EQ(restored.wall_time_limit, original.wall_time_limit);
+  EXPECT_EQ(restored.queue, original.queue);
+  EXPECT_EQ(restored.project, original.project);
+}
+
+TEST(Jsdl, SerializationUsesJsdlElementNames) {
+  const std::string text = to_jsdl(sample_description());
+  for (const char* element :
+       {"jsdl:ApplicationName", "jsdl:Executable", "jsdl:Argument",
+        "jsdl:Environment", "jsdl:TotalCPUCount", "jsdl:WallTimeLimit",
+        "jsdl:Queue", "jsdl:Project", "jsdl:WorkingDirectory"}) {
+    EXPECT_NE(text.find(element), std::string::npos) << element;
+  }
+}
+
+TEST(Jsdl, OptionalFieldsOmittedWhenEmpty) {
+  JobDescription minimal;
+  minimal.executable = "/bin/true";
+  const std::string text = to_jsdl(minimal);
+  EXPECT_EQ(text.find("jsdl:Queue"), std::string::npos);
+  EXPECT_EQ(text.find("jsdl:Project"), std::string::npos);
+  EXPECT_EQ(text.find("jsdl:ProcessesPerHost"), std::string::npos);
+  auto parsed = from_jsdl(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().executable, "/bin/true");
+}
+
+TEST(Jsdl, ParserRejectsGarbage) {
+  EXPECT_EQ(from_jsdl("not jsdl at all").status().code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(from_jsdl("jsdl:Unknown = 1\n").status().code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(from_jsdl("jsdl:Environment = NOEQUALS\n").status().code(),
+            Errc::kInvalidArgument);
+  // Valid syntax but invalid description (no executable).
+  EXPECT_EQ(from_jsdl("jsdl:Queue = normal\n").status().code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(Jsdl, CommentsAndBlankLinesIgnored) {
+  auto parsed = from_jsdl(
+      "# produced by entk\n\njsdl:Executable = /bin/date\n"
+      "jsdl:TotalCPUCount = 2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().total_cpu_count, 2);
+}
+
+}  // namespace
+}  // namespace entk::saga

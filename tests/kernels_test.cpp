@@ -1,0 +1,395 @@
+// Tests of the kernel plugins: registry, validation, machine binding,
+// cost models, and real payload execution in a scratch sandbox.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/uid.hpp"
+#include "kernels/registry.hpp"
+#include "md/builder.hpp"
+#include "md/integrator.hpp"
+#include "md/trajectory.hpp"
+
+namespace entk::kernels {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch sandbox + shared dir, cleaned up per test.
+class KernelPayloadTest : public ::testing::Test {
+ protected:
+  KernelPayloadTest() {
+    root_ = fs::temp_directory_path() / next_uid("entk-kernel-test");
+    sandbox_ = root_ / "sandbox";
+    shared_ = root_ / "shared";
+    fs::create_directories(sandbox_);
+    fs::create_directories(shared_);
+    context_.sandbox = sandbox_;
+    context_.shared = shared_;
+    context_.cores = 1;
+  }
+  ~KernelPayloadTest() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  KernelRegistry registry_ = KernelRegistry::with_builtin_kernels();
+  sim::MachineProfile machine_ = sim::localhost_profile();
+  fs::path root_, sandbox_, shared_;
+  pilot::UnitRuntimeContext context_;
+};
+
+TEST(KernelRegistry, BuiltinsPresent) {
+  const auto registry = KernelRegistry::with_builtin_kernels();
+  for (const char* name :
+       {"misc.mkfile", "misc.ccount", "misc.chksum", "misc.sleep",
+        "md.simulate", "md.exchange", "md.coco", "md.lsdmap"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_EQ(registry.find("nope").status().code(), Errc::kNotFound);
+  EXPECT_EQ(registry.names().size(), 8u);
+}
+
+TEST(KernelRegistry, RejectsDuplicates) {
+  KernelRegistry registry;
+  ASSERT_TRUE(registry.register_kernel(make_mkfile_kernel()).is_ok());
+  EXPECT_EQ(registry.register_kernel(make_mkfile_kernel()).code(),
+            Errc::kAlreadyExists);
+}
+
+TEST(KernelValidation, CatchesBadArguments) {
+  const auto registry = KernelRegistry::with_builtin_kernels();
+  Config bad_size;
+  bad_size.set("size_kb", -1.0);
+  EXPECT_EQ(registry.find("misc.mkfile")
+                .value()
+                ->validate(bad_size)
+                .code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(registry.find("misc.ccount").value()->validate({}).code(),
+            Errc::kInvalidArgument);  // missing input
+  Config bad_engine;
+  bad_engine.set("engine", "namd");
+  EXPECT_EQ(registry.find("md.simulate")
+                .value()
+                ->validate(bad_engine)
+                .code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(registry.find("md.exchange").value()->validate({}).code(),
+            Errc::kInvalidArgument);  // missing n_replicas
+  Config one_replica;
+  one_replica.set("n_replicas", 1);
+  EXPECT_EQ(registry.find("md.exchange")
+                .value()
+                ->validate(one_replica)
+                .code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(KernelBinding, MachineSpecificExecutablesResolve) {
+  const auto registry = KernelRegistry::with_builtin_kernels();
+  const auto kernel = registry.find("md.simulate").value();
+  Config args;
+  const auto comet = kernel->bind(args, sim::comet_profile());
+  const auto stampede = kernel->bind(args, sim::stampede_profile());
+  const auto local = kernel->bind(args, sim::localhost_profile());
+  ASSERT_TRUE(comet.ok());
+  ASSERT_TRUE(stampede.ok());
+  ASSERT_TRUE(local.ok());
+  EXPECT_NE(comet.value().executable, stampede.value().executable);
+  EXPECT_EQ(local.value().executable, "pmemd");  // the "*" fallback
+  EXPECT_FALSE(comet.value().pre_exec.empty());
+}
+
+TEST(KernelBinding, CostModelScalesWithWorkAndMachine) {
+  const auto registry = KernelRegistry::with_builtin_kernels();
+  const auto kernel = registry.find("md.simulate").value();
+  Config small;
+  small.set("steps", 1000);
+  small.set("n_particles", 2881);
+  Config big = small;
+  big.set("steps", 2000);
+  const auto machine = sim::stampede_profile();
+  const double small_cost =
+      kernel->bind(small, machine).value().estimated_duration;
+  const double big_cost =
+      kernel->bind(big, machine).value().estimated_duration;
+  EXPECT_NEAR(big_cost, 2.0 * small_cost, 1e-9);
+
+  // MPI: cores divide the cost.
+  Config mpi = small;
+  mpi.set("cores", 16);
+  const auto bound_mpi = kernel->bind(mpi, machine).value();
+  EXPECT_TRUE(bound_mpi.uses_mpi);
+  EXPECT_EQ(bound_mpi.cores, 16);
+  EXPECT_NEAR(bound_mpi.estimated_duration, small_cost / 16.0, 1e-9);
+
+  // Faster machine, lower cost.
+  const double comet_cost =
+      kernel->bind(small, sim::comet_profile()).value().estimated_duration;
+  EXPECT_LT(comet_cost, small_cost);
+
+  // Gromacs profile is cheaper per step than Amber.
+  Config gromacs = small;
+  gromacs.set("engine", "gromacs");
+  EXPECT_LT(kernel->bind(gromacs, machine).value().estimated_duration,
+            small_cost);
+}
+
+TEST(KernelBinding, ExchangeCostGrowsWithReplicas) {
+  const auto registry = KernelRegistry::with_builtin_kernels();
+  const auto kernel = registry.find("md.exchange").value();
+  const auto machine = sim::supermic_profile();
+  Config few;
+  few.set("n_replicas", 20);
+  Config many;
+  many.set("n_replicas", 2560);
+  EXPECT_GT(kernel->bind(many, machine).value().estimated_duration,
+            kernel->bind(few, machine).value().estimated_duration);
+}
+
+TEST(KernelBinding, StagingDirectivesFromConvention) {
+  const auto registry = KernelRegistry::with_builtin_kernels();
+  Config args;
+  args.set("input", "data.txt");
+  const auto bound = registry.find("misc.ccount")
+                         .value()
+                         ->bind(args, sim::localhost_profile())
+                         .value();
+  ASSERT_EQ(bound.input_staging.size(), 1u);
+  EXPECT_EQ(bound.input_staging[0].source, "data.txt");
+  ASSERT_EQ(bound.output_staging.size(), 1u);
+  EXPECT_EQ(bound.output_staging[0].source, "data.txt.count");
+}
+
+// ----------------------------------------------------------- real payloads
+
+TEST_F(KernelPayloadTest, MkfileWritesRequestedBytes) {
+  Config args;
+  args.set("filename", "made.txt");
+  args.set("size_kb", 4.0);
+  auto bound = registry_.find("misc.mkfile")
+                   .value()
+                   ->bind(args, machine_)
+                   .value();
+  ASSERT_TRUE(bound.payload(context_).is_ok());
+  EXPECT_EQ(fs::file_size(sandbox_ / "made.txt"), 4096u);
+}
+
+TEST_F(KernelPayloadTest, CcountCountsWhatMkfileMade) {
+  // Two-stage hand-off through the sandbox (the staging layer is
+  // exercised separately in the pilot tests).
+  Config mkfile_args;
+  mkfile_args.set("filename", "payload.txt");
+  mkfile_args.set("size_kb", 2.0);
+  auto mkfile = registry_.find("misc.mkfile")
+                    .value()
+                    ->bind(mkfile_args, machine_)
+                    .value();
+  ASSERT_TRUE(mkfile.payload(context_).is_ok());
+
+  Config ccount_args;
+  ccount_args.set("input", "payload.txt");
+  auto ccount = registry_.find("misc.ccount")
+                    .value()
+                    ->bind(ccount_args, machine_)
+                    .value();
+  ASSERT_TRUE(ccount.payload(context_).is_ok());
+  std::ifstream count_file(sandbox_ / "payload.txt.count");
+  std::size_t count = 0;
+  ASSERT_TRUE(count_file >> count);
+  EXPECT_EQ(count, 2048u);
+}
+
+TEST_F(KernelPayloadTest, CcountFailsOnMissingInput) {
+  Config args;
+  args.set("input", "never-staged.txt");
+  auto bound = registry_.find("misc.ccount")
+                   .value()
+                   ->bind(args, machine_)
+                   .value();
+  EXPECT_EQ(bound.payload(context_).code(), Errc::kIoError);
+}
+
+TEST_F(KernelPayloadTest, ChksumIsDeterministic) {
+  {
+    std::ofstream file(sandbox_ / "blob.bin", std::ios::binary);
+    file << "ensemble toolkit";
+  }
+  Config args;
+  args.set("input", "blob.bin");
+  auto bound = registry_.find("misc.chksum")
+                   .value()
+                   ->bind(args, machine_)
+                   .value();
+  ASSERT_TRUE(bound.payload(context_).is_ok());
+  std::uint64_t first = 0;
+  {
+    std::ifstream sum(sandbox_ / "blob.bin.sum");
+    ASSERT_TRUE(sum >> first);
+  }
+  ASSERT_TRUE(bound.payload(context_).is_ok());
+  std::uint64_t second = 0;
+  {
+    std::ifstream sum(sandbox_ / "blob.bin.sum");
+    ASSERT_TRUE(sum >> second);
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, 0u);
+}
+
+TEST_F(KernelPayloadTest, MdSimulateProducesTrajectoryAndEnergy) {
+  Config args;
+  args.set("steps", 50);
+  args.set("n_particles", 48);
+  args.set("sample_every", 10);
+  args.set("out", "run.dat");
+  args.set("energy_out", "run.energy");
+  auto bound = registry_.find("md.simulate")
+                   .value()
+                   ->bind(args, machine_)
+                   .value();
+  ASSERT_TRUE(bound.payload(context_).is_ok());
+  auto trajectory = md::Trajectory::load((sandbox_ / "run.dat").string());
+  ASSERT_TRUE(trajectory.ok());
+  EXPECT_EQ(trajectory.value().size(), 5u);
+  EXPECT_EQ(trajectory.value().frame(0).positions.size(), 48u);
+  std::ifstream energy(sandbox_ / "run.energy");
+  double potential = 0.0, temperature = 0.0;
+  ASSERT_TRUE(energy >> potential >> temperature);
+  EXPECT_TRUE(std::isfinite(potential));
+  EXPECT_GT(temperature, 0.0);
+}
+
+TEST_F(KernelPayloadTest, MdSimulateRestartsFromSharedTrajectory) {
+  // Produce a first trajectory directly into the shared space.
+  Config first_args;
+  first_args.set("steps", 20);
+  first_args.set("n_particles", 27);
+  first_args.set("out", "seed.dat");
+  auto first = registry_.find("md.simulate")
+                   .value()
+                   ->bind(first_args, machine_)
+                   .value();
+  pilot::UnitRuntimeContext seed_context = context_;
+  seed_context.sandbox = shared_;  // write where the restart reads
+  ASSERT_TRUE(first.payload(seed_context).is_ok());
+
+  Config restart_args;
+  restart_args.set("steps", 20);
+  restart_args.set("n_particles", 27);
+  restart_args.set("start_from", "seed.dat");
+  restart_args.set("out", "continued.dat");
+  auto restart = registry_.find("md.simulate")
+                     .value()
+                     ->bind(restart_args, machine_)
+                     .value();
+  EXPECT_EQ(restart.input_staging.size(), 1u);
+  ASSERT_TRUE(restart.payload(context_).is_ok());
+  EXPECT_TRUE(fs::exists(sandbox_ / "continued.dat"));
+
+  // Mismatched particle count is rejected.
+  Config bad_args = restart_args;
+  bad_args.set("n_particles", 64);
+  auto bad = registry_.find("md.simulate")
+                 .value()
+                 ->bind(bad_args, machine_)
+                 .value();
+  EXPECT_EQ(bad.payload(context_).code(), Errc::kInvalidArgument);
+}
+
+TEST_F(KernelPayloadTest, MdExchangeReadsEnergiesAndWritesAssignments) {
+  for (int r = 0; r < 4; ++r) {
+    std::ofstream energy(shared_ / ("replica_" + std::to_string(r) +
+                                    ".energy"));
+    energy << (-10.0 * r) << " 1.0\n";
+  }
+  Config args;
+  args.set("n_replicas", 4);
+  auto bound = registry_.find("md.exchange")
+                   .value()
+                   ->bind(args, machine_)
+                   .value();
+  ASSERT_TRUE(bound.payload(context_).is_ok());
+  std::ifstream result(sandbox_ / "exchange_result.txt");
+  std::string key;
+  std::size_t attempted = 0;
+  ASSERT_TRUE(result >> key >> attempted);
+  EXPECT_EQ(key, "attempted");
+  EXPECT_EQ(attempted, 2u);  // even sweep over 4 replicas
+}
+
+TEST_F(KernelPayloadTest, MdExchangeFailsOnMissingEnergyFile) {
+  Config args;
+  args.set("n_replicas", 3);
+  auto bound = registry_.find("md.exchange")
+                   .value()
+                   ->bind(args, machine_)
+                   .value();
+  EXPECT_EQ(bound.payload(context_).code(), Errc::kIoError);
+}
+
+TEST_F(KernelPayloadTest, MdCocoAnalysesTrajectoriesFromSharedSpace) {
+  // Generate two small trajectories into the shared space.
+  for (int s = 0; s < 2; ++s) {
+    Config args;
+    args.set("steps", 30);
+    args.set("n_particles", 27);
+    args.set("sample_every", 5);
+    args.set("seed", 100 + s);
+    args.set("out", "traj_" + std::to_string(s) + ".dat");
+    auto bound = registry_.find("md.simulate")
+                     .value()
+                     ->bind(args, machine_)
+                     .value();
+    pilot::UnitRuntimeContext shared_context = context_;
+    shared_context.sandbox = shared_;
+    ASSERT_TRUE(bound.payload(shared_context).is_ok());
+  }
+  Config coco_args;
+  coco_args.set("n_sims", 2);
+  coco_args.set("n_new_points", 3);
+  auto coco = registry_.find("md.coco")
+                  .value()
+                  ->bind(coco_args, machine_)
+                  .value();
+  ASSERT_TRUE(coco.payload(context_).is_ok());
+  std::ifstream result(sandbox_ / "coco_points.txt");
+  std::string key;
+  double occupancy = 0.0;
+  ASSERT_TRUE(result >> key >> occupancy);
+  EXPECT_EQ(key, "occupancy");
+  EXPECT_GT(occupancy, 0.0);
+}
+
+TEST_F(KernelPayloadTest, MdLsdmapProducesCoordinates) {
+  Config sim_args;
+  sim_args.set("steps", 40);
+  sim_args.set("n_particles", 27);
+  sim_args.set("sample_every", 4);
+  sim_args.set("out", "traj.dat");
+  auto simulate = registry_.find("md.simulate")
+                      .value()
+                      ->bind(sim_args, machine_)
+                      .value();
+  ASSERT_TRUE(simulate.payload(context_).is_ok());
+
+  Config lsdmap_args;
+  lsdmap_args.set("traj", "traj.dat");
+  lsdmap_args.set("n_coords", 2);
+  auto lsdmap = registry_.find("md.lsdmap")
+                    .value()
+                    ->bind(lsdmap_args, machine_)
+                    .value();
+  ASSERT_TRUE(lsdmap.payload(context_).is_ok());
+  std::ifstream result(sandbox_ / "lsdmap.txt");
+  std::string key;
+  double epsilon = 0.0;
+  ASSERT_TRUE(result >> key >> epsilon);
+  EXPECT_EQ(key, "epsilon");
+  EXPECT_GT(epsilon, 0.0);
+}
+
+}  // namespace
+}  // namespace entk::kernels

@@ -1,0 +1,339 @@
+// Unit and property tests of the MD substrate.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/stats.hpp"
+#include "md/builder.hpp"
+#include "md/forcefield.hpp"
+#include "md/integrator.hpp"
+#include "md/remd.hpp"
+#include "md/trajectory.hpp"
+
+namespace entk::md {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -2.0, 0.5};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 5.0);
+  EXPECT_DOUBLE_EQ(sum.y, 0.0);
+  EXPECT_DOUBLE_EQ(sum.z, 3.5);
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.5);
+  EXPECT_DOUBLE_EQ((2.0 * a).norm2(), 4.0 * a.norm2());
+  EXPECT_DOUBLE_EQ((Vec3{3.0, 4.0, 0.0}).norm(), 5.0);
+}
+
+TEST(System, MinimumImageWrapsAcrossTheBox) {
+  System sys(2, 10.0);
+  sys.positions[0] = {0.5, 0.5, 0.5};
+  sys.positions[1] = {9.5, 0.5, 0.5};
+  const Vec3 d = sys.minimum_image(sys.positions[0], sys.positions[1]);
+  EXPECT_NEAR(d.x, 1.0, 1e-12);  // through the boundary, not across
+  EXPECT_NEAR(d.norm(), 1.0, 1e-12);
+}
+
+TEST(System, WrapPositionsKeepsEverythingInBox) {
+  System sys(3, 5.0);
+  sys.positions[0] = {-1.0, 6.0, 2.0};
+  sys.positions[1] = {12.5, -7.5, 5.0};
+  sys.wrap_positions();
+  for (const auto& p : sys.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 5.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 5.0);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, 5.0);
+  }
+}
+
+TEST(System, ThermalizeHitsTargetTemperature) {
+  System sys = build_fluid(2000);
+  Xoshiro256 rng(5);
+  sys.thermalize_velocities(1.5, rng);
+  EXPECT_NEAR(sys.temperature(), 1.5, 0.1);
+  // Drift removed.
+  Vec3 momentum{};
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    momentum += sys.masses[i] * sys.velocities[i];
+  }
+  EXPECT_NEAR(momentum.norm(), 0.0, 1e-9);
+}
+
+TEST(ForceField, ForcesAreMinusEnergyGradient) {
+  // Finite-difference check on a small random configuration with every
+  // bonded term: bonds, angles and torsions.
+  System sys = build_fluid(24, 0.5);
+  sys.bonds.push_back({0, 1, 50.0, 1.0});
+  sys.bonds.push_back({1, 2, 80.0, 0.8});
+  sys.angles.push_back({0, 1, 2, 25.0, 1.911});
+  sys.angles.push_back({3, 4, 5, 10.0, 2.1});
+  sys.dihedrals.push_back({0, 1, 2, 3, 2.5, 3, 0.4});
+  sys.dihedrals.push_back({4, 5, 6, 7, 1.5, 1, 0.0});
+  Xoshiro256 rng(9);
+  for (auto& p : sys.positions) {
+    p += Vec3{rng.uniform(-0.1, 0.1), rng.uniform(-0.1, 0.1),
+              rng.uniform(-0.1, 0.1)};
+  }
+  const ForceField forcefield;
+  forcefield.compute(sys);
+  const double h = 1e-6;
+  for (const std::size_t i : {0UL, 1UL, 5UL, 23UL}) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto& coordinate = axis == 0   ? sys.positions[i].x
+                         : axis == 1 ? sys.positions[i].y
+                                     : sys.positions[i].z;
+      const double original = coordinate;
+      coordinate = original + h;
+      const double e_plus = forcefield.energy(sys);
+      coordinate = original - h;
+      const double e_minus = forcefield.energy(sys);
+      coordinate = original;
+      const double numeric = -(e_plus - e_minus) / (2.0 * h);
+      const double analytic = axis == 0   ? sys.forces[i].x
+                              : axis == 1 ? sys.forces[i].y
+                                          : sys.forces[i].z;
+      EXPECT_NEAR(analytic, numeric,
+                  1e-4 * std::max(1.0, std::fabs(numeric)))
+          << "particle " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST(ForceField, CellListMatchesBruteForce) {
+  // A system large enough to use the cell list; compare with a tiny
+  // dense system whose brute-force path is exact by construction.
+  System big = build_fluid(600, 0.6);
+  const ForceField forcefield;
+  const double e_cell = forcefield.energy(big);
+  // Reference: direct O(N^2) evaluation.
+  const double cutoff = forcefield.cutoff();
+  double e_ref = 0.0;
+  const auto& params = forcefield.params();
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    for (std::size_t j = i + 1; j < big.size(); ++j) {
+      const Vec3 d = big.minimum_image(big.positions[i], big.positions[j]);
+      const double r2 = d.norm2();
+      if (r2 >= cutoff * cutoff || r2 < 1e-16) continue;
+      const double s2 = params.sigma * params.sigma / r2;
+      const double s6 = s2 * s2 * s2;
+      e_ref += 4.0 * params.epsilon * (s6 * s6 - s6) + params.epsilon;
+    }
+  }
+  EXPECT_NEAR(e_cell, e_ref, 1e-9 * std::max(1.0, std::fabs(e_ref)));
+}
+
+TEST(ForceField, EnergyIsNonNegativeForWcaOnly) {
+  System sys = build_fluid(100, 0.8);
+  const ForceField forcefield;
+  EXPECT_GE(forcefield.energy(sys), 0.0);  // WCA is purely repulsive
+}
+
+TEST(VelocityVerlet, ConservesEnergyInNve) {
+  System sys = build_fluid(64, 0.4);
+  Xoshiro256 rng(21);
+  sys.thermalize_velocities(0.5, rng);
+  const ForceField forcefield;
+  double potential = forcefield.compute(sys);
+  const double e0 = potential + sys.kinetic_energy();
+  const VelocityVerlet integrator(0.002);
+  RunningStats drift;
+  for (int step = 0; step < 500; ++step) {
+    potential = integrator.step(sys, forcefield);
+    drift.add(potential + sys.kinetic_energy() - e0);
+  }
+  // Total energy stays within a small fraction of the initial value.
+  EXPECT_LT(std::fabs(drift.mean()), 0.02 * std::max(1.0, std::fabs(e0)));
+  EXPECT_LT(drift.max() - drift.min(), 0.05 * std::max(1.0, std::fabs(e0)));
+}
+
+TEST(Langevin, ThermostatsToTargetTemperature) {
+  System sys = build_fluid(216, 0.4);
+  Xoshiro256 rng(33);
+  sys.thermalize_velocities(0.2, rng);  // start cold
+  const ForceField forcefield;
+  forcefield.compute(sys);
+  const double target = 1.2;
+  const LangevinIntegrator integrator(0.005, 1.0, target);
+  for (int step = 0; step < 500; ++step) {
+    integrator.step(sys, forcefield, rng);
+  }
+  RunningStats temperature;
+  for (int step = 0; step < 1500; ++step) {
+    integrator.step(sys, forcefield, rng);
+    temperature.add(sys.temperature());
+  }
+  EXPECT_NEAR(temperature.mean(), target, 0.08);
+}
+
+TEST(Builder, DipeptideHasThePaperComposition) {
+  const BuiltSystem built = build_solvated_dipeptide();
+  EXPECT_EQ(built.system.size(), 2881u);  // 22 + 3 * 953
+  EXPECT_EQ(built.solute_atoms, 22u);
+  // Topology: 13 backbone + 8 branch + 3 * 953 water bonds.
+  EXPECT_EQ(built.system.bonds.size(), 13u + 8u + 3u * 953u);
+  // Bonds reference valid particles.
+  for (const auto& bond : built.system.bonds) {
+    EXPECT_LT(bond.i, built.system.size());
+    EXPECT_LT(bond.j, built.system.size());
+    EXPECT_NE(bond.i, bond.j);
+  }
+}
+
+TEST(Builder, DipeptideIsStableUnderDynamics) {
+  const BuiltSystem built = build_solvated_dipeptide(100);  // small: 322
+  System sys = built.system;
+  Xoshiro256 rng(41);
+  sys.thermalize_velocities(1.0, rng);
+  const ForceField forcefield;
+  forcefield.compute(sys);
+  const LangevinIntegrator integrator(0.002, 1.0, 1.0);
+  for (int step = 0; step < 200; ++step) {
+    const double potential = integrator.step(sys, forcefield, rng);
+    ASSERT_TRUE(std::isfinite(potential)) << "blew up at step " << step;
+  }
+  EXPECT_NEAR(sys.temperature(), 1.0, 0.35);
+}
+
+TEST(Remd, GeometricLadderIsAscendingGeometric) {
+  const auto ladder = geometric_ladder(8, 1.0, 2.0);
+  ASSERT_EQ(ladder.size(), 8u);
+  EXPECT_DOUBLE_EQ(ladder.front(), 1.0);
+  EXPECT_NEAR(ladder.back(), 2.0, 1e-12);
+  const double ratio = ladder[1] / ladder[0];
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_NEAR(ladder[i] / ladder[i - 1], ratio, 1e-12);
+  }
+  EXPECT_EQ(geometric_ladder(1, 1.5, 3.0).size(), 1u);
+}
+
+TEST(Remd, EqualEnergiesAlwaysSwap) {
+  // delta == 0 -> acceptance probability 1.
+  ReplicaExchange remd(geometric_ladder(4, 1.0, 2.0));
+  Xoshiro256 rng(55);
+  const std::vector<double> energies(4, -10.0);
+  const ExchangeStats sweep = remd.attempt_sweep(energies, rng);
+  EXPECT_EQ(sweep.attempted, 2u);
+  EXPECT_EQ(sweep.accepted, 2u);
+  // Rungs 0<->1 and 2<->3 swapped.
+  EXPECT_EQ(remd.rung_of(0), 1u);
+  EXPECT_EQ(remd.rung_of(1), 0u);
+}
+
+TEST(Remd, FavourableSwapsAlwaysAccepted) {
+  // Hot replica with *lower* energy than the cold one: delta > 0.
+  ReplicaExchange remd(geometric_ladder(2, 1.0, 2.0));
+  Xoshiro256 rng(56);
+  const std::vector<double> energies{100.0, -100.0};
+  const ExchangeStats sweep = remd.attempt_sweep(energies, rng);
+  EXPECT_EQ(sweep.accepted, 1u);
+}
+
+TEST(Remd, VeryUnfavourableSwapsRejected) {
+  ReplicaExchange remd(geometric_ladder(2, 1.0, 2.0));
+  Xoshiro256 rng(57);
+  // Cold replica far below the hot one: delta very negative.
+  const std::vector<double> energies{-1e6, 1e6};
+  const ExchangeStats sweep = remd.attempt_sweep(energies, rng);
+  EXPECT_EQ(sweep.accepted, 0u);
+  EXPECT_EQ(remd.rung_of(0), 0u);
+}
+
+TEST(Remd, SweepParityAlternates) {
+  ReplicaExchange remd(geometric_ladder(5, 1.0, 2.0));
+  Xoshiro256 rng(58);
+  const std::vector<double> energies(5, 0.0);
+  // Even sweep: pairs (0,1),(2,3) -> 2 attempts.
+  EXPECT_EQ(remd.attempt_sweep(energies, rng).attempted, 2u);
+  // Odd sweep: pairs (1,2),(3,4) -> 2 attempts.
+  EXPECT_EQ(remd.attempt_sweep(energies, rng).attempted, 2u);
+  EXPECT_EQ(remd.sweeps_completed(), 2u);
+  EXPECT_EQ(remd.cumulative_stats().attempted, 4u);
+}
+
+TEST(Remd, VisitsTrackMixing) {
+  ReplicaExchange remd(geometric_ladder(4, 1.0, 2.0));
+  Xoshiro256 rng(59);
+  const std::vector<double> energies(4, 0.0);
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    (void)remd.attempt_sweep(energies, rng);
+  }
+  // With always-accepted swaps every replica must leave its rung.
+  const auto& visits = remd.visits();
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::size_t rungs_visited = 0;
+    for (std::size_t rung = 0; rung < 4; ++rung) {
+      if (visits[r][rung] > 0) ++rungs_visited;
+    }
+    EXPECT_GT(rungs_visited, 1u) << "replica " << r << " never mixed";
+  }
+}
+
+TEST(Trajectory, RoundTripsThroughDisk) {
+  Trajectory trajectory;
+  Xoshiro256 rng(61);
+  for (int f = 0; f < 3; ++f) {
+    Frame frame;
+    frame.time = f * 0.5;
+    frame.potential_energy = rng.normal(0, 10);
+    frame.temperature = 1.0 + 0.1 * f;
+    for (int i = 0; i < 17; ++i) {
+      frame.positions.push_back(
+          {rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(0, 5)});
+    }
+    trajectory.add_frame(std::move(frame));
+  }
+  const auto path =
+      (std::filesystem::temp_directory_path() / "entk_traj_test.dat")
+          .string();
+  ASSERT_TRUE(trajectory.save(path).is_ok());
+  auto loaded = Trajectory::load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 3u);
+  for (std::size_t f = 0; f < 3; ++f) {
+    const Frame& a = trajectory.frame(f);
+    const Frame& b = loaded.value().frame(f);
+    EXPECT_DOUBLE_EQ(a.time, b.time);
+    EXPECT_NEAR(a.potential_energy, b.potential_energy, 1e-9);
+    ASSERT_EQ(a.positions.size(), b.positions.size());
+    for (std::size_t i = 0; i < a.positions.size(); ++i) {
+      EXPECT_NEAR(a.positions[i].x, b.positions[i].x, 1e-9);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Trajectory, LoadRejectsMissingAndCorruptFiles) {
+  EXPECT_EQ(Trajectory::load("/nonexistent/file.dat").status().code(),
+            Errc::kIoError);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "entk_corrupt.dat").string();
+  {
+    std::ofstream out(path);
+    out << "2\n0.0 0.0 0.0 5\n1 2 3\n";  // truncated payload
+  }
+  EXPECT_EQ(Trajectory::load(path).status().code(), Errc::kIoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Trajectory, RmsdProperties) {
+  Frame a;
+  Frame b;
+  Xoshiro256 rng(67);
+  for (int i = 0; i < 10; ++i) {
+    const Vec3 p{rng.uniform(0, 3), rng.uniform(0, 3), rng.uniform(0, 3)};
+    a.positions.push_back(p);
+    b.positions.push_back(p + Vec3{5.0, -2.0, 1.0});  // rigid translation
+  }
+  EXPECT_NEAR(Trajectory::rmsd(a, a), 0.0, 1e-12);
+  // Centroid removal makes rmsd translation invariant.
+  EXPECT_NEAR(Trajectory::rmsd(a, b), 0.0, 1e-12);
+  b.positions[0] += Vec3{1.0, 0.0, 0.0};
+  EXPECT_GT(Trajectory::rmsd(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace entk::md

@@ -1,0 +1,167 @@
+// Tests of the MD observables and their integration with the
+// strategy-resolved workload front end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workload_file.hpp"
+#include "md/builder.hpp"
+#include "md/integrator.hpp"
+#include "md/observables.hpp"
+
+namespace entk::md {
+namespace {
+
+TEST(Observables, RadiusOfGyrationKnownConfigurations) {
+  // Two particles distance d apart: Rg = d/2.
+  std::vector<Vec3> pair{{0, 0, 0}, {4, 0, 0}};
+  EXPECT_DOUBLE_EQ(radius_of_gyration(pair), 2.0);
+  // Four corners of a square with side 2: Rg = sqrt(2).
+  std::vector<Vec3> square{{1, 1, 0}, {1, -1, 0}, {-1, 1, 0}, {-1, -1, 0}};
+  EXPECT_NEAR(radius_of_gyration(square), std::sqrt(2.0), 1e-12);
+  // Subranges work.
+  EXPECT_DOUBLE_EQ(radius_of_gyration(square, 0, 1), 0.0);
+}
+
+TEST(Observables, EndToEndDistance) {
+  std::vector<Vec3> positions{{0, 0, 0}, {1, 2, 2}};
+  EXPECT_DOUBLE_EQ(end_to_end_distance(positions, 0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(end_to_end_distance(positions, 1, 1), 0.0);
+}
+
+TEST(Observables, DihedralAngleKnownGeometries) {
+  // cis (phi = 0): all four atoms in a plane, d on the same side as a.
+  const Vec3 a{-1, 1, 0}, b{0, 0, 0}, c{1, 0, 0};
+  EXPECT_NEAR(dihedral_angle(a, b, c, {2, 1, 0}), 0.0, 1e-12);
+  // trans (phi = pi): d on the opposite side.
+  EXPECT_NEAR(std::fabs(dihedral_angle(a, b, c, {2, -1, 0})), M_PI,
+              1e-12);
+  // +90 degrees out of plane.
+  EXPECT_NEAR(std::fabs(dihedral_angle(a, b, c, {2, 0, 1})), M_PI / 2.0,
+              1e-12);
+}
+
+TEST(Observables, DihedralMatchesForceFieldConvention) {
+  // The observable and the force field must agree on the angle so FES
+  // plots line up with the potential's minima.
+  System sys(4, 100.0);
+  sys.positions[0] = {50, 50, 50};
+  sys.positions[1] = {51.5, 50.3, 49.85};
+  sys.positions[2] = {52.25, 51.5, 50.45};
+  sys.positions[3] = {53.6, 51.8, 51.65};
+  const double phi =
+      dihedral_angle(sys.positions[0], sys.positions[1], sys.positions[2],
+                     sys.positions[3]);
+  // Energy of a torsion with phi0 = measured phi and n = 1 must sit at
+  // its minimum (U = k(1 + cos(phi - phi0 - pi)) = 0 at phi = phi0+pi);
+  // easier: U = k(1 + cos(1*phi - phi0)) minimised when phi - phi0 = pi.
+  sys.dihedrals.push_back({0, 1, 2, 3, 3.0, 1, phi + M_PI});
+  const ForceField forcefield;
+  EXPECT_NEAR(forcefield.energy(sys), 0.0, 1e-9);
+}
+
+TEST(Observables, MsdGrowsForDiffusingFluid) {
+  System sys = build_fluid(64, 0.3);
+  Xoshiro256 rng(101);
+  sys.thermalize_velocities(1.0, rng);
+  const ForceField forcefield;
+  forcefield.compute(sys);
+  const LangevinIntegrator integrator(0.005, 1.0, 1.0);
+  Trajectory trajectory;
+  for (int step = 0; step < 400; ++step) {
+    integrator.step(sys, forcefield, rng);
+    if (step % 20 == 0) {
+      Frame frame;
+      frame.time = step * 0.005;
+      frame.positions = sys.positions;  // unwrapped (no wrap calls)
+      trajectory.add_frame(std::move(frame));
+    }
+  }
+  auto msd = mean_squared_displacement(trajectory);
+  ASSERT_TRUE(msd.ok());
+  ASSERT_GE(msd.value().size(), 10u);
+  // Diffusive: MSD increases with lag (allow small non-monotonic noise
+  // by comparing first and last).
+  EXPECT_GT(msd.value().back(), msd.value().front());
+  EXPECT_GT(msd.value().front(), 0.0);
+}
+
+TEST(Observables, MsdValidation) {
+  Trajectory empty;
+  EXPECT_EQ(mean_squared_displacement(empty).status().code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(Observables, SeriesHelper) {
+  Trajectory trajectory;
+  for (int f = 0; f < 3; ++f) {
+    Frame frame;
+    frame.positions = {{0, 0, 0}, {2.0 + f, 0, 0}};
+    trajectory.add_frame(std::move(frame));
+  }
+  const auto series =
+      observable_series(trajectory, [](const Frame& frame) {
+        return end_to_end_distance(frame.positions, 0, 1);
+      });
+  EXPECT_EQ(series, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace entk::md
+
+namespace entk::core {
+namespace {
+
+TEST(ResolveWorkload, AutoPicksMachineAndCores) {
+  auto spec = parse_workload(
+      "backend = sim\nmachine = auto\ncores = auto\npattern = bag\n"
+      "tasks = 128\n[task]\nkernel = md.simulate\nsteps = 300\n"
+      "n_particles = 2881\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_TRUE(spec.value().auto_cores);
+  EXPECT_TRUE(spec.value().auto_machine);
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  auto resolved = resolve_workload(spec.value(), registry);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().to_string();
+  EXPECT_FALSE(resolved.value().auto_cores);
+  EXPECT_GE(resolved.value().cores, 1);
+  EXPECT_LE(resolved.value().cores, 128);
+  // The strategy picks one of the paper's machines.
+  const auto catalog = sim::MachineCatalog::with_builtin_profiles();
+  EXPECT_TRUE(catalog.contains(resolved.value().machine));
+}
+
+TEST(ResolveWorkload, AutoRequiresSimBackend) {
+  auto spec = parse_workload(
+      "backend = local\ncores = auto\npattern = bag\ntasks = 4\n"
+      "[task]\nkernel = misc.sleep\n");
+  EXPECT_EQ(spec.status().code(), Errc::kInvalidArgument);
+}
+
+TEST(ResolveWorkload, NoAutoIsIdentity) {
+  auto spec = parse_workload(
+      "backend = sim\ncores = 16\npattern = bag\ntasks = 4\n"
+      "[task]\nkernel = misc.sleep\n");
+  ASSERT_TRUE(spec.ok());
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  auto resolved = resolve_workload(spec.value(), registry);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value().cores, 16);
+  EXPECT_EQ(resolved.value().machine, spec.value().machine);
+}
+
+TEST(RunWorkload, AutoEndToEnd) {
+  auto spec = parse_workload(
+      "backend = sim\ncores = auto\nmachine = xsede.stampede\n"
+      "pattern = bag\ntasks = 64\n[task]\nkernel = md.simulate\n"
+      "steps = 300\nn_particles = 2881\nout = t{instance}.dat\n");
+  ASSERT_TRUE(spec.ok());
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  auto report = run_workload(spec.value(), registry);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().outcome.is_ok());
+  EXPECT_EQ(report.value().units.size(), 64u);
+}
+
+}  // namespace
+}  // namespace entk::core

@@ -1,0 +1,191 @@
+// Tests of the RepEx application framework (synchronous and
+// asynchronous replica exchange on the local backend with real MD).
+#include <gtest/gtest.h>
+
+#include "apps/repex/repex.hpp"
+#include "core/entk.hpp"
+
+namespace entk::apps {
+namespace {
+
+core::ResourceHandle make_handle(pilot::LocalBackend& backend,
+                                 const kernels::KernelRegistry& registry,
+                                 Count cores) {
+  core::ResourceOptions options;
+  options.cores = cores;
+  return core::ResourceHandle(backend, registry, options);
+}
+
+RepexConfig small_config(bool asynchronous) {
+  RepexConfig config;
+  config.n_replicas = 4;
+  config.n_cycles = 3;
+  config.asynchronous = asynchronous;
+  config.system = "fluid";      // fastest real MD
+  config.n_particles = 32;
+  config.steps_per_cycle = 30;
+  config.sample_every = 10;
+  config.t_min = 0.8;
+  config.t_max = 2.0;
+  return config;
+}
+
+TEST(RepexConfigTest, Validation) {
+  EXPECT_TRUE(small_config(false).validate().is_ok());
+  RepexConfig bad = small_config(false);
+  bad.n_replicas = 1;
+  EXPECT_EQ(bad.validate().code(), Errc::kInvalidArgument);
+  bad = small_config(false);
+  bad.t_max = bad.t_min;
+  EXPECT_EQ(bad.validate().code(), Errc::kInvalidArgument);
+  bad = small_config(false);
+  bad.n_cycles = 0;
+  EXPECT_EQ(bad.validate().code(), Errc::kInvalidArgument);
+}
+
+TEST(RepexApplicationTest, LadderIsGeometric) {
+  RepexApplication application(small_config(false));
+  ASSERT_EQ(application.ladder().size(), 4u);
+  EXPECT_DOUBLE_EQ(application.ladder().front(), 0.8);
+  EXPECT_NEAR(application.ladder().back(), 2.0, 1e-12);
+}
+
+TEST(RepexApplicationTest, RequiresAllocatedHandleWithSharedDir) {
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::LocalBackend backend(4);
+  auto handle = make_handle(backend, registry, 4);
+  RepexApplication application(small_config(false));
+  // Not allocated yet.
+  EXPECT_EQ(application.run(handle).status().code(),
+            Errc::kFailedPrecondition);
+
+  // Simulated backend: no shared directory.
+  pilot::SimBackend sim_backend(sim::localhost_profile());
+  core::ResourceOptions options;
+  options.cores = 4;
+  core::ResourceHandle sim_handle(sim_backend, registry, options);
+  ASSERT_TRUE(sim_handle.allocate().is_ok());
+  RepexApplication sim_application(small_config(false));
+  EXPECT_EQ(sim_application.run(sim_handle).status().code(),
+            Errc::kFailedPrecondition);
+}
+
+class RepexModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RepexModeTest, FullStudyRunsAndKeepsBooks) {
+  const bool asynchronous = GetParam();
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::LocalBackend backend(4);
+  auto handle = make_handle(backend, registry, 4);
+  ASSERT_TRUE(handle.allocate().is_ok());
+
+  RepexApplication application(small_config(asynchronous));
+  auto report = application.run(handle);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  const RepexReport& result = report.value();
+
+  EXPECT_EQ(result.cycles_completed, 3);
+  // Sync: one global sweep per cycle over 4 replicas = 2 or 1 pair
+  // attempts depending on parity; async: per-pair tasks. Either way
+  // some exchanges were attempted and the ratio is a probability.
+  EXPECT_GT(result.swaps_attempted, 0u);
+  EXPECT_LE(result.swaps_accepted, result.swaps_attempted);
+  EXPECT_GE(result.acceptance_ratio(), 0.0);
+  EXPECT_LE(result.acceptance_ratio(), 1.0);
+
+  // Rung histories: initial + one per cycle; every entry a permutation.
+  ASSERT_EQ(result.rung_history.size(), 4u);
+  for (const auto& assignment : result.rung_history) {
+    std::vector<bool> seen(assignment.size(), false);
+    for (const std::size_t rung : assignment) {
+      ASSERT_LT(rung, assignment.size());
+      EXPECT_FALSE(seen[rung]) << "duplicate rung";
+      seen[rung] = true;
+    }
+  }
+  // Tasks: per cycle, 4 simulations + exchanges.
+  EXPECT_GE(result.tasks_executed, 3u * 5u - 3u);
+  EXPECT_GT(result.total_ttc, 0.0);
+  ASSERT_TRUE(handle.deallocate().is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(SyncAndAsync, RepexModeTest,
+                         ::testing::Values(false, true));
+
+TEST(RepexApplicationTest, AssignmentsPersistAcrossCycles) {
+  // With a wide ladder (hard swaps) most assignments stay put; with a
+  // degenerate ladder... instead verify persistence directly: history
+  // entry k+1 differs from k only by the swaps the cycle accepted.
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::LocalBackend backend(4);
+  auto handle = make_handle(backend, registry, 4);
+  ASSERT_TRUE(handle.allocate().is_ok());
+
+  RepexConfig config = small_config(false);
+  config.n_cycles = 4;
+  RepexApplication application(config);
+  auto report = application.run(handle);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  std::size_t total_changes = 0;
+  const auto& history = report.value().rung_history;
+  for (std::size_t c = 1; c < history.size(); ++c) {
+    for (std::size_t r = 0; r < history[c].size(); ++r) {
+      if (history[c][r] != history[c - 1][r]) ++total_changes;
+    }
+  }
+  // Every accepted swap changes exactly two replicas' rungs.
+  EXPECT_EQ(total_changes, 2 * report.value().swaps_accepted);
+}
+
+TEST(RepexHamiltonian, RequiresAsynchronousMode) {
+  RepexConfig config = small_config(false);
+  config.dimension = RepexConfig::Dimension::kHamiltonian;
+  EXPECT_EQ(config.validate().code(), Errc::kInvalidArgument);
+  config.asynchronous = true;
+  EXPECT_TRUE(config.validate().is_ok());
+  config.eps_max = config.eps_min;
+  EXPECT_EQ(config.validate().code(), Errc::kInvalidArgument);
+}
+
+TEST(RepexHamiltonian, LadderHoldsPotentialScales) {
+  RepexConfig config = small_config(true);
+  config.dimension = RepexConfig::Dimension::kHamiltonian;
+  config.eps_min = 0.5;
+  config.eps_max = 1.0;
+  RepexApplication application(config);
+  ASSERT_EQ(application.ladder().size(), 4u);
+  EXPECT_DOUBLE_EQ(application.ladder().front(), 0.5);
+  EXPECT_NEAR(application.ladder().back(), 1.0, 1e-12);
+}
+
+TEST(RepexHamiltonian, FullStudyWithCrossEnergies) {
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::LocalBackend backend(4);
+  auto handle = make_handle(backend, registry, 4);
+  ASSERT_TRUE(handle.allocate().is_ok());
+
+  RepexConfig config = small_config(true);
+  config.dimension = RepexConfig::Dimension::kHamiltonian;
+  config.eps_min = 0.5;
+  config.eps_max = 1.0;
+  RepexApplication application(config);
+  auto report = application.run(handle);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().cycles_completed, 3);
+  EXPECT_GT(report.value().swaps_attempted, 0u);
+  EXPECT_LE(report.value().swaps_accepted,
+            report.value().swaps_attempted);
+  // Assignments remain permutations throughout.
+  for (const auto& assignment : report.value().rung_history) {
+    std::vector<bool> seen(assignment.size(), false);
+    for (const std::size_t rung : assignment) {
+      ASSERT_LT(rung, assignment.size());
+      EXPECT_FALSE(seen[rung]);
+      seen[rung] = true;
+    }
+  }
+  ASSERT_TRUE(handle.deallocate().is_ok());
+}
+
+}  // namespace
+}  // namespace entk::apps

@@ -1,0 +1,187 @@
+// Tests of the execution-strategy component (dynamic workload-resource
+// mapping) and validation of its analytic TTC model against the
+// discrete-event simulation.
+#include <gtest/gtest.h>
+
+#include "core/entk.hpp"
+
+namespace entk::core {
+namespace {
+
+WorkloadProfile simple_workload(Count tasks, Duration duration,
+                                Count cores_per_task = 1,
+                                Count stages = 1) {
+  WorkloadProfile workload;
+  workload.total_tasks = tasks * stages;
+  workload.max_concurrent_tasks = tasks;
+  workload.cores_per_task = cores_per_task;
+  workload.reference_task_duration = duration;
+  workload.sequential_stages = stages;
+  return workload;
+}
+
+TEST(WorkloadProfile, Validation) {
+  EXPECT_TRUE(simple_workload(8, 10.0).validate().is_ok());
+  WorkloadProfile bad = simple_workload(8, 10.0);
+  bad.total_tasks = 0;
+  EXPECT_EQ(bad.validate().code(), Errc::kInvalidArgument);
+  bad = simple_workload(8, 10.0);
+  bad.max_concurrent_tasks = 100;  // > total
+  EXPECT_EQ(bad.validate().code(), Errc::kInvalidArgument);
+  bad = simple_workload(8, 10.0);
+  bad.reference_task_duration = 0.0;
+  EXPECT_EQ(bad.validate().code(), Errc::kInvalidArgument);
+}
+
+TEST(ProfileForEnsemble, DerivesFromKernelCostModel) {
+  const auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  TaskSpec spec;
+  spec.kernel = "md.simulate";
+  spec.args.set("steps", 3000);
+  spec.args.set("n_particles", 2881);
+  auto workload = profile_for_ensemble(256, 2, spec, registry);
+  ASSERT_TRUE(workload.ok()) << workload.status().to_string();
+  EXPECT_EQ(workload.value().total_tasks, 512);
+  EXPECT_EQ(workload.value().max_concurrent_tasks, 256);
+  EXPECT_EQ(workload.value().cores_per_task, 1);
+  EXPECT_NEAR(workload.value().reference_task_duration,
+              3000.0 * 2881.0 * 1.2e-5, 1e-6);
+
+  TaskSpec unknown;
+  unknown.kernel = "no.such";
+  EXPECT_EQ(profile_for_ensemble(8, 1, unknown, registry).status().code(),
+            Errc::kNotFound);
+}
+
+TEST(ExecutionStrategy, MoreCoresNeverSlowerMakespan) {
+  const auto machine = sim::stampede_profile();
+  const auto workload = simple_workload(1024, 100.0);
+  Duration previous = kTimeInfinity;
+  for (Count cores : {64, 128, 256, 512, 1024}) {
+    const ResourcePlan plan =
+        ExecutionStrategy::evaluate(machine, cores, workload);
+    EXPECT_LE(plan.predicted_makespan, previous + 1e-9)
+        << "cores=" << cores;
+    previous = plan.predicted_makespan;
+  }
+}
+
+TEST(ExecutionStrategy, QueueWaitGrowsWithPilotSize) {
+  const auto machine = sim::stampede_profile();
+  const auto workload = simple_workload(1024, 100.0);
+  const auto small = ExecutionStrategy::evaluate(machine, 64, workload);
+  const auto large = ExecutionStrategy::evaluate(machine, 1024, workload);
+  EXPECT_LT(small.predicted_queue_wait, large.predicted_queue_wait);
+}
+
+TEST(ExecutionStrategy, PicksLargerPilotWhenQueueIsFree) {
+  const auto catalog = sim::MachineCatalog::with_builtin_profiles();
+  ExecutionStrategy strategy(catalog);
+  StrategyObjective objective;
+  objective.queue_wait_weight = 0.0;  // ignore the queue entirely
+  auto plan = strategy.plan(simple_workload(512, 200.0), objective);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  // Without queue pressure the best plan saturates the concurrency.
+  EXPECT_EQ(plan.value().pilot_cores, 512);
+}
+
+TEST(ExecutionStrategy, QueuePressureShrinksThePilot) {
+  sim::MachineCatalog catalog;
+  auto machine = sim::stampede_profile();
+  machine.batch_wait_per_node = 300.0;  // brutal queue
+  ASSERT_TRUE(catalog.register_machine(machine).is_ok());
+  ExecutionStrategy strategy(catalog);
+  StrategyObjective heavy;
+  heavy.queue_wait_weight = 1.0;
+  auto plan = strategy.plan(simple_workload(512, 30.0), heavy);
+  ASSERT_TRUE(plan.ok());
+  // Waiting for 512 cores costs far more than running waves on fewer.
+  EXPECT_LT(plan.value().pilot_cores, 512);
+}
+
+TEST(ExecutionStrategy, RespectsObjectiveBounds) {
+  const auto catalog = sim::MachineCatalog::with_builtin_profiles();
+  ExecutionStrategy strategy(catalog);
+  StrategyObjective objective;
+  objective.max_cores = 128;
+  auto plan = strategy.plan(simple_workload(1024, 50.0), objective);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan.value().pilot_cores, 128);
+
+  StrategyObjective impossible;
+  impossible.max_core_seconds = 1.0;  // nothing fits
+  EXPECT_EQ(strategy.plan(simple_workload(1024, 50.0), impossible)
+                .status()
+                .code(),
+            Errc::kResourceExhausted);
+}
+
+TEST(ExecutionStrategy, CandidatesAreRankedByScore) {
+  const auto catalog = sim::MachineCatalog::with_builtin_profiles();
+  ExecutionStrategy strategy(catalog);
+  StrategyObjective objective;
+  auto plan = strategy.plan(simple_workload(256, 100.0), objective);
+  ASSERT_TRUE(plan.ok());
+  const auto& candidates = strategy.last_candidates();
+  ASSERT_GT(candidates.size(), 1u);
+  auto score = [&](const ResourcePlan& candidate) {
+    return objective.queue_wait_weight * candidate.predicted_queue_wait +
+           candidate.predicted_makespan;
+  };
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_LE(score(candidates[i - 1]), score(candidates[i]) + 1e-9);
+  }
+  EXPECT_EQ(plan.value().machine, candidates.front().machine);
+}
+
+// The strategy's analytic model must agree with the discrete-event
+// simulation it abstracts — run the same workload both ways.
+class StrategyModelValidation
+    : public ::testing::TestWithParam<std::tuple<Count, Count>> {};
+
+TEST_P(StrategyModelValidation, AnalyticTtcTracksSimulation) {
+  const auto [n_tasks, cores] = GetParam();
+  const double task_duration = 120.0;
+  const auto machine = sim::stampede_profile();
+
+  // Analytic prediction.
+  const ResourcePlan plan = ExecutionStrategy::evaluate(
+      machine, cores, simple_workload(n_tasks, task_duration));
+
+  // Discrete-event measurement of the same bag on the same pilot.
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::SimBackend backend(machine);
+  ResourceOptions options;
+  options.cores = cores;
+  options.runtime = 1e7;
+  ResourceHandle handle(backend, registry, options);
+  ASSERT_TRUE(handle.allocate().is_ok());
+  BagOfTasks pattern(n_tasks, [&](const StageContext&) {
+    TaskSpec spec;
+    spec.kernel = "misc.sleep";
+    spec.args.set("duration", task_duration);
+    return spec;
+  });
+  auto report = handle.run(pattern);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().outcome.is_ok());
+
+  const Duration simulated =
+      handle.pilot()->startup_time() - plan.predicted_queue_wait +
+      report.value().run_span;  // bootstrap + execution window
+  // The model is an approximation; require agreement within 10 %.
+  EXPECT_NEAR(plan.predicted_makespan, simulated,
+              0.10 * simulated)
+      << "tasks=" << n_tasks << " cores=" << cores;
+  (void)handle.deallocate();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StrategyModelValidation,
+    ::testing::Values(std::make_tuple<Count, Count>(64, 64),
+                      std::make_tuple<Count, Count>(256, 64),
+                      std::make_tuple<Count, Count>(256, 256),
+                      std::make_tuple<Count, Count>(1024, 128)));
+
+}  // namespace
+}  // namespace entk::core

@@ -1,0 +1,185 @@
+// Tests of the declarative workload-file front end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/workload_file.hpp"
+
+namespace entk::core {
+namespace {
+
+constexpr const char* kSalWorkload = R"(
+# comment line
+backend     = sim
+machine     = localhost
+cores       = 8
+pattern     = sal
+iterations  = 2
+simulations = 4
+analyses    = 1
+
+[simulation]
+kernel   = misc.sleep
+duration = 2.0
+
+[analysis]
+kernel   = misc.sleep
+duration = 1.0
+)";
+
+TEST(WorkloadParse, SalRoundTrip) {
+  auto spec = parse_workload(kSalWorkload);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().backend, "sim");
+  EXPECT_EQ(spec.value().machine, "localhost");
+  EXPECT_EQ(spec.value().cores, 8);
+  EXPECT_EQ(spec.value().pattern, "sal");
+  EXPECT_EQ(spec.value().iterations, 2);
+  EXPECT_EQ(spec.value().simulations, 4);
+  ASSERT_EQ(spec.value().sections.size(), 2u);
+  EXPECT_EQ(spec.value()
+                .sections.at("simulation")
+                .get_string("kernel")
+                .value(),
+            "misc.sleep");
+  EXPECT_DOUBLE_EQ(spec.value()
+                       .sections.at("analysis")
+                       .get_double("duration")
+                       .value(),
+                   1.0);
+}
+
+TEST(WorkloadParse, Errors) {
+  EXPECT_EQ(parse_workload("nonsense").status().code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(parse_workload("pattern = tree\nsimulations = 2\n")
+                .status()
+                .code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(parse_workload("pattern = bag\nsimulations = 2\n")
+                .status()
+                .code(),
+            Errc::kInvalidArgument);  // missing [task] section
+  EXPECT_EQ(
+      parse_workload("pattern = bag\nsimulations = 2\n[task]\nfoo = 1\n")
+          .status()
+          .code(),
+      Errc::kInvalidArgument);  // section without kernel
+  EXPECT_EQ(parse_workload("[oops\n").status().code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(parse_workload("backend = teleport\npattern = bag\n"
+                           "simulations = 1\n[task]\nkernel = misc.sleep\n")
+                .status()
+                .code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(load_workload("/nonexistent.entk").status().code(),
+            Errc::kIoError);
+}
+
+TEST(WorkloadParse, AliasKeys) {
+  auto spec = parse_workload(
+      "pattern = ee\nreplicas = 6\ncycles = 3\n"
+      "[simulation]\nkernel = misc.sleep\n[exchange]\nkernel = "
+      "misc.sleep\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().simulations, 6);
+  EXPECT_EQ(spec.value().iterations, 3);
+}
+
+TEST(Placeholders, Substitution) {
+  StageContext context;
+  context.iteration = 3;
+  context.stage = 2;
+  context.instance = 7;
+  context.instances = 16;
+  EXPECT_EQ(substitute_placeholders("traj_{instance}_i{iteration}.dat",
+                                    context),
+            "traj_7_i3.dat");
+  EXPECT_EQ(substitute_placeholders("{instance}{instance}", context), "77");
+  EXPECT_EQ(substitute_placeholders("{instances} of stage {stage}",
+                                    context),
+            "16 of stage 2");
+  EXPECT_EQ(substitute_placeholders("no placeholders", context),
+            "no placeholders");
+}
+
+TEST(TaskFromSection, BuildsSpecWithSubstitution) {
+  Config section;
+  section.set("kernel", "md.simulate");
+  section.set("out", "traj_{instance}.dat");
+  section.set("steps", 300);
+  section.set("max_retries", 2);
+  StageContext context;
+  context.instance = 5;
+  auto task = task_from_section(section, context);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task.value().kernel, "md.simulate");
+  EXPECT_EQ(task.value().args.get_string("out").value(), "traj_5.dat");
+  EXPECT_EQ(task.value().max_retries, 2);
+  EXPECT_FALSE(task.value().args.contains("kernel"));
+  EXPECT_FALSE(task.value().args.contains("max_retries"));
+}
+
+TEST(BuildPattern, EveryPatternKind) {
+  for (const char* text : {
+           "pattern = bag\ntasks = 3\n[task]\nkernel = misc.sleep\n",
+           "pattern = eop\npipelines = 2\nstages = 2\n"
+           "[stage1]\nkernel = misc.sleep\n[stage2]\nkernel = "
+           "misc.sleep\n",
+           kSalWorkload,
+           "pattern = ee\nreplicas = 4\n[simulation]\nkernel = "
+           "misc.sleep\n[exchange]\nkernel = misc.sleep\n",
+       }) {
+    auto spec = parse_workload(text);
+    ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+    auto pattern = build_pattern(spec.value());
+    ASSERT_TRUE(pattern.ok()) << pattern.status().to_string();
+    EXPECT_TRUE(pattern.value()->validate().is_ok());
+  }
+}
+
+TEST(RunWorkload, SalOnSimBackendEndToEnd) {
+  auto spec = parse_workload(kSalWorkload);
+  ASSERT_TRUE(spec.ok());
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  auto report = run_workload(spec.value(), registry);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().outcome.is_ok());
+  // 2 iterations x (4 simulations + 1 analysis).
+  EXPECT_EQ(report.value().units.size(), 10u);
+}
+
+TEST(RunWorkload, RejectsUnknownMachine) {
+  auto spec = parse_workload(
+      "machine = xsede.atlantis\npattern = bag\ntasks = 1\n"
+      "[task]\nkernel = misc.sleep\n");
+  ASSERT_TRUE(spec.ok());
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  EXPECT_EQ(run_workload(spec.value(), registry).status().code(),
+            Errc::kNotFound);
+}
+
+TEST(RunWorkload, LoadFromDiskAndRunLocally) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "entk_workload_test.entk")
+          .string();
+  {
+    std::ofstream file(path);
+    file << "backend = local\ncores = 2\npattern = bag\ntasks = 3\n"
+            "[task]\nkernel = misc.mkfile\n"
+            "filename = made_{instance}.txt\nsize_kb = 1\n";
+  }
+  auto spec = load_workload(path);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  auto report = run_workload(spec.value(), registry);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().outcome.is_ok())
+      << report.value().outcome.to_string();
+  EXPECT_EQ(report.value().units.size(), 3u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace entk::core

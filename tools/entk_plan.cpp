@@ -1,0 +1,87 @@
+// entk-plan: run the execution strategy from the command line — given
+// a kernel, its arguments and the ensemble shape, rank the candidate
+// (machine, pilot size) plans by predicted time to completion.
+//
+//   entk-plan <kernel> <n_tasks> [stages] [key=value ...] [--top N]
+//
+// Example:
+//   entk-plan md.simulate 1024 1 steps=300 n_particles=2881 --top 8
+#include <cstring>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/entk.hpp"
+
+int main(int argc, char** argv) {
+  using namespace entk;
+
+  if (argc < 3) {
+    std::cerr << "usage: entk-plan <kernel> <n_tasks> [stages] "
+                 "[key=value ...] [--top N]\n";
+    return 1;
+  }
+  const std::string kernel_name = argv[1];
+  const Count n_tasks = std::atoll(argv[2]);
+  Count stages = 1;
+  std::size_t top = 10;
+  std::vector<std::string> pairs;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::atoll(argv[++i]));
+      continue;
+    }
+    if (std::strchr(argv[i], '=') != nullptr) {
+      pairs.emplace_back(argv[i]);
+    } else {
+      stages = std::atoll(argv[i]);
+    }
+  }
+
+  auto args = Config::from_pairs(pairs);
+  if (!args.ok()) {
+    std::cerr << "entk-plan: " << args.status().to_string() << "\n";
+    return 2;
+  }
+  const auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  core::TaskSpec sample;
+  sample.kernel = kernel_name;
+  sample.args = args.value();
+  auto workload =
+      core::profile_for_ensemble(n_tasks, stages, sample, registry);
+  if (!workload.ok()) {
+    std::cerr << "entk-plan: " << workload.status().to_string() << "\n";
+    return 2;
+  }
+
+  const auto catalog = sim::MachineCatalog::with_builtin_profiles();
+  core::ExecutionStrategy strategy(catalog);
+  core::StrategyObjective objective;
+  auto best = strategy.plan(workload.value(), objective);
+  if (!best.ok()) {
+    std::cerr << "entk-plan: " << best.status().to_string() << "\n";
+    return 2;
+  }
+
+  std::cout << "workload: " << n_tasks << " x " << kernel_name << " ("
+            << stages << " stage" << (stages > 1 ? "s" : "") << ", "
+            << format_seconds(workload.value().reference_task_duration)
+            << "/task on the reference machine, "
+            << workload.value().cores_per_task << " core(s)/task)\n\n";
+  Table table({"machine", "pilot cores", "queue wait [s]",
+               "makespan [s]", "predicted TTC [s]"});
+  std::size_t shown = 0;
+  for (const auto& candidate : strategy.last_candidates()) {
+    if (shown++ >= top) break;
+    table.add_row({candidate.machine,
+                   std::to_string(candidate.pilot_cores),
+                   format_double(candidate.predicted_queue_wait, 1),
+                   format_double(candidate.predicted_makespan, 1),
+                   format_double(candidate.predicted_ttc, 1)});
+  }
+  std::cout << table.to_string() << "\nbest: " << best.value().machine
+            << " with " << best.value().pilot_cores
+            << " cores (request walltime "
+            << format_seconds(best.value().pilot_runtime) << ")\n";
+  return 0;
+}

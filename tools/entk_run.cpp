@@ -1,0 +1,127 @@
+// entk-run: execute a declarative workload file.
+//
+//   entk-run workload.entk [--profile-prefix out/run1] [--csv]
+//
+// See core/workload_file.hpp for the file format. Exit codes:
+// 0 success, 1 usage error, 2 load/parse error, 3 run failure.
+#include <cstring>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/entk.hpp"
+#include "core/workload_file.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cerr
+      << "usage: entk-run <workload-file> [options]\n"
+         "options:\n"
+         "  --profile-prefix <prefix>  write <prefix>_units.csv and\n"
+         "                             <prefix>_overheads.csv\n"
+         "  --csv                      print the summary as CSV\n"
+         "  --help                     this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace entk;
+
+  std::string workload_path;
+  std::string profile_prefix;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--profile-prefix") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 1;
+      }
+      profile_prefix = argv[++i];
+      continue;
+    }
+    if (workload_path.empty()) {
+      workload_path = argv[i];
+      continue;
+    }
+    print_usage();
+    return 1;
+  }
+  if (workload_path.empty()) {
+    print_usage();
+    return 1;
+  }
+
+  auto spec = core::load_workload(workload_path);
+  if (!spec.ok()) {
+    std::cerr << "entk-run: " << spec.status().to_string() << "\n";
+    return 2;
+  }
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  auto resolved = core::resolve_workload(spec.value(), registry);
+  if (!resolved.ok()) {
+    std::cerr << "entk-run: " << resolved.status().to_string() << "\n";
+    return 2;
+  }
+  if (spec.value().auto_cores || spec.value().auto_machine) {
+    std::cerr << "entk-run: strategy selected " << resolved.value().machine
+              << " with " << resolved.value().cores << " cores\n";
+  }
+  auto report = core::run_workload(resolved.value(), registry);
+  if (!report.ok()) {
+    std::cerr << "entk-run: " << report.status().to_string() << "\n";
+    return 3;
+  }
+
+  const core::OverheadProfile& overheads = report.value().overheads;
+  const auto utilization = core::compute_utilization(
+      report.value().units, resolved.value().cores);
+  if (csv) {
+    std::cout << core::overheads_csv(overheads);
+  } else {
+    std::cout << "workload: " << workload_path << " (pattern "
+              << resolved.value().pattern << ", backend "
+              << resolved.value().backend << " on "
+              << resolved.value().machine << ", "
+              << resolved.value().cores << " cores)\n\n";
+    Table table({"metric", "value"});
+    table.add_row({"tasks", std::to_string(overheads.n_units)});
+    table.add_row({"TTC", format_seconds(overheads.ttc)});
+    table.add_row({"core overhead", format_seconds(overheads.core_overhead)});
+    table.add_row(
+        {"pattern overhead", format_seconds(overheads.pattern_overhead)});
+    table.add_row(
+        {"execution time", format_seconds(overheads.execution_time)});
+    table.add_row(
+        {"runtime overhead", format_seconds(overheads.runtime_overhead)});
+    table.add_row({"utilization",
+                   format_double(100.0 * utilization.average_utilization,
+                                 1) +
+                       " %"});
+    std::cout << table.to_string();
+  }
+  if (!profile_prefix.empty()) {
+    if (Status status =
+            core::export_run_profile(report.value(), profile_prefix);
+        !status.is_ok()) {
+      std::cerr << "entk-run: profile export failed: "
+                << status.to_string() << "\n";
+      return 3;
+    }
+  }
+  if (!report.value().outcome.is_ok()) {
+    std::cerr << "entk-run: workload finished with failures: "
+              << report.value().outcome.to_string() << "\n";
+    return 3;
+  }
+  return 0;
+}
