@@ -1,0 +1,42 @@
+# Sanitizer build presets.
+#
+# Usage:
+#   cmake -DENTK_SANITIZE="address;undefined" ...   (ASan + UBSan)
+#   cmake -DENTK_SANITIZE=thread ...                (TSan)
+# or, preferably, the CMakePresets.json presets `asan-ubsan` / `tsan`.
+#
+# The flags apply globally (add_compile_options) so every target —
+# library, tests, tools, benches — runs instrumented; mixing
+# instrumented and uninstrumented TUs yields false negatives.
+
+set(ENTK_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers: address;undefined;thread;leak")
+
+if(NOT ENTK_SANITIZE)
+  return()
+endif()
+
+set(_entk_san_known address undefined thread leak)
+foreach(_san IN LISTS ENTK_SANITIZE)
+  if(NOT _san IN_LIST _entk_san_known)
+    message(FATAL_ERROR "ENTK_SANITIZE: unknown sanitizer '${_san}' "
+                        "(known: ${_entk_san_known})")
+  endif()
+endforeach()
+
+if("thread" IN_LIST ENTK_SANITIZE AND
+   ("address" IN_LIST ENTK_SANITIZE OR "leak" IN_LIST ENTK_SANITIZE))
+  message(FATAL_ERROR
+          "ENTK_SANITIZE: 'thread' cannot be combined with "
+          "'address'/'leak' (incompatible runtimes)")
+endif()
+
+string(REPLACE ";" "," _entk_san_flags "${ENTK_SANITIZE}")
+message(STATUS "entk: building with -fsanitize=${_entk_san_flags}")
+
+add_compile_options(
+  -fsanitize=${_entk_san_flags}
+  -fno-omit-frame-pointer
+  -fno-sanitize-recover=all
+  -g)
+add_link_options(-fsanitize=${_entk_san_flags})

@@ -39,7 +39,7 @@ const char* level_tag(LogLevel level) {
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
   if (!enabled(level)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::fprintf(stderr, "[%s] %s: %s\n", level_tag(level), component.c_str(),
                message.c_str());
 }

@@ -6,9 +6,11 @@
 // threshold is kWarn).
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "common/mutex.hpp"
 
 namespace entk {
 
@@ -19,19 +21,24 @@ class Logger {
   /// Global logger used by every component.
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  // The threshold is read on every log-site check from arbitrary
+  // threads while tests mutate it, so it is atomic rather than
+  // mutex-guarded (the enabled() fast path must stay lock-free).
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
-  bool enabled(LogLevel level) const { return level >= level_; }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Writes a single line "[level] component: message" to stderr.
   void write(LogLevel level, const std::string& component,
-             const std::string& message);
+             const std::string& message) ENTK_EXCLUDES(mutex_);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  std::mutex mutex_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  Mutex mutex_;  // serializes stderr so lines never interleave
 };
 
 namespace detail {

@@ -1,0 +1,103 @@
+// Annotated synchronization primitives.
+//
+// Every mutex in the toolkit goes through these wrappers so Clang's
+// thread-safety analysis can verify the locking discipline (see
+// thread_annotations.hpp and docs/CORRECTNESS.md). The project lint
+// (tools/entk_lint.cpp) rejects naked std::mutex / std::lock_guard /
+// std::condition_variable anywhere else under src/.
+//
+// Idiom:
+//   entk::Mutex mutex_;
+//   int count_ ENTK_GUARDED_BY(mutex_);
+//
+//   void bump() {
+//     MutexLock lock(mutex_);   // scoped: releases on destruction
+//     ++count_;
+//     changed_.notify_all();
+//   }
+//   void wait_for_count(int n) {
+//     MutexLock lock(mutex_);
+//     while (count_ < n) changed_.wait(mutex_);
+//   }
+//
+// Condition waits take the Mutex itself (not the MutexLock) and are
+// written as explicit `while (!predicate) cv.wait(mutex_);` loops:
+// the analysis then sees the guarded reads in a scope that provably
+// holds the capability, which predicate lambdas would hide.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace entk {
+
+/// Annotated exclusive mutex. Satisfies BasicLockable/Lockable so it
+/// composes with std::condition_variable_any (see CondVar below).
+class ENTK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ENTK_ACQUIRE() { mutex_.lock(); }
+  void unlock() ENTK_RELEASE() { mutex_.unlock(); }
+  bool try_lock() ENTK_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock: acquires in the constructor, releases in the
+/// destructor. The project's only blessed way to hold a Mutex.
+class ENTK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ENTK_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() ENTK_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to entk::Mutex. Wait calls require the
+/// capability, so forgetting the lock is a compile error under Clang.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until notified; `mutex` is released while blocked and
+  /// re-acquired before returning (spurious wakeups possible — always
+  /// wait in a `while (!predicate)` loop).
+  void wait(Mutex& mutex) ENTK_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  template <typename ClockT, typename DurationT>
+  std::cv_status wait_until(
+      Mutex& mutex, const std::chrono::time_point<ClockT, DurationT>& deadline)
+      ENTK_REQUIRES(mutex) {
+    return cv_.wait_until(mutex, deadline);
+  }
+
+  template <typename RepT, typename PeriodT>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<RepT, PeriodT>& duration)
+      ENTK_REQUIRES(mutex) {
+    return cv_.wait_for(mutex, duration);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace entk

@@ -1,0 +1,68 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These wrap Clang's `-Wthread-safety` attributes so locking contracts
+// are part of a declaration and verified at compile time:
+//
+//   entk::Mutex mutex_;
+//   int value_ ENTK_GUARDED_BY(mutex_);
+//   void flush() ENTK_REQUIRES(mutex_);    // caller must hold mutex_
+//   void poll() ENTK_EXCLUDES(mutex_);     // caller must NOT hold it
+//
+// On compilers without the attributes (GCC, MSVC) every macro expands
+// to nothing, so annotated code stays portable. CI builds with Clang
+// and `-Werror=thread-safety-analysis`, which turns a violated
+// contract into a build failure. See docs/CORRECTNESS.md.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ENTK_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef ENTK_THREAD_ANNOTATION_
+#define ENTK_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define ENTK_CAPABILITY(x) ENTK_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define ENTK_SCOPED_CAPABILITY ENTK_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding `x`.
+#define ENTK_GUARDED_BY(x) ENTK_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Like ENTK_GUARDED_BY, but guards the data a pointer points to.
+#define ENTK_PT_GUARDED_BY(x) ENTK_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function may only be called while holding the given
+/// capabilities (and does not release them).
+#define ENTK_REQUIRES(...) \
+  ENTK_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that a function may only be called while NOT holding the
+/// given capabilities (it acquires them itself; prevents deadlock).
+#define ENTK_EXCLUDES(...) \
+  ENTK_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ENTK_ACQUIRE(...) \
+  ENTK_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define ENTK_RELEASE(...) \
+  ENTK_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; returns `result` on
+/// success (e.g. ENTK_TRY_ACQUIRE(true)).
+#define ENTK_TRY_ACQUIRE(...) \
+  ENTK_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define ENTK_RETURN_CAPABILITY(x) ENTK_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Use sparingly and
+/// leave a comment explaining why the contract cannot be expressed.
+#define ENTK_NO_THREAD_SAFETY_ANALYSIS \
+  ENTK_THREAD_ANNOTATION_(no_thread_safety_analysis)

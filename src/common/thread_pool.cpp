@@ -4,7 +4,7 @@
 
 namespace entk {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads) : thread_count_(threads) {
   ENTK_CHECK(threads >= 1, "thread pool needs at least one worker");
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -12,36 +12,63 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  // The stop flag, the notification and the claim on the worker vector
+  // all happen under one critical section: a worker that is about to
+  // wait must observe stopping_, and exactly one caller may join.
+  std::vector<std::thread> workers;
+  bool joiner = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
+    task_ready_.notify_all();
+    if (!join_started_) {
+      join_started_ = true;
+      joiner = true;
+      workers.swap(workers_);
+    }
   }
-  task_ready_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  if (joiner) {
+    for (auto& worker : workers) worker.join();
+    MutexLock lock(mutex_);
+    joined_ = true;
+    joined_cv_.notify_all();
+  } else {
+    // Late caller: shutdown() must not return while workers may still
+    // be touching this object, so wait for the joining thread.
+    MutexLock lock(mutex_);
+    while (!joined_) joined_cv_.wait(mutex_);
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  ENTK_CHECK(try_submit(std::move(task)), "submit after shutdown");
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
   ENTK_CHECK(static_cast<bool>(task), "task must be callable");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ENTK_CHECK(!stopping_, "submit after shutdown");
+    MutexLock lock(mutex_);
+    if (stopping_) return false;
     tasks_.push_back(std::move(task));
   }
   task_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!tasks_.empty() || active_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) task_ready_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -49,7 +76,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_.notify_all();
     }

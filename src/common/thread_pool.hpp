@@ -5,12 +5,12 @@
 // (bounded by the local "machine" core count).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace entk {
 
@@ -18,30 +18,48 @@ class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1).
   explicit ThreadPool(std::size_t threads);
+
+  /// Equivalent to shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; tasks run FIFO across workers. Must not be called
-  /// after shutdown started (destructor).
-  void submit(std::function<void()> task);
+  /// Enqueues a task; tasks run FIFO across workers. Aborts if shutdown
+  /// has already started — callers that can race with shutdown use
+  /// try_submit() instead.
+  void submit(std::function<void()> task) ENTK_EXCLUDES(mutex_);
+
+  /// Enqueues a task unless shutdown has started. Returns false (and
+  /// drops the task) once stopping; safe to call concurrently with
+  /// shutdown() from any thread.
+  bool try_submit(std::function<void()> task) ENTK_EXCLUDES(mutex_);
+
+  /// Stops accepting tasks, drains the queue and joins all workers.
+  /// Idempotent and safe to call concurrently from multiple threads:
+  /// every call returns only after all workers have been joined.
+  void shutdown() ENTK_EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks have finished.
-  void wait_idle();
+  void wait_idle() ENTK_EXCLUDES(mutex_);
 
-  std::size_t size() const { return workers_.size(); }
+  std::size_t size() const { return thread_count_; }
 
  private:
-  void worker_loop();
+  void worker_loop() ENTK_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable idle_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  const std::size_t thread_count_;
+
+  Mutex mutex_;
+  CondVar task_ready_;
+  CondVar idle_;
+  CondVar joined_cv_;
+  std::vector<std::thread> workers_ ENTK_GUARDED_BY(mutex_);
+  std::deque<std::function<void()>> tasks_ ENTK_GUARDED_BY(mutex_);
+  std::size_t active_ ENTK_GUARDED_BY(mutex_) = 0;
+  bool stopping_ ENTK_GUARDED_BY(mutex_) = false;
+  bool join_started_ ENTK_GUARDED_BY(mutex_) = false;
+  bool joined_ ENTK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace entk

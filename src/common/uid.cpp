@@ -2,12 +2,13 @@
 
 #include <cstdio>
 #include <map>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace entk {
 namespace {
-std::mutex g_mutex;
-std::map<std::string, std::uint64_t>& counters() {
+Mutex g_mutex;
+std::map<std::string, std::uint64_t>& counters() ENTK_REQUIRES(g_mutex) {
   static std::map<std::string, std::uint64_t> instance;
   return instance;
 }
@@ -16,7 +17,7 @@ std::map<std::string, std::uint64_t>& counters() {
 std::string next_uid(const std::string& prefix) {
   std::uint64_t value = 0;
   {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     value = counters()[prefix]++;
   }
   char suffix[32];
@@ -26,7 +27,7 @@ std::string next_uid(const std::string& prefix) {
 }
 
 void reset_uid_counters_for_testing() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   counters().clear();
 }
 

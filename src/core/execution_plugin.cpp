@@ -79,7 +79,7 @@ Result<std::vector<pilot::ComputeUnitPtr>> ExecutionPlugin::submit(
   auto units = unit_manager_.submit_units(std::move(descriptions));
   if (!units.ok()) return units.status();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     pattern_overhead_ += charge;
     all_units_.insert(all_units_.end(), units.value().begin(),
                       units.value().end());
@@ -92,17 +92,17 @@ Status ExecutionPlugin::drive_until(const std::function<bool()>& done) {
 }
 
 Duration ExecutionPlugin::pattern_overhead() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pattern_overhead_;
 }
 
 std::size_t ExecutionPlugin::tasks_submitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return all_units_.size();
 }
 
 std::vector<pilot::ComputeUnitPtr> ExecutionPlugin::all_units() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return all_units_;
 }
 

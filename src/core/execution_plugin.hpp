@@ -7,8 +7,7 @@
 // units to the pilot runtime.
 #pragma once
 
-#include <mutex>
-
+#include "common/mutex.hpp"
 #include "core/pattern.hpp"
 #include "kernels/registry.hpp"
 #include "pilot/backend.hpp"
@@ -42,10 +41,10 @@ class ExecutionPlugin final : public PatternExecutor {
   Result<pilot::UnitDescription> translate(const TaskSpec& spec) const;
 
   /// Accumulated pattern overhead (task creation + submission time).
-  Duration pattern_overhead() const;
-  std::size_t tasks_submitted() const;
+  Duration pattern_overhead() const ENTK_EXCLUDES(mutex_);
+  std::size_t tasks_submitted() const ENTK_EXCLUDES(mutex_);
   /// Every unit this plugin has submitted, in submission order.
-  std::vector<pilot::ComputeUnitPtr> all_units() const;
+  std::vector<pilot::ComputeUnitPtr> all_units() const ENTK_EXCLUDES(mutex_);
 
  private:
   const kernels::KernelRegistry& registry_;
@@ -53,9 +52,9 @@ class ExecutionPlugin final : public PatternExecutor {
   pilot::ExecutionBackend& backend_;
   Options options_;
 
-  mutable std::mutex mutex_;
-  Duration pattern_overhead_ = 0.0;
-  std::vector<pilot::ComputeUnitPtr> all_units_;
+  mutable Mutex mutex_;
+  Duration pattern_overhead_ ENTK_GUARDED_BY(mutex_) = 0.0;
+  std::vector<pilot::ComputeUnitPtr> all_units_ ENTK_GUARDED_BY(mutex_);
 };
 
 }  // namespace entk::core

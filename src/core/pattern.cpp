@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "common/log.hpp"
+#include "common/mutex.hpp"
 
 namespace entk::core {
 
@@ -136,10 +136,10 @@ Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
   units_.clear();
 
   struct State {
-    std::mutex mutex;
-    std::vector<pilot::ComputeUnitPtr> all;
-    std::vector<Status> errors;
-    Count pipelines_done = 0;
+    Mutex mutex;
+    std::vector<pilot::ComputeUnitPtr> all ENTK_GUARDED_BY(mutex);
+    std::vector<Status> errors ENTK_GUARDED_BY(mutex);
+    Count pipelines_done ENTK_GUARDED_BY(mutex) = 0;
   };
   auto state = std::make_shared<State>();
   // Recursive launcher, held by shared_ptr so watcher closures can
@@ -151,14 +151,14 @@ Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
         stage_fns_[static_cast<std::size_t>(stage - 1)](context);
     auto submitted = executor.submit({spec});
     if (!submitted.ok()) {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->errors.push_back(submitted.status());
       ++state->pipelines_done;
       return;
     }
     pilot::ComputeUnitPtr unit = submitted.value().front();
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->all.push_back(unit);
     }
     watch_unit(unit, [this, state, launch, pipeline, stage](
@@ -168,12 +168,12 @@ Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
         if (stage < n_stages_) {
           (*launch)(pipeline, stage + 1);
         } else {
-          std::lock_guard<std::mutex> lock(state->mutex);
+          MutexLock lock(state->mutex);
           ++state->pipelines_done;
         }
         return;
       }
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->errors.push_back(
           final_state == pilot::UnitState::kFailed
               ? settled.final_status()
@@ -185,16 +185,16 @@ Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
 
   for (Count p = 0; p < n_pipelines_; ++p) (*launch)(p, 1);
   const Status driven = executor.drive_until([state, this] {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     return state->pipelines_done == n_pipelines_;
   });
   *launch = nullptr;  // break the launcher's self-reference cycle
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     units_ = state->all;
   }
   ENTK_RETURN_IF_ERROR(driven);
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   if (!state->errors.empty()) return state->errors.front();
   return Status::ok();
 }
@@ -350,17 +350,19 @@ Status EnsembleExchange::execute_global(PatternExecutor& executor) {
 // paper's "no obligatory global synchronization".
 Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
   struct State {
-    std::mutex mutex;
-    std::vector<pilot::ComputeUnitPtr> sims;
-    std::vector<pilot::ComputeUnitPtr> exchanges;
-    std::vector<Status> errors;
-    Count replicas_finished = 0;  // completed (or abandoned) all cycles
+    Mutex mutex;
+    std::vector<pilot::ComputeUnitPtr> sims ENTK_GUARDED_BY(mutex);
+    std::vector<pilot::ComputeUnitPtr> exchanges ENTK_GUARDED_BY(mutex);
+    std::vector<Status> errors ENTK_GUARDED_BY(mutex);
+    /// Replicas that completed (or abandoned) all cycles.
+    Count replicas_finished ENTK_GUARDED_BY(mutex) = 0;
     /// Per (cycle, low-replica) pair: completed members and death flag.
     struct PairProgress {
       int arrived = 0;
       bool dead = false;  // a member failed; survivors stop here
     };
-    std::map<std::pair<Count, Count>, PairProgress> pairs;
+    std::map<std::pair<Count, Count>, PairProgress> pairs
+        ENTK_GUARDED_BY(mutex);
   };
   auto state = std::make_shared<State>();
 
@@ -377,14 +379,14 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
   auto launch_sim =
       std::make_shared<std::function<void(Count, Count)>>();
   auto abort_replica = [state](Count, Status error) {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     state->errors.push_back(std::move(error));
     ++state->replicas_finished;
   };
   auto advance_replica = [this, state, launch_sim](Count cycle,
                                                    Count replica) {
     if (cycle >= n_cycles_) {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       ++state->replicas_finished;
       return;
     }
@@ -402,7 +404,7 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
     }
     pilot::ComputeUnitPtr sim = submitted.value().front();
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->sims.push_back(sim);
     }
     watch_unit(sim, [this, state, &executor, partner_of, abort_replica,
@@ -419,7 +421,7 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
                                            " cancelled"));
         if (partner >= 0) {
           // Release a partner that may already be waiting on the pair.
-          std::lock_guard<std::mutex> lock(state->mutex);
+          MutexLock lock(state->mutex);
           auto& progress = state->pairs[{cycle, std::min(replica,
                                                          partner)}];
           progress.dead = true;
@@ -434,7 +436,7 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
       const auto key = std::make_pair(cycle, std::min(replica, partner));
       bool fire_exchange = false;
       {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         auto& progress = state->pairs[key];
         if (progress.dead) {
           ++state->replicas_finished;  // partner failed; stop here
@@ -446,21 +448,21 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
       auto exchange_submitted = executor.submit(
           {pair_exchange_(cycle, key.second, key.second + 1)});
       if (!exchange_submitted.ok()) {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         state->errors.push_back(exchange_submitted.status());
         state->replicas_finished += 2;
         return;
       }
       pilot::ComputeUnitPtr exchange = exchange_submitted.value().front();
       {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         state->exchanges.push_back(exchange);
       }
       watch_unit(exchange, [state, advance_replica, cycle, key](
                                pilot::ComputeUnit& done_exchange,
                                pilot::UnitState exchange_state) {
         if (exchange_state != pilot::UnitState::kDone) {
-          std::lock_guard<std::mutex> lock(state->mutex);
+          MutexLock lock(state->mutex);
           state->errors.push_back(
               exchange_state == pilot::UnitState::kFailed
                   ? done_exchange.final_status()
@@ -482,12 +484,12 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
     (*launch_sim)(1, replica);
   }
   const Status driven = executor.drive_until([state, this] {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     return state->replicas_finished == n_replicas_;
   });
   *launch_sim = nullptr;  // break the launcher's self-reference cycle
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     units_.insert(units_.end(), state->sims.begin(), state->sims.end());
     units_.insert(units_.end(), state->exchanges.begin(),
                   state->exchanges.end());

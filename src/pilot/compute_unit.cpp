@@ -11,56 +11,72 @@ ComputeUnit::ComputeUnit(std::string uid, UnitDescription description,
       clock_(clock) {}
 
 UnitState ComputeUnit::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 Status ComputeUnit::final_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return final_status_;
 }
 
 Count ComputeUnit::retries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return retries_;
 }
 
 TimePoint ComputeUnit::created_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return created_at_;
 }
 TimePoint ComputeUnit::submitted_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return submitted_at_;
 }
 TimePoint ComputeUnit::exec_started_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return exec_started_at_;
 }
 TimePoint ComputeUnit::exec_stopped_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return exec_stopped_at_;
 }
 TimePoint ComputeUnit::finished_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return finished_at_;
 }
 
 Duration ComputeUnit::execution_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (exec_started_at_ == kNoTime || exec_stopped_at_ == kNoTime) return 0.0;
   return exec_stopped_at_ - exec_started_at_;
 }
 
 void ComputeUnit::on_state_change(Callback callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
+  // A settled unit can never transition again, so the callback could
+  // never fire; retaining it would only keep its captures (often other
+  // units) alive in a reference cycle.
+  if (settled_locked()) return;
   callbacks_.push_back(std::move(callback));
+}
+
+bool ComputeUnit::settled_locked() const {
+  switch (state_) {
+    case UnitState::kDone:
+    case UnitState::kCanceled:
+      return true;
+    case UnitState::kFailed:
+      return retries_ >= description_.max_retries;
+    default:
+      return false;
+  }
 }
 
 Status ComputeUnit::advance_state(UnitState to, Status failure) {
   std::vector<Callback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!is_valid_transition(state_, to)) {
       return make_error(Errc::kFailedPrecondition,
                         "unit " + uid_ + ": illegal transition " +
@@ -94,6 +110,11 @@ Status ComputeUnit::advance_state(UnitState to, Status failure) {
                           : failure;
     }
     callbacks = callbacks_;
+    // Settling is the last transition this unit will ever make: drop
+    // the observer list so callback captures (frequently shared_ptrs
+    // to sibling units, as in watch_unit exchange chains) cannot form
+    // unreclaimable reference cycles between units.
+    if (settled_locked()) callbacks_.clear();
   }
   ENTK_DEBUG("pilot.unit") << uid_ << " -> " << unit_state_name(to);
   for (const auto& callback : callbacks) callback(*this, to);
@@ -101,22 +122,22 @@ Status ComputeUnit::advance_state(UnitState to, Status failure) {
 }
 
 void ComputeUnit::stamp_created() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (created_at_ == kNoTime) created_at_ = clock_.now();
 }
 
 void ComputeUnit::stamp_submitted() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   submitted_at_ = clock_.now();
 }
 
 void ComputeUnit::note_retry() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++retries_;
 }
 
 Status ComputeUnit::reset_for_retry() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (state_ != UnitState::kFailed) {
     return make_error(Errc::kFailedPrecondition,
                       "unit " + uid_ + " is not failed; cannot retry");

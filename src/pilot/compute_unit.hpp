@@ -8,14 +8,13 @@
 // Thread-safe for the local backend (worker threads mutate state).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "pilot/descriptions.hpp"
 #include "pilot/states.hpp"
@@ -32,48 +31,55 @@ class ComputeUnit {
   const std::string& uid() const { return uid_; }
   const UnitDescription& description() const { return description_; }
 
-  UnitState state() const;
-  Status final_status() const;
+  UnitState state() const ENTK_EXCLUDES(mutex_);
+  Status final_status() const ENTK_EXCLUDES(mutex_);
 
   /// Number of times this unit has been (re)started after failure.
-  Count retries() const;
+  Count retries() const ENTK_EXCLUDES(mutex_);
 
   // Profiling timeline (kNoTime until stamped).
-  TimePoint created_at() const;    ///< Accepted by the unit manager.
-  TimePoint submitted_at() const;  ///< Handed to the agent.
-  TimePoint exec_started_at() const;
-  TimePoint exec_stopped_at() const;
-  TimePoint finished_at() const;
+  /// Accepted by the unit manager.
+  TimePoint created_at() const ENTK_EXCLUDES(mutex_);
+  /// Handed to the agent.
+  TimePoint submitted_at() const ENTK_EXCLUDES(mutex_);
+  TimePoint exec_started_at() const ENTK_EXCLUDES(mutex_);
+  TimePoint exec_stopped_at() const ENTK_EXCLUDES(mutex_);
+  TimePoint finished_at() const ENTK_EXCLUDES(mutex_);
 
   /// Time spent occupying cores (exec_stopped - exec_started); 0 if the
   /// unit never executed.
-  Duration execution_time() const;
+  Duration execution_time() const ENTK_EXCLUDES(mutex_);
 
-  void on_state_change(Callback callback);
+  void on_state_change(Callback callback) ENTK_EXCLUDES(mutex_);
 
   // --- runtime interface (agents and unit managers only) ---
-  Status advance_state(UnitState to, Status failure = Status::ok());
-  void stamp_created();
-  void stamp_submitted();
-  void note_retry();
+  Status advance_state(UnitState to, Status failure = Status::ok())
+      ENTK_EXCLUDES(mutex_);
+  void stamp_created() ENTK_EXCLUDES(mutex_);
+  void stamp_submitted() ENTK_EXCLUDES(mutex_);
+  void note_retry() ENTK_EXCLUDES(mutex_);
   /// Rewinds a failed unit to kPendingExecution for resubmission.
-  Status reset_for_retry();
+  Status reset_for_retry() ENTK_EXCLUDES(mutex_);
 
  private:
+  /// Terminal with no retry budget left: no further transition (and
+  /// therefore no callback) is possible.
+  bool settled_locked() const ENTK_REQUIRES(mutex_);
+
   const std::string uid_;
   const UnitDescription description_;
   const Clock& clock_;
 
-  mutable std::mutex mutex_;
-  UnitState state_ = UnitState::kNew;
-  Status final_status_;
-  Count retries_ = 0;
-  TimePoint created_at_ = kNoTime;
-  TimePoint submitted_at_ = kNoTime;
-  TimePoint exec_started_at_ = kNoTime;
-  TimePoint exec_stopped_at_ = kNoTime;
-  TimePoint finished_at_ = kNoTime;
-  std::vector<Callback> callbacks_;
+  mutable Mutex mutex_;
+  UnitState state_ ENTK_GUARDED_BY(mutex_) = UnitState::kNew;
+  Status final_status_ ENTK_GUARDED_BY(mutex_);
+  Count retries_ ENTK_GUARDED_BY(mutex_) = 0;
+  TimePoint created_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  TimePoint submitted_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  TimePoint exec_started_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  TimePoint exec_stopped_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  TimePoint finished_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  std::vector<Callback> callbacks_ ENTK_GUARDED_BY(mutex_);
 };
 
 using ComputeUnitPtr = std::shared_ptr<ComputeUnit>;

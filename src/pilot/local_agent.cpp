@@ -33,19 +33,19 @@ LocalAgent::~LocalAgent() {
 
 void LocalAgent::start(std::function<void()> on_ready) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ENTK_CHECK(!started_, "agent started twice");
     fs::create_directories(shared_dir_);
     fs::create_directories(session_dir_ / "units");
     started_ = true;
   }
   if (on_ready) on_ready();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   schedule_locked();
 }
 
 Status LocalAgent::submit(std::vector<ComputeUnitPtr> units) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& unit : units) {
     if (unit->state() != UnitState::kPendingExecution) {
       return make_error(Errc::kFailedPrecondition,
@@ -71,7 +71,7 @@ Status LocalAgent::submit(std::vector<ComputeUnitPtr> units) {
 
 Status LocalAgent::cancel_unit(const ComputeUnitPtr& unit) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = std::find(waiting_.begin(), waiting_.end(), unit);
     if (it != waiting_.end()) {
       waiting_.erase(it);
@@ -93,7 +93,7 @@ Status LocalAgent::cancel_unit(const ComputeUnitPtr& unit) {
 void LocalAgent::cancel_waiting() {
   std::deque<ComputeUnitPtr> cancelled;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cancelled.swap(waiting_);
   }
   for (const auto& unit : cancelled) {
@@ -102,28 +102,28 @@ void LocalAgent::cancel_waiting() {
 }
 
 Count LocalAgent::free_cores() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return free_;
 }
 
 std::size_t LocalAgent::waiting_units() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return waiting_.size();
 }
 
 std::size_t LocalAgent::running_units() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return running_;
 }
 
 Duration LocalAgent::total_spawn_overhead() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spawn_total_;
 }
 
 void LocalAgent::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return waiting_.empty() && running_ == 0; });
+  MutexLock lock(mutex_);
+  while (!waiting_.empty() || running_ != 0) idle_cv_.wait(mutex_);
 }
 
 void LocalAgent::schedule_locked() {
@@ -206,7 +206,7 @@ void LocalAgent::execute(ComputeUnitPtr unit) {
     (void)unit->advance_state(UnitState::kFailed, status);
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     free_ += desc.cores;
     ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
     --running_;

@@ -3,13 +3,12 @@
 // unit's private sandbox and the pilot's shared space.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "pilot/agent.hpp"
 #include "sim/machine.hpp"
@@ -25,16 +24,18 @@ class LocalAgent final : public Agent {
              std::filesystem::path session_dir);
   ~LocalAgent() override;
 
-  void start(std::function<void()> on_ready) override;
-  Status submit(std::vector<ComputeUnitPtr> units) override;
-  void cancel_waiting() override;
-  Status cancel_unit(const ComputeUnitPtr& unit) override;
+  void start(std::function<void()> on_ready) override ENTK_EXCLUDES(mutex_);
+  Status submit(std::vector<ComputeUnitPtr> units) override
+      ENTK_EXCLUDES(mutex_);
+  void cancel_waiting() override ENTK_EXCLUDES(mutex_);
+  Status cancel_unit(const ComputeUnitPtr& unit) override
+      ENTK_EXCLUDES(mutex_);
 
   Count total_cores() const override { return cores_; }
-  Count free_cores() const override;
-  std::size_t waiting_units() const override;
-  std::size_t running_units() const override;
-  Duration total_spawn_overhead() const override;
+  Count free_cores() const override ENTK_EXCLUDES(mutex_);
+  std::size_t waiting_units() const override ENTK_EXCLUDES(mutex_);
+  std::size_t running_units() const override ENTK_EXCLUDES(mutex_);
+  Duration total_spawn_overhead() const override ENTK_EXCLUDES(mutex_);
 
   const std::filesystem::path& shared_dir() const { return shared_dir_; }
   std::filesystem::path shared_directory() const override {
@@ -42,11 +43,11 @@ class LocalAgent final : public Agent {
   }
 
   /// Blocks until no units are waiting or running.
-  void wait_idle();
+  void wait_idle() ENTK_EXCLUDES(mutex_);
 
  private:
-  void schedule_locked();  // requires mutex_ held
-  void execute(ComputeUnitPtr unit);
+  void schedule_locked() ENTK_REQUIRES(mutex_);
+  void execute(ComputeUnitPtr unit) ENTK_EXCLUDES(mutex_);
 
   const sim::MachineProfile machine_;
   const Count cores_;
@@ -56,13 +57,13 @@ class LocalAgent final : public Agent {
   std::filesystem::path shared_dir_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable idle_cv_;
-  bool started_ = false;
-  Count free_;
-  std::deque<ComputeUnitPtr> waiting_;
-  std::size_t running_ = 0;
-  Duration spawn_total_ = 0.0;
+  mutable Mutex mutex_;
+  CondVar idle_cv_;
+  bool started_ ENTK_GUARDED_BY(mutex_) = false;
+  Count free_ ENTK_GUARDED_BY(mutex_);
+  std::deque<ComputeUnitPtr> waiting_ ENTK_GUARDED_BY(mutex_);
+  std::size_t running_ ENTK_GUARDED_BY(mutex_) = 0;
+  Duration spawn_total_ ENTK_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace entk::pilot

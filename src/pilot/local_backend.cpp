@@ -1,5 +1,7 @@
 #include "pilot/local_backend.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <thread>
 
@@ -17,7 +19,11 @@ LocalBackend::LocalBackend(Count cores, fs::path session_dir) {
   machine_.cores_per_node = cores;
   adaptor_ = std::make_unique<saga::LocalAdaptor>(cores);
   if (session_dir.empty()) {
-    session_dir_ = fs::temp_directory_path() / next_uid("entk-session");
+    // The uid counter is only process-unique; include the pid so
+    // concurrent processes (parallel ctest) never share a session dir.
+    session_dir_ =
+        fs::temp_directory_path() /
+        next_uid("entk-session." + std::to_string(::getpid()));
     owns_session_dir_ = true;
   } else {
     session_dir_ = std::move(session_dir);
@@ -52,6 +58,8 @@ Status LocalBackend::drive_until(const std::function<bool()>& done,
     if (clock().now() > deadline) {
       return make_error(Errc::kTimedOut, "local wait deadline passed");
     }
+    // Cross-agent completion has no shared condition variable; a short
+    // poll is the wait primitive. entk-lint: allow(sleep-in-runtime)
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   return Status::ok();

@@ -14,43 +14,48 @@ Pilot::Pilot(std::string uid, PilotDescription description,
 Pilot::~Pilot() = default;
 
 PilotState Pilot::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 Status Pilot::final_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return final_status_;
 }
 
 TimePoint Pilot::submitted_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return submitted_at_;
 }
 TimePoint Pilot::active_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return active_at_;
 }
 TimePoint Pilot::finished_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return finished_at_;
 }
 
 Duration Pilot::startup_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (submitted_at_ == kNoTime || active_at_ == kNoTime) return 0.0;
   return active_at_ - submitted_at_;
 }
 
+Agent* Pilot::agent() const {
+  MutexLock lock(mutex_);
+  return agent_.get();
+}
+
 void Pilot::on_state_change(Callback callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   callbacks_.push_back(std::move(callback));
 }
 
 Status Pilot::advance_state(PilotState to, Status failure) {
   std::vector<Callback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!is_valid_transition(state_, to)) {
       return make_error(Errc::kFailedPrecondition,
                         "pilot " + uid_ + ": illegal transition " +
@@ -84,17 +89,17 @@ Status Pilot::advance_state(PilotState to, Status failure) {
 }
 
 void Pilot::attach_job(saga::JobPtr job) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   job_ = std::move(job);
 }
 
 saga::JobPtr Pilot::job() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return job_;
 }
 
 void Pilot::attach_agent(std::unique_ptr<Agent> agent) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   agent_ = std::move(agent);
 }
 

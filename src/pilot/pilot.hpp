@@ -3,11 +3,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "pilot/descriptions.hpp"
 #include "pilot/states.hpp"
@@ -27,42 +27,46 @@ class Pilot {
   const std::string& uid() const { return uid_; }
   const PilotDescription& description() const { return description_; }
 
-  PilotState state() const;
-  Status final_status() const;
+  PilotState state() const ENTK_EXCLUDES(mutex_);
+  Status final_status() const ENTK_EXCLUDES(mutex_);
 
   // Profiling timeline.
-  TimePoint submitted_at() const;  ///< Container job entered the queue.
-  TimePoint active_at() const;     ///< Agent finished bootstrapping.
-  TimePoint finished_at() const;
+  /// Container job entered the queue.
+  TimePoint submitted_at() const ENTK_EXCLUDES(mutex_);
+  /// Agent finished bootstrapping.
+  TimePoint active_at() const ENTK_EXCLUDES(mutex_);
+  TimePoint finished_at() const ENTK_EXCLUDES(mutex_);
 
   /// Queue wait + bootstrap: active_at - submitted_at (0 until active).
-  Duration startup_time() const;
+  Duration startup_time() const ENTK_EXCLUDES(mutex_);
 
   /// The agent executing units inside this pilot; null until active.
-  Agent* agent() const { return agent_.get(); }
+  /// The pointer stays valid for the pilot's lifetime once attached.
+  Agent* agent() const ENTK_EXCLUDES(mutex_);
 
-  void on_state_change(Callback callback);
+  void on_state_change(Callback callback) ENTK_EXCLUDES(mutex_);
 
   // --- runtime interface (pilot manager only) ---
-  Status advance_state(PilotState to, Status failure = Status::ok());
-  void attach_job(saga::JobPtr job);
-  saga::JobPtr job() const;
-  void attach_agent(std::unique_ptr<Agent> agent);
+  Status advance_state(PilotState to, Status failure = Status::ok())
+      ENTK_EXCLUDES(mutex_);
+  void attach_job(saga::JobPtr job) ENTK_EXCLUDES(mutex_);
+  saga::JobPtr job() const ENTK_EXCLUDES(mutex_);
+  void attach_agent(std::unique_ptr<Agent> agent) ENTK_EXCLUDES(mutex_);
 
  private:
   const std::string uid_;
   const PilotDescription description_;
   const Clock& clock_;
 
-  mutable std::mutex mutex_;
-  PilotState state_ = PilotState::kNew;
-  Status final_status_;
-  TimePoint submitted_at_ = kNoTime;
-  TimePoint active_at_ = kNoTime;
-  TimePoint finished_at_ = kNoTime;
-  saga::JobPtr job_;
-  std::unique_ptr<Agent> agent_;
-  std::vector<Callback> callbacks_;
+  mutable Mutex mutex_;
+  PilotState state_ ENTK_GUARDED_BY(mutex_) = PilotState::kNew;
+  Status final_status_ ENTK_GUARDED_BY(mutex_);
+  TimePoint submitted_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  TimePoint active_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  TimePoint finished_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  saga::JobPtr job_ ENTK_GUARDED_BY(mutex_);
+  std::unique_ptr<Agent> agent_ ENTK_GUARDED_BY(mutex_);
+  std::vector<Callback> callbacks_ ENTK_GUARDED_BY(mutex_);
 };
 
 using PilotPtr = std::shared_ptr<Pilot>;

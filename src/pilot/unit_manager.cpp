@@ -12,14 +12,14 @@ UnitManager::UnitManager(ExecutionBackend& backend) : backend_(backend) {}
 
 void UnitManager::add_pilot(PilotPtr pilot) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     pilots_.push_back(pilot);
   }
   // Flush held units the moment the pilot comes up.
   pilot->on_state_change([this](Pilot&, PilotState state) {
-    if (state == PilotState::kActive) route_locked();
+    if (state == PilotState::kActive) route_pending();
   });
-  if (pilot->state() == PilotState::kActive) route_locked();
+  if (pilot->state() == PilotState::kActive) route_pending();
 }
 
 Result<std::vector<ComputeUnitPtr>> UnitManager::submit_units(
@@ -39,21 +39,21 @@ Result<std::vector<ComputeUnitPtr>> UnitManager::submit_units(
     units.push_back(std::move(unit));
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& unit : units) {
       entries_.emplace(unit.get(), Entry{unit, false});
       unrouted_.push_back(unit);
       ++total_units_;
     }
   }
-  route_locked();
+  route_pending();
   return units;
 }
 
 // Routes every held unit to an active pilot, round-robin. Agent
 // submission and state transitions happen outside the manager lock so
 // their callbacks can re-enter the manager.
-void UnitManager::route_locked() {
+void UnitManager::route_pending() {
   struct Batch {
     Agent* agent;
     std::vector<ComputeUnitPtr> units;
@@ -61,7 +61,7 @@ void UnitManager::route_locked() {
   std::vector<Batch> batches;
   std::vector<ComputeUnitPtr> oversized;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<Pilot*> active;
     std::vector<Agent*> agents;
     for (const auto& pilot : pilots_) {
@@ -113,7 +113,7 @@ void UnitManager::route_locked() {
 
 void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
   if (state == UnitState::kDone || state == UnitState::kCanceled) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(&unit);
     if (it != entries_.end()) it->second.settled = true;
     return;
@@ -122,7 +122,7 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
 
   ComputeUnitPtr retry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(&unit);
     if (it == entries_.end()) return;  // not managed here
     if (unit.retries() >= unit.description().max_retries) {
@@ -135,7 +135,7 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
   // with retries left" as not-settled, so the unit must never be
   // visible as (failed, retries == max) while a retry is coming.
   if (!unit.reset_for_retry().is_ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries_[&unit].settled = true;
     return;
   }
@@ -143,17 +143,17 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
   ENTK_INFO("pilot.umgr") << unit.uid() << " retry " << unit.retries()
                           << "/" << unit.description().max_retries;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     unrouted_.push_back(std::move(retry));
   }
-  route_locked();
+  route_pending();
 }
 
 Status UnitManager::cancel_unit(const ComputeUnitPtr& unit) {
   ENTK_CHECK(unit != nullptr, "cannot cancel a null unit");
   std::vector<Agent*> agents;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto held =
         std::find(unrouted_.begin(), unrouted_.end(), unit);
     if (held != unrouted_.end()) {
@@ -181,13 +181,15 @@ Status UnitManager::cancel_unit(const ComputeUnitPtr& unit) {
 
 Status UnitManager::wait_units(const std::vector<ComputeUnitPtr>& units,
                                Duration timeout) {
+  // Plain loop, not std::all_of: thread-safety analysis treats a
+  // nested lambda as a separate function that does not hold mutex_.
   return backend_.drive_until(
       [&] {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return std::all_of(units.begin(), units.end(),
-                           [&](const ComputeUnitPtr& unit) {
-                             return settled_locked(*unit);
-                           });
+        MutexLock lock(mutex_);
+        for (const ComputeUnitPtr& unit : units) {
+          if (!settled_locked(*unit)) return false;
+        }
+        return true;
       },
       timeout);
 }
@@ -199,12 +201,12 @@ bool UnitManager::settled_locked(const ComputeUnit& unit) const {
 }
 
 std::size_t UnitManager::total_units() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_units_;
 }
 
 std::size_t UnitManager::inflight_units() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t count = 0;
   for (const auto& [pointer, entry] : entries_) {
     if (!entry.settled) ++count;

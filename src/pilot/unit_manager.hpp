@@ -9,10 +9,10 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "pilot/backend.hpp"
 #include "pilot/pilot.hpp"
 
@@ -43,16 +43,19 @@ class UnitManager {
   Status cancel_unit(const ComputeUnitPtr& unit);
 
   /// Number of units handed to this manager over its lifetime.
-  std::size_t total_units() const;
+  std::size_t total_units() const ENTK_EXCLUDES(mutex_);
   /// Units not yet settled.
-  std::size_t inflight_units() const;
+  std::size_t inflight_units() const ENTK_EXCLUDES(mutex_);
 
   ExecutionBackend& backend() { return backend_; }
 
  private:
-  bool settled_locked(const ComputeUnit& unit) const;
-  void route_locked();
-  void handle_state_change(ComputeUnit& unit, UnitState state);
+  bool settled_locked(const ComputeUnit& unit) const ENTK_REQUIRES(mutex_);
+  /// Routes every held unit to an active pilot (takes the lock itself;
+  /// agent submission happens outside it so callbacks can re-enter).
+  void route_pending() ENTK_EXCLUDES(mutex_);
+  void handle_state_change(ComputeUnit& unit, UnitState state)
+      ENTK_EXCLUDES(mutex_);
 
   ExecutionBackend& backend_;
 
@@ -61,12 +64,13 @@ class UnitManager {
     bool settled = false;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<PilotPtr> pilots_;
-  std::size_t next_pilot_ = 0;  // round-robin cursor
-  std::deque<ComputeUnitPtr> unrouted_;
-  std::unordered_map<const ComputeUnit*, Entry> entries_;
-  std::size_t total_units_ = 0;
+  mutable Mutex mutex_;
+  std::vector<PilotPtr> pilots_ ENTK_GUARDED_BY(mutex_);
+  std::size_t next_pilot_ ENTK_GUARDED_BY(mutex_) = 0;  // round-robin cursor
+  std::deque<ComputeUnitPtr> unrouted_ ENTK_GUARDED_BY(mutex_);
+  std::unordered_map<const ComputeUnit*, Entry> entries_
+      ENTK_GUARDED_BY(mutex_);
+  std::size_t total_units_ ENTK_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace entk::pilot

@@ -43,54 +43,56 @@ Job::Job(std::string uid, JobDescription description, const Clock& clock)
       clock_(clock) {}
 
 JobState Job::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 Status Job::final_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return final_status_;
 }
 
 TimePoint Job::submitted_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return submitted_at_;
 }
 
 TimePoint Job::started_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return started_at_;
 }
 
 TimePoint Job::finished_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return finished_at_;
 }
 
 std::optional<sim::Allocation> Job::allocation() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return allocation_;
 }
 
 void Job::on_state_change(Callback callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   callbacks_.push_back(std::move(callback));
 }
 
 Status Job::wait(Duration timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto is_done = [this] { return is_final(state_); };
+  MutexLock lock(mutex_);
   if (timeout == kTimeInfinity) {
-    final_cv_.wait(lock, is_done);
+    while (!is_final(state_)) final_cv_.wait(mutex_);
     return Status::ok();
   }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<
                             std::chrono::steady_clock::duration>(
                             std::chrono::duration<double>(timeout));
-  if (!final_cv_.wait_until(lock, deadline, is_done)) {
-    return make_error(Errc::kTimedOut,
-                      "job " + uid_ + " still " + job_state_name(state_));
+  while (!is_final(state_)) {
+    if (final_cv_.wait_until(mutex_, deadline) == std::cv_status::timeout &&
+        !is_final(state_)) {
+      return make_error(Errc::kTimedOut,
+                        "job " + uid_ + " still " + job_state_name(state_));
+    }
   }
   return Status::ok();
 }
@@ -98,7 +100,7 @@ Status Job::wait(Duration timeout) {
 Status Job::advance_state(JobState to, Status failure) {
   std::vector<Callback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!is_valid_transition(state_, to)) {
       return make_error(Errc::kFailedPrecondition,
                         "job " + uid_ + ": illegal transition " +
@@ -133,12 +135,12 @@ Status Job::advance_state(JobState to, Status failure) {
 }
 
 void Job::set_allocation(sim::Allocation allocation) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   allocation_ = std::move(allocation);
 }
 
 void Job::clear_allocation() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   allocation_.reset();
 }
 

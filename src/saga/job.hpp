@@ -8,15 +8,14 @@
 // threads while the application polls or waits.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "saga/job_description.hpp"
 #include "sim/cluster.hpp"
@@ -42,50 +41,51 @@ class Job {
   const std::string& uid() const { return uid_; }
   const JobDescription& description() const { return description_; }
 
-  JobState state() const;
+  JobState state() const ENTK_EXCLUDES(mutex_);
   /// Set when the job failed; empty otherwise.
-  Status final_status() const;
+  Status final_status() const ENTK_EXCLUDES(mutex_);
 
   /// Profiling timestamps (kNoTime until stamped).
-  TimePoint submitted_at() const;
-  TimePoint started_at() const;
-  TimePoint finished_at() const;
+  TimePoint submitted_at() const ENTK_EXCLUDES(mutex_);
+  TimePoint started_at() const ENTK_EXCLUDES(mutex_);
+  TimePoint finished_at() const ENTK_EXCLUDES(mutex_);
 
   /// Cores granted while running (sim backend only).
-  std::optional<sim::Allocation> allocation() const;
+  std::optional<sim::Allocation> allocation() const ENTK_EXCLUDES(mutex_);
 
   /// Registers a state-change callback; fired after each transition,
   /// outside the job lock.
-  void on_state_change(Callback callback);
+  void on_state_change(Callback callback) ENTK_EXCLUDES(mutex_);
 
   /// Blocks until the job reaches a final state or `timeout` elapses
   /// (wall-clock; only meaningful with the local adaptor). Returns
   /// kTimedOut on timeout.
-  Status wait(Duration timeout = kTimeInfinity);
+  Status wait(Duration timeout = kTimeInfinity) ENTK_EXCLUDES(mutex_);
 
   // --- adaptor interface (called by JobService implementations) ---
 
   /// Performs a validated state transition; `failure` is recorded when
   /// transitioning to kFailed.
-  Status advance_state(JobState to, Status failure = Status::ok());
+  Status advance_state(JobState to, Status failure = Status::ok())
+      ENTK_EXCLUDES(mutex_);
 
-  void set_allocation(sim::Allocation allocation);
-  void clear_allocation();
+  void set_allocation(sim::Allocation allocation) ENTK_EXCLUDES(mutex_);
+  void clear_allocation() ENTK_EXCLUDES(mutex_);
 
  private:
   const std::string uid_;
   const JobDescription description_;
   const Clock& clock_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable final_cv_;
-  JobState state_ = JobState::kNew;
-  Status final_status_;
-  TimePoint submitted_at_ = kNoTime;
-  TimePoint started_at_ = kNoTime;
-  TimePoint finished_at_ = kNoTime;
-  std::optional<sim::Allocation> allocation_;
-  std::vector<Callback> callbacks_;
+  mutable Mutex mutex_;
+  CondVar final_cv_;
+  JobState state_ ENTK_GUARDED_BY(mutex_) = JobState::kNew;
+  Status final_status_ ENTK_GUARDED_BY(mutex_);
+  TimePoint submitted_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  TimePoint started_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  TimePoint finished_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
+  std::optional<sim::Allocation> allocation_ ENTK_GUARDED_BY(mutex_);
+  std::vector<Callback> callbacks_ ENTK_GUARDED_BY(mutex_);
 };
 
 using JobPtr = std::shared_ptr<Job>;

@@ -23,7 +23,7 @@ LocalAdaptor::~LocalAdaptor() {
 }
 
 Count LocalAdaptor::free_cores() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return free_;
 }
 
@@ -39,7 +39,7 @@ Result<JobPtr> LocalAdaptor::submit(JobDescription description) {
       std::make_shared<Job>(next_uid("job"), std::move(description), clock_);
   ENTK_CHECK(job->advance_state(JobState::kPending).is_ok(), "fresh job");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     waiting_.push_back(job);
     try_start_locked();
   }
@@ -74,7 +74,7 @@ void LocalAdaptor::try_start_locked() {
 void LocalAdaptor::finish(const JobPtr& job, JobState final_state,
                           Status failure) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = running_.find(job.get());
     if (it == running_.end()) return;  // raced with cancel()
     running_.erase(it);
@@ -88,7 +88,7 @@ void LocalAdaptor::finish(const JobPtr& job, JobState final_state,
 Status LocalAdaptor::cancel(Job& job) {
   JobPtr handle;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = running_.find(&job);
     if (it != running_.end()) {
       handle = it->second;
@@ -124,7 +124,7 @@ Status LocalAdaptor::cancel(Job& job) {
 Status LocalAdaptor::complete(Job& job) {
   JobPtr handle;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = running_.find(&job);
     if (it == running_.end()) {
       return make_error(Errc::kNotFound,

@@ -10,9 +10,9 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "saga/job_service.hpp"
 
@@ -26,13 +26,14 @@ class LocalAdaptor final : public JobService {
   explicit LocalAdaptor(Count cores, std::size_t workers = 0);
   ~LocalAdaptor() override;
 
-  Result<JobPtr> submit(JobDescription description) override;
-  Status cancel(Job& job) override;
-  Status complete(Job& job) override;
+  Result<JobPtr> submit(JobDescription description) override
+      ENTK_EXCLUDES(mutex_);
+  Status cancel(Job& job) override ENTK_EXCLUDES(mutex_);
+  Status complete(Job& job) override ENTK_EXCLUDES(mutex_);
   std::string backend_name() const override { return "local"; }
 
   Count total_cores() const { return cores_; }
-  Count free_cores() const;
+  Count free_cores() const ENTK_EXCLUDES(mutex_);
 
   const Clock& clock() const { return clock_; }
 
@@ -41,17 +42,18 @@ class LocalAdaptor final : public JobService {
     JobPtr job;
   };
 
-  void try_start_locked();  // requires mutex_ held
-  void finish(const JobPtr& job, JobState final_state, Status failure);
+  void try_start_locked() ENTK_REQUIRES(mutex_);
+  void finish(const JobPtr& job, JobState final_state, Status failure)
+      ENTK_EXCLUDES(mutex_);
 
   const Count cores_;
   WallClock clock_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable std::mutex mutex_;
-  Count free_ = 0;
-  std::deque<JobPtr> waiting_;
-  std::unordered_map<const Job*, JobPtr> running_;
+  mutable Mutex mutex_;
+  Count free_ ENTK_GUARDED_BY(mutex_) = 0;
+  std::deque<JobPtr> waiting_ ENTK_GUARDED_BY(mutex_);
+  std::unordered_map<const Job*, JobPtr> running_ ENTK_GUARDED_BY(mutex_);
 };
 
 }  // namespace entk::saga

@@ -1,6 +1,7 @@
 // Tests of the kernel plugins: registry, validation, machine binding,
 // cost models, and real payload execution in a scratch sandbox.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -20,7 +21,10 @@ namespace fs = std::filesystem;
 class KernelPayloadTest : public ::testing::Test {
  protected:
   KernelPayloadTest() {
-    root_ = fs::temp_directory_path() / next_uid("entk-kernel-test");
+    // Pid-qualified: uid counters are per-process, and ctest -j runs
+    // each test case as its own process against the shared /tmp.
+    root_ = fs::temp_directory_path() /
+            next_uid("entk-kernel-test." + std::to_string(::getpid()));
     sandbox_ = root_ / "sandbox";
     shared_ = root_ / "shared";
     fs::create_directories(sandbox_);

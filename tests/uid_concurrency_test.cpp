@@ -1,0 +1,66 @@
+// Concurrency test for entk::next_uid: ids must be globally unique
+// (per prefix) no matter how many threads draw them at once.
+#include "common/uid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace entk {
+namespace {
+
+TEST(UidConcurrencyTest, ParallelGenerationYieldsGloballyUniqueIds) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIdsEach = 400;
+  reset_uid_counters_for_testing();
+
+  std::vector<std::vector<std::string>> drawn(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &drawn] {
+      drawn[t].reserve(kIdsEach);
+      for (std::size_t i = 0; i < kIdsEach; ++i) {
+        // Two prefixes interleaved: per-prefix counters must not bleed
+        // into each other under contention.
+        drawn[t].push_back(next_uid(i % 2 == 0 ? "stress" : "other"));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  std::set<std::string> unique;
+  for (const auto& ids : drawn) unique.insert(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), kThreads * kIdsEach) << "duplicate uid drawn";
+
+  // Counters are dense: after N draws per prefix the next id is .N.
+  std::size_t stress_count = 0;
+  for (const auto& id : unique) {
+    if (id.rfind("stress.", 0) == 0) ++stress_count;
+  }
+  EXPECT_EQ(stress_count, kThreads * kIdsEach / 2);
+  EXPECT_EQ(next_uid("stress"), "stress.001600");  // 8 * 400 / 2 draws
+  reset_uid_counters_for_testing();
+}
+
+TEST(UidConcurrencyTest, ResetRacesGenerationWithoutCorruption) {
+  // reset_uid_counters_for_testing is test-only, but it still must not
+  // corrupt the map while other threads draw ids.
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 200; ++i) (void)next_uid("racing");
+    });
+  }
+  for (int i = 0; i < 50; ++i) reset_uid_counters_for_testing();
+  for (auto& worker : workers) worker.join();
+  reset_uid_counters_for_testing();
+  EXPECT_EQ(next_uid("racing"), "racing.000000");
+  reset_uid_counters_for_testing();
+}
+
+}  // namespace
+}  // namespace entk
