@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     spec.args.set("n_particles", 2881); // the paper's system
     // Kill-replace: every 16th task fails once and is resubmitted.
     spec.inject_failure = context.instance % 16 == 7;
-    spec.max_retries = 2;
+    spec.retry.max_retries = 2;
     return spec;
   });
   pattern.set_analysis([&](const core::StageContext& context) {

@@ -54,7 +54,8 @@ Result<pilot::UnitDescription> ExecutionPlugin::translate(
   description.input_staging = std::move(resolved.input_staging);
   description.output_staging = std::move(resolved.output_staging);
   description.simulated_fail = spec.inject_failure;
-  description.max_retries = spec.max_retries;
+  description.simulated_hang = spec.inject_hang;
+  description.retry = spec.retry;
   return description;
 }
 

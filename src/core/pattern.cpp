@@ -16,7 +16,7 @@ bool unit_settled(const pilot::ComputeUnit& unit) {
   const pilot::UnitState state = unit.state();
   if (!pilot::is_final(state)) return false;
   if (state == pilot::UnitState::kFailed &&
-      unit.retries() < unit.description().max_retries) {
+      unit.retries() < unit.description().retry.max_retries) {
     return false;  // the unit manager is about to resubmit it
   }
   return true;
@@ -49,8 +49,61 @@ Status first_failure(const std::vector<pilot::ComputeUnitPtr>& units) {
 
 Status PatternExecutor::wait_all(
     const std::vector<pilot::ComputeUnitPtr>& units) {
-  ENTK_RETURN_IF_ERROR(drive_until([&] { return all_settled(units); }));
+  ENTK_RETURN_IF_ERROR(wait_settled(units));
   return first_failure(units);
+}
+
+Status PatternExecutor::wait_settled(
+    const std::vector<pilot::ComputeUnitPtr>& units) {
+  return drive_until([&] { return all_settled(units); });
+}
+
+Status FailureRules::validate() const {
+  if (policy == FailurePolicy::kQuorum &&
+      (quorum <= 0.0 || quorum > 1.0)) {
+    return make_error(Errc::kInvalidArgument,
+                      "quorum must be in (0, 1], got " +
+                          std::to_string(quorum));
+  }
+  return Status::ok();
+}
+
+Status ExecutionPattern::settle_stage(
+    const std::vector<pilot::ComputeUnitPtr>& units) const {
+  const Status failure = first_failure(units);
+  if (failure.is_ok()) return Status::ok();
+  switch (failure_rules_.policy) {
+    case FailurePolicy::kFailFast:
+      return failure;
+    case FailurePolicy::kContinueOnFailure:
+      ENTK_WARN("core.pattern")
+          << name() << ": continuing past failure: "
+          << failure.to_string();
+      return Status::ok();
+    case FailurePolicy::kQuorum: {
+      std::size_t done = 0;
+      for (const auto& unit : units) {
+        if (unit->state() == pilot::UnitState::kDone) ++done;
+      }
+      const double fraction =
+          units.empty() ? 1.0
+                        : static_cast<double>(done) /
+                              static_cast<double>(units.size());
+      if (fraction >= failure_rules_.quorum) {
+        ENTK_WARN("core.pattern")
+            << name() << ": quorum met (" << done << "/" << units.size()
+            << " done); continuing past failure: " << failure.to_string();
+        return Status::ok();
+      }
+      return make_error(Errc::kExecutionFailed,
+                        name() + ": only " + std::to_string(done) + "/" +
+                            std::to_string(units.size()) +
+                            " units finished, below the quorum; first "
+                            "failure: " +
+                            failure.message());
+    }
+  }
+  return failure;
 }
 
 void watch_unit(const pilot::ComputeUnitPtr& unit,
@@ -101,7 +154,8 @@ Status BagOfTasks::execute(PatternExecutor& executor) {
   auto submitted = executor.submit(specs);
   if (!submitted.ok()) return submitted.status();
   units_ = submitted.take();
-  return executor.wait_all(units_);
+  ENTK_RETURN_IF_ERROR(executor.wait_settled(units_));
+  return settle_stage(units_);
 }
 
 // ------------------------------------------------------ EnsembleOfPipelines
@@ -140,6 +194,8 @@ Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
     std::vector<pilot::ComputeUnitPtr> all ENTK_GUARDED_BY(mutex);
     std::vector<Status> errors ENTK_GUARDED_BY(mutex);
     Count pipelines_done ENTK_GUARDED_BY(mutex) = 0;
+    /// Pipelines that ran every stage to kDone (for quorum verdicts).
+    Count pipelines_completed ENTK_GUARDED_BY(mutex) = 0;
   };
   auto state = std::make_shared<State>();
   // Recursive launcher, held by shared_ptr so watcher closures can
@@ -170,9 +226,13 @@ Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
         } else {
           MutexLock lock(state->mutex);
           ++state->pipelines_done;
+          ++state->pipelines_completed;
         }
         return;
       }
+      // A failed stage ends its pipeline (later stages need its
+      // output); whether that fails the *pattern* is decided by the
+      // failure rules once every pipeline has stopped.
       MutexLock lock(state->mutex);
       state->errors.push_back(
           final_state == pilot::UnitState::kFailed
@@ -195,8 +255,30 @@ Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
   }
   ENTK_RETURN_IF_ERROR(driven);
   MutexLock lock(state->mutex);
-  if (!state->errors.empty()) return state->errors.front();
-  return Status::ok();
+  if (state->errors.empty()) return Status::ok();
+  switch (failure_rules_.policy) {
+    case FailurePolicy::kFailFast:
+      return state->errors.front();
+    case FailurePolicy::kContinueOnFailure:
+      ENTK_WARN("core.pattern")
+          << name() << ": " << state->errors.size()
+          << " pipeline(s) failed; continuing per policy";
+      return Status::ok();
+    case FailurePolicy::kQuorum: {
+      const double fraction =
+          static_cast<double>(state->pipelines_completed) /
+          static_cast<double>(n_pipelines_);
+      if (fraction >= failure_rules_.quorum) return Status::ok();
+      return make_error(Errc::kExecutionFailed,
+                        name() + ": only " +
+                            std::to_string(state->pipelines_completed) +
+                            "/" + std::to_string(n_pipelines_) +
+                            " pipelines completed, below the quorum; "
+                            "first failure: " +
+                            state->errors.front().message());
+    }
+  }
+  return state->errors.front();
 }
 
 // --------------------------------------------------- SimulationAnalysisLoop
@@ -239,7 +321,8 @@ Status SimulationAnalysisLoop::execute(PatternExecutor& executor) {
     if (bucket != nullptr) {
       bucket->insert(bucket->end(), stage_units.begin(), stage_units.end());
     }
-    return executor.wait_all(stage_units);
+    ENTK_RETURN_IF_ERROR(executor.wait_settled(stage_units));
+    return settle_stage(stage_units);
   };
 
   if (pre_loop_) {
@@ -329,7 +412,8 @@ Status EnsembleExchange::execute_global(PatternExecutor& executor) {
     units_.insert(units_.end(), sim_units.begin(), sim_units.end());
     simulation_units_.insert(simulation_units_.end(), sim_units.begin(),
                              sim_units.end());
-    ENTK_RETURN_IF_ERROR(executor.wait_all(sim_units));
+    ENTK_RETURN_IF_ERROR(executor.wait_settled(sim_units));
+    ENTK_RETURN_IF_ERROR(settle_stage(sim_units));
 
     auto exchange_submitted =
         executor.submit({exchange_({cycle, 2, 0, n_replicas_})});
@@ -338,7 +422,8 @@ Status EnsembleExchange::execute_global(PatternExecutor& executor) {
     units_.insert(units_.end(), exchange_unit.begin(), exchange_unit.end());
     exchange_units_.insert(exchange_units_.end(), exchange_unit.begin(),
                            exchange_unit.end());
-    ENTK_RETURN_IF_ERROR(executor.wait_all(exchange_unit));
+    ENTK_RETURN_IF_ERROR(executor.wait_settled(exchange_unit));
+    ENTK_RETURN_IF_ERROR(settle_stage(exchange_unit));
   }
   return Status::ok();
 }
@@ -356,6 +441,8 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
     std::vector<Status> errors ENTK_GUARDED_BY(mutex);
     /// Replicas that completed (or abandoned) all cycles.
     Count replicas_finished ENTK_GUARDED_BY(mutex) = 0;
+    /// Replicas that ran every cycle to completion (quorum verdicts).
+    Count replicas_completed ENTK_GUARDED_BY(mutex) = 0;
     /// Per (cycle, low-replica) pair: completed members and death flag.
     struct PairProgress {
       int arrived = 0;
@@ -388,6 +475,7 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
     if (cycle >= n_cycles_) {
       MutexLock lock(state->mutex);
       ++state->replicas_finished;
+      ++state->replicas_completed;
       return;
     }
     (*launch_sim)(cycle + 1, replica);
@@ -496,7 +584,31 @@ Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
     simulation_units_ = state->sims;
     exchange_units_ = state->exchanges;
     ENTK_RETURN_IF_ERROR(driven);
-    if (!state->errors.empty()) return state->errors.front();
+    if (!state->errors.empty()) {
+      switch (failure_rules_.policy) {
+        case FailurePolicy::kFailFast:
+          return state->errors.front();
+        case FailurePolicy::kContinueOnFailure:
+          ENTK_WARN("core.pattern")
+              << name() << ": " << state->errors.size()
+              << " replica chain(s) failed; continuing per policy";
+          break;
+        case FailurePolicy::kQuorum: {
+          const double fraction =
+              static_cast<double>(state->replicas_completed) /
+              static_cast<double>(n_replicas_);
+          if (fraction >= failure_rules_.quorum) break;
+          return make_error(
+              Errc::kExecutionFailed,
+              name() + ": only " +
+                  std::to_string(state->replicas_completed) + "/" +
+                  std::to_string(n_replicas_) +
+                  " replicas completed, below the quorum; first "
+                  "failure: " +
+                  state->errors.front().message());
+        }
+      }
+    }
   }
   return Status::ok();
 }
@@ -527,6 +639,7 @@ Status AdaptiveLoop::validate() const {
 
 Status AdaptiveLoop::execute(PatternExecutor& executor) {
   ENTK_RETURN_IF_ERROR(validate());
+  body_->set_failure_rules(failure_rules_);
   rounds_completed_ = 0;
   for (Count round = 1; round <= max_rounds_; ++round) {
     ENTK_RETURN_IF_ERROR(body_->execute(executor));
@@ -560,6 +673,7 @@ Status SequencePattern::validate() const {
 Status SequencePattern::execute(PatternExecutor& executor) {
   ENTK_RETURN_IF_ERROR(validate());
   for (const auto& child : children_) {
+    child->set_failure_rules(failure_rules_);
     ENTK_RETURN_IF_ERROR(child->execute(executor));
   }
   return Status::ok();

@@ -38,6 +38,24 @@ struct StageContext {
 /// Produces the task for one (iteration, stage, instance) slot.
 using StageFn = std::function<TaskSpec(const StageContext&)>;
 
+/// How a pattern reacts once a task settles as failed or cancelled
+/// (i.e. after the runtime exhausted its retry budget — transient
+/// failures with retries left never reach the pattern).
+enum class FailurePolicy {
+  kFailFast,            ///< First settled failure aborts the pattern.
+  kContinueOnFailure,   ///< Log the failure, keep every survivor going.
+  kQuorum,              ///< A stage succeeds if enough members finish.
+};
+
+struct FailureRules {
+  FailurePolicy policy = FailurePolicy::kFailFast;
+  /// kQuorum only: minimum fraction of a stage's (pipeline's,
+  /// replica's) members that must reach kDone, in (0, 1].
+  double quorum = 1.0;
+
+  Status validate() const;
+};
+
 /// The pattern-facing execution interface, implemented by the
 /// execution plugin. submit() translates specs into compute units and
 /// hands them to the runtime; drive_until() advances execution.
@@ -54,6 +72,10 @@ class PatternExecutor {
   /// Convenience: drives until all given units are settled, then
   /// reports the first failure (if any).
   Status wait_all(const std::vector<pilot::ComputeUnitPtr>& units);
+
+  /// Like wait_all but without the failure check: drives until every
+  /// unit settled and leaves the verdict to the caller's FailureRules.
+  Status wait_settled(const std::vector<pilot::ComputeUnitPtr>& units);
 };
 
 class ExecutionPattern {
@@ -66,8 +88,25 @@ class ExecutionPattern {
   virtual Status validate() const = 0;
 
   /// Orchestrates the pattern to completion through `executor`.
-  /// Returns the first error (validation, submission, task failure).
+  /// Returns the first error (validation, submission, task failure —
+  /// the latter filtered through the failure rules).
   virtual Status execute(PatternExecutor& executor) = 0;
+
+  /// Pattern-level failure semantics, applied to each synchronisation
+  /// point as its units settle. Composite patterns (SequencePattern,
+  /// AdaptiveLoop) forward their rules to their children.
+  void set_failure_rules(FailureRules rules) { failure_rules_ = rules; }
+  const FailureRules& failure_rules() const { return failure_rules_; }
+
+ protected:
+  /// Verdict for one settled stage under failure_rules_: the first
+  /// failure under kFailFast, OK (with a warning) under
+  /// kContinueOnFailure, and under kQuorum OK iff the fraction of
+  /// kDone units meets the quorum.
+  Status settle_stage(
+      const std::vector<pilot::ComputeUnitPtr>& units) const;
+
+  FailureRules failure_rules_;
 };
 
 /// Registers `handler` to run exactly once when `unit` settles into a

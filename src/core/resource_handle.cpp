@@ -62,14 +62,45 @@ Status ResourceHandle::allocate() {
         description, options_.scheduler_policy);
     if (!submitted.ok()) return submitted.status();
     unit_manager_->add_pilot(submitted.value());
+    if (options_.restart_failed_pilots) {
+      watch_for_restart(submitted.value());
+    }
     pilots_.push_back(submitted.take());
   }
+  restarts_used_ = 0;
   for (const auto& held : pilots_) {
     ENTK_RETURN_IF_ERROR(pilot_manager_.wait_active(held));
   }
   ENTK_INFO("core.resource")
       << pilots_.size() << " pilot(s) active on " << backend_.name();
   return Status::ok();
+}
+
+void ResourceHandle::watch_for_restart(const pilot::PilotPtr& held) {
+  held->on_state_change([this](pilot::Pilot& failed,
+                               pilot::PilotState state) {
+    if (state != pilot::PilotState::kFailed) return;
+    if (restarts_used_ >= options_.max_pilot_restarts) {
+      ENTK_WARN("core.resource")
+          << failed.uid() << " failed with the restart budget spent";
+      return;
+    }
+    ++restarts_used_;
+    // The unit manager's own kFailed hook ran first (registration
+    // order), so the stranded units are already back in its queue and
+    // rebind to the replacement the moment it becomes active.
+    auto replacement = pilot_manager_.resubmit_like(
+        failed, options_.scheduler_policy);
+    if (!replacement.ok()) {
+      ENTK_WARN("core.resource") << "replacement for " << failed.uid()
+                                 << " failed: "
+                                 << replacement.status().to_string();
+      return;
+    }
+    unit_manager_->add_pilot(replacement.value());
+    watch_for_restart(replacement.value());
+    pilots_.push_back(replacement.take());
+  });
 }
 
 Result<RunReport> ResourceHandle::run(ExecutionPattern& pattern) {
@@ -98,6 +129,23 @@ Result<RunReport> ResourceHandle::run(ExecutionPattern& pattern) {
     report.overheads.pilot_startup =
         std::max(report.overheads.pilot_startup, held->startup_time());
   }
+  for (const auto& unit : report.units) {
+    switch (unit->state()) {
+      case pilot::UnitState::kDone:
+        ++report.units_done;
+        break;
+      case pilot::UnitState::kFailed:
+        ++report.units_failed;
+        break;
+      case pilot::UnitState::kCanceled:
+        ++report.units_cancelled;
+        break;
+      default:
+        break;
+    }
+  }
+  report.total_retries = unit_manager_->total_retries();
+  report.recovered_units = unit_manager_->recovered_units();
   return report;
 }
 

@@ -38,6 +38,13 @@ struct ResourceOptions {
   Duration allocate_overhead = 0.9;    ///< Resource request handling.
   Duration deallocate_overhead = 0.8;  ///< Resource cancel handling.
   Duration per_task_overhead = 0.004;  ///< Task creation + submission.
+
+  // Fault tolerance.
+  /// Submit a replacement pilot when one fails (walltime expiry,
+  /// container loss). Units evicted off the dead pilot rebind to the
+  /// replacement through the unit manager's late binding.
+  bool restart_failed_pilots = false;
+  Count max_pilot_restarts = 1;   ///< Replacement budget per handle.
 };
 
 /// What one run(pattern) produced.
@@ -46,6 +53,14 @@ struct RunReport {
   OverheadProfile overheads;      ///< TTC decomposition.
   std::vector<pilot::ComputeUnitPtr> units;  ///< All submitted units.
   Duration run_span = 0.0;        ///< Clock time inside run().
+
+  // Fault-tolerance tallies for this run's units (retry/recovery
+  // counters are handle-lifetime totals from the unit manager).
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;      ///< Settled failed (budget spent).
+  std::size_t units_cancelled = 0;
+  std::size_t total_retries = 0;     ///< Failed attempts resubmitted.
+  std::size_t recovered_units = 0;   ///< Requeued off failed pilots.
 };
 
 class ResourceHandle {
@@ -80,6 +95,10 @@ class ResourceHandle {
   }
 
  private:
+  /// Arms the pilot-restart hook: when `held` fails and the restart
+  /// budget allows, submits a replacement with the same description.
+  void watch_for_restart(const pilot::PilotPtr& held);
+
   pilot::ExecutionBackend& backend_;
   const kernels::KernelRegistry& registry_;
   ResourceOptions options_;
@@ -87,6 +106,7 @@ class ResourceHandle {
   pilot::PilotManager pilot_manager_;
   std::unique_ptr<pilot::UnitManager> unit_manager_;
   std::vector<pilot::PilotPtr> pilots_;
+  Count restarts_used_ = 0;
 };
 
 }  // namespace entk::core

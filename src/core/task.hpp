@@ -7,6 +7,7 @@
 
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "pilot/retry_policy.hpp"
 
 namespace entk::core {
 
@@ -16,10 +17,14 @@ struct TaskSpec {
   /// Cores for this task; 0 = let the kernel decide (its "cores" arg
   /// or 1). Values > 1 imply an MPI launch.
   Count cores = 0;
-  /// Automatic resubmissions if the task fails.
-  Count max_retries = 0;
+  /// Automatic resubmission policy: retry budget, exponential backoff,
+  /// per-attempt execution timeout.
+  pilot::RetryPolicy retry;
   /// Test hook: inject one failure on first execution.
   bool inject_failure = false;
+  /// Test hook: first execution hangs forever; only
+  /// retry.execution_timeout reclaims the cores.
+  bool inject_hang = false;
 };
 
 }  // namespace entk::core

@@ -1,6 +1,7 @@
 #include "core/workload_file.hpp"
 
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -23,6 +24,7 @@ Status WorkloadSpec::validate() const {
                       "cores/machine = auto requires the sim backend "
                       "(the strategy plans over the machine catalog)");
   }
+  ENTK_RETURN_IF_ERROR(failure.validate());
   auto require_section = [this](const std::string& name) {
     if (sections.count(name) == 0) {
       return make_error(Errc::kInvalidArgument,
@@ -138,6 +140,22 @@ Result<WorkloadSpec> parse_workload(const std::string& text) {
       spec.iterations = std::strtoll(value.c_str(), nullptr, 10);
     } else if (key == "stages") {
       spec.stages = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "failure_policy") {
+      if (value == "fail_fast") {
+        spec.failure.policy = FailurePolicy::kFailFast;
+      } else if (value == "continue") {
+        spec.failure.policy = FailurePolicy::kContinueOnFailure;
+      } else if (value == "quorum") {
+        spec.failure.policy = FailurePolicy::kQuorum;
+      } else {
+        return make_error(Errc::kInvalidArgument,
+                          "line " + std::to_string(line_number) +
+                              ": unknown failure_policy '" + value +
+                              "' (expected fail_fast, continue or "
+                              "quorum)");
+      }
+    } else if (key == "quorum") {
+      spec.failure.quorum = std::strtod(value.c_str(), nullptr);
     } else {
       return make_error(Errc::kInvalidArgument,
                         "line " + std::to_string(line_number) +
@@ -146,6 +164,47 @@ Result<WorkloadSpec> parse_workload(const std::string& text) {
   }
   ENTK_RETURN_IF_ERROR(spec.validate());
   return spec;
+}
+
+std::string serialize_workload(const WorkloadSpec& spec) {
+  std::ostringstream out;
+  // Shortest-exact double formatting so parse(serialize(s)) == s.
+  out << std::setprecision(17);
+  out << "backend = " << spec.backend << "\n";
+  out << "machine = " << (spec.auto_machine ? "auto" : spec.machine)
+      << "\n";
+  out << "cores = ";
+  if (spec.auto_cores) {
+    out << "auto\n";
+  } else {
+    out << spec.cores << "\n";
+  }
+  out << "runtime = " << spec.runtime << "\n";
+  out << "scheduler = " << spec.scheduler << "\n";
+  out << "pattern = " << spec.pattern << "\n";
+  out << "simulations = " << spec.simulations << "\n";
+  out << "analyses = " << spec.analyses << "\n";
+  out << "iterations = " << spec.iterations << "\n";
+  if (spec.stages > 0) out << "stages = " << spec.stages << "\n";
+  switch (spec.failure.policy) {
+    case FailurePolicy::kFailFast:
+      out << "failure_policy = fail_fast\n";
+      break;
+    case FailurePolicy::kContinueOnFailure:
+      out << "failure_policy = continue\n";
+      break;
+    case FailurePolicy::kQuorum:
+      out << "failure_policy = quorum\n";
+      break;
+  }
+  out << "quorum = " << spec.failure.quorum << "\n";
+  for (const auto& [name, section] : spec.sections) {
+    out << "\n[" << name << "]\n";
+    for (const auto& key : section.keys()) {
+      out << key << " = " << section.get_string(key).value() << "\n";
+    }
+  }
+  return out.str();
 }
 
 Result<WorkloadSpec> load_workload(const std::string& path) {
@@ -185,15 +244,59 @@ Result<TaskSpec> task_from_section(const Config& section,
   spec.kernel = kernel.value();
   for (const auto& key : section.keys()) {
     if (key == "kernel") continue;
+    // Fault-tolerance keys configure the task rather than the kernel.
     if (key == "max_retries") {
       auto retries = section.get_int(key);
       if (!retries.ok()) return retries.status();
-      spec.max_retries = retries.value();
+      spec.retry.max_retries = retries.value();
+      continue;
+    }
+    if (key == "retry_backoff") {
+      auto backoff = section.get_double(key);
+      if (!backoff.ok()) return backoff.status();
+      spec.retry.backoff_base = backoff.value();
+      continue;
+    }
+    if (key == "retry_backoff_multiplier") {
+      auto multiplier = section.get_double(key);
+      if (!multiplier.ok()) return multiplier.status();
+      spec.retry.backoff_multiplier = multiplier.value();
+      continue;
+    }
+    if (key == "retry_backoff_max") {
+      auto cap = section.get_double(key);
+      if (!cap.ok()) return cap.status();
+      spec.retry.backoff_max = cap.value();
+      continue;
+    }
+    if (key == "retry_jitter") {
+      auto jitter = section.get_double(key);
+      if (!jitter.ok()) return jitter.status();
+      spec.retry.jitter = jitter.value();
+      continue;
+    }
+    if (key == "execution_timeout") {
+      auto timeout = section.get_double(key);
+      if (!timeout.ok()) return timeout.status();
+      spec.retry.execution_timeout = timeout.value();
+      continue;
+    }
+    if (key == "inject_failure") {
+      auto inject = section.get_bool(key);
+      if (!inject.ok()) return inject.status();
+      spec.inject_failure = inject.value();
+      continue;
+    }
+    if (key == "inject_hang") {
+      auto inject = section.get_bool(key);
+      if (!inject.ok()) return inject.status();
+      spec.inject_hang = inject.value();
       continue;
     }
     spec.args.set(key, substitute_placeholders(
                            section.get_string(key).value(), context));
   }
+  ENTK_RETURN_IF_ERROR(spec.retry.validate());
   return spec;
 }
 
@@ -208,33 +311,34 @@ Result<std::unique_ptr<ExecutionPattern>> build_pattern(
       return task.ok() ? task.take() : TaskSpec{};
     };
   };
+  std::unique_ptr<ExecutionPattern> built;
   if (spec.pattern == "bag") {
-    return std::unique_ptr<ExecutionPattern>(std::make_unique<BagOfTasks>(
-        spec.simulations, stage_fn(spec.sections.at("task"))));
-  }
-  if (spec.pattern == "eop") {
+    built = std::make_unique<BagOfTasks>(
+        spec.simulations, stage_fn(spec.sections.at("task")));
+  } else if (spec.pattern == "eop") {
     auto pattern = std::make_unique<EnsembleOfPipelines>(spec.simulations,
                                                          spec.stages);
     for (Count s = 1; s <= spec.stages; ++s) {
       pattern->set_stage(
           s, stage_fn(spec.sections.at("stage" + std::to_string(s))));
     }
-    return std::unique_ptr<ExecutionPattern>(std::move(pattern));
-  }
-  if (spec.pattern == "sal") {
+    built = std::move(pattern);
+  } else if (spec.pattern == "sal") {
     auto pattern = std::make_unique<SimulationAnalysisLoop>(
         spec.iterations, spec.simulations, spec.analyses);
     pattern->set_simulation(stage_fn(spec.sections.at("simulation")));
     pattern->set_analysis(stage_fn(spec.sections.at("analysis")));
-    return std::unique_ptr<ExecutionPattern>(std::move(pattern));
+    built = std::move(pattern);
+  } else {  // ee
+    auto pattern = std::make_unique<EnsembleExchange>(
+        spec.simulations, spec.iterations,
+        EnsembleExchange::ExchangeMode::kGlobalSweep);
+    pattern->set_simulation(stage_fn(spec.sections.at("simulation")));
+    pattern->set_exchange(stage_fn(spec.sections.at("exchange")));
+    built = std::move(pattern);
   }
-  // ee
-  auto pattern = std::make_unique<EnsembleExchange>(
-      spec.simulations, spec.iterations,
-      EnsembleExchange::ExchangeMode::kGlobalSweep);
-  pattern->set_simulation(stage_fn(spec.sections.at("simulation")));
-  pattern->set_exchange(stage_fn(spec.sections.at("exchange")));
-  return std::unique_ptr<ExecutionPattern>(std::move(pattern));
+  built->set_failure_rules(spec.failure);
+  return built;
 }
 
 namespace {

@@ -17,6 +17,8 @@
 //   simulations = 16           # sal width; ee replicas; bag/eop width
 //   analyses    = 1            # sal analysis width
 //   stages      = 2            # eop stage count
+//   failure_policy = fail_fast # fail_fast | continue | quorum
+//   quorum    = 0.75           # quorum policy: min fraction done
 //
 //   # one section per stage; values support {instance}, {iteration},
 //   # {stage} and {instances} placeholders
@@ -24,6 +26,15 @@
 //   kernel      = md.simulate
 //   steps       = 300
 //   out         = traj_{instance}.dat
+//   # per-stage fault tolerance (all optional)
+//   max_retries = 3            # resubmissions after a failure
+//   retry_backoff = 2.0        # base delay before a retry (s)
+//   retry_backoff_multiplier = 2.0
+//   retry_backoff_max = 60.0   # delay cap (0 = uncapped)
+//   retry_jitter = 0.1         # +/- fraction of the delay, [0, 1)
+//   execution_timeout = 600.0  # kill an attempt running longer (s)
+//   inject_failure = true      # test hook: first attempt fails
+//   inject_hang = true         # test hook: first attempt hangs
 //
 //   [analysis]
 //   kernel = md.coco
@@ -64,6 +75,9 @@ struct WorkloadSpec {
   Count iterations = 1;          ///< sal iterations / ee cycles.
   Count stages = 0;              ///< eop only.
 
+  /// Pattern-level failure semantics (failure_policy / quorum keys).
+  FailureRules failure;
+
   /// Stage sections: name -> kernel args (incl. the "kernel" key).
   std::map<std::string, Config> sections;
 
@@ -72,6 +86,10 @@ struct WorkloadSpec {
 
 /// Parses the text of a workload file.
 Result<WorkloadSpec> parse_workload(const std::string& text);
+
+/// Renders a spec back into workload-file text such that
+/// parse_workload(serialize_workload(spec)) reproduces it.
+std::string serialize_workload(const WorkloadSpec& spec);
 
 /// Reads and parses a workload file from disk.
 Result<WorkloadSpec> load_workload(const std::string& path);

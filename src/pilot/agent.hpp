@@ -33,6 +33,14 @@ class Agent {
   /// Cancels all waiting units (running ones finish).
   virtual void cancel_waiting() = 0;
 
+  /// Pilot-loss recovery: drains every unit this agent still holds and
+  /// returns them rewound to kPendingExecution so a unit manager can
+  /// requeue them onto surviving pilots (without burning retry
+  /// budget). The simulated backend evicts waiting *and* in-flight
+  /// units (their remaining events are voided); the local backend can
+  /// only evict waiting units — payload threads are uninterruptible.
+  virtual std::vector<ComputeUnitPtr> evict_inflight() = 0;
+
   /// Cancels one unit (the paper's kill/replace adaptivity). Waiting
   /// units cancel on every backend; an *executing* unit can be killed
   /// on the simulated backend (its remaining events are voided and its

@@ -44,6 +44,12 @@ class ExecutionBackend {
   virtual Status drive_until(const std::function<bool()>& done,
                              Duration timeout = kTimeInfinity) = 0;
 
+  /// Runs `fn` once after `delay` seconds on this backend's clock (an
+  /// engine event on the simulated backend; a timer drained by
+  /// drive_until on the local one). Used by the unit manager for
+  /// retry-backoff delays. The callback may re-enter the runtime.
+  virtual void schedule_after(Duration delay, std::function<void()> fn) = 0;
+
   /// Charges `cost` seconds of client-side work to this backend's
   /// clock: the simulated backend advances virtual time (running any
   /// events that fall due); the local backend is a no-op because real

@@ -25,6 +25,11 @@ Count ComputeUnit::retries() const {
   return retries_;
 }
 
+Count ComputeUnit::epoch() const {
+  MutexLock lock(mutex_);
+  return epoch_;
+}
+
 TimePoint ComputeUnit::created_at() const {
   MutexLock lock(mutex_);
   return created_at_;
@@ -67,7 +72,7 @@ bool ComputeUnit::settled_locked() const {
     case UnitState::kCanceled:
       return true;
     case UnitState::kFailed:
-      return retries_ >= description_.max_retries;
+      return retries_ >= description_.retry.max_retries;
     default:
       return false;
   }
@@ -83,9 +88,20 @@ Status ComputeUnit::advance_state(UnitState to, Status failure) {
                             unit_state_name(state_) + " -> " +
                             unit_state_name(to));
     }
+    const UnitState from = state_;
     state_ = to;
     const TimePoint now = clock_.now();
     switch (to) {
+      case UnitState::kPendingExecution:
+        if (from != UnitState::kNew) {
+          // Pilot-loss rewind: the old attempt's timestamps and any
+          // events an agent scheduled for it are void.
+          exec_started_at_ = kNoTime;
+          exec_stopped_at_ = kNoTime;
+          finished_at_ = kNoTime;
+          ++epoch_;
+        }
+        break;
       case UnitState::kExecuting:
         exec_started_at_ = now;
         break;
@@ -147,6 +163,7 @@ Status ComputeUnit::reset_for_retry() {
   exec_started_at_ = kNoTime;
   exec_stopped_at_ = kNoTime;
   finished_at_ = kNoTime;
+  ++epoch_;
   return Status::ok();
 }
 

@@ -37,6 +37,12 @@ class ComputeUnit {
   /// Number of times this unit has been (re)started after failure.
   Count retries() const ENTK_EXCLUDES(mutex_);
 
+  /// Execution-attempt epoch: bumped every time the unit is rewound to
+  /// kPendingExecution (retry or pilot-loss requeue). Agents capture
+  /// it when scheduling lifecycle events so stale events from a dead
+  /// attempt cannot act on a relaunched unit.
+  Count epoch() const ENTK_EXCLUDES(mutex_);
+
   // Profiling timeline (kNoTime until stamped).
   /// Accepted by the unit manager.
   TimePoint created_at() const ENTK_EXCLUDES(mutex_);
@@ -74,6 +80,7 @@ class ComputeUnit {
   UnitState state_ ENTK_GUARDED_BY(mutex_) = UnitState::kNew;
   Status final_status_ ENTK_GUARDED_BY(mutex_);
   Count retries_ ENTK_GUARDED_BY(mutex_) = 0;
+  Count epoch_ ENTK_GUARDED_BY(mutex_) = 0;
   TimePoint created_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
   TimePoint submitted_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;
   TimePoint exec_started_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;

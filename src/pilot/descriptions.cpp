@@ -32,9 +32,12 @@ Status UnitDescription::validate() const {
     return make_error(Errc::kInvalidArgument,
                       "unit '" + name + "' has negative duration");
   }
-  if (max_retries < 0) {
-    return make_error(Errc::kInvalidArgument,
-                      "unit '" + name + "' has negative max_retries");
+  {
+    const Status retry_status = retry.validate();
+    if (!retry_status.is_ok()) {
+      return make_error(Errc::kInvalidArgument,
+                        "unit '" + name + "': " + retry_status.message());
+    }
   }
   for (const auto& directive : input_staging) {
     if (directive.source.empty()) {

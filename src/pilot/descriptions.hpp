@@ -10,6 +10,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "pilot/retry_policy.hpp"
 
 namespace entk::pilot {
 
@@ -64,10 +65,14 @@ struct UnitDescription {
   UnitPayload payload;
   /// Core occupancy time for the simulated backend.
   Duration simulated_duration = 0.0;
-  /// Failure injection (simulated backend): unit fails after running.
+  /// Failure injection (simulated backend): unit fails after running
+  /// — once, on its first execution attempt.
   bool simulated_fail = false;
-  /// Automatic resubmissions on failure (both backends).
-  Count max_retries = 0;
+  /// Hang injection (simulated backend): the first execution attempt
+  /// never finishes; only retry.execution_timeout can reclaim it.
+  bool simulated_hang = false;
+  /// Retry/backoff/timeout policy (both backends).
+  RetryPolicy retry;
 
   Status validate() const;
 };

@@ -101,6 +101,17 @@ void LocalAgent::cancel_waiting() {
   }
 }
 
+std::vector<ComputeUnitPtr> LocalAgent::evict_inflight() {
+  std::deque<ComputeUnitPtr> drained;
+  {
+    MutexLock lock(mutex_);
+    drained.swap(waiting_);
+  }
+  // Waiting units are already kPendingExecution; running payloads are
+  // on uninterruptible threads and settle on their own.
+  return {drained.begin(), drained.end()};
+}
+
 Count LocalAgent::free_cores() const {
   MutexLock lock(mutex_);
   return free_;

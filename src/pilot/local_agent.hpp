@@ -30,6 +30,10 @@ class LocalAgent final : public Agent {
   void cancel_waiting() override ENTK_EXCLUDES(mutex_);
   Status cancel_unit(const ComputeUnitPtr& unit) override
       ENTK_EXCLUDES(mutex_);
+  /// Local payloads run on uninterruptible threads, so only waiting
+  /// units can be evicted; running ones finish where they are.
+  std::vector<ComputeUnitPtr> evict_inflight() override
+      ENTK_EXCLUDES(mutex_);
 
   Count total_cores() const override { return cores_; }
   Count free_cores() const override ENTK_EXCLUDES(mutex_);

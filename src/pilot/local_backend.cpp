@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -49,6 +50,33 @@ Result<std::unique_ptr<Agent>> LocalBackend::make_agent(
       session_dir_ / next_uid("pilot-session")));
 }
 
+void LocalBackend::schedule_after(Duration delay,
+                                  std::function<void()> fn) {
+  MutexLock lock(timers_mutex_);
+  timers_.push_back({clock().now() + std::max<Duration>(delay, 0.0),
+                     std::move(fn)});
+}
+
+void LocalBackend::fire_due_timers() {
+  std::vector<std::function<void()>> due;
+  {
+    MutexLock lock(timers_mutex_);
+    const TimePoint now = clock().now();
+    for (std::size_t i = 0; i < timers_.size();) {
+      if (timers_[i].due <= now) {
+        due.push_back(std::move(timers_[i].fn));
+        timers_[i] = std::move(timers_.back());
+        timers_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  // Outside the lock: a timer callback (retry resubmission) re-enters
+  // the runtime and may schedule further timers.
+  for (auto& fn : due) fn();
+}
+
 Status LocalBackend::drive_until(const std::function<bool()>& done,
                                  Duration timeout) {
   // Real work happens on agent worker threads; this thread just polls.
@@ -58,10 +86,12 @@ Status LocalBackend::drive_until(const std::function<bool()>& done,
     if (clock().now() > deadline) {
       return make_error(Errc::kTimedOut, "local wait deadline passed");
     }
+    fire_due_timers();
     // Cross-agent completion has no shared condition variable; a short
     // poll is the wait primitive. entk-lint: allow(sleep-in-runtime)
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+  fire_due_timers();
   return Status::ok();
 }
 

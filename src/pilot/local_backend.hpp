@@ -5,7 +5,9 @@
 
 #include <filesystem>
 #include <memory>
+#include <vector>
 
+#include "common/mutex.hpp"
 #include "pilot/backend.hpp"
 #include "saga/local_adaptor.hpp"
 
@@ -27,16 +29,29 @@ class LocalBackend final : public ExecutionBackend {
       Count cores, const std::string& scheduler_policy) override;
   Status drive_until(const std::function<bool()>& done,
                      Duration timeout = kTimeInfinity) override;
+  /// Timers are drained by whichever thread is inside drive_until.
+  void schedule_after(Duration delay, std::function<void()> fn) override
+      ENTK_EXCLUDES(timers_mutex_);
   void advance(Duration) override {}  // real work takes real time
   std::string name() const override { return "local"; }
 
   const std::filesystem::path& session_dir() const { return session_dir_; }
 
  private:
+  struct Timer {
+    TimePoint due;
+    std::function<void()> fn;
+  };
+  /// Pops every due timer and runs it outside the lock.
+  void fire_due_timers() ENTK_EXCLUDES(timers_mutex_);
+
   sim::MachineProfile machine_;
   std::unique_ptr<saga::LocalAdaptor> adaptor_;
   std::filesystem::path session_dir_;
   bool owns_session_dir_ = false;
+
+  mutable Mutex timers_mutex_;
+  std::vector<Timer> timers_ ENTK_GUARDED_BY(timers_mutex_);
 };
 
 }  // namespace entk::pilot

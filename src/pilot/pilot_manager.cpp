@@ -122,6 +122,19 @@ Status PilotManager::deallocate(const PilotPtr& pilot) {
   return backend_.job_service().complete(*pilot->job());
 }
 
+Result<PilotPtr> PilotManager::resubmit_like(
+    const Pilot& finished, const std::string& scheduler_policy) {
+  if (!is_final(finished.state())) {
+    return make_error(Errc::kFailedPrecondition,
+                      "pilot " + finished.uid() + " is " +
+                          pilot_state_name(finished.state()) +
+                          "; replace only finished pilots");
+  }
+  ENTK_INFO("pilot.manager") << "resubmitting a replacement for "
+                             << finished.uid();
+  return submit_pilot(finished.description(), scheduler_policy);
+}
+
 Status PilotManager::cancel(const PilotPtr& pilot) {
   const PilotState state = pilot->state();
   if (is_final(state)) {

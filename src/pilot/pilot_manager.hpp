@@ -34,6 +34,14 @@ class PilotManager {
   /// Cancels a pending or active pilot.
   Status cancel(const PilotPtr& pilot);
 
+  /// Submits a fresh pilot with the same description as a finished
+  /// (typically failed) one — the replacement-pilot half of pilot
+  /// recovery. Units evicted from the dead pilot rebind to the
+  /// replacement via the UnitManager's late binding.
+  Result<PilotPtr> resubmit_like(const Pilot& finished,
+                                 const std::string& scheduler_policy =
+                                     "backfill");
+
   const std::vector<PilotPtr>& pilots() const { return pilots_; }
   ExecutionBackend& backend() { return backend_; }
 

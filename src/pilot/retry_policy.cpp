@@ -1,0 +1,43 @@
+#include "pilot/retry_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace entk::pilot {
+
+Status RetryPolicy::validate() const {
+  if (max_retries < 0) {
+    return make_error(Errc::kInvalidArgument, "max_retries must be >= 0");
+  }
+  if (backoff_base < 0.0 || backoff_max < 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "backoff delays must be >= 0");
+  }
+  if (backoff_multiplier < 1.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "backoff_multiplier must be >= 1");
+  }
+  if (jitter < 0.0 || jitter >= 1.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "jitter must be in [0, 1)");
+  }
+  if (execution_timeout < 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "execution_timeout must be >= 0");
+  }
+  return Status::ok();
+}
+
+Duration RetryPolicy::delay_for(Count attempt, double jitter_draw) const {
+  if (backoff_base <= 0.0 || attempt < 1) return 0.0;
+  Duration delay =
+      backoff_base * std::pow(backoff_multiplier,
+                              static_cast<double>(attempt - 1));
+  if (backoff_max > 0.0) delay = std::min(delay, backoff_max);
+  if (jitter > 0.0) {
+    delay *= 1.0 + jitter * (2.0 * jitter_draw - 1.0);
+  }
+  return std::max<Duration>(delay, 0.0);
+}
+
+}  // namespace entk::pilot

@@ -8,13 +8,16 @@
 namespace entk::pilot {
 
 SimAgent::SimAgent(sim::Engine& engine, sim::MachineProfile machine,
-                   Count cores, std::unique_ptr<Scheduler> scheduler)
+                   Count cores, std::unique_ptr<Scheduler> scheduler,
+                   sim::FaultModel* faults)
     : engine_(engine),
       machine_(std::move(machine)),
-      cores_(cores),
+      initial_cores_(cores),
       scheduler_(std::move(scheduler)),
+      faults_(faults),
+      capacity_(cores),
       free_(cores) {
-  ENTK_CHECK(cores_ >= 1, "agent needs at least one core");
+  ENTK_CHECK(capacity_ >= 1, "agent needs at least one core");
   ENTK_CHECK(scheduler_ != nullptr, "agent needs a scheduler");
 }
 
@@ -30,6 +33,13 @@ void SimAgent::start(std::function<void()> on_ready) {
                              std::max<Count>(machine_.spawner_concurrency,
                                              1)),
                          engine_.now());
+                     if (faults_ != nullptr) {
+                       const Count nodes =
+                           (initial_cores_ + machine_.cores_per_node - 1) /
+                           machine_.cores_per_node;
+                       faults_->watch_nodes(
+                           nodes, [this] { handle_node_failure(); });
+                     }
                      if (on_ready) on_ready();
                      schedule_loop();
                    });
@@ -43,13 +53,14 @@ Status SimAgent::submit(std::vector<ComputeUnitPtr> units) {
                             unit_state_name(unit->state()) +
                             "; expected pending_execution");
     }
-    if (unit->description().cores > cores_) {
+    if (unit->description().cores > capacity_) {
       ENTK_RETURN_IF_ERROR(unit->advance_state(
           UnitState::kFailed,
           make_error(Errc::kResourceExhausted,
                      "unit " + unit->uid() + " needs " +
                          std::to_string(unit->description().cores) +
-                         " cores; pilot has " + std::to_string(cores_))));
+                         " cores; pilot has " +
+                         std::to_string(capacity_))));
       continue;
     }
     unit->stamp_submitted();
@@ -65,6 +76,26 @@ void SimAgent::cancel_waiting() {
   for (const auto& unit : cancelled) {
     (void)unit->advance_state(UnitState::kCanceled);
   }
+}
+
+std::vector<ComputeUnitPtr> SimAgent::evict_inflight() {
+  std::vector<ComputeUnitPtr> evicted;
+  evicted.reserve(waiting_.size() + active_.size());
+  // Waiting units are already kPendingExecution.
+  for (auto& unit : waiting_) evicted.push_back(std::move(unit));
+  waiting_.clear();
+  // In-flight units rewind; the epoch bump voids their pending events.
+  std::vector<ComputeUnitPtr> inflight;
+  inflight.swap(active_);
+  for (auto& unit : inflight) {
+    free_ += unit->description().cores;
+    --running_;
+    if (unit->advance_state(UnitState::kPendingExecution).is_ok()) {
+      evicted.push_back(std::move(unit));
+    }
+  }
+  ENTK_CHECK(free_ <= capacity_, "core accounting out of sync");
+  return evicted;
 }
 
 void SimAgent::schedule_loop() {
@@ -90,7 +121,7 @@ void SimAgent::schedule_loop() {
   for (auto& unit : selected) {
     free_ -= unit->description().cores;
     ++running_;
-    occupying_.insert(unit.get());
+    active_.push_back(unit);
     launch(std::move(unit));
   }
 }
@@ -103,12 +134,13 @@ Status SimAgent::cancel_unit(const ComputeUnitPtr& unit) {
     return unit->advance_state(UnitState::kCanceled);
   }
   // Occupying cores: void its future events (their callbacks check the
-  // unit state) and reclaim the cores now.
-  if (occupying_.count(unit.get()) != 0) {
-    occupying_.erase(unit.get());
+  // unit state and epoch) and reclaim the cores now.
+  const auto held = std::find(active_.begin(), active_.end(), unit);
+  if (held != active_.end()) {
+    active_.erase(held);
     ENTK_RETURN_IF_ERROR(unit->advance_state(UnitState::kCanceled));
     free_ += unit->description().cores;
-    ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
+    ENTK_CHECK(free_ <= capacity_, "core accounting out of sync");
     --running_;
     schedule_loop();
     return Status::ok();
@@ -117,10 +149,72 @@ Status SimAgent::cancel_unit(const ComputeUnitPtr& unit) {
                     "unit " + unit->uid() + " is not active on this agent");
 }
 
+void SimAgent::release(const ComputeUnitPtr& unit) {
+  const auto it = std::find(active_.begin(), active_.end(), unit);
+  if (it == active_.end()) return;  // cancelled or evicted earlier
+  active_.erase(it);
+  free_ += unit->description().cores;
+  ENTK_CHECK(free_ <= capacity_, "core accounting out of sync");
+  --running_;
+  schedule_loop();
+}
+
+void SimAgent::handle_node_failure() {
+  // One node is gone: its cores leave the pool, taken first from the
+  // free ones, then by killing executing units (newest launch first —
+  // the lost node was the last to be filled).
+  const Count lost = std::min(capacity_, machine_.cores_per_node);
+  if (lost < 1) return;
+  capacity_ -= lost;
+  Count deficit = lost;
+  const Count from_free = std::min(free_, deficit);
+  free_ -= from_free;
+  deficit -= from_free;
+  // Settle all accounting before firing any state change: a victim's
+  // failure callback can re-enter this agent (immediate retry), and it
+  // must see a consistent pool — and never find a relaunched unit on
+  // the kill list.
+  std::vector<ComputeUnitPtr> victims;
+  while (deficit > 0 && !active_.empty()) {
+    ComputeUnitPtr victim = active_.back();
+    active_.pop_back();
+    --running_;
+    const Count cores = victim->description().cores;
+    if (cores >= deficit) {
+      free_ += cores - deficit;
+      deficit = 0;
+    } else {
+      deficit -= cores;
+    }
+    victims.push_back(std::move(victim));
+  }
+  ENTK_CHECK(free_ <= capacity_, "core accounting out of sync");
+  std::deque<ComputeUnitPtr> stranded;
+  if (capacity_ < 1) {
+    // The pilot lost its last node: nothing can ever run here again.
+    stranded.swap(waiting_);
+  }
+  for (const auto& victim : victims) {
+    (void)victim->advance_state(
+        UnitState::kFailed,
+        make_error(Errc::kExecutionFailed,
+                   "unit " + victim->uid() + " killed by node failure"));
+  }
+  for (const auto& unit : stranded) {
+    (void)unit->advance_state(
+        UnitState::kFailed,
+        make_error(Errc::kExecutionFailed,
+                   "unit " + unit->uid() +
+                       " lost: pilot has no nodes left"));
+  }
+  if (capacity_ >= 1) schedule_loop();
+}
+
 void SimAgent::launch(ComputeUnitPtr unit) {
   const auto& desc = unit->description();
   ENTK_CHECK(unit->advance_state(UnitState::kStagingInput).is_ok(),
              "launch on non-pending unit");
+  const Count epoch = unit->epoch();
 
   const TimePoint now = engine_.now();
   const Duration stage_in = staging_delay(machine_, desc.input_staging);
@@ -134,17 +228,64 @@ void SimAgent::launch(ComputeUnitPtr unit) {
   const TimePoint exec_start =
       spawn_start + machine_.unit_spawn_overhead +
       machine_.unit_launch_latency;
-  const TimePoint exec_stop = exec_start + desc.simulated_duration;
 
-  engine_.schedule_at(exec_start, [unit] {
-    if (unit->state() != UnitState::kStagingInput) return;
+  // Transient launch failure: the spawn itself fails — no execution,
+  // no output staging; a retry usually succeeds.
+  if (faults_ != nullptr && faults_->draw_launch_failure()) {
+    engine_.schedule_at(exec_start, [this, unit, epoch] {
+      if (unit->epoch() != epoch ||
+          unit->state() != UnitState::kStagingInput) {
+        return;
+      }
+      (void)unit->advance_state(
+          UnitState::kFailed,
+          make_error(Errc::kExecutionFailed,
+                     "unit " + unit->uid() +
+                         " launch failed (transient)"));
+      release(unit);
+    });
+    return;
+  }
+
+  const TimePoint exec_stop = exec_start + desc.simulated_duration;
+  // A hung unit enters execution but its completion event never comes;
+  // only the execution timeout below can reclaim it.
+  const bool hangs =
+      (desc.simulated_hang && unit->retries() == 0) ||
+      (faults_ != nullptr && faults_->draw_hang());
+
+  engine_.schedule_at(exec_start, [unit, epoch] {
+    if (unit->epoch() != epoch ||
+        unit->state() != UnitState::kStagingInput) {
+      return;
+    }
     ENTK_CHECK(unit->advance_state(UnitState::kExecuting).is_ok(),
                "unit lost before execution");
   });
-  engine_.schedule_at(exec_stop, [this, unit] {
-    if (unit->state() != UnitState::kExecuting) return;
-    finalize(unit);
-  });
+  if (!hangs) {
+    engine_.schedule_at(exec_stop, [this, unit, epoch] {
+      if (unit->epoch() != epoch ||
+          unit->state() != UnitState::kExecuting) {
+        return;
+      }
+      finalize(unit);
+    });
+  }
+  if (desc.retry.execution_timeout > 0.0) {
+    engine_.schedule_at(
+        exec_start + desc.retry.execution_timeout, [this, unit, epoch] {
+          if (unit->epoch() != epoch ||
+              unit->state() != UnitState::kExecuting) {
+            return;
+          }
+          (void)unit->advance_state(
+              UnitState::kFailed,
+              make_error(Errc::kTimedOut,
+                         "unit " + unit->uid() +
+                             " exceeded its execution timeout"));
+          release(unit);
+        });
+  }
 }
 
 void SimAgent::finalize(const ComputeUnitPtr& unit) {
@@ -155,14 +296,6 @@ void SimAgent::finalize(const ComputeUnitPtr& unit) {
   const Duration stage_out =
       fail_now ? 0.0 : staging_delay(machine_, desc.output_staging);
 
-  auto release = [this, unit] {
-    if (occupying_.erase(unit.get()) == 0) return;  // cancelled earlier
-    free_ += unit->description().cores;
-    ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
-    --running_;
-    schedule_loop();
-  };
-
   if (fail_now) {
     ENTK_CHECK(unit->advance_state(
                        UnitState::kFailed,
@@ -171,16 +304,20 @@ void SimAgent::finalize(const ComputeUnitPtr& unit) {
                                       " failed (injected)"))
                    .is_ok(),
                "failing unit");
-    release();
+    release(unit);
     return;
   }
+  const Count epoch = unit->epoch();
   ENTK_CHECK(unit->advance_state(UnitState::kStagingOutput).is_ok(),
              "unit lost before output staging");
-  engine_.schedule(stage_out, [unit, release] {
-    if (unit->state() != UnitState::kStagingOutput) return;
+  engine_.schedule(stage_out, [this, unit, epoch] {
+    if (unit->epoch() != epoch ||
+        unit->state() != UnitState::kStagingOutput) {
+      return;
+    }
     ENTK_CHECK(unit->advance_state(UnitState::kDone).is_ok(),
                "unit lost before done");
-    release();
+    release(unit);
   });
 }
 

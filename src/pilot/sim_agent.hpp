@@ -6,14 +6,22 @@
 // Core accounting is exact: cores are reserved at selection and
 // released when the unit leaves the machine, so the scheduler can never
 // over-subscribe the pilot.
+//
+// When the machine profile carries an enabled FaultSpec the agent also
+// models faults: node failures shrink its capacity and kill the units
+// executing on the lost node, launches can fail transiently, and units
+// can hang (reclaimed only by their RetryPolicy execution timeout).
+// Every scheduled lifecycle event carries the unit's epoch so events
+// belonging to a dead attempt never act on a relaunched unit.
 #pragma once
 
 #include <deque>
 #include <memory>
-#include <unordered_set>
+#include <vector>
 
 #include "pilot/agent.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/machine.hpp"
 
 namespace entk::pilot {
@@ -21,36 +29,49 @@ namespace entk::pilot {
 class SimAgent final : public Agent {
  public:
   SimAgent(sim::Engine& engine, sim::MachineProfile machine, Count cores,
-           std::unique_ptr<Scheduler> scheduler);
+           std::unique_ptr<Scheduler> scheduler,
+           sim::FaultModel* faults = nullptr);
 
   void start(std::function<void()> on_ready) override;
   Status submit(std::vector<ComputeUnitPtr> units) override;
   void cancel_waiting() override;
   Status cancel_unit(const ComputeUnitPtr& unit) override;
+  std::vector<ComputeUnitPtr> evict_inflight() override;
 
-  Count total_cores() const override { return cores_; }
+  Count total_cores() const override { return capacity_; }
   Count free_cores() const override { return free_; }
   std::size_t waiting_units() const override { return waiting_.size(); }
   std::size_t running_units() const override { return running_; }
   Duration total_spawn_overhead() const override { return spawn_total_; }
 
+  /// Cores lost to node failures so far.
+  Count lost_cores() const { return initial_cores_ - capacity_; }
+
  private:
   void schedule_loop();
   void launch(ComputeUnitPtr unit);
   void finalize(const ComputeUnitPtr& unit);
+  /// Returns the unit's cores to the pool if it still occupies them.
+  void release(const ComputeUnitPtr& unit);
+  /// One node of this pilot died: shrink capacity and kill the units
+  /// that were executing on it.
+  void handle_node_failure();
 
   sim::Engine& engine_;
   const sim::MachineProfile machine_;
-  const Count cores_;
+  const Count initial_cores_;
   std::unique_ptr<Scheduler> scheduler_;
+  sim::FaultModel* faults_;
 
   bool start_requested_ = false;
   bool started_ = false;  ///< true once the bootstrap delay elapsed
+  Count capacity_;  ///< Current cores (shrinks on node failures).
   Count free_;
   std::deque<ComputeUnitPtr> waiting_;
   std::size_t running_ = 0;
-  /// Units currently holding cores (launch -> release window).
-  std::unordered_set<const ComputeUnit*> occupying_;
+  /// Units currently holding cores (launch -> release window), in
+  /// launch order — node failures kill from the back (newest first).
+  std::vector<ComputeUnitPtr> active_;
   /// Per-spawner-worker busy-until times: each launch occupies the
   /// earliest-free worker for unit_spawn_overhead (RP runs a small pool
   /// of spawner workers; launches queue when all are busy).

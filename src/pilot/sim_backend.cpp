@@ -9,6 +9,9 @@ SimBackend::SimBackend(sim::MachineProfile machine,
     : cluster_(machine), batch_(engine_, cluster_, batch_policy) {
   adaptor_ = std::make_unique<saga::SimBatchAdaptor>(engine_, batch_,
                                                      machine.name);
+  if (machine.fault.enabled()) {
+    faults_ = std::make_unique<sim::FaultModel>(engine_, machine.fault);
+  }
 }
 
 Result<std::unique_ptr<Agent>> SimBackend::make_agent(
@@ -16,7 +19,8 @@ Result<std::unique_ptr<Agent>> SimBackend::make_agent(
   auto scheduler = make_scheduler(scheduler_policy);
   if (!scheduler.ok()) return scheduler.status();
   return std::unique_ptr<Agent>(std::make_unique<SimAgent>(
-      engine_, cluster_.profile(), cores, scheduler.take()));
+      engine_, cluster_.profile(), cores, scheduler.take(),
+      faults_.get()));
 }
 
 Status SimBackend::drive_until(const std::function<bool()>& done,
@@ -24,15 +28,27 @@ Status SimBackend::drive_until(const std::function<bool()>& done,
   const TimePoint deadline =
       timeout == kTimeInfinity ? kTimeInfinity : engine_.now() + timeout;
   while (!done()) {
-    if (engine_.now() > deadline) {
+    const TimePoint next = engine_.next_event_time();
+    if (next == kTimeInfinity) {
+      // Drained queue: the condition can never become true.
+      if (deadline == kTimeInfinity) {
+        return make_error(Errc::kInternal,
+                          "simulation drained with the wait condition "
+                          "unmet (deadlock in the modelled system?)");
+      }
+      engine_.run_until(deadline);
       return make_error(Errc::kTimedOut,
                         "simulation passed the wait deadline");
     }
-    if (!engine_.step()) {
-      return make_error(Errc::kInternal,
-                        "simulation drained with the wait condition unmet "
-                        "(deadlock in the modelled system?)");
+    // Never step past the deadline: the next event may lie hours ahead
+    // of it (a hung unit, a long task), and a finite wait must expire
+    // at its deadline, not whenever the simulation next wakes up.
+    if (next > deadline) {
+      engine_.run_until(deadline);
+      return make_error(Errc::kTimedOut,
+                        "simulation passed the wait deadline");
     }
+    engine_.step();
   }
   return Status::ok();
 }

@@ -9,6 +9,7 @@
 #include "sim/batch.hpp"
 #include "sim/cluster.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
 
 namespace entk::pilot {
 
@@ -27,6 +28,9 @@ class SimBackend final : public ExecutionBackend {
       Count cores, const std::string& scheduler_policy) override;
   Status drive_until(const std::function<bool()>& done,
                      Duration timeout = kTimeInfinity) override;
+  void schedule_after(Duration delay, std::function<void()> fn) override {
+    engine_.schedule(delay, std::move(fn));
+  }
   void advance(Duration cost) override {
     // Re-entrant advancement (a pattern submitting from inside an
     // event callback) must not step the engine recursively; the cost
@@ -42,12 +46,15 @@ class SimBackend final : public ExecutionBackend {
   sim::Engine& engine() { return engine_; }
   sim::Cluster& cluster() { return cluster_; }
   sim::BatchQueue& batch() { return batch_; }
+  /// Non-null iff the machine profile's FaultSpec is enabled.
+  sim::FaultModel* faults() { return faults_.get(); }
 
  private:
   sim::Engine engine_;
   sim::Cluster cluster_;
   sim::BatchQueue batch_;
   std::unique_ptr<saga::SimBatchAdaptor> adaptor_;
+  std::unique_ptr<sim::FaultModel> faults_;
 };
 
 }  // namespace entk::pilot

@@ -41,6 +41,13 @@ bool is_final(UnitState state) {
 bool is_valid_transition(UnitState from, UnitState to) {
   if (is_final(from)) return false;
   if (to == UnitState::kFailed || to == UnitState::kCanceled) return true;
+  // Pilot-loss rewind: an in-flight unit whose pilot died is requeued
+  // for execution elsewhere without burning retry budget.
+  if (to == UnitState::kPendingExecution &&
+      (from == UnitState::kStagingInput || from == UnitState::kExecuting ||
+       from == UnitState::kStagingOutput)) {
+    return true;
+  }
   switch (from) {
     case UnitState::kNew:
       return to == UnitState::kPendingExecution;

@@ -34,8 +34,11 @@ const char* unit_state_name(UnitState state);
 bool is_final(PilotState state);
 bool is_final(UnitState state);
 
-/// Legal transitions of the unit state machine (forward-only pipeline
-/// with failure/cancel exits from every non-final state).
+/// Legal transitions of the unit state machine: a forward-only
+/// pipeline with failure/cancel exits from every non-final state, plus
+/// the pilot-loss rewind (kStagingInput / kExecuting / kStagingOutput
+/// -> kPendingExecution) used to requeue in-flight units of a failed
+/// pilot onto survivors.
 bool is_valid_transition(UnitState from, UnitState to);
 bool is_valid_transition(PilotState from, PilotState to);
 

@@ -15,9 +15,11 @@ void UnitManager::add_pilot(PilotPtr pilot) {
     MutexLock lock(mutex_);
     pilots_.push_back(pilot);
   }
-  // Flush held units the moment the pilot comes up.
-  pilot->on_state_change([this](Pilot&, PilotState state) {
+  // Flush held units the moment the pilot comes up; recover stranded
+  // units the moment it fails.
+  pilot->on_state_change([this](Pilot& changed, PilotState state) {
     if (state == PilotState::kActive) route_pending();
+    if (state == PilotState::kFailed) recover_from_pilot(changed);
   });
   if (pilot->state() == PilotState::kActive) route_pending();
 }
@@ -120,12 +122,13 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
   }
   if (state != UnitState::kFailed) return;
 
+  const RetryPolicy& policy = unit.description().retry;
   ComputeUnitPtr retry;
   {
     MutexLock lock(mutex_);
     const auto it = entries_.find(&unit);
     if (it == entries_.end()) return;  // not managed here
-    if (unit.retries() >= unit.description().max_retries) {
+    if (unit.retries() >= policy.max_retries) {
       it->second.settled = true;
       return;
     }
@@ -140,12 +143,60 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
     return;
   }
   unit.note_retry();
-  ENTK_INFO("pilot.umgr") << unit.uid() << " retry " << unit.retries()
-                          << "/" << unit.description().max_retries;
+  Duration delay;
   {
     MutexLock lock(mutex_);
-    unrouted_.push_back(std::move(retry));
+    ++total_retries_;
+    const double draw =
+        policy.jitter > 0.0 ? retry_rng_.uniform() : 0.5;
+    delay = policy.delay_for(unit.retries(), draw);
   }
+  ENTK_INFO("pilot.umgr") << unit.uid() << " retry " << unit.retries()
+                          << "/" << policy.max_retries
+                          << " (backoff " << delay << "s)";
+  if (delay <= 0.0) {
+    {
+      MutexLock lock(mutex_);
+      unrouted_.push_back(std::move(retry));
+    }
+    route_pending();
+    return;
+  }
+  // Exponential backoff: hold the unit until the delay elapses, then
+  // requeue it — unless something (cancellation, pilot recovery)
+  // already moved it on.
+  backend_.schedule_after(delay, [this, retry] {
+    {
+      MutexLock lock(mutex_);
+      const auto it = entries_.find(retry.get());
+      if (it == entries_.end() || it->second.settled) return;
+      if (retry->state() != UnitState::kPendingExecution) return;
+      unrouted_.push_back(retry);
+    }
+    route_pending();
+  });
+}
+
+void UnitManager::recover_from_pilot(Pilot& pilot) {
+  Agent* agent = pilot.agent();
+  if (agent == nullptr) return;
+  std::vector<ComputeUnitPtr> stranded = agent->evict_inflight();
+  if (stranded.empty()) return;
+  std::size_t requeued = 0;
+  {
+    MutexLock lock(mutex_);
+    for (auto& unit : stranded) {
+      const auto it = entries_.find(unit.get());
+      if (it == entries_.end() || it->second.settled) continue;
+      unrouted_.push_back(std::move(unit));
+      ++requeued;
+    }
+    recovered_units_ += requeued;
+  }
+  ENTK_INFO("pilot.umgr") << "pilot " << pilot.uid() << " failed; "
+                          << requeued << " unit(s) requeued";
+  // Surviving pilots pick the units up now; otherwise they wait for a
+  // replacement pilot (late binding).
   route_pending();
 }
 
@@ -212,6 +263,21 @@ std::size_t UnitManager::inflight_units() const {
     if (!entry.settled) ++count;
   }
   return count;
+}
+
+std::size_t UnitManager::total_retries() const {
+  MutexLock lock(mutex_);
+  return total_retries_;
+}
+
+std::size_t UnitManager::recovered_units() const {
+  MutexLock lock(mutex_);
+  return recovered_units_;
+}
+
+void UnitManager::seed_retry_jitter(std::uint64_t seed) {
+  MutexLock lock(mutex_);
+  retry_rng_ = Xoshiro256(seed);
 }
 
 }  // namespace entk::pilot

@@ -5,7 +5,12 @@
 // Units submitted before any pilot is active are held and flushed the
 // moment a pilot comes up — this is the late binding that lets an
 // application describe more work than the resources instantaneously
-// available.
+// available. The same late binding powers fault tolerance: a failed
+// unit with retry budget left is resubmitted after its RetryPolicy's
+// backoff delay, and when a pilot fails (walltime expiry, container
+// loss) its in-flight units are evicted, rewound to kPendingExecution
+// and requeued onto surviving — or later-arriving replacement —
+// pilots, without burning retry budget.
 #pragma once
 
 #include <deque>
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "common/rng.hpp"
 #include "pilot/backend.hpp"
 #include "pilot/pilot.hpp"
 
@@ -46,6 +52,14 @@ class UnitManager {
   std::size_t total_units() const ENTK_EXCLUDES(mutex_);
   /// Units not yet settled.
   std::size_t inflight_units() const ENTK_EXCLUDES(mutex_);
+  /// Retries performed so far (every resubmission after a failure).
+  std::size_t total_retries() const ENTK_EXCLUDES(mutex_);
+  /// Units requeued off failed pilots (pilot-loss recovery).
+  std::size_t recovered_units() const ENTK_EXCLUDES(mutex_);
+
+  /// Seeds the jitter stream retry backoff draws from (determinism
+  /// hook for tests; the default seed is fixed anyway).
+  void seed_retry_jitter(std::uint64_t seed) ENTK_EXCLUDES(mutex_);
 
   ExecutionBackend& backend() { return backend_; }
 
@@ -56,6 +70,8 @@ class UnitManager {
   void route_pending() ENTK_EXCLUDES(mutex_);
   void handle_state_change(ComputeUnit& unit, UnitState state)
       ENTK_EXCLUDES(mutex_);
+  /// Evicts and requeues the units stranded on a failed pilot.
+  void recover_from_pilot(Pilot& pilot) ENTK_EXCLUDES(mutex_);
 
   ExecutionBackend& backend_;
 
@@ -71,6 +87,9 @@ class UnitManager {
   std::unordered_map<const ComputeUnit*, Entry> entries_
       ENTK_GUARDED_BY(mutex_);
   std::size_t total_units_ ENTK_GUARDED_BY(mutex_) = 0;
+  std::size_t total_retries_ ENTK_GUARDED_BY(mutex_) = 0;
+  std::size_t recovered_units_ ENTK_GUARDED_BY(mutex_) = 0;
+  Xoshiro256 retry_rng_ ENTK_GUARDED_BY(mutex_){0x7e7c1ULL};
 };
 
 }  // namespace entk::pilot

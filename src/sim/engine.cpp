@@ -58,6 +58,13 @@ void Engine::run() {
   }
 }
 
+TimePoint Engine::next_event_time() {
+  while (!queue_.empty() && queue_.top()->cancelled) {
+    queue_.pop();
+  }
+  return queue_.empty() ? kTimeInfinity : queue_.top()->time;
+}
+
 void Engine::run_until(TimePoint horizon) {
   ENTK_CHECK(horizon >= clock_.now(), "horizon lies in the past");
   while (!queue_.empty()) {

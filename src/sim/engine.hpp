@@ -62,6 +62,11 @@ class Engine {
   /// `horizon` even if the queue drains earlier.
   void run_until(TimePoint horizon);
 
+  /// Firing time of the next pending event, or kTimeInfinity when the
+  /// queue is empty. Lets drivers honour deadlines that fall between
+  /// events (prunes cancelled queue heads as a side effect).
+  TimePoint next_event_time();
+
   std::size_t pending_events() const { return live_events_; }
   std::uint64_t dispatched_events() const { return dispatched_; }
 

@@ -1,0 +1,98 @@
+#include "sim/fault_model.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace entk::sim {
+
+Status FaultSpec::validate() const {
+  if (node_mtbf < 0.0) {
+    return make_error(Errc::kInvalidArgument, "node_mtbf must be >= 0");
+  }
+  if (max_node_failures < 0) {
+    return make_error(Errc::kInvalidArgument,
+                      "max_node_failures must be >= 0");
+  }
+  if (launch_failure_rate < 0.0 || launch_failure_rate > 1.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "launch_failure_rate must be in [0, 1]");
+  }
+  if (hang_rate < 0.0 || hang_rate > 1.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "hang_rate must be in [0, 1]");
+  }
+  return Status::ok();
+}
+
+FaultModel::FaultModel(Engine& engine, FaultSpec spec)
+    : engine_(engine),
+      spec_(spec),
+      fork_rng_(spec.seed),
+      launch_rng_(fork_rng_.split()),
+      hang_rng_(fork_rng_.split()) {
+  ENTK_CHECK(spec_.validate().is_ok(), "invalid fault spec");
+}
+
+void FaultModel::record(const std::string& what) {
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "t=%.6f ", engine_.now());
+  trace_.push_back(stamp + what);
+  ENTK_INFO("sim.faults") << trace_.back();
+}
+
+void FaultModel::watch_nodes(Count nodes,
+                             std::function<void()> on_node_failure) {
+  if (spec_.node_mtbf <= 0.0 || nodes < 1) return;
+  auto consumer = std::make_unique<Consumer>();
+  consumer->nodes_left = nodes;
+  consumer->rng = fork_rng_.split();
+  consumer->handler = std::move(on_node_failure);
+  consumers_.push_back(std::move(consumer));
+  arm(consumers_.size() - 1);
+}
+
+void FaultModel::arm(std::size_t consumer_index) {
+  Consumer& consumer = *consumers_[consumer_index];
+  if (consumer.nodes_left < 1) return;
+  if (spec_.max_node_failures > 0 &&
+      node_failures_ >= spec_.max_node_failures) {
+    return;
+  }
+  // With n healthy nodes each failing at rate 1/MTBF, the time to the
+  // next failure among them is exponential with mean MTBF / n.
+  const Duration until_failure = consumer.rng.exponential(
+      spec_.node_mtbf / static_cast<double>(consumer.nodes_left));
+  engine_.schedule(until_failure, [this, consumer_index] {
+    Consumer& hit = *consumers_[consumer_index];
+    if (hit.nodes_left < 1) return;
+    if (spec_.max_node_failures > 0 &&
+        node_failures_ >= spec_.max_node_failures) {
+      return;
+    }
+    --hit.nodes_left;
+    ++node_failures_;
+    record("node_failure consumer=" + std::to_string(consumer_index) +
+           " nodes_left=" + std::to_string(hit.nodes_left));
+    if (hit.handler) hit.handler();
+    arm(consumer_index);
+  });
+}
+
+bool FaultModel::draw_launch_failure() {
+  if (spec_.launch_failure_rate <= 0.0) return false;
+  if (launch_rng_.uniform() >= spec_.launch_failure_rate) return false;
+  ++launch_failures_;
+  record("launch_failure");
+  return true;
+}
+
+bool FaultModel::draw_hang() {
+  if (spec_.hang_rate <= 0.0) return false;
+  if (hang_rng_.uniform() >= spec_.hang_rate) return false;
+  ++hangs_;
+  record("hang");
+  return true;
+}
+
+}  // namespace entk::sim

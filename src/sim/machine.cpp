@@ -30,6 +30,7 @@ Status MachineProfile::validate() const {
     return make_error(Errc::kInvalidArgument,
                       "machine '" + name + "' staging bandwidth must be > 0");
   }
+  ENTK_RETURN_IF_ERROR(fault.validate());
   return Status::ok();
 }
 

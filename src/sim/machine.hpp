@@ -16,6 +16,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "sim/fault_model.hpp"
 
 namespace entk::sim {
 
@@ -49,6 +50,9 @@ struct MachineProfile {
   // Data staging model: delay = latency + bytes / bandwidth.
   Duration staging_latency = 0.0;
   double staging_bandwidth_mb_per_s = 100.0;
+
+  /// Fault injection (disabled by default: the machine never fails).
+  FaultSpec fault;
 
   Count total_cores() const { return nodes * cores_per_node; }
 

@@ -135,7 +135,7 @@ TEST_F(CorePatternTest, PipelineRetriesFailedStageAndContinues) {
   pattern.set_stage(1, [](const StageContext&) {
     auto spec = sleep_spec(1.0);
     spec.inject_failure = true;
-    spec.max_retries = 1;
+    spec.retry.max_retries = 1;
     return spec;
   });
   pattern.set_stage(2, [](const StageContext&) { return sleep_spec(1.0); });

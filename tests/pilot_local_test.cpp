@@ -187,7 +187,7 @@ TEST_F(LocalBackendTest, FailingPayloadRetriesThenSucceeds) {
         }
         return Status::ok();
       });
-  description.max_retries = 2;
+  description.retry.max_retries = 2;
   auto submitted = units.submit_units({std::move(description)});
   ASSERT_TRUE(submitted.ok());
   ASSERT_TRUE(units.wait_units(submitted.value(), 30.0).is_ok());

@@ -142,7 +142,7 @@ TEST_F(SimPilotTest, InjectedFailureWithRetrySucceedsSecondTime) {
   manager.add_pilot(pilot);
   auto description = simple_unit(2.0);
   description.simulated_fail = true;
-  description.max_retries = 1;
+  description.retry.max_retries = 1;
   auto units = manager.submit_units({std::move(description)});
   ASSERT_TRUE(units.ok());
   ASSERT_TRUE(manager.wait_units(units.value()).is_ok());

@@ -116,9 +116,110 @@ TEST(TaskFromSection, BuildsSpecWithSubstitution) {
   ASSERT_TRUE(task.ok());
   EXPECT_EQ(task.value().kernel, "md.simulate");
   EXPECT_EQ(task.value().args.get_string("out").value(), "traj_5.dat");
-  EXPECT_EQ(task.value().max_retries, 2);
+  EXPECT_EQ(task.value().retry.max_retries, 2);
   EXPECT_FALSE(task.value().args.contains("kernel"));
   EXPECT_FALSE(task.value().args.contains("max_retries"));
+}
+
+TEST(TaskFromSection, FaultToleranceKeys) {
+  Config section;
+  section.set("kernel", "misc.sleep");
+  section.set("duration", 5.0);
+  section.set("max_retries", 3);
+  section.set("retry_backoff", 4.0);
+  section.set("retry_backoff_multiplier", 3.0);
+  section.set("retry_backoff_max", 60.0);
+  section.set("retry_jitter", 0.25);
+  section.set("execution_timeout", 120.0);
+  section.set("inject_failure", true);
+  section.set("inject_hang", false);
+  auto task = task_from_section(section, StageContext{});
+  ASSERT_TRUE(task.ok()) << task.status().to_string();
+  EXPECT_EQ(task.value().retry.max_retries, 3);
+  EXPECT_DOUBLE_EQ(task.value().retry.backoff_base, 4.0);
+  EXPECT_DOUBLE_EQ(task.value().retry.backoff_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(task.value().retry.backoff_max, 60.0);
+  EXPECT_DOUBLE_EQ(task.value().retry.jitter, 0.25);
+  EXPECT_DOUBLE_EQ(task.value().retry.execution_timeout, 120.0);
+  EXPECT_TRUE(task.value().inject_failure);
+  EXPECT_FALSE(task.value().inject_hang);
+  // Policy keys configure the task, not the kernel.
+  EXPECT_FALSE(task.value().args.contains("max_retries"));
+  EXPECT_FALSE(task.value().args.contains("retry_backoff"));
+  EXPECT_FALSE(task.value().args.contains("inject_failure"));
+  EXPECT_TRUE(task.value().args.contains("duration"));
+
+  // An invalid retry policy is rejected when the task is built.
+  section.set("retry_jitter", 1.0);
+  EXPECT_EQ(task_from_section(section, StageContext{}).status().code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(WorkloadParse, FailurePolicyKeys) {
+  auto spec = parse_workload(
+      "pattern = bag\ntasks = 4\nfailure_policy = quorum\nquorum = 0.75\n"
+      "[task]\nkernel = misc.sleep\nmax_retries = 2\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().failure.policy, FailurePolicy::kQuorum);
+  EXPECT_DOUBLE_EQ(spec.value().failure.quorum, 0.75);
+
+  EXPECT_EQ(parse_workload("pattern = bag\ntasks = 1\n"
+                           "failure_policy = explode\n"
+                           "[task]\nkernel = misc.sleep\n")
+                .status()
+                .code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(parse_workload("pattern = bag\ntasks = 1\n"
+                           "failure_policy = quorum\nquorum = 1.5\n"
+                           "[task]\nkernel = misc.sleep\n")
+                .status()
+                .code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(WorkloadSerialize, RoundTripPreservesEveryField) {
+  auto spec = parse_workload(
+      "backend = sim\nmachine = localhost\ncores = 16\nruntime = 1800\n"
+      "scheduler = backfill\npattern = sal\niterations = 2\n"
+      "simulations = 4\nanalyses = 1\n"
+      "failure_policy = quorum\nquorum = 0.5\n"
+      "[simulation]\nkernel = misc.sleep\nduration = 2.5\n"
+      "max_retries = 3\nretry_backoff = 1.5\nretry_jitter = 0.125\n"
+      "inject_failure = true\n"
+      "[analysis]\nkernel = misc.sleep\nduration = 1.0\n"
+      "execution_timeout = 30.5\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+
+  const std::string text = serialize_workload(spec.value());
+  auto reparsed = parse_workload(text);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().to_string() << "\nserialized:\n" << text;
+
+  const WorkloadSpec& a = spec.value();
+  const WorkloadSpec& b = reparsed.value();
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.cores, b.cores);
+  EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.pattern, b.pattern);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.simulations, b.simulations);
+  EXPECT_EQ(a.analyses, b.analyses);
+  EXPECT_EQ(a.failure.policy, b.failure.policy);
+  EXPECT_DOUBLE_EQ(a.failure.quorum, b.failure.quorum);
+  ASSERT_EQ(b.sections.size(), a.sections.size());
+  for (const auto& [name, section] : a.sections) {
+    ASSERT_TRUE(b.sections.count(name)) << name;
+    const Config& other = b.sections.at(name);
+    for (const auto& key : section.keys()) {
+      EXPECT_EQ(other.get_string(key).value(),
+                section.get_string(key).value())
+          << name << "." << key;
+    }
+  }
+  // Serializing the reparse yields the identical text (fixed point).
+  EXPECT_EQ(serialize_workload(reparsed.value()), text);
 }
 
 TEST(BuildPattern, EveryPatternKind) {
