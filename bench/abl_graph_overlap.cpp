@@ -1,0 +1,142 @@
+// Ablation G (ours): graph-driven pipeline overlap versus a
+// bulk-synchronous barrier baseline.
+//
+// An ensemble of pipelines has no semantic barrier between stages:
+// pipeline p's stage s+1 may start the moment ITS stage s finishes.
+// The TaskGraph compiler expresses exactly that (per-pipeline
+// dependency chains), and the event-driven executor exploits it. A
+// bulk-synchronous driver — "run stage s for everyone, wait, run
+// stage s+1" — inserts a barrier the pattern never asked for, so
+// every stage pays for the slowest pipeline.
+//
+// We quantify the gap on the simulated Stampede: 64 pipelines x 4
+// stages whose per-task runtimes vary (deterministically) by up to
+// +-50%, executed (a) as the EnsembleOfPipelines graph and (b) as an
+// artificial barrier-compiled variant of the same workload.
+//
+// Expected: identical TTC at zero spread (with full-width cores the
+// schedules coincide); the overlap advantage grows with runtime
+// heterogeneity because the barrier baseline sums per-stage maxima
+// while the graph executor's makespan tracks the slowest *chain*.
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace entk;
+
+constexpr Count kPipelines = 64;
+constexpr Count kStages = 4;
+
+/// Deterministic heterogeneous duration for one (pipeline, stage) task.
+double task_duration(Count pipeline, Count stage, double spread) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(pipeline) * 7919 +
+                 static_cast<std::uint64_t>(stage) * 104729 + 11);
+  return 100.0 * (1.0 + spread * (2.0 * rng.uniform() - 1.0));
+}
+
+core::StageFn heterogeneous_stage(double spread) {
+  return [spread](const core::StageContext& context) {
+    core::TaskSpec spec;
+    spec.kernel = "misc.sleep";
+    spec.args.set("duration",
+                  task_duration(context.instance, context.stage, spread));
+    return spec;
+  };
+}
+
+/// The barrier baseline: the same tasks as EnsembleOfPipelines, but
+/// compiled bulk-synchronously — each stage is a stage group and the
+/// next stage is gated on its verdict, like a pre-dataflow run loop
+/// would drive it.
+class BarrierPipelines final : public core::ExecutionPattern {
+ public:
+  BarrierPipelines(Count n_pipelines, Count n_stages, core::StageFn fn)
+      : n_pipelines_(n_pipelines),
+        n_stages_(n_stages),
+        stage_fn_(std::move(fn)) {}
+
+  std::string name() const override { return "barrier_pipelines"; }
+
+  Status validate() const override {
+    if (n_pipelines_ < 1 || n_stages_ < 1 || !stage_fn_) {
+      return make_error(Errc::kInvalidArgument,
+                        "barrier baseline misconfigured");
+    }
+    return Status::ok();
+  }
+
+  Status compile(core::TaskGraph& graph) override {
+    bool gated = false;
+    core::GroupId previous = 0;
+    for (Count s = 1; s <= n_stages_; ++s) {
+      const core::GroupId group = graph.add_stage_group(name(), failure_rules_);
+      for (Count p = 0; p < n_pipelines_; ++p) {
+        core::StageContext context;
+        context.stage = s;
+        context.instance = p;
+        context.instances = n_pipelines_;
+        auto fn = stage_fn_;
+        const core::NodeId node = graph.add_node(
+            "p" + std::to_string(p) + ".s" + std::to_string(s),
+            [fn, context] { return fn(context); }, context);
+        if (gated) graph.gate_on(node, previous);
+        graph.add_member(group, node);
+      }
+      previous = group;
+      gated = true;
+    }
+    return Status::ok();
+  }
+
+ private:
+  Count n_pipelines_;
+  Count n_stages_;
+  core::StageFn stage_fn_;
+};
+
+double run_overlapped(double spread) {
+  core::EnsembleOfPipelines pattern(kPipelines, kStages);
+  for (Count s = 1; s <= kStages; ++s) {
+    pattern.set_stage(s, heterogeneous_stage(spread));
+  }
+  auto result = bench::run_on_simulated_machine(sim::stampede_profile(),
+                                                kPipelines, pattern);
+  bench::require_ok(result, "abl_graph_overlap/graph");
+  return result.overheads.ttc;
+}
+
+double run_barriered(double spread) {
+  BarrierPipelines pattern(kPipelines, kStages, heterogeneous_stage(spread));
+  auto result = bench::run_on_simulated_machine(sim::stampede_profile(),
+                                                kPipelines, pattern);
+  bench::require_ok(result, "abl_graph_overlap/barrier");
+  return result.overheads.ttc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace entk;
+  std::cout << "=== Ablation G: pipeline overlap vs barrier baseline, "
+            << kPipelines << " pipelines x " << kStages
+            << " stages (simulated Stampede) ===\n\n";
+  Table table({"runtime spread", "barrier TTC [s]", "graph TTC [s]",
+               "overlap advantage [%]"});
+  for (const double spread : {0.0, 0.25, 0.5}) {
+    const double barrier_ttc = run_barriered(spread);
+    const double graph_ttc = run_overlapped(spread);
+    table.add_row(
+        {"+-" + format_double(100.0 * spread, 0) + " %",
+         format_double(barrier_ttc, 1), format_double(graph_ttc, 1),
+         format_double(100.0 * (barrier_ttc - graph_ttc) / barrier_ttc, 1)});
+  }
+  std::cout << table.to_string()
+            << "\nexpected: the modes tie at zero spread; with "
+               "heterogeneous runtimes the barrier baseline pays the "
+               "slowest pipeline at every stage boundary while the "
+               "graph executor lets fast pipelines run ahead, so the "
+               "overlap advantage grows with the spread.\n";
+  return 0;
+}

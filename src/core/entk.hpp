@@ -21,12 +21,14 @@
 #pragma once
 
 #include "core/execution_plugin.hpp"
+#include "core/graph_executor.hpp"
 #include "core/overheads.hpp"
 #include "core/pattern.hpp"
 #include "core/profile_export.hpp"
 #include "core/resource_handle.hpp"
 #include "core/strategy.hpp"
 #include "core/task.hpp"
+#include "core/task_graph.hpp"
 #include "core/utilization.hpp"
 #include "core/workload_file.hpp"
 #include "kernels/registry.hpp"

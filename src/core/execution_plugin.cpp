@@ -92,6 +92,25 @@ Status ExecutionPlugin::drive_until(const std::function<bool()>& done) {
   return backend_.drive_until(done);
 }
 
+bool ExecutionPlugin::subscribe_settled(SettledFn fn) {
+  const std::size_t token =
+      unit_manager_.add_settled_observer(std::move(fn));
+  MutexLock lock(mutex_);
+  ENTK_CHECK(!settled_token_.has_value(),
+             "execution plugin already has a settled subscription");
+  settled_token_ = token;
+  return true;
+}
+
+void ExecutionPlugin::unsubscribe_settled() {
+  std::optional<std::size_t> token;
+  {
+    MutexLock lock(mutex_);
+    token.swap(settled_token_);
+  }
+  if (token.has_value()) unit_manager_.remove_settled_observer(*token);
+}
+
 Duration ExecutionPlugin::pattern_overhead() const {
   MutexLock lock(mutex_);
   return pattern_overhead_;

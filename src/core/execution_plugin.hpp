@@ -7,6 +7,8 @@
 // units to the pilot runtime.
 #pragma once
 
+#include <optional>
+
 #include "common/mutex.hpp"
 #include "core/pattern.hpp"
 #include "kernels/registry.hpp"
@@ -35,6 +37,10 @@ class ExecutionPlugin final : public PatternExecutor {
   Result<std::vector<pilot::ComputeUnitPtr>> submit(
       const std::vector<TaskSpec>& specs) override;
   Status drive_until(const std::function<bool()>& done) override;
+  /// Forwards unit-settled events from the unit manager to the graph
+  /// executor (at most one subscription at a time).
+  bool subscribe_settled(SettledFn fn) override;
+  void unsubscribe_settled() override;
 
   /// Translates a single spec without submitting (exposed for tests
   /// and for tools that inspect the binding).
@@ -55,6 +61,7 @@ class ExecutionPlugin final : public PatternExecutor {
   mutable Mutex mutex_;
   Duration pattern_overhead_ ENTK_GUARDED_BY(mutex_) = 0.0;
   std::vector<pilot::ComputeUnitPtr> all_units_ ENTK_GUARDED_BY(mutex_);
+  std::optional<std::size_t> settled_token_ ENTK_GUARDED_BY(mutex_);
 };
 
 }  // namespace entk::core

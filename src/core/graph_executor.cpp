@@ -1,0 +1,533 @@
+#include "core/graph_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/log.hpp"
+#include "pilot/states.hpp"
+
+namespace entk::core {
+
+namespace {
+
+/// A unit is settled when it is final and no retry is pending.
+bool unit_settled(const pilot::ComputeUnit& unit) {
+  const pilot::UnitState state = unit.state();
+  if (!pilot::is_final(state)) return false;
+  if (state == pilot::UnitState::kFailed &&
+      unit.retries() < unit.description().retry.max_retries) {
+    return false;  // the unit manager is about to resubmit it
+  }
+  return true;
+}
+
+bool is_settled_status(NodeStatus status) {
+  return status == NodeStatus::kDone || status == NodeStatus::kFailed ||
+         status == NodeStatus::kCanceled || status == NodeStatus::kSkipped;
+}
+
+}  // namespace
+
+void watch_unit(const pilot::ComputeUnitPtr& unit,
+                std::function<void(pilot::ComputeUnit&,
+                                   pilot::UnitState)> handler) {
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  auto shared_handler = std::make_shared<
+      std::function<void(pilot::ComputeUnit&, pilot::UnitState)>>(
+      std::move(handler));
+  unit->on_state_change(
+      [fired, shared_handler](pilot::ComputeUnit& changed,
+                              pilot::UnitState) {
+        if (!unit_settled(changed)) return;
+        if (fired->exchange(true)) return;
+        (*shared_handler)(changed, changed.state());
+      });
+  // The unit may already be final (fast local execution).
+  if (unit_settled(*unit) && !fired->exchange(true)) {
+    (*shared_handler)(*unit, unit->state());
+  }
+}
+
+GraphExecutor::GraphExecutor(TaskGraph& graph, PatternExecutor& executor)
+    : graph_(graph), executor_(executor) {}
+
+Status GraphExecutor::run() {
+  ENTK_RETURN_IF_ERROR(graph_.validate());
+  {
+    MutexLock lock(mutex_);
+    sync_graph_locked();
+  }
+  use_events_ = executor_.subscribe_settled(
+      [this](const pilot::ComputeUnitPtr& unit, pilot::UnitState) {
+        on_unit_settled(unit);
+      });
+  pump();
+  // The one wait of the whole pattern layer: a finished flag flipped
+  // by the event pump, not a progress predicate over units.
+  const Status driven = executor_.drive_until([this] {
+    MutexLock lock(mutex_);
+    return finished_;
+  });
+  if (use_events_) executor_.unsubscribe_settled();
+  ENTK_RETURN_IF_ERROR(driven);
+  MutexLock lock(mutex_);
+  return outcome_;
+}
+
+NodeStatus GraphExecutor::node_status(NodeId id) const {
+  MutexLock lock(mutex_);
+  return id < runs_.size() ? runs_[id].status : NodeStatus::kPending;
+}
+
+std::size_t GraphExecutor::nodes_submitted() const {
+  MutexLock lock(mutex_);
+  return submitted_count_;
+}
+
+void GraphExecutor::on_unit_settled(const pilot::ComputeUnitPtr& unit) {
+  {
+    MutexLock lock(mutex_);
+    const auto it = node_of_.find(unit.get());
+    if (it == node_of_.end()) return;  // not one of this graph's units
+    events_.push_back({it->second, unit->state()});
+  }
+  pump();
+}
+
+void GraphExecutor::pump() {
+  {
+    MutexLock lock(mutex_);
+    if (pumping_ || finished_) return;
+    pumping_ = true;
+  }
+  for (;;) {
+    std::vector<NodeId> frontier;
+    {
+      MutexLock lock(mutex_);
+      if (finished_) {
+        pumping_ = false;
+        return;
+      }
+      sync_graph_locked();
+      apply_events_locked();
+      decide_stage_groups_locked();
+      propagate_skips_locked();
+      frontier = frontier_locked();
+      if (frontier.empty() && inflight_ > 0) {
+        // Nothing unblocked; settlements will pump again. The queue is
+        // empty here (drained above) and enqueuing takes this lock, so
+        // no event can slip past the flag.
+        pumping_ = false;
+        return;
+      }
+    }
+    if (!frontier.empty()) {
+      submit_frontier(frontier);
+      continue;
+    }
+    // Quiesced: nothing ready, nothing in flight.
+    if (!handle_quiesce()) {
+      MutexLock lock(mutex_);
+      pumping_ = false;
+      return;
+    }
+  }
+}
+
+void GraphExecutor::sync_graph_locked() {
+  runs_.resize(graph_.node_count());
+  group_runs_.resize(graph_.group_count());
+  if (chain_sets_decided_.size() < graph_.chain_set_count()) {
+    chain_sets_decided_.resize(graph_.chain_set_count(), false);
+  }
+}
+
+void GraphExecutor::apply_events_locked() {
+  while (!events_.empty()) {
+    const Event event = events_.front();
+    events_.pop_front();
+    NodeRun& run = runs_[event.node];
+    if (run.status != NodeStatus::kSubmitted) continue;  // duplicate
+    --inflight_;
+    switch (event.state) {
+      case pilot::UnitState::kDone:
+        run.status = NodeStatus::kDone;
+        break;
+      case pilot::UnitState::kCanceled:
+        run.status = NodeStatus::kCanceled;
+        run.error = make_error(Errc::kCancelled,
+                               "unit " + run.unit->uid() +
+                                   " was cancelled");
+        errors_.emplace_back(event.node, run.error);
+        break;
+      default:
+        run.status = NodeStatus::kFailed;
+        run.error = run.unit->final_status();
+        errors_.emplace_back(event.node, run.error);
+        break;
+    }
+    for (const GroupId gid : graph_.node(event.node).groups) {
+      ++group_runs_[gid].settled;
+      if (run.status == NodeStatus::kDone) ++group_runs_[gid].done;
+    }
+  }
+}
+
+Status GraphExecutor::stage_verdict_locked(GroupId gid) const {
+  const TaskGroup& group = graph_.group(gid);
+  // First failure among members, in member order (the historical
+  // first_failure scan over a stage's units).
+  Status failure;
+  for (const NodeId member : group.members) {
+    const NodeRun& run = runs_[member];
+    if (run.status == NodeStatus::kFailed ||
+        run.status == NodeStatus::kCanceled ||
+        run.status == NodeStatus::kSkipped) {
+      failure = run.error;
+      break;
+    }
+  }
+  if (failure.is_ok()) return Status::ok();
+  switch (group.rules.policy) {
+    case FailurePolicy::kFailFast:
+      return failure;
+    case FailurePolicy::kContinueOnFailure:
+      ENTK_WARN("core.graph")
+          << group.label << ": continuing past failure: "
+          << failure.to_string();
+      return Status::ok();
+    case FailurePolicy::kQuorum: {
+      std::size_t done = 0;
+      for (const NodeId member : group.members) {
+        if (runs_[member].status == NodeStatus::kDone) ++done;
+      }
+      const double fraction =
+          group.members.empty()
+              ? 1.0
+              : static_cast<double>(done) /
+                    static_cast<double>(group.members.size());
+      if (fraction >= group.rules.quorum) {
+        ENTK_WARN("core.graph")
+            << group.label << ": quorum met (" << done << "/"
+            << group.members.size()
+            << " done); continuing past failure: " << failure.to_string();
+        return Status::ok();
+      }
+      return make_error(Errc::kExecutionFailed,
+                        group.label + ": only " + std::to_string(done) +
+                            "/" + std::to_string(group.members.size()) +
+                            " units finished, below the quorum; first "
+                            "failure: " +
+                            failure.message());
+    }
+  }
+  return failure;
+}
+
+void GraphExecutor::decide_stage_groups_locked() {
+  if (aborted_) return;
+  for (GroupId gid = 0; gid < group_runs_.size(); ++gid) {
+    const TaskGroup& group = graph_.group(gid);
+    if (group.kind != GroupKind::kStage) continue;
+    GroupRun& run = group_runs_[gid];
+    if (run.decided || run.settled < group.members.size()) continue;
+    run.decided = true;
+    const Status verdict = stage_verdict_locked(gid);
+    if (verdict.is_ok()) {
+      run.passed = true;
+      continue;
+    }
+    // A failed barrier verdict aborts the whole graph: unsubmitted
+    // nodes are skipped, in-flight units are left to settle.
+    aborted_ = true;
+    abort_status_ = verdict;
+    return;
+  }
+}
+
+void GraphExecutor::propagate_skips_locked() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id = 0; id < runs_.size(); ++id) {
+      NodeRun& run = runs_[id];
+      if (run.status != NodeStatus::kPending) continue;
+      Status reason;
+      if (aborted_) {
+        reason = make_error(Errc::kCancelled,
+                            "node '" + graph_.node(id).label +
+                                "' skipped: pattern aborted");
+      } else {
+        for (const NodeId dep : graph_.node(id).deps) {
+          const NodeStatus upstream = runs_[dep].status;
+          if (upstream == NodeStatus::kFailed ||
+              upstream == NodeStatus::kCanceled ||
+              upstream == NodeStatus::kSkipped) {
+            reason = make_error(Errc::kCancelled,
+                                "node '" + graph_.node(id).label +
+                                    "' skipped: upstream '" +
+                                    graph_.node(dep).label +
+                                    "' did not finish");
+            break;
+          }
+        }
+      }
+      if (reason.is_ok()) continue;
+      run.status = NodeStatus::kSkipped;
+      run.error = std::move(reason);
+      for (const GroupId gid : graph_.node(id).groups) {
+        ++group_runs_[gid].settled;
+      }
+      changed = true;
+    }
+  }
+}
+
+std::vector<NodeId> GraphExecutor::frontier_locked() const {
+  std::vector<NodeId> ready;
+  if (aborted_ || finished_) return ready;
+  for (NodeId id = 0; id < runs_.size(); ++id) {
+    if (runs_[id].status != NodeStatus::kPending) continue;
+    const TaskNode& node = graph_.node(id);
+    bool blocked = false;
+    for (const NodeId dep : node.deps) {
+      if (runs_[dep].status != NodeStatus::kDone) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    for (const GroupId gate : node.gates) {
+      const GroupRun& gate_run = group_runs_[gate];
+      if (!gate_run.decided || !gate_run.passed) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    ready.push_back(id);  // ids ascend: deterministic submission order
+  }
+  return ready;
+}
+
+void GraphExecutor::submit_frontier(const std::vector<NodeId>& frontier) {
+  // Specs are produced here — at submission time, outside any lock —
+  // so stateful user callbacks observe current application state.
+  std::vector<TaskSpec> specs;
+  specs.reserve(frontier.size());
+  for (const NodeId id : frontier) {
+    specs.push_back(graph_.node(id).make_spec());
+  }
+  auto submitted = executor_.submit(specs);
+  if (submitted.ok()) {
+    const auto units = submitted.take();
+    ENTK_CHECK(units.size() == frontier.size(),
+               "executor returned a mismatched unit batch");
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      adopt_unit(frontier[i], units[i]);
+    }
+    return;
+  }
+  if (frontier.size() == 1) {
+    fail_submission(frontier.front(), submitted.status());
+    return;
+  }
+  // The batch failed as a whole; fall back to per-node submission so
+  // one bad task only poisons its own failure scope (a failing
+  // pipeline must not take its siblings down with it).
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    {
+      MutexLock lock(mutex_);
+      if (aborted_) return;  // the abort sweep skips the rest
+    }
+    auto one = executor_.submit({specs[i]});
+    if (one.ok()) {
+      adopt_unit(frontier[i], one.take().front());
+    } else {
+      fail_submission(frontier[i], one.status());
+    }
+  }
+}
+
+void GraphExecutor::adopt_unit(NodeId id,
+                               const pilot::ComputeUnitPtr& unit) {
+  {
+    MutexLock lock(mutex_);
+    NodeRun& run = runs_[id];
+    run.status = NodeStatus::kSubmitted;
+    run.unit = unit;
+    ++inflight_;
+    ++submitted_count_;
+    node_of_[unit.get()] = id;
+  }
+  const UnitSink& sink = graph_.node(id).sink;
+  if (sink) sink(unit);
+  if (!use_events_) {
+    watch_unit(unit, [this, unit](pilot::ComputeUnit&,
+                                  pilot::UnitState) {
+      on_unit_settled(unit);
+    });
+  } else if (unit_settled(*unit)) {
+    // The unit settled synchronously during submission (an oversized
+    // unit fails before routing): the settled observer fired before
+    // this node was registered, so poll once. Duplicate events are
+    // deduplicated against the node status.
+    on_unit_settled(unit);
+  }
+}
+
+void GraphExecutor::fail_submission(NodeId id, const Status& error) {
+  MutexLock lock(mutex_);
+  NodeRun& run = runs_[id];
+  run.status = NodeStatus::kFailed;
+  run.error = error;
+  errors_.emplace_back(id, error);
+  bool stage_scoped = false;
+  for (const GroupId gid : graph_.node(id).groups) {
+    ++group_runs_[gid].settled;
+    if (graph_.group(gid).kind == GroupKind::kStage) stage_scoped = true;
+  }
+  // A task that cannot even be created inside a barrier stage fails
+  // the pattern outright (the historical submit-error semantics);
+  // inside a chain it only ends that chain.
+  if (stage_scoped && !aborted_) {
+    aborted_ = true;
+    abort_status_ = error;
+  }
+}
+
+Status GraphExecutor::decide_chain_sets() {
+  MutexLock lock(mutex_);
+  for (std::size_t index = 0; index < graph_.chain_set_count(); ++index) {
+    if (chain_sets_decided_[index]) continue;
+    chain_sets_decided_[index] = true;
+    const ChainSet& set = graph_.chain_set(index);
+    // Errors recorded against this set's chains, in settlement order.
+    std::vector<const Status*> set_errors;
+    for (const auto& [node, error] : errors_) {
+      const auto& memberships = graph_.node(node).groups;
+      const bool in_set =
+          std::any_of(set.chains.begin(), set.chains.end(),
+                      [&memberships](GroupId chain) {
+                        return std::find(memberships.begin(),
+                                         memberships.end(),
+                                         chain) != memberships.end();
+                      });
+      if (in_set) set_errors.push_back(&error);
+    }
+    if (set_errors.empty()) continue;
+    const Status& first = *set_errors.front();
+    switch (set.rules.policy) {
+      case FailurePolicy::kFailFast:
+        return first;
+      case FailurePolicy::kContinueOnFailure:
+        ENTK_WARN("core.graph")
+            << set.label << ": " << set_errors.size() << " "
+            << set.member_noun
+            << " chain failure(s); continuing per policy";
+        break;
+      case FailurePolicy::kQuorum: {
+        // Plain loops, not std::all_of: thread-safety analysis treats
+        // a nested lambda as a separate function not holding mutex_.
+        std::size_t completed = 0;
+        for (const GroupId chain : set.chains) {
+          const TaskGroup& group = graph_.group(chain);
+          bool all_done = true;
+          for (const NodeId member : group.members) {
+            if (runs_[member].status != NodeStatus::kDone) {
+              all_done = false;
+              break;
+            }
+          }
+          if (all_done) ++completed;
+        }
+        const double fraction =
+            set.chains.empty()
+                ? 1.0
+                : static_cast<double>(completed) /
+                      static_cast<double>(set.chains.size());
+        if (fraction >= set.rules.quorum) break;
+        return make_error(Errc::kExecutionFailed,
+                          set.label + ": only " +
+                              std::to_string(completed) + "/" +
+                              std::to_string(set.chains.size()) + " " +
+                              set.member_noun +
+                              " completed, below the quorum; first "
+                              "failure: " +
+                              first.message());
+      }
+    }
+  }
+  return Status::ok();
+}
+
+bool GraphExecutor::handle_quiesce() {
+  {
+    MutexLock lock(mutex_);
+    if (aborted_) {
+      finish_locked(abort_status_);
+      return false;
+    }
+  }
+  const Status chains = decide_chain_sets();
+  if (!chains.is_ok()) {
+    MutexLock lock(mutex_);
+    finish_locked(chains);
+    return false;
+  }
+  // Expanders, innermost-first: a nested pattern's expander must drain
+  // completely before the enclosing loop decides its next round.
+  for (;;) {
+    std::size_t top = 0;
+    bool have_top = false;
+    {
+      MutexLock lock(mutex_);
+      while (expanders_seen_ < graph_.expander_count()) {
+        expander_stack_.push_back(expanders_seen_++);
+      }
+      if (!expander_stack_.empty()) {
+        top = expander_stack_.back();
+        have_top = true;
+      }
+    }
+    if (!have_top) break;
+    graph_.bump_generation();
+    auto produced = graph_.expander(top)(graph_);
+    if (!produced.ok()) {
+      MutexLock lock(mutex_);
+      finish_locked(produced.status());
+      return false;
+    }
+    if (produced.value()) return true;  // more work scheduled
+    MutexLock lock(mutex_);
+    ENTK_CHECK(!expander_stack_.empty() && expander_stack_.back() == top,
+               "expander stack corrupted");
+    expander_stack_.pop_back();
+  }
+  // Fully drained. Anything still pending can never run — a cycle of
+  // gates a compiler should not have produced.
+  MutexLock lock(mutex_);
+  for (NodeId id = 0; id < runs_.size(); ++id) {
+    if (runs_[id].status == NodeStatus::kPending) {
+      finish_locked(make_error(
+          Errc::kInternal,
+          "task graph stalled: node '" + graph_.node(id).label +
+              "' never became ready (undecidable gate or dependency?)"));
+      return false;
+    }
+    ENTK_CHECK(is_settled_status(runs_[id].status),
+               "drained graph left a unit in flight");
+  }
+  finish_locked(Status::ok());
+  return false;
+}
+
+void GraphExecutor::finish_locked(Status outcome) {
+  if (finished_) return;
+  finished_ = true;
+  outcome_ = std::move(outcome);
+}
+
+}  // namespace entk::core

@@ -1,0 +1,143 @@
+// GraphExecutor: event-driven execution of one TaskGraph.
+//
+// The executor subscribes to the runtime's unit-settled events
+// (PatternExecutor::subscribe_settled, backed by the unit manager's
+// settled observers) instead of polling predicates. Each settlement
+// pumps the graph: settled nodes update their groups, stage verdicts
+// are decided, failures propagate as skips, and every newly unblocked
+// frontier is submitted in ONE batched PatternExecutor::submit call —
+// independent pipelines' stage N+1 tasks launch the instant their own
+// stage N settles, with no global barrier.
+//
+// When the graph quiesces (nothing ready, nothing in flight) the
+// executor evaluates chain-set verdicts and runs the graph's expanders
+// (innermost-first) to grow the next generation; when the expanders
+// are exhausted too, the run finishes and the single outer
+// drive_until — waiting on a finished flag, the one wait in the whole
+// pattern layer — returns.
+//
+// Failure semantics (owned here, not by patterns):
+//  - A stage group's verdict (fail-fast / continue / quorum over its
+//    members) is computed once all members settle; a failing verdict
+//    aborts the graph: unsubmitted nodes are skipped, in-flight units
+//    settle, then the run finishes with the verdict.
+//  - A submission failure inside a stage group aborts likewise (the
+//    historical submit-error semantics); inside a chain it only ends
+//    that chain.
+//  - Chain sets (per-pipeline / per-replica scopes) are judged at
+//    drain time under their own rules.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/status.hpp"
+#include "core/pattern.hpp"
+#include "core/task_graph.hpp"
+
+namespace entk::core {
+
+/// Runtime status of one graph node.
+enum class NodeStatus {
+  kPending,    ///< Waiting on dependencies or gates.
+  kSubmitted,  ///< Unit in flight.
+  kDone,
+  kFailed,     ///< Unit settled failed, or submission failed.
+  kCanceled,
+  kSkipped,    ///< Abandoned: an upstream failure or a graph abort.
+};
+
+/// Registers `handler` to run exactly once when `unit` settles into a
+/// *final* state. Handles the already-final and retry-pending cases
+/// (a kFailed notification that the unit manager immediately retried
+/// is not final). The executor's fallback event source for
+/// PatternExecutor implementations without settled subscriptions.
+void watch_unit(const pilot::ComputeUnitPtr& unit,
+                std::function<void(pilot::ComputeUnit&,
+                                   pilot::UnitState)> handler);
+
+class GraphExecutor {
+ public:
+  GraphExecutor(TaskGraph& graph, PatternExecutor& executor);
+
+  /// Runs the graph to completion and returns the pattern verdict:
+  /// OK, the first failure filtered through the graph's failure
+  /// scopes, or the backend's wait error (deadlock, timeout).
+  Status run();
+
+  /// Post-run introspection (tests, tools).
+  NodeStatus node_status(NodeId id) const ENTK_EXCLUDES(mutex_);
+  std::size_t nodes_submitted() const ENTK_EXCLUDES(mutex_);
+
+ private:
+  struct Event {
+    NodeId node;
+    pilot::UnitState state;
+  };
+  struct NodeRun {
+    NodeStatus status = NodeStatus::kPending;
+    pilot::ComputeUnitPtr unit;
+    Status error;
+  };
+  struct GroupRun {
+    std::size_t settled = 0;
+    std::size_t done = 0;
+    bool decided = false;
+    bool passed = false;
+  };
+
+  /// Event entry point: queues the settlement and pumps the graph.
+  /// Safe against re-entrancy — a settlement arriving while a pump is
+  /// active (submission callbacks, local-backend worker threads) is
+  /// queued and drained by the active pump.
+  void on_unit_settled(const pilot::ComputeUnitPtr& unit)
+      ENTK_EXCLUDES(mutex_);
+  void pump() ENTK_EXCLUDES(mutex_);
+  /// Quiesced: abort resolution, chain-set verdicts, expanders.
+  /// Returns true when an expander scheduled more work.
+  bool handle_quiesce() ENTK_EXCLUDES(mutex_);
+  void submit_frontier(const std::vector<NodeId>& frontier)
+      ENTK_EXCLUDES(mutex_);
+  void adopt_unit(NodeId id, const pilot::ComputeUnitPtr& unit)
+      ENTK_EXCLUDES(mutex_);
+  void fail_submission(NodeId id, const Status& error)
+      ENTK_EXCLUDES(mutex_);
+  Status decide_chain_sets() ENTK_EXCLUDES(mutex_);
+
+  void sync_graph_locked() ENTK_REQUIRES(mutex_);
+  void apply_events_locked() ENTK_REQUIRES(mutex_);
+  void decide_stage_groups_locked() ENTK_REQUIRES(mutex_);
+  void propagate_skips_locked() ENTK_REQUIRES(mutex_);
+  std::vector<NodeId> frontier_locked() const ENTK_REQUIRES(mutex_);
+  Status stage_verdict_locked(GroupId group) const ENTK_REQUIRES(mutex_);
+  void finish_locked(Status outcome) ENTK_REQUIRES(mutex_);
+
+  TaskGraph& graph_;
+  PatternExecutor& executor_;
+  /// Whether the executor delivers settled events (else watch_unit).
+  bool use_events_ = false;
+
+  mutable Mutex mutex_;
+  std::vector<NodeRun> runs_ ENTK_GUARDED_BY(mutex_);
+  std::vector<GroupRun> group_runs_ ENTK_GUARDED_BY(mutex_);
+  std::vector<bool> chain_sets_decided_ ENTK_GUARDED_BY(mutex_);
+  /// LIFO of pending expander indices (innermost on top).
+  std::vector<std::size_t> expander_stack_ ENTK_GUARDED_BY(mutex_);
+  std::size_t expanders_seen_ ENTK_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<const pilot::ComputeUnit*, NodeId> node_of_
+      ENTK_GUARDED_BY(mutex_);
+  std::deque<Event> events_ ENTK_GUARDED_BY(mutex_);
+  /// Chronological (node, error) records for chain-set verdicts.
+  std::vector<std::pair<NodeId, Status>> errors_ ENTK_GUARDED_BY(mutex_);
+  std::size_t inflight_ ENTK_GUARDED_BY(mutex_) = 0;
+  std::size_t submitted_count_ ENTK_GUARDED_BY(mutex_) = 0;
+  bool pumping_ ENTK_GUARDED_BY(mutex_) = false;
+  bool aborted_ ENTK_GUARDED_BY(mutex_) = false;
+  Status abort_status_ ENTK_GUARDED_BY(mutex_);
+  bool finished_ ENTK_GUARDED_BY(mutex_) = false;
+  Status outcome_ ENTK_GUARDED_BY(mutex_);
+};
+
+}  // namespace entk::core

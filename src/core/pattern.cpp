@@ -1,129 +1,27 @@
 #include "core/pattern.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
 
-#include "common/log.hpp"
-#include "common/mutex.hpp"
+#include "core/graph_executor.hpp"
 
 namespace entk::core {
 
-namespace {
-
-/// A unit is settled when it is final and no retry is pending.
-bool unit_settled(const pilot::ComputeUnit& unit) {
-  const pilot::UnitState state = unit.state();
-  if (!pilot::is_final(state)) return false;
-  if (state == pilot::UnitState::kFailed &&
-      unit.retries() < unit.description().retry.max_retries) {
-    return false;  // the unit manager is about to resubmit it
-  }
-  return true;
-}
-
-bool all_settled(const std::vector<pilot::ComputeUnitPtr>& units) {
-  return std::all_of(units.begin(), units.end(),
-                     [](const pilot::ComputeUnitPtr& unit) {
-                       return unit_settled(*unit);
-                     });
-}
-
-/// First failure among settled units, or OK.
-Status first_failure(const std::vector<pilot::ComputeUnitPtr>& units) {
-  for (const auto& unit : units) {
-    switch (unit->state()) {
-      case pilot::UnitState::kFailed:
-        return unit->final_status();
-      case pilot::UnitState::kCanceled:
-        return make_error(Errc::kCancelled,
-                          "unit " + unit->uid() + " was cancelled");
-      default:
-        break;
-    }
-  }
-  return Status::ok();
-}
-
-}  // namespace
-
-Status PatternExecutor::wait_all(
-    const std::vector<pilot::ComputeUnitPtr>& units) {
-  ENTK_RETURN_IF_ERROR(wait_settled(units));
-  return first_failure(units);
-}
-
-Status PatternExecutor::wait_settled(
-    const std::vector<pilot::ComputeUnitPtr>& units) {
-  return drive_until([&] { return all_settled(units); });
-}
-
-Status FailureRules::validate() const {
-  if (policy == FailurePolicy::kQuorum &&
-      (quorum <= 0.0 || quorum > 1.0)) {
-    return make_error(Errc::kInvalidArgument,
-                      "quorum must be in (0, 1], got " +
-                          std::to_string(quorum));
-  }
-  return Status::ok();
-}
-
-Status ExecutionPattern::settle_stage(
-    const std::vector<pilot::ComputeUnitPtr>& units) const {
-  const Status failure = first_failure(units);
-  if (failure.is_ok()) return Status::ok();
-  switch (failure_rules_.policy) {
-    case FailurePolicy::kFailFast:
-      return failure;
-    case FailurePolicy::kContinueOnFailure:
-      ENTK_WARN("core.pattern")
-          << name() << ": continuing past failure: "
-          << failure.to_string();
-      return Status::ok();
-    case FailurePolicy::kQuorum: {
-      std::size_t done = 0;
-      for (const auto& unit : units) {
-        if (unit->state() == pilot::UnitState::kDone) ++done;
-      }
-      const double fraction =
-          units.empty() ? 1.0
-                        : static_cast<double>(done) /
-                              static_cast<double>(units.size());
-      if (fraction >= failure_rules_.quorum) {
-        ENTK_WARN("core.pattern")
-            << name() << ": quorum met (" << done << "/" << units.size()
-            << " done); continuing past failure: " << failure.to_string();
-        return Status::ok();
-      }
-      return make_error(Errc::kExecutionFailed,
-                        name() + ": only " + std::to_string(done) + "/" +
-                            std::to_string(units.size()) +
-                            " units finished, below the quorum; first "
-                            "failure: " +
-                            failure.message());
-    }
-  }
-  return failure;
-}
-
-void watch_unit(const pilot::ComputeUnitPtr& unit,
-                std::function<void(pilot::ComputeUnit&,
-                                   pilot::UnitState)> handler) {
-  auto fired = std::make_shared<std::atomic<bool>>(false);
-  auto shared_handler = std::make_shared<
-      std::function<void(pilot::ComputeUnit&, pilot::UnitState)>>(
-      std::move(handler));
-  unit->on_state_change(
-      [fired, shared_handler](pilot::ComputeUnit& changed,
-                              pilot::UnitState) {
-        if (!unit_settled(changed)) return;
-        if (fired->exchange(true)) return;
-        (*shared_handler)(changed, changed.state());
-      });
-  // The unit may already be final (fast local execution).
-  if (unit_settled(*unit) && !fired->exchange(true)) {
-    (*shared_handler)(*unit, unit->state());
-  }
+// The one orchestration path shared by every pattern: validate,
+// compile to an explicit TaskGraph, hand the graph to the event-driven
+// executor. Patterns never touch the runtime directly any more — all
+// waiting, failure policy and retry bookkeeping lives in the executor.
+Status ExecutionPattern::execute(PatternExecutor& executor) {
+  ENTK_RETURN_IF_ERROR(validate());
+  TaskGraph graph;
+  ENTK_RETURN_IF_ERROR(compile(graph));
+  GraphExecutor runner(graph, executor);
+  const Status outcome = runner.run();
+  on_graph_executed();
+  return outcome;
 }
 
 // --------------------------------------------------------------- BagOfTasks
@@ -143,19 +41,21 @@ Status BagOfTasks::validate() const {
   return Status::ok();
 }
 
-Status BagOfTasks::execute(PatternExecutor& executor) {
+Status BagOfTasks::compile(TaskGraph& graph) {
   ENTK_RETURN_IF_ERROR(validate());
   units_.clear();
-  std::vector<TaskSpec> specs;
-  specs.reserve(static_cast<std::size_t>(n_tasks_));
+  const GroupId stage = graph.add_stage_group(name(), failure_rules_);
   for (Count t = 0; t < n_tasks_; ++t) {
-    specs.push_back(task_fn_({1, 1, t, n_tasks_}));
+    const StageContext context{1, 1, t, n_tasks_};
+    const NodeId node = graph.add_node(
+        "task " + std::to_string(t),
+        [this, context] { return task_fn_(context); }, context);
+    graph.add_member(stage, node);
+    graph.set_sink(node, [this](const pilot::ComputeUnitPtr& unit) {
+      units_.push_back(unit);
+    });
   }
-  auto submitted = executor.submit(specs);
-  if (!submitted.ok()) return submitted.status();
-  units_ = submitted.take();
-  ENTK_RETURN_IF_ERROR(executor.wait_settled(units_));
-  return settle_stage(units_);
+  return Status::ok();
 }
 
 // ------------------------------------------------------ EnsembleOfPipelines
@@ -185,100 +85,41 @@ Status EnsembleOfPipelines::validate() const {
   return Status::ok();
 }
 
-Status EnsembleOfPipelines::execute(PatternExecutor& executor) {
+// Each pipeline compiles to a dependency chain; there is no edge at
+// all between pipelines, so pipeline p's stage s+1 becomes frontier
+// the instant its own stage s settles — cross-pipeline overlap falls
+// out of the graph shape instead of a hand-written launcher.
+Status EnsembleOfPipelines::compile(TaskGraph& graph) {
   ENTK_RETURN_IF_ERROR(validate());
   units_.clear();
-
-  struct State {
-    Mutex mutex;
-    std::vector<pilot::ComputeUnitPtr> all ENTK_GUARDED_BY(mutex);
-    std::vector<Status> errors ENTK_GUARDED_BY(mutex);
-    Count pipelines_done ENTK_GUARDED_BY(mutex) = 0;
-    /// Pipelines that ran every stage to kDone (for quorum verdicts).
-    Count pipelines_completed ENTK_GUARDED_BY(mutex) = 0;
-  };
-  auto state = std::make_shared<State>();
-  // Recursive launcher, held by shared_ptr so watcher closures can
-  // chain the next stage; the self-reference cycle is broken below.
-  auto launch = std::make_shared<std::function<void(Count, Count)>>();
-  *launch = [this, &executor, state, launch](Count pipeline, Count stage) {
-    const StageContext context{1, stage, pipeline, n_pipelines_};
-    const TaskSpec spec =
-        stage_fns_[static_cast<std::size_t>(stage - 1)](context);
-    auto submitted = executor.submit({spec});
-    if (!submitted.ok()) {
-      MutexLock lock(state->mutex);
-      state->errors.push_back(submitted.status());
-      ++state->pipelines_done;
-      return;
-    }
-    pilot::ComputeUnitPtr unit = submitted.value().front();
-    {
-      MutexLock lock(state->mutex);
-      state->all.push_back(unit);
-    }
-    watch_unit(unit, [this, state, launch, pipeline, stage](
-                         pilot::ComputeUnit& settled,
-                         pilot::UnitState final_state) {
-      if (final_state == pilot::UnitState::kDone) {
-        if (stage < n_stages_) {
-          (*launch)(pipeline, stage + 1);
-        } else {
-          MutexLock lock(state->mutex);
-          ++state->pipelines_done;
-          ++state->pipelines_completed;
-        }
-        return;
-      }
-      // A failed stage ends its pipeline (later stages need its
-      // output); whether that fails the *pattern* is decided by the
-      // failure rules once every pipeline has stopped.
-      MutexLock lock(state->mutex);
-      state->errors.push_back(
-          final_state == pilot::UnitState::kFailed
-              ? settled.final_status()
-              : make_error(Errc::kCancelled,
-                           "unit " + settled.uid() + " was cancelled"));
-      ++state->pipelines_done;
-    });
-  };
-
-  for (Count p = 0; p < n_pipelines_; ++p) (*launch)(p, 1);
-  const Status driven = executor.drive_until([state, this] {
-    MutexLock lock(state->mutex);
-    return state->pipelines_done == n_pipelines_;
-  });
-  *launch = nullptr;  // break the launcher's self-reference cycle
-  {
-    MutexLock lock(state->mutex);
-    units_ = state->all;
+  std::vector<GroupId> chains;
+  chains.reserve(static_cast<std::size_t>(n_pipelines_));
+  for (Count p = 0; p < n_pipelines_; ++p) {
+    chains.push_back(
+        graph.add_chain_group("pipeline " + std::to_string(p)));
   }
-  ENTK_RETURN_IF_ERROR(driven);
-  MutexLock lock(state->mutex);
-  if (state->errors.empty()) return Status::ok();
-  switch (failure_rules_.policy) {
-    case FailurePolicy::kFailFast:
-      return state->errors.front();
-    case FailurePolicy::kContinueOnFailure:
-      ENTK_WARN("core.pattern")
-          << name() << ": " << state->errors.size()
-          << " pipeline(s) failed; continuing per policy";
-      return Status::ok();
-    case FailurePolicy::kQuorum: {
-      const double fraction =
-          static_cast<double>(state->pipelines_completed) /
-          static_cast<double>(n_pipelines_);
-      if (fraction >= failure_rules_.quorum) return Status::ok();
-      return make_error(Errc::kExecutionFailed,
-                        name() + ": only " +
-                            std::to_string(state->pipelines_completed) +
-                            "/" + std::to_string(n_pipelines_) +
-                            " pipelines completed, below the quorum; "
-                            "first failure: " +
-                            state->errors.front().message());
+  for (Count p = 0; p < n_pipelines_; ++p) {
+    NodeId prev = 0;
+    for (Count s = 1; s <= n_stages_; ++s) {
+      const StageContext context{1, s, p, n_pipelines_};
+      const NodeId node = graph.add_node(
+          "p" + std::to_string(p) + ".s" + std::to_string(s),
+          [this, context] {
+            return stage_fns_[static_cast<std::size_t>(context.stage - 1)](
+                context);
+          },
+          context);
+      if (s > 1) graph.add_dependency(node, prev);
+      graph.add_member(chains[static_cast<std::size_t>(p)], node);
+      graph.set_sink(node, [this](const pilot::ComputeUnitPtr& unit) {
+        units_.push_back(unit);
+      });
+      prev = node;
     }
   }
-  return state->errors.front();
+  graph.add_chain_set(name(), "pipelines", failure_rules_,
+                      std::move(chains));
+  return Status::ok();
 }
 
 // --------------------------------------------------- SimulationAnalysisLoop
@@ -305,60 +146,110 @@ Status SimulationAnalysisLoop::validate() const {
   return Status::ok();
 }
 
-Status SimulationAnalysisLoop::execute(PatternExecutor& executor) {
+GroupId SimulationAnalysisLoop::emit_iteration(TaskGraph& graph,
+                                               Count iteration, Count n_sims,
+                                               Count n_ana,
+                                               const GroupId* gate) {
+  const GroupId sims_group = graph.add_stage_group(name(), failure_rules_);
+  for (Count s = 0; s < n_sims; ++s) {
+    const StageContext context{iteration, 1, s, n_sims};
+    const NodeId node = graph.add_node(
+        "sim i" + std::to_string(iteration) + "." + std::to_string(s),
+        [this, context] { return simulation_(context); }, context);
+    if (gate != nullptr) graph.gate_on(node, *gate);
+    graph.add_member(sims_group, node);
+    graph.set_sink(node, [this](const pilot::ComputeUnitPtr& unit) {
+      units_.push_back(unit);
+      simulation_units_.push_back(unit);
+    });
+  }
+  const GroupId ana_group = graph.add_stage_group(name(), failure_rules_);
+  for (Count a = 0; a < n_ana; ++a) {
+    const StageContext context{iteration, 2, a, n_ana};
+    const NodeId node = graph.add_node(
+        "analysis i" + std::to_string(iteration) + "." + std::to_string(a),
+        [this, context] { return analysis_(context); }, context);
+    graph.gate_on(node, sims_group);
+    graph.add_member(ana_group, node);
+    graph.set_sink(node, [this](const pilot::ComputeUnitPtr& unit) {
+      units_.push_back(unit);
+      analysis_units_.push_back(unit);
+    });
+  }
+  return ana_group;
+}
+
+GroupId SimulationAnalysisLoop::emit_bracket(TaskGraph& graph,
+                                             const StageFn& fn,
+                                             StageContext context,
+                                             const std::string& label,
+                                             const GroupId* gate) {
+  const GroupId group = graph.add_stage_group(name(), failure_rules_);
+  const NodeId node = graph.add_node(
+      label, [fn, context] { return fn(context); }, context);
+  if (gate != nullptr) graph.gate_on(node, *gate);
+  graph.add_member(group, node);
+  graph.set_sink(node, [this](const pilot::ComputeUnitPtr& unit) {
+    units_.push_back(unit);
+  });
+  return group;
+}
+
+Status SimulationAnalysisLoop::compile(TaskGraph& graph) {
   ENTK_RETURN_IF_ERROR(validate());
   units_.clear();
   simulation_units_.clear();
   analysis_units_.clear();
+  next_iteration_ = 0;
+  post_emitted_ = false;
 
-  auto run_stage = [&](const std::vector<TaskSpec>& specs,
-                       std::vector<pilot::ComputeUnitPtr>* bucket)
-      -> Status {
-    auto submitted = executor.submit(specs);
-    if (!submitted.ok()) return submitted.status();
-    auto stage_units = submitted.take();
-    units_.insert(units_.end(), stage_units.begin(), stage_units.end());
-    if (bucket != nullptr) {
-      bucket->insert(bucket->end(), stage_units.begin(), stage_units.end());
-    }
-    ENTK_RETURN_IF_ERROR(executor.wait_settled(stage_units));
-    return settle_stage(stage_units);
-  };
-
+  std::optional<GroupId> gate;
   if (pre_loop_) {
-    ENTK_RETURN_IF_ERROR(
-        run_stage({pre_loop_({0, 0, 0, 1})}, nullptr));
+    gate = emit_bracket(graph, pre_loop_, {0, 0, 0, 1}, "pre_loop", nullptr);
   }
-  for (Count iteration = 1; iteration <= n_iterations_; ++iteration) {
-    Count n_sims = n_simulations_;
-    Count n_ana = n_analyses_;
-    if (counts_fn_) {
+
+  if (!counts_fn_) {
+    // Static member counts: the whole loop is known up front, so the
+    // full graph is emitted at compile time (and visible to --dot).
+    for (Count iteration = 1; iteration <= n_iterations_; ++iteration) {
+      gate = emit_iteration(graph, iteration, n_simulations_, n_analyses_,
+                            gate ? &*gate : nullptr);
+    }
+    if (post_loop_) {
+      emit_bracket(graph, post_loop_, {n_iterations_ + 1, 0, 0, 1},
+                   "post_loop", gate ? &*gate : nullptr);
+    }
+    return Status::ok();
+  }
+
+  // Adaptive member counts: each iteration is appended by an expander
+  // once the previous one settled, which is exactly when the counts
+  // callback may inspect results to size the next generation.
+  auto last_gate = std::make_shared<std::optional<GroupId>>(gate);
+  graph.add_expander([this, last_gate](TaskGraph& g) -> Result<bool> {
+    if (next_iteration_ < n_iterations_) {
+      const Count iteration = ++next_iteration_;
       const auto counts = counts_fn_(iteration);
-      n_sims = counts.first;
-      n_ana = counts.second;
-      if (n_sims < 1 || n_ana < 1) {
+      if (counts.first < 1 || counts.second < 1) {
         return make_error(Errc::kInvalidArgument,
                           "adaptive counts must stay >= 1");
       }
+      const GroupId* gate_ptr =
+          last_gate->has_value() ? &last_gate->value() : nullptr;
+      *last_gate = emit_iteration(g, iteration, counts.first, counts.second,
+                                  gate_ptr);
+      return true;
     }
-    std::vector<TaskSpec> sims;
-    sims.reserve(static_cast<std::size_t>(n_sims));
-    for (Count s = 0; s < n_sims; ++s) {
-      sims.push_back(simulation_({iteration, 1, s, n_sims}));
+    if (post_loop_ && !post_emitted_) {
+      post_emitted_ = true;
+      const GroupId* gate_ptr =
+          last_gate->has_value() ? &last_gate->value() : nullptr;
+      emit_bracket(g, post_loop_, {n_iterations_ + 1, 0, 0, 1}, "post_loop",
+                   gate_ptr);
+      return true;
     }
-    ENTK_RETURN_IF_ERROR(run_stage(sims, &simulation_units_));
-
-    std::vector<TaskSpec> analyses;
-    analyses.reserve(static_cast<std::size_t>(n_ana));
-    for (Count a = 0; a < n_ana; ++a) {
-      analyses.push_back(analysis_({iteration, 2, a, n_ana}));
-    }
-    ENTK_RETURN_IF_ERROR(run_stage(analyses, &analysis_units_));
-  }
-  if (post_loop_) {
-    ENTK_RETURN_IF_ERROR(
-        run_stage({post_loop_({n_iterations_ + 1, 0, 0, 1})}, nullptr));
-  }
+    return false;
+  });
   return Status::ok();
 }
 
@@ -390,227 +281,120 @@ Status EnsembleExchange::validate() const {
   return Status::ok();
 }
 
-Status EnsembleExchange::execute(PatternExecutor& executor) {
+Status EnsembleExchange::compile(TaskGraph& graph) {
   ENTK_RETURN_IF_ERROR(validate());
   units_.clear();
   simulation_units_.clear();
   exchange_units_.clear();
-  return mode_ == ExchangeMode::kGlobalSweep ? execute_global(executor)
-                                             : execute_pairwise(executor);
+  return mode_ == ExchangeMode::kGlobalSweep ? compile_global(graph)
+                                             : compile_pairwise(graph);
 }
 
-Status EnsembleExchange::execute_global(PatternExecutor& executor) {
+// Global sweeps: each cycle is a sims stage group followed by a
+// one-task exchange stage group, chained by gates — the per-cycle
+// barrier the paper's scaling experiments use.
+Status EnsembleExchange::compile_global(TaskGraph& graph) {
+  bool have_gate = false;
+  GroupId gate = 0;
   for (Count cycle = 1; cycle <= n_cycles_; ++cycle) {
-    std::vector<TaskSpec> sims;
-    sims.reserve(static_cast<std::size_t>(n_replicas_));
+    const GroupId sims_group = graph.add_stage_group(name(), failure_rules_);
     for (Count r = 0; r < n_replicas_; ++r) {
-      sims.push_back(simulation_({cycle, 1, r, n_replicas_}));
+      const StageContext context{cycle, 1, r, n_replicas_};
+      const NodeId node = graph.add_node(
+          "sim c" + std::to_string(cycle) + ".r" + std::to_string(r),
+          [this, context] { return simulation_(context); }, context);
+      if (have_gate) graph.gate_on(node, gate);
+      graph.add_member(sims_group, node);
+      graph.set_sink(node, [this](const pilot::ComputeUnitPtr& unit) {
+        units_.push_back(unit);
+        simulation_units_.push_back(unit);
+      });
     }
-    auto submitted = executor.submit(sims);
-    if (!submitted.ok()) return submitted.status();
-    auto sim_units = submitted.take();
-    units_.insert(units_.end(), sim_units.begin(), sim_units.end());
-    simulation_units_.insert(simulation_units_.end(), sim_units.begin(),
-                             sim_units.end());
-    ENTK_RETURN_IF_ERROR(executor.wait_settled(sim_units));
-    ENTK_RETURN_IF_ERROR(settle_stage(sim_units));
-
-    auto exchange_submitted =
-        executor.submit({exchange_({cycle, 2, 0, n_replicas_})});
-    if (!exchange_submitted.ok()) return exchange_submitted.status();
-    auto exchange_unit = exchange_submitted.take();
-    units_.insert(units_.end(), exchange_unit.begin(), exchange_unit.end());
-    exchange_units_.insert(exchange_units_.end(), exchange_unit.begin(),
-                           exchange_unit.end());
-    ENTK_RETURN_IF_ERROR(executor.wait_settled(exchange_unit));
-    ENTK_RETURN_IF_ERROR(settle_stage(exchange_unit));
+    const GroupId exchange_group =
+        graph.add_stage_group(name(), failure_rules_);
+    const StageContext context{cycle, 2, 0, n_replicas_};
+    const NodeId exchange = graph.add_node(
+        "exchange c" + std::to_string(cycle),
+        [this, context] { return exchange_(context); }, context);
+    graph.gate_on(exchange, sims_group);
+    graph.add_member(exchange_group, exchange);
+    graph.set_sink(exchange, [this](const pilot::ComputeUnitPtr& unit) {
+      units_.push_back(unit);
+      exchange_units_.push_back(unit);
+    });
+    gate = exchange_group;
+    have_gate = true;
   }
   return Status::ok();
 }
 
-// Fully asynchronous pairwise execution: a replica's cycle-(c+1)
-// simulation starts the moment its own cycle-c exchange (or sim, when
-// it had no partner that cycle) finishes. There is no barrier of any
-// kind across the ensemble — fast pairs race ahead of slow ones, the
-// paper's "no obligatory global synchronization".
-Status EnsembleExchange::execute_pairwise(PatternExecutor& executor) {
-  struct State {
-    Mutex mutex;
-    std::vector<pilot::ComputeUnitPtr> sims ENTK_GUARDED_BY(mutex);
-    std::vector<pilot::ComputeUnitPtr> exchanges ENTK_GUARDED_BY(mutex);
-    std::vector<Status> errors ENTK_GUARDED_BY(mutex);
-    /// Replicas that completed (or abandoned) all cycles.
-    Count replicas_finished ENTK_GUARDED_BY(mutex) = 0;
-    /// Replicas that ran every cycle to completion (quorum verdicts).
-    Count replicas_completed ENTK_GUARDED_BY(mutex) = 0;
-    /// Per (cycle, low-replica) pair: completed members and death flag.
-    struct PairProgress {
-      int arrived = 0;
-      bool dead = false;  // a member failed; survivors stop here
-    };
-    std::map<std::pair<Count, Count>, PairProgress> pairs
-        ENTK_GUARDED_BY(mutex);
-  };
-  auto state = std::make_shared<State>();
-
-  // Partner of replica r in a given cycle; -1 when unpaired.
-  auto partner_of = [this](Count cycle, Count replica) -> Count {
-    const Count parity = (cycle - 1 + cycle_offset_) % 2;
-    if (replica < parity) return -1;  // unpaired edge replica
-    const Count partner = ((replica - parity) % 2 == 0) ? replica + 1
-                                                        : replica - 1;
-    return partner < n_replicas_ ? partner : -1;
-  };
-
-  // Forward declarations for the mutually recursive chain.
-  auto launch_sim =
-      std::make_shared<std::function<void(Count, Count)>>();
-  auto abort_replica = [state](Count, Status error) {
-    MutexLock lock(state->mutex);
-    state->errors.push_back(std::move(error));
-    ++state->replicas_finished;
-  };
-  auto advance_replica = [this, state, launch_sim](Count cycle,
-                                                   Count replica) {
-    if (cycle >= n_cycles_) {
-      MutexLock lock(state->mutex);
-      ++state->replicas_finished;
-      ++state->replicas_completed;
-      return;
-    }
-    (*launch_sim)(cycle + 1, replica);
-  };
-
-  *launch_sim = [this, state, &executor, partner_of, abort_replica,
-                 advance_replica, launch_sim](Count cycle,
-                                              Count replica) {
-    auto submitted = executor.submit(
-        {simulation_({cycle, 1, replica, n_replicas_})});
-    if (!submitted.ok()) {
-      abort_replica(replica, submitted.status());
-      return;
-    }
-    pilot::ComputeUnitPtr sim = submitted.value().front();
-    {
-      MutexLock lock(state->mutex);
-      state->sims.push_back(sim);
-    }
-    watch_unit(sim, [this, state, &executor, partner_of, abort_replica,
-                     advance_replica, cycle,
-                     replica](pilot::ComputeUnit& settled,
-                              pilot::UnitState final_state) {
-      const Count partner = partner_of(cycle, replica);
-      if (final_state != pilot::UnitState::kDone) {
-        abort_replica(replica,
-                      final_state == pilot::UnitState::kFailed
-                          ? settled.final_status()
-                          : make_error(Errc::kCancelled,
-                                       "unit " + settled.uid() +
-                                           " cancelled"));
-        if (partner >= 0) {
-          // Release a partner that may already be waiting on the pair.
-          MutexLock lock(state->mutex);
-          auto& progress = state->pairs[{cycle, std::min(replica,
-                                                         partner)}];
-          progress.dead = true;
-          if (progress.arrived > 0) ++state->replicas_finished;
-        }
-        return;
-      }
-      if (partner < 0) {  // unpaired this cycle: straight on
-        advance_replica(cycle, replica);
-        return;
-      }
-      const auto key = std::make_pair(cycle, std::min(replica, partner));
-      bool fire_exchange = false;
-      {
-        MutexLock lock(state->mutex);
-        auto& progress = state->pairs[key];
-        if (progress.dead) {
-          ++state->replicas_finished;  // partner failed; stop here
-          return;
-        }
-        fire_exchange = ++progress.arrived == 2;
-      }
-      if (!fire_exchange) return;  // partner will trigger the exchange
-      auto exchange_submitted = executor.submit(
-          {pair_exchange_(cycle, key.second, key.second + 1)});
-      if (!exchange_submitted.ok()) {
-        MutexLock lock(state->mutex);
-        state->errors.push_back(exchange_submitted.status());
-        state->replicas_finished += 2;
-        return;
-      }
-      pilot::ComputeUnitPtr exchange = exchange_submitted.value().front();
-      {
-        MutexLock lock(state->mutex);
-        state->exchanges.push_back(exchange);
-      }
-      watch_unit(exchange, [state, advance_replica, cycle, key](
-                               pilot::ComputeUnit& done_exchange,
-                               pilot::UnitState exchange_state) {
-        if (exchange_state != pilot::UnitState::kDone) {
-          MutexLock lock(state->mutex);
-          state->errors.push_back(
-              exchange_state == pilot::UnitState::kFailed
-                  ? done_exchange.final_status()
-                  : make_error(Errc::kCancelled,
-                               "exchange " + done_exchange.uid() +
-                                   " cancelled"));
-          state->replicas_finished += 2;
-          return;
-        }
-        // Both members proceed to their next cycle, independently of
-        // the rest of the ensemble.
-        advance_replica(cycle, key.second);
-        advance_replica(cycle, key.second + 1);
+// Fully asynchronous pairwise exchange as a static grid of success
+// edges: a replica's cycle-(c+1) simulation depends only on its own
+// cycle-c exchange (or sim, when unpaired that cycle), so fast pairs
+// race ahead of slow ones — the paper's "no obligatory global
+// synchronization". An exchange node belongs to BOTH partners' replica
+// chains, so either partner's chain dies if it fails.
+Status EnsembleExchange::compile_pairwise(TaskGraph& graph) {
+  const auto index = [](Count i) { return static_cast<std::size_t>(i); };
+  std::vector<GroupId> chains;
+  chains.reserve(index(n_replicas_));
+  for (Count r = 0; r < n_replicas_; ++r) {
+    chains.push_back(graph.add_chain_group("replica " + std::to_string(r)));
+  }
+  // prev[r]: the node whose completion releases replica r's next sim.
+  std::vector<NodeId> prev(index(n_replicas_), 0);
+  std::vector<bool> has_prev(index(n_replicas_), false);
+  for (Count cycle = 1; cycle <= n_cycles_; ++cycle) {
+    std::vector<NodeId> sims(index(n_replicas_), 0);
+    for (Count r = 0; r < n_replicas_; ++r) {
+      const StageContext context{cycle, 1, r, n_replicas_};
+      const NodeId node = graph.add_node(
+          "sim c" + std::to_string(cycle) + ".r" + std::to_string(r),
+          [this, context] { return simulation_(context); }, context);
+      if (has_prev[index(r)]) graph.add_dependency(node, prev[index(r)]);
+      graph.add_member(chains[index(r)], node);
+      graph.set_sink(node, [this](const pilot::ComputeUnitPtr& unit) {
+        simulation_units_.push_back(unit);
       });
-    });
-  };
-
-  for (Count replica = 0; replica < n_replicas_; ++replica) {
-    (*launch_sim)(1, replica);
-  }
-  const Status driven = executor.drive_until([state, this] {
-    MutexLock lock(state->mutex);
-    return state->replicas_finished == n_replicas_;
-  });
-  *launch_sim = nullptr;  // break the launcher's self-reference cycle
-  {
-    MutexLock lock(state->mutex);
-    units_.insert(units_.end(), state->sims.begin(), state->sims.end());
-    units_.insert(units_.end(), state->exchanges.begin(),
-                  state->exchanges.end());
-    simulation_units_ = state->sims;
-    exchange_units_ = state->exchanges;
-    ENTK_RETURN_IF_ERROR(driven);
-    if (!state->errors.empty()) {
-      switch (failure_rules_.policy) {
-        case FailurePolicy::kFailFast:
-          return state->errors.front();
-        case FailurePolicy::kContinueOnFailure:
-          ENTK_WARN("core.pattern")
-              << name() << ": " << state->errors.size()
-              << " replica chain(s) failed; continuing per policy";
-          break;
-        case FailurePolicy::kQuorum: {
-          const double fraction =
-              static_cast<double>(state->replicas_completed) /
-              static_cast<double>(n_replicas_);
-          if (fraction >= failure_rules_.quorum) break;
-          return make_error(
-              Errc::kExecutionFailed,
-              name() + ": only " +
-                  std::to_string(state->replicas_completed) + "/" +
-                  std::to_string(n_replicas_) +
-                  " replicas completed, below the quorum; first "
-                  "failure: " +
-                  state->errors.front().message());
-        }
-      }
+      sims[index(r)] = node;
+      prev[index(r)] = node;
+      has_prev[index(r)] = true;
+    }
+    // Neighbour pairs alternate even/odd sweeps; edge replicas below
+    // the parity (or past the last pair) stay unpaired this cycle.
+    const Count parity = (cycle - 1 + cycle_offset_) % 2;
+    for (Count low = parity; low + 1 < n_replicas_; low += 2) {
+      const StageContext context{cycle, 2, low, n_replicas_};
+      const NodeId exchange = graph.add_node(
+          "exchange c" + std::to_string(cycle) + ".r" + std::to_string(low) +
+              "-r" + std::to_string(low + 1),
+          [this, cycle, low] { return pair_exchange_(cycle, low, low + 1); },
+          context);
+      graph.add_dependency(exchange, sims[index(low)]);
+      graph.add_dependency(exchange, sims[index(low + 1)]);
+      graph.add_member(chains[index(low)], exchange);
+      graph.add_member(chains[index(low + 1)], exchange);
+      graph.set_sink(exchange, [this](const pilot::ComputeUnitPtr& unit) {
+        exchange_units_.push_back(unit);
+      });
+      prev[index(low)] = exchange;
+      prev[index(low + 1)] = exchange;
     }
   }
+  graph.add_chain_set(name(), "replicas", failure_rules_, std::move(chains));
   return Status::ok();
+}
+
+void EnsembleExchange::on_graph_executed() {
+  if (mode_ != ExchangeMode::kPairwise) return;
+  // Pairwise sinks fill the per-kind buckets; units() keeps the
+  // historical sims-then-exchanges order.
+  units_.clear();
+  units_.reserve(simulation_units_.size() + exchange_units_.size());
+  units_.insert(units_.end(), simulation_units_.begin(),
+                simulation_units_.end());
+  units_.insert(units_.end(), exchange_units_.begin(),
+                exchange_units_.end());
 }
 
 // ------------------------------------------------------------- AdaptiveLoop
@@ -637,15 +421,25 @@ Status AdaptiveLoop::validate() const {
   return body_->validate();
 }
 
-Status AdaptiveLoop::execute(PatternExecutor& executor) {
+// One expander drives the whole loop: each time the graph quiesces
+// with the previous round settled, the predicate decides whether the
+// body is compiled in again. A failed round aborts the graph before
+// the expander runs, so rounds_completed() never counts it.
+Status AdaptiveLoop::compile(TaskGraph& graph) {
   ENTK_RETURN_IF_ERROR(validate());
   body_->set_failure_rules(failure_rules_);
   rounds_completed_ = 0;
-  for (Count round = 1; round <= max_rounds_; ++round) {
-    ENTK_RETURN_IF_ERROR(body_->execute(executor));
-    rounds_completed_ = round;
-    if (!continue_fn_(round)) break;
-  }
+  next_round_ = 0;
+  graph.add_expander([this](TaskGraph& g) -> Result<bool> {
+    if (next_round_ > 0) {
+      rounds_completed_ = next_round_;
+      if (!continue_fn_(next_round_)) return false;
+    }
+    if (next_round_ >= max_rounds_) return false;
+    ++next_round_;
+    ENTK_RETURN_IF_ERROR(body_->compile(g));
+    return true;
+  });
   return Status::ok();
 }
 
@@ -670,12 +464,19 @@ Status SequencePattern::validate() const {
   return Status::ok();
 }
 
-Status SequencePattern::execute(PatternExecutor& executor) {
+// Children are compiled lazily, one per quiescence: a child after a
+// failed one is never even compiled (the abort skips the expander),
+// preserving the historical stop-at-first-failure semantics.
+Status SequencePattern::compile(TaskGraph& graph) {
   ENTK_RETURN_IF_ERROR(validate());
-  for (const auto& child : children_) {
+  next_child_ = 0;
+  graph.add_expander([this](TaskGraph& g) -> Result<bool> {
+    if (next_child_ >= children_.size()) return false;
+    auto& child = children_[next_child_++];
     child->set_failure_rules(failure_rules_);
-    ENTK_RETURN_IF_ERROR(child->execute(executor));
-  }
+    ENTK_RETURN_IF_ERROR(child->compile(g));
+    return true;
+  });
   return Status::ok();
 }
 

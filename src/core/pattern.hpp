@@ -3,9 +3,11 @@
 // A pattern is a parametrised template capturing how an ensemble's
 // tasks synchronise and communicate; the user supplies only the
 // workload of each stage (a callback returning a TaskSpec). Patterns
-// orchestrate through the PatternExecutor interface and never touch
-// the runtime system directly — the paper's decoupling of expression
-// from execution.
+// are *compilers*: they emit an explicit TaskGraph (nodes, success
+// edges, failure scopes, expanders for adaptive generations) and the
+// event-driven GraphExecutor drives that graph through the
+// PatternExecutor interface — the paper's decoupling of expression
+// from execution, taken to its dataflow conclusion.
 //
 // Unit patterns provided (paper Section III-D):
 //   BagOfTasks            — independent tasks, no coupling
@@ -17,48 +19,21 @@
 
 #include <functional>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
 #include "core/task.hpp"
+#include "core/task_graph.hpp"
 #include "pilot/compute_unit.hpp"
 
 namespace entk::core {
 
-/// Where in the pattern a stage callback is being invoked.
-struct StageContext {
-  Count iteration = 1;  ///< 1-based iteration / cycle.
-  Count stage = 1;      ///< 1-based stage within the pattern.
-  Count instance = 0;   ///< 0-based pipeline / replica / member index.
-  Count instances = 0;  ///< Total members in this stage.
-};
-
-/// Produces the task for one (iteration, stage, instance) slot.
-using StageFn = std::function<TaskSpec(const StageContext&)>;
-
-/// How a pattern reacts once a task settles as failed or cancelled
-/// (i.e. after the runtime exhausted its retry budget — transient
-/// failures with retries left never reach the pattern).
-enum class FailurePolicy {
-  kFailFast,            ///< First settled failure aborts the pattern.
-  kContinueOnFailure,   ///< Log the failure, keep every survivor going.
-  kQuorum,              ///< A stage succeeds if enough members finish.
-};
-
-struct FailureRules {
-  FailurePolicy policy = FailurePolicy::kFailFast;
-  /// kQuorum only: minimum fraction of a stage's (pipeline's,
-  /// replica's) members that must reach kDone, in (0, 1].
-  double quorum = 1.0;
-
-  Status validate() const;
-};
-
 /// The pattern-facing execution interface, implemented by the
 /// execution plugin. submit() translates specs into compute units and
-/// hands them to the runtime; drive_until() advances execution.
+/// hands them to the runtime; drive_until() advances execution;
+/// subscribe_settled() delivers unit-settled events to the graph
+/// executor.
 class PatternExecutor {
  public:
   virtual ~PatternExecutor() = default;
@@ -69,13 +44,16 @@ class PatternExecutor {
   /// Advances the backend until `done()` holds.
   virtual Status drive_until(const std::function<bool()>& done) = 0;
 
-  /// Convenience: drives until all given units are settled, then
-  /// reports the first failure (if any).
-  Status wait_all(const std::vector<pilot::ComputeUnitPtr>& units);
+  /// Fired once per submitted unit when it settles (final state with
+  /// no retry pending).
+  using SettledFn = std::function<void(const pilot::ComputeUnitPtr&,
+                                       pilot::UnitState)>;
 
-  /// Like wait_all but without the failure check: drives until every
-  /// unit settled and leaves the verdict to the caller's FailureRules.
-  Status wait_settled(const std::vector<pilot::ComputeUnitPtr>& units);
+  /// Registers the settled-event subscription. Returns false when this
+  /// executor cannot deliver events — the graph executor then falls
+  /// back to per-unit watch_unit callbacks.
+  virtual bool subscribe_settled(SettledFn) { return false; }
+  virtual void unsubscribe_settled() {}
 };
 
 class ExecutionPattern {
@@ -87,46 +65,45 @@ class ExecutionPattern {
   /// Structural validation (counts > 0, all stage callbacks set, ...).
   virtual Status validate() const = 0;
 
-  /// Orchestrates the pattern to completion through `executor`.
-  /// Returns the first error (validation, submission, task failure —
-  /// the latter filtered through the failure rules).
-  virtual Status execute(PatternExecutor& executor) = 0;
+  /// Compiles this pattern into `graph`: task nodes with lazy spec
+  /// producers, success edges, stage/chain failure scopes, and — for
+  /// adaptive or composite patterns — expanders that append the next
+  /// generation when the graph quiesces. Clears the pattern's unit
+  /// accessors; they repopulate as the graph submits.
+  virtual Status compile(TaskGraph& graph) = 0;
 
-  /// Pattern-level failure semantics, applied to each synchronisation
-  /// point as its units settle. Composite patterns (SequencePattern,
+  /// Orchestrates the pattern to completion through `executor`:
+  /// validate, compile to a TaskGraph, and run it under the
+  /// event-driven GraphExecutor. Returns the first error (validation,
+  /// submission, task failure — the latter filtered through the
+  /// failure rules, which the graph's verdict scopes enforce).
+  virtual Status execute(PatternExecutor& executor);
+
+  /// Pattern-level failure semantics, compiled into the graph's stage
+  /// and chain scopes. Composite patterns (SequencePattern,
   /// AdaptiveLoop) forward their rules to their children.
   void set_failure_rules(FailureRules rules) { failure_rules_ = rules; }
   const FailureRules& failure_rules() const { return failure_rules_; }
 
  protected:
-  /// Verdict for one settled stage under failure_rules_: the first
-  /// failure under kFailFast, OK (with a warning) under
-  /// kContinueOnFailure, and under kQuorum OK iff the fraction of
-  /// kDone units meets the quorum.
-  Status settle_stage(
-      const std::vector<pilot::ComputeUnitPtr>& units) const;
+  /// Called after graph execution, successful or not (patterns rebuild
+  /// derived unit views here).
+  virtual void on_graph_executed() {}
 
   FailureRules failure_rules_;
 };
 
-/// Registers `handler` to run exactly once when `unit` settles into a
-/// *final* state. Handles the already-final and retry-pending cases
-/// (a kFailed notification that the unit manager immediately retried
-/// is not final). Used by patterns that chain work off completions.
-void watch_unit(const pilot::ComputeUnitPtr& unit,
-                std::function<void(pilot::ComputeUnit&,
-                                   pilot::UnitState)> handler);
-
 // ---------------------------------------------------------------------------
 
 /// Independent tasks with no coupling: the degenerate-but-common case.
+/// Compiles to one stage group of unconnected nodes.
 class BagOfTasks final : public ExecutionPattern {
  public:
   BagOfTasks(Count n_tasks, StageFn task_fn);
 
   std::string name() const override { return "bag_of_tasks"; }
   Status validate() const override;
-  Status execute(PatternExecutor& executor) override;
+  Status compile(TaskGraph& graph) override;
 
   const std::vector<pilot::ComputeUnitPtr>& units() const { return units_; }
 
@@ -138,7 +115,8 @@ class BagOfTasks final : public ExecutionPattern {
 
 /// N independent pipelines of M ordered stages. Stage s+1 of pipeline
 /// p starts as soon as stage s of pipeline p finishes — there is no
-/// barrier across pipelines (paper Fig 2a).
+/// barrier across pipelines (paper Fig 2a). Compiles to N dependency
+/// chains judged as one chain set at drain time.
 class EnsembleOfPipelines final : public ExecutionPattern {
  public:
   EnsembleOfPipelines(Count n_pipelines, Count n_stages);
@@ -148,7 +126,7 @@ class EnsembleOfPipelines final : public ExecutionPattern {
 
   std::string name() const override { return "ensemble_of_pipelines"; }
   Status validate() const override;
-  Status execute(PatternExecutor& executor) override;
+  Status compile(TaskGraph& graph) override;
 
   const std::vector<pilot::ComputeUnitPtr>& units() const { return units_; }
 
@@ -162,8 +140,10 @@ class EnsembleOfPipelines final : public ExecutionPattern {
 /// Iterated two-stage pattern with global barriers: all simulations of
 /// an iteration run (synchronise), then all analyses run (synchronise),
 /// then the next iteration starts (paper Fig 2c). Optional pre- and
-/// post-loop stages. The member counts may adapt between iterations
-/// via set_adaptive_counts (a paper "future work" feature).
+/// post-loop stages. Compiles to gated stage groups; with adaptive
+/// member counts the iterations are emitted by an expander, one
+/// generation at a time, so the counts callback runs after the
+/// previous iteration settled — exactly when it can inspect results.
 class SimulationAnalysisLoop final : public ExecutionPattern {
  public:
   SimulationAnalysisLoop(Count n_iterations, Count n_simulations,
@@ -181,7 +161,7 @@ class SimulationAnalysisLoop final : public ExecutionPattern {
 
   std::string name() const override { return "simulation_analysis_loop"; }
   Status validate() const override;
-  Status execute(PatternExecutor& executor) override;
+  Status compile(TaskGraph& graph) override;
 
   const std::vector<pilot::ComputeUnitPtr>& units() const { return units_; }
   const std::vector<pilot::ComputeUnitPtr>& simulation_units() const {
@@ -192,6 +172,15 @@ class SimulationAnalysisLoop final : public ExecutionPattern {
   }
 
  private:
+  /// Emits one iteration's sim + analysis stage groups; returns the
+  /// analysis group (the gate for whatever follows).
+  GroupId emit_iteration(TaskGraph& graph, Count iteration, Count n_sims,
+                         Count n_ana, const GroupId* gate);
+  /// Emits a pre-/post-loop singleton stage; returns its stage group.
+  GroupId emit_bracket(TaskGraph& graph, const StageFn& fn,
+                       StageContext context, const std::string& label,
+                       const GroupId* gate);
+
   Count n_iterations_;
   Count n_simulations_;
   Count n_analyses_;
@@ -200,6 +189,8 @@ class SimulationAnalysisLoop final : public ExecutionPattern {
   StageFn analysis_;
   StageFn post_loop_;
   CountsFn counts_fn_;
+  Count next_iteration_ = 0;   ///< Adaptive expander cursor.
+  bool post_emitted_ = false;  ///< Adaptive expander: post-loop done.
   std::vector<pilot::ComputeUnitPtr> units_;
   std::vector<pilot::ComputeUnitPtr> simulation_units_;
   std::vector<pilot::ComputeUnitPtr> analysis_units_;
@@ -210,9 +201,12 @@ class SimulationAnalysisLoop final : public ExecutionPattern {
 ///
 /// Two exchange modes:
 ///  - kGlobalSweep: one exchange task per cycle over all replicas
-///    (the configuration of the paper's scaling experiments).
+///    (the configuration of the paper's scaling experiments). Compiles
+///    to gated stage groups per cycle.
 ///  - kPairwise: one exchange task per neighbour pair, submitted the
 ///    moment both partners finish — no global barrier inside a cycle.
+///    Compiles to a static grid of dependency edges; each exchange
+///    node belongs to both partners' replica chains.
 class EnsembleExchange final : public ExecutionPattern {
  public:
   enum class ExchangeMode { kGlobalSweep, kPairwise };
@@ -237,7 +231,7 @@ class EnsembleExchange final : public ExecutionPattern {
 
   std::string name() const override { return "ensemble_exchange"; }
   Status validate() const override;
-  Status execute(PatternExecutor& executor) override;
+  Status compile(TaskGraph& graph) override;
 
   const std::vector<pilot::ComputeUnitPtr>& units() const { return units_; }
   const std::vector<pilot::ComputeUnitPtr>& simulation_units() const {
@@ -247,9 +241,12 @@ class EnsembleExchange final : public ExecutionPattern {
     return exchange_units_;
   }
 
+ protected:
+  void on_graph_executed() override;
+
  private:
-  Status execute_global(PatternExecutor& executor);
-  Status execute_pairwise(PatternExecutor& executor);
+  Status compile_global(TaskGraph& graph);
+  Status compile_pairwise(TaskGraph& graph);
 
   Count n_replicas_;
   Count n_cycles_;
@@ -266,7 +263,8 @@ class EnsembleExchange final : public ExecutionPattern {
 /// Higher-order composition: repeats a body pattern until the
 /// application decides it has converged (or a round cap is hit) — the
 /// paper's adaptive-execution outlook, where the amount of work is
-/// only known at runtime.
+/// only known at runtime. Compiles to a single expander that re-emits
+/// the body's graph each round, after consulting the predicate.
 class AdaptiveLoop final : public ExecutionPattern {
  public:
   /// Called after each completed round with the 1-based round number;
@@ -278,7 +276,7 @@ class AdaptiveLoop final : public ExecutionPattern {
 
   std::string name() const override { return "adaptive_loop"; }
   Status validate() const override;
-  Status execute(PatternExecutor& executor) override;
+  Status compile(TaskGraph& graph) override;
 
   Count rounds_completed() const { return rounds_completed_; }
   ExecutionPattern& body() { return *body_; }
@@ -287,11 +285,14 @@ class AdaptiveLoop final : public ExecutionPattern {
   std::unique_ptr<ExecutionPattern> body_;
   Count max_rounds_;
   ContinueFn continue_fn_;
+  Count next_round_ = 0;  ///< Expander cursor.
   Count rounds_completed_ = 0;
 };
 
 /// Higher-order composition: runs child patterns one after another
 /// (the paper's "unit patterns combine into complex patterns").
+/// Compiles to an expander that emits one child's graph at a time, so
+/// a child after a failed one is never even compiled.
 class SequencePattern final : public ExecutionPattern {
  public:
   explicit SequencePattern(std::string name = "sequence");
@@ -301,11 +302,12 @@ class SequencePattern final : public ExecutionPattern {
 
   std::string name() const override { return name_; }
   Status validate() const override;
-  Status execute(PatternExecutor& executor) override;
+  Status compile(TaskGraph& graph) override;
 
  private:
   std::string name_;
   std::vector<std::unique_ptr<ExecutionPattern>> children_;
+  std::size_t next_child_ = 0;  ///< Expander cursor.
 };
 
 }  // namespace entk::core

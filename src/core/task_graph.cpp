@@ -1,0 +1,183 @@
+#include "core/task_graph.hpp"
+
+#include <sstream>
+
+namespace entk::core {
+
+Status FailureRules::validate() const {
+  if (policy == FailurePolicy::kQuorum &&
+      (quorum <= 0.0 || quorum > 1.0)) {
+    return make_error(Errc::kInvalidArgument,
+                      "quorum must be in (0, 1], got " +
+                          std::to_string(quorum));
+  }
+  return Status::ok();
+}
+
+NodeId TaskGraph::add_node(std::string label, SpecFn make_spec,
+                           StageContext context) {
+  ENTK_CHECK(static_cast<bool>(make_spec),
+             "task graph node needs a spec producer");
+  TaskNode node;
+  node.label = std::move(label);
+  node.make_spec = std::move(make_spec);
+  node.context = context;
+  node.generation = generation_;
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+void TaskGraph::set_sink(NodeId node, UnitSink sink) {
+  ENTK_CHECK(node < nodes_.size(), "sink on unknown node");
+  nodes_[node].sink = std::move(sink);
+}
+
+void TaskGraph::add_dependency(NodeId node, NodeId depends_on) {
+  ENTK_CHECK(node < nodes_.size() && depends_on < nodes_.size(),
+             "dependency on unknown node");
+  ENTK_CHECK(depends_on < node,
+             "dependencies must point at earlier nodes (acyclic by "
+             "construction)");
+  nodes_[node].deps.push_back(depends_on);
+}
+
+GroupId TaskGraph::add_stage_group(std::string label, FailureRules rules) {
+  TaskGroup group;
+  group.label = std::move(label);
+  group.kind = GroupKind::kStage;
+  group.rules = rules;
+  groups_.push_back(std::move(group));
+  return groups_.size() - 1;
+}
+
+GroupId TaskGraph::add_chain_group(std::string label) {
+  TaskGroup group;
+  group.label = std::move(label);
+  group.kind = GroupKind::kChain;
+  groups_.push_back(std::move(group));
+  return groups_.size() - 1;
+}
+
+void TaskGraph::add_member(GroupId group, NodeId node) {
+  ENTK_CHECK(group < groups_.size(), "membership in unknown group");
+  ENTK_CHECK(node < nodes_.size(), "membership of unknown node");
+  groups_[group].members.push_back(node);
+  nodes_[node].groups.push_back(group);
+}
+
+void TaskGraph::gate_on(NodeId node, GroupId stage_group) {
+  ENTK_CHECK(node < nodes_.size(), "gate on unknown node");
+  ENTK_CHECK(stage_group < groups_.size() &&
+                 groups_[stage_group].kind == GroupKind::kStage,
+             "nodes gate on stage groups only");
+  nodes_[node].gates.push_back(stage_group);
+}
+
+void TaskGraph::add_chain_set(std::string label, std::string member_noun,
+                              FailureRules rules,
+                              std::vector<GroupId> chains) {
+  for (const GroupId chain : chains) {
+    ENTK_CHECK(chain < groups_.size() &&
+                   groups_[chain].kind == GroupKind::kChain,
+               "chain sets hold chain groups only");
+  }
+  ChainSet set;
+  set.label = std::move(label);
+  set.member_noun = std::move(member_noun);
+  set.rules = rules;
+  set.chains = std::move(chains);
+  chain_sets_.push_back(std::move(set));
+}
+
+void TaskGraph::add_expander(ExpanderFn expander) {
+  ENTK_CHECK(static_cast<bool>(expander), "null graph expander");
+  expanders_.push_back(std::move(expander));
+}
+
+Status TaskGraph::validate() const {
+  for (const TaskNode& node : nodes_) {
+    if (!node.make_spec) {
+      return make_error(Errc::kInvalidArgument,
+                        "task graph node '" + node.label +
+                            "' has no spec producer");
+    }
+  }
+  for (const TaskGroup& group : groups_) {
+    if (group.kind == GroupKind::kStage) {
+      ENTK_RETURN_IF_ERROR(group.rules.validate());
+    }
+  }
+  for (const ChainSet& set : chain_sets_) {
+    ENTK_RETURN_IF_ERROR(set.rules.validate());
+  }
+  return Status::ok();
+}
+
+namespace {
+
+/// Graphviz-safe label text.
+std::string dot_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  return escaped;
+}
+
+}  // namespace
+
+std::string TaskGraph::to_dot() const {
+  std::ostringstream out;
+  out << "digraph taskgraph {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=box, fontsize=10];\n";
+  // Stage groups become clusters; each gets a barrier point so the
+  // group -> gated-node relation renders as a single dashed edge.
+  for (GroupId gid = 0; gid < groups_.size(); ++gid) {
+    const TaskGroup& group = groups_[gid];
+    if (group.kind != GroupKind::kStage) continue;
+    out << "  subgraph cluster_g" << gid << " {\n"
+        << "    label=\"" << dot_escape(group.label) << "\";\n"
+        << "    style=dashed;\n";
+    for (const NodeId member : group.members) {
+      out << "    n" << member << ";\n";
+    }
+    out << "    b" << gid << " [shape=point, label=\"\"];\n"
+        << "  }\n";
+    for (const NodeId member : group.members) {
+      out << "  n" << member << " -> b" << gid
+          << " [style=dotted, arrowhead=none];\n";
+    }
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const TaskNode& node = nodes_[id];
+    out << "  n" << id << " [label=\"" << dot_escape(node.label)
+        << "\"];\n";
+    for (const NodeId dep : node.deps) {
+      out << "  n" << dep << " -> n" << id << ";\n";
+    }
+    for (const GroupId gate : node.gates) {
+      out << "  b" << gate << " -> n" << id << " [style=dashed];\n";
+    }
+  }
+  // Chain groups overlap (a pairwise exchange belongs to two replica
+  // chains), so they render as a legend rather than clusters.
+  for (GroupId gid = 0; gid < groups_.size(); ++gid) {
+    const TaskGroup& group = groups_[gid];
+    if (group.kind != GroupKind::kChain) continue;
+    out << "  // chain '" << group.label << "':";
+    for (const NodeId member : group.members) out << " n" << member;
+    out << "\n";
+  }
+  if (!expanders_.empty()) {
+    out << "  // " << expanders_.size()
+        << " expander(s) pending: adaptive generations are added at "
+           "run time\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace entk::core

@@ -1,0 +1,180 @@
+// TaskGraph: the explicit DAG every execution pattern compiles to.
+//
+// A pattern no longer runs anything itself — it *compiles* its tasks
+// into this graph (nodes with lazy TaskSpec producers, success edges,
+// failure scopes) and the event-driven GraphExecutor drives the graph
+// against the runtime. The split mirrors the Pipeline–Stage–Task
+// dataflow rearchitecture of EnTK's successor ("Harnessing the Power
+// of Many"): expression is a data structure, execution is an engine.
+//
+// Model:
+//  - Node: one task slot. Its TaskSpec is produced by a deferred
+//    callback at submission time, so stateful user stage functions
+//    (e.g. replica-exchange apps mutating temperature ladders between
+//    cycles) observe up-to-date application state, exactly as they did
+//    under the imperative run loops.
+//  - Success edge (dependency): the downstream node runs only if the
+//    upstream node reached kDone; otherwise it is skipped (a failed
+//    pipeline stage ends its pipeline).
+//  - Stage group: a barrier scope with FailureRules. Once every member
+//    settles, the executor computes the stage verdict (fail-fast /
+//    continue / quorum); a failed verdict aborts the whole graph.
+//    Nodes *gated* on a stage group wait for its verdict.
+//  - Chain group + chain set: a completion scope evaluated when the
+//    graph drains (per-pipeline / per-replica verdicts). Chains may
+//    overlap: a pairwise exchange task belongs to both partners'
+//    replica chains.
+//  - Expander: a callback invoked when the graph quiesces with all
+//    verdicts passing; it may append another generation of nodes
+//    (adaptive loops, sequences, data-dependent member counts).
+//
+// TaskGraph is a passive structure: it holds no execution state and no
+// locks. It is mutated only single-threaded — by the pattern compiler
+// before the run and by expanders at quiescence points during it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/task.hpp"
+#include "pilot/compute_unit.hpp"
+
+namespace entk::core {
+
+/// Where in the pattern a stage callback is being invoked.
+struct StageContext {
+  Count iteration = 1;  ///< 1-based iteration / cycle.
+  Count stage = 1;      ///< 1-based stage within the pattern.
+  Count instance = 0;   ///< 0-based pipeline / replica / member index.
+  Count instances = 0;  ///< Total members in this stage.
+};
+
+/// Produces the task for one (iteration, stage, instance) slot.
+using StageFn = std::function<TaskSpec(const StageContext&)>;
+
+/// How a pattern reacts once a task settles as failed or cancelled
+/// (i.e. after the runtime exhausted its retry budget — transient
+/// failures with retries left never reach the pattern).
+enum class FailurePolicy {
+  kFailFast,            ///< First settled failure aborts the pattern.
+  kContinueOnFailure,   ///< Log the failure, keep every survivor going.
+  kQuorum,              ///< A stage succeeds if enough members finish.
+};
+
+struct FailureRules {
+  FailurePolicy policy = FailurePolicy::kFailFast;
+  /// kQuorum only: minimum fraction of a stage's (pipeline's,
+  /// replica's) members that must reach kDone, in (0, 1].
+  double quorum = 1.0;
+
+  Status validate() const;
+};
+
+using NodeId = std::size_t;
+using GroupId = std::size_t;
+
+/// Produces a node's TaskSpec at submission time (never earlier).
+using SpecFn = std::function<TaskSpec()>;
+
+/// Receives the compute unit created for a node the moment it is
+/// submitted (patterns use sinks to populate their unit accessors).
+using UnitSink = std::function<void(const pilot::ComputeUnitPtr&)>;
+
+/// Scope semantics of a TaskGroup.
+enum class GroupKind {
+  kStage,  ///< Barrier: verdict once all members settle; failure aborts.
+  kChain,  ///< Completion accounting: verdict folded in at drain time.
+};
+
+struct TaskNode {
+  std::string label;
+  SpecFn make_spec;
+  UnitSink sink;                ///< Optional.
+  StageContext context;         ///< Provenance (iteration/stage/instance).
+  Count generation = 0;         ///< Which expansion wave added the node.
+  std::vector<NodeId> deps;     ///< Success edges (must be kDone).
+  std::vector<GroupId> gates;   ///< Stage groups whose verdict must pass.
+  std::vector<GroupId> groups;  ///< Group memberships.
+};
+
+struct TaskGroup {
+  std::string label;
+  GroupKind kind = GroupKind::kStage;
+  FailureRules rules;           ///< Stage groups: verdict rules.
+  std::vector<NodeId> members;
+};
+
+/// A set of chain groups judged together under one FailureRules when
+/// the graph drains (the per-pipeline / per-replica pattern verdict).
+struct ChainSet {
+  std::string label;            ///< Pattern name, used in verdicts.
+  std::string member_noun = "chains";  ///< "pipelines", "replicas", ...
+  FailureRules rules;
+  std::vector<GroupId> chains;
+};
+
+class TaskGraph {
+ public:
+  /// Called when the graph quiesces with every verdict so far passing.
+  /// May append nodes / groups / further expanders. Returns true when
+  /// it scheduled more work, false when it is exhausted. Expanders run
+  /// innermost-first (LIFO), so a nested pattern's expander drains
+  /// before the enclosing loop decides its next round.
+  using ExpanderFn = std::function<Result<bool>(TaskGraph&)>;
+
+  NodeId add_node(std::string label, SpecFn make_spec,
+                  StageContext context = {});
+  void set_sink(NodeId node, UnitSink sink);
+  /// Success edge: `node` runs only once `depends_on` reached kDone.
+  /// The dependency must already exist (ids are append-ordered), which
+  /// keeps every TaskGraph acyclic by construction.
+  void add_dependency(NodeId node, NodeId depends_on);
+
+  GroupId add_stage_group(std::string label, FailureRules rules);
+  GroupId add_chain_group(std::string label);
+  void add_member(GroupId group, NodeId node);
+  /// `node` waits for `stage_group`'s verdict before becoming ready.
+  void gate_on(NodeId node, GroupId stage_group);
+  void add_chain_set(std::string label, std::string member_noun,
+                     FailureRules rules, std::vector<GroupId> chains);
+
+  void add_expander(ExpanderFn expander);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const TaskNode& node(NodeId id) const { return nodes_.at(id); }
+  std::size_t group_count() const { return groups_.size(); }
+  const TaskGroup& group(GroupId id) const { return groups_.at(id); }
+  std::size_t chain_set_count() const { return chain_sets_.size(); }
+  const ChainSet& chain_set(std::size_t index) const {
+    return chain_sets_.at(index);
+  }
+  std::size_t expander_count() const { return expanders_.size(); }
+  const ExpanderFn& expander(std::size_t index) const {
+    return expanders_.at(index);
+  }
+
+  /// Expansion wave stamped onto newly added nodes; the executor bumps
+  /// it before invoking an expander.
+  Count generation() const { return generation_; }
+  void bump_generation() { ++generation_; }
+
+  /// Structural checks (every node has a spec producer, gates refer to
+  /// stage groups, quorum rules well-formed).
+  Status validate() const;
+
+  /// Graphviz rendering: stage groups as clusters with barrier points,
+  /// success edges solid, gate edges dashed. Pending expanders are
+  /// noted — adaptive generations only exist once the graph runs.
+  std::string to_dot() const;
+
+ private:
+  std::vector<TaskNode> nodes_;
+  std::vector<TaskGroup> groups_;
+  std::vector<ChainSet> chain_sets_;
+  std::vector<ExpanderFn> expanders_;
+  Count generation_ = 0;
+};
+
+}  // namespace entk::core

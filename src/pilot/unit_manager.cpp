@@ -115,9 +115,7 @@ void UnitManager::route_pending() {
 
 void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
   if (state == UnitState::kDone || state == UnitState::kCanceled) {
-    MutexLock lock(mutex_);
-    const auto it = entries_.find(&unit);
-    if (it != entries_.end()) it->second.settled = true;
+    settle_and_notify(unit, state);
     return;
   }
   if (state != UnitState::kFailed) return;
@@ -128,18 +126,17 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
     MutexLock lock(mutex_);
     const auto it = entries_.find(&unit);
     if (it == entries_.end()) return;  // not managed here
-    if (unit.retries() >= policy.max_retries) {
-      it->second.settled = true;
-      return;
-    }
-    retry = it->second.unit;
+    if (unit.retries() < policy.max_retries) retry = it->second.unit;
+  }
+  if (retry == nullptr) {  // retry budget exhausted: final failure
+    settle_and_notify(unit, UnitState::kFailed);
+    return;
   }
   // Reset before bumping the retry counter: observers treat "failed
   // with retries left" as not-settled, so the unit must never be
   // visible as (failed, retries == max) while a retry is coming.
   if (!unit.reset_for_retry().is_ok()) {
-    MutexLock lock(mutex_);
-    entries_[&unit].settled = true;
+    settle_and_notify(unit, UnitState::kFailed);
     return;
   }
   unit.note_retry();
@@ -175,6 +172,44 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
     }
     route_pending();
   });
+}
+
+void UnitManager::settle_and_notify(ComputeUnit& unit, UnitState state) {
+  ComputeUnitPtr settled;
+  std::vector<SettledObserver> observers;
+  {
+    MutexLock lock(mutex_);
+    const auto it = entries_.find(&unit);
+    if (it == entries_.end()) return;  // not managed here
+    it->second.settled = true;
+    if (it->second.notified) return;  // already reported
+    it->second.notified = true;
+    settled = it->second.unit;
+    observers.reserve(observers_.size());
+    for (const auto& [token, observer] : observers_) {
+      observers.push_back(observer);
+    }
+  }
+  // Outside the lock: observers may re-enter the manager.
+  for (const auto& observer : observers) observer(settled, state);
+}
+
+std::size_t UnitManager::add_settled_observer(SettledObserver observer) {
+  ENTK_CHECK(static_cast<bool>(observer), "null settled observer");
+  MutexLock lock(mutex_);
+  const std::size_t token = next_observer_token_++;
+  observers_.emplace_back(token, std::move(observer));
+  return token;
+}
+
+void UnitManager::remove_settled_observer(std::size_t token) {
+  MutexLock lock(mutex_);
+  observers_.erase(
+      std::remove_if(observers_.begin(), observers_.end(),
+                     [token](const auto& entry) {
+                       return entry.first == token;
+                     }),
+      observers_.end());
 }
 
 void UnitManager::recover_from_pilot(Pilot& pilot) {

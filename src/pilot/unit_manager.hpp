@@ -14,7 +14,9 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.hpp"
@@ -61,6 +63,18 @@ class UnitManager {
   /// hook for tests; the default seed is fixed anyway).
   void seed_retry_jitter(std::uint64_t seed) ENTK_EXCLUDES(mutex_);
 
+  /// Fired exactly once per managed unit when it settles: done,
+  /// cancelled, or failed with retries exhausted. A kFailed state with
+  /// retry budget left never reaches observers — the retry is internal.
+  /// Observers run outside the manager lock and may re-enter the
+  /// manager (submit more units, cancel, ...).
+  using SettledObserver = std::function<void(const ComputeUnitPtr&,
+                                             UnitState)>;
+  /// Registers an observer; returns a token for removal.
+  std::size_t add_settled_observer(SettledObserver observer)
+      ENTK_EXCLUDES(mutex_);
+  void remove_settled_observer(std::size_t token) ENTK_EXCLUDES(mutex_);
+
   ExecutionBackend& backend() { return backend_; }
 
  private:
@@ -70,6 +84,11 @@ class UnitManager {
   void route_pending() ENTK_EXCLUDES(mutex_);
   void handle_state_change(ComputeUnit& unit, UnitState state)
       ENTK_EXCLUDES(mutex_);
+  /// Marks the unit settled and fires the settled observers (outside
+  /// the lock, at most once per unit). Every settle path — completion,
+  /// cancellation, final failure, oversized rejection — funnels here.
+  void settle_and_notify(ComputeUnit& unit, UnitState state)
+      ENTK_EXCLUDES(mutex_);
   /// Evicts and requeues the units stranded on a failed pilot.
   void recover_from_pilot(Pilot& pilot) ENTK_EXCLUDES(mutex_);
 
@@ -78,6 +97,7 @@ class UnitManager {
   struct Entry {
     ComputeUnitPtr unit;
     bool settled = false;
+    bool notified = false;  ///< Settled observers already fired.
   };
 
   mutable Mutex mutex_;
@@ -89,6 +109,9 @@ class UnitManager {
   std::size_t total_units_ ENTK_GUARDED_BY(mutex_) = 0;
   std::size_t total_retries_ ENTK_GUARDED_BY(mutex_) = 0;
   std::size_t recovered_units_ ENTK_GUARDED_BY(mutex_) = 0;
+  std::vector<std::pair<std::size_t, SettledObserver>> observers_
+      ENTK_GUARDED_BY(mutex_);
+  std::size_t next_observer_token_ ENTK_GUARDED_BY(mutex_) = 0;
   Xoshiro256 retry_rng_ ENTK_GUARDED_BY(mutex_){0x7e7c1ULL};
 };
 

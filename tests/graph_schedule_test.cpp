@@ -1,0 +1,247 @@
+// Schedule equivalence of the TaskGraph executor vs the pre-graph
+// imperative run loops.
+//
+// The expected makespans below were captured by running these exact
+// workloads on the simulated backend BEFORE the patterns were
+// rewritten as graph compilers (same seed, same machine profile, same
+// per-task overhead). The event-driven executor must reproduce each
+// schedule's structure — barriers, chaining, cross-pipeline overlap —
+// and land within a small tolerance of the original makespan (it may
+// only differ by submission-overhead batching, a few milliseconds).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/entk.hpp"
+
+namespace entk::core {
+namespace {
+
+/// Timestamp jitter allowed vs the pre-refactor traces: the graph
+/// executor charges a frontier's per-task overhead in one batch where
+/// the old loops charged it per submit, and it submits follow-ups at
+/// exact settlement instead of after drive-granularity lag.
+constexpr double kTolerance = 0.05;
+
+TaskSpec sleep_spec(double duration) {
+  TaskSpec spec;
+  spec.kernel = "misc.sleep";
+  spec.args.set("duration", duration);
+  return spec;
+}
+
+struct Slot {
+  TimePoint submitted;
+  TimePoint started;
+  TimePoint finished;
+};
+
+std::vector<Slot> timeline(const std::vector<pilot::ComputeUnitPtr>& units) {
+  std::vector<Slot> slots;
+  slots.reserve(units.size());
+  for (const auto& unit : units) {
+    slots.push_back(
+        {unit->submitted_at(), unit->exec_started_at(), unit->finished_at()});
+  }
+  return slots;
+}
+
+TimePoint makespan(const std::vector<pilot::ComputeUnitPtr>& units) {
+  TimePoint last = 0.0;
+  for (const auto& unit : units) {
+    last = std::max(last, unit->finished_at());
+  }
+  return last;
+}
+
+template <typename Pattern>
+Status run_fresh(Pattern& pattern, Count cores) {
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::SimBackend backend(sim::localhost_profile());
+  ResourceOptions options;
+  options.cores = cores;
+  ResourceHandle handle(backend, registry, options);
+  EXPECT_TRUE(handle.allocate().is_ok());
+  auto report = handle.run(pattern);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  if (!report.ok()) return report.status();
+  return report.value().outcome;
+}
+
+// The fixed workloads the pre-refactor traces were captured from.
+
+BagOfTasks bot_workload() {
+  return BagOfTasks(5, [](const StageContext& c) {
+    return sleep_spec(1.0 + static_cast<double>(c.instance));
+  });
+}
+
+EnsembleOfPipelines eop_workload() {
+  EnsembleOfPipelines pattern(3, 2);
+  pattern.set_stage(1, [](const StageContext& c) {
+    return sleep_spec(1.0 + 2.0 * static_cast<double>(c.instance));
+  });
+  pattern.set_stage(2, [](const StageContext& c) {
+    return sleep_spec(2.0 + static_cast<double>(c.instance));
+  });
+  return pattern;
+}
+
+SimulationAnalysisLoop sal_workload() {
+  SimulationAnalysisLoop pattern(2, 3, 2);
+  pattern.set_simulation([](const StageContext& c) {
+    return sleep_spec(1.0 + static_cast<double>(c.instance) +
+                      0.5 * static_cast<double>(c.iteration));
+  });
+  pattern.set_analysis([](const StageContext& c) {
+    return sleep_spec(0.5 + static_cast<double>(c.instance));
+  });
+  return pattern;
+}
+
+EnsembleExchange ee_global_workload() {
+  EnsembleExchange pattern(3, 2);
+  pattern.set_simulation([](const StageContext& c) {
+    return sleep_spec(1.0 + static_cast<double>(c.instance) +
+                      static_cast<double>(c.iteration));
+  });
+  pattern.set_exchange([](const StageContext&) { return sleep_spec(0.5); });
+  return pattern;
+}
+
+EnsembleExchange ee_pairwise_workload() {
+  EnsembleExchange pattern(4, 2, EnsembleExchange::ExchangeMode::kPairwise);
+  pattern.set_simulation([](const StageContext& c) {
+    return sleep_spec(1.0 + 2.0 * static_cast<double>(c.instance));
+  });
+  pattern.set_pair_exchange([](Count cycle, Count a, Count b) {
+    return sleep_spec(0.25 * static_cast<double>(cycle + a + b));
+  });
+  return pattern;
+}
+
+// ------------------------------------------------------ trace equivalence
+
+TEST(GraphSchedule, BagOfTasksMatchesSeedTrace) {
+  auto pattern = bot_workload();
+  ASSERT_TRUE(run_fresh(pattern, 2).is_ok());
+  ASSERT_EQ(pattern.units().size(), 5u);
+  // Pre-refactor makespan: 11.179 (2 cores, longest task last).
+  EXPECT_NEAR(makespan(pattern.units()), 11.179, kTolerance);
+  // One batched submission: every unit shares a submit timestamp.
+  for (const auto& unit : pattern.units()) {
+    EXPECT_DOUBLE_EQ(unit->submitted_at(),
+                     pattern.units().front()->submitted_at());
+  }
+}
+
+TEST(GraphSchedule, PipelinesMatchSeedTraceAndOverlap) {
+  auto pattern = eop_workload();
+  ASSERT_TRUE(run_fresh(pattern, 4).is_ok());
+  const auto& units = pattern.units();
+  ASSERT_EQ(units.size(), 6u);
+  // Pre-refactor makespan: 11.168.
+  EXPECT_NEAR(makespan(units), 11.168, kTolerance);
+  // units() order: stage 1 in pipeline order, then stage 2 chained in
+  // completion order (stage-1 durations increase with pipeline index).
+  EXPECT_LT(units[0]->finished_at(), units[1]->finished_at());
+  EXPECT_LT(units[1]->finished_at(), units[2]->finished_at());
+  // Cross-pipeline overlap: pipeline 0's stage 2 starts (a) right at
+  // its own stage-1 completion and (b) long before pipeline 2's
+  // stage 1 even finished — the no-barrier property.
+  EXPECT_NEAR(units[3]->submitted_at(), units[0]->finished_at(),
+              kTolerance);
+  EXPECT_LT(units[3]->exec_started_at(), units[2]->finished_at());
+  // Each stage 2 still respects its own pipeline's stage 1.
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_GE(units[3 + p]->exec_started_at(), units[p]->finished_at());
+  }
+}
+
+TEST(GraphSchedule, SalMatchesSeedTraceAndKeepsBarriers) {
+  auto pattern = sal_workload();
+  ASSERT_TRUE(run_fresh(pattern, 4).is_ok());
+  ASSERT_EQ(pattern.units().size(), 10u);
+  ASSERT_EQ(pattern.simulation_units().size(), 6u);
+  ASSERT_EQ(pattern.analysis_units().size(), 4u);
+  // Pre-refactor makespan: 12.702 (the graph executor may only beat it
+  // by skipping the old drive-granularity lag between stages).
+  EXPECT_LE(makespan(pattern.units()), 12.702 + kTolerance);
+  EXPECT_GE(makespan(pattern.units()), 12.702 - kTolerance);
+  // Global barrier per stage: iteration-1 analyses start only after
+  // ALL iteration-1 sims finished; iteration-2 sims only after ALL
+  // iteration-1 analyses.
+  const auto& sims = pattern.simulation_units();
+  const auto& analyses = pattern.analysis_units();
+  TimePoint sims1_done = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    sims1_done = std::max(sims1_done, sims[s]->finished_at());
+  }
+  for (int a = 0; a < 2; ++a) {
+    EXPECT_GE(analyses[a]->exec_started_at(), sims1_done);
+  }
+  TimePoint ana1_done = 0.0;
+  for (int a = 0; a < 2; ++a) {
+    ana1_done = std::max(ana1_done, analyses[a]->finished_at());
+  }
+  for (int s = 3; s < 6; ++s) {
+    EXPECT_GE(sims[s]->exec_started_at(), ana1_done);
+  }
+}
+
+TEST(GraphSchedule, GlobalExchangeMatchesSeedTrace) {
+  auto pattern = ee_global_workload();
+  ASSERT_TRUE(run_fresh(pattern, 4).is_ok());
+  ASSERT_EQ(pattern.units().size(), 8u);
+  // Pre-refactor makespan: 12.194.
+  EXPECT_NEAR(makespan(pattern.units()), 12.194, kTolerance);
+  // Cycle barrier: the exchange starts after every cycle-1 sim, and
+  // every cycle-2 sim starts after the cycle-1 exchange.
+  const auto& sims = pattern.simulation_units();
+  const auto& exchanges = pattern.exchange_units();
+  ASSERT_EQ(sims.size(), 6u);
+  ASSERT_EQ(exchanges.size(), 2u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_GE(exchanges[0]->exec_started_at(), sims[r]->finished_at());
+    EXPECT_GE(sims[3 + r]->exec_started_at(),
+              exchanges[0]->finished_at());
+  }
+}
+
+TEST(GraphSchedule, PairwiseMatchesSeedTraceAndStaysAsync) {
+  auto pattern = ee_pairwise_workload();
+  ASSERT_TRUE(run_fresh(pattern, 4).is_ok());
+  ASSERT_EQ(pattern.units().size(), 11u);
+  ASSERT_EQ(pattern.simulation_units().size(), 8u);
+  ASSERT_EQ(pattern.exchange_units().size(), 3u);
+  // Pre-refactor makespan: 17.675.
+  EXPECT_NEAR(makespan(pattern.units()), 17.675, kTolerance);
+  // No global barrier: the (0,1) cycle-1 exchange runs while replica
+  // 3's cycle-1 simulation is still executing.
+  const auto& exchanges = pattern.exchange_units();
+  const auto& sims = pattern.simulation_units();
+  EXPECT_LT(exchanges[0]->finished_at(), sims[3]->finished_at());
+}
+
+// ---------------------------------------------------------- determinism
+
+TEST(GraphSchedule, SameWorkloadGivesIdenticalTimelines) {
+  std::vector<Slot> first;
+  {
+    auto pattern = eop_workload();
+    ASSERT_TRUE(run_fresh(pattern, 4).is_ok());
+    first = timeline(pattern.units());
+  }
+  auto pattern = eop_workload();
+  ASSERT_TRUE(run_fresh(pattern, 4).is_ok());
+  const std::vector<Slot> second = timeline(pattern.units());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].submitted, second[i].submitted) << i;
+    EXPECT_DOUBLE_EQ(first[i].started, second[i].started) << i;
+    EXPECT_DOUBLE_EQ(first[i].finished, second[i].finished) << i;
+  }
+}
+
+}  // namespace
+}  // namespace entk::core

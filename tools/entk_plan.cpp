@@ -3,9 +3,14 @@
 // (machine, pilot size) plans by predicted time to completion.
 //
 //   entk-plan <kernel> <n_tasks> [stages] [key=value ...] [--top N]
+//   entk-plan --dot <workload-file>
 //
 // Example:
 //   entk-plan md.simulate 1024 1 steps=300 n_particles=2881 --top 8
+//
+// With --dot, the workload file's pattern is compiled to its TaskGraph
+// and dumped in Graphviz format (pipe into `dot -Tsvg`): the exact
+// dependency structure the executor will drive, before running a thing.
 #include <cstring>
 #include <iostream>
 
@@ -13,12 +18,41 @@
 #include "common/table.hpp"
 #include "core/entk.hpp"
 
+namespace {
+
+int dump_dot(const std::string& path) {
+  using namespace entk;
+  auto spec = core::load_workload(path);
+  if (!spec.ok()) {
+    std::cerr << "entk-plan: " << spec.status().to_string() << "\n";
+    return 2;
+  }
+  auto pattern = core::build_pattern(spec.value());
+  if (!pattern.ok()) {
+    std::cerr << "entk-plan: " << pattern.status().to_string() << "\n";
+    return 2;
+  }
+  core::TaskGraph graph;
+  if (Status status = pattern.value()->compile(graph); !status.is_ok()) {
+    std::cerr << "entk-plan: " << status.to_string() << "\n";
+    return 2;
+  }
+  std::cout << graph.to_dot();
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace entk;
 
+  if (argc == 3 && std::strcmp(argv[1], "--dot") == 0) {
+    return dump_dot(argv[2]);
+  }
   if (argc < 3) {
     std::cerr << "usage: entk-plan <kernel> <n_tasks> [stages] "
-                 "[key=value ...] [--top N]\n";
+                 "[key=value ...] [--top N]\n"
+                 "       entk-plan --dot <workload-file>\n";
     return 1;
   }
   const std::string kernel_name = argv[1];
