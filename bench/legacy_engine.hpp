@@ -1,0 +1,122 @@
+// The pre-pool discrete-event engine, preserved verbatim for the
+// scale_sweep before/after comparison.
+//
+// This is the engine the toolkit shipped before the slab/free-list
+// rework (see docs/PERFORMANCE.md): every scheduled event allocates a
+// shared_ptr<Event> control block, the cancellation index is an
+// unordered_map of weak_ptrs, and cancelled events linger in the
+// priority queue until popped. bench/scale_sweep drives this copy and
+// the production entk::sim::Engine through the same workload and
+// reports both events/sec numbers in BENCH_scale.json, so the speedup
+// claim stays measurable instead of anecdotal.
+//
+// Nothing outside bench/ may include this header.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace entk::bench {
+
+using LegacyEventId = std::uint64_t;
+
+class LegacyEngine {
+ public:
+  LegacyEngine() = default;
+  LegacyEngine(const LegacyEngine&) = delete;
+  LegacyEngine& operator=(const LegacyEngine&) = delete;
+
+  TimePoint now() const { return clock_.now(); }
+
+  LegacyEventId schedule(Duration delay, std::function<void()> fn) {
+    ENTK_CHECK(delay >= 0.0, "cannot schedule an event in the past");
+    return schedule_at(clock_.now() + delay, std::move(fn));
+  }
+
+  LegacyEventId schedule_at(TimePoint t, std::function<void()> fn) {
+    ENTK_CHECK(t >= clock_.now(), "cannot schedule an event in the past");
+    auto event = std::make_shared<Event>();
+    event->time = t;
+    event->seq = next_seq_++;
+    event->id = next_id_++;
+    event->fn = std::move(fn);
+    index_[event->id] = event;
+    queue_.push(event);
+    ++live_events_;
+    return event->id;
+  }
+
+  bool cancel(LegacyEventId id) {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    auto event = it->second.lock();
+    index_.erase(it);
+    if (!event || event->cancelled) return false;
+    event->cancelled = true;
+    --live_events_;
+    return true;
+  }
+
+  bool step() {
+    while (!queue_.empty()) {
+      auto event = queue_.top();
+      queue_.pop();
+      if (event->cancelled) continue;
+      index_.erase(event->id);
+      --live_events_;
+      clock_.advance_to(event->time);
+      ++dispatched_;
+      auto fn = std::move(event->fn);
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  std::size_t pending_events() const { return live_events_; }
+  std::uint64_t dispatched_events() const { return dispatched_; }
+  /// Entries physically sitting in the priority queue, cancelled
+  /// included — the lazy-cancel bloat the pooled engine eliminated.
+  std::size_t queue_entries() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    LegacyEventId id;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct EventOrder {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  ManualClock clock_;
+  std::priority_queue<std::shared_ptr<Event>,
+                      std::vector<std::shared_ptr<Event>>, EventOrder>
+      queue_;
+  std::unordered_map<LegacyEventId, std::weak_ptr<Event>> index_;
+  std::uint64_t next_seq_ = 0;
+  LegacyEventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace entk::bench

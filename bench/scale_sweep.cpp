@@ -1,0 +1,474 @@
+// Scale sweep: the toolkit's perf-regression harness.
+//
+// Two questions, answered with machine-readable numbers
+// (BENCH_scale.json):
+//
+//  1. How fast is the event engine itself?  A cancel-heavy timer-churn
+//     microbench — the agent's walltime-timer idiom: every unit
+//     schedules a completion AND a timeout, completion cancels the
+//     timeout — drives the pre-rework engine (bench/legacy_engine.hpp,
+//     preserved verbatim) and the production pooled engine through the
+//     identical workload and reports both events/sec numbers. The
+//     pooled engine must stay >= 5x at 100k units; the ratio is
+//     machine-relative, so it is the robust regression signal across
+//     differently-sized CI runners.
+//
+//  2. Does the whole stack stay sublinear per unit at ensemble scale?
+//     Weak- and strong-scaling sweeps of the paper's patterns
+//     (BoT / EoP / SAL) up to 100k units on a synthetic large machine,
+//     reporting wall-clock events/sec, scheduler cycles, toolkit
+//     overhead per unit and peak RSS for each point.
+//
+// Modes: the default run is CI-sized (seconds); --full runs the
+// 100k-unit points the acceptance numbers come from.
+//
+//   scale_sweep [--full] [--out BENCH_scale.json]
+//
+// docs/PERFORMANCE.md describes the methodology and the JSON schema;
+// tools/check_bench_regression.py gates CI on the result.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "legacy_engine.hpp"
+#include "pilot/sim_agent.hpp"
+
+namespace {
+
+using namespace entk;
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Linux: ru_maxrss is KiB. Monotone per process (high-water mark).
+double peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+// ---------------------------------------------------------------------
+// Part 1: engine comparison (legacy vs pooled), identical workload.
+// ---------------------------------------------------------------------
+
+struct ChurnResult {
+  double wall_seconds = 0.0;
+  std::uint64_t dispatched = 0;
+  std::size_t peak_entries = 0;  ///< Queue/heap high-water mark.
+  double events_per_sec = 0.0;
+};
+
+/// Shared state of one churn run. Callbacks capture exactly (context
+/// pointer, timer handle) — 16 trivially-copyable bytes, inside
+/// std::function's small-object buffer — so the measurement isolates
+/// the engines' own costs (allocation, index maintenance, heap depth)
+/// instead of closure heap traffic both engines would pay alike.
+template <typename EngineT>
+struct ChurnContext {
+  EngineT& engine;
+  std::size_t (*entries)(EngineT&);
+  const std::vector<double>& durations;
+  std::size_t next_unit = 0;
+  std::size_t n_units = 0;
+  std::size_t peak_entries = 0;
+};
+
+/// One unit's lifecycle, the agent's walltime-timer idiom: arm a
+/// watchdog and schedule the spawn; at launch re-arm the watchdog for
+/// the execution phase; at completion cancel it and start the next
+/// unit. Per unit: 4 schedules, 2 dispatches, 2 cancels. The legacy
+/// engine leaves every cancelled watchdog as a tombstone in its
+/// priority queue (they sort 1h into the future), so its heap grows
+/// O(n_units); the pooled engine recycles the slot immediately and
+/// stays O(window).
+template <typename EngineT>
+void churn_start_unit(ChurnContext<EngineT>* ctx) {
+  if (ctx->next_unit >= ctx->n_units) return;
+  const std::size_t i = ctx->next_unit++;
+  const double spawn_delay =
+      0.05 * ctx->durations[i % ctx->durations.size()];
+  const auto spawn_watchdog = ctx->engine.schedule(3600.0, [] {});
+  ctx->engine.schedule(spawn_delay, [ctx, spawn_watchdog] {
+    // Launched: re-arm the walltime watchdog for the execution phase.
+    ctx->engine.cancel(spawn_watchdog);
+    const auto exec_watchdog = ctx->engine.schedule(3600.0, [] {});
+    const double run_delay =
+        ctx->durations[ctx->next_unit % ctx->durations.size()];
+    ctx->engine.schedule(run_delay, [ctx, exec_watchdog] {
+      ctx->engine.cancel(exec_watchdog);
+      if ((ctx->next_unit & 63u) == 0) {
+        ctx->peak_entries =
+            std::max(ctx->peak_entries, ctx->entries(ctx->engine));
+      }
+      churn_start_unit(ctx);
+    });
+  });
+}
+
+template <typename EngineT>
+ChurnResult drive_timer_churn(EngineT& engine, std::size_t n_units,
+                              std::size_t window,
+                              std::size_t (*entries)(EngineT&)) {
+  // Deterministic per-unit durations, identical for both engines.
+  std::vector<double> durations(1024);
+  Xoshiro256 rng(0x5ca1ab1eULL);
+  for (double& d : durations) d = 0.5 + rng.uniform();
+
+  ChurnContext<EngineT> ctx{engine, entries, durations};
+  ctx.n_units = n_units;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < window && i < n_units; ++i) {
+    churn_start_unit(&ctx);
+  }
+  engine.run();
+  ChurnResult result;
+  result.wall_seconds = wall_seconds_since(start);
+  result.dispatched = engine.dispatched_events();
+  result.peak_entries = std::max(ctx.peak_entries, entries(engine));
+  result.events_per_sec =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.dispatched) / result.wall_seconds
+          : 0.0;
+  return result;
+}
+
+struct EngineCompare {
+  std::size_t n_units = 0;
+  ChurnResult legacy;
+  ChurnResult pooled;
+  double speedup = 0.0;
+};
+
+EngineCompare compare_engines(std::size_t n_units, std::size_t window) {
+  EngineCompare compare;
+  compare.n_units = n_units;
+  {
+    bench::LegacyEngine legacy;
+    compare.legacy = drive_timer_churn<bench::LegacyEngine>(
+        legacy, n_units, window,
+        [](bench::LegacyEngine& e) { return e.queue_entries(); });
+  }
+  {
+    sim::Engine pooled;
+    compare.pooled = drive_timer_churn<sim::Engine>(
+        pooled, n_units, window,
+        [](sim::Engine& e) { return e.pool_slots(); });
+  }
+  compare.speedup = compare.legacy.events_per_sec > 0.0
+                        ? compare.pooled.events_per_sec /
+                              compare.legacy.events_per_sec
+                        : 0.0;
+  return compare;
+}
+
+// ---------------------------------------------------------------------
+// Part 2: whole-stack pattern sweeps.
+// ---------------------------------------------------------------------
+
+/// Synthetic large machine: enough cores for 100k single-core units,
+/// with light (localhost-grade) overhead parameters so virtual time
+/// stays bounded while every unit still pays spawn/launch/staging
+/// events — the toolkit machinery is what is being measured.
+sim::MachineProfile scale_profile(Count cores) {
+  sim::MachineProfile p;
+  p.name = "bench.scale";
+  p.cores_per_node = 64;
+  p.nodes = (cores + p.cores_per_node - 1) / p.cores_per_node;
+  p.memory_per_node_gb = 256.0;
+  p.performance_factor = 1.0;
+  p.unit_spawn_overhead = 0.001;
+  p.spawner_concurrency = 64;
+  p.unit_launch_latency = 0.002;
+  p.pilot_bootstrap = 0.1;
+  p.batch_base_wait = 0.0;
+  p.batch_wait_per_node = 0.0;
+  p.staging_latency = 0.001;
+  p.staging_bandwidth_mb_per_s = 1000.0;
+  return p;
+}
+
+/// Deterministically heterogeneous sleep task (so schedules are not
+/// degenerate all-identical).
+core::StageFn sleep_stage(double base, double spread) {
+  return [base, spread](const core::StageContext& context) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(context.instance) * 7919 +
+                   static_cast<std::uint64_t>(context.stage) * 104729 + 17);
+    core::TaskSpec spec;
+    spec.kernel = "misc.sleep";
+    spec.args.set("duration",
+                  base * (1.0 + spread * (2.0 * rng.uniform() - 1.0)));
+    return spec;
+  };
+}
+
+struct SweepPoint {
+  std::string pattern;  ///< "bot" / "eop" / "sal"
+  std::string scaling;  ///< "weak" / "strong"
+  std::size_t n_units = 0;
+  Count cores = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t engine_events = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t scheduler_cycles = 0;
+  double scheduler_us_per_cycle = 0.0;
+  double wall_us_per_unit = 0.0;
+  double toolkit_overhead_per_unit_s = 0.0;  ///< Virtual-time overhead.
+  double ttc = 0.0;                          ///< Virtual time-to-completion.
+  double peak_rss_mb = 0.0;
+};
+
+SweepPoint run_pattern(const std::string& label, const std::string& scaling,
+                       core::ExecutionPattern& pattern, Count cores) {
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::SimBackend backend(scale_profile(cores));
+  core::ResourceOptions options;
+  options.cores = cores;
+  options.runtime = 4.0e6;
+  core::ResourceHandle handle(backend, registry, options);
+
+  SweepPoint point;
+  point.pattern = label;
+  point.scaling = scaling;
+  point.cores = cores;
+
+  if (Status status = handle.allocate(); !status.is_ok()) {
+    std::cerr << "BENCH FAILURE (" << label
+              << "/allocate): " << status.to_string() << "\n";
+    std::exit(1);
+  }
+  const std::uint64_t events_before = backend.engine().dispatched_events();
+  const auto start = std::chrono::steady_clock::now();
+  auto report = handle.run(pattern);
+  point.wall_seconds = wall_seconds_since(start);
+  if (!report.ok() || !report.value().outcome.is_ok()) {
+    const Status status =
+        report.ok() ? report.value().outcome : report.status();
+    std::cerr << "BENCH FAILURE (" << label
+              << "/run): " << status.to_string() << "\n";
+    std::exit(1);
+  }
+  point.n_units = report.value().units.size();
+  point.engine_events =
+      backend.engine().dispatched_events() - events_before;
+  point.events_per_sec =
+      point.wall_seconds > 0.0
+          ? static_cast<double>(point.engine_events) / point.wall_seconds
+          : 0.0;
+  if (auto* agent =
+          dynamic_cast<pilot::SimAgent*>(handle.pilot()->agent())) {
+    point.scheduler_cycles = agent->scheduler_cycles();
+  }
+  point.scheduler_us_per_cycle =
+      point.scheduler_cycles > 0
+          ? 1.0e6 * point.wall_seconds /
+                static_cast<double>(point.scheduler_cycles)
+          : 0.0;
+  point.wall_us_per_unit =
+      point.n_units > 0 ? 1.0e6 * point.wall_seconds /
+                              static_cast<double>(point.n_units)
+                        : 0.0;
+  const auto& overheads = report.value().overheads;
+  point.toolkit_overhead_per_unit_s =
+      point.n_units > 0
+          ? (overheads.pattern_overhead + overheads.runtime_overhead) /
+                static_cast<double>(point.n_units)
+          : 0.0;
+  point.ttc = overheads.ttc;
+  (void)handle.deallocate();
+  point.peak_rss_mb = peak_rss_mb();
+  return point;
+}
+
+SweepPoint run_bot(std::size_t n_units, Count cores,
+                   const std::string& scaling) {
+  core::BagOfTasks pattern(static_cast<Count>(n_units),
+                           sleep_stage(100.0, 0.5));
+  return run_pattern("bot", scaling, pattern, cores);
+}
+
+SweepPoint run_eop(Count pipelines, Count stages, Count cores) {
+  core::EnsembleOfPipelines pattern(pipelines, stages);
+  for (Count s = 1; s <= stages; ++s) {
+    pattern.set_stage(s, sleep_stage(50.0, 0.5));
+  }
+  return run_pattern("eop", "weak", pattern, cores);
+}
+
+SweepPoint run_sal(Count iterations, Count simulations, Count analyses,
+                   Count cores) {
+  core::SimulationAnalysisLoop pattern(iterations, simulations, analyses);
+  pattern.set_simulation(sleep_stage(80.0, 0.5));
+  pattern.set_analysis(sleep_stage(20.0, 0.25));
+  return run_pattern("sal", "weak", pattern, cores);
+}
+
+// ---------------------------------------------------------------------
+// JSON emission (hand-rolled: no third-party deps in the toolkit).
+// ---------------------------------------------------------------------
+
+std::string json_number(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << value;
+  return out.str();
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                const EngineCompare& compare,
+                const std::vector<SweepPoint>& sweeps) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"entk.bench.scale/1\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"engine_compare\": {\n";
+  out << "    \"workload\": \"timer_churn\",\n";
+  out << "    \"n_units\": " << compare.n_units << ",\n";
+  out << "    \"legacy_events_per_sec\": "
+      << json_number(compare.legacy.events_per_sec) << ",\n";
+  out << "    \"legacy_wall_seconds\": "
+      << json_number(compare.legacy.wall_seconds) << ",\n";
+  out << "    \"legacy_peak_queue_entries\": "
+      << compare.legacy.peak_entries << ",\n";
+  out << "    \"pooled_events_per_sec\": "
+      << json_number(compare.pooled.events_per_sec) << ",\n";
+  out << "    \"pooled_wall_seconds\": "
+      << json_number(compare.pooled.wall_seconds) << ",\n";
+  out << "    \"pooled_peak_pool_slots\": "
+      << compare.pooled.peak_entries << ",\n";
+  out << "    \"speedup\": " << json_number(compare.speedup) << "\n";
+  out << "  },\n";
+  out << "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepPoint& p = sweeps[i];
+    out << "    {\"pattern\": \"" << p.pattern << "\", \"scaling\": \""
+        << p.scaling << "\", \"n_units\": " << p.n_units
+        << ", \"cores\": " << p.cores
+        << ", \"wall_seconds\": " << json_number(p.wall_seconds)
+        << ", \"engine_events\": " << p.engine_events
+        << ", \"events_per_sec\": " << json_number(p.events_per_sec)
+        << ", \"scheduler_cycles\": " << p.scheduler_cycles
+        << ", \"scheduler_us_per_cycle\": "
+        << json_number(p.scheduler_us_per_cycle)
+        << ", \"wall_us_per_unit\": " << json_number(p.wall_us_per_unit)
+        << ", \"toolkit_overhead_per_unit_s\": "
+        << json_number(p.toolkit_overhead_per_unit_s)
+        << ", \"ttc\": " << json_number(p.ttc)
+        << ", \"peak_rss_mb\": " << json_number(p.peak_rss_mb) << "}"
+        << (i + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "BENCH FAILURE: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  file << out.str();
+  std::cout << "\nwrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  std::string out_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: scale_sweep [--full] [--out path]\n";
+      return 2;
+    }
+  }
+  const std::string mode = full ? "full" : "smoke";
+
+  std::cout << "=== Scale sweep (" << mode
+            << " mode): pooled event engine + indexed scheduling ===\n\n";
+
+  // Part 1: engine comparison at the acceptance scale.
+  const std::size_t compare_units = full ? 100000 : 20000;
+  const EngineCompare compare = compare_engines(compare_units, 4096);
+  Table engine_table({"engine", "events", "wall [s]", "events/sec",
+                      "peak queue/pool"});
+  engine_table.add_row(
+      {"legacy (shared_ptr + lazy cancel)",
+       std::to_string(compare.legacy.dispatched),
+       format_double(compare.legacy.wall_seconds, 3),
+       format_double(compare.legacy.events_per_sec, 0),
+       std::to_string(compare.legacy.peak_entries)});
+  engine_table.add_row({"pooled (slab + indexed heap)",
+                        std::to_string(compare.pooled.dispatched),
+                        format_double(compare.pooled.wall_seconds, 3),
+                        format_double(compare.pooled.events_per_sec, 0),
+                        std::to_string(compare.pooled.peak_entries)});
+  std::cout << "timer churn, " << compare_units << " units, window 4096:\n"
+            << engine_table.to_string() << "speedup: "
+            << format_double(compare.speedup, 2) << "x\n\n";
+
+  // Part 2: pattern sweeps.
+  std::vector<SweepPoint> sweeps;
+  if (full) {
+    // Weak scaling: units == cores.
+    for (const std::size_t n : {1000UL, 10000UL, 100000UL}) {
+      sweeps.push_back(run_bot(n, static_cast<Count>(n), "weak"));
+    }
+    // Strong scaling: fixed bag, shrinking machine (deep backlog).
+    for (const Count cores : {16384, 4096, 1024}) {
+      sweeps.push_back(run_bot(32768, cores, "strong"));
+    }
+    sweeps.push_back(run_eop(2500, 4, 2500));    // 10k units
+    sweeps.push_back(run_eop(25000, 4, 25000));  // 100k units
+    sweeps.push_back(run_sal(4, 2000, 500, 2000));    // 10k units
+    sweeps.push_back(run_sal(4, 20000, 5000, 20000));  // 100k units
+  } else {
+    for (const std::size_t n : {256UL, 1024UL, 4096UL}) {
+      sweeps.push_back(run_bot(n, static_cast<Count>(n), "weak"));
+    }
+    for (const Count cores : {1024, 256}) {
+      sweeps.push_back(run_bot(4096, cores, "strong"));
+    }
+    sweeps.push_back(run_eop(256, 4, 256));
+    sweeps.push_back(run_sal(2, 256, 64, 256));
+  }
+
+  Table sweep_table({"pattern", "scaling", "units", "cores", "wall [s]",
+                     "events/sec", "sched cycles", "us/unit",
+                     "peak RSS [MB]"});
+  for (const SweepPoint& p : sweeps) {
+    sweep_table.add_row(
+        {p.pattern, p.scaling, std::to_string(p.n_units),
+         std::to_string(p.cores), format_double(p.wall_seconds, 2),
+         format_double(p.events_per_sec, 0),
+         std::to_string(p.scheduler_cycles),
+         format_double(p.wall_us_per_unit, 1),
+         format_double(p.peak_rss_mb, 0)});
+  }
+  std::cout << sweep_table.to_string();
+
+  write_json(out_path, mode, compare, sweeps);
+
+  if (compare.speedup < (full ? 5.0 : 2.0)) {
+    std::cerr << "BENCH FAILURE: pooled/legacy speedup "
+              << format_double(compare.speedup, 2) << "x below the floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/thread_annotations.hpp"
 
@@ -64,6 +65,59 @@ class ENTK_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mutex_;
+};
+
+/// Annotated reader/writer mutex for read-mostly shared state (uid
+/// counters, observer lists). Writers use lock()/unlock() (or
+/// SharedMutexLock); readers use lock_shared()/unlock_shared() (or
+/// SharedReaderLock) and may proceed concurrently.
+class ENTK_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ENTK_ACQUIRE() { mutex_.lock(); }
+  void unlock() ENTK_RELEASE() { mutex_.unlock(); }
+  void lock_shared() ENTK_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() ENTK_RELEASE_SHARED() {
+    mutex_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class ENTK_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mutex) ENTK_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~SharedMutexLock() ENTK_RELEASE() { mutex_.unlock(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class ENTK_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mutex) ENTK_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~SharedReaderLock() ENTK_RELEASE() { mutex_.unlock_shared(); }
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
 };
 
 /// Condition variable bound to entk::Mutex. Wait calls require the

@@ -46,13 +46,25 @@
 #define ENTK_EXCLUDES(...) \
   ENTK_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
 
+/// Like ENTK_REQUIRES, but shared (reader) access suffices.
+#define ENTK_REQUIRES_SHARED(...) \
+  ENTK_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
 /// Function acquires the capability and holds it on return.
 #define ENTK_ACQUIRE(...) \
   ENTK_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
 
+/// Function acquires the capability in shared (reader) mode.
+#define ENTK_ACQUIRE_SHARED(...) \
+  ENTK_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
 /// Function releases the capability (which must be held on entry).
 #define ENTK_RELEASE(...) \
   ENTK_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases a capability held in shared (reader) mode.
+#define ENTK_RELEASE_SHARED(...) \
+  ENTK_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
 
 /// Function tries to acquire the capability; returns `result` on
 /// success (e.g. ENTK_TRY_ACQUIRE(true)).

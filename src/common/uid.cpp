@@ -1,34 +1,78 @@
 #include "common/uid.hpp"
 
+#include <atomic>
 #include <cstdio>
-#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "common/mutex.hpp"
 
 namespace entk {
-namespace {
-Mutex g_mutex;
-std::map<std::string, std::uint64_t>& counters() ENTK_REQUIRES(g_mutex) {
-  static std::map<std::string, std::uint64_t> instance;
-  return instance;
-}
-}  // namespace
 
-std::string next_uid(const std::string& prefix) {
-  std::uint64_t value = 0;
+namespace detail {
+struct PrefixCounter {
+  std::atomic<std::uint64_t> next{0};
+};
+}  // namespace detail
+
+namespace {
+
+SharedMutex g_mutex;
+
+// Counters are heap-allocated and never erased, so a PrefixCounter*
+// obtained under the reader lock stays valid for the process lifetime;
+// reset_uid_counters_for_testing zeroes them in place instead of
+// clearing the map. Leaked deliberately (function-local static with no
+// destructor ordering hazards at exit).
+using CounterMap =
+    std::unordered_map<std::string, std::unique_ptr<detail::PrefixCounter>>;
+
+CounterMap& counters() ENTK_REQUIRES_SHARED(g_mutex) {
+  static CounterMap* instance = new CounterMap();
+  return *instance;
+}
+
+detail::PrefixCounter* find_counter(const std::string& prefix) {
   {
-    MutexLock lock(g_mutex);
-    value = counters()[prefix]++;
+    SharedReaderLock lock(g_mutex);
+    const auto it = counters().find(prefix);
+    if (it != counters().end()) return it->second.get();
   }
+  SharedMutexLock lock(g_mutex);
+  auto& slot = counters()[prefix];
+  if (slot == nullptr) slot = std::make_unique<detail::PrefixCounter>();
+  return slot.get();
+}
+
+std::string format_uid(const std::string& prefix, std::uint64_t value) {
   char suffix[32];
   std::snprintf(suffix, sizeof(suffix), ".%06llu",
                 static_cast<unsigned long long>(value));
   return prefix + suffix;
 }
 
+}  // namespace
+
+std::string next_uid(const std::string& prefix) {
+  detail::PrefixCounter* counter = find_counter(prefix);
+  return format_uid(
+      prefix, counter->next.fetch_add(1, std::memory_order_relaxed));
+}
+
+UidSource::UidSource(std::string prefix)
+    : prefix_(std::move(prefix)), counter_(find_counter(prefix_)) {}
+
+std::string UidSource::next() const {
+  return format_uid(
+      prefix_, counter_->next.fetch_add(1, std::memory_order_relaxed));
+}
+
 void reset_uid_counters_for_testing() {
-  MutexLock lock(g_mutex);
-  counters().clear();
+  SharedMutexLock lock(g_mutex);
+  for (auto& [prefix, counter] : counters()) {
+    counter->next.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace entk

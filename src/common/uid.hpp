@@ -4,6 +4,11 @@
 // form "<prefix>.<counter>" (e.g. "unit.000042"), matching the naming
 // scheme of the original toolkit's profiler output. Counters are
 // per-prefix and process-global; generation is thread-safe.
+//
+// The hot path is lock-free after the first use of a prefix: each
+// prefix owns one atomic counter, found through a reader-locked hash
+// lookup (or held directly via a UidSource handle), so concurrent
+// unit creation no longer serializes on one global mutex.
 #pragma once
 
 #include <cstdint>
@@ -11,11 +16,35 @@
 
 namespace entk {
 
+namespace detail {
+struct PrefixCounter;
+}  // namespace detail
+
 /// Returns the next uid for the given prefix, e.g. uid("task") ->
 /// "task.000000", "task.000001", ...
 std::string next_uid(const std::string& prefix);
 
-/// Resets all counters; intended for test isolation only.
+/// Interned uid prefix: resolves the per-prefix counter once at
+/// construction, so each next() is a single relaxed atomic increment —
+/// no lock, no map lookup, no per-call prefix copy. Shares the same
+/// process-global counter as next_uid(prefix), and stays valid across
+/// reset_uid_counters_for_testing() (which zeroes counters in place).
+class UidSource {
+ public:
+  explicit UidSource(std::string prefix);
+
+  /// Thread-safe; uids are globally unique for the prefix.
+  std::string next() const;
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string prefix_;
+  detail::PrefixCounter* counter_;
+};
+
+/// Resets all counters; intended for test isolation only. Interned
+/// UidSource handles remain valid (counters restart at zero).
 void reset_uid_counters_for_testing();
 
 }  // namespace entk

@@ -137,10 +137,63 @@ void GraphExecutor::pump() {
 }
 
 void GraphExecutor::sync_graph_locked() {
-  runs_.resize(graph_.node_count());
-  group_runs_.resize(graph_.group_count());
+  const std::size_t nodes = graph_.node_count();
+  const std::size_t groups = graph_.group_count();
+  runs_.resize(nodes);
+  group_runs_.resize(groups);
+  dependents_.resize(nodes);
+  ready_queued_.resize(nodes, 0);
+  gated_nodes_.resize(groups);
+  group_dirty_.resize(groups, 0);
   if (chain_sets_decided_.size() < graph_.chain_set_count()) {
     chain_sets_decided_.resize(graph_.chain_set_count(), false);
+  }
+  // Index reverse edges for the nodes added since the last sync and
+  // seed them as frontier candidates (their deps and gates may already
+  // be satisfied — or already failed, hence the skip check too).
+  for (NodeId id = synced_nodes_; id < nodes; ++id) {
+    const TaskNode& node = graph_.node(id);
+    for (const NodeId dep : node.deps) dependents_[dep].push_back(id);
+    for (const GroupId gate : node.gates) {
+      gated_nodes_[gate].push_back(id);
+    }
+    queue_ready_locked(id);
+    skip_candidates_.push_back(id);
+  }
+  synced_nodes_ = nodes;
+  // A new group can be born complete (an empty stage): give each one
+  // decide pass.
+  for (GroupId gid = synced_groups_; gid < groups; ++gid) {
+    mark_group_dirty_locked(gid);
+  }
+  synced_groups_ = groups;
+}
+
+void GraphExecutor::queue_ready_locked(NodeId id) {
+  if (ready_queued_[id] != 0) return;
+  if (runs_[id].status != NodeStatus::kPending) return;
+  ready_queued_[id] = 1;
+  ready_candidates_.push_back(id);
+}
+
+void GraphExecutor::mark_group_dirty_locked(GroupId gid) {
+  if (group_dirty_[gid] != 0) return;
+  group_dirty_[gid] = 1;
+  dirty_groups_.push_back(gid);
+}
+
+void GraphExecutor::settle_into_groups_locked(NodeId id, bool done) {
+  for (const GroupId gid : graph_.node(id).groups) {
+    GroupRun& run = group_runs_[gid];
+    ++run.settled;
+    if (done) ++run.done;
+    mark_group_dirty_locked(gid);
+  }
+}
+
+void GraphExecutor::queue_dependent_skips_locked(NodeId id) {
+  for (const NodeId dependent : dependents_[id]) {
+    skip_candidates_.push_back(dependent);
   }
 }
 
@@ -168,9 +221,14 @@ void GraphExecutor::apply_events_locked() {
         errors_.emplace_back(event.node, run.error);
         break;
     }
-    for (const GroupId gid : graph_.node(event.node).groups) {
-      ++group_runs_[gid].settled;
-      if (run.status == NodeStatus::kDone) ++group_runs_[gid].done;
+    settle_into_groups_locked(event.node,
+                              run.status == NodeStatus::kDone);
+    if (run.status == NodeStatus::kDone) {
+      for (const NodeId dependent : dependents_[event.node]) {
+        queue_ready_locked(dependent);
+      }
+    } else {
+      queue_dependent_skips_locked(event.node);
     }
   }
 }
@@ -228,7 +286,15 @@ Status GraphExecutor::stage_verdict_locked(GroupId gid) const {
 
 void GraphExecutor::decide_stage_groups_locked() {
   if (aborted_) return;
-  for (GroupId gid = 0; gid < group_runs_.size(); ++gid) {
+  if (dirty_groups_.empty()) return;
+  // Ascending ids: when several groups complete in the same pump, the
+  // lowest-id failing verdict wins the abort (the historical full-scan
+  // order).
+  std::vector<GroupId> batch;
+  batch.swap(dirty_groups_);
+  std::sort(batch.begin(), batch.end());
+  for (const GroupId gid : batch) group_dirty_[gid] = 0;
+  for (const GroupId gid : batch) {
     const TaskGroup& group = graph_.group(gid);
     if (group.kind != GroupKind::kStage) continue;
     GroupRun& run = group_runs_[gid];
@@ -237,6 +303,9 @@ void GraphExecutor::decide_stage_groups_locked() {
     const Status verdict = stage_verdict_locked(gid);
     if (verdict.is_ok()) {
       run.passed = true;
+      for (const NodeId gated : gated_nodes_[gid]) {
+        queue_ready_locked(gated);
+      }
       continue;
     }
     // A failed barrier verdict aborts the whole graph: unsubmitted
@@ -248,47 +317,63 @@ void GraphExecutor::decide_stage_groups_locked() {
 }
 
 void GraphExecutor::propagate_skips_locked() {
-  bool changed = true;
-  while (changed) {
-    changed = false;
+  if (aborted_) {
+    // One sweep retires every still-pending node; nothing new can be
+    // added after an abort (expanders never run on an aborted graph).
+    if (abort_swept_) return;
+    abort_swept_ = true;
+    skip_candidates_.clear();
     for (NodeId id = 0; id < runs_.size(); ++id) {
       NodeRun& run = runs_[id];
       if (run.status != NodeStatus::kPending) continue;
-      Status reason;
-      if (aborted_) {
+      run.status = NodeStatus::kSkipped;
+      run.error = make_error(Errc::kCancelled,
+                             "node '" + graph_.node(id).label +
+                                 "' skipped: pattern aborted");
+      settle_into_groups_locked(id, false);
+    }
+    return;
+  }
+  // Worklist fixpoint: a node is examined only when an upstream
+  // settled badly (or when it was just added to the graph).
+  while (!skip_candidates_.empty()) {
+    const NodeId id = skip_candidates_.back();
+    skip_candidates_.pop_back();
+    NodeRun& run = runs_[id];
+    if (run.status != NodeStatus::kPending) continue;
+    Status reason;
+    for (const NodeId dep : graph_.node(id).deps) {
+      const NodeStatus upstream = runs_[dep].status;
+      if (upstream == NodeStatus::kFailed ||
+          upstream == NodeStatus::kCanceled ||
+          upstream == NodeStatus::kSkipped) {
         reason = make_error(Errc::kCancelled,
                             "node '" + graph_.node(id).label +
-                                "' skipped: pattern aborted");
-      } else {
-        for (const NodeId dep : graph_.node(id).deps) {
-          const NodeStatus upstream = runs_[dep].status;
-          if (upstream == NodeStatus::kFailed ||
-              upstream == NodeStatus::kCanceled ||
-              upstream == NodeStatus::kSkipped) {
-            reason = make_error(Errc::kCancelled,
-                                "node '" + graph_.node(id).label +
-                                    "' skipped: upstream '" +
-                                    graph_.node(dep).label +
-                                    "' did not finish");
-            break;
-          }
-        }
+                                "' skipped: upstream '" +
+                                graph_.node(dep).label +
+                                "' did not finish");
+        break;
       }
-      if (reason.is_ok()) continue;
-      run.status = NodeStatus::kSkipped;
-      run.error = std::move(reason);
-      for (const GroupId gid : graph_.node(id).groups) {
-        ++group_runs_[gid].settled;
-      }
-      changed = true;
     }
+    if (reason.is_ok()) continue;
+    run.status = NodeStatus::kSkipped;
+    run.error = std::move(reason);
+    settle_into_groups_locked(id, false);
+    queue_dependent_skips_locked(id);
   }
 }
 
-std::vector<NodeId> GraphExecutor::frontier_locked() const {
+std::vector<NodeId> GraphExecutor::frontier_locked() {
   std::vector<NodeId> ready;
   if (aborted_ || finished_) return ready;
-  for (NodeId id = 0; id < runs_.size(); ++id) {
+  // Drain the candidate worklist. A candidate that is still blocked is
+  // dropped, not kept: whichever event clears its last blocker (a dep
+  // reaching done, a gate group passing, its own creation) re-queues
+  // it, so readiness is never missed.
+  while (!ready_candidates_.empty()) {
+    const NodeId id = ready_candidates_.back();
+    ready_candidates_.pop_back();
+    ready_queued_[id] = 0;
     if (runs_[id].status != NodeStatus::kPending) continue;
     const TaskNode& node = graph_.node(id);
     bool blocked = false;
@@ -298,17 +383,21 @@ std::vector<NodeId> GraphExecutor::frontier_locked() const {
         break;
       }
     }
-    if (blocked) continue;
-    for (const GroupId gate : node.gates) {
-      const GroupRun& gate_run = group_runs_[gate];
-      if (!gate_run.decided || !gate_run.passed) {
-        blocked = true;
-        break;
+    if (!blocked) {
+      for (const GroupId gate : node.gates) {
+        const GroupRun& gate_run = group_runs_[gate];
+        if (!gate_run.decided || !gate_run.passed) {
+          blocked = true;
+          break;
+        }
       }
     }
     if (blocked) continue;
-    ready.push_back(id);  // ids ascend: deterministic submission order
+    ready.push_back(id);
   }
+  // Ascending ids: deterministic submission order, matching the old
+  // whole-graph scan.
+  std::sort(ready.begin(), ready.end());
   return ready;
 }
 

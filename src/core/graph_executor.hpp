@@ -110,7 +110,14 @@ class GraphExecutor {
   void apply_events_locked() ENTK_REQUIRES(mutex_);
   void decide_stage_groups_locked() ENTK_REQUIRES(mutex_);
   void propagate_skips_locked() ENTK_REQUIRES(mutex_);
-  std::vector<NodeId> frontier_locked() const ENTK_REQUIRES(mutex_);
+  std::vector<NodeId> frontier_locked() ENTK_REQUIRES(mutex_);
+  /// Queues `id` for a readiness check at the next frontier drain.
+  void queue_ready_locked(NodeId id) ENTK_REQUIRES(mutex_);
+  void mark_group_dirty_locked(GroupId gid) ENTK_REQUIRES(mutex_);
+  /// Records a settled node in all its groups and marks them dirty.
+  void settle_into_groups_locked(NodeId id, bool done)
+      ENTK_REQUIRES(mutex_);
+  void queue_dependent_skips_locked(NodeId id) ENTK_REQUIRES(mutex_);
   Status stage_verdict_locked(GroupId group) const ENTK_REQUIRES(mutex_);
   void finish_locked(Status outcome) ENTK_REQUIRES(mutex_);
 
@@ -122,6 +129,20 @@ class GraphExecutor {
   mutable Mutex mutex_;
   std::vector<NodeRun> runs_ ENTK_GUARDED_BY(mutex_);
   std::vector<GroupRun> group_runs_ ENTK_GUARDED_BY(mutex_);
+  /// Reverse adjacency and change worklists, maintained incrementally
+  /// by sync_graph_locked and the event path. They keep every pump
+  /// proportional to what actually changed instead of rescanning the
+  /// whole graph — at 100k nodes the old full scans were quadratic.
+  std::vector<std::vector<NodeId>> dependents_ ENTK_GUARDED_BY(mutex_);
+  std::vector<std::vector<NodeId>> gated_nodes_ ENTK_GUARDED_BY(mutex_);
+  std::vector<NodeId> ready_candidates_ ENTK_GUARDED_BY(mutex_);
+  std::vector<char> ready_queued_ ENTK_GUARDED_BY(mutex_);
+  std::vector<NodeId> skip_candidates_ ENTK_GUARDED_BY(mutex_);
+  std::vector<GroupId> dirty_groups_ ENTK_GUARDED_BY(mutex_);
+  std::vector<char> group_dirty_ ENTK_GUARDED_BY(mutex_);
+  std::size_t synced_nodes_ ENTK_GUARDED_BY(mutex_) = 0;
+  std::size_t synced_groups_ ENTK_GUARDED_BY(mutex_) = 0;
+  bool abort_swept_ ENTK_GUARDED_BY(mutex_) = false;
   std::vector<bool> chain_sets_decided_ ENTK_GUARDED_BY(mutex_);
   /// LIFO of pending expander indices (innermost on top).
   std::vector<std::size_t> expander_stack_ ENTK_GUARDED_BY(mutex_);

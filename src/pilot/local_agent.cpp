@@ -63,7 +63,7 @@ Status LocalAgent::submit(std::vector<ComputeUnitPtr> units) {
       continue;
     }
     unit->stamp_submitted();
-    waiting_.push_back(std::move(unit));
+    waiting_.push(std::move(unit));
   }
   if (started_) schedule_locked();
   return Status::ok();
@@ -72,9 +72,8 @@ Status LocalAgent::submit(std::vector<ComputeUnitPtr> units) {
 Status LocalAgent::cancel_unit(const ComputeUnitPtr& unit) {
   {
     MutexLock lock(mutex_);
-    const auto it = std::find(waiting_.begin(), waiting_.end(), unit);
-    if (it != waiting_.end()) {
-      waiting_.erase(it);
+    if (waiting_.erase(unit.get())) {
+      // removed from the backlog; finalized below
     } else if (!pilot::is_final(unit->state()) &&
                unit->state() != UnitState::kNew) {
       // Executing on a worker thread: payloads are uninterruptible.
@@ -91,10 +90,10 @@ Status LocalAgent::cancel_unit(const ComputeUnitPtr& unit) {
 }
 
 void LocalAgent::cancel_waiting() {
-  std::deque<ComputeUnitPtr> cancelled;
+  std::vector<ComputeUnitPtr> cancelled;
   {
     MutexLock lock(mutex_);
-    cancelled.swap(waiting_);
+    cancelled = waiting_.drain();
   }
   for (const auto& unit : cancelled) {
     (void)unit->advance_state(UnitState::kCanceled);
@@ -102,14 +101,10 @@ void LocalAgent::cancel_waiting() {
 }
 
 std::vector<ComputeUnitPtr> LocalAgent::evict_inflight() {
-  std::deque<ComputeUnitPtr> drained;
-  {
-    MutexLock lock(mutex_);
-    drained.swap(waiting_);
-  }
   // Waiting units are already kPendingExecution; running payloads are
   // on uninterruptible threads and settle on their own.
-  return {drained.begin(), drained.end()};
+  MutexLock lock(mutex_);
+  return waiting_.drain();
 }
 
 Count LocalAgent::free_cores() const {
@@ -139,21 +134,14 @@ void LocalAgent::wait_idle() {
 
 void LocalAgent::schedule_locked() {
   if (waiting_.empty() || free_ <= 0) return;
-  const auto picks = scheduler_->select(waiting_, free_);
-  if (picks.empty()) return;
+  if (waiting_.min_cores() > free_) return;  // nothing can fit
+  auto selected = scheduler_->select_from(waiting_, free_);
+  if (selected.empty()) return;
   Count requested = 0;
-  for (const std::size_t i : picks) {
-    ENTK_CHECK(i < waiting_.size(), "scheduler returned bad index");
-    requested += waiting_[i]->description().cores;
+  for (const auto& unit : selected) {
+    requested += unit->description().cores;
   }
   ENTK_CHECK(requested <= free_, "scheduler over-committed cores");
-  std::vector<ComputeUnitPtr> selected;
-  selected.reserve(picks.size());
-  for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
-    selected.push_back(waiting_[*it]);
-    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(*it));
-  }
-  std::reverse(selected.begin(), selected.end());
   for (auto& unit : selected) {
     free_ -= unit->description().cores;
     ++running_;

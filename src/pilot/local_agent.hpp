@@ -3,7 +3,6 @@
 // unit's private sandbox and the pilot's shared space.
 #pragma once
 
-#include <deque>
 #include <filesystem>
 #include <memory>
 
@@ -11,6 +10,7 @@
 #include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "pilot/agent.hpp"
+#include "pilot/waiting_index.hpp"
 #include "sim/machine.hpp"
 
 namespace entk::pilot {
@@ -65,7 +65,7 @@ class LocalAgent final : public Agent {
   CondVar idle_cv_;
   bool started_ ENTK_GUARDED_BY(mutex_) = false;
   Count free_ ENTK_GUARDED_BY(mutex_);
-  std::deque<ComputeUnitPtr> waiting_ ENTK_GUARDED_BY(mutex_);
+  WaitingIndex waiting_ ENTK_GUARDED_BY(mutex_);
   std::size_t running_ ENTK_GUARDED_BY(mutex_) = 0;
   Duration spawn_total_ ENTK_GUARDED_BY(mutex_) = 0.0;
 };

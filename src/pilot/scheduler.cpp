@@ -1,56 +1,73 @@
 #include "pilot/scheduler.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <unordered_map>
 
 namespace entk::pilot {
 
-std::vector<std::size_t> FifoScheduler::select(
+std::vector<std::size_t> Scheduler::select(
     const std::deque<ComputeUnitPtr>& waiting, Count free_cores) {
-  std::vector<std::size_t> picks;
-  Count budget = free_cores;
+  // Arrival order in the throwaway index mirrors deque positions, so
+  // a selected unit's position maps straight back to its index.
+  WaitingIndex index;
+  std::unordered_map<const ComputeUnit*, std::size_t> position;
+  position.reserve(waiting.size());
   for (std::size_t i = 0; i < waiting.size(); ++i) {
-    const Count need = waiting[i]->description().cores;
+    position.emplace(waiting[i].get(), i);
+    index.push(waiting[i]);
+  }
+  const auto selected = select_from(index, free_cores);
+  std::vector<std::size_t> picks;
+  picks.reserve(selected.size());
+  for (const auto& unit : selected) {
+    picks.push_back(position.at(unit.get()));
+  }
+  // select_from returns arrival order, which is ascending indices.
+  return picks;
+}
+
+std::vector<ComputeUnitPtr> FifoScheduler::select_from(
+    WaitingIndex& waiting, Count free_cores) {
+  std::vector<ComputeUnitPtr> picks;
+  Count budget = free_cores;
+  while (const ComputeUnitPtr* head = waiting.fifo_head()) {
+    const Count need = (*head)->description().cores;
     if (need > budget) break;  // head-of-line blocking, by design
-    picks.push_back(i);
+    picks.push_back(waiting.pop_fifo_head().unit);
     budget -= need;
   }
   return picks;
 }
 
-std::vector<std::size_t> BackfillScheduler::select(
-    const std::deque<ComputeUnitPtr>& waiting, Count free_cores) {
-  std::vector<std::size_t> picks;
+std::vector<ComputeUnitPtr> BackfillScheduler::select_from(
+    WaitingIndex& waiting, Count free_cores) {
+  std::vector<ComputeUnitPtr> picks;
   Count budget = free_cores;
-  for (std::size_t i = 0; i < waiting.size() && budget > 0; ++i) {
-    const Count need = waiting[i]->description().cores;
-    if (need <= budget) {
-      picks.push_back(i);
-      budget -= need;
-    }
+  WaitingIndex::Picked picked;
+  while (budget > 0 && waiting.pop_earliest_fitting(budget, picked)) {
+    budget -= picked.unit->description().cores;
+    picks.push_back(std::move(picked.unit));
   }
   return picks;
 }
 
-std::vector<std::size_t> LargestFirstScheduler::select(
-    const std::deque<ComputeUnitPtr>& waiting, Count free_cores) {
-  std::vector<std::size_t> order(waiting.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return waiting[a]->description().cores >
-                            waiting[b]->description().cores;
-                   });
-  std::vector<std::size_t> picks;
+std::vector<ComputeUnitPtr> LargestFirstScheduler::select_from(
+    WaitingIndex& waiting, Count free_cores) {
+  std::vector<WaitingIndex::Picked> chosen;
   Count budget = free_cores;
-  for (const std::size_t i : order) {
-    const Count need = waiting[i]->description().cores;
-    if (need <= budget) {
-      picks.push_back(i);
-      budget -= need;
-    }
+  WaitingIndex::Picked picked;
+  while (budget > 0 && waiting.pop_largest_fitting(budget, picked)) {
+    budget -= picked.unit->description().cores;
+    chosen.push_back(std::move(picked));
   }
-  std::sort(picks.begin(), picks.end());
+  // Selection visited big units first; launch in arrival order.
+  std::sort(chosen.begin(), chosen.end(),
+            [](const WaitingIndex::Picked& a, const WaitingIndex::Picked& b) {
+              return a.seq < b.seq;
+            });
+  std::vector<ComputeUnitPtr> picks;
+  picks.reserve(chosen.size());
+  for (auto& entry : chosen) picks.push_back(std::move(entry.unit));
   return picks;
 }
 

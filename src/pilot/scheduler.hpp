@@ -5,6 +5,13 @@
 // pilot systems. The policy is pluggable; the paper delegates it to
 // RADICAL-Pilot's default (FIFO with backfill), and our ablation bench
 // compares the policies below.
+//
+// Policies are incremental: agents keep their backlog in a
+// core-count-bucketed WaitingIndex and a scheduler cycle selects in
+// O(picks · distinct core counts) instead of rescanning or re-sorting
+// the whole queue. The historical whole-queue select() remains as a
+// convenience wrapper (tests, microbenches) and is defined in terms of
+// the incremental path, so both always agree.
 #pragma once
 
 #include <deque>
@@ -14,6 +21,7 @@
 
 #include "common/status.hpp"
 #include "pilot/compute_unit.hpp"
+#include "pilot/waiting_index.hpp"
 
 namespace entk::pilot {
 
@@ -21,13 +29,18 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  /// Picks units from `waiting` (FIFO order preserved in the deque)
-  /// that should start now given `free_cores`. Returns indices into
-  /// `waiting`, each selected unit's cores counted against the budget.
+  /// Picks units that should start now given `free_cores`, REMOVING
+  /// them from `waiting`. Returns them in arrival (launch) order.
   /// Implementations must never over-commit: the summed cores of the
   /// returned units must be <= free_cores.
-  virtual std::vector<std::size_t> select(
-      const std::deque<ComputeUnitPtr>& waiting, Count free_cores) = 0;
+  virtual std::vector<ComputeUnitPtr> select_from(WaitingIndex& waiting,
+                                                  Count free_cores) = 0;
+
+  /// Whole-queue form: picks from `waiting` (FIFO order preserved in
+  /// the deque) without mutating it and returns ascending indices into
+  /// it. Defined via select_from over a throwaway index.
+  std::vector<std::size_t> select(const std::deque<ComputeUnitPtr>& waiting,
+                                  Count free_cores);
 
   virtual std::string name() const = 0;
 };
@@ -36,28 +49,28 @@ class Scheduler {
 /// that does not fit blocks everything behind it (no backfill).
 class FifoScheduler final : public Scheduler {
  public:
-  std::vector<std::size_t> select(const std::deque<ComputeUnitPtr>& waiting,
-                                  Count free_cores) override;
+  std::vector<ComputeUnitPtr> select_from(WaitingIndex& waiting,
+                                          Count free_cores) override;
   std::string name() const override { return "fifo"; }
 };
 
-/// FIFO with backfill (first-fit): scan the whole queue and launch any
-/// unit that fits. This is RADICAL-Pilot's default behaviour and the
-/// toolkit's default policy.
+/// FIFO with backfill (first-fit): launch any unit that fits the
+/// remaining budget, earliest arrival first. This is RADICAL-Pilot's
+/// default behaviour and the toolkit's default policy.
 class BackfillScheduler final : public Scheduler {
  public:
-  std::vector<std::size_t> select(const std::deque<ComputeUnitPtr>& waiting,
-                                  Count free_cores) override;
+  std::vector<ComputeUnitPtr> select_from(WaitingIndex& waiting,
+                                          Count free_cores) override;
   std::string name() const override { return "backfill"; }
 };
 
-/// Largest-first: sort candidates by core count descending (FIFO as a
-/// tie-break) and first-fit. Reduces fragmentation for mixed-size
-/// workloads at the price of delaying small units.
+/// Largest-first: take the biggest unit that fits the remaining budget
+/// (FIFO as a tie-break) until nothing fits. Reduces fragmentation for
+/// mixed-size workloads at the price of delaying small units.
 class LargestFirstScheduler final : public Scheduler {
  public:
-  std::vector<std::size_t> select(const std::deque<ComputeUnitPtr>& waiting,
-                                  Count free_cores) override;
+  std::vector<ComputeUnitPtr> select_from(WaitingIndex& waiting,
+                                          Count free_cores) override;
   std::string name() const override { return "largest_first"; }
 };
 

@@ -64,30 +64,28 @@ Status SimAgent::submit(std::vector<ComputeUnitPtr> units) {
       continue;
     }
     unit->stamp_submitted();
-    waiting_.push_back(std::move(unit));
+    waiting_.push(std::move(unit));
   }
   if (started_) schedule_loop();
   return Status::ok();
 }
 
 void SimAgent::cancel_waiting() {
-  std::deque<ComputeUnitPtr> cancelled;
-  cancelled.swap(waiting_);
+  const std::vector<ComputeUnitPtr> cancelled = waiting_.drain();
   for (const auto& unit : cancelled) {
     (void)unit->advance_state(UnitState::kCanceled);
   }
 }
 
 std::vector<ComputeUnitPtr> SimAgent::evict_inflight() {
-  std::vector<ComputeUnitPtr> evicted;
-  evicted.reserve(waiting_.size() + active_.size());
   // Waiting units are already kPendingExecution.
-  for (auto& unit : waiting_) evicted.push_back(std::move(unit));
-  waiting_.clear();
+  std::vector<ComputeUnitPtr> evicted = waiting_.drain();
+  evicted.reserve(evicted.size() + active_.size());
   // In-flight units rewind; the epoch bump voids their pending events.
-  std::vector<ComputeUnitPtr> inflight;
+  std::map<std::uint64_t, ComputeUnitPtr> inflight;
   inflight.swap(active_);
-  for (auto& unit : inflight) {
+  active_seq_.clear();
+  for (auto& [seq, unit] : inflight) {
     free_ += unit->description().cores;
     --running_;
     if (unit->advance_state(UnitState::kPendingExecution).is_ok()) {
@@ -100,44 +98,37 @@ std::vector<ComputeUnitPtr> SimAgent::evict_inflight() {
 
 void SimAgent::schedule_loop() {
   if (!started_ || waiting_.empty() || free_ <= 0) return;
-  const auto picks = scheduler_->select(waiting_, free_);
-  if (picks.empty()) return;
+  // Cheap pre-check: when even the smallest waiting unit cannot fit,
+  // no policy can select anything.
+  if (waiting_.min_cores() > free_) return;
+  ++scheduler_cycles_;
+  auto selected = scheduler_->select_from(waiting_, free_);
+  if (selected.empty()) return;
   // Validate the scheduler's core budget before committing.
   Count requested = 0;
-  for (const std::size_t i : picks) {
-    ENTK_CHECK(i < waiting_.size(), "scheduler returned bad index");
-    requested += waiting_[i]->description().cores;
+  for (const auto& unit : selected) {
+    requested += unit->description().cores;
   }
   ENTK_CHECK(requested <= free_, "scheduler over-committed cores");
-  // Remove back-to-front so indices stay valid.
-  std::vector<ComputeUnitPtr> selected;
-  selected.reserve(picks.size());
-  for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
-    selected.push_back(waiting_[*it]);
-    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(*it));
-  }
-  // Launch in FIFO order (picks were ascending).
-  std::reverse(selected.begin(), selected.end());
+  // Launch in the order the scheduler returned (arrival order).
   for (auto& unit : selected) {
     free_ -= unit->description().cores;
     ++running_;
-    active_.push_back(unit);
+    const std::uint64_t seq = next_launch_seq_++;
+    active_seq_.emplace(unit.get(), seq);
+    active_.emplace(seq, unit);
     launch(std::move(unit));
   }
 }
 
 Status SimAgent::cancel_unit(const ComputeUnitPtr& unit) {
-  // Waiting: remove from the queue.
-  const auto it = std::find(waiting_.begin(), waiting_.end(), unit);
-  if (it != waiting_.end()) {
-    waiting_.erase(it);
+  // Waiting: remove from the index.
+  if (waiting_.erase(unit.get())) {
     return unit->advance_state(UnitState::kCanceled);
   }
   // Occupying cores: void its future events (their callbacks check the
   // unit state and epoch) and reclaim the cores now.
-  const auto held = std::find(active_.begin(), active_.end(), unit);
-  if (held != active_.end()) {
-    active_.erase(held);
+  if (deactivate(unit.get())) {
     ENTK_RETURN_IF_ERROR(unit->advance_state(UnitState::kCanceled));
     free_ += unit->description().cores;
     ENTK_CHECK(free_ <= capacity_, "core accounting out of sync");
@@ -149,10 +140,16 @@ Status SimAgent::cancel_unit(const ComputeUnitPtr& unit) {
                     "unit " + unit->uid() + " is not active on this agent");
 }
 
+bool SimAgent::deactivate(const ComputeUnit* unit) {
+  const auto it = active_seq_.find(unit);
+  if (it == active_seq_.end()) return false;
+  active_.erase(it->second);
+  active_seq_.erase(it);
+  return true;
+}
+
 void SimAgent::release(const ComputeUnitPtr& unit) {
-  const auto it = std::find(active_.begin(), active_.end(), unit);
-  if (it == active_.end()) return;  // cancelled or evicted earlier
-  active_.erase(it);
+  if (!deactivate(unit.get())) return;  // cancelled or evicted earlier
   free_ += unit->description().cores;
   ENTK_CHECK(free_ <= capacity_, "core accounting out of sync");
   --running_;
@@ -176,8 +173,10 @@ void SimAgent::handle_node_failure() {
   // the kill list.
   std::vector<ComputeUnitPtr> victims;
   while (deficit > 0 && !active_.empty()) {
-    ComputeUnitPtr victim = active_.back();
-    active_.pop_back();
+    const auto newest = std::prev(active_.end());
+    ComputeUnitPtr victim = std::move(newest->second);
+    active_seq_.erase(victim.get());
+    active_.erase(newest);
     --running_;
     const Count cores = victim->description().cores;
     if (cores >= deficit) {
@@ -189,10 +188,10 @@ void SimAgent::handle_node_failure() {
     victims.push_back(std::move(victim));
   }
   ENTK_CHECK(free_ <= capacity_, "core accounting out of sync");
-  std::deque<ComputeUnitPtr> stranded;
+  std::vector<ComputeUnitPtr> stranded;
   if (capacity_ < 1) {
     // The pilot lost its last node: nothing can ever run here again.
-    stranded.swap(waiting_);
+    stranded = waiting_.drain();
   }
   for (const auto& victim : victims) {
     (void)victim->advance_state(

@@ -7,6 +7,12 @@
 // released when the unit leaves the machine, so the scheduler can never
 // over-subscribe the pilot.
 //
+// The backlog lives in a core-count-bucketed WaitingIndex fed
+// incrementally on submit/settle, and units holding cores are tracked
+// in a launch-ordered map — both keep every per-unit bookkeeping step
+// sublinear in the backlog, which is what lets a single agent absorb
+// 100k-unit ensembles (see docs/PERFORMANCE.md).
+//
 // When the machine profile carries an enabled FaultSpec the agent also
 // models faults: node failures shrink its capacity and kill the units
 // executing on the lost node, launches can fail transiently, and units
@@ -15,11 +21,14 @@
 // belonging to a dead attempt never act on a relaunched unit.
 #pragma once
 
-#include <deque>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "pilot/agent.hpp"
+#include "pilot/waiting_index.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/machine.hpp"
@@ -47,12 +56,17 @@ class SimAgent final : public Agent {
   /// Cores lost to node failures so far.
   Count lost_cores() const { return initial_cores_ - capacity_; }
 
+  /// Scheduler cycles run so far (profiling hook for the scale bench).
+  std::uint64_t scheduler_cycles() const { return scheduler_cycles_; }
+
  private:
   void schedule_loop();
   void launch(ComputeUnitPtr unit);
   void finalize(const ComputeUnitPtr& unit);
   /// Returns the unit's cores to the pool if it still occupies them.
   void release(const ComputeUnitPtr& unit);
+  /// Removes a unit from the active set; returns false when absent.
+  bool deactivate(const ComputeUnit* unit);
   /// One node of this pilot died: shrink capacity and kill the units
   /// that were executing on it.
   void handle_node_failure();
@@ -67,11 +81,15 @@ class SimAgent final : public Agent {
   bool started_ = false;  ///< true once the bootstrap delay elapsed
   Count capacity_;  ///< Current cores (shrinks on node failures).
   Count free_;
-  std::deque<ComputeUnitPtr> waiting_;
+  WaitingIndex waiting_;
   std::size_t running_ = 0;
-  /// Units currently holding cores (launch -> release window), in
-  /// launch order — node failures kill from the back (newest first).
-  std::vector<ComputeUnitPtr> active_;
+  /// Units currently holding cores (launch -> release window), keyed
+  /// by launch order — node failures kill from the back (newest first)
+  /// and release() finds any unit in O(log active).
+  std::map<std::uint64_t, ComputeUnitPtr> active_;
+  std::unordered_map<const ComputeUnit*, std::uint64_t> active_seq_;
+  std::uint64_t next_launch_seq_ = 0;
+  std::uint64_t scheduler_cycles_ = 0;
   /// Per-spawner-worker busy-until times: each launch occupies the
   /// earliest-free worker for unit_spawn_overhead (RP runs a small pool
   /// of spawner workers; launches queue when all are busy).

@@ -26,12 +26,15 @@ void UnitManager::add_pilot(PilotPtr pilot) {
 
 Result<std::vector<ComputeUnitPtr>> UnitManager::submit_units(
     std::vector<UnitDescription> descriptions) {
+  // Interned handle: unit creation takes one relaxed atomic increment
+  // per uid instead of a global map lookup under a mutex.
+  static const UidSource unit_uids("unit");
   std::vector<ComputeUnitPtr> units;
   units.reserve(descriptions.size());
   for (auto& description : descriptions) {
     ENTK_RETURN_IF_ERROR(description.validate());
     auto unit = std::make_shared<ComputeUnit>(
-        next_uid("unit"), std::move(description), backend_.clock());
+        unit_uids.next(), std::move(description), backend_.clock());
     unit->stamp_created();
     ENTK_CHECK(unit->advance_state(UnitState::kPendingExecution).is_ok(),
                "fresh unit");
@@ -176,7 +179,7 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
 
 void UnitManager::settle_and_notify(ComputeUnit& unit, UnitState state) {
   ComputeUnitPtr settled;
-  std::vector<SettledObserver> observers;
+  std::shared_ptr<const ObserverList> observers;
   {
     MutexLock lock(mutex_);
     const auto it = entries_.find(&unit);
@@ -185,31 +188,41 @@ void UnitManager::settle_and_notify(ComputeUnit& unit, UnitState state) {
     if (it->second.notified) return;  // already reported
     it->second.notified = true;
     settled = it->second.unit;
-    observers.reserve(observers_.size());
-    for (const auto& [token, observer] : observers_) {
-      observers.push_back(observer);
-    }
+    // Snapshot by refcount, not by copy: the list is immutable (adds
+    // and removes swap in a fresh one), so it stays valid — and any
+    // observer registered mid-settle simply misses this unit, the same
+    // race window the per-event copy had.
+    observers = observers_;
   }
   // Outside the lock: observers may re-enter the manager.
-  for (const auto& observer : observers) observer(settled, state);
+  if (observers == nullptr) return;
+  for (const auto& [token, observer] : *observers) {
+    observer(settled, state);
+  }
 }
 
 std::size_t UnitManager::add_settled_observer(SettledObserver observer) {
   ENTK_CHECK(static_cast<bool>(observer), "null settled observer");
   MutexLock lock(mutex_);
   const std::size_t token = next_observer_token_++;
-  observers_.emplace_back(token, std::move(observer));
+  auto next = observers_ == nullptr
+                  ? std::make_shared<ObserverList>()
+                  : std::make_shared<ObserverList>(*observers_);
+  next->emplace_back(token, std::move(observer));
+  observers_ = std::move(next);
   return token;
 }
 
 void UnitManager::remove_settled_observer(std::size_t token) {
   MutexLock lock(mutex_);
-  observers_.erase(
-      std::remove_if(observers_.begin(), observers_.end(),
-                     [token](const auto& entry) {
-                       return entry.first == token;
-                     }),
-      observers_.end());
+  if (observers_ == nullptr) return;
+  auto next = std::make_shared<ObserverList>(*observers_);
+  next->erase(std::remove_if(next->begin(), next->end(),
+                             [token](const auto& entry) {
+                               return entry.first == token;
+                             }),
+              next->end());
+  observers_ = std::move(next);
 }
 
 void UnitManager::recover_from_pilot(Pilot& pilot) {

@@ -1,0 +1,107 @@
+#include "pilot/waiting_index.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace entk::pilot {
+
+void WaitingIndex::push(ComputeUnitPtr unit) {
+  ENTK_CHECK(unit != nullptr, "cannot index a null unit");
+  const Count cores = unit->description().cores;
+  const ComputeUnit* key = unit.get();
+  ENTK_CHECK(bucket_of_.emplace(key, cores).second,
+             "unit " + unit->uid() + " is already waiting");
+  buckets_[cores].push_back({next_seq_++, std::move(unit)});
+  ++size_;
+}
+
+bool WaitingIndex::erase(const ComputeUnit* unit) {
+  const auto where = bucket_of_.find(unit);
+  if (where == bucket_of_.end()) return false;
+  const auto it = buckets_.find(where->second);
+  ENTK_CHECK(it != buckets_.end(), "waiting index out of sync");
+  Bucket& bucket = it->second;
+  const auto entry =
+      std::find_if(bucket.begin(), bucket.end(),
+                   [unit](const Picked& p) { return p.unit.get() == unit; });
+  ENTK_CHECK(entry != bucket.end(), "waiting index out of sync");
+  bucket.erase(entry);
+  if (bucket.empty()) buckets_.erase(it);
+  bucket_of_.erase(where);
+  --size_;
+  return true;
+}
+
+const ComputeUnitPtr* WaitingIndex::fifo_head() const {
+  const Picked* head = nullptr;
+  for (const auto& [cores, bucket] : buckets_) {
+    const Picked& front = bucket.front();
+    if (head == nullptr || front.seq < head->seq) head = &front;
+  }
+  return head == nullptr ? nullptr : &head->unit;
+}
+
+WaitingIndex::Picked WaitingIndex::pop_fifo_head() {
+  ENTK_CHECK(!empty(), "pop from an empty waiting index");
+  auto best = buckets_.end();
+  for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+    if (best == buckets_.end() ||
+        it->second.front().seq < best->second.front().seq) {
+      best = it;
+    }
+  }
+  Picked out;
+  pop_from(best, out);
+  return out;
+}
+
+bool WaitingIndex::pop_earliest_fitting(Count budget, Picked& out) {
+  const auto end = buckets_.upper_bound(budget);
+  auto best = end;
+  for (auto it = buckets_.begin(); it != end; ++it) {
+    if (best == end || it->second.front().seq < best->second.front().seq) {
+      best = it;
+    }
+  }
+  if (best == end) return false;
+  pop_from(best, out);
+  return true;
+}
+
+bool WaitingIndex::pop_largest_fitting(Count budget, Picked& out) {
+  auto it = buckets_.upper_bound(budget);
+  if (it == buckets_.begin()) return false;
+  --it;
+  pop_from(it, out);
+  return true;
+}
+
+std::vector<ComputeUnitPtr> WaitingIndex::drain() {
+  std::vector<Picked> all;
+  all.reserve(size_);
+  for (auto& [cores, bucket] : buckets_) {
+    for (auto& entry : bucket) all.push_back(std::move(entry));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Picked& a, const Picked& b) { return a.seq < b.seq; });
+  buckets_.clear();
+  bucket_of_.clear();
+  size_ = 0;
+  std::vector<ComputeUnitPtr> units;
+  units.reserve(all.size());
+  for (auto& entry : all) units.push_back(std::move(entry.unit));
+  return units;
+}
+
+void WaitingIndex::pop_from(std::map<Count, Bucket>::iterator it,
+                            Picked& out) {
+  Bucket& bucket = it->second;
+  out = std::move(bucket.front());
+  bucket.pop_front();
+  if (bucket.empty()) buckets_.erase(it);
+  bucket_of_.erase(out.unit.get());
+  --size_;
+}
+
+}  // namespace entk::pilot

@@ -1,0 +1,86 @@
+// Core-count-bucketed index over an agent's waiting units.
+//
+// Agents used to keep waiting units in a flat deque and hand the whole
+// thing to the scheduler every cycle; each policy then rescanned (or
+// re-sorted) all n waiting units, so a scheduler cycle cost O(n) and a
+// 100k-unit backlog spent most wall-clock selecting. This index keeps
+// the backlog grouped by core demand instead:
+//
+//   buckets_:  cores -> FIFO of (arrival seq, unit)
+//   bucket_of_: unit -> its bucket key, for O(bucket) cancellation
+//
+// Arrival seqs are monotone, so "earliest waiting unit", "earliest
+// unit fitting a budget" and "largest unit fitting a budget" are all
+// answered from bucket fronts in O(distinct core counts) or
+// O(log distinct core counts) — never O(waiting units). Agents feed
+// the index incrementally on submit/settle; nothing is rebuilt per
+// cycle.
+//
+// The index is not thread-safe; its owner (SimAgent on the engine
+// thread, LocalAgent under its mutex) serializes access.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "pilot/compute_unit.hpp"
+
+namespace entk::pilot {
+
+class WaitingIndex {
+ public:
+  /// A unit popped from the index, with its arrival seq so callers can
+  /// restore global FIFO order across buckets (launch order).
+  struct Picked {
+    std::uint64_t seq = 0;
+    ComputeUnitPtr unit;
+  };
+
+  /// Appends a unit (arrival order is the push order).
+  void push(ComputeUnitPtr unit);
+
+  /// Removes one unit wherever it waits; returns false when absent.
+  bool erase(const ComputeUnit* unit);
+
+  bool contains(const ComputeUnit* unit) const {
+    return bucket_of_.count(unit) != 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Smallest core demand among waiting units (0 when empty): lets the
+  /// agent skip a cycle when nothing can possibly fit.
+  Count min_cores() const {
+    return buckets_.empty() ? 0 : buckets_.begin()->first;
+  }
+
+  /// Earliest-arrived unit overall (FIFO head), nullptr when empty.
+  const ComputeUnitPtr* fifo_head() const;
+  Picked pop_fifo_head();
+
+  /// Earliest-arrived unit with cores <= budget; false when none fits.
+  bool pop_earliest_fitting(Count budget, Picked& out);
+
+  /// Largest-cored unit with cores <= budget (FIFO among equals);
+  /// false when none fits.
+  bool pop_largest_fitting(Count budget, Picked& out);
+
+  /// Removes and returns every unit in arrival order.
+  std::vector<ComputeUnitPtr> drain();
+
+ private:
+  using Bucket = std::deque<Picked>;
+
+  void pop_from(std::map<Count, Bucket>::iterator it, Picked& out);
+
+  std::map<Count, Bucket> buckets_;  // never holds an empty bucket
+  std::unordered_map<const ComputeUnit*, Count> bucket_of_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace entk::pilot

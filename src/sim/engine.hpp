@@ -3,20 +3,31 @@
 // A single-threaded event queue over a virtual clock. Events fire in
 // (time, insertion-sequence) order, so simultaneous events execute in
 // the order they were scheduled — this makes every simulation run
-// bit-for-bit deterministic, which the figure-reproduction benches rely
-// on.
+// bit-for-bit deterministic, which the figure-reproduction benches and
+// the trace-pinned schedule tests rely on.
 //
 // The engine underpins the simulated execution backend: the batch
 // queue, pilot agent and data stager all schedule their activity here,
 // which is how the toolkit reproduces O(1000)-core scaling experiments
-// on a laptop.
+// on a laptop — and, since the pool rework, O(100k)-unit ensembles.
+//
+// Storage model (the hot path of every simulation):
+//  - Events live in a slab (std::vector) recycled through a free list,
+//    so steady-state scheduling allocates nothing: no shared_ptr
+//    control blocks, no map nodes. A slot's std::function keeps its
+//    heap buffer across reuse whenever the callback fits.
+//  - The pending set is an index-based binary heap of slot numbers
+//    ordered by (time, seq); each slot stores its heap position, so
+//    cancel() removes the entry immediately (O(log n)) instead of
+//    leaving a tombstone to bloat the queue until popped.
+//  - An EventId packs (slot, generation). Slot reuse bumps the
+//    generation, so a stale handle — cancelled, already fired, or from
+//    a previous occupant — is rejected in O(1) without any lookup
+//    structure.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -26,7 +37,8 @@
 namespace entk::sim {
 
 /// Handle to a scheduled event; used to cancel timers (e.g. walltime
-/// expiry of a batch job that completed early).
+/// expiry of a batch job that completed early). Packs (slot,
+/// generation) — valid only against the engine that issued it.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -49,7 +61,8 @@ class Engine {
   EventId schedule_at(TimePoint t, std::function<void()> fn);
 
   /// Cancels a pending event. Returns false if the event already fired,
-  /// was cancelled before, or never existed.
+  /// was cancelled before, or never existed. The entry leaves the
+  /// pending heap immediately; its slot is recycled.
   bool cancel(EventId id);
 
   /// Runs the next pending event; returns false if the queue is empty.
@@ -63,41 +76,62 @@ class Engine {
   void run_until(TimePoint horizon);
 
   /// Firing time of the next pending event, or kTimeInfinity when the
-  /// queue is empty. Lets drivers honour deadlines that fall between
-  /// events (prunes cancelled queue heads as a side effect).
-  TimePoint next_event_time();
+  /// queue is empty.
+  TimePoint next_event_time() const;
 
-  std::size_t pending_events() const { return live_events_; }
+  /// Grows the slab to hold `events` pending events without
+  /// reallocating (optional warm-up for large sweeps).
+  void reserve(std::size_t events);
+
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t dispatched_events() const { return dispatched_; }
+
+  /// Slots ever allocated in the slab — the engine's high-water mark of
+  /// simultaneously pending events. Stays flat under schedule/cancel
+  /// churn because cancelled slots are recycled, which the bloat
+  /// regression test pins.
+  std::size_t pool_slots() const { return pool_.size(); }
 
   /// True while an event callback is executing (used to refuse
   /// re-entrant run()/run_until()).
   bool dispatching() const { return dispatching_; }
 
  private:
-  struct Event {
-    TimePoint time;
-    std::uint64_t seq;   // tie-breaker: FIFO among simultaneous events
-    EventId id;
+  static constexpr std::uint32_t kNoHeapPos = 0xffffffffu;
+
+  struct Slot {
+    TimePoint time = 0.0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among simultaneous events
     std::function<void()> fn;
-    bool cancelled = false;
-  };
-  struct EventOrder {
-    bool operator()(const std::shared_ptr<Event>& a,
-                    const std::shared_ptr<Event>& b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->seq > b->seq;
-    }
+    std::uint32_t generation = 1;  // bumped on every release; never 0
+    std::uint32_t heap_pos = kNoHeapPos;
+    std::uint32_t next_free = kNoHeapPos;  // free-list link
   };
 
+  /// Strict weak order of two live slots: earlier time first, FIFO
+  /// among equal times. (time, seq) is a total order because seq is
+  /// unique, so dispatch order is independent of heap internals.
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = pool_[a];
+    const Slot& sb = pool_[b];
+    if (sa.time != sb.time) return sa.time < sb.time;
+    return sa.seq < sb.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  /// Returns a fired/cancelled slot to the free list and invalidates
+  /// every outstanding EventId for it.
+  void release_slot(std::uint32_t slot);
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  /// Removes the heap entry at `pos`, restoring the heap property.
+  void heap_remove(std::uint32_t pos);
+
   ManualClock clock_;
-  std::priority_queue<std::shared_ptr<Event>,
-                      std::vector<std::shared_ptr<Event>>, EventOrder>
-      queue_;
-  std::unordered_map<EventId, std::weak_ptr<Event>> index_;
+  std::vector<Slot> pool_;
+  std::vector<std::uint32_t> heap_;  // slot numbers, binary min-heap
+  std::uint32_t free_head_ = kNoHeapPos;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::size_t live_events_ = 0;
   std::uint64_t dispatched_ = 0;
   bool dispatching_ = false;
 };

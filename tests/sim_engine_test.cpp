@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event engine, cluster and batch queue.
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "sim/batch.hpp"
 #include "sim/cluster.hpp"
 #include "sim/engine.hpp"
@@ -88,6 +90,70 @@ TEST(Engine, StepReturnsFalseWhenEmpty) {
 }
 
 // ---------------------------------------------------------------- machines
+
+TEST(Engine, CancelChurnDoesNotBloat) {
+  // The cancelled-event regression the pool rework fixed: cancelled
+  // timers used to linger in the queue (and its side index) until
+  // popped, so schedule/cancel churn — the agent's walltime-watchdog
+  // idiom — grew memory without bound. With true O(log n) removal and
+  // slot recycling, 100k churned timers must leave nothing pending and
+  // the slab must stay at the size of the outstanding window.
+  Engine engine;
+  constexpr std::size_t kTimers = 100000;
+  constexpr std::size_t kWindow = 1000;
+  std::deque<EventId> outstanding;
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    outstanding.push_back(engine.schedule(3600.0, [] {}));
+    if (outstanding.size() > kWindow) {
+      EXPECT_TRUE(engine.cancel(outstanding.front()));
+      outstanding.pop_front();
+    }
+  }
+  while (!outstanding.empty()) {
+    EXPECT_TRUE(engine.cancel(outstanding.front()));
+    outstanding.pop_front();
+  }
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_LE(engine.pool_slots(), kWindow + 1);
+
+  // The engine still dispatches normally after the churn.
+  bool fired = false;
+  engine.schedule(1.0, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.dispatched_events(), 1u);
+}
+
+TEST(Engine, StaleHandleNeverCancelsSlotReuse) {
+  Engine engine;
+  bool first = false;
+  const EventId a = engine.schedule(1.0, [&] { first = true; });
+  engine.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(engine.cancel(a));  // already fired
+
+  // The next schedule recycles the fired slot; the stale handle must
+  // be rejected by its generation, not cancel the new occupant.
+  bool second = false;
+  const EventId b = engine.schedule(1.0, [&] { second = true; });
+  EXPECT_EQ(engine.pool_slots(), 1u);  // same slot, new generation
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(engine.cancel(a));
+  engine.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, ReserveDoesNotDisturbPendingEvents) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(2.0, [&] { order.push_back(2); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.reserve(4096);  // capacity only: no new slots materialize
+  EXPECT_EQ(engine.pool_slots(), 2u);
+  engine.schedule(3.0, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
 
 TEST(MachineCatalog, HasThePaperPlatforms) {
   const auto catalog = MachineCatalog::with_builtin_profiles();

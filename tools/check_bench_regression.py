@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Gate BENCH_scale.json against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE CANDIDATE [--tolerance 0.15]
+
+Fails (exit 1) when the candidate run regresses more than the
+tolerance below the baseline:
+
+  * per matched sweep point -- keyed on (pattern, scaling, n_units,
+    cores) -- candidate events_per_sec must be at least
+    (1 - tolerance) * baseline events_per_sec;
+  * the engine_compare speedup (pooled vs legacy engine, measured in
+    the same process on the same machine) must be at least
+    (1 - tolerance) * the baseline speedup.  This ratio is
+    machine-relative, so it is the most trustworthy signal on
+    differently-sized CI runners.
+
+Baseline points absent from the candidate are an error (a sweep point
+silently disappearing is itself a regression); candidate points absent
+from the baseline are reported but do not fail the gate.  Baselines
+are expected to carry derated (conservative) absolute numbers so that
+slower CI runners do not trip the gate on hardware variance -- see
+docs/PERFORMANCE.md for the refresh procedure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def sweep_key(point):
+    return (
+        point["pattern"],
+        point["scaling"],
+        int(point["n_units"]),
+        int(point["cores"]),
+    )
+
+
+def fmt_key(key):
+    pattern, scaling, n_units, cores = key
+    return f"{pattern}/{scaling} units={n_units} cores={cores}"
+
+
+def check(baseline, candidate, tolerance):
+    failures = []
+    notes = []
+    floor = 1.0 - tolerance
+
+    base_points = {sweep_key(p): p for p in baseline.get("sweeps", [])}
+    cand_points = {sweep_key(p): p for p in candidate.get("sweeps", [])}
+
+    for key, base in sorted(base_points.items()):
+        cand = cand_points.get(key)
+        if cand is None:
+            failures.append(f"sweep point missing: {fmt_key(key)}")
+            continue
+        base_eps = float(base["events_per_sec"])
+        cand_eps = float(cand["events_per_sec"])
+        if cand_eps < base_eps * floor:
+            failures.append(
+                f"events/sec regression at {fmt_key(key)}: "
+                f"{cand_eps:,.0f} < {floor:.2f} * {base_eps:,.0f}"
+            )
+        else:
+            notes.append(
+                f"ok {fmt_key(key)}: {cand_eps:,.0f} events/sec "
+                f"(baseline {base_eps:,.0f})"
+            )
+
+    for key in sorted(set(cand_points) - set(base_points)):
+        notes.append(f"new sweep point (not gated): {fmt_key(key)}")
+
+    base_cmp = baseline.get("engine_compare")
+    cand_cmp = candidate.get("engine_compare")
+    if base_cmp and cand_cmp:
+        base_speedup = float(base_cmp["speedup"])
+        cand_speedup = float(cand_cmp["speedup"])
+        if cand_speedup < base_speedup * floor:
+            failures.append(
+                f"engine speedup regression: {cand_speedup:.2f}x < "
+                f"{floor:.2f} * {base_speedup:.2f}x"
+            )
+        else:
+            notes.append(
+                f"ok engine speedup: {cand_speedup:.2f}x "
+                f"(baseline {base_speedup:.2f}x)"
+            )
+    elif base_cmp:
+        failures.append("candidate is missing the engine_compare block")
+
+    return failures, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("candidate", help="freshly produced JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional drop below baseline (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as fp:
+        baseline = json.load(fp)
+    with open(args.candidate, encoding="utf-8") as fp:
+        candidate = json.load(fp)
+
+    for doc, name in ((baseline, args.baseline), (candidate, args.candidate)):
+        schema = doc.get("schema", "")
+        if not schema.startswith("entk.bench.scale/"):
+            print(f"error: {name}: unrecognised schema {schema!r}")
+            return 1
+
+    failures, notes = check(baseline, candidate, args.tolerance)
+    for note in notes:
+        print(note)
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("\nbench regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
