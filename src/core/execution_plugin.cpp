@@ -1,6 +1,7 @@
 #include "core/execution_plugin.hpp"
 
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace entk::core {
 
@@ -77,6 +78,9 @@ Result<std::vector<pilot::ComputeUnitPtr>> ExecutionPlugin::submit(
   const Duration charge =
       options_.per_task_overhead * static_cast<double>(specs.size());
   backend_.advance(charge);
+  // Counter (not a span): on the sim backend advance() is a no-op
+  // while the engine dispatches, so only the charge value is reliable.
+  ENTK_TRACE_COUNTER("overhead.pattern", "core", charge);
   auto units = unit_manager_.submit_units(std::move(descriptions));
   if (!units.ok()) return units.status();
   {

@@ -8,6 +8,9 @@
 #include "common/log.hpp"
 #include "pilot/states.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace entk::core {
 
 namespace {
@@ -301,6 +304,9 @@ void GraphExecutor::decide_stage_groups_locked() {
     if (run.decided || run.settled < group.members.size()) continue;
     run.decided = true;
     const Status verdict = stage_verdict_locked(gid);
+    ENTK_TRACE_INSTANT(verdict.is_ok() ? "graph.verdict.pass"
+                                       : "graph.verdict.fail",
+                       "graph");
     if (verdict.is_ok()) {
       run.passed = true;
       for (const NodeId gated : gated_nodes_[gid]) {
@@ -323,6 +329,7 @@ void GraphExecutor::propagate_skips_locked() {
     if (abort_swept_) return;
     abort_swept_ = true;
     skip_candidates_.clear();
+    std::size_t swept = 0;
     for (NodeId id = 0; id < runs_.size(); ++id) {
       NodeRun& run = runs_[id];
       if (run.status != NodeStatus::kPending) continue;
@@ -331,7 +338,11 @@ void GraphExecutor::propagate_skips_locked() {
                              "node '" + graph_.node(id).label +
                                  "' skipped: pattern aborted");
       settle_into_groups_locked(id, false);
+      ++swept;
     }
+    obs::Metrics::instance()
+        .counter(obs::WellKnownCounter::kGraphNodesSkipped)
+        .add(swept);
     return;
   }
   // Worklist fixpoint: a node is examined only when an upstream
@@ -358,6 +369,9 @@ void GraphExecutor::propagate_skips_locked() {
     if (reason.is_ok()) continue;
     run.status = NodeStatus::kSkipped;
     run.error = std::move(reason);
+    obs::Metrics::instance()
+        .counter(obs::WellKnownCounter::kGraphNodesSkipped)
+        .add();
     settle_into_groups_locked(id, false);
     queue_dependent_skips_locked(id);
   }
@@ -402,6 +416,14 @@ std::vector<NodeId> GraphExecutor::frontier_locked() {
 }
 
 void GraphExecutor::submit_frontier(const std::vector<NodeId>& frontier) {
+  ENTK_TRACE_SPAN("graph.submit_frontier", "graph");
+  ENTK_TRACE_COUNTER("graph.frontier_batch", "graph", frontier.size());
+  auto& metrics = obs::Metrics::instance();
+  metrics.counter(obs::WellKnownCounter::kGraphFrontierBatches).add();
+  metrics.counter(obs::WellKnownCounter::kGraphNodesSubmitted)
+      .add(frontier.size());
+  metrics.histogram(obs::WellKnownHistogram::kGraphFrontierBatchSize)
+      .observe(static_cast<double>(frontier.size()));
   // Specs are produced here — at submission time, outside any lock —
   // so stateful user callbacks observe current application state.
   std::vector<TaskSpec> specs;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace entk::core {
 
@@ -42,8 +43,12 @@ Status ResourceHandle::allocate() {
                       "resource handle already holds pilots");
   }
   pilots_.clear();
+  obs::ScopedTraceClock trace_clock(backend_.clock());
+  ENTK_TRACE_SPAN("resource.allocate", "core");
   // Toolkit init + request handling (modelled core overhead).
   backend_.advance(options_.init_overhead + options_.allocate_overhead);
+  ENTK_TRACE_COUNTER("overhead.core", "core",
+                     options_.init_overhead + options_.allocate_overhead);
 
   unit_manager_ = std::make_unique<pilot::UnitManager>(backend_);
   // Split the total cores over the pilots; the first pilots take the
@@ -113,9 +118,12 @@ Result<RunReport> ResourceHandle::run(ExecutionPattern& pattern) {
   ExecutionPlugin plugin(registry_, *unit_manager_, backend_,
                          plugin_options);
 
+  obs::ScopedTraceClock trace_clock(backend_.clock());
   const TimePoint started = backend_.clock().now();
+  ENTK_TRACE_SPAN_BEGIN("run", "core", 0, 0);
   const Status outcome = pattern.execute(plugin);
   const TimePoint finished = backend_.clock().now();
+  ENTK_TRACE_SPAN_END("run", "core", 0, 0);
 
   RunReport report;
   report.outcome = outcome;
@@ -128,6 +136,7 @@ Result<RunReport> ResourceHandle::run(ExecutionPattern& pattern) {
   for (const auto& held : pilots_) {
     report.overheads.pilot_startup =
         std::max(report.overheads.pilot_startup, held->startup_time());
+    ENTK_TRACE_COUNTER("pilot.startup", "core", held->startup_time());
   }
   for (const auto& unit : report.units) {
     switch (unit->state()) {
@@ -154,7 +163,11 @@ Status ResourceHandle::deallocate() {
     return make_error(Errc::kFailedPrecondition,
                       "resource handle holds no pilot");
   }
+  obs::ScopedTraceClock trace_clock(backend_.clock());
+  ENTK_TRACE_SPAN("resource.deallocate", "core");
   backend_.advance(options_.deallocate_overhead);
+  ENTK_TRACE_COUNTER("overhead.core", "core",
+                     options_.deallocate_overhead);
   Status first_error;
   for (const auto& held : pilots_) {
     if (held->state() != pilot::PilotState::kActive) continue;

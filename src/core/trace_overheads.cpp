@@ -1,0 +1,112 @@
+#include "core/trace_overheads.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace entk::core {
+namespace {
+
+bool is(const char* text, const char* expected) {
+  return text != nullptr && std::strcmp(text, expected) == 0;
+}
+
+struct UnitRec {
+  TimePoint start = kNoTime;
+  TimePoint stop = kNoTime;
+};
+
+}  // namespace
+
+Result<OverheadProfile> reduce_trace_overheads(
+    const std::vector<obs::TraceEvent>& events) {
+  OverheadProfile profile;
+
+  TimePoint run_begin = kNoTime;
+  TimePoint run_end = kNoTime;
+  bool saw_run = false;
+
+  // Per-unit exec spans, keyed by flow id; creation order preserved so
+  // the execution-time sum matches build_overhead_profile's, which
+  // iterates units in submission order.
+  std::unordered_map<std::uint64_t, UnitRec> units;
+  std::vector<std::uint64_t> creation_order;
+
+  for (const obs::TraceEvent& event : events) {
+    switch (event.kind) {
+      case obs::TraceKind::kCounter:
+        if (is(event.name, "overhead.core")) {
+          profile.core_overhead += event.value;
+        } else if (is(event.name, "overhead.pattern")) {
+          profile.pattern_overhead += event.value;
+        } else if (is(event.name, "pilot.startup")) {
+          profile.pilot_startup =
+              std::max(profile.pilot_startup, event.value);
+        }
+        break;
+      case obs::TraceKind::kSpanBegin:
+        if (is(event.name, "run")) {
+          run_begin = event.time;
+          run_end = kNoTime;
+        } else if (is(event.name, "unit.exec")) {
+          UnitRec& rec = units[event.flow_id];
+          rec.start = event.time;
+          rec.stop = kNoTime;
+        }
+        break;
+      case obs::TraceKind::kSpanEnd:
+        if (is(event.name, "run")) {
+          run_end = event.time;
+          saw_run = true;
+        } else if (is(event.name, "unit.exec")) {
+          units[event.flow_id].stop = event.time;
+        }
+        break;
+      case obs::TraceKind::kInstant:
+        if (is(event.name, "unit.created")) {
+          creation_order.push_back(event.flow_id);
+          units.try_emplace(event.flow_id);
+        } else if (is(event.name, "unit.exec_reset")) {
+          // Retry / pilot-loss rewind: the attempt's stamps are void.
+          units[event.flow_id] = UnitRec{};
+        }
+        break;
+    }
+  }
+
+  if (!saw_run || run_end == kNoTime) {
+    return make_error(Errc::kNotFound,
+                      "trace holds no completed \"run\" span; was the "
+                      "recorder enabled around ResourceHandle::run()?");
+  }
+  const Duration run_span = run_end - run_begin;
+
+  profile.n_units = creation_order.size();
+  TimePoint first_start = kTimeInfinity;
+  TimePoint last_stop = -kTimeInfinity;
+  for (const std::uint64_t flow : creation_order) {
+    const UnitRec& rec = units[flow];
+    if (rec.start != kNoTime && rec.stop != kNoTime) {
+      profile.total_unit_execution += rec.stop - rec.start;
+    }
+    if (rec.start != kNoTime) {
+      first_start = std::min(first_start, rec.start);
+    }
+    if (rec.stop != kNoTime) last_stop = std::max(last_stop, rec.stop);
+  }
+  if (profile.n_units > 0) {
+    profile.mean_unit_execution =
+        profile.total_unit_execution /
+        static_cast<double>(profile.n_units);
+  }
+  if (first_start != kTimeInfinity && last_stop > first_start) {
+    profile.execution_time = last_stop - first_start;
+  }
+  profile.runtime_overhead =
+      std::max(0.0, run_span - profile.pattern_overhead -
+                        profile.execution_time);
+  profile.ttc = profile.core_overhead + run_span;
+  return profile;
+}
+
+}  // namespace entk::core

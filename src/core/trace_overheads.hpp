@@ -1,0 +1,36 @@
+// Rebuild the paper's TTC decomposition from a trace stream.
+//
+// The live recorder (src/obs) captures what build_overhead_profile()
+// computes post-hoc from finished unit timelines. reduce_trace_overheads
+// folds a snapshot back into an OverheadProfile so the two paths can
+// be cross-checked (tests assert agreement to 1e-6 on deterministic
+// sim runs).
+//
+// Events consumed (see docs/OBSERVABILITY.md for the emitting sites):
+//   counter "overhead.core"     summed         -> core_overhead
+//   counter "overhead.pattern"  summed         -> pattern_overhead
+//   counter "pilot.startup"     max            -> pilot_startup
+//   span    "run"               last pair      -> run span
+//   instant "unit.created"      count/order    -> n_units, sum order
+//   span    "unit.exec"         per flow id    -> execution window
+//   instant "unit.exec_reset"   voids the flow's pending exec span
+//
+// The trace must cover allocate() through deallocate(): core overhead
+// is modelled as a per-run constant (init + allocate + deallocate), so
+// a snapshot taken before deallocation under-counts it.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/overheads.hpp"
+#include "obs/trace.hpp"
+
+namespace entk::core {
+
+/// Reduces a time-ordered trace snapshot (obs::TraceRecorder::snapshot)
+/// to an OverheadProfile. Fails when no "run" span is present.
+Result<OverheadProfile> reduce_trace_overheads(
+    const std::vector<obs::TraceEvent>& events);
+
+}  // namespace entk::core

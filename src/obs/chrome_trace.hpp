@@ -1,0 +1,31 @@
+// Chrome trace-event JSON export (loads in Perfetto / chrome://tracing).
+//
+// Mapping:
+//   * pilots     -> processes (pid = pilot ordinal; 0 is the client)
+//   * threads    -> tids in recorder registration order
+//   * unit spans -> async nestable "b"/"e" events keyed by flow id,
+//                   because overlapping virtual-time units on one
+//                   thread cannot be expressed as a B/E stack
+//   * units      -> flow events ("s" on first sighting of a flow id,
+//                   "t" steps after) stitching a unit across pilots
+//   * instants   -> "i", counters -> "C"
+// Timestamps are seconds from the recorder clock, exported as the
+// format's microseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/trace.hpp"
+
+namespace entk::obs {
+
+/// Renders the events as a JSON object with a `traceEvents` array.
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Writes to_chrome_trace(events) to `path`.
+Status write_chrome_trace(const std::string& path,
+                          const std::vector<TraceEvent>& events);
+
+}  // namespace entk::obs

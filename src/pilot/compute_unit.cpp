@@ -1,6 +1,7 @@
 #include "pilot/compute_unit.hpp"
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace entk::pilot {
 
@@ -8,7 +9,8 @@ ComputeUnit::ComputeUnit(std::string uid, UnitDescription description,
                          const Clock& clock)
     : uid_(std::move(uid)),
       description_(std::move(description)),
-      clock_(clock) {}
+      clock_(clock),
+      trace_flow_(obs::trace_flow_id(uid_)) {}
 
 UnitState ComputeUnit::state() const {
   MutexLock lock(mutex_);
@@ -100,25 +102,32 @@ Status ComputeUnit::advance_state(UnitState to, Status failure) {
           exec_stopped_at_ = kNoTime;
           finished_at_ = kNoTime;
           ++epoch_;
+          ENTK_TRACE_INSTANT_FLOW("unit.exec_reset", "unit",
+                                  trace_flow_, 0);
         }
         break;
       case UnitState::kExecuting:
         exec_started_at_ = now;
+        ENTK_TRACE_SPAN_BEGIN("unit.exec", "unit", trace_flow_, 0);
         break;
       case UnitState::kStagingOutput:
         exec_stopped_at_ = now;
+        ENTK_TRACE_SPAN_END("unit.exec", "unit", trace_flow_, 0);
         break;
       case UnitState::kDone:
       case UnitState::kFailed:
       case UnitState::kCanceled:
         if (exec_started_at_ != kNoTime && exec_stopped_at_ == kNoTime) {
           exec_stopped_at_ = now;
+          ENTK_TRACE_SPAN_END("unit.exec", "unit", trace_flow_, 0);
         }
         finished_at_ = now;
         break;
       default:
         break;
     }
+    ENTK_TRACE_INSTANT_FLOW(unit_state_name(to), "unit.state",
+                            trace_flow_, 0);
     if (to == UnitState::kFailed) {
       final_status_ = failure.is_ok()
                           ? make_error(Errc::kExecutionFailed,
@@ -164,6 +173,7 @@ Status ComputeUnit::reset_for_retry() {
   exec_stopped_at_ = kNoTime;
   finished_at_ = kNoTime;
   ++epoch_;
+  ENTK_TRACE_INSTANT_FLOW("unit.exec_reset", "unit", trace_flow_, 0);
   return Status::ok();
 }
 

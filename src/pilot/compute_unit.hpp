@@ -8,6 +8,7 @@
 // Thread-safe for the local backend (worker threads mutate state).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -30,6 +31,10 @@ class ComputeUnit {
 
   const std::string& uid() const { return uid_; }
   const UnitDescription& description() const { return description_; }
+
+  /// Stable trace identity (obs::trace_flow_id of the uid), computed
+  /// once so hot-path instrumentation never re-hashes the uid.
+  std::uint64_t trace_flow() const { return trace_flow_; }
 
   UnitState state() const ENTK_EXCLUDES(mutex_);
   Status final_status() const ENTK_EXCLUDES(mutex_);
@@ -75,6 +80,7 @@ class ComputeUnit {
   const std::string uid_;
   const UnitDescription description_;
   const Clock& clock_;
+  const std::uint64_t trace_flow_;
 
   mutable Mutex mutex_;
   UnitState state_ ENTK_GUARDED_BY(mutex_) = UnitState::kNew;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pilot/stager.hpp"
 
 namespace entk::pilot {
@@ -17,7 +19,8 @@ LocalAgent::LocalAgent(sim::MachineProfile machine, Count cores,
       scheduler_(std::move(scheduler)),
       clock_(clock),
       session_dir_(std::move(session_dir)),
-      free_(cores) {
+      free_(cores),
+      trace_ordinal_(obs::next_pilot_ordinal()) {
   ENTK_CHECK(cores_ >= 1, "agent needs at least one core");
   ENTK_CHECK(scheduler_ != nullptr, "agent needs a scheduler");
   shared_dir_ = session_dir_ / "shared";
@@ -63,6 +66,9 @@ Status LocalAgent::submit(std::vector<ComputeUnitPtr> units) {
       continue;
     }
     unit->stamp_submitted();
+    obs::Metrics::instance()
+        .counter(obs::WellKnownCounter::kSchedulerWaitingPushes)
+        .add();
     waiting_.push(std::move(unit));
   }
   if (started_) schedule_locked();
@@ -135,8 +141,15 @@ void LocalAgent::wait_idle() {
 void LocalAgent::schedule_locked() {
   if (waiting_.empty() || free_ <= 0) return;
   if (waiting_.min_cores() > free_) return;  // nothing can fit
+  ENTK_TRACE_SPAN("agent.schedule", "agent");
+  auto& metrics = obs::Metrics::instance();
+  metrics.counter(obs::WellKnownCounter::kSchedulerCycles).add();
   auto selected = scheduler_->select_from(waiting_, free_);
+  metrics.gauge(obs::WellKnownGauge::kSchedulerWaitingUnits)
+      .set(static_cast<double>(waiting_.size()));
   if (selected.empty()) return;
+  metrics.counter(obs::WellKnownCounter::kSchedulerPicks)
+      .add(selected.size());
   Count requested = 0;
   for (const auto& unit : selected) {
     requested += unit->description().cores;
@@ -146,6 +159,8 @@ void LocalAgent::schedule_locked() {
     free_ -= unit->description().cores;
     ++running_;
     spawn_total_ += machine_.unit_spawn_overhead;
+    ENTK_TRACE_INSTANT_FLOW("unit.launched", "agent",
+                            unit->trace_flow(), trace_ordinal_);
     ComputeUnitPtr launched = std::move(unit);
     pool_->submit([this, launched] { execute(launched); });
   }
@@ -153,6 +168,8 @@ void LocalAgent::schedule_locked() {
 
 void LocalAgent::execute(ComputeUnitPtr unit) {
   const auto& desc = unit->description();
+  ENTK_TRACE_SPAN_FLOW("unit.run_payload", "agent", unit->trace_flow(),
+                       trace_ordinal_);
   const fs::path sandbox = session_dir_ / "units" / unit->uid();
   Status status;
   std::error_code ec;

@@ -3,6 +3,7 @@
 // unit's private sandbox and the pilot's shared space.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <memory>
 
@@ -68,6 +69,8 @@ class LocalAgent final : public Agent {
   WaitingIndex waiting_ ENTK_GUARDED_BY(mutex_);
   std::size_t running_ ENTK_GUARDED_BY(mutex_) = 0;
   Duration spawn_total_ ENTK_GUARDED_BY(mutex_) = 0.0;
+  /// Trace identity: maps to a Chrome-trace pid (see src/obs).
+  const std::uint32_t trace_ordinal_;
 };
 
 }  // namespace entk::pilot

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pilot/stager.hpp"
 
 namespace entk::pilot {
@@ -16,7 +18,8 @@ SimAgent::SimAgent(sim::Engine& engine, sim::MachineProfile machine,
       scheduler_(std::move(scheduler)),
       faults_(faults),
       capacity_(cores),
-      free_(cores) {
+      free_(cores),
+      trace_ordinal_(obs::next_pilot_ordinal()) {
   ENTK_CHECK(capacity_ >= 1, "agent needs at least one core");
   ENTK_CHECK(scheduler_ != nullptr, "agent needs a scheduler");
 }
@@ -64,6 +67,9 @@ Status SimAgent::submit(std::vector<ComputeUnitPtr> units) {
       continue;
     }
     unit->stamp_submitted();
+    obs::Metrics::instance()
+        .counter(obs::WellKnownCounter::kSchedulerWaitingPushes)
+        .add();
     waiting_.push(std::move(unit));
   }
   if (started_) schedule_loop();
@@ -102,8 +108,15 @@ void SimAgent::schedule_loop() {
   // no policy can select anything.
   if (waiting_.min_cores() > free_) return;
   ++scheduler_cycles_;
+  ENTK_TRACE_SPAN("agent.schedule", "agent");
+  auto& metrics = obs::Metrics::instance();
+  metrics.counter(obs::WellKnownCounter::kSchedulerCycles).add();
   auto selected = scheduler_->select_from(waiting_, free_);
+  metrics.gauge(obs::WellKnownGauge::kSchedulerWaitingUnits)
+      .set(static_cast<double>(waiting_.size()));
   if (selected.empty()) return;
+  metrics.counter(obs::WellKnownCounter::kSchedulerPicks)
+      .add(selected.size());
   // Validate the scheduler's core budget before committing.
   Count requested = 0;
   for (const auto& unit : selected) {
@@ -211,6 +224,8 @@ void SimAgent::handle_node_failure() {
 
 void SimAgent::launch(ComputeUnitPtr unit) {
   const auto& desc = unit->description();
+  ENTK_TRACE_INSTANT_FLOW("unit.launched", "agent", unit->trace_flow(),
+                          trace_ordinal_);
   ENTK_CHECK(unit->advance_state(UnitState::kStagingInput).is_ok(),
              "launch on non-pending unit");
   const Count epoch = unit->epoch();

@@ -59,6 +59,9 @@ class SimAgent final : public Agent {
   /// Scheduler cycles run so far (profiling hook for the scale bench).
   std::uint64_t scheduler_cycles() const { return scheduler_cycles_; }
 
+  /// Trace identity: maps to a Chrome-trace pid (see src/obs).
+  std::uint32_t trace_ordinal() const { return trace_ordinal_; }
+
  private:
   void schedule_loop();
   void launch(ComputeUnitPtr unit);
@@ -90,6 +93,7 @@ class SimAgent final : public Agent {
   std::unordered_map<const ComputeUnit*, std::uint64_t> active_seq_;
   std::uint64_t next_launch_seq_ = 0;
   std::uint64_t scheduler_cycles_ = 0;
+  const std::uint32_t trace_ordinal_;
   /// Per-spawner-worker busy-until times: each launch occupies the
   /// earliest-free worker for unit_spawn_overhead (RP runs a small pool
   /// of spawner workers; launches queue when all are busy).

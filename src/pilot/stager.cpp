@@ -2,12 +2,19 @@
 
 #include <system_error>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace entk::pilot {
 
 namespace fs = std::filesystem;
 
 Status execute_staging(const std::vector<StagingDirective>& directives,
                        const fs::path& from_base, const fs::path& to_base) {
+  ENTK_TRACE_SPAN("stager.execute", "stager");
+  obs::Metrics::instance()
+      .counter(obs::WellKnownCounter::kStagingDirectives)
+      .add(directives.size());
   for (const auto& directive : directives) {
     const fs::path source = from_base / directive.source;
     const fs::path target =
@@ -53,6 +60,9 @@ Status execute_staging(const std::vector<StagingDirective>& directives,
 
 Duration staging_delay(const sim::MachineProfile& machine,
                        const std::vector<StagingDirective>& directives) {
+  obs::Metrics::instance()
+      .counter(obs::WellKnownCounter::kStagingDirectives)
+      .add(directives.size());
   Duration delay = 0.0;
   for (const auto& directive : directives) {
     delay += machine.staging_latency;

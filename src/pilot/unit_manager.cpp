@@ -4,6 +4,8 @@
 
 #include "common/log.hpp"
 #include "common/uid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pilot/agent.hpp"
 
 namespace entk::pilot {
@@ -36,6 +38,8 @@ Result<std::vector<ComputeUnitPtr>> UnitManager::submit_units(
     auto unit = std::make_shared<ComputeUnit>(
         unit_uids.next(), std::move(description), backend_.clock());
     unit->stamp_created();
+    ENTK_TRACE_INSTANT_FLOW("unit.created", "unit", unit->trace_flow(),
+                            0);
     ENTK_CHECK(unit->advance_state(UnitState::kPendingExecution).is_ok(),
                "fresh unit");
     unit->on_state_change([this](ComputeUnit& changed, UnitState state) {
@@ -51,6 +55,9 @@ Result<std::vector<ComputeUnitPtr>> UnitManager::submit_units(
       ++total_units_;
     }
   }
+  obs::Metrics::instance()
+      .counter(obs::WellKnownCounter::kUnitsSubmitted)
+      .add(units.size());
   route_pending();
   return units;
 }
@@ -143,6 +150,10 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
     return;
   }
   unit.note_retry();
+  obs::Metrics::instance()
+      .counter(obs::WellKnownCounter::kUnitsRetried)
+      .add();
+  ENTK_TRACE_INSTANT_FLOW("unit.retry", "unit", unit.trace_flow(), 0);
   Duration delay;
   {
     MutexLock lock(mutex_);
@@ -194,6 +205,30 @@ void UnitManager::settle_and_notify(ComputeUnit& unit, UnitState state) {
     // race window the per-event copy had.
     observers = observers_;
   }
+  auto& metrics = obs::Metrics::instance();
+  switch (state) {
+    case UnitState::kDone:
+      metrics.counter(obs::WellKnownCounter::kUnitsDone).add();
+      break;
+    case UnitState::kFailed:
+      metrics.counter(obs::WellKnownCounter::kUnitsFailed).add();
+      break;
+    case UnitState::kCanceled:
+      metrics.counter(obs::WellKnownCounter::kUnitsCanceled).add();
+      break;
+    default:
+      break;
+  }
+  const Duration execution = settled->execution_time();
+  if (execution > 0.0) {
+    metrics.histogram(obs::WellKnownHistogram::kUnitExecutionSeconds)
+        .observe(execution);
+  }
+  if (settled->submitted_at() != kNoTime &&
+      settled->exec_started_at() != kNoTime) {
+    metrics.histogram(obs::WellKnownHistogram::kUnitQueueWaitSeconds)
+        .observe(settled->exec_started_at() - settled->submitted_at());
+  }
   // Outside the lock: observers may re-enter the manager.
   if (observers == nullptr) return;
   for (const auto& [token, observer] : *observers) {
@@ -241,6 +276,9 @@ void UnitManager::recover_from_pilot(Pilot& pilot) {
     }
     recovered_units_ += requeued;
   }
+  obs::Metrics::instance()
+      .counter(obs::WellKnownCounter::kUnitsRecovered)
+      .add(requeued);
   ENTK_INFO("pilot.umgr") << "pilot " << pilot.uid() << " failed; "
                           << requeued << " unit(s) requeued";
   // Surviving pilots pick the units up now; otherwise they wait for a

@@ -1,7 +1,6 @@
 #include "saga/job.hpp"
 
-#include <chrono>
-
+#include "common/clock.hpp"
 #include "common/log.hpp"
 
 namespace entk::saga {
@@ -83,10 +82,7 @@ Status Job::wait(Duration timeout) {
     while (!is_final(state_)) final_cv_.wait(mutex_);
     return Status::ok();
   }
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration_cast<
-                            std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(timeout));
+  const auto deadline = steady_deadline_after(timeout);
   while (!is_final(state_)) {
     if (final_cv_.wait_until(mutex_, deadline) == std::cv_status::timeout &&
         !is_final(state_)) {

@@ -4,6 +4,8 @@
 
 #include "common/log.hpp"
 #include "common/uid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace entk::saga {
 
@@ -29,6 +31,10 @@ Count LocalAdaptor::free_cores() const {
 
 Result<JobPtr> LocalAdaptor::submit(JobDescription description) {
   ENTK_RETURN_IF_ERROR(description.validate());
+  ENTK_TRACE_INSTANT("saga.job.submit", "saga");
+  obs::Metrics::instance()
+      .counter(obs::WellKnownCounter::kSagaJobsSubmitted)
+      .add();
   if (description.total_cpu_count > cores_) {
     return make_error(Errc::kResourceExhausted,
                       "job requests " +

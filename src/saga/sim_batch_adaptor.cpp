@@ -1,6 +1,8 @@
 #include "saga/sim_batch_adaptor.hpp"
 
 #include "common/uid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace entk::saga {
 
@@ -10,6 +12,10 @@ SimBatchAdaptor::SimBatchAdaptor(sim::Engine& engine, sim::BatchQueue& batch,
 
 Result<JobPtr> SimBatchAdaptor::submit(JobDescription description) {
   ENTK_RETURN_IF_ERROR(description.validate());
+  ENTK_TRACE_INSTANT("saga.job.submit", "saga");
+  obs::Metrics::instance()
+      .counter(obs::WellKnownCounter::kSagaJobsSubmitted)
+      .add();
   auto job = std::make_shared<Job>(next_uid("job"), std::move(description),
                                    engine_.clock());
 

@@ -16,6 +16,12 @@ tolerance below the baseline:
     machine-relative, so it is the most trustworthy signal on
     differently-sized CI runners.
 
+With --tracing-overhead-ceiling the candidate's "tracing" probe block
+(bench/scale_sweep's traced-vs-untraced comparison, measured in the
+same process) is also gated: overhead_fraction must not exceed the
+ceiling, and a missing probe block is an error -- the observability
+layer silently losing its cost measurement is itself a regression.
+
 Baseline points absent from the candidate are an error (a sweep point
 silently disappearing is itself a regression); candidate points absent
 from the baseline are reported but do not fail the gate.  Baselines
@@ -43,6 +49,37 @@ def fmt_key(key):
     return f"{pattern}/{scaling} units={n_units} cores={cores}"
 
 
+def check_tracing(candidate, ceiling):
+    """Gates the tracing probe's overhead fraction against `ceiling`."""
+    failures = []
+    notes = []
+    probe = candidate.get("tracing")
+    if probe is None:
+        failures.append(
+            "candidate has no 'tracing' probe block: the bench ran "
+            "without its tracing-overhead measurement (schema drift?)"
+        )
+        return failures, notes
+    if "overhead_fraction" not in probe:
+        failures.append(
+            "candidate tracing probe has no 'overhead_fraction' metric"
+        )
+        return failures, notes
+    overhead = float(probe["overhead_fraction"])
+    compiled = "compiled in" if probe.get("compiled_in") else "compiled out"
+    if overhead > ceiling:
+        failures.append(
+            f"tracing overhead ({compiled}) {overhead:.1%} exceeds "
+            f"the {ceiling:.0%} ceiling"
+        )
+    else:
+        notes.append(
+            f"ok tracing overhead ({compiled}): {overhead:.1%} "
+            f"<= {ceiling:.0%} ceiling"
+        )
+    return failures, notes
+
+
 def check(baseline, candidate, tolerance):
     failures = []
     notes = []
@@ -55,6 +92,19 @@ def check(baseline, candidate, tolerance):
         cand = cand_points.get(key)
         if cand is None:
             failures.append(f"sweep point missing: {fmt_key(key)}")
+            continue
+        if "events_per_sec" not in base:
+            failures.append(
+                f"baseline point {fmt_key(key)} has no "
+                f"'events_per_sec' metric (malformed baseline)"
+            )
+            continue
+        if "events_per_sec" not in cand:
+            failures.append(
+                f"candidate point {fmt_key(key)} has no "
+                f"'events_per_sec' metric: the bench wrote a point "
+                f"without its gating metric (schema drift?)"
+            )
             continue
         base_eps = float(base["events_per_sec"])
         cand_eps = float(cand["events_per_sec"])
@@ -75,6 +125,12 @@ def check(baseline, candidate, tolerance):
     base_cmp = baseline.get("engine_compare")
     cand_cmp = candidate.get("engine_compare")
     if base_cmp and cand_cmp:
+        if "speedup" not in base_cmp or "speedup" not in cand_cmp:
+            missing = "baseline" if "speedup" not in base_cmp else "candidate"
+            failures.append(
+                f"{missing} engine_compare has no 'speedup' metric"
+            )
+            return failures, notes
         base_speedup = float(base_cmp["speedup"])
         cand_speedup = float(cand_cmp["speedup"])
         if cand_speedup < base_speedup * floor:
@@ -93,17 +149,134 @@ def check(baseline, candidate, tolerance):
     return failures, notes
 
 
+def self_test():
+    """Exercises the gate logic on synthetic documents (no files)."""
+
+    def point(eps=100.0, **overrides):
+        p = {
+            "pattern": "bot",
+            "scaling": "weak",
+            "n_units": 64,
+            "cores": 64,
+            "events_per_sec": eps,
+        }
+        p.update(overrides)
+        return p
+
+    def doc(points, speedup=10.0):
+        return {
+            "schema": "entk.bench.scale/1",
+            "engine_compare": {"speedup": speedup},
+            "sweeps": points,
+        }
+
+    checks = []
+
+    # Identical documents pass.
+    failures, _ = check(doc([point()]), doc([point()]), 0.15)
+    checks.append(("identical passes", not failures))
+
+    # A drop beyond tolerance fails; one inside tolerance passes.
+    failures, _ = check(doc([point(100.0)]), doc([point(80.0)]), 0.15)
+    checks.append(("eps regression caught", bool(failures)))
+    failures, _ = check(doc([point(100.0)]), doc([point(90.0)]), 0.15)
+    checks.append(("eps within tolerance passes", not failures))
+
+    # A baseline point missing from the candidate fails.
+    failures, _ = check(doc([point()]), doc([]), 0.15)
+    checks.append(("missing sweep point caught", bool(failures)))
+
+    # A candidate point without the gating metric is a clear failure,
+    # not a traceback.
+    broken = point()
+    del broken["events_per_sec"]
+    failures, _ = check(doc([point()]), doc([broken]), 0.15)
+    checks.append(
+        (
+            "missing candidate metric reported",
+            any("events_per_sec" in f for f in failures),
+        )
+    )
+
+    # Speedup regression and missing speedup metric are both caught.
+    failures, _ = check(doc([], 10.0), doc([], 5.0), 0.15)
+    checks.append(("speedup regression caught", bool(failures)))
+    failures, _ = check(
+        doc([], 10.0),
+        {"schema": "entk.bench.scale/1", "engine_compare": {}, "sweeps": []},
+        0.15,
+    )
+    checks.append(("missing speedup reported", bool(failures)))
+
+    # Extra candidate points are notes, not failures.
+    failures, notes = check(doc([]), doc([point()]), 0.15)
+    checks.append(
+        ("new point not gated", not failures and any("new" in n for n in notes))
+    )
+
+    # Tracing probe: over-ceiling fails, under passes, absent block is
+    # a clear failure.
+    probe = {"compiled_in": True, "overhead_fraction": 0.21}
+    failures, _ = check_tracing({"tracing": probe}, 0.05)
+    checks.append(("tracing overhead over ceiling caught", bool(failures)))
+    failures, notes = check_tracing({"tracing": probe}, 0.50)
+    checks.append(
+        (
+            "tracing overhead under ceiling passes",
+            not failures and any("tracing" in n for n in notes),
+        )
+    )
+    failures, _ = check_tracing({}, 0.05)
+    checks.append(
+        (
+            "missing tracing probe reported",
+            any("tracing" in f for f in failures),
+        )
+    )
+
+    bad = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"{'ok' if ok else 'FAIL'} self-test: {name}")
+    if bad:
+        print(f"\nself-test: {len(bad)} case(s) failed")
+        return 1
+    print("\nself-test: PASS")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("candidate", help="freshly produced JSON")
+    parser.add_argument(
+        "baseline", nargs="?", help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "candidate", nargs="?", help="freshly produced JSON"
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.15,
         help="allowed fractional drop below baseline (default 0.15)",
     )
+    parser.add_argument(
+        "--tracing-overhead-ceiling",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="also gate the candidate's tracing probe: "
+        "overhead_fraction must not exceed this (e.g. 0.05)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in logic checks and exit",
+    )
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.candidate is None:
+        parser.error("baseline and candidate are required (or --self-test)")
 
     with open(args.baseline, encoding="utf-8") as fp:
         baseline = json.load(fp)
@@ -117,6 +290,12 @@ def main():
             return 1
 
     failures, notes = check(baseline, candidate, args.tolerance)
+    if args.tracing_overhead_ceiling is not None:
+        tracing_failures, tracing_notes = check_tracing(
+            candidate, args.tracing_overhead_ceiling
+        )
+        failures.extend(tracing_failures)
+        notes.extend(tracing_notes)
     for note in notes:
         print(note)
     if failures:

@@ -5,6 +5,7 @@
 //   entk-info kernels
 //   entk-info machines
 //   entk-info schedulers
+//   entk-info observability
 //   entk-info estimate <kernel> <machine> [key=value ...]
 #include <cstring>
 #include <iostream>
@@ -12,6 +13,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/entk.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -53,6 +55,20 @@ int list_schedulers() {
                  "first-fit over the whole queue (default, matches RP)"});
   table.add_row({"largest_first",
                  "widest waiting units placed first (anti-fragmentation)"});
+  std::cout << table.to_string();
+  return 0;
+}
+
+int list_observability() {
+  std::cout << "tracing compiled in: "
+            << (obs::tracing_compiled_in() ? "yes" : "no")
+            << " (ENTK_ENABLE_TRACING)\n"
+            << "capture a trace:     entk-run <workload> --trace out.json"
+               " --metrics out.txt\n\n";
+  Table table({"metric"});
+  for (const auto& name : obs::Metrics::instance().names()) {
+    table.add_row({name});
+  }
   std::cout << table.to_string();
   return 0;
 }
@@ -110,12 +126,16 @@ int estimate(const kernels::KernelRegistry& registry, int argc,
 int main(int argc, char** argv) {
   const auto registry = kernels::KernelRegistry::with_builtin_kernels();
   if (argc < 2) {
-    std::cerr << "usage: entk-info kernels|machines|schedulers|estimate\n";
+    std::cerr << "usage: entk-info "
+                 "kernels|machines|schedulers|observability|estimate\n";
     return 1;
   }
   if (std::strcmp(argv[1], "kernels") == 0) return list_kernels(registry);
   if (std::strcmp(argv[1], "machines") == 0) return list_machines();
   if (std::strcmp(argv[1], "schedulers") == 0) return list_schedulers();
+  if (std::strcmp(argv[1], "observability") == 0) {
+    return list_observability();
+  }
   if (std::strcmp(argv[1], "estimate") == 0) {
     return estimate(registry, argc, argv);
   }

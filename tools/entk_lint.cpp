@@ -16,6 +16,12 @@
 //   sleep-in-runtime       No sleep_for/sleep_until inside core/ or
 //                          pilot/ product code; runtime waits use
 //                          condition variables, not timed polls.
+//   raw-clock              No std::chrono::*_clock::now() outside the
+//                          wrapper header common/clock.hpp. Runtime
+//                          code stamps time through entk::Clock so the
+//                          same code yields virtual seconds on the sim
+//                          backend; raw reads silently desynchronise
+//                          traces and profiles (docs/OBSERVABILITY.md).
 //   own-header-first       A foo.cpp with a sibling foo.hpp includes it
 //                          first, proving the header is self-contained.
 //   using-namespace-header No `using namespace` at any scope in a
@@ -56,15 +62,30 @@ constexpr const char* kRawMutexTokens[] = {
     "std::shared_mutex", "std::condition_variable",
     "std::lock_guard",  "std::unique_lock", "std::scoped_lock"};
 
+// The table spells the banned clock names. entk-lint: allow-file(raw-clock)
+constexpr const char* kRawClockTokens[] = {
+    "steady_clock::now", "system_clock::now",
+    "high_resolution_clock::now"};
+
 bool is_header(const fs::path& path) { return path.extension() == ".hpp"; }
 bool is_source(const fs::path& path) { return path.extension() == ".cpp"; }
 
 std::string generic(const fs::path& path) { return path.generic_string(); }
 
+bool has_suffix(const fs::path& path, const std::string& suffix) {
+  const std::string p = generic(path);
+  return p.size() >= suffix.size() &&
+         p.rfind(suffix) == p.size() - suffix.size();
+}
+
 /// True for the one file allowed to spell out raw std primitives.
 bool is_wrapper_header(const fs::path& path) {
-  const std::string p = generic(path);
-  return p.size() >= 16 && p.rfind("common/mutex.hpp") == p.size() - 16;
+  return has_suffix(path, "common/mutex.hpp");
+}
+
+/// True for the one file allowed to read std::chrono clocks directly.
+bool is_clock_header(const fs::path& path) {
+  return has_suffix(path, "common/clock.hpp");
 }
 
 /// True when `path` (relative to the scanned root) lives in a runtime
@@ -237,6 +258,19 @@ FileReport lint_file(const fs::path& path, const fs::path& relative) {
                   " is banned outside common/mutex.hpp; use entk::Mutex"
                   " / entk::MutexLock / entk::CondVar");
           break;  // one finding per line is enough
+        }
+      }
+    }
+
+    if (!is_clock_header(path)) {
+      for (const char* token : kRawClockTokens) {
+        if (code.find(token) != std::string::npos) {
+          add(line_number, "raw-clock",
+              std::string(token) +
+                  "() is banned outside common/clock.hpp; stamp time "
+                  "through entk::Clock (or steady_deadline_after for "
+                  "CondVar deadlines)");
+          break;
         }
       }
     }

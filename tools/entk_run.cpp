@@ -1,16 +1,21 @@
 // entk-run: execute a declarative workload file.
 //
 //   entk-run workload.entk [--profile-prefix out/run1] [--csv]
+//            [--trace out.json] [--metrics out.txt]
 //
 // See core/workload_file.hpp for the file format. Exit codes:
 // 0 success, 1 usage error, 2 load/parse error, 3 run failure.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/entk.hpp"
 #include "core/workload_file.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -21,8 +26,16 @@ void print_usage() {
          "  --profile-prefix <prefix>  write <prefix>_units.csv and\n"
          "                             <prefix>_overheads.csv\n"
          "  --csv                      print the summary as CSV\n"
+         "  --trace <path>             record the run and write a\n"
+         "                             Chrome trace-event JSON file\n"
+         "  --metrics <path>           write runtime metrics as text\n"
+         "                             ('-' for stdout)\n"
          "  --help                     this text\n";
 }
+
+// Events per thread retained while tracing; big enough that even a
+// 100k-unit sim run keeps every event (each unit emits ~10).
+constexpr std::size_t kTraceCapacity = std::size_t{1} << 21;
 
 }  // namespace
 
@@ -31,6 +44,8 @@ int main(int argc, char** argv) {
 
   std::string workload_path;
   std::string profile_prefix;
+  std::string trace_path;
+  std::string metrics_path;
   bool csv = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -47,6 +62,22 @@ int main(int argc, char** argv) {
         return 1;
       }
       profile_prefix = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 1;
+      }
+      trace_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 1;
+      }
+      metrics_path = argv[++i];
       continue;
     }
     if (workload_path.empty()) {
@@ -76,7 +107,45 @@ int main(int argc, char** argv) {
     std::cerr << "entk-run: strategy selected " << resolved.value().machine
               << " with " << resolved.value().cores << " cores\n";
   }
+  if (!trace_path.empty()) {
+    if (!obs::tracing_compiled_in()) {
+      std::cerr << "entk-run: this build was compiled with "
+                   "ENTK_ENABLE_TRACING=0; the trace will only contain "
+                   "run bookkeeping\n";
+    }
+    auto& recorder = obs::TraceRecorder::instance();
+    recorder.set_capacity_per_thread(kTraceCapacity);
+    recorder.set_enabled(true);
+  }
   auto report = core::run_workload(resolved.value(), registry);
+  if (!trace_path.empty()) {
+    auto& recorder = obs::TraceRecorder::instance();
+    recorder.set_enabled(false);
+    const auto stats = recorder.stats();
+    if (Status status = obs::write_chrome_trace(trace_path,
+                                                recorder.snapshot());
+        !status.is_ok()) {
+      std::cerr << "entk-run: trace export failed: " << status.to_string()
+                << "\n";
+      return 3;
+    }
+    std::cerr << "entk-run: wrote " << stats.recorded << " trace events ("
+              << stats.dropped << " dropped) to " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    const std::string text = obs::Metrics::instance().to_text();
+    if (metrics_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream out(metrics_path);
+      out << text;
+      if (!out) {
+        std::cerr << "entk-run: cannot write metrics to " << metrics_path
+                  << "\n";
+        return 3;
+      }
+    }
+  }
   if (!report.ok()) {
     std::cerr << "entk-run: " << report.status().to_string() << "\n";
     return 3;
