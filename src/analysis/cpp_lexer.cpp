@@ -1,0 +1,387 @@
+#include "analysis/cpp_lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace entk::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the scanners depend on (longest first
+/// within each leading character so greedy matching works).
+constexpr std::array<std::string_view, 21> kPunctuators = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "++", "--",
+};
+
+/// Cursor over the source with line/column bookkeeping and blanking
+/// support for the code_lines view.
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view source) : source_(source) {
+    out_.path = std::move(path);
+    split_lines();
+  }
+
+  LexedFile run() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (at_line_start_hash()) {
+        preprocessor();
+      } else if (c == '"') {
+        string_literal(pos_);
+      } else if (c == '\'') {
+        char_literal(pos_);
+      } else if (ident_start(c)) {
+        identifier();
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool at_end() const { return pos_ >= source_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  void advance() {
+    if (at_end()) return;
+    if (source_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  /// True when the cursor sits on a '#' that begins a preprocessor
+  /// directive (only whitespace before it on the line).
+  bool at_line_start_hash() const {
+    if (peek() != '#') return false;
+    for (std::size_t i = pos_; i-- > 0;) {
+      const char c = source_[i];
+      if (c == '\n') return true;
+      if (!std::isspace(static_cast<unsigned char>(c))) return false;
+    }
+    return true;
+  }
+
+  void split_lines() {
+    std::string current;
+    for (const char c : source_) {
+      if (c == '\n') {
+        out_.raw_lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) out_.raw_lines.push_back(current);
+    out_.code_lines = out_.raw_lines;
+  }
+
+  /// Overwrites [begin, end) of the source with spaces in code_lines.
+  void blank_range(std::size_t begin, std::size_t end, int begin_line,
+                   int begin_column) {
+    int line = begin_line;
+    int column = begin_column;
+    for (std::size_t i = begin; i < end && i < source_.size(); ++i) {
+      if (source_[i] == '\n') {
+        ++line;
+        column = 1;
+        continue;
+      }
+      auto& text = out_.code_lines[static_cast<std::size_t>(line - 1)];
+      text[static_cast<std::size_t>(column - 1)] = ' ';
+      ++column;
+    }
+  }
+
+  bool only_ws_before_on_line(int line, int column) const {
+    const auto& text = out_.raw_lines[static_cast<std::size_t>(line - 1)];
+    for (int i = 0; i < column - 1; ++i) {
+      if (!std::isspace(
+              static_cast<unsigned char>(text[static_cast<std::size_t>(i)]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void line_comment() {
+    const std::size_t begin = pos_;
+    const int begin_line = line_;
+    const int begin_column = column_;
+    while (!at_end() && peek() != '\n') advance();
+    Comment comment;
+    comment.text = std::string(source_.substr(begin + 2, pos_ - begin - 2));
+    comment.line = begin_line;
+    comment.end_line = begin_line;
+    comment.own_line = only_ws_before_on_line(begin_line, begin_column);
+    out_.comments.push_back(std::move(comment));
+    blank_range(begin, pos_, begin_line, begin_column);
+  }
+
+  void block_comment() {
+    const std::size_t begin = pos_;
+    const int begin_line = line_;
+    const int begin_column = column_;
+    advance();  // '/'
+    advance();  // '*'
+    while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+    if (!at_end()) {
+      advance();  // '*'
+      advance();  // '/'
+    }
+    Comment comment;
+    comment.text = std::string(
+        source_.substr(begin + 2, pos_ >= begin + 4 ? pos_ - begin - 4 : 0));
+    comment.line = begin_line;
+    comment.end_line = line_;
+    comment.own_line = only_ws_before_on_line(begin_line, begin_column);
+    out_.comments.push_back(std::move(comment));
+    blank_range(begin, pos_, begin_line, begin_column);
+  }
+
+  /// Consumes a whole directive (with backslash continuations),
+  /// recording #include targets. Directive bodies produce no tokens.
+  void preprocessor() {
+    const int begin_line = line_;
+    advance();  // '#'
+    while (!at_end() && peek() != '\n' &&
+           std::isspace(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+    std::string directive;
+    while (!at_end() && ident_char(peek())) {
+      directive.push_back(peek());
+      advance();
+    }
+    if (directive == "include") {
+      while (!at_end() && peek() != '\n' &&
+             std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      const char open = peek();
+      if (open == '"' || open == '<') {
+        const char close = open == '<' ? '>' : '"';
+        advance();
+        IncludeDirective include;
+        include.angled = open == '<';
+        include.line = begin_line;
+        while (!at_end() && peek() != close && peek() != '\n') {
+          include.path.push_back(peek());
+          advance();
+        }
+        out_.includes.push_back(std::move(include));
+      }
+    }
+    // Skip the rest of the directive; comments inside it still need
+    // normal handling so code_lines stays blanked.
+    while (!at_end() && peek() != '\n') {
+      if (peek() == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      advance();
+    }
+  }
+
+  /// `literal_begin` points at the first character of the literal
+  /// including any encoding prefix already consumed by identifier().
+  void string_literal(std::size_t literal_begin, bool raw = false) {
+    const int begin_line = line_;
+    const int begin_column =
+        column_ - static_cast<int>(pos_ - literal_begin);
+    advance();  // opening '"'
+    if (raw) {
+      std::string delim;
+      while (!at_end() && peek() != '(') {
+        delim.push_back(peek());
+        advance();
+      }
+      advance();  // '('
+      const std::string terminator = ")" + delim + "\"";
+      while (!at_end() &&
+             source_.compare(pos_, terminator.size(), terminator) != 0) {
+        advance();
+      }
+      for (std::size_t i = 0; i < terminator.size() && !at_end(); ++i) {
+        advance();
+      }
+    } else {
+      while (!at_end() && peek() != '"' && peek() != '\n') {
+        if (peek() == '\\') advance();
+        advance();
+      }
+      if (peek() == '"') advance();
+    }
+    while (!at_end() && ident_char(peek())) advance();  // ud-suffix
+    Token token;
+    token.kind = TokKind::kString;
+    token.text =
+        std::string(source_.substr(literal_begin, pos_ - literal_begin));
+    token.line = begin_line;
+    token.column = begin_column;
+    out_.tokens.push_back(std::move(token));
+    // Keep the delimiters, blank the body: positions survive, decoy
+    // text does not.
+    blank_range(literal_begin, pos_, begin_line, begin_column);
+    auto& first = out_.code_lines[static_cast<std::size_t>(begin_line - 1)];
+    first[static_cast<std::size_t>(begin_column - 1)] = '"';
+    if (line_ == begin_line && column_ - 2 >= 0) {
+      auto& last = out_.code_lines[static_cast<std::size_t>(line_ - 1)];
+      // Restore a closing quote on single-line literals (approximate
+      // for suffixed literals; the body stays blank either way).
+      const int close = column_ - 2;
+      if (close >= begin_column) {
+        last[static_cast<std::size_t>(close)] = '"';
+      }
+    }
+  }
+
+  void char_literal(std::size_t literal_begin) {
+    const int begin_line = line_;
+    const int begin_column =
+        column_ - static_cast<int>(pos_ - literal_begin);
+    advance();  // opening '\''
+    while (!at_end() && peek() != '\'' && peek() != '\n') {
+      if (peek() == '\\') advance();
+      advance();
+    }
+    if (peek() == '\'') advance();
+    Token token;
+    token.kind = TokKind::kChar;
+    token.text =
+        std::string(source_.substr(literal_begin, pos_ - literal_begin));
+    token.line = begin_line;
+    token.column = begin_column;
+    out_.tokens.push_back(std::move(token));
+    blank_range(literal_begin, pos_, begin_line, begin_column);
+  }
+
+  void identifier() {
+    const std::size_t begin = pos_;
+    const int begin_line = line_;
+    const int begin_column = column_;
+    while (!at_end() && ident_char(peek())) advance();
+    const std::string_view text = source_.substr(begin, pos_ - begin);
+    if (peek() == '"' || peek() == '\'') {
+      // Encoding prefix / raw-string marker glued to a literal.
+      const bool raw = !text.empty() && text.back() == 'R' &&
+                       (text == "R" || text == "LR" || text == "uR" ||
+                        text == "UR" || text == "u8R");
+      const bool prefix = raw || text == "L" || text == "u" || text == "U" ||
+                          text == "u8";
+      if (prefix) {
+        if (peek() == '"') {
+          string_literal(begin, raw);
+        } else {
+          char_literal(begin);
+        }
+        return;
+      }
+    }
+    Token token;
+    token.kind = TokKind::kIdentifier;
+    token.text = std::string(text);
+    token.line = begin_line;
+    token.column = begin_column;
+    out_.tokens.push_back(std::move(token));
+  }
+
+  void number() {
+    const std::size_t begin = pos_;
+    const int begin_line = line_;
+    const int begin_column = column_;
+    while (!at_end()) {
+      const char c = peek();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        advance();
+      } else if ((c == '+' || c == '-') && pos_ > begin &&
+                 (source_[pos_ - 1] == 'e' || source_[pos_ - 1] == 'E' ||
+                  source_[pos_ - 1] == 'p' || source_[pos_ - 1] == 'P')) {
+        advance();
+      } else {
+        break;
+      }
+    }
+    Token token;
+    token.kind = TokKind::kNumber;
+    token.text = std::string(source_.substr(begin, pos_ - begin));
+    token.line = begin_line;
+    token.column = begin_column;
+    out_.tokens.push_back(std::move(token));
+  }
+
+  void punct() {
+    const int begin_line = line_;
+    const int begin_column = column_;
+    for (const std::string_view op : kPunctuators) {
+      if (source_.compare(pos_, op.size(), op) == 0) {
+        for (std::size_t i = 0; i < op.size(); ++i) advance();
+        out_.tokens.push_back(
+            {TokKind::kPunct, std::string(op), begin_line, begin_column});
+        return;
+      }
+    }
+    const char c = peek();
+    advance();
+    out_.tokens.push_back(
+        {TokKind::kPunct, std::string(1, c), begin_line, begin_column});
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex_source(std::string path, std::string_view source) {
+  return Lexer(std::move(path), source).run();
+}
+
+Result<LexedFile> lex_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(Errc::kIoError, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+  return lex_source(path, source);
+}
+
+}  // namespace entk::analysis

@@ -1,0 +1,76 @@
+// Token-aware C++ lexer for the in-repo static analyzers.
+//
+// This is NOT a compiler front end: it tokenizes one translation unit
+// well enough that entk-lint and entk-analyze never mistake the inside
+// of a string literal, character literal, or comment for code — the
+// classic failure mode of regex line scanners. It understands line and
+// block comments, ordinary and raw string literals (including
+// encoding prefixes), character literals, preprocessor directives
+// (recording #include targets, hiding directive bodies from the token
+// stream), and the multi-character punctuators that matter for
+// downstream scanning ("::", "->", ...).
+//
+// Consumers get three synchronized views of a file:
+//   tokens      code tokens only, each with its 1-based line/column;
+//   comments    every comment with its text and placement, for
+//               suppression markers (analysis/suppressions.hpp);
+//   code_lines  the original lines with comments and literal BODIES
+//               blanked by spaces — same length, same columns — so
+//               substring rules stay position-accurate without
+//               tripping over decoys in strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace entk::analysis {
+
+enum class TokKind {
+  kIdentifier,  ///< Identifiers and keywords (no keyword table here).
+  kNumber,
+  kString,  ///< Any string literal; text is the raw spelling.
+  kChar,
+  kPunct,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;    ///< 1-based.
+  int column = 0;  ///< 1-based byte column of the first character.
+};
+
+struct Comment {
+  std::string text;  ///< Without the // or /* */ delimiters.
+  int line = 0;      ///< First line, 1-based.
+  int end_line = 0;  ///< Last line (== line for // comments).
+  /// True when no code precedes the comment on its first line — a
+  /// "comment-only" line for suppression purposes.
+  bool own_line = false;
+};
+
+struct IncludeDirective {
+  std::string path;  ///< Target as written, without the delimiters.
+  bool angled = false;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenizes `source`; `path` is carried through for diagnostics.
+LexedFile lex_source(std::string path, std::string_view source);
+
+/// Reads and tokenizes a file from disk.
+Result<LexedFile> lex_file(const std::string& path);
+
+}  // namespace entk::analysis

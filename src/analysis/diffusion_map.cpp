@@ -8,19 +8,6 @@
 
 namespace entk::analysis {
 
-Matrix rmsd_distance_matrix(const std::vector<md::Frame>& frames) {
-  ENTK_CHECK(frames.size() >= 2, "need at least two frames");
-  Matrix distances(frames.size(), frames.size());
-  for (std::size_t a = 0; a < frames.size(); ++a) {
-    for (std::size_t b = a + 1; b < frames.size(); ++b) {
-      const double d = md::Trajectory::rmsd(frames[a], frames[b]);
-      distances(a, b) = d;
-      distances(b, a) = d;
-    }
-  }
-  return distances;
-}
-
 Result<DiffusionMapResult> diffusion_map(const Matrix& distances,
                                          const DiffusionMapOptions& options) {
   if (distances.rows() != distances.cols() || distances.rows() < 2) {
@@ -106,16 +93,6 @@ Result<DiffusionMapResult> diffusion_map(const Matrix& distances,
     }
   }
   return result;
-}
-
-Result<DiffusionMapResult> diffusion_map_frames(
-    const std::vector<md::Frame>& frames,
-    const DiffusionMapOptions& options) {
-  if (frames.size() < 2) {
-    return make_error(Errc::kInvalidArgument,
-                      "diffusion map needs at least two frames");
-  }
-  return diffusion_map(rmsd_distance_matrix(frames), options);
 }
 
 }  // namespace entk::analysis

@@ -6,6 +6,10 @@
 // matrix and take its dominant non-trivial eigenvectors as diffusion
 // coordinates. We implement the standard (single-epsilon) variant with
 // optional local scaling by the k-th nearest neighbour distance.
+//
+// This module is pure math over a precomputed distance matrix; the
+// RMSD distance matrix and the frame-level convenience wrapper live in
+// md/ensemble_analysis.hpp so the analysis layer stays a leaf.
 #pragma once
 
 #include <cstddef>
@@ -13,7 +17,6 @@
 
 #include "analysis/matrix.hpp"
 #include "common/status.hpp"
-#include "md/trajectory.hpp"
 
 namespace entk::analysis {
 
@@ -34,16 +37,8 @@ struct DiffusionMapResult {
   double epsilon_used = 0.0;
 };
 
-/// Full pairwise RMSD distance matrix of the given frames.
-Matrix rmsd_distance_matrix(const std::vector<md::Frame>& frames);
-
 /// Computes a diffusion map from a precomputed distance matrix.
 Result<DiffusionMapResult> diffusion_map(const Matrix& distances,
                                          const DiffusionMapOptions& options);
-
-/// Convenience: distances + diffusion map from frames.
-Result<DiffusionMapResult> diffusion_map_frames(
-    const std::vector<md::Frame>& frames,
-    const DiffusionMapOptions& options);
 
 }  // namespace entk::analysis

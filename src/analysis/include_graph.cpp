@@ -1,0 +1,266 @@
+#include "analysis/include_graph.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "analysis/suppressions.hpp"
+
+namespace entk::analysis {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  std::size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Module of a file path: the first component after the last "/src/"
+/// segment (or a leading "src/"), provided a further component
+/// follows. "" for files outside src/ or directly inside it.
+std::string module_of(const std::string& path) {
+  std::size_t at = path.rfind("/src/");
+  std::size_t begin;
+  if (at != std::string::npos) {
+    begin = at + 5;
+  } else if (path.rfind("src/", 0) == 0) {
+    begin = 4;
+  } else {
+    return "";
+  }
+  const std::size_t slash = path.find('/', begin);
+  if (slash == std::string::npos) return "";  // file directly in src/
+  return path.substr(begin, slash - begin);
+}
+
+/// Module of a quoted include path like "common/mutex.hpp".
+std::string include_module(const std::string& include_path) {
+  const std::size_t slash = include_path.find('/');
+  return slash == std::string::npos ? "" : include_path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<LayeringConfig> parse_layering_config(const std::string& text) {
+  LayeringConfig config;
+  std::istringstream in(text);
+  std::string raw;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    if (section != "modules") continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status(Errc::kInvalidArgument,
+                    "layering config line " + std::to_string(line_no) +
+                        ": expected `module = [..]`, got: " + line);
+    }
+    const std::string name = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (name.empty() || value.size() < 2 || value.front() != '[' ||
+        value.back() != ']') {
+      return Status(Errc::kInvalidArgument,
+                    "layering config line " + std::to_string(line_no) +
+                        ": expected `module = [\"dep\", ...]`");
+    }
+    value = value.substr(1, value.size() - 2);
+    std::vector<std::string> deps;
+    std::istringstream items(value);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+      item = trim(item);
+      if (item.empty()) continue;
+      if (item.size() < 2 || item.front() != '"' || item.back() != '"') {
+        return Status(Errc::kInvalidArgument,
+                      "layering config line " + std::to_string(line_no) +
+                          ": dependency names must be quoted");
+      }
+      deps.push_back(item.substr(1, item.size() - 2));
+    }
+    config.modules[name] = std::move(deps);
+  }
+  return config;
+}
+
+Result<LayeringConfig> load_layering_config(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(Errc::kIoError, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_layering_config(buffer.str());
+}
+
+LayerAnalysis analyze_layering(const std::vector<LexedFile>& files,
+                               const LayeringConfig& config) {
+  LayerAnalysis out;
+
+  // Declared-DAG cycle check (DFS with colors).
+  {
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> path;
+    // Iterative DFS carrying an explicit path for the report.
+    std::function<bool(const std::string&)> visit =
+        [&](const std::string& module) -> bool {
+      color[module] = 1;
+      path.push_back(module);
+      const auto it = config.modules.find(module);
+      if (it != config.modules.end()) {
+        for (const std::string& dep : it->second) {
+          if (color[dep] == 1) {
+            std::ostringstream message;
+            message << "declared layering is cyclic: ";
+            const auto loop =
+                std::find(path.begin(), path.end(), dep);
+            for (auto at = loop; at != path.end(); ++at) {
+              message << *at << " -> ";
+            }
+            message << dep;
+            out.findings.push_back(
+                {"config-cycle", "", 0, message.str()});
+            path.pop_back();
+            color[module] = 2;
+            return true;
+          }
+          if (color[dep] == 0 && visit(dep)) {
+            path.pop_back();
+            color[module] = 2;
+            return true;
+          }
+        }
+      }
+      path.pop_back();
+      color[module] = 2;
+      return false;
+    };
+    for (const auto& [module, deps] : config.modules) {
+      if (color[module] == 0 && visit(module)) break;
+    }
+  }
+
+  // Index scanned files by src-relative path for include resolution.
+  std::map<std::string, const LexedFile*> by_relative;
+  std::map<std::string, SuppressionSet> suppressions;
+  std::set<std::string> modules_seen;
+  for (const LexedFile& file : files) {
+    const std::string module = module_of(file.path);
+    if (module.empty()) continue;
+    const std::size_t at = file.path.rfind("/src/");
+    const std::string relative =
+        at != std::string::npos ? file.path.substr(at + 5)
+                                : file.path.substr(4);
+    by_relative[relative] = &file;
+    modules_seen.insert(module);
+    suppressions[file.path] = scan_suppressions(file, "entk-analyze");
+  }
+  out.module_count = modules_seen.size();
+
+  for (const std::string& module : modules_seen) {
+    if (config.modules.count(module) != 0) continue;
+    out.findings.push_back(
+        {"undeclared-module", "", 0,
+         "module `" + module +
+             "` (a directory under src/) is missing from the "
+             "[modules] section of the layering config"});
+  }
+
+  // File-level include edges (quoted, resolved to scanned files).
+  std::map<std::string, std::vector<std::string>> file_edges;
+  for (const LexedFile& file : files) {
+    const std::string module = module_of(file.path);
+    if (module.empty()) continue;
+    const auto allowed_it = config.modules.find(module);
+    for (const IncludeDirective& include : file.includes) {
+      if (include.angled) continue;
+      const auto target = by_relative.find(include.path);
+      if (target == by_relative.end()) continue;
+      ++out.edge_count;
+      file_edges[file.path].push_back(target->second->path);
+
+      const std::string target_module = include_module(include.path);
+      if (target_module.empty() || target_module == module) continue;
+      if (suppressions[file.path].allows("layering", include.line)) {
+        continue;
+      }
+      const bool declared =
+          allowed_it != config.modules.end() &&
+          std::find(allowed_it->second.begin(), allowed_it->second.end(),
+                    target_module) != allowed_it->second.end();
+      if (declared) continue;
+      out.findings.push_back(
+          {"undeclared-dependency", file.path, include.line,
+           "module `" + module + "` must not depend on `" +
+               target_module + "`: #include \"" + include.path +
+               "\" is not covered by the declared layering (" +
+               (allowed_it == config.modules.end()
+                    ? "module undeclared"
+                    : module + " may use: " +
+                          [&] {
+                            std::string joined;
+                            for (const std::string& dep :
+                                 allowed_it->second) {
+                              if (!joined.empty()) joined += ", ";
+                              joined += dep;
+                            }
+                            return joined.empty() ? "nothing" : joined;
+                          }()) +
+               ")"});
+    }
+  }
+
+  // Include-cycle detection over the file graph (DFS with colors).
+  {
+    std::map<std::string, int> color;
+    std::vector<std::string> path;
+    std::function<void(const std::string&)> visit =
+        [&](const std::string& file) {
+          color[file] = 1;
+          path.push_back(file);
+          for (const std::string& next : file_edges[file]) {
+            if (color[next] == 1) {
+              std::ostringstream message;
+              message << "#include cycle: ";
+              const auto loop =
+                  std::find(path.begin(), path.end(), next);
+              for (auto at = loop; at != path.end(); ++at) {
+                message << *at << " -> ";
+              }
+              message << next;
+              out.findings.push_back(
+                  {"include-cycle", file, 0, message.str()});
+              continue;
+            }
+            if (color[next] == 0) visit(next);
+          }
+          path.pop_back();
+          color[file] = 2;
+        };
+    for (const auto& [file, edges] : file_edges) {
+      if (color[file] == 0) visit(file);
+    }
+  }
+
+  std::sort(out.findings.begin(), out.findings.end(),
+            [](const LayerFinding& a, const LayerFinding& b) {
+              return std::tie(a.rule, a.file, a.line, a.message) <
+                     std::tie(b.rule, b.file, b.line, b.message);
+            });
+  return out;
+}
+
+}  // namespace entk::analysis

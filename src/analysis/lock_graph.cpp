@@ -1,0 +1,1330 @@
+#include "analysis/lock_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "analysis/suppressions.hpp"
+
+namespace entk::analysis {
+
+namespace {
+
+constexpr int kUnranked = -1000000;
+
+struct Site {
+  std::string file;
+  int line = 0;
+  std::string str() const {
+    return file + ":" + std::to_string(line);
+  }
+};
+
+struct LockDecl {
+  std::string id;         ///< "Class::member" or "file.cpp::name".
+  std::string rank_name;  ///< "kX" or "" when unranked.
+  Site site;
+};
+
+/// A lock expression as written, resolved to a LockDecl in phase 2
+/// (the declaring class may live in a file scanned later).
+struct LockRef {
+  std::string base_type;    ///< Receiver type name for x.m / x->m.
+  std::string member;       ///< The lock member / global name.
+  std::string owner_class;  ///< Enclosing class for bare references.
+  std::string file;         ///< For file-scope globals.
+};
+
+/// A call expression awaiting phase-2 target resolution.
+struct CallRef {
+  std::string method;
+  std::string explicit_class;   ///< A::m(...).
+  std::string receiver_type;    ///< Declared type name of x in x->m().
+  std::string receiver_member;  ///< x is a member of the enclosing
+                                ///< class (x->m() with x unknown
+                                ///< locally).
+  std::string chain_base_type;  ///< Type of x in x.y->m().
+  std::string chain_member;     ///< y in x.y->m().
+  bool bare = false;
+  std::string enclosing_class;
+};
+
+struct Event {
+  enum Kind { kAcquire, kScopeEnd, kWait, kCall } kind;
+  LockRef lock;      // kAcquire / kWait
+  CallRef call;      // kCall
+  std::size_t depth = 0;  // kAcquire: scope depth; kScopeEnd: new depth
+  Site site;
+};
+
+struct ResolvedCall {
+  std::string callee;
+  std::vector<std::string> held;
+  Site site;
+};
+
+struct FunctionSummary {
+  std::string key;    ///< "Class::method", "method", or "...::<lambda@N>".
+  std::string klass;  ///< Enclosing class ("" for free functions).
+  std::string file;
+  std::vector<Event> events;
+  // Phase-2 results:
+  std::set<std::string> acquires;
+  std::map<std::string, Site> acquire_sites;
+  std::vector<ResolvedCall> calls;
+  std::set<std::string> may_acquire;
+};
+
+struct ClassInfo {
+  std::map<std::string, std::string> member_types;  ///< member -> type name.
+  std::map<std::string, LockDecl> locks;
+};
+
+struct Repo {
+  std::map<std::string, ClassInfo> classes;
+  std::map<std::string, std::string> typedefs;
+  std::deque<FunctionSummary> functions;
+  std::map<std::string, FunctionSummary*> by_key;
+  std::map<std::string, std::vector<FunctionSummary*>> free_by_name;
+  std::map<std::string, int> ranks;  ///< enumerator name -> value.
+  /// file path -> namespace-scope lock decls visible in that file.
+  std::map<std::string, std::map<std::string, LockDecl>> file_globals;
+  std::map<std::string, SuppressionSet> suppressions;  ///< by file.
+};
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kWords = {
+      "if",       "for",      "while",    "switch",   "return",
+      "sizeof",   "alignof",  "catch",    "throw",    "new",
+      "delete",   "void",     "operator", "decltype", "noexcept",
+      "else",     "do",       "case",     "goto",     "co_return",
+      "co_await", "co_yield", "static_assert"};
+  return kWords.count(s) != 0;
+}
+
+bool is_guard_name(const std::string& s) {
+  return s == "MutexLock" || s == "SharedMutexLock" ||
+         s == "SharedReaderLock";
+}
+
+bool is_wait_name(const std::string& s) {
+  return s == "wait" || s == "wait_for" || s == "wait_until";
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Last identifier of a type token sequence after stripping
+/// qualifiers, references and smart pointers; "" when the core type is
+/// a std type or cannot be named.
+std::string core_type(const std::vector<const Token*>& toks) {
+  std::size_t begin = 0;
+  std::size_t end = toks.size();
+  while (begin < end &&
+         (toks[begin]->text == "const" || toks[begin]->text == "mutable" ||
+          toks[begin]->text == "typename" || toks[begin]->text == "static" ||
+          toks[begin]->text == "constexpr" ||
+          toks[begin]->text == "volatile")) {
+    ++begin;
+  }
+  while (end > begin &&
+         (toks[end - 1]->text == "&" || toks[end - 1]->text == "*" ||
+          toks[end - 1]->text == "&&" || toks[end - 1]->text == "const")) {
+    --end;
+  }
+  if (begin >= end) return "";
+  // std::shared_ptr<T> / std::unique_ptr<T> -> T.
+  if (end - begin >= 5 && toks[begin]->text == "std" &&
+      toks[begin + 1]->text == "::" &&
+      (toks[begin + 2]->text == "shared_ptr" ||
+       toks[begin + 2]->text == "unique_ptr") &&
+      toks[begin + 3]->text == "<") {
+    std::vector<const Token*> inner(toks.begin() + begin + 4,
+                                    toks.begin() + end -
+                                        (toks[end - 1]->text == ">" ? 1 : 0));
+    return core_type(inner);
+  }
+  if (toks[begin]->text == "std") return "";
+  // Qualified chain: take the last identifier before any '<'.
+  std::string last;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i]->text == "<") break;
+    if (toks[i]->kind == TokKind::kIdentifier) last = toks[i]->text;
+  }
+  return last;
+}
+
+/// Walks one lexed file and accumulates declarations + function event
+/// streams into the repo tables.
+class FileScanner {
+ public:
+  FileScanner(const LexedFile& file, Repo& repo)
+      : file_(file), toks_(file.tokens), repo_(repo) {}
+
+  void run() {
+    parse_lock_rank_enum();
+    std::size_t head = 0;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct && t.text == "{") {
+        open_brace(head, i);
+        head = i + 1;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        close_brace();
+        head = i + 1;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ";") {
+        end_statement(head, i);
+        head = i + 1;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ":" && i > head &&
+          (toks_[i - 1].text == "public" ||
+           toks_[i - 1].text == "private" ||
+           toks_[i - 1].text == "protected")) {
+        head = i + 1;
+        continue;
+      }
+      if (current_fn() != nullptr) inline_event(i);
+    }
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kNamespace, kClass, kEnum, kFunction, kBlock } kind;
+    std::string name;
+    FunctionSummary* fn = nullptr;
+    bool is_lambda = false;
+    std::vector<std::pair<LockRef, std::size_t>> saved_guards;
+  };
+
+  FunctionSummary* current_fn() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return it->fn;
+      if (it->kind == Scope::kClass || it->kind == Scope::kNamespace ||
+          it->kind == Scope::kEnum) {
+        return nullptr;
+      }
+    }
+    return nullptr;
+  }
+
+  std::string current_class() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+      if (it->kind == Scope::kFunction && !it->fn->klass.empty()) {
+        return it->fn->klass;
+      }
+    }
+    return "";
+  }
+
+  bool at_type_scope() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      switch (it->kind) {
+        case Scope::kClass:
+          return true;
+        case Scope::kNamespace:
+          return false;
+        case Scope::kEnum:
+          return false;
+        case Scope::kFunction:
+          return false;
+        case Scope::kBlock:
+          continue;
+      }
+    }
+    return false;
+  }
+
+  std::map<std::string, std::string>& locals() {
+    static std::map<std::string, std::string> empty;
+    if (locals_stack_.empty()) {
+      empty.clear();
+      return empty;
+    }
+    return locals_stack_.back();
+  }
+
+  // ---- rank table ----
+
+  void parse_lock_rank_enum() {
+    for (std::size_t i = 0; i + 3 < toks_.size(); ++i) {
+      if (toks_[i].text != "enum" || toks_[i + 1].text != "class" ||
+          toks_[i + 2].text != "LockRank") {
+        continue;
+      }
+      std::size_t j = i + 3;
+      while (j < toks_.size() && toks_[j].text != "{") ++j;
+      ++j;
+      while (j < toks_.size() && toks_[j].text != "}") {
+        if (toks_[j].kind == TokKind::kIdentifier &&
+            j + 2 < toks_.size() && toks_[j + 1].text == "=") {
+          int sign = 1;
+          std::size_t v = j + 2;
+          if (toks_[v].text == "-") {
+            sign = -1;
+            ++v;
+          }
+          if (v < toks_.size() && toks_[v].kind == TokKind::kNumber) {
+            repo_.ranks[toks_[j].text] =
+                sign * std::stoi(toks_[v].text);
+            j = v;
+          }
+        }
+        ++j;
+      }
+      return;
+    }
+  }
+
+  // ---- brace classification ----
+
+  void open_brace(std::size_t head, std::size_t brace) {
+    const FunctionSummary* fn = current_fn();
+    if (fn != nullptr ||
+        (!scopes_.empty() && scopes_.back().kind == Scope::kBlock &&
+         fn != nullptr)) {
+      if (fn != nullptr && is_lambda_head(head, brace)) {
+        open_lambda(brace);
+        return;
+      }
+      if (fn != nullptr) {
+        maybe_range_for_local(head, brace);
+        scopes_.push_back({Scope::kBlock, "", nullptr, false, {}});
+        return;
+      }
+    }
+    // Namespace / class / enum / function / member-initializer.
+    if (contains(head, brace, "namespace")) {
+      std::string name;
+      for (std::size_t i = head; i < brace; ++i) {
+        if (toks_[i].kind == TokKind::kIdentifier &&
+            toks_[i].text != "namespace" && toks_[i].text != "inline") {
+          name = toks_[i].text;
+        }
+      }
+      scopes_.push_back({Scope::kNamespace, name, nullptr, false, {}});
+      return;
+    }
+    if (contains(head, brace, "enum")) {
+      scopes_.push_back({Scope::kEnum, "", nullptr, false, {}});
+      return;
+    }
+    const std::string class_name = class_head_name(head, brace);
+    if (!class_name.empty()) {
+      repo_.classes[class_name];  // touch
+      scopes_.push_back({Scope::kClass, class_name, nullptr, false, {}});
+      return;
+    }
+    if (member_decl_with_init(head, brace)) {
+      scopes_.push_back({Scope::kBlock, "", nullptr, false, {}});
+      return;
+    }
+    std::string fn_name;
+    std::string fn_class;
+    if (!contains(head, brace, "=") &&
+        find_function_name(head, brace, fn_name, fn_class)) {
+      open_function(fn_name, fn_class, head, brace);
+      return;
+    }
+    scopes_.push_back({Scope::kBlock, "", nullptr, false, {}});
+  }
+
+  bool contains(std::size_t head, std::size_t brace,
+                const std::string& text) const {
+    for (std::size_t i = head; i < brace; ++i) {
+      if (toks_[i].text == text) return true;
+    }
+    return false;
+  }
+
+  /// "class Foo final : public Bar {" -> "Foo"; "" when the head is
+  /// not a class definition. Skips attribute macros such as
+  /// ENTK_CAPABILITY("mutex").
+  std::string class_head_name(std::size_t head, std::size_t brace) const {
+    std::size_t kw = head;
+    for (; kw < brace; ++kw) {
+      if ((toks_[kw].text == "class" || toks_[kw].text == "struct" ||
+           toks_[kw].text == "union") &&
+          (kw == head ||
+           (toks_[kw - 1].text != "<" && toks_[kw - 1].text != ","))) {
+        break;
+      }
+    }
+    if (kw >= brace) return "";
+    std::string name;
+    for (std::size_t i = kw + 1; i < brace; ++i) {
+      if (toks_[i].text == ":") break;
+      if (toks_[i].kind != TokKind::kIdentifier) continue;
+      if (toks_[i].text == "final") continue;
+      if (i + 1 < brace && toks_[i + 1].text == "(") {
+        // Attribute macro: skip its argument list.
+        std::size_t depth = 0;
+        ++i;
+        do {
+          if (toks_[i].text == "(") ++depth;
+          if (toks_[i].text == ")") --depth;
+          ++i;
+        } while (i < brace && depth > 0);
+        --i;
+        continue;
+      }
+      name = toks_[i].text;
+    }
+    return name;
+  }
+
+  /// Handles `Mutex mutex_{LockRank::kX};` (and plain members with
+  /// brace initializers) at class or namespace scope. Returns true
+  /// when the head was consumed as a declaration.
+  bool member_decl_with_init(std::size_t head, std::size_t brace) {
+    if (brace <= head + 1) return false;
+    if (contains(head, brace, "(") || contains(head, brace, "=")) {
+      return false;
+    }
+    const Token& name_tok = toks_[brace - 1];
+    if (name_tok.kind != TokKind::kIdentifier) return false;
+    std::vector<const Token*> type;
+    for (std::size_t i = head; i + 1 < brace; ++i) {
+      type.push_back(&toks_[i]);
+    }
+    if (type.empty()) return false;
+    const std::string last = type.back()->text;
+    if (last == "Mutex" || last == "SharedMutex") {
+      register_lock(name_tok, rank_name_in_init(brace));
+    } else {
+      register_member_type(name_tok.text, core_type(type));
+    }
+    return true;
+  }
+
+  /// Extracts "kX" from the `{LockRank::kX}` initializer starting at
+  /// `brace`; "" when the initializer names no rank.
+  std::string rank_name_in_init(std::size_t brace) const {
+    std::size_t depth = 0;
+    for (std::size_t i = brace; i < toks_.size(); ++i) {
+      if (toks_[i].text == "{") ++depth;
+      if (toks_[i].text == "}") {
+        if (--depth == 0) break;
+      }
+      if (toks_[i].text == "LockRank" && i + 2 < toks_.size() &&
+          toks_[i + 1].text == "::" &&
+          toks_[i + 2].kind == TokKind::kIdentifier) {
+        return toks_[i + 2].text;
+      }
+    }
+    return "";
+  }
+
+  void register_lock(const Token& name_tok, const std::string& rank_name) {
+    LockDecl decl;
+    decl.rank_name = rank_name;
+    decl.site = {file_.path, name_tok.line};
+    const std::string owner = current_class();
+    if (at_type_scope() && !owner.empty()) {
+      decl.id = owner + "::" + name_tok.text;
+      repo_.classes[owner].locks[name_tok.text] = decl;
+    } else {
+      decl.id = basename_of(file_.path) + "::" + name_tok.text;
+      repo_.file_globals[file_.path][name_tok.text] = decl;
+    }
+  }
+
+  void register_member_type(const std::string& name,
+                            const std::string& type) {
+    if (type.empty()) return;
+    const std::string owner = current_class();
+    if (at_type_scope() && !owner.empty()) {
+      repo_.classes[owner].member_types[name] = type;
+    }
+  }
+
+  bool is_lambda_head(std::size_t head, std::size_t brace) const {
+    for (std::size_t i = brace; i-- > head;) {
+      if (toks_[i].text != "[") continue;
+      if (i == head) return true;
+      const std::string& prev = toks_[i - 1].text;
+      if (prev == "(" || prev == "," || prev == "=" || prev == "return" ||
+          prev == "&&" || prev == "||" || prev == "{" || prev == ";" ||
+          prev == ":") {
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  void open_lambda(std::size_t brace) {
+    FunctionSummary* outer = current_fn();
+    repo_.functions.push_back({});
+    FunctionSummary* fn = &repo_.functions.back();
+    fn->key = outer->key + "::<lambda@" +
+              std::to_string(toks_[brace].line) + ">";
+    fn->klass = outer->klass;
+    fn->file = file_.path;
+    Scope scope{Scope::kFunction, fn->key, fn, true, {}};
+    scope.saved_guards = std::move(guards_);
+    guards_.clear();
+    scopes_.push_back(std::move(scope));
+    locals_stack_.push_back(locals_stack_.empty()
+                                ? std::map<std::string, std::string>{}
+                                : locals_stack_.back());
+  }
+
+  /// Finds "name(" in a head at angle depth 0, chaining back through
+  /// "::" qualifiers. Returns false when the head is not a function
+  /// definition.
+  bool find_function_name(std::size_t head, std::size_t brace,
+                          std::string& name, std::string& klass) const {
+    int angle = 0;
+    for (std::size_t i = head; i + 1 < brace; ++i) {
+      const Token& t = toks_[i];
+      if (t.text == "<") {
+        if (i > head && toks_[i - 1].kind == TokKind::kIdentifier) ++angle;
+        continue;
+      }
+      if (t.text == ">" && angle > 0) {
+        --angle;
+        continue;
+      }
+      if (t.text == ">>" && angle > 0) {
+        angle = std::max(0, angle - 2);
+        continue;
+      }
+      if (angle > 0) continue;
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (toks_[i + 1].text != "(") continue;
+      if (is_keyword(t.text)) continue;
+      if (t.text.rfind("ENTK_", 0) == 0) {
+        // Attribute macro: skip its argument list.
+        std::size_t depth = 0;
+        std::size_t j = i + 1;
+        do {
+          if (toks_[j].text == "(") ++depth;
+          if (toks_[j].text == ")") --depth;
+          ++j;
+        } while (j < brace && depth > 0);
+        i = j - 1;
+        continue;
+      }
+      // Chain back through :: qualifiers (and ~ for destructors).
+      name = t.text;
+      std::size_t j = i;
+      if (j > head && toks_[j - 1].text == "~") {
+        name = "~" + name;
+        --j;
+      }
+      std::vector<std::string> parts = {name};
+      while (j >= head + 2 && toks_[j - 1].text == "::" &&
+             toks_[j - 2].kind == TokKind::kIdentifier) {
+        parts.insert(parts.begin(), toks_[j - 2].text);
+        j -= 2;
+      }
+      if (parts.size() >= 2) {
+        klass = parts[parts.size() - 2];
+        name = parts[parts.size() - 2] + "::" + parts.back();
+      } else {
+        klass = "";
+        name = parts.back();
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void open_function(const std::string& name, const std::string& klass,
+                     std::size_t head, std::size_t brace) {
+    repo_.functions.push_back({});
+    FunctionSummary* fn = &repo_.functions.back();
+    fn->klass = klass;
+    if (klass.empty()) {
+      const std::string owner = current_class();
+      if (!owner.empty()) {
+        fn->klass = owner;
+        fn->key = owner + "::" + name;
+      } else {
+        fn->key = name;
+      }
+    } else {
+      fn->key = name;
+    }
+    fn->file = file_.path;
+    scopes_.push_back({Scope::kFunction, fn->key, fn, false, {}});
+    locals_stack_.push_back({});
+    parse_params(head, brace);
+    if (fn->klass.empty()) {
+      repo_.free_by_name[fn->key].push_back(fn);
+    } else if (repo_.by_key.count(fn->key) == 0) {
+      repo_.by_key[fn->key] = fn;
+    }
+  }
+
+  /// Records `Type name` pairs from the parameter list in the head.
+  void parse_params(std::size_t head, std::size_t brace) {
+    // The parameter list is the first top-level (...) group after the
+    // function name; heads are short, so re-scan for the first '('.
+    std::size_t open = head;
+    while (open < brace && toks_[open].text != "(") ++open;
+    if (open >= brace) return;
+    std::size_t depth = 0;
+    std::size_t start = open + 1;
+    for (std::size_t i = open; i < brace; ++i) {
+      if (toks_[i].text == "(") {
+        ++depth;
+        continue;
+      }
+      if (toks_[i].text == ")") {
+        --depth;
+        if (depth == 0) {
+          record_param(start, i);
+          break;
+        }
+        continue;
+      }
+      if (toks_[i].text == "," && depth == 1) {
+        record_param(start, i);
+        start = i + 1;
+      }
+    }
+  }
+
+  void record_param(std::size_t begin, std::size_t end) {
+    // Strip default arguments.
+    for (std::size_t i = begin; i < end; ++i) {
+      if (toks_[i].text == "=") {
+        end = i;
+        break;
+      }
+    }
+    if (end <= begin + 1) return;
+    const Token& name_tok = toks_[end - 1];
+    if (name_tok.kind != TokKind::kIdentifier) return;
+    std::vector<const Token*> type;
+    for (std::size_t i = begin; i + 1 < end; ++i) type.push_back(&toks_[i]);
+    const std::string core = core_type(type);
+    if (!core.empty()) locals()[name_tok.text] = core;
+  }
+
+  /// `for (const JobPtr& job : jobs) {` — record job's declared type.
+  void maybe_range_for_local(std::size_t head, std::size_t brace) {
+    if (head >= brace || toks_[head].text != "for") return;
+    std::size_t colon = head;
+    std::size_t depth = 0;
+    for (std::size_t i = head; i < brace; ++i) {
+      if (toks_[i].text == "(") ++depth;
+      if (toks_[i].text == ")") --depth;
+      if (toks_[i].text == ":" && depth == 1) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon == head) return;
+    const Token& name_tok = toks_[colon - 1];
+    if (name_tok.kind != TokKind::kIdentifier) return;
+    std::vector<const Token*> type;
+    for (std::size_t i = head + 2; i + 1 < colon; ++i) {
+      type.push_back(&toks_[i]);
+    }
+    const std::string core = core_type(type);
+    if (!core.empty()) locals()[name_tok.text] = core;
+  }
+
+  void close_brace() {
+    if (scopes_.empty()) return;
+    Scope scope = std::move(scopes_.back());
+    scopes_.pop_back();
+    if (scope.kind == Scope::kFunction) {
+      if (scope.is_lambda) {
+        guards_ = std::move(scope.saved_guards);
+      } else {
+        guards_.clear();
+      }
+      if (!locals_stack_.empty()) locals_stack_.pop_back();
+      return;
+    }
+    // Release guards that belonged to the closed block.
+    const std::size_t depth = scopes_.size();
+    while (!guards_.empty() && guards_.back().second > depth) {
+      guards_.pop_back();
+    }
+    FunctionSummary* fn = current_fn();
+    if (fn != nullptr) {
+      fn->events.push_back(
+          {Event::kScopeEnd, {}, {}, depth, {file_.path, 0}});
+    }
+  }
+
+  // ---- statements ----
+
+  void end_statement(std::size_t head, std::size_t semi) {
+    if (semi <= head) return;
+    if (toks_[head].text == "using" && contains(head, semi, "=")) {
+      register_typedef(head, semi);
+      return;
+    }
+    FunctionSummary* fn = current_fn();
+    if (fn != nullptr) {
+      maybe_local_decl(head, semi);
+      return;
+    }
+    if (contains(head, semi, "(")) return;  // method / function decl
+    const Token& name_tok = toks_[semi - 1];
+    if (name_tok.kind != TokKind::kIdentifier) return;
+    std::vector<const Token*> type;
+    for (std::size_t i = head; i + 1 < semi; ++i) type.push_back(&toks_[i]);
+    if (type.empty()) return;
+    const std::string last = type.back()->text;
+    if (last == "Mutex" || last == "SharedMutex") {
+      register_lock(name_tok, "");
+    } else {
+      register_member_type(name_tok.text, core_type(type));
+    }
+  }
+
+  void register_typedef(std::size_t head, std::size_t semi) {
+    std::size_t eq = head;
+    while (eq < semi && toks_[eq].text != "=") ++eq;
+    if (eq <= head + 1 || eq >= semi) return;
+    const Token& name_tok = toks_[eq - 1];
+    if (name_tok.kind != TokKind::kIdentifier) return;
+    std::vector<const Token*> target;
+    for (std::size_t i = eq + 1; i < semi; ++i) target.push_back(&toks_[i]);
+    const std::string core = core_type(target);
+    if (!core.empty()) repo_.typedefs[name_tok.text] = core;
+  }
+
+  void maybe_local_decl(std::size_t head, std::size_t semi) {
+    // `auto x = std::make_shared<T>(...)`.
+    for (std::size_t i = head; i + 6 < semi; ++i) {
+      if (toks_[i].text == "make_shared" && toks_[i + 1].text == "<" &&
+          toks_[i + 2].kind == TokKind::kIdentifier) {
+        for (std::size_t j = i; j-- > head;) {
+          if (toks_[j].text == "=" && j > head &&
+              toks_[j - 1].kind == TokKind::kIdentifier) {
+            locals()[toks_[j - 1].text] = toks_[i + 2].text;
+            return;
+          }
+        }
+      }
+    }
+    std::size_t end = semi;
+    for (std::size_t i = head; i < semi; ++i) {
+      if (toks_[i].text == "=") {
+        end = i;
+        break;
+      }
+    }
+    if (end <= head + 1) return;
+    if (contains(head, end, "(") || contains(head, end, "{")) return;
+    const Token& name_tok = toks_[end - 1];
+    if (name_tok.kind != TokKind::kIdentifier) return;
+    std::vector<const Token*> type;
+    for (std::size_t i = head; i + 1 < end; ++i) type.push_back(&toks_[i]);
+    if (type.empty()) return;
+    if (is_keyword(type.front()->text) || type.front()->text == "return") {
+      return;
+    }
+    const std::string core = core_type(type);
+    if (!core.empty()) locals()[name_tok.text] = core;
+  }
+
+  // ---- in-function events ----
+
+  void inline_event(std::size_t i) {
+    const Token& t = toks_[i];
+    if (t.kind != TokKind::kIdentifier) return;
+    FunctionSummary* fn = current_fn();
+    // Guard declaration: `MutexLock name(expr);`.
+    if (is_guard_name(t.text) && i + 2 < toks_.size() &&
+        toks_[i + 1].kind == TokKind::kIdentifier &&
+        toks_[i + 2].text == "(") {
+      LockRef ref;
+      if (lock_expr(i + 3, ref)) {
+        fn->events.push_back({Event::kAcquire, ref, {}, scopes_.size(),
+                              {file_.path, t.line}});
+        guards_.push_back({ref, scopes_.size()});
+      }
+      return;
+    }
+    if (i + 1 >= toks_.size() || toks_[i + 1].text != "(") return;
+    if (is_keyword(t.text) || t.text.rfind("ENTK_", 0) == 0) return;
+    const std::string prev = i > 0 ? toks_[i - 1].text : "";
+    const bool prev_ident =
+        i > 0 && toks_[i - 1].kind == TokKind::kIdentifier &&
+        !is_keyword(prev) && prev != "return" && prev != "else" &&
+        prev != "do" && prev != "throw";
+    if (prev_ident || prev == "~" || prev == ">") return;  // declaration
+    // CondVar wait site: `cv_.wait(mutex_)` and friends.
+    if ((prev == "." || prev == "->") && is_wait_name(t.text)) {
+      LockRef ref;
+      if (lock_expr(i + 2, ref)) {
+        fn->events.push_back(
+            {Event::kWait, ref, {}, 0, {file_.path, t.line}});
+        return;
+      }
+    }
+    CallRef call;
+    call.method = t.text;
+    call.enclosing_class = fn->klass;
+    if (prev == "." || prev == "->") {
+      if (!receiver(i - 2, call)) return;
+    } else if (prev == "::") {
+      if (i < 2 || toks_[i - 2].kind != TokKind::kIdentifier) return;
+      call.explicit_class = toks_[i - 2].text;
+      if (call.explicit_class == "std") return;
+    } else {
+      call.bare = true;
+    }
+    fn->events.push_back(
+        {Event::kCall, {}, call, 0, {file_.path, t.line}});
+  }
+
+  /// Resolves the receiver primary ending at token `j` (the token
+  /// before '.'/'->'). Returns false for unresolvable receivers
+  /// (call chains, array elements, ...).
+  bool receiver(std::size_t j, CallRef& call) {
+    if (j >= toks_.size()) return false;
+    const Token& base = toks_[j];
+    if (base.kind != TokKind::kIdentifier) return false;
+    if (base.text == "this") {
+      call.receiver_type = call.enclosing_class;
+      return !call.receiver_type.empty();
+    }
+    // Two-level chain `x.y->m()` / `this->y.m()`.
+    if (j >= 2 &&
+        (toks_[j - 1].text == "." || toks_[j - 1].text == "->") &&
+        toks_[j - 2].kind == TokKind::kIdentifier) {
+      const std::string& x = toks_[j - 2].text;
+      if (x == "this") {
+        call.receiver_member = base.text;
+        return true;
+      }
+      const auto local = locals().find(x);
+      if (local != locals().end()) {
+        call.chain_base_type = local->second;
+        call.chain_member = base.text;
+        return true;
+      }
+      return false;
+    }
+    if (j >= 1 && (toks_[j - 1].text == ")" || toks_[j - 1].text == "]" ||
+                   toks_[j - 1].text == ">")) {
+      return false;
+    }
+    const auto local = locals().find(base.text);
+    if (local != locals().end()) {
+      call.receiver_type = local->second;
+      return true;
+    }
+    call.receiver_member = base.text;
+    return true;
+  }
+
+  /// Resolves a lock expression starting at token `at` (just after the
+  /// opening paren): `mutex_`, `this->mutex_`, `x.mutex_`, `x->mutex_`
+  /// or a file-scope global. The first argument ends at ',' or ')'.
+  bool lock_expr(std::size_t at, LockRef& ref) {
+    std::vector<const Token*> expr;
+    std::size_t depth = 0;
+    for (std::size_t i = at; i < toks_.size(); ++i) {
+      const std::string& text = toks_[i].text;
+      if (text == "(") ++depth;
+      if (text == ")") {
+        if (depth == 0) break;
+        --depth;
+      }
+      if (text == "," && depth == 0) break;
+      expr.push_back(&toks_[i]);
+    }
+    ref.owner_class = current_class();
+    ref.file = file_.path;
+    if (expr.size() == 1 && expr[0]->kind == TokKind::kIdentifier) {
+      ref.member = expr[0]->text;
+      return true;
+    }
+    if (expr.size() == 3 && expr[0]->kind == TokKind::kIdentifier &&
+        (expr[1]->text == "." || expr[1]->text == "->") &&
+        expr[2]->kind == TokKind::kIdentifier) {
+      ref.member = expr[2]->text;
+      if (expr[0]->text == "this") return true;
+      const auto local = locals().find(expr[0]->text);
+      if (local != locals().end()) {
+        ref.base_type = local->second;
+        return true;
+      }
+      // Member-of-member is out of scope; give up.
+      return false;
+    }
+    return false;
+  }
+
+  const LexedFile& file_;
+  const std::vector<Token>& toks_;
+  Repo& repo_;
+  std::vector<Scope> scopes_;
+  std::vector<std::map<std::string, std::string>> locals_stack_;
+  std::vector<std::pair<LockRef, std::size_t>> guards_;
+};
+
+// ---- phase 2: resolution, fixpoint, graph ----
+
+struct Edge {
+  std::string from;
+  std::string to;
+  Site site;
+  std::string witness;
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Repo& repo) : repo_(repo) {}
+
+  LockAnalysis build() {
+    index_locks();
+    for (FunctionSummary& fn : repo_.functions) replay(fn);
+    fixpoint();
+    for (FunctionSummary& fn : repo_.functions) expand_calls(fn);
+    LockAnalysis out;
+    out.lock_count = lock_ids_.size();
+    out.edge_count = edges_.size();
+    out.function_count = repo_.functions.size();
+    find_rank_inversions(out);
+    find_cycles(out);
+    out.dot = to_dot();
+    return out;
+  }
+
+ private:
+  std::string resolve_class(std::string name) const {
+    for (int i = 0; i < 8; ++i) {
+      if (repo_.classes.count(name) != 0) return name;
+      const auto it = repo_.typedefs.find(name);
+      if (it == repo_.typedefs.end()) return "";
+      name = it->second;
+    }
+    return "";
+  }
+
+  const LockDecl* find_lock(const LockRef& ref) const {
+    if (!ref.base_type.empty()) {
+      const std::string klass = resolve_class(ref.base_type);
+      if (klass.empty()) return nullptr;
+      const auto& locks = repo_.classes.at(klass).locks;
+      const auto it = locks.find(ref.member);
+      return it == locks.end() ? nullptr : &it->second;
+    }
+    if (!ref.owner_class.empty()) {
+      const auto cls = repo_.classes.find(ref.owner_class);
+      if (cls != repo_.classes.end()) {
+        const auto it = cls->second.locks.find(ref.member);
+        if (it != cls->second.locks.end()) return &it->second;
+      }
+    }
+    const auto file = repo_.file_globals.find(ref.file);
+    if (file != repo_.file_globals.end()) {
+      const auto it = file->second.find(ref.member);
+      if (it != file->second.end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  void index_locks() {
+    for (const auto& [name, info] : repo_.classes) {
+      for (const auto& [member, decl] : info.locks) {
+        lock_ids_[decl.id] = &decl;
+      }
+    }
+    for (const auto& [file, globals] : repo_.file_globals) {
+      for (const auto& [name, decl] : globals) {
+        lock_ids_[decl.id] = &decl;
+      }
+    }
+  }
+
+  int rank_of(const std::string& lock_id) const {
+    const auto it = lock_ids_.find(lock_id);
+    if (it == lock_ids_.end() || it->second->rank_name.empty()) {
+      return kUnranked;
+    }
+    const auto rank = repo_.ranks.find(it->second->rank_name);
+    return rank == repo_.ranks.end() ? kUnranked : rank->second;
+  }
+
+  bool suppressed(const Site& site) const {
+    const auto it = repo_.suppressions.find(site.file);
+    return it != repo_.suppressions.end() &&
+           it->second.allows("lock-order", site.line);
+  }
+
+  void add_edge(const std::string& from, const std::string& to,
+                const Site& site, std::string witness) {
+    if (suppressed(site)) return;
+    edges_.emplace(std::make_pair(from, to),
+                   Edge{from, to, site, std::move(witness)});
+  }
+
+  /// Re-runs a function's event stream with a held-lock stack,
+  /// producing direct edges, acquire sets and resolved call sites.
+  void replay(FunctionSummary& fn) {
+    std::vector<std::pair<std::string, std::size_t>> held;
+    for (const Event& event : fn.events) {
+      switch (event.kind) {
+        case Event::kAcquire: {
+          const LockDecl* decl = find_lock(event.lock);
+          if (decl == nullptr) break;
+          // A suppressed acquisition site is vetted: it contributes no
+          // incoming edges (direct here, call-expanded via the
+          // may-acquire sets), but still counts as held so the
+          // ordering of later acquisitions under it stays checked.
+          if (!suppressed(event.site)) {
+            for (const auto& [h, depth] : held) {
+              add_edge(h, decl->id, event.site,
+                       fn.key + " at " + event.site.str() +
+                           " acquires " + decl->id +
+                           " while holding " + h);
+            }
+            fn.acquires.insert(decl->id);
+            fn.acquire_sites.emplace(decl->id, event.site);
+          }
+          held.emplace_back(decl->id, event.depth);
+          break;
+        }
+        case Event::kScopeEnd:
+          while (!held.empty() && held.back().second > event.depth) {
+            held.pop_back();
+          }
+          break;
+        case Event::kWait: {
+          const LockDecl* decl = find_lock(event.lock);
+          if (decl == nullptr) break;
+          for (const auto& [h, depth] : held) {
+            if (h == decl->id) continue;
+            add_edge(h, decl->id, event.site,
+                     fn.key + " at " + event.site.str() +
+                         " waits on a CondVar bound to " + decl->id +
+                         " (re-acquired on wakeup) while holding " + h);
+          }
+          break;
+        }
+        case Event::kCall: {
+          const std::string callee = resolve_call(event.call);
+          if (callee.empty()) break;
+          ResolvedCall resolved;
+          resolved.callee = callee;
+          for (const auto& [h, depth] : held) resolved.held.push_back(h);
+          resolved.site = event.site;
+          fn.calls.push_back(std::move(resolved));
+          break;
+        }
+      }
+    }
+  }
+
+  std::string resolve_call(const CallRef& call) const {
+    std::string klass;
+    if (!call.explicit_class.empty()) {
+      klass = resolve_class(call.explicit_class);
+    } else if (!call.receiver_type.empty()) {
+      klass = resolve_class(call.receiver_type);
+    } else if (!call.chain_base_type.empty()) {
+      const std::string base = resolve_class(call.chain_base_type);
+      if (!base.empty()) {
+        const auto& members = repo_.classes.at(base).member_types;
+        const auto it = members.find(call.chain_member);
+        if (it != members.end()) klass = resolve_class(it->second);
+      }
+    } else if (!call.receiver_member.empty()) {
+      const auto cls = repo_.classes.find(call.enclosing_class);
+      if (cls != repo_.classes.end()) {
+        const auto it = cls->second.member_types.find(call.receiver_member);
+        if (it != cls->second.member_types.end()) {
+          klass = resolve_class(it->second);
+        }
+      }
+    } else if (call.bare) {
+      if (!call.enclosing_class.empty()) {
+        const std::string key = call.enclosing_class + "::" + call.method;
+        if (repo_.by_key.count(key) != 0) return key;
+      }
+      const auto free = repo_.free_by_name.find(call.method);
+      if (free != repo_.free_by_name.end() && free->second.size() == 1) {
+        return free->second.front()->key;
+      }
+      return "";
+    }
+    if (klass.empty()) return "";
+    const std::string key = klass + "::" + call.method;
+    return repo_.by_key.count(key) != 0 ? key : "";
+  }
+
+  const FunctionSummary* fn_by_key(const std::string& key) const {
+    const auto it = repo_.by_key.find(key);
+    if (it != repo_.by_key.end()) return it->second;
+    const auto free = repo_.free_by_name.find(key);
+    if (free != repo_.free_by_name.end() && free->second.size() == 1) {
+      return free->second.front();
+    }
+    return nullptr;
+  }
+
+  void fixpoint() {
+    for (FunctionSummary& fn : repo_.functions) {
+      fn.may_acquire = fn.acquires;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (FunctionSummary& fn : repo_.functions) {
+        for (const ResolvedCall& call : fn.calls) {
+          const FunctionSummary* callee = fn_by_key(call.callee);
+          if (callee == nullptr) continue;
+          for (const std::string& lock : callee->may_acquire) {
+            if (fn.may_acquire.insert(lock).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  /// Witness chain "A -> B -> C acquires <lock> at <site>" from
+  /// `start` to a function that directly acquires `lock`.
+  std::string chain_to(const std::string& start,
+                       const std::string& lock) const {
+    std::map<std::string, std::string> parent;
+    std::deque<std::string> queue = {start};
+    parent[start] = "";
+    while (!queue.empty()) {
+      const std::string key = queue.front();
+      queue.pop_front();
+      const FunctionSummary* fn = fn_by_key(key);
+      if (fn == nullptr) continue;
+      if (fn->acquires.count(lock) != 0) {
+        std::string path = key + " acquires " + lock + " at " +
+                           fn->acquire_sites.at(lock).str();
+        for (std::string at = parent.at(key); !at.empty();
+             at = parent.at(at)) {
+          path = at + " -> " + path;
+        }
+        return path;
+      }
+      for (const ResolvedCall& call : fn->calls) {
+        if (parent.count(call.callee) != 0) continue;
+        const FunctionSummary* callee = fn_by_key(call.callee);
+        if (callee == nullptr ||
+            callee->may_acquire.count(lock) == 0) {
+          continue;
+        }
+        parent[call.callee] = key;
+        queue.push_back(call.callee);
+      }
+    }
+    return start + " -> ... -> " + lock;
+  }
+
+  void expand_calls(FunctionSummary& fn) {
+    for (const ResolvedCall& call : fn.calls) {
+      if (call.held.empty()) continue;
+      const FunctionSummary* callee = fn_by_key(call.callee);
+      if (callee == nullptr) continue;
+      for (const std::string& lock : callee->may_acquire) {
+        for (const std::string& h : call.held) {
+          if (edges_.count({h, lock}) != 0) continue;
+          add_edge(h, lock, call.site,
+                   fn.key + " at " + call.site.str() + " holds " + h +
+                       " and calls " + chain_to(call.callee, lock));
+        }
+      }
+    }
+  }
+
+  std::string rank_label(const std::string& lock_id) const {
+    const auto it = lock_ids_.find(lock_id);
+    if (it == lock_ids_.end() || it->second->rank_name.empty()) {
+      return "unranked";
+    }
+    const int rank = rank_of(lock_id);
+    return it->second->rank_name +
+           (rank == kUnranked ? "" : "=" + std::to_string(rank));
+  }
+
+  void find_rank_inversions(LockAnalysis& out) const {
+    for (const auto& [key, edge] : edges_) {
+      const int from = rank_of(edge.from);
+      const int to = rank_of(edge.to);
+      if (from == kUnranked || to == kUnranked) continue;
+      if (from < to) continue;
+      LockFinding finding;
+      finding.rule = "rank-inversion";
+      finding.file = edge.site.file;
+      finding.line = edge.site.line;
+      finding.message = "lock order violates declared ranks: " +
+                        edge.from + " (" + rank_label(edge.from) +
+                        ") -> " + edge.to + " (" + rank_label(edge.to) +
+                        ")\n    witness: " + edge.witness;
+      out.findings.push_back(std::move(finding));
+    }
+  }
+
+  void find_cycles(LockAnalysis& out) {
+    // Tarjan SCC over the lock graph.
+    std::map<std::string, std::vector<std::string>> adjacency;
+    std::set<std::string> nodes;
+    for (const auto& [key, edge] : edges_) {
+      adjacency[edge.from].push_back(edge.to);
+      nodes.insert(edge.from);
+      nodes.insert(edge.to);
+    }
+    std::map<std::string, int> index;
+    std::map<std::string, int> low;
+    std::set<std::string> on_stack;
+    std::vector<std::string> stack;
+    int counter = 0;
+    std::vector<std::vector<std::string>> components;
+
+    // Iterative Tarjan (explicit frame stack).
+    struct Frame {
+      std::string node;
+      std::size_t next_child = 0;
+    };
+    for (const std::string& root : nodes) {
+      if (index.count(root) != 0) continue;
+      std::vector<Frame> frames = {{root, 0}};
+      while (!frames.empty()) {
+        Frame& frame = frames.back();
+        const std::string node = frame.node;
+        if (frame.next_child == 0) {
+          index[node] = low[node] = counter++;
+          stack.push_back(node);
+          on_stack.insert(node);
+        }
+        bool descended = false;
+        auto& children = adjacency[node];
+        while (frame.next_child < children.size()) {
+          const std::string& child = children[frame.next_child++];
+          if (index.count(child) == 0) {
+            frames.push_back({child, 0});
+            descended = true;
+            break;
+          }
+          if (on_stack.count(child) != 0) {
+            low[node] = std::min(low[node], index[child]);
+          }
+        }
+        if (descended) continue;
+        if (low[node] == index[node]) {
+          std::vector<std::string> component;
+          while (true) {
+            const std::string member = stack.back();
+            stack.pop_back();
+            on_stack.erase(member);
+            component.push_back(member);
+            if (member == node) break;
+          }
+          components.push_back(std::move(component));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          Frame& up = frames.back();
+          low[up.node] = std::min(low[up.node], low[node]);
+        }
+      }
+    }
+
+    for (const auto& component : components) {
+      const bool self_loop =
+          component.size() == 1 &&
+          edges_.count({component.front(), component.front()}) != 0;
+      if (component.size() < 2 && !self_loop) continue;
+      const std::set<std::string> in_scc(component.begin(),
+                                         component.end());
+      // Walk one concrete cycle within the SCC for the report.
+      std::vector<std::string> cycle = {component.front()};
+      std::set<std::string> seen = {component.front()};
+      while (true) {
+        const std::string& at = cycle.back();
+        std::string next;
+        for (const std::string& candidate : adjacency[at]) {
+          if (in_scc.count(candidate) != 0) {
+            next = candidate;
+            if (seen.count(candidate) == 0) break;
+          }
+        }
+        if (next.empty()) break;
+        cycle.push_back(next);
+        if (!seen.insert(next).second) break;  // closed the loop
+      }
+      std::ostringstream message;
+      message << "potential deadlock: lock-order cycle";
+      for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+        const auto edge = edges_.find({cycle[i], cycle[i + 1]});
+        message << "\n    " << cycle[i] << " -> " << cycle[i + 1];
+        if (edge != edges_.end()) {
+          message << ": " << edge->second.witness;
+        }
+      }
+      LockFinding finding;
+      finding.rule = "lock-cycle";
+      const auto first_edge =
+          cycle.size() >= 2 ? edges_.find({cycle[0], cycle[1]})
+                            : edges_.end();
+      if (first_edge != edges_.end()) {
+        finding.file = first_edge->second.site.file;
+        finding.line = first_edge->second.site.line;
+      }
+      finding.message = message.str();
+      out.findings.push_back(std::move(finding));
+    }
+  }
+
+  std::string to_dot() const {
+    std::ostringstream dot;
+    dot << "digraph entk_locks {\n"
+        << "  rankdir=TB;\n"
+        << "  node [shape=box, fontname=\"monospace\"];\n";
+    std::set<std::string> emitted;
+    auto emit_node = [&](const std::string& id) {
+      if (!emitted.insert(id).second) return;
+      const bool ranked = rank_of(id) != kUnranked;
+      dot << "  \"" << id << "\" [label=\"" << id << "\\n"
+          << rank_label(id) << "\""
+          << (ranked ? "" : ", style=dashed") << "];\n";
+    };
+    for (const auto& [id, decl] : lock_ids_) emit_node(id);
+    for (const auto& [key, edge] : edges_) {
+      emit_node(edge.from);
+      emit_node(edge.to);
+      dot << "  \"" << edge.from << "\" -> \"" << edge.to
+          << "\" [label=\"" << edge.site.str() << "\"];\n";
+    }
+    dot << "}\n";
+    return dot.str();
+  }
+
+  Repo& repo_;
+  std::map<std::string, const LockDecl*> lock_ids_;
+  std::map<std::pair<std::string, std::string>, Edge> edges_;
+};
+
+}  // namespace
+
+LockAnalysis analyze_locks(const std::vector<LexedFile>& files) {
+  Repo repo;
+  for (const LexedFile& file : files) {
+    repo.suppressions[file.path] = scan_suppressions(file, "entk-analyze");
+  }
+  for (const LexedFile& file : files) {
+    FileScanner(file, repo).run();
+  }
+  return GraphBuilder(repo).build();
+}
+
+}  // namespace entk::analysis

@@ -1,0 +1,61 @@
+// Whole-repo lock-order analysis.
+//
+// analyze_locks() scans lexed translation units (analysis/
+// cpp_lexer.hpp) and recovers, without a compiler:
+//
+//   * every lock declaration — `Mutex m_{LockRank::kX};` /
+//     `SharedMutex` members and namespace-scope globals — keyed as
+//     Class::member (one node per declaration, shared by all
+//     instances, matching the rank model);
+//   * the LockRank table itself, parsed from the `enum class LockRank`
+//     body in common/lock_rank.hpp;
+//   * per-function acquisition sequences: MutexLock /
+//     SharedMutexLock / SharedReaderLock guards (scope-aware, so a
+//     guard stops "holding" when its block closes) and
+//     CondVar::wait/wait_for/wait_until re-acquisition sites;
+//   * call sites with the held-lock set at the call, resolved through
+//     class members, locals, parameters and smart-pointer typedefs —
+//     unresolvable calls (virtual dispatch, std::function callbacks)
+//     are deliberately dropped: the analyzer reports only edges it can
+//     witness, and the runtime validator (ENTK_LOCK_RANK_CHECK)
+//     covers the dynamic remainder.
+//
+// A fixpoint over the call graph yields may-acquire sets; the final
+// lock graph gets one edge A -> B wherever B may be acquired while A
+// is held, each edge carrying a concrete witness path. Findings:
+//
+//   lock-cycle       an SCC in the lock graph (potential deadlock),
+//                    reported with a witness path per edge;
+//   rank-inversion   an edge A -> B with rank(A) >= rank(B), i.e. the
+//                    static graph disagrees with the declared order.
+//
+// `// entk-analyze: allow(lock-order)` at a witness acquisition site
+// removes that edge (see analysis/suppressions.hpp for marker scope).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/cpp_lexer.hpp"
+
+namespace entk::analysis {
+
+struct LockFinding {
+  std::string rule;  ///< "lock-cycle" or "rank-inversion".
+  std::string file;  ///< Primary witness file ("" for graph-level).
+  int line = 0;
+  std::string message;
+};
+
+struct LockAnalysis {
+  std::vector<LockFinding> findings;
+  std::string dot;  ///< Graphviz rendering of the lock graph.
+  std::size_t lock_count = 0;
+  std::size_t edge_count = 0;
+  std::size_t function_count = 0;
+};
+
+LockAnalysis analyze_locks(const std::vector<LexedFile>& files);
+
+}  // namespace entk::analysis

@@ -8,59 +8,45 @@
 
 namespace entk::analysis {
 
-namespace {
-/// Flattens a frame to its centred coordinate vector (3N dims).
-std::vector<double> features_of(const md::Frame& frame) {
-  md::Vec3 centroid{};
-  for (const auto& p : frame.positions) centroid += p;
-  centroid *= 1.0 / static_cast<double>(frame.positions.size());
-  std::vector<double> features;
-  features.reserve(frame.positions.size() * 3);
-  for (const auto& p : frame.positions) {
-    features.push_back(p.x - centroid.x);
-    features.push_back(p.y - centroid.y);
-    features.push_back(p.z - centroid.z);
-  }
-  return features;
-}
-}  // namespace
-
-Result<PcaResult> pca_frames(const std::vector<md::Frame>& frames,
-                             std::size_t n_components) {
-  if (frames.size() < 2) {
+Result<PcaResult> pca_rows(std::vector<std::vector<double>> rows,
+                           std::size_t n_components) {
+  if (rows.size() < 2) {
     return make_error(Errc::kInvalidArgument,
-                      "PCA needs at least two frames");
+                      "PCA needs at least two samples");
   }
   if (n_components == 0) {
     return make_error(Errc::kInvalidArgument,
                       "PCA needs at least one component");
   }
-  const std::size_t f_count = frames.size();
-  const std::size_t dims = frames.front().positions.size() * 3;
-  n_components = std::min({n_components, f_count - 1, dims});
+  const std::size_t r_count = rows.size();
+  const std::size_t dims = rows.front().size();
+  if (dims == 0) {
+    return make_error(Errc::kInvalidArgument,
+                      "PCA needs non-empty feature rows");
+  }
+  n_components = std::min({n_components, r_count - 1, dims});
 
-  // Centred data matrix X (frames x dims), kept as rows.
-  std::vector<std::vector<double>> x(f_count);
-  for (std::size_t f = 0; f < f_count; ++f) {
-    if (frames[f].positions.size() * 3 != dims) {
+  // Centred data matrix X (rows x dims), kept as rows.
+  std::vector<std::vector<double>>& x = rows;
+  for (const auto& row : x) {
+    if (row.size() != dims) {
       return make_error(Errc::kInvalidArgument,
-                        "frames have inconsistent particle counts");
+                        "feature rows have inconsistent lengths");
     }
-    x[f] = features_of(frames[f]);
   }
   std::vector<double> mean(dims, 0.0);
   for (const auto& row : x) {
     for (std::size_t d = 0; d < dims; ++d) mean[d] += row[d];
   }
-  for (auto& m : mean) m /= static_cast<double>(f_count);
+  for (auto& m : mean) m /= static_cast<double>(r_count);
   for (auto& row : x) {
     for (std::size_t d = 0; d < dims; ++d) row[d] -= mean[d];
   }
 
-  // Gram trick: eigen-decompose X X^T (frames x frames).
-  Matrix gram(f_count, f_count);
-  for (std::size_t a = 0; a < f_count; ++a) {
-    for (std::size_t b = a; b < f_count; ++b) {
+  // Gram trick: eigen-decompose X X^T (rows x rows).
+  Matrix gram(r_count, r_count);
+  for (std::size_t a = 0; a < r_count; ++a) {
+    for (std::size_t b = a; b < r_count; ++b) {
       const double dot = std::inner_product(x[a].begin(), x[a].end(),
                                             x[b].begin(), 0.0);
       gram(a, b) = dot;
@@ -75,16 +61,16 @@ Result<PcaResult> pca_frames(const std::vector<md::Frame>& frames,
   result.mean = std::move(mean);
   result.eigenvalues.reserve(n_components);
   result.components = Matrix(dims, n_components);
-  result.projections = Matrix(f_count, n_components);
+  result.projections = Matrix(r_count, n_components);
   for (std::size_t k = 0; k < n_components; ++k) {
     const double mu = std::max(eig.values[k], 0.0);
-    result.eigenvalues.push_back(mu / static_cast<double>(f_count - 1));
+    result.eigenvalues.push_back(mu / static_cast<double>(r_count - 1));
     // Feature-space component: v = X^T u / |X^T u|.
     std::vector<double> v(dims, 0.0);
-    for (std::size_t f = 0; f < f_count; ++f) {
-      const double u = eig.vectors(f, k);
+    for (std::size_t r = 0; r < r_count; ++r) {
+      const double u = eig.vectors(r, k);
       if (u == 0.0) continue;
-      for (std::size_t d = 0; d < dims; ++d) v[d] += u * x[f][d];
+      for (std::size_t d = 0; d < dims; ++d) v[d] += u * x[r][d];
     }
     const double norm = std::sqrt(
         std::inner_product(v.begin(), v.end(), v.begin(), 0.0));
@@ -92,17 +78,16 @@ Result<PcaResult> pca_frames(const std::vector<md::Frame>& frames,
       for (auto& value : v) value /= norm;
     }
     for (std::size_t d = 0; d < dims; ++d) result.components(d, k) = v[d];
-    for (std::size_t f = 0; f < f_count; ++f) {
-      result.projections(f, k) = std::inner_product(
-          x[f].begin(), x[f].end(), v.begin(), 0.0);
+    for (std::size_t r = 0; r < r_count; ++r) {
+      result.projections(r, k) = std::inner_product(
+          x[r].begin(), x[r].end(), v.begin(), 0.0);
     }
   }
   return result;
 }
 
-Result<CocoResult> coco_analysis(
-    const std::vector<const md::Trajectory*>& trajectories,
-    const CocoOptions& options) {
+Result<CocoResult> coco_rows(std::vector<std::vector<double>> rows,
+                             const CocoOptions& options) {
   if (options.n_components == 0 || options.n_components > 3) {
     return make_error(Errc::kInvalidArgument,
                       "CoCo supports 1-3 PC dimensions");
@@ -111,34 +96,29 @@ Result<CocoResult> coco_analysis(
     return make_error(Errc::kInvalidArgument,
                       "CoCo needs at least 2 grid bins per axis");
   }
-  std::vector<md::Frame> frames;
-  for (const auto* trajectory : trajectories) {
-    if (trajectory == nullptr) continue;
-    frames.insert(frames.end(), trajectory->frames().begin(),
-                  trajectory->frames().end());
-  }
-  if (frames.size() < 2) {
+  if (rows.size() < 2) {
     return make_error(Errc::kInvalidArgument,
-                      "CoCo needs at least two frames across trajectories");
+                      "CoCo needs at least two samples");
   }
+  const std::size_t r_count = rows.size();
 
   CocoResult result;
-  auto pca = pca_frames(frames, options.n_components);
+  auto pca = pca_rows(std::move(rows), options.n_components);
   if (!pca.ok()) return pca.status();
   result.pca = pca.take();
 
   const std::size_t k_dims = result.pca.eigenvalues.size();
   const std::size_t bins = options.grid_bins;
 
-  // Bounding box of the projections, slightly padded so extreme frames
-  // land inside the grid.
+  // Bounding box of the projections, slightly padded so extreme
+  // samples land inside the grid.
   std::vector<double> lo(k_dims, 0.0), hi(k_dims, 0.0);
   for (std::size_t k = 0; k < k_dims; ++k) {
     double mn = result.pca.projections(0, k);
     double mx = mn;
-    for (std::size_t f = 1; f < frames.size(); ++f) {
-      mn = std::min(mn, result.pca.projections(f, k));
-      mx = std::max(mx, result.pca.projections(f, k));
+    for (std::size_t r = 1; r < r_count; ++r) {
+      mn = std::min(mn, result.pca.projections(r, k));
+      mx = std::max(mx, result.pca.projections(r, k));
     }
     const double pad = std::max(1e-9, 0.05 * (mx - mn));
     lo[k] = mn - pad;
@@ -148,12 +128,12 @@ Result<CocoResult> coco_analysis(
   std::size_t n_cells = 1;
   for (std::size_t k = 0; k < k_dims; ++k) n_cells *= bins;
   std::vector<std::size_t> counts(n_cells, 0);
-  auto cell_of = [&](std::size_t frame_index) {
+  auto cell_of = [&](std::size_t row_index) {
     std::size_t cell = 0;
     for (std::size_t k = 0; k < k_dims; ++k) {
       const double span = hi[k] - lo[k];
       const double fraction =
-          (result.pca.projections(frame_index, k) - lo[k]) / span;
+          (result.pca.projections(row_index, k) - lo[k]) / span;
       auto bin = static_cast<std::size_t>(fraction *
                                           static_cast<double>(bins));
       bin = std::min(bin, bins - 1);
@@ -161,7 +141,7 @@ Result<CocoResult> coco_analysis(
     }
     return cell;
   };
-  for (std::size_t f = 0; f < frames.size(); ++f) ++counts[cell_of(f)];
+  for (std::size_t r = 0; r < r_count; ++r) ++counts[cell_of(r)];
 
   const std::size_t occupied = static_cast<std::size_t>(
       std::count_if(counts.begin(), counts.end(),

@@ -1,13 +1,16 @@
-// PCA over trajectory frames + CoCo-style resampling.
+// PCA over feature rows + CoCo-style resampling.
 //
 // CoCo ("complementary coordinates", Laughton et al. 2009) enriches an
 // MD ensemble by (1) running PCA over all sampled conformations,
-// (2) projecting every frame into the leading PC subspace, (3) finding
+// (2) projecting every sample into the leading PC subspace, (3) finding
 // *unsampled* regions of that subspace on a grid, and (4) emitting new
 // start points there. This module implements exactly that pipeline on
-// our trajectory type; the md.coco kernel plugin wraps it. The
-// analysis is serial and its cost grows with the total number of
-// frames — the property Figures 7/8 of the paper rely on.
+// plain feature rows — one row of doubles per sample — so the analysis
+// layer stays a pure-math leaf. The frame/trajectory adapters
+// (md::pca_frames, md::coco_analysis) live in md/ensemble_analysis.hpp
+// and the md.coco kernel plugin wraps them. The analysis is serial and
+// its cost grows with the total number of rows — the property
+// Figures 7/8 of the paper rely on.
 #pragma once
 
 #include <cstddef>
@@ -15,23 +18,22 @@
 
 #include "analysis/matrix.hpp"
 #include "common/status.hpp"
-#include "md/trajectory.hpp"
 
 namespace entk::analysis {
 
 struct PcaResult {
-  std::vector<double> mean;          ///< Mean feature vector (3N dims).
+  std::vector<double> mean;          ///< Mean feature vector.
   std::vector<double> eigenvalues;   ///< Descending variances.
   Matrix components;                 ///< components(d, k): PC k.
-  Matrix projections;                ///< projections(f, k): frame f on PC k.
+  Matrix projections;                ///< projections(r, k): row r on PC k.
 };
 
-/// PCA over the concatenated (x,y,z) coordinates of all frames, after
-/// centroid removal per frame. `n_components` caps the retained PCs.
-/// The covariance is computed in frame space (Gram trick) so the cost
-/// is O(F^2 D + F^3) for F frames, D dimensions.
-Result<PcaResult> pca_frames(const std::vector<md::Frame>& frames,
-                             std::size_t n_components);
+/// PCA over feature rows (all rows must have equal length).
+/// `n_components` caps the retained PCs. The covariance is computed in
+/// sample space (Gram trick) so the cost is O(R^2 D + R^3) for R rows,
+/// D dimensions. Takes the rows by value: they are centred in place.
+Result<PcaResult> pca_rows(std::vector<std::vector<double>> rows,
+                           std::size_t n_components);
 
 struct CocoOptions {
   std::size_t n_components = 2;   ///< PC subspace dimension (<= 3).
@@ -48,9 +50,8 @@ struct CocoResult {
   double occupancy = 0.0;
 };
 
-/// Runs the CoCo pipeline over all frames of all trajectories.
-Result<CocoResult> coco_analysis(
-    const std::vector<const md::Trajectory*>& trajectories,
-    const CocoOptions& options);
+/// Runs the CoCo pipeline over the given feature rows.
+Result<CocoResult> coco_rows(std::vector<std::vector<double>> rows,
+                             const CocoOptions& options);
 
 }  // namespace entk::analysis

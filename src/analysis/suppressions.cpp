@@ -1,0 +1,87 @@
+#include "analysis/suppressions.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace entk::analysis {
+
+namespace {
+
+/// Extracts (rule, is_file_scope) markers matching `tag` ("<tool>:
+/// allow") from one comment's text.
+std::vector<std::pair<std::string, bool>> parse_markers(
+    const std::string& text, const std::string& tag) {
+  std::vector<std::pair<std::string, bool>> result;
+  std::size_t at = 0;
+  while ((at = text.find(tag, at)) != std::string::npos) {
+    std::size_t cursor = at + tag.size();
+    bool file_scope = false;
+    if (text.compare(cursor, 5, "-file") == 0) {
+      file_scope = true;
+      cursor += 5;
+    }
+    if (cursor < text.size() && text[cursor] == '(') {
+      const std::size_t close = text.find(')', cursor);
+      if (close != std::string::npos) {
+        result.emplace_back(text.substr(cursor + 1, close - cursor - 1),
+                            file_scope);
+      }
+    }
+    at = cursor;
+  }
+  return result;
+}
+
+/// Last line of the statement starting at (or after) `first`: the line
+/// carrying the first ';' or '{' at bracket depth zero. Falls back to
+/// `first` when no terminator appears within a sane window (the old
+/// one-line behaviour).
+int statement_end(const std::vector<std::string>& code_lines, int first) {
+  constexpr int kMaxStatementLines = 40;
+  const int limit = std::min(static_cast<int>(code_lines.size()),
+                             first + kMaxStatementLines - 1);
+  int depth = 0;
+  for (int line = first; line <= limit; ++line) {
+    for (const char c : code_lines[static_cast<std::size_t>(line - 1)]) {
+      if (c == '(' || c == '[') {
+        ++depth;
+      } else if (c == ')' || c == ']') {
+        depth = std::max(0, depth - 1);
+      } else if (depth == 0 && (c == ';' || c == '{')) {
+        return line;
+      }
+    }
+  }
+  return first;
+}
+
+}  // namespace
+
+SuppressionSet scan_suppressions(const LexedFile& file,
+                                 const std::string& tool) {
+  SuppressionSet out;
+  const std::string tag = tool + ": allow";
+  for (const Comment& comment : file.comments) {
+    for (const auto& [rule, file_scope] :
+         parse_markers(comment.text, tag)) {
+      if (file_scope) {
+        out.file_allows.insert(rule);
+        continue;
+      }
+      for (int line = comment.line; line <= comment.end_line; ++line) {
+        out.line_allows.insert({rule, line});
+      }
+      if (comment.own_line) {
+        const int last =
+            statement_end(file.code_lines, comment.end_line + 1);
+        for (int line = comment.end_line + 1; line <= last; ++line) {
+          out.line_allows.insert({rule, line});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace entk::analysis

@@ -1,0 +1,41 @@
+// Shared suppression markers for the in-repo analyzers.
+//
+// Both entk-lint and entk-analyze honour the same comment grammar,
+// keyed by the tool name:
+//
+//   // <tool>: allow(<rule>)        suppress <rule> here
+//   // <tool>: allow-file(<rule>)   suppress <rule> for this file
+//
+// A marker in a trailing comment covers its own line. A marker in a
+// standalone comment (nothing but whitespace before it) covers the
+// whole FOLLOWING statement — through the line with the terminating
+// ';' or opening '{' at bracket depth zero — so multi-line calls and
+// declarations need only one marker above them, not one per line.
+// Always pair a suppression with a justification.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "analysis/cpp_lexer.hpp"
+
+namespace entk::analysis {
+
+struct SuppressionSet {
+  std::set<std::string> file_allows;
+  /// (rule, 1-based line) pairs covered by line-scoped markers.
+  std::set<std::pair<std::string, int>> line_allows;
+
+  bool allows(const std::string& rule, int line) const {
+    return file_allows.count(rule) != 0 ||
+           line_allows.count({rule, line}) != 0;
+  }
+};
+
+/// Collects `<tool>: allow(...)` markers from a lexed file. `tool` is
+/// the marker prefix, e.g. "entk-lint" or "entk-analyze".
+SuppressionSet scan_suppressions(const LexedFile& file,
+                                 const std::string& tool);
+
+}  // namespace entk::analysis

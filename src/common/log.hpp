@@ -38,7 +38,9 @@ class Logger {
  private:
   Logger() = default;
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  Mutex mutex_;  // serializes stderr so lines never interleave
+  // Serializes stderr so lines never interleave; the highest rank, so
+  // logging is safe under any other lock.
+  Mutex mutex_{LockRank::kLogger};
 };
 
 namespace detail {

@@ -24,6 +24,14 @@
 // written as explicit `while (!predicate) cv.wait(mutex_);` loops:
 // the analysis then sees the guarded reads in a scope that provably
 // holds the capability, which predicate lambdas would hide.
+// Every long-lived mutex also declares a LockRank (common/
+// lock_rank.hpp): the position of the lock in the global acquisition
+// order. Under -DENTK_LOCK_RANK_CHECK=ON each acquisition is validated
+// against a thread-local held-lock stack and an out-of-order
+// acquisition aborts with both the held stack and the offending lock
+// printed; tools/entk-analyze --locks checks the same ranks
+// statically. Unranked locks (the default) are exempt from ordering
+// but still checked for self-deadlock.
 #pragma once
 
 #include <chrono>
@@ -31,6 +39,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_rank.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace entk {
@@ -40,15 +49,29 @@ namespace entk {
 class ENTK_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Ranked mutex: acquisition order is validated against `rank` under
+  /// ENTK_LOCK_RANK_CHECK and by entk-analyze --locks.
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ENTK_ACQUIRE() { mutex_.lock(); }
-  void unlock() ENTK_RELEASE() { mutex_.unlock(); }
-  bool try_lock() ENTK_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock() ENTK_ACQUIRE() {
+    lockrank::acquire(rank_, this, "mutex");
+    mutex_.lock();
+  }
+  void unlock() ENTK_RELEASE() {
+    lockrank::release(this);
+    mutex_.unlock();
+  }
+  bool try_lock() ENTK_TRY_ACQUIRE(true) {
+    const bool acquired = mutex_.try_lock();
+    if (acquired) lockrank::acquire_unchecked(rank_, this, "mutex");
+    return acquired;
+  }
 
  private:
   std::mutex mutex_;
+  LockRank rank_ = LockRank::kNone;
 };
 
 /// Scoped lock: acquires in the constructor, releases in the
@@ -74,18 +97,32 @@ class ENTK_SCOPED_CAPABILITY MutexLock {
 class ENTK_CAPABILITY("mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  /// Ranked shared mutex; readers and writers share one rank (either
+  /// side of a reader/writer pair can complete a deadlock cycle).
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() ENTK_ACQUIRE() { mutex_.lock(); }
-  void unlock() ENTK_RELEASE() { mutex_.unlock(); }
-  void lock_shared() ENTK_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void lock() ENTK_ACQUIRE() {
+    lockrank::acquire(rank_, this, "shared");
+    mutex_.lock();
+  }
+  void unlock() ENTK_RELEASE() {
+    lockrank::release(this);
+    mutex_.unlock();
+  }
+  void lock_shared() ENTK_ACQUIRE_SHARED() {
+    lockrank::acquire(rank_, this, "reader");
+    mutex_.lock_shared();
+  }
   void unlock_shared() ENTK_RELEASE_SHARED() {
+    lockrank::release(this);
     mutex_.unlock_shared();
   }
 
  private:
   std::shared_mutex mutex_;
+  LockRank rank_ = LockRank::kNone;
 };
 
 /// Scoped exclusive (writer) lock on a SharedMutex.

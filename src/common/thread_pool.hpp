@@ -50,7 +50,7 @@ class ThreadPool {
 
   const std::size_t thread_count_;
 
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kThreadPool};
   CondVar task_ready_;
   CondVar idle_;
   CondVar joined_cv_;

@@ -18,7 +18,7 @@ struct PrefixCounter {
 
 namespace {
 
-SharedMutex g_mutex;
+SharedMutex g_mutex{LockRank::kUidRegistry};
 
 // Counters are heap-allocated and never erased, so a PrefixCounter*
 // obtained under the reader lock stays valid for the process lifetime;

@@ -58,7 +58,7 @@ class ExecutionPlugin final : public PatternExecutor {
   pilot::ExecutionBackend& backend_;
   Options options_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kExecutionPlugin};
   Duration pattern_overhead_ ENTK_GUARDED_BY(mutex_) = 0.0;
   std::vector<pilot::ComputeUnitPtr> all_units_ ENTK_GUARDED_BY(mutex_);
   std::optional<std::size_t> settled_token_ ENTK_GUARDED_BY(mutex_);

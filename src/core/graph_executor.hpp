@@ -126,7 +126,7 @@ class GraphExecutor {
   /// Whether the executor delivers settled events (else watch_unit).
   bool use_events_ = false;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kGraphExecutor};
   std::vector<NodeRun> runs_ ENTK_GUARDED_BY(mutex_);
   std::vector<GroupRun> group_runs_ ENTK_GUARDED_BY(mutex_);
   /// Reverse adjacency and change worklists, maintained incrementally

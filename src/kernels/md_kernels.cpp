@@ -10,8 +10,9 @@
 #include <sstream>
 
 #include "analysis/diffusion_map.hpp"
-#include "common/strings.hpp"
 #include "analysis/pca.hpp"
+#include "common/strings.hpp"
+#include "md/ensemble_analysis.hpp"
 #include "kernels/registry.hpp"
 #include "md/builder.hpp"
 #include "md/integrator.hpp"
@@ -618,7 +619,7 @@ class MdCocoKernel final : public KernelBase {
       }
       analysis::CocoOptions options;
       options.n_new_points = static_cast<std::size_t>(n_new_points);
-      auto coco = analysis::coco_analysis(views, options);
+      auto coco = md::coco_analysis(views, options);
       if (!coco.ok()) return coco.status();
       std::ofstream result(context.sandbox / out);
       if (!result) {
@@ -691,8 +692,8 @@ class MdLsdmapKernel final : public KernelBase {
       if (!loaded.ok()) return loaded.status();
       analysis::DiffusionMapOptions options;
       options.n_coordinates = static_cast<std::size_t>(n_coords);
-      auto map = analysis::diffusion_map_frames(loaded.value().frames(),
-                                                options);
+      auto map = md::diffusion_map_frames(loaded.value().frames(),
+                                          options);
       if (!map.ok()) return map.status();
       std::ofstream result(context.sandbox / out);
       if (!result) {

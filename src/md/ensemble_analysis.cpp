@@ -1,0 +1,80 @@
+#include "md/ensemble_analysis.hpp"
+
+namespace entk::md {
+
+std::vector<double> features_of(const Frame& frame) {
+  Vec3 centroid{};
+  for (const auto& p : frame.positions) centroid += p;
+  centroid *= 1.0 / static_cast<double>(frame.positions.size());
+  std::vector<double> features;
+  features.reserve(frame.positions.size() * 3);
+  for (const auto& p : frame.positions) {
+    features.push_back(p.x - centroid.x);
+    features.push_back(p.y - centroid.y);
+    features.push_back(p.z - centroid.z);
+  }
+  return features;
+}
+
+Result<analysis::PcaResult> pca_frames(const std::vector<Frame>& frames,
+                                       std::size_t n_components) {
+  if (frames.size() < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "PCA needs at least two frames");
+  }
+  std::vector<std::vector<double>> rows;
+  rows.reserve(frames.size());
+  for (const Frame& frame : frames) rows.push_back(features_of(frame));
+  // Inconsistent particle counts surface as inconsistent row lengths.
+  return analysis::pca_rows(std::move(rows), n_components);
+}
+
+Result<analysis::CocoResult> coco_analysis(
+    const std::vector<const Trajectory*>& trajectories,
+    const analysis::CocoOptions& options) {
+  if (options.n_components == 0 || options.n_components > 3) {
+    return make_error(Errc::kInvalidArgument,
+                      "CoCo supports 1-3 PC dimensions");
+  }
+  if (options.grid_bins < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "CoCo needs at least 2 grid bins per axis");
+  }
+  std::vector<std::vector<double>> rows;
+  for (const auto* trajectory : trajectories) {
+    if (trajectory == nullptr) continue;
+    for (const Frame& frame : trajectory->frames()) {
+      rows.push_back(features_of(frame));
+    }
+  }
+  if (rows.size() < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "CoCo needs at least two frames across trajectories");
+  }
+  return analysis::coco_rows(std::move(rows), options);
+}
+
+analysis::Matrix rmsd_distance_matrix(const std::vector<Frame>& frames) {
+  ENTK_CHECK(frames.size() >= 2, "need at least two frames");
+  analysis::Matrix distances(frames.size(), frames.size());
+  for (std::size_t a = 0; a < frames.size(); ++a) {
+    for (std::size_t b = a + 1; b < frames.size(); ++b) {
+      const double d = Trajectory::rmsd(frames[a], frames[b]);
+      distances(a, b) = d;
+      distances(b, a) = d;
+    }
+  }
+  return distances;
+}
+
+Result<analysis::DiffusionMapResult> diffusion_map_frames(
+    const std::vector<Frame>& frames,
+    const analysis::DiffusionMapOptions& options) {
+  if (frames.size() < 2) {
+    return make_error(Errc::kInvalidArgument,
+                      "diffusion map needs at least two frames");
+  }
+  return analysis::diffusion_map(rmsd_distance_matrix(frames), options);
+}
+
+}  // namespace entk::md

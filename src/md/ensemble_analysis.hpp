@@ -1,0 +1,42 @@
+// Frame/trajectory adapters for the analysis layer.
+//
+// The analysis module is a pure-math leaf (feature rows, distance
+// matrices); everything that knows about md::Frame lives here, so the
+// dependency points md -> analysis and the module layering stays a DAG
+// (enforced by entk-analyze --layering, see tools/layering.toml).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diffusion_map.hpp"
+#include "analysis/matrix.hpp"
+#include "analysis/pca.hpp"
+#include "common/status.hpp"
+#include "md/trajectory.hpp"
+
+namespace entk::md {
+
+/// Flattens a frame to its centred coordinate vector (3N dims):
+/// centroid removed, then (x, y, z) per particle.
+std::vector<double> features_of(const Frame& frame);
+
+/// PCA over the concatenated (x,y,z) coordinates of all frames, after
+/// centroid removal per frame.
+Result<analysis::PcaResult> pca_frames(const std::vector<Frame>& frames,
+                                       std::size_t n_components);
+
+/// Runs the CoCo pipeline over all frames of all trajectories.
+Result<analysis::CocoResult> coco_analysis(
+    const std::vector<const Trajectory*>& trajectories,
+    const analysis::CocoOptions& options);
+
+/// Full pairwise RMSD distance matrix of the given frames.
+analysis::Matrix rmsd_distance_matrix(const std::vector<Frame>& frames);
+
+/// Convenience: RMSD distances + diffusion map from frames.
+Result<analysis::DiffusionMapResult> diffusion_map_frames(
+    const std::vector<Frame>& frames,
+    const analysis::DiffusionMapOptions& options);
+
+}  // namespace entk::md

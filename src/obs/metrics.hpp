@@ -166,7 +166,7 @@ class Metrics {
              static_cast<std::size_t>(WellKnownHistogram::kCount)>
       histograms_;
 
-  mutable SharedMutex names_mutex_;
+  mutable SharedMutex names_mutex_{LockRank::kMetricsRegistry};
   // std::map nodes are pointer-stable, so returned references survive
   // later insertions.
   std::map<std::string, Counter, std::less<>> dynamic_counters_

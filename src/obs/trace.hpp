@@ -144,7 +144,7 @@ class TraceRecorder {
   /// when their cached buffer generation is stale.
   std::atomic<std::uint64_t> generation_{1};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kTraceRecorder};
   std::size_t capacity_ ENTK_GUARDED_BY(mutex_);
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_
       ENTK_GUARDED_BY(mutex_);

@@ -82,7 +82,7 @@ class ComputeUnit {
   const Clock& clock_;
   const std::uint64_t trace_flow_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kComputeUnit};
   UnitState state_ ENTK_GUARDED_BY(mutex_) = UnitState::kNew;
   Status final_status_ ENTK_GUARDED_BY(mutex_);
   Count retries_ ENTK_GUARDED_BY(mutex_) = 0;

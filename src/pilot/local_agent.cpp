@@ -48,31 +48,43 @@ void LocalAgent::start(std::function<void()> on_ready) {
 }
 
 Status LocalAgent::submit(std::vector<ComputeUnitPtr> units) {
-  MutexLock lock(mutex_);
-  for (auto& unit : units) {
-    if (unit->state() != UnitState::kPendingExecution) {
-      return make_error(Errc::kFailedPrecondition,
-                        "unit " + unit->uid() + " is " +
-                            unit_state_name(unit->state()) +
-                            "; expected pending_execution");
+  std::vector<ComputeUnitPtr> rejected;
+  Status precondition = Status::ok();
+  {
+    MutexLock lock(mutex_);
+    for (auto& unit : units) {
+      if (unit->state() != UnitState::kPendingExecution) {
+        precondition = make_error(Errc::kFailedPrecondition,
+                                  "unit " + unit->uid() + " is " +
+                                      unit_state_name(unit->state()) +
+                                      "; expected pending_execution");
+        break;
+      }
+      if (unit->description().cores > cores_) {
+        rejected.push_back(std::move(unit));
+        continue;
+      }
+      unit->stamp_submitted();
+      obs::Metrics::instance()
+          .counter(obs::WellKnownCounter::kSchedulerWaitingPushes)
+          .add();
+      waiting_.push(std::move(unit));
     }
-    if (unit->description().cores > cores_) {
-      ENTK_RETURN_IF_ERROR(unit->advance_state(
-          UnitState::kFailed,
-          make_error(Errc::kResourceExhausted,
-                     "unit " + unit->uid() + " needs " +
-                         std::to_string(unit->description().cores) +
-                         " cores; pilot has " + std::to_string(cores_))));
-      continue;
-    }
-    unit->stamp_submitted();
-    obs::Metrics::instance()
-        .counter(obs::WellKnownCounter::kSchedulerWaitingPushes)
-        .add();
-    waiting_.push(std::move(unit));
+    if (started_) schedule_locked();
   }
-  if (started_) schedule_locked();
-  return Status::ok();
+  // Fail over-sized units only after releasing mutex_: the kFailed
+  // transition fires UnitManager/GraphExecutor callbacks whose locks
+  // order BEFORE the agent's (and resubmission could re-enter this
+  // agent).
+  for (auto& unit : rejected) {
+    ENTK_RETURN_IF_ERROR(unit->advance_state(
+        UnitState::kFailed,
+        make_error(Errc::kResourceExhausted,
+                   "unit " + unit->uid() + " needs " +
+                       std::to_string(unit->description().cores) +
+                       " cores; pilot has " + std::to_string(cores_))));
+  }
+  return precondition;
 }
 
 Status LocalAgent::cancel_unit(const ComputeUnitPtr& unit) {

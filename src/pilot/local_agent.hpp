@@ -62,7 +62,7 @@ class LocalAgent final : public Agent {
   std::filesystem::path shared_dir_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kLocalAgent};
   CondVar idle_cv_;
   bool started_ ENTK_GUARDED_BY(mutex_) = false;
   Count free_ ENTK_GUARDED_BY(mutex_);

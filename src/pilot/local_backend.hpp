@@ -50,7 +50,7 @@ class LocalBackend final : public ExecutionBackend {
   std::filesystem::path session_dir_;
   bool owns_session_dir_ = false;
 
-  mutable Mutex timers_mutex_;
+  mutable Mutex timers_mutex_{LockRank::kBackendTimers};
   std::vector<Timer> timers_ ENTK_GUARDED_BY(timers_mutex_);
 };
 

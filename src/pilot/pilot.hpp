@@ -58,7 +58,7 @@ class Pilot {
   const PilotDescription description_;
   const Clock& clock_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kPilot};
   PilotState state_ ENTK_GUARDED_BY(mutex_) = PilotState::kNew;
   Status final_status_ ENTK_GUARDED_BY(mutex_);
   TimePoint submitted_at_ ENTK_GUARDED_BY(mutex_) = kNoTime;

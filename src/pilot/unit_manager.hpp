@@ -101,7 +101,7 @@ class UnitManager {
     bool notified = false;  ///< Settled observers already fired.
   };
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kUnitManager};
   std::vector<PilotPtr> pilots_ ENTK_GUARDED_BY(mutex_);
   std::size_t next_pilot_ ENTK_GUARDED_BY(mutex_) = 0;  // round-robin cursor
   std::deque<ComputeUnitPtr> unrouted_ ENTK_GUARDED_BY(mutex_);

@@ -77,7 +77,7 @@ class Job {
   const JobDescription description_;
   const Clock& clock_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kSagaJob};
   CondVar final_cv_;
   JobState state_ ENTK_GUARDED_BY(mutex_) = JobState::kNew;
   Status final_status_ ENTK_GUARDED_BY(mutex_);

@@ -44,15 +44,18 @@ Result<JobPtr> LocalAdaptor::submit(JobDescription description) {
   auto job =
       std::make_shared<Job>(next_uid("job"), std::move(description), clock_);
   ENTK_CHECK(job->advance_state(JobState::kPending).is_ok(), "fresh job");
+  std::vector<JobPtr> started;
   {
     MutexLock lock(mutex_);
     waiting_.push_back(job);
-    try_start_locked();
+    started = try_start_locked();
   }
+  launch(std::move(started));
   return job;
 }
 
-void LocalAdaptor::try_start_locked() {
+std::vector<JobPtr> LocalAdaptor::try_start_locked() {
+  std::vector<JobPtr> started;
   while (!waiting_.empty()) {
     JobPtr job = waiting_.front();
     if (is_final(job->state())) {  // cancelled while waiting
@@ -60,25 +63,53 @@ void LocalAdaptor::try_start_locked() {
       continue;
     }
     const Count need = job->description().total_cpu_count;
-    if (need > free_) return;  // FIFO: head of queue blocks the rest
+    if (need > free_) break;  // FIFO: head of queue blocks the rest
     waiting_.pop_front();
     free_ -= need;
     running_.emplace(job.get(), job);
-    ENTK_CHECK(job->advance_state(JobState::kRunning).is_ok(),
-               "pending job failed to start");
-    if (job->description().payload) {
-      pool_->submit([this, job] {
-        const Status status = job->description().payload();
-        finish(job, status.is_ok() ? JobState::kDone : JobState::kFailed,
-               status);
-      });
+    started.push_back(std::move(job));
+  }
+  return started;
+}
+
+void LocalAdaptor::launch(std::vector<JobPtr> started) {
+  while (!started.empty()) {
+    std::vector<JobPtr> restarted;
+    for (JobPtr& job : started) {
+      if (job->advance_state(JobState::kRunning).is_ok()) {
+        if (job->description().payload) {
+          pool_->submit([this, job] {
+            const Status status = job->description().payload();
+            finish(job,
+                   status.is_ok() ? JobState::kDone : JobState::kFailed,
+                   status);
+          });
+        }
+        // Container jobs (no payload) keep their cores until
+        // complete().
+        continue;
+      }
+      // The job reached a final state between reservation and launch
+      // (cancel raced with start-up): return its cores, which may let
+      // further waiting jobs start.
+      MutexLock lock(mutex_);
+      const auto it = running_.find(job.get());
+      if (it == running_.end()) continue;  // raced with finish()
+      running_.erase(it);
+      free_ += job->description().total_cpu_count;
+      ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
+      auto more = try_start_locked();
+      restarted.insert(restarted.end(),
+                       std::make_move_iterator(more.begin()),
+                       std::make_move_iterator(more.end()));
     }
-    // Container jobs (no payload) keep their cores until complete().
+    started = std::move(restarted);
   }
 }
 
 void LocalAdaptor::finish(const JobPtr& job, JobState final_state,
                           Status failure) {
+  std::vector<JobPtr> started;
   {
     MutexLock lock(mutex_);
     const auto it = running_.find(job.get());
@@ -86,9 +117,10 @@ void LocalAdaptor::finish(const JobPtr& job, JobState final_state,
     running_.erase(it);
     free_ += job->description().total_cpu_count;
     ENTK_CHECK(free_ <= cores_, "core accounting out of sync");
-    try_start_locked();
+    started = try_start_locked();
   }
   (void)job->advance_state(final_state, std::move(failure));
+  launch(std::move(started));
 }
 
 Status LocalAdaptor::cancel(Job& job) {

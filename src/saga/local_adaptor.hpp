@@ -11,6 +11,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
@@ -42,7 +43,18 @@ class LocalAdaptor final : public JobService {
     JobPtr job;
   };
 
-  void try_start_locked() ENTK_REQUIRES(mutex_);
+  /// Reserves cores for as many waiting jobs as fit (FIFO) and moves
+  /// them into running_. Returns the reserved jobs WITHOUT advancing
+  /// their state: the caller must pass them to launch() after
+  /// releasing mutex_ — job-state callbacks drive the whole
+  /// pilot/unit-manager chain and must never fire under the adaptor
+  /// lock (LockRank::kLocalAdaptor orders below the locks they take).
+  std::vector<JobPtr> try_start_locked() ENTK_REQUIRES(mutex_);
+  /// Advances reserved jobs to kRunning and hands payloads to the
+  /// pool; returns reservations of jobs that reached a final state in
+  /// the window between reservation and launch (cancel racing with
+  /// start-up).
+  void launch(std::vector<JobPtr> started) ENTK_EXCLUDES(mutex_);
   void finish(const JobPtr& job, JobState final_state, Status failure)
       ENTK_EXCLUDES(mutex_);
 
@@ -50,7 +62,7 @@ class LocalAdaptor final : public JobService {
   WallClock clock_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kLocalAdaptor};
   Count free_ ENTK_GUARDED_BY(mutex_) = 0;
   std::deque<JobPtr> waiting_ ENTK_GUARDED_BY(mutex_);
   std::unordered_map<const Job*, JobPtr> running_ ENTK_GUARDED_BY(mutex_);

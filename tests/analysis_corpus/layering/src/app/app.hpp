@@ -1,0 +1,9 @@
+// Corpus: app -> util is declared in layering.toml, so this include
+// is fine.
+#pragma once
+
+#include "util/util.hpp"
+
+namespace corpus::app {
+int run();
+}  // namespace corpus::app

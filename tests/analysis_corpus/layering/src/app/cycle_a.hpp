@@ -1,0 +1,8 @@
+// Corpus: half of a seeded include cycle within one module.
+#pragma once
+
+#include "app/cycle_b.hpp"
+
+namespace corpus::app {
+int a();
+}  // namespace corpus::app

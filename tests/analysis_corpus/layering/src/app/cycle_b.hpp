@@ -1,0 +1,8 @@
+// Corpus: the other half of the seeded include cycle.
+#pragma once
+
+#include "app/cycle_a.hpp"
+
+namespace corpus::app {
+int b();
+}  // namespace corpus::app

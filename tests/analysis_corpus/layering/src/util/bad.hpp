@@ -1,0 +1,9 @@
+// Corpus: the seeded downward edge. util is a leaf, so including an
+// app header must produce an undeclared-dependency finding.
+#pragma once
+
+#include "app/app.hpp"
+
+namespace corpus::util {
+int escalate();
+}  // namespace corpus::util

@@ -1,0 +1,6 @@
+// Corpus: leaf module header with no includes.
+#pragma once
+
+namespace corpus::util {
+int answer();
+}  // namespace corpus::util

@@ -1,0 +1,23 @@
+// Corpus: every banned entk-lint token, hidden where only a
+// line-oriented scanner would see it. The lexer-based lint must
+// report zero violations on this file.
+//
+// In comments: std::mutex std::lock_guard std::condition_variable
+// steady_clock::now() thread.detach() sleep_for using namespace std
+/* block comment, same trick: std::unique_lock<std::mutex> lock(m);
+   system_clock::now(); worker.detach(); sleep_until(t); */
+
+const char* kDecoyString =
+    "std::mutex guard(std::condition_variable); std::scoped_lock";
+
+const char* kDecoyRaw = R"lint(
+  std::lock_guard<std::mutex> lock(m);
+  high_resolution_clock::now();
+  thread.detach();
+  std::this_thread::sleep_for(ms);
+  using namespace std;
+)lint";
+
+const char* kDecoyClock = "steady_clock::now()";
+
+const char kDecoyChar = 'm';  // as in "std::mutex"

@@ -1,0 +1,26 @@
+// Corpus: a seeded lock-order inversion. forward() acquires
+// first_ then second_; backward() acquires them in the opposite
+// order. The lock graph gets both edges, forming a two-node SCC the
+// analyzer must report as a lock-cycle (with a witness per edge).
+
+class Pair {
+ public:
+  void forward() {
+    MutexLock a(first_);
+    MutexLock b(second_);
+    touch();
+  }
+
+  void backward() {
+    MutexLock b(second_);
+    MutexLock a(first_);
+    touch();
+  }
+
+  void touch() { ++generation_; }
+
+ private:
+  Mutex first_;
+  Mutex second_;
+  int generation_ = 0;
+};

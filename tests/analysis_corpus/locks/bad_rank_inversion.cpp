@@ -1,0 +1,33 @@
+// Corpus: an acquisition order that contradicts the declared ranks
+// without forming a cycle. Manager (kHigh = 20) calls into Logbook
+// (kLow = 10) while holding its own lock, so the edge runs from a
+// high rank to a low one: a rank-inversion finding.
+
+enum class LockRank : int {
+  kNone = -1,
+  kLow = 10,
+  kHigh = 20,
+};
+
+class Logbook {
+ public:
+  void record() {
+    MutexLock lock(mutex_);
+    ++entries_;
+  }
+
+ private:
+  Mutex mutex_{LockRank::kLow};
+  int entries_ = 0;
+};
+
+class Manager {
+ public:
+  void update(Logbook& log) {
+    MutexLock lock(mutex_);
+    log.record();
+  }
+
+ private:
+  Mutex mutex_{LockRank::kHigh};
+};

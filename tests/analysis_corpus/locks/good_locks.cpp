@@ -1,0 +1,36 @@
+// Corpus: correctly ordered acquisitions. The analyzer must recover
+// the Outer -> Inner edge (through the inner_.value() call) and report
+// zero findings, because the edge agrees with the declared ranks.
+//
+// Corpus files are never compiled; they only need to *lex* like the
+// real tree, so the entk wrapper types appear undeclared.
+
+enum class LockRank : int {
+  kNone = -1,
+  kOuter = 10,
+  kInner = 20,
+};
+
+class Inner {
+ public:
+  int value() {
+    MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  Mutex mutex_{LockRank::kInner};
+  int value_ = 0;
+};
+
+class Outer {
+ public:
+  int read() {
+    MutexLock lock(mutex_);
+    return inner_.value();
+  }
+
+ private:
+  Mutex mutex_{LockRank::kOuter};
+  Inner inner_;
+};

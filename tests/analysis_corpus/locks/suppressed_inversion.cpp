@@ -1,0 +1,35 @@
+// Corpus: the same shape as bad_rank_inversion.cpp, but the witness
+// acquisition site carries an entk-analyze suppression — the analyzer
+// must drop the edge and report nothing. (In real code, always pair
+// the marker with a justification like the one below.)
+
+enum class LockRank : int {
+  kNone = -1,
+  kLow = 10,
+  kHigh = 20,
+};
+
+class Journal {
+ public:
+  void record() {
+    // The journal is only ever reached from Coordinator during shutdown,
+    // when no other thread can hold it. entk-analyze: allow(lock-order)
+    MutexLock lock(mutex_);
+    ++entries_;
+  }
+
+ private:
+  Mutex mutex_{LockRank::kLow};
+  int entries_ = 0;
+};
+
+class Coordinator {
+ public:
+  void update(Journal& log) {
+    MutexLock lock(mutex_);
+    log.record();
+  }
+
+ private:
+  Mutex mutex_{LockRank::kHigh};
+};

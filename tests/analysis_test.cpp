@@ -9,6 +9,7 @@
 #include "analysis/matrix.hpp"
 #include "analysis/pca.hpp"
 #include "common/rng.hpp"
+#include "md/ensemble_analysis.hpp"
 
 namespace entk::analysis {
 namespace {
@@ -164,7 +165,7 @@ std::vector<md::Frame> planted_frames(std::size_t n_frames,
 
 TEST(Pca, RecoversDominantMode) {
   const auto frames = planted_frames(40, 30, 2.0, 0.01, 81);
-  auto result = pca_frames(frames, 3);
+  auto result = md::pca_frames(frames, 3);
   ASSERT_TRUE(result.ok());
   const auto& pca = result.value();
   ASSERT_EQ(pca.eigenvalues.size(), 3u);
@@ -191,8 +192,8 @@ TEST(Pca, InvariantToRigidTranslation) {
   for (auto& frame : moved) {
     for (auto& p : frame.positions) p += md::Vec3{100.0, -50.0, 25.0};
   }
-  const auto a = pca_frames(frames, 2);
-  const auto b = pca_frames(moved, 2);
+  const auto a = md::pca_frames(frames, 2);
+  const auto b = md::pca_frames(moved, 2);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_NEAR(a.value().eigenvalues[0], b.value().eigenvalues[0], 1e-6);
@@ -200,12 +201,12 @@ TEST(Pca, InvariantToRigidTranslation) {
 }
 
 TEST(Pca, RejectsDegenerateInput) {
-  EXPECT_EQ(pca_frames({}, 2).status().code(), Errc::kInvalidArgument);
+  EXPECT_EQ(md::pca_frames({}, 2).status().code(), Errc::kInvalidArgument);
   const auto frames = planted_frames(5, 4, 1.0, 0.1, 85);
-  EXPECT_EQ(pca_frames(frames, 0).status().code(), Errc::kInvalidArgument);
+  EXPECT_EQ(md::pca_frames(frames, 0).status().code(), Errc::kInvalidArgument);
   auto inconsistent = frames;
   inconsistent[2].positions.pop_back();
-  EXPECT_EQ(pca_frames(inconsistent, 2).status().code(),
+  EXPECT_EQ(md::pca_frames(inconsistent, 2).status().code(),
             Errc::kInvalidArgument);
 }
 
@@ -221,7 +222,7 @@ TEST(Coco, FindsUnsampledRegionsAndReportsOccupancy) {
   options.n_components = 2;
   options.grid_bins = 6;
   options.n_new_points = 4;
-  auto result = coco_analysis({&t1, &t2}, options);
+  auto result = md::coco_analysis({&t1, &t2}, options);
   ASSERT_TRUE(result.ok()) << result.status().to_string();
   const auto& coco = result.value();
   EXPECT_GT(coco.occupancy, 0.0);
@@ -241,13 +242,13 @@ TEST(Coco, ValidatesOptions) {
   for (const auto& frame : frames) trajectory.add_frame(frame);
   CocoOptions bad;
   bad.n_components = 5;
-  EXPECT_EQ(coco_analysis({&trajectory}, bad).status().code(),
+  EXPECT_EQ(md::coco_analysis({&trajectory}, bad).status().code(),
             Errc::kInvalidArgument);
   bad = CocoOptions{};
   bad.grid_bins = 1;
-  EXPECT_EQ(coco_analysis({&trajectory}, bad).status().code(),
+  EXPECT_EQ(md::coco_analysis({&trajectory}, bad).status().code(),
             Errc::kInvalidArgument);
-  EXPECT_EQ(coco_analysis({}, CocoOptions{}).status().code(),
+  EXPECT_EQ(md::coco_analysis({}, CocoOptions{}).status().code(),
             Errc::kInvalidArgument);
 }
 
@@ -257,7 +258,7 @@ TEST(DiffusionMap, MarkovSpectrumIsBoundedByOne) {
   const auto frames = planted_frames(25, 12, 1.5, 0.05, 91);
   DiffusionMapOptions options;
   options.n_coordinates = 3;
-  auto result = diffusion_map_frames(frames, options);
+  auto result = md::diffusion_map_frames(frames, options);
   ASSERT_TRUE(result.ok()) << result.status().to_string();
   const auto& map = result.value();
   ASSERT_GE(map.eigenvalues.size(), 4u);
@@ -290,7 +291,7 @@ TEST(DiffusionMap, SeparatesTwoClusters) {
   }
   DiffusionMapOptions options;
   options.n_coordinates = 1;
-  auto result = diffusion_map_frames(frames, options);
+  auto result = md::diffusion_map_frames(frames, options);
   ASSERT_TRUE(result.ok());
   const auto& coords = result.value().coordinates;
   int sign_changes_within_cluster = 0;
@@ -311,14 +312,14 @@ TEST(DiffusionMap, LocalScalingWorks) {
   DiffusionMapOptions options;
   options.n_coordinates = 2;
   options.local_scale_neighbour = 3;  // LSDMap-style local epsilon
-  auto result = diffusion_map_frames(frames, options);
+  auto result = md::diffusion_map_frames(frames, options);
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result.value().eigenvalues[0], 1.0, 1e-8);
 }
 
 TEST(DiffusionMap, ValidatesInput) {
   DiffusionMapOptions options;
-  EXPECT_EQ(diffusion_map_frames({}, options).status().code(),
+  EXPECT_EQ(md::diffusion_map_frames({}, options).status().code(),
             Errc::kInvalidArgument);
   EXPECT_EQ(diffusion_map(Matrix(2, 3), options).status().code(),
             Errc::kInvalidArgument);

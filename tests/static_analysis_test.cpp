@@ -1,0 +1,284 @@
+// Tests of the static-analysis substrate behind entk-lint and
+// entk-analyze: the token-aware lexer, the shared suppression
+// grammar, the lock-order analyzer (against the seeded corpus in
+// tests/analysis_corpus/) and the module-layering checker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/cpp_lexer.hpp"
+#include "analysis/include_graph.hpp"
+#include "analysis/lock_graph.hpp"
+#include "analysis/suppressions.hpp"
+
+namespace entk::analysis {
+namespace {
+
+#ifndef ANALYSIS_CORPUS_DIR
+#error "ANALYSIS_CORPUS_DIR must point at tests/analysis_corpus"
+#endif
+
+std::string corpus(const std::string& relative) {
+  return std::string(ANALYSIS_CORPUS_DIR) + "/" + relative;
+}
+
+LexedFile lex_corpus(const std::string& relative) {
+  auto lexed = lex_file(corpus(relative));
+  EXPECT_TRUE(lexed.ok()) << lexed.status().to_string();
+  return lexed.take();
+}
+
+bool has_identifier(const LexedFile& file, const std::string& name) {
+  return std::any_of(file.tokens.begin(), file.tokens.end(),
+                     [&](const Token& t) {
+                       return t.kind == TokKind::kIdentifier &&
+                              t.text == name;
+                     });
+}
+
+// ----------------------------------------------------------- lexer
+
+TEST(CppLexer, TokensCarryPositionsAndKinds) {
+  const LexedFile file = lex_source("test.cpp",
+                                    "int main() {\n"
+                                    "  return 42;\n"
+                                    "}\n");
+  ASSERT_GE(file.tokens.size(), 7u);
+  EXPECT_EQ(file.tokens[0].text, "int");
+  EXPECT_EQ(file.tokens[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(file.tokens[0].line, 1);
+  EXPECT_EQ(file.tokens[0].column, 1);
+  const auto num = std::find_if(
+      file.tokens.begin(), file.tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kNumber; });
+  ASSERT_NE(num, file.tokens.end());
+  EXPECT_EQ(num->text, "42");
+  EXPECT_EQ(num->line, 2);
+}
+
+TEST(CppLexer, StringAndCommentBodiesProduceNoTokens) {
+  const LexedFile file = lex_source(
+      "decoy.cpp",
+      "// comment std::mutex here\n"
+      "/* block std::lock_guard */\n"
+      "const char* s = \"std::mutex inside literal\";\n"
+      "const char* r = R\"x(raw std::scoped_lock)x\";\n"
+      "char c = 'm';\n");
+  EXPECT_FALSE(has_identifier(file, "mutex"));
+  EXPECT_FALSE(has_identifier(file, "lock_guard"));
+  EXPECT_FALSE(has_identifier(file, "scoped_lock"));
+  // The literals still exist as single opaque tokens.
+  const auto strings = std::count_if(
+      file.tokens.begin(), file.tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kString; });
+  EXPECT_EQ(strings, 2);
+  // code_lines keeps the geometry but blanks the decoy text.
+  EXPECT_EQ(file.code_lines[2].find("std::mutex"), std::string::npos);
+  EXPECT_EQ(file.code_lines.size(), file.raw_lines.size());
+}
+
+TEST(CppLexer, IncludesAreRecordedButNotTokenized) {
+  const LexedFile file = lex_source("inc.cpp",
+                                    "#include \"common/mutex.hpp\"\n"
+                                    "#include <vector>\n"
+                                    "#define NOISE std::mutex\n"
+                                    "int x = 0;\n");
+  ASSERT_EQ(file.includes.size(), 2u);
+  EXPECT_EQ(file.includes[0].path, "common/mutex.hpp");
+  EXPECT_FALSE(file.includes[0].angled);
+  EXPECT_EQ(file.includes[0].line, 1);
+  EXPECT_EQ(file.includes[1].path, "vector");
+  EXPECT_TRUE(file.includes[1].angled);
+  // Directive bodies (the #define) stay out of the token stream.
+  EXPECT_FALSE(has_identifier(file, "mutex"));
+  EXPECT_TRUE(has_identifier(file, "x"));
+}
+
+TEST(CppLexer, CorpusDecoyHidesEveryBannedToken) {
+  const LexedFile file = lex_corpus("lint/string_decoy.cpp");
+  for (const char* banned :
+       {"mutex", "lock_guard", "unique_lock", "scoped_lock",
+        "condition_variable", "steady_clock", "system_clock",
+        "high_resolution_clock", "detach", "sleep_for", "sleep_until",
+        "namespace"}) {
+    EXPECT_FALSE(has_identifier(file, banned)) << banned;
+  }
+}
+
+// ----------------------------------------------------- suppressions
+
+TEST(Suppressions, TrailingMarkerCoversItsOwnLine) {
+  const LexedFile file = lex_source(
+      "s.cpp",
+      "int a = 1;\n"
+      "int b = 2;  // entk-lint: allow(raw-mutex)\n"
+      "int c = 3;\n");
+  const SuppressionSet set = scan_suppressions(file, "entk-lint");
+  EXPECT_FALSE(set.allows("raw-mutex", 1));
+  EXPECT_TRUE(set.allows("raw-mutex", 2));
+  EXPECT_FALSE(set.allows("raw-mutex", 3));
+  EXPECT_FALSE(set.allows("other-rule", 2));
+}
+
+TEST(Suppressions, StandaloneMarkerCoversWholeFollowingStatement) {
+  // The satellite fix: a standalone marker must cover a multi-line
+  // statement through its terminating ';', not just the next line.
+  const LexedFile file = lex_source(
+      "s.cpp",
+      "// entk-lint: allow(raw-mutex)\n"
+      "some_call(first,\n"
+      "          second,\n"
+      "          third);\n"
+      "after();\n");
+  const SuppressionSet set = scan_suppressions(file, "entk-lint");
+  EXPECT_TRUE(set.allows("raw-mutex", 2));
+  EXPECT_TRUE(set.allows("raw-mutex", 3));
+  EXPECT_TRUE(set.allows("raw-mutex", 4));
+  EXPECT_FALSE(set.allows("raw-mutex", 5));
+}
+
+TEST(Suppressions, FileMarkerCoversEverything) {
+  const LexedFile file = lex_source(
+      "s.cpp",
+      "// entk-lint: allow-file(raw-clock)\n"
+      "int late = 99;\n");
+  const SuppressionSet set = scan_suppressions(file, "entk-lint");
+  EXPECT_TRUE(set.allows("raw-clock", 2));
+  EXPECT_TRUE(set.allows("raw-clock", 999));
+}
+
+TEST(Suppressions, ToolsAreIndependent) {
+  const LexedFile file = lex_source(
+      "s.cpp", "int x = 0;  // entk-analyze: allow(lock-order)\n");
+  EXPECT_TRUE(
+      scan_suppressions(file, "entk-analyze").allows("lock-order", 1));
+  EXPECT_FALSE(
+      scan_suppressions(file, "entk-lint").allows("lock-order", 1));
+}
+
+// ------------------------------------------------------ lock graph
+
+TEST(LockGraph, GoodCorpusIsClean) {
+  const LockAnalysis analysis =
+      analyze_locks({lex_corpus("locks/good_locks.cpp")});
+  EXPECT_TRUE(analysis.findings.empty())
+      << analysis.findings.front().message;
+  EXPECT_EQ(analysis.lock_count, 2u);
+  // The call-expanded Outer -> Inner edge must exist.
+  EXPECT_EQ(analysis.edge_count, 1u);
+}
+
+TEST(LockGraph, DetectsSeededCycle) {
+  const LockAnalysis analysis =
+      analyze_locks({lex_corpus("locks/bad_lock_cycle.cpp")});
+  ASSERT_FALSE(analysis.findings.empty());
+  const auto cycle = std::find_if(
+      analysis.findings.begin(), analysis.findings.end(),
+      [](const LockFinding& f) { return f.rule == "lock-cycle"; });
+  ASSERT_NE(cycle, analysis.findings.end());
+  EXPECT_NE(cycle->message.find("Pair::first_"), std::string::npos);
+  EXPECT_NE(cycle->message.find("Pair::second_"), std::string::npos);
+  // Each edge of the cycle carries a concrete witness.
+  EXPECT_NE(cycle->message.find("bad_lock_cycle.cpp"),
+            std::string::npos);
+}
+
+TEST(LockGraph, DetectsSeededRankInversion) {
+  const LockAnalysis analysis =
+      analyze_locks({lex_corpus("locks/bad_rank_inversion.cpp")});
+  ASSERT_EQ(analysis.findings.size(), 1u);
+  const LockFinding& finding = analysis.findings.front();
+  EXPECT_EQ(finding.rule, "rank-inversion");
+  EXPECT_NE(finding.message.find("Manager::mutex_"), std::string::npos);
+  EXPECT_NE(finding.message.find("Logbook::mutex_"), std::string::npos);
+  EXPECT_NE(finding.message.find("kHigh=20"), std::string::npos);
+  EXPECT_NE(finding.message.find("kLow=10"), std::string::npos);
+}
+
+TEST(LockGraph, SuppressionAtAcquisitionSiteRemovesEdge) {
+  const LockAnalysis analysis =
+      analyze_locks({lex_corpus("locks/suppressed_inversion.cpp")});
+  EXPECT_TRUE(analysis.findings.empty())
+      << analysis.findings.front().message;
+}
+
+TEST(LockGraph, ExportsDotGraph) {
+  const LockAnalysis analysis =
+      analyze_locks({lex_corpus("locks/good_locks.cpp")});
+  EXPECT_NE(analysis.dot.find("digraph entk_locks"), std::string::npos);
+  EXPECT_NE(analysis.dot.find("Outer::mutex_"), std::string::npos);
+  EXPECT_NE(analysis.dot.find("->"), std::string::npos);
+}
+
+// -------------------------------------------------------- layering
+
+TEST(Layering, ParsesConfigSubset) {
+  auto config = parse_layering_config(
+      "# comment\n"
+      "[modules]\n"
+      "util = []\n"
+      "app  = [\"util\", \"base\"]  # trailing comment\n");
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  ASSERT_EQ(config.value().modules.size(), 2u);
+  EXPECT_TRUE(config.value().modules.at("util").empty());
+  EXPECT_EQ(config.value().modules.at("app").size(), 2u);
+  EXPECT_EQ(config.value().modules.at("app")[0], "util");
+
+  EXPECT_FALSE(parse_layering_config("[modules]\nbroken\n").ok());
+  EXPECT_FALSE(parse_layering_config("[modules]\na = [b]\n").ok());
+}
+
+std::vector<LexedFile> corpus_layering_tree() {
+  return {lex_corpus("layering/src/util/util.hpp"),
+          lex_corpus("layering/src/util/bad.hpp"),
+          lex_corpus("layering/src/app/app.hpp"),
+          lex_corpus("layering/src/app/cycle_a.hpp"),
+          lex_corpus("layering/src/app/cycle_b.hpp")};
+}
+
+TEST(Layering, DetectsSeededDownwardEdgeAndCycle) {
+  auto config =
+      load_layering_config(corpus("layering/layering.toml"));
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  const LayerAnalysis analysis =
+      analyze_layering(corpus_layering_tree(), config.value());
+  EXPECT_EQ(analysis.module_count, 2u);
+
+  const auto downward = std::find_if(
+      analysis.findings.begin(), analysis.findings.end(),
+      [](const LayerFinding& f) {
+        return f.rule == "undeclared-dependency";
+      });
+  ASSERT_NE(downward, analysis.findings.end());
+  EXPECT_NE(downward->file.find("util/bad.hpp"), std::string::npos);
+  EXPECT_NE(downward->message.find("`util` must not depend on `app`"),
+            std::string::npos);
+
+  const auto cycle = std::find_if(
+      analysis.findings.begin(), analysis.findings.end(),
+      [](const LayerFinding& f) { return f.rule == "include-cycle"; });
+  ASSERT_NE(cycle, analysis.findings.end());
+  EXPECT_NE(cycle->message.find("cycle_a.hpp"), std::string::npos);
+  EXPECT_NE(cycle->message.find("cycle_b.hpp"), std::string::npos);
+}
+
+TEST(Layering, FlagsUndeclaredModulesAndConfigCycles) {
+  LayeringConfig undeclared;
+  undeclared.modules["app"] = {};
+  const LayerAnalysis missing = analyze_layering(
+      {lex_corpus("layering/src/util/util.hpp")}, undeclared);
+  ASSERT_EQ(missing.findings.size(), 1u);
+  EXPECT_EQ(missing.findings.front().rule, "undeclared-module");
+
+  LayeringConfig cyclic;
+  cyclic.modules["a"] = {"b"};
+  cyclic.modules["b"] = {"a"};
+  const LayerAnalysis analysis = analyze_layering({}, cyclic);
+  ASSERT_EQ(analysis.findings.size(), 1u);
+  EXPECT_EQ(analysis.findings.front().rule, "config-cycle");
+}
+
+}  // namespace
+}  // namespace entk::analysis

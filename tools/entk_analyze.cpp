@@ -1,0 +1,158 @@
+// entk-analyze — whole-repo static analysis for the two properties a
+// unit test cannot see: lock acquisition order and module layering.
+//
+//   entk-analyze --locks src                     lock-order pass
+//   entk-analyze --layering --config tools/layering.toml src
+//   entk-analyze --locks --dot lock_graph.dot src
+//
+// With neither --locks nor --layering, both passes run. Findings go
+// to stderr as `file:line: [rule] message`; the summary goes to
+// stdout. Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//
+// The analyzer is deliberately compiler-free: it re-uses the
+// token-aware lexer behind entk-lint (analysis/cpp_lexer.hpp), so it
+// runs in CI in well under a second and never goes stale against the
+// build flags. See docs/CORRECTNESS.md for the lock-rank table and
+// the layering DAG this tool enforces, and
+// common/lock_rank.hpp (ENTK_LOCK_RANK_CHECK) for the runtime
+// validator that cross-checks the same order dynamically.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/cpp_lexer.hpp"
+#include "analysis/include_graph.hpp"
+#include "analysis/lock_graph.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: entk-analyze [--locks] [--layering] [--config <toml>]\n"
+      "                    [--dot <out.dot>] <source-root>...\n");
+  return 2;
+}
+
+bool is_source(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool run_locks = false;
+  bool run_layering = false;
+  std::string config_path;
+  std::string dot_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--locks") {
+      run_locks = true;
+    } else if (arg == "--layering") {
+      run_layering = true;
+    } else if (arg == "--config") {
+      if (++i >= argc) return usage();
+      config_path = argv[i];
+    } else if (arg == "--dot") {
+      if (++i >= argc) return usage();
+      dot_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+  if (!run_locks && !run_layering) run_locks = run_layering = true;
+
+  std::vector<entk::analysis::LexedFile> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+      std::fprintf(stderr, "entk-analyze: not a directory: %s\n",
+                   root.c_str());
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         it != end; it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file() || !is_source(it->path())) continue;
+      auto lexed =
+          entk::analysis::lex_file(it->path().generic_string());
+      if (!lexed.ok()) {
+        std::fprintf(stderr, "entk-analyze: %s\n",
+                     lexed.status().message().c_str());
+        return 2;
+      }
+      files.push_back(lexed.take());
+    }
+  }
+
+  std::size_t findings = 0;
+
+  if (run_locks) {
+    const entk::analysis::LockAnalysis locks =
+        entk::analysis::analyze_locks(files);
+    for (const entk::analysis::LockFinding& finding : locks.findings) {
+      std::fprintf(stderr, "%s:%d: [%s] %s\n", finding.file.c_str(),
+                   finding.line, finding.rule.c_str(),
+                   finding.message.c_str());
+    }
+    findings += locks.findings.size();
+    if (!dot_path.empty()) {
+      std::ofstream out(dot_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "entk-analyze: cannot write %s\n",
+                     dot_path.c_str());
+        return 2;
+      }
+      out << locks.dot;
+    }
+    std::printf(
+        "entk-analyze --locks: %zu files, %zu locks, %zu edges, "
+        "%zu functions, %zu findings\n",
+        files.size(), locks.lock_count, locks.edge_count,
+        locks.function_count, locks.findings.size());
+  }
+
+  if (run_layering) {
+    if (config_path.empty()) {
+      // Default: layering.toml next to this binary's source tree is
+      // unknowable; require the flag instead of guessing.
+      std::fprintf(stderr,
+                   "entk-analyze: --layering requires --config "
+                   "<layering.toml>\n");
+      return 2;
+    }
+    auto config = entk::analysis::load_layering_config(config_path);
+    if (!config.ok()) {
+      std::fprintf(stderr, "entk-analyze: %s\n",
+                   config.status().message().c_str());
+      return 2;
+    }
+    const entk::analysis::LayerAnalysis layers =
+        entk::analysis::analyze_layering(files, config.value());
+    for (const entk::analysis::LayerFinding& finding :
+         layers.findings) {
+      std::fprintf(stderr, "%s:%d: [%s] %s\n", finding.file.c_str(),
+                   finding.line, finding.rule.c_str(),
+                   finding.message.c_str());
+    }
+    findings += layers.findings.size();
+    std::printf(
+        "entk-analyze --layering: %zu files, %zu modules, %zu include "
+        "edges, %zu findings\n",
+        files.size(), layers.module_count, layers.edge_count,
+        layers.findings.size());
+  }
+
+  return findings == 0 ? 0 : 1;
+}

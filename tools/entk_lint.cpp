@@ -1,9 +1,13 @@
 // entk-lint: project-invariant checker for the EnTK C++ tree.
 //
-// A deliberately dependency-free static checker that walks source
-// roots (normally src/) and enforces the concurrency / hygiene
-// invariants the toolkit relies on. It runs as a CTest test, so `ctest`
-// fails whenever an invariant regresses. Rules:
+// A static checker that walks source roots (normally src/) and
+// enforces the concurrency / hygiene invariants the toolkit relies
+// on. It runs as a CTest test, so `ctest` fails whenever an invariant
+// regresses. Since it sits on the token-aware lexer in
+// analysis/cpp_lexer.hpp, tokens inside string literals, char
+// literals and comments are never matched — a line like
+//   log("do not use std::mutex here");
+// is not a violation. Rules:
 //
 //   raw-mutex              No naked std::mutex / std::lock_guard /
 //                          std::unique_lock / std::scoped_lock /
@@ -27,24 +31,32 @@
 //   using-namespace-header No `using namespace` at any scope in a
 //                          header; it leaks into every includer.
 //
-// Suppressions (always pair with a justification):
-//   // entk-lint: allow(<rule>)        suppress <rule> on this line and
-//                                      the next non-comment line
+// Suppressions (always pair with a justification; the grammar is
+// shared with entk-analyze — see analysis/suppressions.hpp):
+//   // entk-lint: allow(<rule>)        trailing: suppress on this line;
+//                                      standalone: suppress the whole
+//                                      following statement
 //   // entk-lint: allow-file(<rule>)   suppress <rule> for this file
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/cpp_lexer.hpp"
+#include "analysis/suppressions.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
+using entk::analysis::LexedFile;
+using entk::analysis::SuppressionSet;
+using entk::analysis::TokKind;
+using entk::analysis::Token;
 
 struct Violation {
-  fs::path file;
+  std::string file;
   std::size_t line = 0;  // 1-based; 0 for file-level findings
   std::string rule;
   std::string message;
@@ -55,17 +67,21 @@ struct FileReport {
   std::size_t suppressions_used = 0;
 };
 
-// The token table below necessarily spells the banned names.
-// entk-lint: allow-file(raw-mutex)
-constexpr const char* kRawMutexTokens[] = {
-    "std::mutex",       "std::timed_mutex", "std::recursive_mutex",
-    "std::shared_mutex", "std::condition_variable",
-    "std::lock_guard",  "std::unique_lock", "std::scoped_lock"};
+// The token tables are string literals, which the lexer keeps out of
+// the identifier stream — so unlike the old line-based scanner, this
+// file needs no allow-file markers for its own tables.
+const std::set<std::string>& raw_mutex_names() {
+  static const std::set<std::string> kNames = {
+      "mutex",      "timed_mutex", "recursive_mutex",    "shared_mutex",
+      "lock_guard", "unique_lock", "condition_variable", "scoped_lock"};
+  return kNames;
+}
 
-// The table spells the banned clock names. entk-lint: allow-file(raw-clock)
-constexpr const char* kRawClockTokens[] = {
-    "steady_clock::now", "system_clock::now",
-    "high_resolution_clock::now"};
+const std::set<std::string>& raw_clock_names() {
+  static const std::set<std::string> kNames = {
+      "steady_clock", "system_clock", "high_resolution_clock"};
+  return kNames;
+}
 
 bool is_header(const fs::path& path) { return path.extension() == ".hpp"; }
 bool is_source(const fs::path& path) { return path.extension() == ".cpp"; }
@@ -97,200 +113,81 @@ bool in_runtime_dir(const fs::path& relative) {
          p.find("/pilot/") != std::string::npos;
 }
 
-/// Strips // and /* */ comments from one line, tracking the block
-/// state across lines. String literals are left alone — suppressions
-/// exist for the rare literal that mentions a banned token.
-std::string strip_comments(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    if (line[i] == '/' && i + 1 < line.size()) {
-      if (line[i + 1] == '/') break;  // rest is a line comment
-      if (line[i + 1] == '*') {
-        in_block = true;
-        ++i;
-        continue;
-      }
-    }
-    out.push_back(line[i]);
-  }
-  return out;
-}
-
-/// Extracts `rule` from `entk-lint: allow(rule)` / allow-file(rule)
-/// markers in a raw line. Returns pairs of (rule, is_file_scope).
-std::vector<std::pair<std::string, bool>> parse_suppressions(
-    const std::string& line) {
-  std::vector<std::pair<std::string, bool>> result;
-  const std::string tag = "entk-lint: allow";
-  std::size_t at = 0;
-  while ((at = line.find(tag, at)) != std::string::npos) {
-    std::size_t cursor = at + tag.size();
-    bool file_scope = false;
-    if (line.compare(cursor, 5, "-file") == 0) {
-      file_scope = true;
-      cursor += 5;
-    }
-    if (cursor < line.size() && line[cursor] == '(') {
-      const std::size_t close = line.find(')', cursor);
-      if (close != std::string::npos) {
-        result.emplace_back(line.substr(cursor + 1, close - cursor - 1),
-                            file_scope);
-      }
-    }
-    at = cursor;
-  }
-  return result;
-}
-
-/// True if the stripped line calls `.detach()` / `->detach()`.
-bool calls_detach(const std::string& code) {
-  std::size_t at = 0;
-  while ((at = code.find("detach", at)) != std::string::npos) {
-    const std::size_t after = at + 6;
-    const bool called =
-        after < code.size() &&
-        code.find_first_not_of(" \t", after) != std::string::npos &&
-        code[code.find_first_not_of(" \t", after)] == '(';
-    const bool member = at > 0 && (code[at - 1] == '.' ||
-                                   (at > 1 && code[at - 1] == '>' &&
-                                    code[at - 2] == '-'));
-    if (called && member) return true;
-    at = after;
-  }
-  return false;
-}
-
-/// Returns the include target of an `#include "..."` / `<...>` line,
-/// or empty if the line is not an include directive.
-std::string include_target(const std::string& code) {
-  const std::size_t hash = code.find_first_not_of(" \t");
-  if (hash == std::string::npos || code[hash] != '#') return {};
-  const std::size_t kw = code.find_first_not_of(" \t", hash + 1);
-  if (kw == std::string::npos || code.compare(kw, 7, "include") != 0) {
-    return {};
-  }
-  const std::size_t open = code.find_first_of("\"<", kw + 7);
-  if (open == std::string::npos) return {};
-  const char close = code[open] == '"' ? '"' : '>';
-  const std::size_t end = code.find(close, open + 1);
-  if (end == std::string::npos) return {};
-  return code.substr(open + 1, end - open - 1);
-}
-
 FileReport lint_file(const fs::path& path, const fs::path& relative) {
   FileReport report;
-  std::ifstream stream(path);
-  if (!stream) {
+  auto lexed = entk::analysis::lex_file(generic(path));
+  if (!lexed.ok()) {
     report.violations.push_back(
-        {path, 0, "io", "cannot open file for reading"});
+        {generic(path), 0, "io", "cannot open file for reading"});
     return report;
   }
+  const LexedFile& file = lexed.value();
+  const SuppressionSet suppressions =
+      entk::analysis::scan_suppressions(file, "entk-lint");
 
-  std::vector<std::string> raw_lines;
-  for (std::string line; std::getline(stream, line);) {
-    raw_lines.push_back(std::move(line));
-  }
-
-  // Pass 1: collect suppressions.
-  std::set<std::string> file_allows;
-  std::set<std::pair<std::string, std::size_t>> line_allows;  // rule, line#
-  {
-    bool in_block = false;
-    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-      const bool was_in_block = in_block;
-      const std::string code = strip_comments(raw_lines[i], in_block);
-      const bool comment_only =
-          was_in_block ||
-          code.find_first_not_of(" \t") == std::string::npos;
-      for (const auto& [rule, file_scope] :
-           parse_suppressions(raw_lines[i])) {
-        if (file_scope) {
-          file_allows.insert(rule);
-        } else {
-          line_allows.insert({rule, i + 1});
-          // A standalone comment suppresses the following line too.
-          if (comment_only) line_allows.insert({rule, i + 2});
-        }
-      }
-    }
-  }
-
-  auto add = [&](std::size_t line_number, const std::string& rule,
+  std::set<std::pair<std::string, int>> reported;  // one per rule+line
+  auto add = [&](int line_number, const std::string& rule,
                  std::string message) {
-    if (file_allows.count(rule) ||
-        line_allows.count({rule, line_number})) {
+    if (!reported.insert({rule, line_number}).second) return;
+    if (suppressions.allows(rule, line_number)) {
       ++report.suppressions_used;
       return;
     }
-    report.violations.push_back(
-        {path, line_number, rule, std::move(message)});
+    report.violations.push_back({generic(path),
+                                 static_cast<std::size_t>(line_number),
+                                 rule, std::move(message)});
   };
 
-  // Pass 2: per-line token rules.
-  bool in_block = false;
-  std::string first_include;
-  std::size_t first_include_line = 0;
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    const std::string code = strip_comments(raw_lines[i], in_block);
-    const std::size_t line_number = i + 1;
+  const std::vector<Token>& tokens = file.tokens;
+  auto text = [&](std::size_t i) -> const std::string& {
+    static const std::string empty;
+    return i < tokens.size() ? tokens[i].text : empty;
+  };
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
 
-    if (first_include.empty()) {
-      const std::string target = include_target(code);
-      if (!target.empty()) {
-        first_include = target;
-        first_include_line = line_number;
-      }
+    if (!is_wrapper_header(path) && t.text == "std" &&
+        text(i + 1) == "::" &&
+        raw_mutex_names().count(text(i + 2)) != 0) {
+      add(t.line, "raw-mutex",
+          "std::" + text(i + 2) +
+              " is banned outside common/mutex.hpp; use entk::Mutex"
+              " / entk::MutexLock / entk::CondVar");
+      continue;
     }
 
-    if (!is_wrapper_header(path)) {
-      for (const char* token : kRawMutexTokens) {
-        if (code.find(token) != std::string::npos) {
-          add(line_number, "raw-mutex",
-              std::string(token) +
-                  " is banned outside common/mutex.hpp; use entk::Mutex"
-                  " / entk::MutexLock / entk::CondVar");
-          break;  // one finding per line is enough
-        }
-      }
+    if (!is_clock_header(path) &&
+        raw_clock_names().count(t.text) != 0 && text(i + 1) == "::" &&
+        text(i + 2) == "now") {
+      add(t.line, "raw-clock",
+          t.text +
+              "::now() is banned outside common/clock.hpp; stamp time "
+              "through entk::Clock (or steady_deadline_after for "
+              "CondVar deadlines)");
+      continue;
     }
 
-    if (!is_clock_header(path)) {
-      for (const char* token : kRawClockTokens) {
-        if (code.find(token) != std::string::npos) {
-          add(line_number, "raw-clock",
-              std::string(token) +
-                  "() is banned outside common/clock.hpp; stamp time "
-                  "through entk::Clock (or steady_deadline_after for "
-                  "CondVar deadlines)");
-          break;
-        }
-      }
-    }
-
-    if (calls_detach(code)) {
-      add(line_number, "thread-detach",
+    if (t.text == "detach" && i > 0 &&
+        (text(i - 1) == "." || text(i - 1) == "->") &&
+        text(i + 1) == "(") {
+      add(t.line, "thread-detach",
           "detach() is banned: detached threads outlive their owner "
           "and race process teardown; join via the owning object");
+      continue;
     }
 
     if (in_runtime_dir(relative) &&
-        (code.find("sleep_for") != std::string::npos ||
-         code.find("sleep_until") != std::string::npos)) {
-      add(line_number, "sleep-in-runtime",
+        (t.text == "sleep_for" || t.text == "sleep_until")) {
+      add(t.line, "sleep-in-runtime",
           "timed sleeps are banned in core/ and pilot/ runtime code; "
           "wait on an entk::CondVar instead");
+      continue;
     }
 
-    if (is_header(path) && code.find("using namespace") != std::string::npos) {
-      add(line_number, "using-namespace-header",
+    if (is_header(path) && t.text == "using" &&
+        text(i + 1) == "namespace") {
+      add(t.line, "using-namespace-header",
           "`using namespace` in a header leaks into every includer; "
           "use explicit qualification or a namespace alias");
     }
@@ -303,10 +200,11 @@ FileReport lint_file(const fs::path& path, const fs::path& relative) {
     if (fs::exists(header)) {
       const std::string expected = header.filename().string();
       const bool ok =
-          !first_include.empty() &&
-          fs::path(first_include).filename().string() == expected;
+          !file.includes.empty() &&
+          fs::path(file.includes.front().path).filename().string() ==
+              expected;
       if (!ok) {
-        add(first_include_line == 0 ? 1 : first_include_line,
+        add(file.includes.empty() ? 1 : file.includes.front().line,
             "own-header-first",
             "first include must be its own header \"" + expected +
                 "\" (proves the header is self-contained)");
@@ -362,9 +260,9 @@ int main(int argc, char** argv) {
   }
 
   for (const Violation& violation : violations) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n",
-                 generic(violation.file).c_str(), violation.line,
-                 violation.rule.c_str(), violation.message.c_str());
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", violation.file.c_str(),
+                 violation.line, violation.rule.c_str(),
+                 violation.message.c_str());
   }
   std::printf("entk-lint: %zu files, %zu violations, %zu suppressions\n",
               files.size(), violations.size(), suppressions);
