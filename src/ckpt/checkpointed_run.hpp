@@ -1,0 +1,56 @@
+// Checkpointed workload runs: core::run_workload with a Coordinator
+// attached — the front door `entk-run --checkpoint-dir/--resume` uses.
+//
+// A fresh run writes snapshots per the policy; a resumed run reads a
+// snapshot, verifies it matches the workload, rebuilds the runtime and
+// continues from the captured cut. A run stopped by the stop_requested
+// hook (or the crash_after_snapshots test hook) reports
+// checkpoint_stop = true with RunReport::outcome holding the
+// checkpoint-stop status; the written snapshot resumes it.
+//
+// Sim backend only (see snapshot.hpp for why).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ckpt/coordinator.hpp"
+#include "common/status.hpp"
+#include "core/resource_handle.hpp"
+#include "core/workload_file.hpp"
+#include "kernels/registry.hpp"
+
+namespace entk::ckpt {
+
+struct CheckpointedRunOptions {
+  /// Snapshot directory (required; created if missing).
+  std::string directory;
+  CheckpointPolicy policy;
+  /// Snapshot file to resume from ("" = fresh start).
+  std::string resume_path;
+  /// Test hook, see Coordinator::Options.
+  std::uint64_t crash_after_snapshots = 0;
+  /// Signal hook, see Coordinator::Options.
+  std::function<bool()> stop_requested;
+};
+
+struct CheckpointedRunResult {
+  core::RunReport report;
+  std::uint64_t snapshots_written = 0;
+  /// Path of the newest snapshot ("" if none was written).
+  std::string last_snapshot_path;
+  /// The run was deliberately stopped (signal or crash hook) after
+  /// writing a final snapshot; resume with last_snapshot_path.
+  bool checkpoint_stop = false;
+};
+
+/// core::run_workload with checkpoint/restart. The spec must use the
+/// sim backend; a resumed run must pass the same workload the snapshot
+/// was taken from (verified against the embedded workload text).
+Result<CheckpointedRunResult> run_workload_with_checkpoints(
+    const core::WorkloadSpec& spec,
+    const kernels::KernelRegistry& registry,
+    const CheckpointedRunOptions& options);
+
+}  // namespace entk::ckpt

@@ -1,0 +1,76 @@
+#include "common/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace entk {
+
+namespace {
+
+Status io_error(const std::string& what, const std::string& path) {
+  return Status(Errc::kIoError,
+                what + " '" + path + "': " + std::strerror(errno));
+}
+
+// Best-effort fsync of the directory holding `path` so the rename
+// itself survives a crash. Failure is non-fatal: the data file is
+// already durable, only the directory entry may lag.
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error("cannot create temp file", tmp);
+
+  const char* data = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return io_error("write failed for", tmp);
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return io_error("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return io_error("close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return io_error("rename failed onto", path);
+  }
+  sync_parent_dir(path);
+  return Status::ok();
+}
+
+Status AtomicFileWriter::commit() {
+  return write_file_atomic(path_, buffer_.str());
+}
+
+}  // namespace entk

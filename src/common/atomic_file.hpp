@@ -1,0 +1,41 @@
+// Crash-consistent file publication: write-temp + fsync + atomic rename.
+//
+// Every run artifact the toolkit persists (checkpoints, traces, metrics,
+// bench results) goes through this helper so a mid-write crash never
+// leaves a torn or partial file behind: readers observe either the old
+// complete file or the new complete file, nothing in between.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace entk {
+
+/// Writes `contents` to `path` crash-consistently. The bytes land in a
+/// sibling temporary file first, are fsync'd to stable storage, and the
+/// temp file is renamed over `path` in one atomic step.
+Status write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Buffered drop-in for std::ofstream-style export code: stream into
+/// out(), then commit() publishes the whole buffer atomically (or, on
+/// error, nothing at all — the destination is left untouched).
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path) : path_(std::move(path)) {}
+
+  std::ostream& out() { return buffer_; }
+  const std::string& path() const { return path_; }
+
+  /// Publishes the buffered bytes; safe to call at most once.
+  Status commit();
+
+ private:
+  std::string path_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace entk

@@ -57,6 +57,23 @@ class Xoshiro256 {
   /// Forks an independent stream (for per-replica / per-task RNGs).
   Xoshiro256 split();
 
+  /// Full generator state for checkpoint/restart. Restoring a saved
+  /// state resumes the exact same deviate sequence (including a cached
+  /// Box–Muller half-pair).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State save_state() const {
+    return State{state_, cached_normal_, has_cached_normal_};
+  }
+  void restore_state(const State& state) {
+    state_ = state.words;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

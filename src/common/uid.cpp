@@ -1,5 +1,6 @@
 #include "common/uid.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -72,6 +73,29 @@ void reset_uid_counters_for_testing() {
   SharedMutexLock lock(g_mutex);
   for (auto& [prefix, counter] : counters()) {
     counter->next.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> snapshot_uid_counters() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    SharedReaderLock lock(g_mutex);
+    out.reserve(counters().size());
+    for (const auto& [prefix, counter] : counters()) {
+      out.emplace_back(prefix, counter->next.load(std::memory_order_relaxed));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void restore_uid_counters(
+    const std::vector<std::pair<std::string, std::uint64_t>>& snapshot) {
+  SharedMutexLock lock(g_mutex);
+  for (const auto& [prefix, value] : snapshot) {
+    auto& slot = counters()[prefix];
+    if (slot == nullptr) slot = std::make_unique<detail::PrefixCounter>();
+    slot->next.store(value, std::memory_order_relaxed);
   }
 }
 

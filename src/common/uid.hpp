@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace entk {
 
@@ -46,5 +48,15 @@ class UidSource {
 /// Resets all counters; intended for test isolation only. Interned
 /// UidSource handles remain valid (counters restart at zero).
 void reset_uid_counters_for_testing();
+
+/// Snapshot of every (prefix, next-counter) pair, sorted by prefix so
+/// the result is deterministic. Used by checkpoint/restart.
+std::vector<std::pair<std::string, std::uint64_t>> snapshot_uid_counters();
+
+/// Restores counter values from a snapshot (creating missing prefixes).
+/// Prefixes absent from the snapshot are left untouched; callers that
+/// need a clean slate should reset_uid_counters_for_testing() first.
+void restore_uid_counters(
+    const std::vector<std::pair<std::string, std::uint64_t>>& snapshot);
 
 }  // namespace entk

@@ -130,4 +130,13 @@ std::vector<pilot::ComputeUnitPtr> ExecutionPlugin::all_units() const {
   return all_units_;
 }
 
+void ExecutionPlugin::restore_state(
+    Duration pattern_overhead, std::vector<pilot::ComputeUnitPtr> units) {
+  MutexLock lock(mutex_);
+  ENTK_CHECK(all_units_.empty(),
+             "cannot restore into a plugin that already submitted units");
+  pattern_overhead_ = pattern_overhead;
+  all_units_ = std::move(units);
+}
+
 }  // namespace entk::core

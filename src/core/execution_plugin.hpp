@@ -52,6 +52,14 @@ class ExecutionPlugin final : public PatternExecutor {
   /// Every unit this plugin has submitted, in submission order.
   std::vector<pilot::ComputeUnitPtr> all_units() const ENTK_EXCLUDES(mutex_);
 
+  /// Checkpoint restore: injects the accumulated overhead and the
+  /// submission-ordered unit list captured by a snapshot. The unit
+  /// order is the snapshot's canonical serialization order, so it must
+  /// be reproduced exactly.
+  void restore_state(Duration pattern_overhead,
+                     std::vector<pilot::ComputeUnitPtr> units)
+      ENTK_EXCLUDES(mutex_);
+
  private:
   const kernels::KernelRegistry& registry_;
   pilot::UnitManager& unit_manager_;

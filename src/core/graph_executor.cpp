@@ -62,6 +62,15 @@ Status GraphExecutor::run() {
     MutexLock lock(mutex_);
     sync_graph_locked();
   }
+  return drive_run();
+}
+
+Status GraphExecutor::resume() {
+  ENTK_RETURN_IF_ERROR(graph_.validate());
+  return drive_run();
+}
+
+Status GraphExecutor::drive_run() {
   use_events_ = executor_.subscribe_settled(
       [this](const pilot::ComputeUnitPtr& unit, pilot::UnitState) {
         on_unit_settled(unit);
@@ -611,6 +620,12 @@ bool GraphExecutor::handle_quiesce() {
       finish_locked(produced.status());
       return false;
     }
+    {
+      // Log the invocation (even unproductive ones): a checkpoint
+      // restore replays this script to regrow the graph.
+      MutexLock lock(mutex_);
+      expander_log_.emplace_back(top, produced.value());
+    }
     if (produced.value()) return true;  // more work scheduled
     MutexLock lock(mutex_);
     ENTK_CHECK(!expander_stack_.empty() && expander_stack_.back() == top,
@@ -633,6 +648,115 @@ bool GraphExecutor::handle_quiesce() {
   }
   finish_locked(Status::ok());
   return false;
+}
+
+GraphExecutor::SavedState GraphExecutor::save_state() const {
+  MutexLock lock(mutex_);
+  ENTK_CHECK(events_.empty(),
+             "checkpoint capture with undrained settlement events");
+  SavedState saved;
+  saved.nodes.reserve(runs_.size());
+  for (const NodeRun& run : runs_) {
+    SavedState::Node node;
+    node.status = run.status;
+    if (run.unit) node.unit_uid = run.unit->uid();
+    node.error = run.error;
+    saved.nodes.push_back(std::move(node));
+  }
+  saved.groups.reserve(group_runs_.size());
+  for (const GroupRun& run : group_runs_) {
+    saved.groups.push_back({run.settled, run.done, run.decided, run.passed});
+  }
+  saved.chain_sets_decided = chain_sets_decided_;
+  saved.expander_stack = expander_stack_;
+  saved.expanders_seen = expanders_seen_;
+  saved.expander_log = expander_log_;
+  saved.errors = errors_;
+  saved.inflight = inflight_;
+  saved.submitted_count = submitted_count_;
+  saved.aborted = aborted_;
+  saved.abort_status = abort_status_;
+  return saved;
+}
+
+Status GraphExecutor::replay_expander_log(
+    const std::vector<std::pair<std::size_t, bool>>& log) {
+  for (const auto& [index, expected_produced] : log) {
+    if (index >= graph_.expander_count()) {
+      return make_error(Errc::kInternal,
+                        "checkpoint replay: expander index " +
+                            std::to_string(index) +
+                            " out of range (graph has " +
+                            std::to_string(graph_.expander_count()) +
+                            " expanders)");
+    }
+    graph_.bump_generation();
+    auto produced = graph_.expander(index)(graph_);
+    if (!produced.ok()) {
+      return make_error(Errc::kInternal,
+                        "checkpoint replay: expander " +
+                            std::to_string(index) + " failed: " +
+                            produced.status().message());
+    }
+    if (produced.value() != expected_produced) {
+      return make_error(
+          Errc::kInternal,
+          "checkpoint replay: expander " + std::to_string(index) +
+              " diverged from the log (non-deterministic pattern?)");
+    }
+  }
+  {
+    MutexLock lock(mutex_);
+    expander_log_ = log;
+  }
+  return Status::ok();
+}
+
+void GraphExecutor::restore_state(const SavedState& saved,
+                                  const UnitResolver& resolve) {
+  MutexLock lock(mutex_);
+  // Seed the incremental worklists for the whole (replayed) graph
+  // first. The spurious candidates this enqueues are harmless: at a
+  // valid capture cut every ready node was already submitted and no
+  // skip propagation is pending, so the first pump drains them as
+  // no-ops.
+  sync_graph_locked();
+  ENTK_CHECK(saved.nodes.size() == runs_.size(),
+             "checkpoint node count does not match the replayed graph");
+  ENTK_CHECK(saved.groups.size() == group_runs_.size(),
+             "checkpoint group count does not match the replayed graph");
+  for (NodeId id = 0; id < runs_.size(); ++id) {
+    NodeRun& run = runs_[id];
+    const SavedState::Node& node = saved.nodes[id];
+    run.status = node.status;
+    run.error = node.error;
+    if (!node.unit_uid.empty()) {
+      run.unit = resolve(node.unit_uid);
+      ENTK_CHECK(run.unit != nullptr,
+                 "checkpoint references unknown unit " + node.unit_uid);
+      node_of_[run.unit.get()] = id;
+    }
+  }
+  for (GroupId gid = 0; gid < group_runs_.size(); ++gid) {
+    GroupRun& run = group_runs_[gid];
+    const SavedState::Group& group = saved.groups[gid];
+    run.settled = group.settled;
+    run.done = group.done;
+    run.decided = group.decided;
+    run.passed = group.passed;
+  }
+  ENTK_CHECK(saved.chain_sets_decided.size() == chain_sets_decided_.size(),
+             "checkpoint chain-set count does not match the graph");
+  chain_sets_decided_ = saved.chain_sets_decided;
+  expander_stack_ = saved.expander_stack;
+  expanders_seen_ = saved.expanders_seen;
+  errors_ = saved.errors;
+  inflight_ = saved.inflight;
+  submitted_count_ = saved.submitted_count;
+  aborted_ = saved.aborted;
+  abort_status_ = saved.abort_status;
+  // An aborted snapshot already ran its one skip sweep.
+  abort_swept_ = saved.aborted;
 }
 
 void GraphExecutor::finish_locked(Status outcome) {

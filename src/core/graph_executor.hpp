@@ -67,11 +67,61 @@ class GraphExecutor {
   /// scopes, or the backend's wait error (deadlock, timeout).
   Status run();
 
+  /// Continues a run rebuilt from a checkpoint: same event loop as
+  /// run(), but the graph and executor state were injected by
+  /// restore_state() instead of starting from scratch.
+  Status resume();
+
   /// Post-run introspection (tests, tools).
   NodeStatus node_status(NodeId id) const ENTK_EXCLUDES(mutex_);
   std::size_t nodes_submitted() const ENTK_EXCLUDES(mutex_);
 
+  // --- checkpoint/restart (ckpt::Coordinator only) ---
+  struct SavedState {
+    struct Node {
+      NodeStatus status = NodeStatus::kPending;
+      std::string unit_uid;  ///< empty when no unit was adopted
+      Status error;
+    };
+    struct Group {
+      std::size_t settled = 0;
+      std::size_t done = 0;
+      bool decided = false;
+      bool passed = false;
+    };
+    std::vector<Node> nodes;
+    std::vector<Group> groups;
+    std::vector<bool> chain_sets_decided;
+    std::vector<std::size_t> expander_stack;
+    std::size_t expanders_seen = 0;
+    /// Every expander invocation so far as (index, produced) — replayed
+    /// on restore to regrow the graph deterministically.
+    std::vector<std::pair<std::size_t, bool>> expander_log;
+    std::vector<std::pair<NodeId, Status>> errors;
+    std::size_t inflight = 0;
+    std::size_t submitted_count = 0;
+    bool aborted = false;
+    Status abort_status;
+  };
+  using UnitResolver =
+      std::function<pilot::ComputeUnitPtr(const std::string&)>;
+  /// Captures the executor at an engine-step boundary (events_ drained,
+  /// no pump active).
+  SavedState save_state() const ENTK_EXCLUDES(mutex_);
+  /// Replays the captured expander invocations against the freshly
+  /// compiled graph, regrowing the adaptive generations. Must run
+  /// before restore_state(); fails if an expander diverges from the
+  /// log (non-deterministic pattern).
+  Status replay_expander_log(
+      const std::vector<std::pair<std::size_t, bool>>& log);
+  /// Injects the captured runtime state; `resolve` maps unit uids back
+  /// to restored units.
+  void restore_state(const SavedState& saved, const UnitResolver& resolve)
+      ENTK_EXCLUDES(mutex_);
+
  private:
+  /// Shared tail of run()/resume(): subscribe, pump, wait, verdict.
+  Status drive_run();
   struct Event {
     NodeId node;
     pilot::UnitState state;
@@ -147,6 +197,10 @@ class GraphExecutor {
   /// LIFO of pending expander indices (innermost on top).
   std::vector<std::size_t> expander_stack_ ENTK_GUARDED_BY(mutex_);
   std::size_t expanders_seen_ ENTK_GUARDED_BY(mutex_) = 0;
+  /// Chronological (index, produced) record of expander invocations —
+  /// the checkpoint replay script for adaptive graph growth.
+  std::vector<std::pair<std::size_t, bool>> expander_log_
+      ENTK_GUARDED_BY(mutex_);
   std::unordered_map<const pilot::ComputeUnit*, NodeId> node_of_
       ENTK_GUARDED_BY(mutex_);
   std::deque<Event> events_ ENTK_GUARDED_BY(mutex_);

@@ -19,7 +19,17 @@ Status ExecutionPattern::execute(PatternExecutor& executor) {
   TaskGraph graph;
   ENTK_RETURN_IF_ERROR(compile(graph));
   GraphExecutor runner(graph, executor);
-  const Status outcome = runner.run();
+  bool resuming = false;
+  if (graph_run_observer_ != nullptr) {
+    auto prepared =
+        graph_run_observer_->prepare_run(graph, runner, executor);
+    if (!prepared.ok()) return prepared.status();
+    resuming = prepared.value();
+  }
+  const Status outcome = resuming ? runner.resume() : runner.run();
+  if (graph_run_observer_ != nullptr) {
+    graph_run_observer_->on_graph_run_end(runner, outcome);
+  }
   on_graph_executed();
   return outcome;
 }

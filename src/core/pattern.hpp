@@ -29,6 +29,8 @@
 
 namespace entk::core {
 
+class GraphExecutor;
+
 /// The pattern-facing execution interface, implemented by the
 /// execution plugin. submit() translates specs into compute units and
 /// hands them to the runtime; drive_until() advances execution;
@@ -54,6 +56,36 @@ class PatternExecutor {
   /// back to per-unit watch_unit callbacks.
   virtual bool subscribe_settled(SettledFn) { return false; }
   virtual void unsubscribe_settled() {}
+};
+
+/// Hook between a pattern's compile and run steps — the attachment
+/// point for the checkpoint/restart coordinator (entk::ckpt). The
+/// observer sees the compiled graph and the executor before the run
+/// starts and may inject a restored state; it keeps the runner pointer
+/// until on_graph_run_end, so it can capture snapshots mid-run.
+class GraphRunObserver {
+ public:
+  virtual ~GraphRunObserver() = default;
+
+  /// Called after compile(), before the run starts. Return true to
+  /// continue a restored run (the pattern then calls resume() instead
+  /// of run()); the observer must have replayed the expander log and
+  /// injected the saved state first.
+  virtual Result<bool> prepare_run(TaskGraph& graph, GraphExecutor& runner,
+                                   PatternExecutor& executor) {
+    (void)graph;
+    (void)runner;
+    (void)executor;
+    return false;
+  }
+
+  /// Called after the run finishes (pass or fail). The runner is
+  /// destroyed right after this returns.
+  virtual void on_graph_run_end(GraphExecutor& runner,
+                                const Status& outcome) {
+    (void)runner;
+    (void)outcome;
+  }
 };
 
 class ExecutionPattern {
@@ -85,12 +117,21 @@ class ExecutionPattern {
   void set_failure_rules(FailureRules rules) { failure_rules_ = rules; }
   const FailureRules& failure_rules() const { return failure_rules_; }
 
+  /// Attaches (or detaches, with nullptr) the run observer. Not owned;
+  /// must outlive execute(). Only consulted on the pattern execute()
+  /// is called on — children of composite patterns run inside the
+  /// parent's graph and need no observer of their own.
+  void set_graph_run_observer(GraphRunObserver* observer) {
+    graph_run_observer_ = observer;
+  }
+
  protected:
   /// Called after graph execution, successful or not (patterns rebuild
   /// derived unit views here).
   virtual void on_graph_executed() {}
 
   FailureRules failure_rules_;
+  GraphRunObserver* graph_run_observer_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

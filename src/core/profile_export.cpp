@@ -1,8 +1,8 @@
 #include "core/profile_export.hpp"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/strings.hpp"
 
 namespace entk::core {
@@ -55,21 +55,10 @@ std::string overheads_csv(const OverheadProfile& overheads) {
 
 Status export_run_profile(const RunReport& report,
                           const std::string& path_prefix) {
-  {
-    std::ofstream units_file(path_prefix + "_units.csv");
-    if (!units_file) {
-      return make_error(Errc::kIoError,
-                        "cannot open " + path_prefix + "_units.csv");
-    }
-    units_file << units_timeline_csv(report.units);
-  }
-  std::ofstream overheads_file(path_prefix + "_overheads.csv");
-  if (!overheads_file) {
-    return make_error(Errc::kIoError,
-                      "cannot open " + path_prefix + "_overheads.csv");
-  }
-  overheads_file << overheads_csv(report.overheads);
-  return Status::ok();
+  ENTK_RETURN_IF_ERROR(write_file_atomic(
+      path_prefix + "_units.csv", units_timeline_csv(report.units)));
+  return write_file_atomic(path_prefix + "_overheads.csv",
+                           overheads_csv(report.overheads));
 }
 
 }  // namespace entk::core

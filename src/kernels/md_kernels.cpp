@@ -6,6 +6,11 @@
 // system on one reference core costs ~O(100 s), matching the paper's
 // scale — and (b) a real payload that integrates/analyses the toy MD
 // system on the local backend.
+//
+// Kernel outputs land in the unit's private sandbox and are rewritten
+// from scratch on retry, so a torn file is repaired by the fault
+// tier, not by crash-consistent writes.
+// entk-lint: allow-file(raw-file-write)
 #include <fstream>
 #include <sstream>
 

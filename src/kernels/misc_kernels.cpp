@@ -1,5 +1,10 @@
 // Utility kernels: the paper's mkfile/ccount validation workloads plus
 // sleep and checksum helpers used by tests and ablations.
+//
+// Kernel outputs land in the unit's private sandbox and are rewritten
+// from scratch on retry, so a torn file is repaired by the fault
+// tier, not by crash-consistent writes.
+// entk-lint: allow-file(raw-file-write)
 #include <chrono>
 #include <cstdint>
 #include <fstream>

@@ -2,10 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
 #include <set>
 #include <sstream>
 #include <utility>
+
+#include "common/atomic_file.hpp"
 
 namespace entk::obs {
 namespace {
@@ -136,17 +137,7 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
 
 Status write_chrome_trace(const std::string& path,
                           const std::vector<TraceEvent>& events) {
-  std::ofstream out(path);
-  if (!out) {
-    return make_error(Errc::kIoError,
-                      "cannot open trace output: " + path);
-  }
-  out << to_chrome_trace(events);
-  out.close();
-  if (!out) {
-    return make_error(Errc::kIoError, "failed writing trace: " + path);
-  }
-  return Status::ok();
+  return write_file_atomic(path, to_chrome_trace(events));
 }
 
 }  // namespace entk::obs

@@ -37,7 +37,9 @@
   X(kGraphNodesSubmitted, "graph.nodes_submitted")                     \
   X(kGraphNodesSkipped, "graph.nodes_skipped")                         \
   X(kSagaJobsSubmitted, "saga.jobs_submitted")                         \
-  X(kStagingDirectives, "staging.directives")
+  X(kStagingDirectives, "staging.directives")                          \
+  X(kCheckpointsWritten, "ckpt.snapshots_written")                     \
+  X(kCheckpointRestores, "ckpt.restores")
 
 /// Last-write-wins instantaneous values.
 #define ENTK_WELL_KNOWN_GAUGES(X)                                      \

@@ -7,6 +7,7 @@
 // execution and resource management.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -48,7 +49,11 @@ class ExecutionBackend {
   /// engine event on the simulated backend; a timer drained by
   /// drive_until on the local one). Used by the unit manager for
   /// retry-backoff delays. The callback may re-enter the runtime.
-  virtual void schedule_after(Duration delay, std::function<void()> fn) = 0;
+  /// Returns an opaque timer token (the sim::EventId on the simulated
+  /// backend; 0 on backends that cannot introspect timers) so
+  /// checkpointing can capture pending retries.
+  virtual std::uint64_t schedule_after(Duration delay,
+                                       std::function<void()> fn) = 0;
 
   /// Charges `cost` seconds of client-side work to this backend's
   /// clock: the simulated backend advances virtual time (running any

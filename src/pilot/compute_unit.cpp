@@ -161,6 +161,34 @@ void ComputeUnit::note_retry() {
   ++retries_;
 }
 
+ComputeUnit::SavedState ComputeUnit::save_state() const {
+  MutexLock lock(mutex_);
+  SavedState saved;
+  saved.state = state_;
+  saved.final_status = final_status_;
+  saved.retries = retries_;
+  saved.epoch = epoch_;
+  saved.created_at = created_at_;
+  saved.submitted_at = submitted_at_;
+  saved.exec_started_at = exec_started_at_;
+  saved.exec_stopped_at = exec_stopped_at_;
+  saved.finished_at = finished_at_;
+  return saved;
+}
+
+void ComputeUnit::restore_state(const SavedState& saved) {
+  MutexLock lock(mutex_);
+  state_ = saved.state;
+  final_status_ = saved.final_status;
+  retries_ = saved.retries;
+  epoch_ = saved.epoch;
+  created_at_ = saved.created_at;
+  submitted_at_ = saved.submitted_at;
+  exec_started_at_ = saved.exec_started_at;
+  exec_stopped_at_ = saved.exec_stopped_at;
+  finished_at_ = saved.finished_at;
+}
+
 Status ComputeUnit::reset_for_retry() {
   MutexLock lock(mutex_);
   if (state_ != UnitState::kFailed) {

@@ -72,6 +72,24 @@ class ComputeUnit {
   /// Rewinds a failed unit to kPendingExecution for resubmission.
   Status reset_for_retry() ENTK_EXCLUDES(mutex_);
 
+  // --- checkpoint/restart (ckpt::Coordinator only) ---
+  /// All mutable state apart from callbacks (re-wired on restore).
+  struct SavedState {
+    UnitState state = UnitState::kNew;
+    Status final_status;
+    Count retries = 0;
+    Count epoch = 0;
+    TimePoint created_at = kNoTime;
+    TimePoint submitted_at = kNoTime;
+    TimePoint exec_started_at = kNoTime;
+    TimePoint exec_stopped_at = kNoTime;
+    TimePoint finished_at = kNoTime;
+  };
+  SavedState save_state() const ENTK_EXCLUDES(mutex_);
+  /// Injects a saved state directly; fires no callbacks and performs no
+  /// transition validation (the snapshot was valid when taken).
+  void restore_state(const SavedState& saved) ENTK_EXCLUDES(mutex_);
+
  private:
   /// Terminal with no retry budget left: no further transition (and
   /// therefore no callback) is possible.

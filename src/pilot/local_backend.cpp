@@ -50,11 +50,12 @@ Result<std::unique_ptr<Agent>> LocalBackend::make_agent(
       session_dir_ / next_uid("pilot-session")));
 }
 
-void LocalBackend::schedule_after(Duration delay,
-                                  std::function<void()> fn) {
+std::uint64_t LocalBackend::schedule_after(Duration delay,
+                                           std::function<void()> fn) {
   MutexLock lock(timers_mutex_);
   timers_.push_back({clock().now() + std::max<Duration>(delay, 0.0),
                      std::move(fn)});
+  return 0;
 }
 
 void LocalBackend::fire_due_timers() {

@@ -30,7 +30,9 @@ class LocalBackend final : public ExecutionBackend {
   Status drive_until(const std::function<bool()>& done,
                      Duration timeout = kTimeInfinity) override;
   /// Timers are drained by whichever thread is inside drive_until.
-  void schedule_after(Duration delay, std::function<void()> fn) override
+  /// Always returns 0: local timers are not checkpointable.
+  std::uint64_t schedule_after(Duration delay,
+                               std::function<void()> fn) override
       ENTK_EXCLUDES(timers_mutex_);
   void advance(Duration) override {}  // real work takes real time
   std::string name() const override { return "local"; }

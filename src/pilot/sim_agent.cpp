@@ -91,6 +91,7 @@ std::vector<ComputeUnitPtr> SimAgent::evict_inflight() {
   std::map<std::uint64_t, ComputeUnitPtr> inflight;
   inflight.swap(active_);
   active_seq_.clear();
+  unit_events_.clear();
   for (auto& [seq, unit] : inflight) {
     free_ += unit->description().cores;
     --running_;
@@ -158,6 +159,7 @@ bool SimAgent::deactivate(const ComputeUnit* unit) {
   if (it == active_seq_.end()) return false;
   active_.erase(it->second);
   active_seq_.erase(it);
+  unit_events_.erase(unit);
   return true;
 }
 
@@ -190,6 +192,7 @@ void SimAgent::handle_node_failure() {
     ComputeUnitPtr victim = std::move(newest->second);
     active_seq_.erase(victim.get());
     active_.erase(newest);
+    unit_events_.erase(victim.get());
     --running_;
     const Count cores = victim->description().cores;
     if (cores >= deficit) {
@@ -246,18 +249,7 @@ void SimAgent::launch(ComputeUnitPtr unit) {
   // Transient launch failure: the spawn itself fails — no execution,
   // no output staging; a retry usually succeeds.
   if (faults_ != nullptr && faults_->draw_launch_failure()) {
-    engine_.schedule_at(exec_start, [this, unit, epoch] {
-      if (unit->epoch() != epoch ||
-          unit->state() != UnitState::kStagingInput) {
-        return;
-      }
-      (void)unit->advance_state(
-          UnitState::kFailed,
-          make_error(Errc::kExecutionFailed,
-                     "unit " + unit->uid() +
-                         " launch failed (transient)"));
-      release(unit);
-    });
+    schedule_launch_fail(unit, epoch, exec_start);
     return;
   }
 
@@ -268,7 +260,33 @@ void SimAgent::launch(ComputeUnitPtr unit) {
       (desc.simulated_hang && unit->retries() == 0) ||
       (faults_ != nullptr && faults_->draw_hang());
 
-  engine_.schedule_at(exec_start, [unit, epoch] {
+  schedule_exec_start(unit, epoch, exec_start);
+  if (!hangs) schedule_complete(unit, epoch, exec_stop);
+  if (desc.retry.execution_timeout > 0.0) {
+    schedule_timeout(unit, epoch,
+                     exec_start + desc.retry.execution_timeout);
+  }
+}
+
+void SimAgent::schedule_launch_fail(const ComputeUnitPtr& unit,
+                                    Count epoch, TimePoint at) {
+  const sim::EventId id = engine_.schedule_at(at, [this, unit, epoch] {
+    if (unit->epoch() != epoch ||
+        unit->state() != UnitState::kStagingInput) {
+      return;
+    }
+    (void)unit->advance_state(
+        UnitState::kFailed,
+        make_error(Errc::kExecutionFailed,
+                   "unit " + unit->uid() + " launch failed (transient)"));
+    release(unit);
+  });
+  record_event(unit.get(), UnitEventKind::kLaunchFail, epoch, id);
+}
+
+void SimAgent::schedule_exec_start(const ComputeUnitPtr& unit,
+                                   Count epoch, TimePoint at) {
+  const sim::EventId id = engine_.schedule_at(at, [unit, epoch] {
     if (unit->epoch() != epoch ||
         unit->state() != UnitState::kStagingInput) {
       return;
@@ -276,29 +294,147 @@ void SimAgent::launch(ComputeUnitPtr unit) {
     ENTK_CHECK(unit->advance_state(UnitState::kExecuting).is_ok(),
                "unit lost before execution");
   });
-  if (!hangs) {
-    engine_.schedule_at(exec_stop, [this, unit, epoch] {
-      if (unit->epoch() != epoch ||
-          unit->state() != UnitState::kExecuting) {
-        return;
+  record_event(unit.get(), UnitEventKind::kExecStart, epoch, id);
+}
+
+void SimAgent::schedule_complete(const ComputeUnitPtr& unit, Count epoch,
+                                 TimePoint at) {
+  const sim::EventId id = engine_.schedule_at(at, [this, unit, epoch] {
+    if (unit->epoch() != epoch ||
+        unit->state() != UnitState::kExecuting) {
+      return;
+    }
+    finalize(unit);
+  });
+  record_event(unit.get(), UnitEventKind::kComplete, epoch, id);
+}
+
+void SimAgent::schedule_timeout(const ComputeUnitPtr& unit, Count epoch,
+                                TimePoint at) {
+  const sim::EventId id = engine_.schedule_at(at, [this, unit, epoch] {
+    if (unit->epoch() != epoch ||
+        unit->state() != UnitState::kExecuting) {
+      return;
+    }
+    (void)unit->advance_state(
+        UnitState::kFailed,
+        make_error(Errc::kTimedOut,
+                   "unit " + unit->uid() +
+                       " exceeded its execution timeout"));
+    release(unit);
+  });
+  record_event(unit.get(), UnitEventKind::kTimeout, epoch, id);
+}
+
+void SimAgent::schedule_stage_out(const ComputeUnitPtr& unit, Count epoch,
+                                  TimePoint at) {
+  const sim::EventId id = engine_.schedule_at(at, [this, unit, epoch] {
+    if (unit->epoch() != epoch ||
+        unit->state() != UnitState::kStagingOutput) {
+      return;
+    }
+    ENTK_CHECK(unit->advance_state(UnitState::kDone).is_ok(),
+               "unit lost before done");
+    release(unit);
+  });
+  record_event(unit.get(), UnitEventKind::kStageOutDone, epoch, id);
+}
+
+void SimAgent::record_event(const ComputeUnit* unit, UnitEventKind kind,
+                            Count epoch, sim::EventId id) {
+  TrackedEvents& tracked = unit_events_[unit];
+  if (tracked.count == tracked.entries.size()) {
+    // Compact: drop records whose event already fired or was voided.
+    std::uint8_t kept = 0;
+    for (std::uint8_t i = 0; i < tracked.count; ++i) {
+      if (engine_.pending(tracked.entries[i].id)) {
+        tracked.entries[kept++] = tracked.entries[i];
       }
-      finalize(unit);
-    });
+    }
+    tracked.count = kept;
+    ENTK_CHECK(tracked.count < tracked.entries.size(),
+               "unit lifecycle event record overflow");
   }
-  if (desc.retry.execution_timeout > 0.0) {
-    engine_.schedule_at(
-        exec_start + desc.retry.execution_timeout, [this, unit, epoch] {
-          if (unit->epoch() != epoch ||
-              unit->state() != UnitState::kExecuting) {
-            return;
-          }
-          (void)unit->advance_state(
-              UnitState::kFailed,
-              make_error(Errc::kTimedOut,
-                         "unit " + unit->uid() +
-                             " exceeded its execution timeout"));
-          release(unit);
-        });
+  tracked.entries[tracked.count++] = {id, kind, epoch};
+}
+
+void SimAgent::repost_event(const ComputeUnitPtr& unit, UnitEventKind kind,
+                            TimePoint at) {
+  const Count epoch = unit->epoch();
+  switch (kind) {
+    case UnitEventKind::kLaunchFail:
+      schedule_launch_fail(unit, epoch, at);
+      break;
+    case UnitEventKind::kExecStart:
+      schedule_exec_start(unit, epoch, at);
+      break;
+    case UnitEventKind::kComplete:
+      schedule_complete(unit, epoch, at);
+      break;
+    case UnitEventKind::kTimeout:
+      schedule_timeout(unit, epoch, at);
+      break;
+    case UnitEventKind::kStageOutDone:
+      schedule_stage_out(unit, epoch, at);
+      break;
+  }
+}
+
+SimAgent::SavedState SimAgent::save_state() const {
+  ENTK_CHECK(started_, "cannot checkpoint an agent before bootstrap");
+  SavedState saved;
+  saved.capacity = capacity_;
+  saved.free = free_;
+  saved.running = running_;
+  saved.next_launch_seq = next_launch_seq_;
+  saved.scheduler_cycles = scheduler_cycles_;
+  saved.spawn_total = spawn_total_;
+  saved.spawner_free_at = spawner_free_at_;
+  for (const auto& unit : waiting_.snapshot()) {
+    saved.waiting.push_back(unit->uid());
+  }
+  // active_ iterates in launch order, so the serialized unit order —
+  // and with it the event order below — is deterministic.
+  for (const auto& [seq, unit] : active_) {
+    saved.active.emplace_back(seq, unit->uid());
+    const auto it = unit_events_.find(unit.get());
+    if (it == unit_events_.end()) continue;
+    const Count epoch = unit->epoch();
+    for (std::uint8_t i = 0; i < it->second.count; ++i) {
+      const auto& entry = it->second.entries[i];
+      // Stale (already fired) or void (dead attempt) events would be
+      // behavioral no-ops in the uninterrupted run too: drop them.
+      if (entry.epoch != epoch || !engine_.pending(entry.id)) continue;
+      saved.events.push_back({unit->uid(), entry.kind,
+                              engine_.event_time(entry.id),
+                              engine_.event_seq(entry.id)});
+    }
+  }
+  return saved;
+}
+
+void SimAgent::restore_state(const SavedState& saved,
+                             const UnitResolver& resolve) {
+  ENTK_CHECK(started_, "cannot restore into an unstarted agent");
+  ENTK_CHECK(active_.empty() && waiting_.empty() && running_ == 0,
+             "cannot restore into an agent with units in flight");
+  capacity_ = saved.capacity;
+  free_ = saved.free;
+  running_ = saved.running;
+  next_launch_seq_ = saved.next_launch_seq;
+  scheduler_cycles_ = saved.scheduler_cycles;
+  spawn_total_ = saved.spawn_total;
+  spawner_free_at_ = saved.spawner_free_at;
+  for (const auto& uid : saved.waiting) {
+    ComputeUnitPtr unit = resolve(uid);
+    ENTK_CHECK(unit != nullptr, "checkpoint names unknown unit " + uid);
+    waiting_.push(std::move(unit));
+  }
+  for (const auto& [seq, uid] : saved.active) {
+    ComputeUnitPtr unit = resolve(uid);
+    ENTK_CHECK(unit != nullptr, "checkpoint names unknown unit " + uid);
+    active_seq_.emplace(unit.get(), seq);
+    active_.emplace(seq, std::move(unit));
   }
 }
 
@@ -324,15 +460,7 @@ void SimAgent::finalize(const ComputeUnitPtr& unit) {
   const Count epoch = unit->epoch();
   ENTK_CHECK(unit->advance_state(UnitState::kStagingOutput).is_ok(),
              "unit lost before output staging");
-  engine_.schedule(stage_out, [this, unit, epoch] {
-    if (unit->epoch() != epoch ||
-        unit->state() != UnitState::kStagingOutput) {
-      return;
-    }
-    ENTK_CHECK(unit->advance_state(UnitState::kDone).is_ok(),
-               "unit lost before done");
-    release(unit);
-  });
+  schedule_stage_out(unit, epoch, engine_.now() + stage_out);
 }
 
 }  // namespace entk::pilot

@@ -21,9 +21,12 @@
 // belonging to a dead attempt never act on a relaunched unit.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +37,17 @@
 #include "sim/machine.hpp"
 
 namespace entk::pilot {
+
+/// Lifecycle events an agent schedules for an in-flight unit. Each is
+/// guarded by (epoch, expected state) so a checkpoint can capture the
+/// pending ones and a restore can repost behaviorally identical copies.
+enum class UnitEventKind : std::uint8_t {
+  kLaunchFail = 0,   ///< transient spawn failure fires at exec_start
+  kExecStart = 1,    ///< kStagingInput -> kExecuting
+  kComplete = 2,     ///< kExecuting -> finalize()
+  kTimeout = 3,      ///< execution-timeout kill
+  kStageOutDone = 4  ///< kStagingOutput -> kDone + release
+};
 
 class SimAgent final : public Agent {
  public:
@@ -62,10 +76,59 @@ class SimAgent final : public Agent {
   /// Trace identity: maps to a Chrome-trace pid (see src/obs).
   std::uint32_t trace_ordinal() const { return trace_ordinal_; }
 
+  // --- checkpoint/restart (ckpt::Coordinator only) ---
+  /// Everything needed to rebuild this agent's dispatch state on a
+  /// fresh engine. Units are referenced by uid; pending events carry
+  /// the original engine (time, seq) so the coordinator can repost them
+  /// globally sorted across agents.
+  struct SavedState {
+    struct PendingEvent {
+      std::string uid;
+      UnitEventKind kind = UnitEventKind::kExecStart;
+      TimePoint time = 0.0;
+      std::uint64_t seq = 0;
+    };
+    Count capacity = 0;
+    Count free = 0;
+    std::size_t running = 0;
+    std::uint64_t next_launch_seq = 0;
+    std::uint64_t scheduler_cycles = 0;
+    Duration spawn_total = 0.0;
+    std::vector<TimePoint> spawner_free_at;
+    std::vector<std::string> waiting;  ///< uids in arrival order
+    std::vector<std::pair<std::uint64_t, std::string>> active;
+    std::vector<PendingEvent> events;
+  };
+  using UnitResolver = std::function<ComputeUnitPtr(const std::string&)>;
+  /// Captures the agent at an engine-step boundary. Requires started().
+  SavedState save_state() const;
+  /// Injects a saved state into a freshly started agent. Does NOT
+  /// repost events — the coordinator reposts them globally sorted.
+  void restore_state(const SavedState& saved, const UnitResolver& resolve);
+  /// Re-schedules one captured lifecycle event at its original firing
+  /// time, with the same (epoch, state) guards as the original.
+  void repost_event(const ComputeUnitPtr& unit, UnitEventKind kind,
+                    TimePoint at);
+  bool started() const { return started_; }
+
  private:
   void schedule_loop();
   void launch(ComputeUnitPtr unit);
   void finalize(const ComputeUnitPtr& unit);
+  // Guarded lifecycle-event factories shared by launch()/finalize()
+  // and repost_event(); each schedules at `at` and tracks the id.
+  void schedule_launch_fail(const ComputeUnitPtr& unit, Count epoch,
+                            TimePoint at);
+  void schedule_exec_start(const ComputeUnitPtr& unit, Count epoch,
+                           TimePoint at);
+  void schedule_complete(const ComputeUnitPtr& unit, Count epoch,
+                         TimePoint at);
+  void schedule_timeout(const ComputeUnitPtr& unit, Count epoch,
+                        TimePoint at);
+  void schedule_stage_out(const ComputeUnitPtr& unit, Count epoch,
+                          TimePoint at);
+  void record_event(const ComputeUnit* unit, UnitEventKind kind,
+                    Count epoch, sim::EventId id);
   /// Returns the unit's cores to the pool if it still occupies them.
   void release(const ComputeUnitPtr& unit);
   /// Removes a unit from the active set; returns false when absent.
@@ -91,6 +154,21 @@ class SimAgent final : public Agent {
   /// and release() finds any unit in O(log active).
   std::map<std::uint64_t, ComputeUnitPtr> active_;
   std::unordered_map<const ComputeUnit*, std::uint64_t> active_seq_;
+  /// Engine events scheduled for each active unit. Fixed capacity: at
+  /// most 3 are pending at once (exec_start + complete + timeout), but
+  /// stale (already-fired) records linger until compacted, so keep one
+  /// spare. Stale entries are filtered by generation at capture time;
+  /// the whole record dies with the unit's active_ entry.
+  struct TrackedEvents {
+    struct Entry {
+      sim::EventId id = sim::kInvalidEvent;
+      UnitEventKind kind = UnitEventKind::kExecStart;
+      Count epoch = 0;
+    };
+    std::array<Entry, 4> entries;
+    std::uint8_t count = 0;
+  };
+  std::unordered_map<const ComputeUnit*, TrackedEvents> unit_events_;
   std::uint64_t next_launch_seq_ = 0;
   std::uint64_t scheduler_cycles_ = 0;
   const std::uint32_t trace_ordinal_;

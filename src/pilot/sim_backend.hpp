@@ -28,8 +28,9 @@ class SimBackend final : public ExecutionBackend {
       Count cores, const std::string& scheduler_policy) override;
   Status drive_until(const std::function<bool()>& done,
                      Duration timeout = kTimeInfinity) override;
-  void schedule_after(Duration delay, std::function<void()> fn) override {
-    engine_.schedule(delay, std::move(fn));
+  std::uint64_t schedule_after(Duration delay,
+                               std::function<void()> fn) override {
+    return engine_.schedule(delay, std::move(fn));
   }
   void advance(Duration cost) override {
     // Re-entrant advancement (a pattern submitting from inside an
@@ -49,12 +50,20 @@ class SimBackend final : public ExecutionBackend {
   /// Non-null iff the machine profile's FaultSpec is enabled.
   sim::FaultModel* faults() { return faults_.get(); }
 
+  /// Checkpoint hook, invoked at every engine-step boundary inside
+  /// drive_until — a consistent cut: no event callback is mid-flight.
+  /// A non-ok return aborts drive_until with that status (used by the
+  /// kill/resume tests to simulate a crash at an exact point).
+  using StepHook = std::function<Status()>;
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+
  private:
   sim::Engine engine_;
   sim::Cluster cluster_;
   sim::BatchQueue batch_;
   std::unique_ptr<saga::SimBatchAdaptor> adaptor_;
   std::unique_ptr<sim::FaultModel> faults_;
+  StepHook step_hook_;
 };
 
 }  // namespace entk::pilot

@@ -176,16 +176,31 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
   // Exponential backoff: hold the unit until the delay elapses, then
   // requeue it — unless something (cancellation, pilot recovery)
   // already moved it on.
-  backend_.schedule_after(delay, [this, retry] {
-    {
-      MutexLock lock(mutex_);
-      const auto it = entries_.find(retry.get());
-      if (it == entries_.end() || it->second.settled) return;
-      if (retry->state() != UnitState::kPendingExecution) return;
-      unrouted_.push_back(retry);
-    }
-    route_pending();
-  });
+  schedule_retry_requeue(std::move(retry), delay);
+}
+
+void UnitManager::schedule_retry_requeue(ComputeUnitPtr retry,
+                                         Duration delay) {
+  const ComputeUnit* key = retry.get();
+  const std::uint64_t token =
+      backend_.schedule_after(delay, [this, retry] {
+        {
+          MutexLock lock(mutex_);
+          retry_timers_.erase(retry.get());
+          const auto it = entries_.find(retry.get());
+          if (it == entries_.end() || it->second.settled) return;
+          if (retry->state() != UnitState::kPendingExecution) return;
+          unrouted_.push_back(retry);
+        }
+        route_pending();
+      });
+  // Token 0 means the backend cannot introspect timers (local backend):
+  // nothing to capture. The sim engine fires strictly later on this
+  // thread, so tracking after the call cannot miss the event.
+  if (token != 0) {
+    MutexLock lock(mutex_);
+    retry_timers_[key] = token;
+  }
 }
 
 void UnitManager::settle_and_notify(ComputeUnit& unit, UnitState state) {
@@ -364,6 +379,81 @@ std::size_t UnitManager::recovered_units() const {
 void UnitManager::seed_retry_jitter(std::uint64_t seed) {
   MutexLock lock(mutex_);
   retry_rng_ = Xoshiro256(seed);
+}
+
+UnitManager::SavedState UnitManager::save_state() const {
+  MutexLock lock(mutex_);
+  SavedState saved;
+  saved.next_pilot = next_pilot_;
+  for (const auto& unit : unrouted_) saved.unrouted.push_back(unit->uid());
+  saved.total_units = total_units_;
+  saved.total_retries = total_retries_;
+  saved.recovered_units = recovered_units_;
+  saved.retry_rng = retry_rng_.save_state();
+  return saved;
+}
+
+void UnitManager::restore_state(const SavedState& saved,
+                                const UnitResolver& resolve) {
+  MutexLock lock(mutex_);
+  next_pilot_ = saved.next_pilot;
+  total_units_ = saved.total_units;
+  total_retries_ = saved.total_retries;
+  recovered_units_ = saved.recovered_units;
+  retry_rng_.restore_state(saved.retry_rng);
+  unrouted_.clear();
+  for (const auto& uid : saved.unrouted) {
+    ComputeUnitPtr unit = resolve(uid);
+    ENTK_CHECK(unit != nullptr, "checkpoint names unknown unit " + uid);
+    unrouted_.push_back(std::move(unit));
+  }
+}
+
+void UnitManager::restore_unit(const ComputeUnitPtr& unit, bool settled,
+                               bool notified) {
+  ENTK_CHECK(unit != nullptr, "cannot restore a null unit");
+  {
+    MutexLock lock(mutex_);
+    entries_.emplace(unit.get(), Entry{unit, settled, notified});
+  }
+  // Settled units refuse the callback (they can never transition
+  // again); everything else re-enters the normal retry/settle flow.
+  unit->on_state_change([this](ComputeUnit& changed, UnitState state) {
+    handle_state_change(changed, state);
+  });
+}
+
+bool UnitManager::unit_entry(const ComputeUnit* unit, bool& settled,
+                             bool& notified) const {
+  MutexLock lock(mutex_);
+  const auto it = entries_.find(unit);
+  if (it == entries_.end()) return false;
+  settled = it->second.settled;
+  notified = it->second.notified;
+  return true;
+}
+
+std::vector<std::pair<ComputeUnitPtr, std::uint64_t>>
+UnitManager::pending_retries() const {
+  std::vector<std::pair<ComputeUnitPtr, std::uint64_t>> out;
+  {
+    MutexLock lock(mutex_);
+    out.reserve(retry_timers_.size());
+    for (const auto& [key, token] : retry_timers_) {
+      const auto it = entries_.find(key);
+      if (it == entries_.end()) continue;
+      out.emplace_back(it->second.unit, token);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a.first->uid() < b.first->uid();
+            });
+  return out;
+}
+
+void UnitManager::repost_retry(const ComputeUnitPtr& unit, Duration delay) {
+  schedule_retry_requeue(unit, delay);
 }
 
 }  // namespace entk::pilot

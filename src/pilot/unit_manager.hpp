@@ -78,6 +78,36 @@ class UnitManager {
 
   ExecutionBackend& backend() { return backend_; }
 
+  // --- checkpoint/restart (ckpt::Coordinator only) ---
+  struct SavedState {
+    std::size_t next_pilot = 0;
+    std::vector<std::string> unrouted;  ///< uids in queue order
+    std::size_t total_units = 0;
+    std::size_t total_retries = 0;
+    std::size_t recovered_units = 0;
+    Xoshiro256::State retry_rng;
+  };
+  using UnitResolver = std::function<ComputeUnitPtr(const std::string&)>;
+  SavedState save_state() const ENTK_EXCLUDES(mutex_);
+  /// Injects counters/cursors and rebuilds the unrouted queue. Call
+  /// after every unit has been re-registered via restore_unit().
+  void restore_state(const SavedState& saved, const UnitResolver& resolve)
+      ENTK_EXCLUDES(mutex_);
+  /// Registers a restored unit (entry bookkeeping + state-change
+  /// wiring) without counting it as a new submission.
+  void restore_unit(const ComputeUnitPtr& unit, bool settled,
+                    bool notified) ENTK_EXCLUDES(mutex_);
+  /// Entry flags for one managed unit; false when not managed here.
+  bool unit_entry(const ComputeUnit* unit, bool& settled,
+                  bool& notified) const ENTK_EXCLUDES(mutex_);
+  /// Pending retry-backoff timers with their backend timer tokens
+  /// (sim EventIds), sorted by unit uid for determinism.
+  std::vector<std::pair<ComputeUnitPtr, std::uint64_t>> pending_retries()
+      const ENTK_EXCLUDES(mutex_);
+  /// Re-schedules a captured retry-backoff requeue after `delay`.
+  void repost_retry(const ComputeUnitPtr& unit, Duration delay)
+      ENTK_EXCLUDES(mutex_);
+
  private:
   bool settled_locked(const ComputeUnit& unit) const ENTK_REQUIRES(mutex_);
   /// Routes every held unit to an active pilot (takes the lock itself;
@@ -92,6 +122,10 @@ class UnitManager {
       ENTK_EXCLUDES(mutex_);
   /// Evicts and requeues the units stranded on a failed pilot.
   void recover_from_pilot(Pilot& pilot) ENTK_EXCLUDES(mutex_);
+  /// Schedules the backoff-expiry requeue for a retrying unit and
+  /// tracks its timer token for checkpoint capture.
+  void schedule_retry_requeue(ComputeUnitPtr retry, Duration delay)
+      ENTK_EXCLUDES(mutex_);
 
   ExecutionBackend& backend_;
 
@@ -118,6 +152,11 @@ class UnitManager {
   std::shared_ptr<const ObserverList> observers_ ENTK_GUARDED_BY(mutex_);
   std::size_t next_observer_token_ ENTK_GUARDED_BY(mutex_) = 0;
   Xoshiro256 retry_rng_ ENTK_GUARDED_BY(mutex_){0x7e7c1ULL};
+  /// Backend timer tokens of in-flight retry backoffs (checkpointing);
+  /// entries are dropped when the timer fires, stale tokens are
+  /// filtered against the engine at capture time.
+  std::unordered_map<const ComputeUnit*, std::uint64_t> retry_timers_
+      ENTK_GUARDED_BY(mutex_);
 };
 
 }  // namespace entk::pilot

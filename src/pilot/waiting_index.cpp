@@ -94,6 +94,20 @@ std::vector<ComputeUnitPtr> WaitingIndex::drain() {
   return units;
 }
 
+std::vector<ComputeUnitPtr> WaitingIndex::snapshot() const {
+  std::vector<const Picked*> all;
+  all.reserve(size_);
+  for (const auto& [cores, bucket] : buckets_) {
+    for (const auto& entry : bucket) all.push_back(&entry);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Picked* a, const Picked* b) { return a->seq < b->seq; });
+  std::vector<ComputeUnitPtr> units;
+  units.reserve(all.size());
+  for (const Picked* entry : all) units.push_back(entry->unit);
+  return units;
+}
+
 void WaitingIndex::pop_from(std::map<Count, Bucket>::iterator it,
                             Picked& out) {
   Bucket& bucket = it->second;

@@ -72,6 +72,11 @@ class WaitingIndex {
   /// Removes and returns every unit in arrival order.
   std::vector<ComputeUnitPtr> drain();
 
+  /// Every waiting unit in arrival order, without disturbing the index
+  /// (checkpoint capture). Re-pushing the returned sequence into a
+  /// fresh index reproduces the same relative scheduling order.
+  std::vector<ComputeUnitPtr> snapshot() const;
+
  private:
   using Bucket = std::deque<Picked>;
 

@@ -100,6 +100,30 @@ TimePoint Engine::next_event_time() const {
   return heap_.empty() ? kTimeInfinity : pool_[heap_.front()].time;
 }
 
+bool Engine::pending(EventId id) const {
+  const std::uint32_t slot = event_slot(id);
+  if (slot >= pool_.size()) return false;
+  const Slot& event = pool_[slot];
+  return event.generation == event_generation(id) &&
+         event.heap_pos != kNoHeapPos;
+}
+
+TimePoint Engine::event_time(EventId id) const {
+  ENTK_CHECK(pending(id), "event_time() on a stale event id");
+  return pool_[event_slot(id)].time;
+}
+
+std::uint64_t Engine::event_seq(EventId id) const {
+  ENTK_CHECK(pending(id), "event_seq() on a stale event id");
+  return pool_[event_slot(id)].seq;
+}
+
+void Engine::restore_now(TimePoint t) {
+  ENTK_CHECK(next_event_time() >= t,
+             "cannot restore the clock past a pending event");
+  clock_.advance_to(t);
+}
+
 void Engine::run_until(TimePoint horizon) {
   ENTK_CHECK(horizon >= clock_.now(), "horizon lies in the past");
   while (!heap_.empty() && pool_[heap_.front()].time <= horizon) {

@@ -79,6 +79,22 @@ class Engine {
   /// queue is empty.
   TimePoint next_event_time() const;
 
+  /// True iff `id` refers to an event that is still pending (not fired,
+  /// not cancelled, slot not reused). Same validation as cancel().
+  bool pending(EventId id) const;
+
+  /// Firing time of a pending event; CHECK-fails on a stale id.
+  TimePoint event_time(EventId id) const;
+
+  /// Insertion sequence of a pending event; CHECK-fails on a stale id.
+  /// Seqs are globally monotone, so sorting captured events by
+  /// (time, seq) reproduces the engine's dispatch order.
+  std::uint64_t event_seq(EventId id) const;
+
+  /// Checkpoint restore: jumps the clock forward to the snapshot time.
+  /// CHECK-fails if any pending event would then lie in the past.
+  void restore_now(TimePoint t);
+
   /// Grows the slab to hold `events` pending events without
   /// reallocating (optional warm-up for large sweeps).
   void reserve(std::size_t events);

@@ -75,14 +75,49 @@ class FaultModel {
   /// the determinism witness (same seed => identical trace).
   const std::vector<std::string>& trace() const { return trace_; }
 
+  // --- checkpoint/restart (ckpt::Coordinator only) ---
+  struct SavedState {
+    struct ConsumerState {
+      Count nodes_left = 0;
+      Xoshiro256::State rng;
+    };
+    /// A pending armed node-failure event, with the original engine
+    /// (time, seq) for the coordinator's global repost sort.
+    struct ArmedEvent {
+      std::size_t consumer = 0;
+      TimePoint time = 0.0;
+      std::uint64_t seq = 0;
+    };
+    Xoshiro256::State fork_rng;
+    Xoshiro256::State launch_rng;
+    Xoshiro256::State hang_rng;
+    std::vector<ConsumerState> consumers;
+    Count node_failures = 0;
+    Count launch_failures = 0;
+    Count hangs = 0;
+    std::vector<std::string> trace;
+    std::vector<ArmedEvent> armed;
+  };
+  SavedState save_state() const;
+  /// Injects a saved state. Requires the same consumer count as at
+  /// capture (the restore replays pilot registration identically), and
+  /// cancels any armed events the replay scheduled; the coordinator
+  /// reposts the captured ones via repost_failure().
+  void restore_state(const SavedState& saved);
+  /// Re-arms one captured node-failure event at its original time.
+  void repost_failure(std::size_t consumer_index, TimePoint at);
+
  private:
   struct Consumer {
     Count nodes_left = 0;
     Xoshiro256 rng;
     std::function<void()> handler;
+    EventId armed = kInvalidEvent;
   };
 
   void arm(std::size_t consumer_index);
+  /// Body of the armed event: one node of `consumer_index` dies.
+  void fire_node_failure(std::size_t consumer_index);
   void record(const std::string& what);
 
   Engine& engine_;

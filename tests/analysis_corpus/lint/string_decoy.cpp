@@ -4,8 +4,10 @@
 //
 // In comments: std::mutex std::lock_guard std::condition_variable
 // steady_clock::now() thread.detach() sleep_for using namespace std
+// std::ofstream out(path); fopen("artifact.json", "w")
 /* block comment, same trick: std::unique_lock<std::mutex> lock(m);
-   system_clock::now(); worker.detach(); sleep_until(t); */
+   system_clock::now(); worker.detach(); sleep_until(t);
+   std::ofstream file(path); FILE* f = std::fopen(path, "wb"); */
 
 const char* kDecoyString =
     "std::mutex guard(std::condition_variable); std::scoped_lock";
@@ -16,6 +18,8 @@ const char* kDecoyRaw = R"lint(
   thread.detach();
   std::this_thread::sleep_for(ms);
   using namespace std;
+  std::ofstream trace("trace.json");
+  fopen("BENCH_scale.json", "w");
 )lint";
 
 const char* kDecoyClock = "steady_clock::now()";

@@ -7,15 +7,20 @@
 // (same seed => same fault trace and unit timeline).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "ckpt/coordinator.hpp"
+#include "ckpt/snapshot.hpp"
+#include "common/uid.hpp"
 #include "core/entk.hpp"
 #include "pilot/agent.hpp"
 #include "pilot/pilot_manager.hpp"
 #include "pilot/sim_backend.hpp"
 #include "pilot/unit_manager.hpp"
+#include "scale_test_util.hpp"
 
 namespace entk::pilot {
 namespace {
@@ -497,6 +502,211 @@ TEST_F(FailurePolicyTest, QuorumComparesTheDoneFraction) {
   // 3/4 done: a 0.75 quorum passes, a 0.9 quorum fails.
   EXPECT_TRUE(run_bag({core::FailurePolicy::kQuorum, 0.75}).is_ok());
   EXPECT_FALSE(run_bag({core::FailurePolicy::kQuorum, 0.9}).is_ok());
+}
+
+// --------------------------------- scenario: checkpoint/resume × faults
+//
+// The recovery tiers must compose: a snapshot carries retry budgets,
+// fault-model RNG streams and graph verdicts across a kill/resume, so
+// faults that strike after the resume play out exactly as they would
+// have in a run that never died. See docs/RESILIENCE.md.
+
+/// Heterogeneous bag under a quorum verdict: generous retry budgets
+/// (transient launch failures + node loss burn them) plus a sprinkle
+/// of permanent failures the quorum must absorb (instances 1, 25, 49,
+/// 73, 97 — five of 120).
+core::BagOfTasks faulty_checkpoint_bag() {
+  core::BagOfTasks bag(120, [](const core::StageContext& context) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(context.instance) * 977 + 5);
+    core::TaskSpec spec;
+    spec.kernel = "misc.sleep";
+    spec.args.set("duration", 20.0 + 20.0 * rng.uniform());
+    spec.cores = context.instance % 3 == 0 ? 2 : 1;
+    spec.retry.max_retries = 6;
+    spec.retry.backoff_base = 2.0;
+    spec.retry.backoff_multiplier = 2.0;
+    spec.retry.jitter = 0.3;
+    if (context.instance % 24 == 1) {
+      spec.inject_failure = true;
+      spec.retry.max_retries = 0;  // settles failed, verdict decides
+    }
+    return spec;
+  });
+  bag.set_failure_rules({core::FailurePolicy::kQuorum, 0.75});
+  return bag;
+}
+
+sim::MachineProfile faulty_checkpoint_machine() {
+  auto machine = sim::localhost_profile();
+  machine.fault.seed = 0xC0FFEE;
+  machine.fault.node_mtbf = 150.0;
+  machine.fault.max_node_failures = 2;
+  machine.fault.launch_failure_rate = 0.05;
+  return machine;
+}
+
+struct CheckpointFtReport {
+  std::vector<ComputeUnitPtr> units;
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+  std::size_t total_retries = 0;
+  std::size_t recovered_units = 0;
+};
+
+CheckpointFtReport unpack(core::RunReport report) {
+  CheckpointFtReport out;
+  out.units_done = report.units_done;
+  out.units_failed = report.units_failed;
+  out.total_retries = report.total_retries;
+  out.recovered_units = report.recovered_units;
+  out.units = std::move(report.units);
+  return out;
+}
+
+std::string fresh_ckpt_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+template <typename MakeMachine, typename MakePattern>
+CheckpointFtReport run_ft_uninterrupted(MakeMachine make_machine,
+                                        MakePattern make_pattern,
+                                        core::ResourceOptions options) {
+  reset_uid_counters_for_testing();
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  SimBackend backend(make_machine());
+  core::ResourceHandle handle(backend, registry, options);
+  EXPECT_TRUE(handle.allocate().is_ok());
+  auto pattern = make_pattern();
+  auto report = handle.run(pattern);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  if (!report.ok()) return {};
+  EXPECT_TRUE(report.value().outcome.is_ok())
+      << report.value().outcome.to_string();
+  return unpack(report.take());
+}
+
+template <typename MakeMachine, typename MakePattern>
+CheckpointFtReport run_ft_kill_resume(MakeMachine make_machine,
+                                      MakePattern make_pattern,
+                                      core::ResourceOptions options,
+                                      const std::string& dir,
+                                      std::uint64_t every_settled,
+                                      std::uint64_t crash_after) {
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  ckpt::Snapshot snapshot;
+  {
+    reset_uid_counters_for_testing();
+    SimBackend backend(make_machine());
+    core::ResourceHandle handle(backend, registry, options);
+    EXPECT_TRUE(handle.allocate().is_ok());
+    ckpt::Coordinator::Options coordinator_options;
+    coordinator_options.directory = dir;
+    coordinator_options.policy.every_settled = every_settled;
+    coordinator_options.crash_after_snapshots = crash_after;
+    ckpt::Coordinator coordinator(backend, handle,
+                                  std::move(coordinator_options));
+    auto pattern = make_pattern();
+    coordinator.set_identity(pattern.name(), "");
+    pattern.set_graph_run_observer(&coordinator);
+    auto report = handle.run(pattern);
+    EXPECT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_TRUE(
+        ckpt::Coordinator::is_checkpoint_stop(report.value().outcome))
+        << report.value().outcome.to_string();
+    auto loaded =
+        ckpt::read_snapshot_file(coordinator.last_snapshot_path());
+    EXPECT_TRUE(loaded.ok()) << loaded.status().to_string();
+    if (!loaded.ok()) return {};
+    snapshot = loaded.take();
+  }
+  reset_uid_counters_for_testing();
+  SimBackend backend(make_machine());
+  core::ResourceHandle handle(backend, registry, options);
+  EXPECT_TRUE(handle.allocate().is_ok());
+  ckpt::Coordinator::Options coordinator_options;
+  coordinator_options.directory = dir;
+  ckpt::Coordinator coordinator(backend, handle,
+                                std::move(coordinator_options));
+  auto pattern = make_pattern();
+  coordinator.set_identity(pattern.name(), "");
+  const Status restored = coordinator.restore_runtime(snapshot);
+  EXPECT_TRUE(restored.is_ok()) << restored.to_string();
+  if (!restored.is_ok()) return {};
+  pattern.set_graph_run_observer(&coordinator);
+  auto report = handle.run(pattern);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  if (!report.ok()) return {};
+  EXPECT_TRUE(report.value().outcome.is_ok())
+      << report.value().outcome.to_string();
+  return unpack(report.take());
+}
+
+TEST(FaultTolerance, CheckpointResumeCarriesRetryBudgetsAndVerdicts) {
+  core::ResourceOptions options;
+  // All 4 localhost nodes: losing max_node_failures = 2 of them still
+  // leaves capacity, so the run can always finish.
+  options.cores = 32;
+  options.runtime = 100000.0;
+  const CheckpointFtReport baseline = run_ft_uninterrupted(
+      faulty_checkpoint_machine, faulty_checkpoint_bag, options);
+  ASSERT_EQ(baseline.units.size(), 120u);
+  EXPECT_EQ(baseline.units_failed, 5u);  // quorum absorbed them
+  EXPECT_GT(baseline.total_retries, 0u)
+      << "the fault spec must actually burn retry budget for this "
+         "test to mean anything";
+
+  const CheckpointFtReport resumed = run_ft_kill_resume(
+      faulty_checkpoint_machine, faulty_checkpoint_bag, options,
+      fresh_ckpt_dir("ckpt_ft_faults"), /*every_settled=*/25,
+      /*crash_after=*/2);
+  ASSERT_EQ(resumed.units.size(), 120u);
+  // Identical timelines => retry budgets, backoff RNG draws, fault
+  // strikes and quorum verdicts all carried across the snapshot.
+  EXPECT_EQ(core::scale_test::trace_digest(resumed.units),
+            core::scale_test::trace_digest(baseline.units));
+  EXPECT_EQ(resumed.units_done, baseline.units_done);
+  EXPECT_EQ(resumed.units_failed, baseline.units_failed);
+  EXPECT_EQ(resumed.total_retries, baseline.total_retries);
+}
+
+TEST(FaultTolerance, ResumeThenPilotLossRecoversWithRestoredState) {
+  // Mirror of ResourceHandleRestartsFailedPilot with a kill/resume
+  // before the pilot's walltime expiry: the expiry, the replacement
+  // pilot and the requeue all happen AFTER the resume, driven purely
+  // by restored state.
+  core::ResourceOptions options;
+  options.cores = 4;
+  options.runtime = 50.0;  // the pilot dies before the workload is done
+  options.restart_failed_pilots = true;
+  options.max_pilot_restarts = 3;
+  const auto make_machine = [] { return sim::localhost_profile(); };
+  const auto make_pattern = [] {
+    return core::BagOfTasks(8, [](const core::StageContext&) {
+      core::TaskSpec spec;
+      spec.kernel = "misc.sleep";
+      spec.args.set("duration", 30.0);
+      return spec;
+    });
+  };
+  const CheckpointFtReport baseline =
+      run_ft_uninterrupted(make_machine, make_pattern, options);
+  ASSERT_EQ(baseline.units.size(), 8u);
+  ASSERT_GE(baseline.recovered_units, 1u);
+
+  // Crash after 2 settles (t ~= 30, before the t = 50 expiry).
+  const CheckpointFtReport resumed = run_ft_kill_resume(
+      make_machine, make_pattern, options,
+      fresh_ckpt_dir("ckpt_ft_pilot_loss"), /*every_settled=*/2,
+      /*crash_after=*/1);
+  ASSERT_EQ(resumed.units.size(), 8u);
+  EXPECT_EQ(resumed.units_done, 8u);
+  EXPECT_GE(resumed.recovered_units, 1u)
+      << "the pilot loss must have happened after the resume";
+  EXPECT_EQ(core::scale_test::trace_digest(resumed.units),
+            core::scale_test::trace_digest(baseline.units));
 }
 
 TEST(FailureRules, QuorumValidation) {

@@ -11,102 +11,41 @@
 // digest change means the runtime reordered something — either an
 // intentional semantic change (re-pin the constant, explain it in the
 // commit) or a determinism bug (fix it).
+//
+// The machine, workload and digest live in scale_test_util.hpp, shared
+// with the checkpoint/restart equivalence suite.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <cstring>
 
 #include "common/uid.hpp"
 #include "core/entk.hpp"
+#include "scale_test_util.hpp"
 
 namespace entk::core {
 namespace {
 
-/// FNV-1a, the usual 64-bit parameters.
-std::uint64_t fnv1a(std::uint64_t hash, const void* data,
-                    std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
-std::uint64_t mix_double(std::uint64_t hash, double value) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(value));
-  std::memcpy(&bits, &value, sizeof(bits));
-  return fnv1a(hash, &bits, sizeof(bits));
-}
-
-std::uint64_t trace_digest(const std::vector<pilot::ComputeUnitPtr>& units) {
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (const auto& unit : units) {
-    hash = fnv1a(hash, unit->uid().data(), unit->uid().size());
-    hash = mix_double(hash, unit->submitted_at());
-    hash = mix_double(hash, unit->exec_started_at());
-    hash = mix_double(hash, unit->exec_stopped_at());
-    hash = mix_double(hash, unit->finished_at());
-  }
-  return hash;
-}
-
-/// Synthetic machine big enough for the backlog to stay deep (2048
-/// cores for 10k single-to-four-core units), with light overheads so
-/// the virtual schedule is dominated by scheduling decisions.
-sim::MachineProfile scale_machine() {
-  sim::MachineProfile p;
-  p.name = "test.scale";
-  p.nodes = 32;
-  p.cores_per_node = 64;
-  p.memory_per_node_gb = 256.0;
-  p.performance_factor = 1.0;
-  p.unit_spawn_overhead = 0.001;
-  p.spawner_concurrency = 64;
-  p.unit_launch_latency = 0.002;
-  p.pilot_bootstrap = 0.1;
-  p.staging_latency = 0.001;
-  p.staging_bandwidth_mb_per_s = 1000.0;
-  return p;
-}
-
 constexpr Count kUnits = 10000;
-
-/// Heterogeneous bag: durations spread +-50%, core counts cycling
-/// 1/1/2/4 so every WaitingIndex bucket and the backfill budget logic
-/// are exercised, not just the single-core fast path.
-BagOfTasks scale_workload() {
-  return BagOfTasks(kUnits, [](const StageContext& context) {
-    Xoshiro256 rng(static_cast<std::uint64_t>(context.instance) * 6151 + 29);
-    TaskSpec spec;
-    spec.kernel = "misc.sleep";
-    spec.args.set("duration", 50.0 * (0.5 + rng.uniform()));
-    const Count shape = context.instance % 4;
-    spec.cores = shape == 3 ? 4 : (shape == 2 ? 2 : 1);
-    return spec;
-  });
-}
 
 std::uint64_t run_once(const std::string& policy) {
   // Fresh uid counters so both runs name units identically.
   reset_uid_counters_for_testing();
   auto registry = kernels::KernelRegistry::with_builtin_kernels();
-  pilot::SimBackend backend(scale_machine());
+  pilot::SimBackend backend(scale_test::scale_machine());
   ResourceOptions options;
   options.cores = 2048;
   options.runtime = 4.0e6;
   options.scheduler_policy = policy;
   ResourceHandle handle(backend, registry, options);
   EXPECT_TRUE(handle.allocate().is_ok());
-  BagOfTasks pattern = scale_workload();
+  BagOfTasks pattern = scale_test::scale_workload(kUnits);
   auto report = handle.run(pattern);
   EXPECT_TRUE(report.ok()) << report.status().to_string();
   if (!report.ok()) return 0;
   EXPECT_TRUE(report.value().outcome.is_ok())
       << report.value().outcome.to_string();
   EXPECT_EQ(report.value().units.size(), static_cast<std::size_t>(kUnits));
-  return trace_digest(report.value().units);
+  return scale_test::trace_digest(report.value().units);
 }
 
 TEST(ScaleDeterminism, SameSeedTracesAreBitIdenticalAt10k) {

@@ -1,0 +1,102 @@
+// Shared machinery of the scale-determinism and checkpoint/restart
+// tests: the synthetic 2048-core machine, the heterogeneous 1/1/2/4-
+// core bag workload, and the FNV-1a trace digest over unit timelines.
+// Both suites pin the same claim — the (time, seq) dispatch order is a
+// total order the runtime reproduces bit-for-bit — so they must hash
+// the same bytes the same way.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/entk.hpp"
+
+namespace entk::core::scale_test {
+
+/// FNV-1a, the usual 64-bit parameters.
+inline std::uint64_t fnv1a(std::uint64_t hash, const void* data,
+                           std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+inline std::uint64_t mix_double(std::uint64_t hash, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return fnv1a(hash, &bits, sizeof(bits));
+}
+
+/// Digest of every unit's identity and timeline, in submission order.
+inline std::uint64_t trace_digest(
+    const std::vector<pilot::ComputeUnitPtr>& units) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const auto& unit : units) {
+    hash = fnv1a(hash, unit->uid().data(), unit->uid().size());
+    hash = mix_double(hash, unit->submitted_at());
+    hash = mix_double(hash, unit->exec_started_at());
+    hash = mix_double(hash, unit->exec_stopped_at());
+    hash = mix_double(hash, unit->finished_at());
+  }
+  return hash;
+}
+
+/// Same digest restricted to units that finish after `cut` — the
+/// "remaining schedule" a resumed run must reproduce bit-for-bit.
+inline std::uint64_t remaining_schedule_digest(
+    const std::vector<pilot::ComputeUnitPtr>& units, TimePoint cut) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const auto& unit : units) {
+    if (unit->finished_at() <= cut) continue;
+    hash = fnv1a(hash, unit->uid().data(), unit->uid().size());
+    hash = mix_double(hash, unit->submitted_at());
+    hash = mix_double(hash, unit->exec_started_at());
+    hash = mix_double(hash, unit->exec_stopped_at());
+    hash = mix_double(hash, unit->finished_at());
+  }
+  return hash;
+}
+
+/// Synthetic machine big enough for the backlog to stay deep (2048
+/// cores for 10k single-to-four-core units), with light overheads so
+/// the virtual schedule is dominated by scheduling decisions.
+inline sim::MachineProfile scale_machine() {
+  sim::MachineProfile p;
+  p.name = "test.scale";
+  p.nodes = 32;
+  p.cores_per_node = 64;
+  p.memory_per_node_gb = 256.0;
+  p.performance_factor = 1.0;
+  p.unit_spawn_overhead = 0.001;
+  p.spawner_concurrency = 64;
+  p.unit_launch_latency = 0.002;
+  p.pilot_bootstrap = 0.1;
+  p.staging_latency = 0.001;
+  p.staging_bandwidth_mb_per_s = 1000.0;
+  return p;
+}
+
+/// Heterogeneous task generator: durations spread +-50%, core counts
+/// cycling 1/1/2/4 so every WaitingIndex bucket and the backfill
+/// budget logic are exercised, not just the single-core fast path.
+inline TaskSpec scale_task(const StageContext& context) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(context.instance) * 6151 + 29);
+  TaskSpec spec;
+  spec.kernel = "misc.sleep";
+  spec.args.set("duration", 50.0 * (0.5 + rng.uniform()));
+  const Count shape = context.instance % 4;
+  spec.cores = shape == 3 ? 4 : (shape == 2 ? 2 : 1);
+  return spec;
+}
+
+/// The heterogeneous bag the golden digest is pinned over.
+inline BagOfTasks scale_workload(Count n_units) {
+  return BagOfTasks(n_units, scale_task);
+}
+
+}  // namespace entk::core::scale_test

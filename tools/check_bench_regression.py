@@ -22,6 +22,14 @@ same process) is also gated: overhead_fraction must not exceed the
 ceiling, and a missing probe block is an error -- the observability
 layer silently losing its cost measurement is itself a regression.
 
+--checkpoint-overhead-ceiling gates the "checkpoint" probe block the
+same way: bench/scale_sweep's checkpointed-vs-plain comparison (the
+ckpt::Coordinator snapshotting every n_units/8 settled units).  Its
+overhead_fraction is the *virtual-TTC* delta -- captures happen at
+engine-step boundaries off the virtual-time path, so the expected
+value is exactly zero and any drift means a capture perturbed the
+run.  A missing block and a zero-snapshot run are both errors.
+
 Baseline points absent from the candidate are an error (a sweep point
 silently disappearing is itself a regression); candidate points absent
 from the baseline are reported but do not fail the gate.  Baselines
@@ -76,6 +84,42 @@ def check_tracing(candidate, ceiling):
         notes.append(
             f"ok tracing overhead ({compiled}): {overhead:.1%} "
             f"<= {ceiling:.0%} ceiling"
+        )
+    return failures, notes
+
+
+def check_checkpoint(candidate, ceiling):
+    """Gates the checkpoint probe's overhead fraction against `ceiling`."""
+    failures = []
+    notes = []
+    probe = candidate.get("checkpoint")
+    if probe is None:
+        failures.append(
+            "candidate has no 'checkpoint' probe block: the bench ran "
+            "without its checkpoint-overhead measurement (schema drift?)"
+        )
+        return failures, notes
+    if "overhead_fraction" not in probe:
+        failures.append(
+            "candidate checkpoint probe has no 'overhead_fraction' metric"
+        )
+        return failures, notes
+    overhead = float(probe["overhead_fraction"])
+    snapshots = int(probe.get("snapshots_written", 0))
+    if snapshots == 0:
+        failures.append(
+            "checkpoint probe wrote no snapshots: the checkpointed run "
+            "measured nothing (policy drift?)"
+        )
+    if overhead > ceiling:
+        failures.append(
+            f"checkpoint overhead ({snapshots} snapshots) {overhead:.1%} "
+            f"exceeds the {ceiling:.0%} ceiling"
+        )
+    elif snapshots > 0:
+        notes.append(
+            f"ok checkpoint overhead ({snapshots} snapshots): "
+            f"{overhead:.1%} <= {ceiling:.0%} ceiling"
         )
     return failures, notes
 
@@ -234,6 +278,39 @@ def self_test():
         )
     )
 
+    # Checkpoint probe: over-ceiling fails, under passes, absent block
+    # and a zero-snapshot run are both clear failures.
+    ckpt = {
+        "snapshots_written": 8,
+        "overhead_fraction": 0.12,
+    }
+    failures, _ = check_checkpoint({"checkpoint": ckpt}, 0.05)
+    checks.append(("checkpoint overhead over ceiling caught", bool(failures)))
+    failures, notes = check_checkpoint({"checkpoint": ckpt}, 0.50)
+    checks.append(
+        (
+            "checkpoint overhead under ceiling passes",
+            not failures and any("checkpoint" in n for n in notes),
+        )
+    )
+    failures, _ = check_checkpoint({}, 0.05)
+    checks.append(
+        (
+            "missing checkpoint probe reported",
+            any("checkpoint" in f for f in failures),
+        )
+    )
+    failures, _ = check_checkpoint(
+        {"checkpoint": {"snapshots_written": 0, "overhead_fraction": 0.0}},
+        0.05,
+    )
+    checks.append(
+        (
+            "zero-snapshot checkpoint probe reported",
+            any("no snapshots" in f for f in failures),
+        )
+    )
+
     bad = [name for name, ok in checks if not ok]
     for name, ok in checks:
         print(f"{'ok' if ok else 'FAIL'} self-test: {name}")
@@ -267,6 +344,14 @@ def main():
         "overhead_fraction must not exceed this (e.g. 0.05)",
     )
     parser.add_argument(
+        "--checkpoint-overhead-ceiling",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="also gate the candidate's checkpoint probe: "
+        "overhead_fraction must not exceed this (e.g. 0.05)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in logic checks and exit",
@@ -296,6 +381,12 @@ def main():
         )
         failures.extend(tracing_failures)
         notes.extend(tracing_notes)
+    if args.checkpoint_overhead_ceiling is not None:
+        ckpt_failures, ckpt_notes = check_checkpoint(
+            candidate, args.checkpoint_overhead_ceiling
+        )
+        failures.extend(ckpt_failures)
+        notes.extend(ckpt_notes)
     for note in notes:
         print(note)
     if failures:

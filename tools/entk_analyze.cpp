@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hpp"
+
 #include "analysis/cpp_lexer.hpp"
 #include "analysis/include_graph.hpp"
 #include "analysis/lock_graph.hpp"
@@ -108,13 +110,11 @@ int main(int argc, char** argv) {
     }
     findings += locks.findings.size();
     if (!dot_path.empty()) {
-      std::ofstream out(dot_path, std::ios::binary);
-      if (!out) {
+      if (!entk::write_file_atomic(dot_path, locks.dot).is_ok()) {
         std::fprintf(stderr, "entk-analyze: cannot write %s\n",
                      dot_path.c_str());
         return 2;
       }
-      out << locks.dot;
     }
     std::printf(
         "entk-analyze --locks: %zu files, %zu locks, %zu edges, "

@@ -26,6 +26,15 @@
 //                          same code yields virtual seconds on the sim
 //                          backend; raw reads silently desynchronise
 //                          traces and profiles (docs/OBSERVABILITY.md).
+//   raw-file-write         No bare std::ofstream / fopen() outside the
+//                          crash-consistent helper common/atomic_file.*.
+//                          Run artifacts (traces, profiles, metrics,
+//                          bench JSON) must go through
+//                          entk::write_file_atomic /
+//                          entk::AtomicFileWriter so a mid-write kill
+//                          never leaves a torn file; sandbox-local task
+//                          outputs may allow(raw-file-write) with a
+//                          justification (docs/RESILIENCE.md).
 //   own-header-first       A foo.cpp with a sibling foo.hpp includes it
 //                          first, proving the header is self-contained.
 //   using-namespace-header No `using namespace` at any scope in a
@@ -104,6 +113,13 @@ bool is_clock_header(const fs::path& path) {
   return has_suffix(path, "common/clock.hpp");
 }
 
+/// True for the crash-consistent write helper itself, the one place
+/// allowed to open files for writing directly.
+bool is_atomic_write_helper(const fs::path& path) {
+  return has_suffix(path, "common/atomic_file.hpp") ||
+         has_suffix(path, "common/atomic_file.cpp");
+}
+
 /// True when `path` (relative to the scanned root) lives in a runtime
 /// directory where timed polling is banned.
 bool in_runtime_dir(const fs::path& relative) {
@@ -165,6 +181,27 @@ FileReport lint_file(const fs::path& path, const fs::path& relative) {
               "::now() is banned outside common/clock.hpp; stamp time "
               "through entk::Clock (or steady_deadline_after for "
               "CondVar deadlines)");
+      continue;
+    }
+
+    if (!is_atomic_write_helper(path) && t.text == "std" &&
+        text(i + 1) == "::" && text(i + 2) == "ofstream") {
+      add(t.line, "raw-file-write",
+          "std::ofstream is banned for run artifacts; write through "
+          "entk::write_file_atomic / entk::AtomicFileWriter "
+          "(common/atomic_file.hpp) so a mid-write kill never leaves a "
+          "torn file");
+      continue;
+    }
+
+    if (!is_atomic_write_helper(path) && t.text == "fopen" &&
+        (text(i + 1) == "(" ||
+         (i >= 2 && text(i - 1) == "::" && text(i - 2) == "std"))) {
+      add(t.line, "raw-file-write",
+          "fopen() is banned for run artifacts; write through "
+          "entk::write_file_atomic / entk::AtomicFileWriter "
+          "(common/atomic_file.hpp) so a mid-write kill never leaves a "
+          "torn file");
       continue;
     }
 

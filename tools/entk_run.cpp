@@ -2,13 +2,21 @@
 //
 //   entk-run workload.entk [--profile-prefix out/run1] [--csv]
 //            [--trace out.json] [--metrics out.txt]
+//            [--checkpoint-dir ckpts [--checkpoint-every 1000]
+//             [--checkpoint-interval 600] [--resume ckpts/ckpt-000001.entkckpt]]
 //
-// See core/workload_file.hpp for the file format. Exit codes:
-// 0 success, 1 usage error, 2 load/parse error, 3 run failure.
+// See core/workload_file.hpp for the file format and docs/RESILIENCE.md
+// for checkpoint/restart. Exit codes: 0 success (including a SIGTERM/
+// SIGINT stop after a final snapshot), 1 usage error, 2 load/parse
+// error, 3 run failure.
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 
+#include "ckpt/checkpointed_run.hpp"
+#include "common/atomic_file.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/entk.hpp"
@@ -30,12 +38,32 @@ void print_usage() {
          "                             Chrome trace-event JSON file\n"
          "  --metrics <path>           write runtime metrics as text\n"
          "                             ('-' for stdout)\n"
+         "  --checkpoint-dir <dir>     write crash-consistent snapshots\n"
+         "                             into <dir> (sim backend only);\n"
+         "                             SIGTERM/SIGINT write a final\n"
+         "                             snapshot and exit cleanly\n"
+         "  --checkpoint-every <n>     snapshot every <n> settled units\n"
+         "                             (default 1000)\n"
+         "  --checkpoint-interval <s>  also snapshot every <s> virtual\n"
+         "                             seconds (default off)\n"
+         "  --resume <snapshot>        resume the workload from a\n"
+         "                             snapshot written by an earlier\n"
+         "                             checkpointed run\n"
          "  --help                     this text\n";
 }
 
 // Events per thread retained while tracing; big enough that even a
 // 100k-unit sim run keeps every event (each unit emits ~10).
 constexpr std::size_t kTraceCapacity = std::size_t{1} << 21;
+
+// async-signal-safe: the handler only sets the flag; the coordinator
+// polls it at engine-step boundaries and writes the final snapshot
+// from the main thread.
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
 
 }  // namespace
 
@@ -46,6 +74,10 @@ int main(int argc, char** argv) {
   std::string profile_prefix;
   std::string trace_path;
   std::string metrics_path;
+  std::string checkpoint_dir;
+  std::string resume_path;
+  std::uint64_t checkpoint_every = 1000;
+  double checkpoint_interval = 0.0;
   bool csv = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -80,6 +112,38 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
       continue;
     }
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 1;
+      }
+      checkpoint_dir = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 1;
+      }
+      checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--checkpoint-interval") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 1;
+      }
+      checkpoint_interval = std::strtod(argv[++i], nullptr);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 1;
+      }
+      resume_path = argv[++i];
+      continue;
+    }
     if (workload_path.empty()) {
       workload_path = argv[i];
       continue;
@@ -89,6 +153,11 @@ int main(int argc, char** argv) {
   }
   if (workload_path.empty()) {
     print_usage();
+    return 1;
+  }
+  if (!resume_path.empty() && checkpoint_dir.empty()) {
+    std::cerr << "entk-run: --resume needs --checkpoint-dir (the resumed "
+                 "run keeps checkpointing into it)\n";
     return 1;
   }
 
@@ -117,7 +186,33 @@ int main(int argc, char** argv) {
     recorder.set_capacity_per_thread(kTraceCapacity);
     recorder.set_enabled(true);
   }
-  auto report = core::run_workload(resolved.value(), registry);
+  Result<core::RunReport> report =
+      make_error(Errc::kInternal, "run not attempted");
+  bool checkpoint_stop = false;
+  std::string last_snapshot;
+  if (!checkpoint_dir.empty()) {
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    ckpt::CheckpointedRunOptions ckpt_options;
+    ckpt_options.directory = checkpoint_dir;
+    ckpt_options.policy.every_settled = checkpoint_every;
+    ckpt_options.policy.every_interval = checkpoint_interval;
+    ckpt_options.resume_path = resume_path;
+    ckpt_options.stop_requested = [] {
+      return g_stop_requested.load(std::memory_order_relaxed);
+    };
+    auto run = ckpt::run_workload_with_checkpoints(resolved.value(),
+                                                   registry, ckpt_options);
+    if (run.ok()) {
+      checkpoint_stop = run.value().checkpoint_stop;
+      last_snapshot = run.value().last_snapshot_path;
+      report = std::move(run.value().report);
+    } else {
+      report = run.status();
+    }
+  } else {
+    report = core::run_workload(resolved.value(), registry);
+  }
   if (!trace_path.empty()) {
     auto& recorder = obs::TraceRecorder::instance();
     recorder.set_enabled(false);
@@ -136,14 +231,11 @@ int main(int argc, char** argv) {
     const std::string text = obs::Metrics::instance().to_text();
     if (metrics_path == "-") {
       std::cout << text;
-    } else {
-      std::ofstream out(metrics_path);
-      out << text;
-      if (!out) {
-        std::cerr << "entk-run: cannot write metrics to " << metrics_path
-                  << "\n";
-        return 3;
-      }
+    } else if (Status status = write_file_atomic(metrics_path, text);
+               !status.is_ok()) {
+      std::cerr << "entk-run: cannot write metrics to " << metrics_path
+                << ": " << status.to_string() << "\n";
+      return 3;
     }
   }
   if (!report.ok()) {
@@ -186,6 +278,14 @@ int main(int argc, char** argv) {
                 << status.to_string() << "\n";
       return 3;
     }
+  }
+  if (checkpoint_stop) {
+    std::cerr << "entk-run: stopped on request after writing "
+              << last_snapshot << "\n"
+              << "entk-run: resume with: entk-run " << workload_path
+              << " --checkpoint-dir " << checkpoint_dir << " --resume "
+              << last_snapshot << "\n";
+    return 0;
   }
   if (!report.value().outcome.is_ok()) {
     std::cerr << "entk-run: workload finished with failures: "
