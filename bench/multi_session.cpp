@@ -1,0 +1,76 @@
+// Standalone multi-session bench lane.
+//
+// Runs the shared probe (bench/multi_session_probe.hpp): 1/2/4/8
+// concurrent sessions splitting one machine, per-session TTC compared
+// against the same carve-up run serially and against a solo run on
+// the full machine. Prints a table and writes a JSON document
+// tools/check_bench_regression.py can gate with
+// --multi-session-isolation-ceiling / --multi-session-inflation-
+// ceiling (bench/scale_sweep embeds the identical block into
+// BENCH_scale.json).
+//
+//   multi_session [--full] [--out BENCH_multi_session.json]
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_file.hpp"
+#include "multi_session_probe.hpp"
+
+int main(int argc, char** argv) {
+  using namespace entk;
+  bool full = false;
+  std::string out_path = "BENCH_multi_session.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: multi_session [--full] [--out path]\n";
+      return 2;
+    }
+  }
+  const std::string mode = full ? "full" : "smoke";
+  const Count total_cores = full ? 2048 : 512;
+  const Count units = full ? 10000 : 1000;
+
+  std::cout << "=== Multi-session sweep (" << mode
+            << " mode): concurrent sessions on one backend ===\n\n";
+  const bench::MultiSessionProbe probe =
+      bench::run_multi_session_probe(total_cores, units);
+  bench::print_multi_session_table(probe);
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"entk.bench.scale/1\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"multi_session\": " << bench::multi_session_json(probe, "  ")
+      << "\n";
+  out << "}\n";
+  if (Status status = write_file_atomic(out_path, out.str());
+      !status.is_ok()) {
+    std::cerr << "BENCH FAILURE: cannot write " << out_path << ": "
+              << status.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << out_path << "\n";
+
+  // Inline gates mirroring the regression script's defaults, so the
+  // lane fails fast even without the baseline comparison step.
+  if (probe.max_isolation_ratio > 1.05) {
+    std::cerr << "BENCH FAILURE: cross-session isolation ratio "
+              << format_double(probe.max_isolation_ratio, 4)
+              << " above the 1.05 ceiling (a session's presence moved "
+                 "another session's virtual schedule)\n";
+    return 1;
+  }
+  if (probe.max_normalized_inflation > 3.0) {
+    std::cerr << "BENCH FAILURE: normalised shared-capacity inflation "
+              << format_double(probe.max_normalized_inflation, 2)
+              << " above the 3.0 ceiling\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,311 @@
+// Multi-session TTC-inflation probe, shared by bench/multi_session
+// (the standalone lane) and bench/scale_sweep (which embeds the
+// result into BENCH_scale.json).
+//
+// The question: what does sharing one process / one engine cost a
+// workload? For each fleet size n in {1, 2, 4, 8}, n sessions each
+// run the same heterogeneous bag concurrently on one backend, with
+// the machine's cores split evenly between them, and we compare
+// against two baselines:
+//
+//  - the SAME carve-up run serially (one fresh backend per workload,
+//    same cores-per-session): `isolation_ratio`, concurrent mean
+//    per-session TTC over serial mean. Sessions multiplex one engine
+//    but own their pilots, so the expected value is exactly 1.0 —
+//    any drift means one session's presence perturbed another's
+//    virtual schedule. This is the gated number (deterministic, like
+//    the checkpoint probe's TTC delta).
+//
+//  - a solo run on the FULL machine: `inflation_vs_full`, the
+//    shared-capacity inflation — with 1/n of the cores a session's
+//    TTC stretches roughly n-fold, so the normalised form
+//    `inflation_vs_full / n` is gated with generous headroom (it
+//    exceeds 1.0 only through scheduling granularity at the thinner
+//    per-session allocation, not through cross-session interference).
+//
+// The makespan speedup (serial total over concurrent total) is the
+// headline "sharing pays off" number and is reported, not gated: at
+// equal carve-ups the n sessions' spans overlap almost perfectly, so
+// it approaches n.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/entk.hpp"
+
+namespace entk::bench {
+
+/// Same synthetic large machine as the scale sweeps (light overheads,
+/// no batch wait) under its own name.
+inline sim::MachineProfile multi_session_profile(Count cores) {
+  sim::MachineProfile p;
+  p.name = "bench.multi";
+  p.cores_per_node = 64;
+  p.nodes = (cores + p.cores_per_node - 1) / p.cores_per_node;
+  p.memory_per_node_gb = 256.0;
+  p.performance_factor = 1.0;
+  p.unit_spawn_overhead = 0.001;
+  p.spawner_concurrency = 64;
+  p.unit_launch_latency = 0.002;
+  p.pilot_bootstrap = 0.1;
+  p.batch_base_wait = 0.0;
+  p.batch_wait_per_node = 0.0;
+  p.staging_latency = 0.001;
+  p.staging_bandwidth_mb_per_s = 1000.0;
+  return p;
+}
+
+/// Deterministically heterogeneous sleep bag (100 s +- 50%), the
+/// sweep workload shape.
+inline core::BagOfTasks multi_session_workload(Count n_units) {
+  return core::BagOfTasks(n_units, [](const core::StageContext& context) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(context.instance) * 7919 +
+                   17);
+    core::TaskSpec spec;
+    spec.kernel = "misc.sleep";
+    spec.args.set("duration", 100.0 * (0.5 + rng.uniform()));
+    return spec;
+  });
+}
+
+struct MultiSessionPoint {
+  std::size_t n_sessions = 0;
+  Count cores_per_session = 0;
+  std::size_t units_per_session = 0;
+  double concurrent_mean_ttc = 0.0;  ///< Virtual s, mean over sessions.
+  double concurrent_max_ttc = 0.0;
+  double concurrent_makespan = 0.0;  ///< Virtual span of the shared wait.
+  double serial_mean_ttc = 0.0;      ///< Same carve-up, run one-at-a-time.
+  double serial_makespan = 0.0;      ///< Sum of the serial TTCs.
+  double isolation_ratio = 0.0;      ///< concurrent/serial mean (gate: 1.0).
+  double inflation_vs_full = 0.0;    ///< concurrent mean / solo-full TTC.
+  double normalized_inflation = 0.0; ///< inflation_vs_full / n_sessions.
+  double makespan_speedup = 0.0;     ///< serial/concurrent makespan.
+  double wall_seconds = 0.0;         ///< Real time of the concurrent run.
+};
+
+struct MultiSessionProbe {
+  Count total_cores = 0;
+  std::size_t units_per_session = 0;
+  double solo_full_ttc = 0.0;  ///< One session, all cores.
+  std::vector<MultiSessionPoint> points;
+  double max_isolation_ratio = 0.0;
+  double max_normalized_inflation = 0.0;
+};
+
+namespace multi_session_detail {
+
+inline core::ResourceOptions session_resources(Count cores) {
+  core::ResourceOptions options;
+  options.cores = cores;
+  options.runtime = 4.0e6;
+  options.scheduler_policy = "backfill";
+  return options;
+}
+
+[[noreturn]] inline void fail(const std::string& where,
+                              const Status& status) {
+  std::cerr << "BENCH FAILURE (multi_session/" << where
+            << "): " << status.to_string() << "\n";
+  std::exit(1);
+}
+
+/// One workload alone on a fresh backend; returns its TTC.
+inline double solo_ttc(Count machine_cores, Count session_cores,
+                       Count n_units) {
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::SimBackend backend(multi_session_profile(machine_cores));
+  core::Runtime runtime(backend, registry);
+  auto session = runtime.create_session(
+      {"solo", session_resources(session_cores)});
+  if (!session.ok()) fail("solo/create", session.status());
+  if (Status status = session.value()->allocate(); !status.is_ok()) {
+    fail("solo/allocate", status);
+  }
+  core::BagOfTasks pattern = multi_session_workload(n_units);
+  auto report = session.value()->run(pattern);
+  if (!report.ok()) fail("solo/run", report.status());
+  if (!report.value().outcome.is_ok()) {
+    fail("solo/outcome", report.value().outcome);
+  }
+  (void)session.value()->deallocate();
+  return report.value().overheads.ttc;
+}
+
+}  // namespace multi_session_detail
+
+/// Runs the full probe: solo-full baseline, then one concurrent +
+/// serial pair per fleet size.
+inline MultiSessionProbe run_multi_session_probe(
+    Count total_cores, Count units_per_session,
+    const std::vector<std::size_t>& fleet_sizes = {1, 2, 4, 8}) {
+  namespace detail = multi_session_detail;
+  MultiSessionProbe probe;
+  probe.total_cores = total_cores;
+  probe.units_per_session = static_cast<std::size_t>(units_per_session);
+  probe.solo_full_ttc =
+      detail::solo_ttc(total_cores, total_cores, units_per_session);
+
+  for (const std::size_t n : fleet_sizes) {
+    MultiSessionPoint point;
+    point.n_sessions = n;
+    point.cores_per_session = total_cores / static_cast<Count>(n);
+    point.units_per_session = probe.units_per_session;
+
+    // Concurrent: n sessions, one backend, one shared wait.
+    {
+      auto registry = kernels::KernelRegistry::with_builtin_kernels();
+      pilot::SimBackend backend(multi_session_profile(total_cores));
+      core::Runtime runtime(backend, registry);
+      std::vector<std::shared_ptr<core::Session>> sessions;
+      std::vector<std::unique_ptr<core::BagOfTasks>> patterns;
+      for (std::size_t i = 0; i < n; ++i) {
+        auto session = runtime.create_session(
+            {"s" + std::to_string(i + 1),
+             detail::session_resources(point.cores_per_session)});
+        if (!session.ok()) {
+          detail::fail("concurrent/create", session.status());
+        }
+        if (Status status = session.value()->allocate();
+            !status.is_ok()) {
+          detail::fail("concurrent/allocate", status);
+        }
+        sessions.push_back(session.take());
+        patterns.push_back(std::make_unique<core::BagOfTasks>(
+            multi_session_workload(units_per_session)));
+      }
+      std::vector<core::Runtime::SessionRun> runs;
+      for (std::size_t i = 0; i < n; ++i) {
+        runs.push_back({sessions[i], patterns[i].get()});
+      }
+      const TimePoint virtual_start = backend.clock().now();
+      const auto start = std::chrono::steady_clock::now();
+      auto reports = runtime.run_concurrent(runs);
+      point.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!reports.ok()) detail::fail("concurrent/run", reports.status());
+      point.concurrent_makespan = backend.clock().now() - virtual_start;
+      for (const auto& report : reports.value()) {
+        if (!report.outcome.is_ok()) {
+          detail::fail("concurrent/outcome", report.outcome);
+        }
+        point.concurrent_mean_ttc += report.overheads.ttc;
+        point.concurrent_max_ttc =
+            std::max(point.concurrent_max_ttc, report.overheads.ttc);
+      }
+      point.concurrent_mean_ttc /= static_cast<double>(n);
+      for (auto& session : sessions) (void)session->deallocate();
+    }
+
+    // Serial baseline: the same carve-up, one workload at a time.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ttc = detail::solo_ttc(
+          total_cores, point.cores_per_session, units_per_session);
+      point.serial_mean_ttc += ttc;
+      point.serial_makespan += ttc;
+    }
+    point.serial_mean_ttc /= static_cast<double>(n);
+
+    point.isolation_ratio =
+        point.serial_mean_ttc > 0.0
+            ? point.concurrent_mean_ttc / point.serial_mean_ttc
+            : 0.0;
+    point.inflation_vs_full =
+        probe.solo_full_ttc > 0.0
+            ? point.concurrent_mean_ttc / probe.solo_full_ttc
+            : 0.0;
+    point.normalized_inflation =
+        point.inflation_vs_full / static_cast<double>(n);
+    point.makespan_speedup =
+        point.concurrent_makespan > 0.0
+            ? point.serial_makespan / point.concurrent_makespan
+            : 0.0;
+    probe.max_isolation_ratio =
+        std::max(probe.max_isolation_ratio, point.isolation_ratio);
+    probe.max_normalized_inflation = std::max(
+        probe.max_normalized_inflation, point.normalized_inflation);
+    probe.points.push_back(point);
+  }
+  return probe;
+}
+
+/// The probe as a JSON object (no trailing newline); `indent` is the
+/// column the opening brace sits at, for embedding into a larger
+/// document.
+inline std::string multi_session_json(const MultiSessionProbe& probe,
+                                      const std::string& indent) {
+  const auto number = [](double value) {
+    std::ostringstream out;
+    out.precision(6);
+    out << std::fixed << value;
+    return out.str();
+  };
+  std::ostringstream out;
+  out << "{\n";
+  out << indent << "  \"total_cores\": " << probe.total_cores << ",\n";
+  out << indent << "  \"units_per_session\": " << probe.units_per_session
+      << ",\n";
+  out << indent << "  \"solo_full_ttc\": " << number(probe.solo_full_ttc)
+      << ",\n";
+  out << indent << "  \"max_isolation_ratio\": "
+      << number(probe.max_isolation_ratio) << ",\n";
+  out << indent << "  \"max_normalized_inflation\": "
+      << number(probe.max_normalized_inflation) << ",\n";
+  out << indent << "  \"points\": [\n";
+  for (std::size_t i = 0; i < probe.points.size(); ++i) {
+    const MultiSessionPoint& p = probe.points[i];
+    out << indent << "    {\"n_sessions\": " << p.n_sessions
+        << ", \"cores_per_session\": " << p.cores_per_session
+        << ", \"units_per_session\": " << p.units_per_session
+        << ", \"concurrent_mean_ttc\": " << number(p.concurrent_mean_ttc)
+        << ", \"concurrent_max_ttc\": " << number(p.concurrent_max_ttc)
+        << ", \"concurrent_makespan\": " << number(p.concurrent_makespan)
+        << ", \"serial_mean_ttc\": " << number(p.serial_mean_ttc)
+        << ", \"serial_makespan\": " << number(p.serial_makespan)
+        << ", \"isolation_ratio\": " << number(p.isolation_ratio)
+        << ", \"inflation_vs_full\": " << number(p.inflation_vs_full)
+        << ", \"normalized_inflation\": "
+        << number(p.normalized_inflation)
+        << ", \"makespan_speedup\": " << number(p.makespan_speedup)
+        << ", \"wall_seconds\": " << number(p.wall_seconds) << "}"
+        << (i + 1 < probe.points.size() ? "," : "") << "\n";
+  }
+  out << indent << "  ]\n";
+  out << indent << "}";
+  return out.str();
+}
+
+inline void print_multi_session_table(const MultiSessionProbe& probe) {
+  std::cout << "multi-session probe: " << probe.units_per_session
+            << " units/session on " << probe.total_cores
+            << " shared cores (solo-full TTC "
+            << format_double(probe.solo_full_ttc, 1) << " virtual-s)\n";
+  Table table({"sessions", "cores/session", "ttc [vs]", "serial ttc [vs]",
+               "isolation", "inflation/n", "makespan speedup",
+               "wall [s]"});
+  for (const MultiSessionPoint& p : probe.points) {
+    table.add_row({std::to_string(p.n_sessions),
+                   std::to_string(p.cores_per_session),
+                   format_double(p.concurrent_mean_ttc, 1),
+                   format_double(p.serial_mean_ttc, 1),
+                   format_double(p.isolation_ratio, 4),
+                   format_double(p.normalized_inflation, 3),
+                   format_double(p.makespan_speedup, 2),
+                   format_double(p.wall_seconds, 2)});
+  }
+  std::cout << table.to_string();
+}
+
+}  // namespace entk::bench

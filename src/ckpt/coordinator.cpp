@@ -30,30 +30,34 @@ std::string snapshot_basename(std::uint64_t index) {
 }  // namespace
 
 Coordinator::Coordinator(pilot::SimBackend& backend,
-                         core::ResourceHandle& handle, Options options)
-    : backend_(backend), handle_(handle), options_(std::move(options)) {
+                         core::Session& session, Options options)
+    : backend_(backend), session_(session), options_(std::move(options)) {
   ENTK_CHECK(!options_.directory.empty(),
              "checkpoint coordinator needs a directory");
-  ENTK_CHECK(handle_.unit_manager() != nullptr,
-             "checkpoint coordinator needs an allocated handle");
+  ENTK_CHECK(session_.unit_manager() != nullptr,
+             "checkpoint coordinator needs an allocated session");
   std::error_code ec;
   std::filesystem::create_directories(options_.directory, ec);
   // A failure here surfaces as a diagnostic write error on capture.
-  settled_token_ = handle_.unit_manager()->add_settled_observer(
+  settled_token_ = session_.unit_manager()->add_settled_observer(
       [this](const pilot::ComputeUnitPtr&, pilot::UnitState) {
         ++settled_count_;
       });
   observer_registered_ = true;
   last_capture_time_ = backend_.engine().now();
-  backend_.set_step_hook([this] { return on_step(); });
+  step_hook_token_ = backend_.add_step_hook([this] { return on_step(); });
 }
 
+Coordinator::Coordinator(pilot::SimBackend& backend,
+                         core::ResourceHandle& handle, Options options)
+    : Coordinator(backend, handle.session(), std::move(options)) {}
+
 Coordinator::~Coordinator() {
-  backend_.set_step_hook({});
-  // The handle may already have deallocated (which destroys the unit
+  backend_.remove_step_hook(step_hook_token_);
+  // The session may already have deallocated (which destroys the unit
   // manager and with it the observer list).
-  if (observer_registered_ && handle_.unit_manager() != nullptr) {
-    handle_.unit_manager()->remove_settled_observer(settled_token_);
+  if (observer_registered_ && session_.unit_manager() != nullptr) {
+    session_.unit_manager()->remove_settled_observer(settled_token_);
   }
 }
 
@@ -71,12 +75,12 @@ bool Coordinator::is_checkpoint_stop(const Status& status) {
 // ----------------------------------------------------------- capture
 
 bool Coordinator::capture_preconditions_met() const {
-  const auto& pilots = handle_.pilots();
+  const auto& pilots = session_.pilots();
   // A replacement pilot (restart_failed_pilots) breaks the allocate
   // replay the restore path depends on, so runs that used one are not
   // checkpointable from that point on.
   if (pilots.size() !=
-      static_cast<std::size_t>(handle_.options().n_pilots)) {
+      static_cast<std::size_t>(session_.options().n_pilots)) {
     return false;
   }
   for (const auto& held : pilots) {
@@ -125,19 +129,30 @@ Status Coordinator::on_step() {
 Result<Snapshot> Coordinator::capture() {
   Snapshot snap;
   snap.machine = backend_.machine().name;
-  const auto& options = handle_.options();
+  const auto& options = session_.options();
   snap.cores = options.cores;
   snap.n_pilots = options.n_pilots;
   snap.runtime = options.runtime;
   snap.scheduler_policy = options.scheduler_policy;
   snap.pattern_name = pattern_name_;
+  snap.session = session_.name();
   snap.workload_text = workload_text_;
 
   sim::Engine& engine = backend_.engine();
   snap.engine_now = engine.now();
   snap.uid_counters = snapshot_uid_counters();
+  if (!snap.session.empty()) {
+    // A named session's snapshot carries only its own uid families
+    // ("<name>.unit", "<name>.pilot", ...): restoring it while other
+    // sessions keep running must not capture — let alone later stomp —
+    // their counters.
+    const std::string dotted = snap.session + ".";
+    std::erase_if(snap.uid_counters, [&dotted](const auto& entry) {
+      return entry.first.compare(0, dotted.size(), dotted) != 0;
+    });
+  }
 
-  pilot::UnitManager* manager = handle_.unit_manager();
+  pilot::UnitManager* manager = session_.unit_manager();
   for (const auto& unit : plugin_->all_units()) {
     UnitRecord record;
     record.uid = unit->uid();
@@ -160,7 +175,7 @@ Result<Snapshot> Coordinator::capture() {
     snap.retries.push_back(
         {unit->uid(), engine.event_time(token), engine.event_seq(token)});
   }
-  for (const auto& held : handle_.pilots()) {
+  for (const auto& held : session_.pilots()) {
     auto* agent = dynamic_cast<pilot::SimAgent*>(held->agent());
     ENTK_CHECK(agent != nullptr, "capture preconditions not rechecked");
     snap.pilots.push_back({held->uid(), agent->save_state()});
@@ -197,11 +212,16 @@ Status Coordinator::capture_and_write() {
 
 Status Coordinator::restore_runtime(const Snapshot& snap) {
   ENTK_TRACE_SPAN("ckpt.restore", "ckpt");
-  const auto& options = handle_.options();
+  const auto& options = session_.options();
   if (snap.machine != backend_.machine().name) {
     return make_error(Errc::kInvalidArgument,
                       "snapshot was taken on machine '" + snap.machine +
                           "', not '" + backend_.machine().name + "'");
+  }
+  if (snap.session != session_.name()) {
+    return make_error(Errc::kInvalidArgument,
+                      "snapshot holds session '" + snap.session +
+                          "', not '" + session_.name() + "'");
   }
   if (snap.cores != options.cores || snap.n_pilots != options.n_pilots ||
       snap.scheduler_policy != options.scheduler_policy) {
@@ -218,11 +238,11 @@ Status Coordinator::restore_runtime(const Snapshot& snap) {
                       "snapshot holds pattern '" + snap.pattern_name +
                           "', not '" + pattern_name_ + "'");
   }
-  if (!handle_.allocated()) {
+  if (!session_.allocated()) {
     return make_error(Errc::kFailedPrecondition,
-                      "restore_runtime needs an allocated handle");
+                      "restore_runtime needs an allocated session");
   }
-  const auto& pilots = handle_.pilots();
+  const auto& pilots = session_.pilots();
   if (pilots.size() != snap.pilots.size()) {
     return make_error(Errc::kInvalidArgument,
                       "snapshot holds " +
@@ -238,8 +258,9 @@ Status Coordinator::restore_runtime(const Snapshot& snap) {
           Errc::kFailedPrecondition,
           "pilot uid replay diverged (" + pilots[i]->uid() + " vs " +
               snap.pilots[i].uid +
-              "): reset_uid_counters_for_testing() must run before "
-              "allocate() when resuming in-process");
+              "): reset the uid counters (reset_uid_counters_with_prefix "
+              "for a named session) before allocate() when resuming "
+              "in-process");
     }
     auto* agent = dynamic_cast<pilot::SimAgent*>(pilots[i]->agent());
     if (agent == nullptr || !agent->started()) {
@@ -278,7 +299,7 @@ Status Coordinator::restore_runtime(const Snapshot& snap) {
   restore_uid_counters(snap.uid_counters);
 
   // Recreate every unit and re-register it with the unit manager.
-  pilot::UnitManager* manager = handle_.unit_manager();
+  pilot::UnitManager* manager = session_.unit_manager();
   units_by_uid_.clear();
   std::vector<pilot::ComputeUnitPtr> ordered;
   ordered.reserve(snap.units.size());

@@ -1,7 +1,8 @@
 // Checkpoint/restart coordinator.
 //
-// One Coordinator instance supervises one ResourceHandle on a
-// simulated backend. It hooks two places:
+// One Coordinator instance supervises one Session (or the unnamed
+// session behind a ResourceHandle) on a simulated backend. It hooks
+// two places:
 //  - the unit manager's settled observers (to count progress), and
 //  - the SimBackend step hook (to capture at engine-step boundaries —
 //    the only points where no event callback is mid-flight, so a
@@ -75,9 +76,13 @@ class Coordinator final : public core::GraphRunObserver {
     std::function<bool()> stop_requested;
   };
 
-  /// `handle` must already be allocated. The coordinator registers the
+  /// `session` must already be allocated. The coordinator registers a
   /// backend step hook and a settled observer; both are released by
-  /// the destructor.
+  /// the destructor. Several coordinators may coexist on one backend
+  /// (one per session) — each owns its own step-hook slot.
+  Coordinator(pilot::SimBackend& backend, core::Session& session,
+              Options options);
+  /// Convenience: supervises the unnamed session behind `handle`.
   Coordinator(pilot::SimBackend& backend, core::ResourceHandle& handle,
               Options options);
   ~Coordinator() override;
@@ -89,13 +94,15 @@ class Coordinator final : public core::GraphRunObserver {
   void set_identity(std::string pattern_name, std::string workload_text);
 
   /// Rebuilds the runtime state of `snapshot` into the (freshly
-  /// allocated) handle: verifies identity, restores the engine clock,
+  /// allocated) session: verifies identity, restores the engine clock,
   /// uid counters, units, unit manager, agents and fault model, and
   /// reposts the captured pending events. The next pattern.execute()
   /// with this coordinator attached as graph-run observer then resumes
-  /// instead of starting over. The caller must have called
-  /// reset_uid_counters_for_testing() BEFORE handle.allocate() so the
-  /// pilot uid replay matches the snapshot.
+  /// instead of starting over. The caller must have reset the uid
+  /// counters BEFORE allocate() so the pilot uid replay matches the
+  /// snapshot: reset_uid_counters_with_prefix(session name) for a
+  /// named session (which cannot stomp other live sessions), or
+  /// reset_uid_counters_for_testing() for the legacy unnamed one.
   Status restore_runtime(const Snapshot& snapshot);
 
   // --- GraphRunObserver ---
@@ -123,13 +130,14 @@ class Coordinator final : public core::GraphRunObserver {
   Status capture_and_write();
 
   pilot::SimBackend& backend_;
-  core::ResourceHandle& handle_;
+  core::Session& session_;
   Options options_;
   std::string pattern_name_;
   std::string workload_text_;
 
   std::size_t settled_token_ = 0;
   bool observer_registered_ = false;
+  std::uint64_t step_hook_token_ = 0;
   std::uint64_t settled_count_ = 0;
   std::uint64_t last_capture_settled_ = 0;
   TimePoint last_capture_time_ = 0.0;

@@ -73,6 +73,7 @@ void put_staging(Writer& w, const std::vector<pilot::StagingDirective>& v) {
 
 void put_description(Writer& w, const pilot::UnitDescription& d) {
   w.str(d.name);
+  w.str(d.session);
   w.str(d.executable);
   w.u64(d.arguments.size());
   for (const auto& arg : d.arguments) w.str(arg);
@@ -327,9 +328,10 @@ std::vector<pilot::StagingDirective> get_staging(Reader& r) {
   return v;
 }
 
-pilot::UnitDescription get_description(Reader& r) {
+pilot::UnitDescription get_description(Reader& r, std::uint32_t version) {
   pilot::UnitDescription d;
   d.name = r.str();
+  if (version >= 2) d.session = r.str();
   d.executable = r.str();
   const std::uint64_t n_args = r.count(8);
   for (std::uint64_t i = 0; i < n_args && r.ok(); ++i) {
@@ -488,6 +490,7 @@ std::string encode_payload(const Snapshot& snapshot) {
   w.f64(snapshot.runtime);
   w.str(snapshot.scheduler_policy);
   w.str(snapshot.pattern_name);
+  w.str(snapshot.session);
   w.str(snapshot.workload_text);
   w.f64(snapshot.engine_now);
   w.u64(snapshot.uid_counters.size());
@@ -528,7 +531,8 @@ std::string encode_payload(const Snapshot& snapshot) {
   return w.take();
 }
 
-Result<Snapshot> decode_payload(std::string_view payload) {
+Result<Snapshot> decode_payload(std::string_view payload,
+                                std::uint32_t version) {
   Reader r(payload);
   Snapshot snapshot;
   snapshot.machine = r.str();
@@ -537,6 +541,7 @@ Result<Snapshot> decode_payload(std::string_view payload) {
   snapshot.runtime = r.f64();
   snapshot.scheduler_policy = r.str();
   snapshot.pattern_name = r.str();
+  if (version >= 2) snapshot.session = r.str();
   snapshot.workload_text = r.str();
   snapshot.engine_now = r.f64();
   const std::uint64_t n_counters = r.count(16);
@@ -549,7 +554,7 @@ Result<Snapshot> decode_payload(std::string_view payload) {
   for (std::uint64_t i = 0; i < n_units && r.ok(); ++i) {
     UnitRecord unit;
     unit.uid = r.str();
-    unit.description = get_description(r);
+    unit.description = get_description(r, version);
     unit.state = get_unit_state(r);
     unit.settled = r.boolean();
     unit.notified = r.boolean();
@@ -623,10 +628,11 @@ Result<Snapshot> decode_snapshot(std::string_view bytes) {
   const std::uint32_t version = header.u32();
   const std::uint64_t payload_size = header.u64();
   const std::uint64_t checksum = header.u64();
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return make_error(Errc::kIoError,
                       "unsupported checkpoint format version " +
                           std::to_string(version) + " (this build reads " +
+                          std::to_string(kMinFormatVersion) + ".." +
                           std::to_string(kFormatVersion) + ")");
   }
   const std::string_view payload = bytes.substr(kHeaderSize);
@@ -642,7 +648,7 @@ Result<Snapshot> decode_snapshot(std::string_view bytes) {
                       "corrupt snapshot: payload checksum mismatch "
                       "(bit rot or torn write)");
   }
-  return decode_payload(payload);
+  return decode_payload(payload, version);
 }
 
 Status write_snapshot_file(const std::string& path,

@@ -46,7 +46,11 @@ namespace entk::ckpt {
 
 inline constexpr char kSnapshotMagic[8] = {'E', 'N', 'T', 'K',
                                            'C', 'K', 'P', 'T'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2 adds the owning session name (snapshot identity + per-unit
+/// descriptions). v1 files still decode, with every session field
+/// empty — the legacy single-workload layout.
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 
 /// One compute unit: identity, (re)creation inputs, and captured state.
 struct UnitRecord {
@@ -80,6 +84,11 @@ struct Snapshot {
   Duration runtime = 0.0;
   std::string scheduler_policy;
   std::string pattern_name;
+  /// Owning session (""= legacy unnamed). A named-session snapshot
+  /// restores only into a session of the same name, and its uid
+  /// counters cover only that session's families, so restoring while
+  /// other sessions run in the process cannot stomp their counters.
+  std::string session;
   /// Optional: the serialized workload file (entk-run round-trip).
   std::string workload_text;
 

@@ -9,10 +9,14 @@ const char* lock_rank_name(LockRank rank) {
   switch (rank) {
     case LockRank::kNone:
       return "kNone";
+    case LockRank::kRuntime:
+      return "kRuntime";
     case LockRank::kGraphExecutor:
       return "kGraphExecutor";
     case LockRank::kExecutionPlugin:
       return "kExecutionPlugin";
+    case LockRank::kCallbackGate:
+      return "kCallbackGate";
     case LockRank::kUnitManager:
       return "kUnitManager";
     case LockRank::kPilot:
@@ -33,6 +37,8 @@ const char* lock_rank_name(LockRank rank) {
       return "kUidRegistry";
     case LockRank::kMetricsRegistry:
       return "kMetricsRegistry";
+    case LockRank::kSessionRegistry:
+      return "kSessionRegistry";
     case LockRank::kTraceRecorder:
       return "kTraceRecorder";
     case LockRank::kLogger:

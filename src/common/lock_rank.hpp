@@ -30,8 +30,10 @@ namespace entk {
 // values, no macros.
 enum class LockRank : int {
   kNone = -1,             ///< Unranked: exempt from order checking.
+  kRuntime = 5,           ///< core::Runtime::mutex_ (session registry)
   kGraphExecutor = 10,    ///< core::GraphExecutor::mutex_
   kExecutionPlugin = 20,  ///< core::ExecutionPlugin::mutex_
+  kCallbackGate = 25,     ///< pilot::CallbackGate::mutex_ (teardown)
   kUnitManager = 30,      ///< pilot::UnitManager::mutex_
   kPilot = 40,            ///< pilot::Pilot::mutex_
   kLocalAdaptor = 45,     ///< saga::LocalAdaptor::mutex_
@@ -42,6 +44,7 @@ enum class LockRank : int {
   kThreadPool = 80,       ///< ThreadPool::mutex_
   kUidRegistry = 85,      ///< uid.cpp source registry
   kMetricsRegistry = 90,  ///< obs::Metrics::names_mutex_
+  kSessionRegistry = 91,  ///< obs trace session-name interning
   kTraceRecorder = 92,    ///< obs::TraceRecorder::mutex_
   kLogger = 95,           ///< Logger::mutex_ (log under anything)
 };

@@ -76,6 +76,17 @@ void reset_uid_counters_for_testing() {
   }
 }
 
+void reset_uid_counters_with_prefix(const std::string& family) {
+  const std::string dotted = family + ".";
+  SharedMutexLock lock(g_mutex);
+  for (auto& [prefix, counter] : counters()) {
+    if (prefix != family && prefix.compare(0, dotted.size(), dotted) != 0) {
+      continue;
+    }
+    counter->next.store(0, std::memory_order_relaxed);
+  }
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> snapshot_uid_counters() {
   std::vector<std::pair<std::string, std::uint64_t>> out;
   {

@@ -49,6 +49,12 @@ class UidSource {
 /// UidSource handles remain valid (counters restart at zero).
 void reset_uid_counters_for_testing();
 
+/// Resets only the counters belonging to one uid family: prefixes that
+/// equal `family` or start with `family` + ".". Used when restoring a
+/// named session from a checkpoint so the reset cannot stomp the
+/// counters of sessions still running in this process.
+void reset_uid_counters_with_prefix(const std::string& family);
+
 /// Snapshot of every (prefix, next-counter) pair, sorted by prefix so
 /// the result is deterministic. Used by checkpoint/restart.
 std::vector<std::pair<std::string, std::uint64_t>> snapshot_uid_counters();

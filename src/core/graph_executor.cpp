@@ -57,32 +57,62 @@ GraphExecutor::GraphExecutor(TaskGraph& graph, PatternExecutor& executor)
     : graph_(graph), executor_(executor) {}
 
 Status GraphExecutor::run() {
+  ENTK_RETURN_IF_ERROR(start());
+  return drive_run();
+}
+
+Status GraphExecutor::resume() {
+  ENTK_RETURN_IF_ERROR(start_resumed());
+  return drive_run();
+}
+
+Status GraphExecutor::start() {
   ENTK_RETURN_IF_ERROR(graph_.validate());
   {
     MutexLock lock(mutex_);
     sync_graph_locked();
   }
-  return drive_run();
-}
-
-Status GraphExecutor::resume() {
-  ENTK_RETURN_IF_ERROR(graph_.validate());
-  return drive_run();
-}
-
-Status GraphExecutor::drive_run() {
   use_events_ = executor_.subscribe_settled(
       [this](const pilot::ComputeUnitPtr& unit, pilot::UnitState) {
         on_unit_settled(unit);
       });
   pump();
+  return Status::ok();
+}
+
+Status GraphExecutor::start_resumed() {
+  ENTK_RETURN_IF_ERROR(graph_.validate());
+  use_events_ = executor_.subscribe_settled(
+      [this](const pilot::ComputeUnitPtr& unit, pilot::UnitState) {
+        on_unit_settled(unit);
+      });
+  pump();
+  return Status::ok();
+}
+
+bool GraphExecutor::finished() const {
+  MutexLock lock(mutex_);
+  return finished_;
+}
+
+Status GraphExecutor::outcome() const {
+  MutexLock lock(mutex_);
+  return outcome_;
+}
+
+void GraphExecutor::unsubscribe() {
+  if (use_events_) executor_.unsubscribe_settled();
+  use_events_ = false;
+}
+
+Status GraphExecutor::drive_run() {
   // The one wait of the whole pattern layer: a finished flag flipped
   // by the event pump, not a progress predicate over units.
   const Status driven = executor_.drive_until([this] {
     MutexLock lock(mutex_);
     return finished_;
   });
-  if (use_events_) executor_.unsubscribe_settled();
+  unsubscribe();
   ENTK_RETURN_IF_ERROR(driven);
   MutexLock lock(mutex_);
   return outcome_;
@@ -349,6 +379,7 @@ void GraphExecutor::propagate_skips_locked() {
       settle_into_groups_locked(id, false);
       ++swept;
     }
+    // Aggregate metrics by design. entk-lint: allow(global-run-state)
     obs::Metrics::instance()
         .counter(obs::WellKnownCounter::kGraphNodesSkipped)
         .add(swept);
@@ -378,6 +409,7 @@ void GraphExecutor::propagate_skips_locked() {
     if (reason.is_ok()) continue;
     run.status = NodeStatus::kSkipped;
     run.error = std::move(reason);
+    // Aggregate metrics by design. entk-lint: allow(global-run-state)
     obs::Metrics::instance()
         .counter(obs::WellKnownCounter::kGraphNodesSkipped)
         .add();
@@ -427,6 +459,7 @@ std::vector<NodeId> GraphExecutor::frontier_locked() {
 void GraphExecutor::submit_frontier(const std::vector<NodeId>& frontier) {
   ENTK_TRACE_SPAN("graph.submit_frontier", "graph");
   ENTK_TRACE_COUNTER("graph.frontier_batch", "graph", frontier.size());
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   auto& metrics = obs::Metrics::instance();
   metrics.counter(obs::WellKnownCounter::kGraphFrontierBatches).add();
   metrics.counter(obs::WellKnownCounter::kGraphNodesSubmitted)

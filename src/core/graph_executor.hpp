@@ -72,6 +72,27 @@ class GraphExecutor {
   /// restore_state() instead of starting from scratch.
   Status resume();
 
+  // --- non-blocking run control (Runtime::run_concurrent) ---
+  // run() is start() + drive_until(finished) + unsubscribe() +
+  // outcome();
+  // splitting it lets one backend drive N sessions' executors under a
+  // single wait instead of serializing whole runs.
+  /// Validates and syncs the graph, subscribes to settled events and
+  /// pumps the initial frontier. Events now advance the graph whenever
+  /// anything drives the backend.
+  Status start();
+  /// start() for a checkpoint-restored run: no initial sync (the
+  /// restore injected runs_), same subscription and initial pump.
+  Status start_resumed();
+  /// Whether the run has finished (outcome() is then meaningful).
+  bool finished() const ENTK_EXCLUDES(mutex_);
+  /// The pattern verdict of a finished run.
+  Status outcome() const ENTK_EXCLUDES(mutex_);
+  /// Unsubscribes from settled events. Call once after the run
+  /// finishes — or on teardown of an unfinished run, after which the
+  /// executor no longer reacts to settlements.
+  void unsubscribe();
+
   /// Post-run introspection (tests, tools).
   NodeStatus node_status(NodeId id) const ENTK_EXCLUDES(mutex_);
   std::size_t nodes_submitted() const ENTK_EXCLUDES(mutex_);
@@ -120,7 +141,7 @@ class GraphExecutor {
       ENTK_EXCLUDES(mutex_);
 
  private:
-  /// Shared tail of run()/resume(): subscribe, pump, wait, verdict.
+  /// Shared blocking tail of run()/resume(): wait, detach, verdict.
   Status drive_run();
   struct Event {
     NodeId node;

@@ -111,6 +111,46 @@ class ExecutionPattern {
   /// failure rules, which the graph's verdict scopes enforce).
   virtual Status execute(PatternExecutor& executor);
 
+  /// One in-flight graph run, owned by the caller between
+  /// start_execute() and finish_execute(). Opaque apart from
+  /// finished(); lets N sessions' patterns run concurrently under one
+  /// backend wait (Runtime::run_concurrent) — execute() is
+  /// start_execute + drive_until(finished) + finish_execute.
+  class GraphRun {
+   public:
+    GraphRun();
+    ~GraphRun();
+    GraphRun(const GraphRun&) = delete;
+    GraphRun& operator=(const GraphRun&) = delete;
+
+    /// Whether the underlying graph run finished (false before
+    /// start_execute succeeded).
+    bool finished() const;
+    /// Whether start_execute succeeded and finish_execute has not run.
+    bool active() const { return runner_ != nullptr; }
+
+   private:
+    friend class ExecutionPattern;
+    std::unique_ptr<TaskGraph> graph_;
+    std::unique_ptr<GraphExecutor> runner_;
+    /// The runner refused to start (graph validation): the run is
+    /// finished on arrival and finish_execute reports this status.
+    bool start_failed_ = false;
+    Status start_error_;
+  };
+
+  /// Non-blocking front half of execute(): validate, compile into
+  /// `run`, consult the observer, and start the graph (initial
+  /// frontier submitted, settled events subscribed). On error the run
+  /// stays inactive and finish_execute must not be called.
+  Status start_execute(GraphRun& run, PatternExecutor& executor);
+
+  /// Blocking back half of execute(): `driven` is the caller's
+  /// drive_until verdict. Detaches the executor, resolves the outcome,
+  /// fires the observer end hook and on_graph_executed(), and
+  /// deactivates `run`.
+  Status finish_execute(GraphRun& run, Status driven);
+
   /// Pattern-level failure semantics, compiled into the graph's stage
   /// and chain scopes. Composite patterns (SequencePattern,
   /// AdaptiveLoop) forward their rules to their children.

@@ -1,182 +1,17 @@
 #include "core/resource_handle.hpp"
 
-#include <algorithm>
-
-#include "common/log.hpp"
-#include "obs/trace.hpp"
-
 namespace entk::core {
 
 ResourceHandle::ResourceHandle(pilot::ExecutionBackend& backend,
                                const kernels::KernelRegistry& registry,
                                ResourceOptions options)
-    : backend_(backend),
-      registry_(registry),
-      options_(std::move(options)),
-      pilot_manager_(backend) {
-  ENTK_CHECK(options_.cores >= 1, "resource handle needs >= 1 core");
-  ENTK_CHECK(options_.n_pilots >= 1, "resource handle needs >= 1 pilot");
-  ENTK_CHECK(options_.cores >= options_.n_pilots,
-             "need at least one core per pilot");
-}
-
-bool ResourceHandle::allocated() const {
-  return !pilots_.empty() &&
-         std::all_of(pilots_.begin(), pilots_.end(),
-                     [](const pilot::PilotPtr& held) {
-                       return held->state() == pilot::PilotState::kActive;
-                     });
-}
-
-const pilot::PilotPtr& ResourceHandle::pilot() const {
-  ENTK_CHECK(!pilots_.empty(), "resource handle holds no pilot");
-  return pilots_.front();
-}
-
-Status ResourceHandle::allocate() {
-  if (!pilots_.empty() &&
-      std::any_of(pilots_.begin(), pilots_.end(),
-                  [](const pilot::PilotPtr& held) {
-                    return !pilot::is_final(held->state());
-                  })) {
-    return make_error(Errc::kFailedPrecondition,
-                      "resource handle already holds pilots");
-  }
-  pilots_.clear();
-  obs::ScopedTraceClock trace_clock(backend_.clock());
-  ENTK_TRACE_SPAN("resource.allocate", "core");
-  // Toolkit init + request handling (modelled core overhead).
-  backend_.advance(options_.init_overhead + options_.allocate_overhead);
-  ENTK_TRACE_COUNTER("overhead.core", "core",
-                     options_.init_overhead + options_.allocate_overhead);
-
-  unit_manager_ = std::make_unique<pilot::UnitManager>(backend_);
-  // Split the total cores over the pilots; the first pilots take the
-  // remainder.
-  const Count base = options_.cores / options_.n_pilots;
-  Count remainder = options_.cores % options_.n_pilots;
-  for (Count p = 0; p < options_.n_pilots; ++p) {
-    pilot::PilotDescription description;
-    description.resource = backend_.machine().name;
-    description.cores = base + (remainder > 0 ? 1 : 0);
-    if (remainder > 0) --remainder;
-    description.runtime = options_.runtime;
-    description.queue = options_.queue;
-    description.project = options_.project;
-    auto submitted = pilot_manager_.submit_pilot(
-        description, options_.scheduler_policy);
-    if (!submitted.ok()) return submitted.status();
-    unit_manager_->add_pilot(submitted.value());
-    if (options_.restart_failed_pilots) {
-      watch_for_restart(submitted.value());
-    }
-    pilots_.push_back(submitted.take());
-  }
-  restarts_used_ = 0;
-  for (const auto& held : pilots_) {
-    ENTK_RETURN_IF_ERROR(pilot_manager_.wait_active(held));
-  }
-  ENTK_INFO("core.resource")
-      << pilots_.size() << " pilot(s) active on " << backend_.name();
-  return Status::ok();
-}
-
-void ResourceHandle::watch_for_restart(const pilot::PilotPtr& held) {
-  held->on_state_change([this](pilot::Pilot& failed,
-                               pilot::PilotState state) {
-    if (state != pilot::PilotState::kFailed) return;
-    if (restarts_used_ >= options_.max_pilot_restarts) {
-      ENTK_WARN("core.resource")
-          << failed.uid() << " failed with the restart budget spent";
-      return;
-    }
-    ++restarts_used_;
-    // The unit manager's own kFailed hook ran first (registration
-    // order), so the stranded units are already back in its queue and
-    // rebind to the replacement the moment it becomes active.
-    auto replacement = pilot_manager_.resubmit_like(
-        failed, options_.scheduler_policy);
-    if (!replacement.ok()) {
-      ENTK_WARN("core.resource") << "replacement for " << failed.uid()
-                                 << " failed: "
-                                 << replacement.status().to_string();
-      return;
-    }
-    unit_manager_->add_pilot(replacement.value());
-    watch_for_restart(replacement.value());
-    pilots_.push_back(replacement.take());
-  });
-}
-
-Result<RunReport> ResourceHandle::run(ExecutionPattern& pattern) {
-  if (!allocated()) {
-    return make_error(Errc::kFailedPrecondition,
-                      "resource handle is not allocated");
-  }
-  ExecutionPlugin::Options plugin_options;
-  plugin_options.per_task_overhead = options_.per_task_overhead;
-  ExecutionPlugin plugin(registry_, *unit_manager_, backend_,
-                         plugin_options);
-
-  obs::ScopedTraceClock trace_clock(backend_.clock());
-  const TimePoint started = backend_.clock().now();
-  ENTK_TRACE_SPAN_BEGIN("run", "core", 0, 0);
-  const Status outcome = pattern.execute(plugin);
-  const TimePoint finished = backend_.clock().now();
-  ENTK_TRACE_SPAN_END("run", "core", 0, 0);
-
-  RunReport report;
-  report.outcome = outcome;
-  report.units = plugin.all_units();
-  report.run_span = finished - started;
-  report.overheads = build_overhead_profile(
-      report.units, pilot(), report.run_span, core_overhead(),
-      plugin.pattern_overhead());
-  // With several pilots the startup that gates the run is the slowest.
-  for (const auto& held : pilots_) {
-    report.overheads.pilot_startup =
-        std::max(report.overheads.pilot_startup, held->startup_time());
-    ENTK_TRACE_COUNTER("pilot.startup", "core", held->startup_time());
-  }
-  for (const auto& unit : report.units) {
-    switch (unit->state()) {
-      case pilot::UnitState::kDone:
-        ++report.units_done;
-        break;
-      case pilot::UnitState::kFailed:
-        ++report.units_failed;
-        break;
-      case pilot::UnitState::kCanceled:
-        ++report.units_cancelled;
-        break;
-      default:
-        break;
-    }
-  }
-  report.total_retries = unit_manager_->total_retries();
-  report.recovered_units = unit_manager_->recovered_units();
-  return report;
-}
-
-Status ResourceHandle::deallocate() {
-  if (pilots_.empty()) {
-    return make_error(Errc::kFailedPrecondition,
-                      "resource handle holds no pilot");
-  }
-  obs::ScopedTraceClock trace_clock(backend_.clock());
-  ENTK_TRACE_SPAN("resource.deallocate", "core");
-  backend_.advance(options_.deallocate_overhead);
-  ENTK_TRACE_COUNTER("overhead.core", "core",
-                     options_.deallocate_overhead);
-  Status first_error;
-  for (const auto& held : pilots_) {
-    if (held->state() != pilot::PilotState::kActive) continue;
-    const Status status = pilot_manager_.deallocate(held);
-    if (!status.is_ok() && first_error.is_ok()) first_error = status;
-  }
-  pilots_.clear();
-  unit_manager_.reset();
-  return first_error;
+    : runtime_(backend, registry) {
+  SessionOptions session_options;
+  session_options.resources = std::move(options);
+  auto session = runtime_.create_session(std::move(session_options));
+  // An unnamed session in a fresh runtime cannot clash.
+  ENTK_CHECK(session.ok(), "resource handle session creation failed");
+  session_ = session.take();
 }
 
 }  // namespace entk::core

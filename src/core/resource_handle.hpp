@@ -6,62 +6,23 @@
 //   3. create a resource handle and allocate(),
 //   4. run(pattern) — the execution plugin binds and executes,
 //   5. inspect the RunReport, then deallocate().
+//
+// Since the session refactor this is a thin facade: the handle owns a
+// private Runtime and one unnamed Session and forwards everything
+// (core/session.hpp, where ResourceOptions and RunReport now live,
+// has the ownership story). Unnamed sessions keep the legacy
+// process-wide "unit"/"pilot" uid families, so single-workload
+// programs behave bit-for-bit as before. Applications that want
+// several concurrent workloads share one Runtime and create named
+// sessions instead.
 #pragma once
 
 #include <memory>
 #include <string>
 
-#include "core/execution_plugin.hpp"
-#include "core/overheads.hpp"
-#include "core/pattern.hpp"
-#include "kernels/registry.hpp"
-#include "pilot/pilot_manager.hpp"
-#include "pilot/unit_manager.hpp"
+#include "core/session.hpp"
 
 namespace entk::core {
-
-struct ResourceOptions {
-  Count cores = 1;                ///< Total cores across all pilots.
-  /// Number of pilots to split `cores` over (several smaller
-  /// allocations often clear a busy queue far sooner than one wide
-  /// request — see bench/abl_queue_model). Units are routed
-  /// round-robin over the active pilots.
-  Count n_pilots = 1;
-  Duration runtime = 36000;       ///< Pilot walltime (seconds).
-  std::string queue;              ///< Batch queue (informational).
-  std::string project;            ///< Allocation (informational).
-  std::string scheduler_policy = "backfill";  ///< In-pilot scheduler.
-
-  // Toolkit overhead model (core overhead is their sum; constant per
-  // run, matching the paper's Fig 3).
-  Duration init_overhead = 1.2;        ///< Toolkit initialisation.
-  Duration allocate_overhead = 0.9;    ///< Resource request handling.
-  Duration deallocate_overhead = 0.8;  ///< Resource cancel handling.
-  Duration per_task_overhead = 0.004;  ///< Task creation + submission.
-
-  // Fault tolerance.
-  /// Submit a replacement pilot when one fails (walltime expiry,
-  /// container loss). Units evicted off the dead pilot rebind to the
-  /// replacement through the unit manager's late binding.
-  bool restart_failed_pilots = false;
-  Count max_pilot_restarts = 1;   ///< Replacement budget per handle.
-};
-
-/// What one run(pattern) produced.
-struct RunReport {
-  Status outcome;                 ///< Pattern-level success/failure.
-  OverheadProfile overheads;      ///< TTC decomposition.
-  std::vector<pilot::ComputeUnitPtr> units;  ///< All submitted units.
-  Duration run_span = 0.0;        ///< Clock time inside run().
-
-  // Fault-tolerance tallies for this run's units (retry/recovery
-  // counters are handle-lifetime totals from the unit manager).
-  std::size_t units_done = 0;
-  std::size_t units_failed = 0;      ///< Settled failed (budget spent).
-  std::size_t units_cancelled = 0;
-  std::size_t total_retries = 0;     ///< Failed attempts resubmitted.
-  std::size_t recovered_units = 0;   ///< Requeued off failed pilots.
-};
 
 class ResourceHandle {
  public:
@@ -70,43 +31,39 @@ class ResourceHandle {
                  ResourceOptions options);
 
   /// Submits the pilot and waits for it to come up.
-  Status allocate();
+  Status allocate() { return session_->allocate(); }
 
   /// Executes a pattern on the allocated resources. Task failures are
   /// reported in RunReport::outcome; an error Result means the handle
   /// itself could not run (not allocated, pilot lost, ...).
-  Result<RunReport> run(ExecutionPattern& pattern);
+  Result<RunReport> run(ExecutionPattern& pattern) {
+    return session_->run(pattern);
+  }
 
   /// Cancels/completes the pilot and releases resources.
-  Status deallocate();
+  Status deallocate() { return session_->deallocate(); }
 
-  bool allocated() const;
+  bool allocated() const { return session_->allocated(); }
   /// The first pilot (the only one unless n_pilots > 1).
-  const pilot::PilotPtr& pilot() const;
-  const std::vector<pilot::PilotPtr>& pilots() const { return pilots_; }
-  pilot::UnitManager* unit_manager() { return unit_manager_.get(); }
-  const ResourceOptions& options() const { return options_; }
+  const pilot::PilotPtr& pilot() const { return session_->pilot(); }
+  const std::vector<pilot::PilotPtr>& pilots() const {
+    return session_->pilots();
+  }
+  pilot::UnitManager* unit_manager() { return session_->unit_manager(); }
+  const ResourceOptions& options() const { return session_->options(); }
 
   /// Constant core overhead charged per run (init + allocate +
   /// deallocate model).
-  Duration core_overhead() const {
-    return options_.init_overhead + options_.allocate_overhead +
-           options_.deallocate_overhead;
-  }
+  Duration core_overhead() const { return session_->core_overhead(); }
+
+  /// The unnamed session this handle fronts.
+  Session& session() { return *session_; }
+  /// The handle's private runtime (its PilotManager and registry).
+  Runtime& runtime() { return runtime_; }
 
  private:
-  /// Arms the pilot-restart hook: when `held` fails and the restart
-  /// budget allows, submits a replacement with the same description.
-  void watch_for_restart(const pilot::PilotPtr& held);
-
-  pilot::ExecutionBackend& backend_;
-  const kernels::KernelRegistry& registry_;
-  ResourceOptions options_;
-
-  pilot::PilotManager pilot_manager_;
-  std::unique_ptr<pilot::UnitManager> unit_manager_;
-  std::vector<pilot::PilotPtr> pilots_;
-  Count restarts_used_ = 0;
+  Runtime runtime_;
+  std::shared_ptr<Session> session_;
 };
 
 }  // namespace entk::core

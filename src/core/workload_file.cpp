@@ -428,4 +428,88 @@ Result<RunReport> run_workload(const WorkloadSpec& original,
   return report;
 }
 
+Result<std::vector<RunReport>> run_workloads_concurrent(
+    const std::vector<ConcurrentWorkload>& workloads,
+    const kernels::KernelRegistry& registry) {
+  if (workloads.empty()) {
+    return make_error(Errc::kInvalidArgument,
+                      "concurrent run needs at least one workload");
+  }
+  std::vector<WorkloadSpec> specs;
+  specs.reserve(workloads.size());
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const ConcurrentWorkload& workload = workloads[i];
+    if (workload.session.empty()) {
+      return make_error(Errc::kInvalidArgument,
+                        "concurrent workload " + std::to_string(i) +
+                            " needs a session name");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (workloads[j].session == workload.session) {
+        return make_error(Errc::kInvalidArgument,
+                          "duplicate session name \"" + workload.session +
+                              "\" in concurrent run");
+      }
+    }
+    auto resolved = resolve_workload(workload.spec, registry);
+    if (!resolved.ok()) return resolved.status();
+    specs.push_back(resolved.take());
+    // The sessions share one backend, so the workloads must agree on
+    // what that backend is.
+    if (specs[i].backend != specs[0].backend) {
+      return make_error(Errc::kInvalidArgument,
+                        "concurrent workloads disagree on the backend (" +
+                            specs[0].backend + " vs " + specs[i].backend +
+                            ")");
+    }
+    if (specs[0].backend == "sim" && specs[i].machine != specs[0].machine) {
+      return make_error(Errc::kInvalidArgument,
+                        "concurrent workloads disagree on the machine (" +
+                            specs[0].machine + " vs " + specs[i].machine +
+                            ")");
+    }
+  }
+
+  std::vector<std::unique_ptr<ExecutionPattern>> patterns;
+  patterns.reserve(specs.size());
+  for (const WorkloadSpec& spec : specs) {
+    auto pattern = build_pattern(spec);
+    if (!pattern.ok()) return pattern.status();
+    patterns.push_back(pattern.take());
+  }
+
+  std::unique_ptr<pilot::ExecutionBackend> backend;
+  if (specs[0].backend == "sim") {
+    const auto catalog = sim::MachineCatalog::with_builtin_profiles();
+    auto machine = catalog.find(specs[0].machine);
+    if (!machine.ok()) return machine.status();
+    backend = std::make_unique<pilot::SimBackend>(machine.take());
+  } else {
+    Count total_cores = 0;
+    for (const WorkloadSpec& spec : specs) total_cores += spec.cores;
+    backend = std::make_unique<pilot::LocalBackend>(total_cores);
+  }
+
+  Runtime runtime(*backend, registry);
+  std::vector<Runtime::SessionRun> runs;
+  runs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SessionOptions session_options;
+    session_options.name = workloads[i].session;
+    session_options.resources.cores = specs[i].cores;
+    session_options.resources.runtime = specs[i].runtime;
+    session_options.resources.scheduler_policy = specs[i].scheduler;
+    auto session = runtime.create_session(std::move(session_options));
+    if (!session.ok()) return session.status();
+    ENTK_RETURN_IF_ERROR(session.value()->allocate());
+    runs.push_back({session.take(), patterns[i].get()});
+  }
+  auto reports = runtime.run_concurrent(runs);
+  if (!reports.ok()) return reports.status();
+  for (const Runtime::SessionRun& run : runs) {
+    (void)run.session->deallocate();
+  }
+  return reports;
+}
+
 }  // namespace entk::core

@@ -122,4 +122,22 @@ Result<WorkloadSpec> resolve_workload(const WorkloadSpec& spec,
 Result<RunReport> run_workload(const WorkloadSpec& spec,
                                const kernels::KernelRegistry& registry);
 
+/// One workload of a concurrent batch: the session name it runs under
+/// (unique, non-empty — entk-run uses the file stem) and its spec.
+struct ConcurrentWorkload {
+  std::string session;
+  WorkloadSpec spec;
+};
+
+/// End-to-end concurrent execution (entk-run --concurrent): builds ONE
+/// backend and Runtime, creates one named session per workload against
+/// the shared PilotManager, and drives every pattern together under a
+/// single wait (Runtime::run_concurrent). All workloads must agree on
+/// the backend — and, for the sim backend, on the machine — because
+/// they share it. Reports are in input order; per-workload task
+/// failures land in RunReport::outcome.
+Result<std::vector<RunReport>> run_workloads_concurrent(
+    const std::vector<ConcurrentWorkload>& workloads,
+    const kernels::KernelRegistry& registry);
+
 }  // namespace entk::core

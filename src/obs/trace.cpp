@@ -36,6 +36,42 @@ std::uint32_t next_pilot_ordinal() {
   return ordinal.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+namespace {
+
+// Session-name interning. Leaky for the same reason as the recorder:
+// labels may be resolved during static teardown by exporters.
+Mutex& session_registry_mutex() {
+  static Mutex* const mutex = new Mutex(LockRank::kSessionRegistry);
+  return *mutex;
+}
+
+std::vector<std::string>& session_names() {
+  static std::vector<std::string>* const names =
+      new std::vector<std::string>();
+  return *names;
+}
+
+}  // namespace
+
+std::uint32_t session_ordinal(std::string_view name) {
+  if (name.empty()) return 0;
+  MutexLock lock(session_registry_mutex());
+  std::vector<std::string>& names = session_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i + 1);
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size());
+}
+
+std::string session_label(std::uint32_t ordinal) {
+  if (ordinal == 0) return std::string();
+  MutexLock lock(session_registry_mutex());
+  const std::vector<std::string>& names = session_names();
+  if (ordinal > names.size()) return std::string();
+  return names[ordinal - 1];
+}
+
 /// One thread's ring of event slabs. Only the owning thread writes;
 /// snapshot() reads under the recorder mutex with acquire loads on
 /// `head` and the slab pointers (quiescent-snapshot semantics).
@@ -100,7 +136,8 @@ std::size_t TraceRecorder::capacity_per_thread() const {
 void TraceRecorder::record_always(const char* name, const char* category,
                                   TraceKind kind, double value,
                                   std::uint64_t flow_id,
-                                  std::uint32_t pilot) {
+                                  std::uint32_t pilot,
+                                  std::uint32_t session) {
   ThreadBuffer& buffer = local_buffer();
   const std::uint64_t head =
       buffer.head.load(std::memory_order_relaxed);
@@ -116,6 +153,7 @@ void TraceRecorder::record_always(const char* name, const char* category,
   event.flow_id = flow_id;
   event.thread = buffer.thread;
   event.pilot = pilot;
+  event.session = session;
   event.kind = kind;
   buffer.head.store(head + 1, std::memory_order_release);
 }

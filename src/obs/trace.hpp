@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -49,6 +50,7 @@ struct TraceEvent {
   std::uint64_t flow_id = 0; ///< Unit identity (trace_flow_id); 0=none.
   std::uint32_t thread = 0;  ///< Logical thread (registration order).
   std::uint32_t pilot = 0;   ///< Pilot ordinal; 0 = client/none.
+  std::uint32_t session = 0; ///< Session ordinal; 0 = unnamed/none.
   TraceKind kind = TraceKind::kInstant;
 };
 
@@ -59,6 +61,14 @@ std::uint64_t trace_flow_id(std::string_view uid);
 /// Process-wide 1-based ordinal for pilot agents; ordinal 0 is the
 /// client. The Chrome exporter maps ordinals to trace pids.
 std::uint32_t next_pilot_ordinal();
+
+/// Interns a session name and returns its process-wide 1-based trace
+/// ordinal; the same name always maps to the same ordinal. The empty
+/// name (legacy single-session runs) maps to ordinal 0.
+std::uint32_t session_ordinal(std::string_view name);
+
+/// Name interned for `ordinal`; "" for ordinal 0 or unknown ordinals.
+std::string session_label(std::uint32_t ordinal);
 
 /// Process-wide trace recorder. Leaky singleton: never destructed, so
 /// worker threads may record during static teardown without risk.
@@ -106,9 +116,9 @@ class TraceRecorder {
   /// counted as dropped) when the ring wraps.
   void record(const char* name, const char* category, TraceKind kind,
               double value = 0.0, std::uint64_t flow_id = 0,
-              std::uint32_t pilot = 0) {
+              std::uint32_t pilot = 0, std::uint32_t session = 0) {
     if (!enabled_.load(std::memory_order_relaxed)) return;
-    record_always(name, category, kind, value, flow_id, pilot);
+    record_always(name, category, kind, value, flow_id, pilot, session);
   }
 
   Stats stats() const ENTK_EXCLUDES(mutex_);
@@ -133,7 +143,7 @@ class TraceRecorder {
 
   void record_always(const char* name, const char* category,
                      TraceKind kind, double value, std::uint64_t flow_id,
-                     std::uint32_t pilot);
+                     std::uint32_t pilot, std::uint32_t session);
   ThreadBuffer& local_buffer();
   ThreadBuffer& register_thread() ENTK_EXCLUDES(mutex_);
 
@@ -179,23 +189,25 @@ class ScopedTraceClock {
 class SpanGuard {
  public:
   SpanGuard(const char* name, const char* category,
-            std::uint64_t flow_id = 0, std::uint32_t pilot = 0)
+            std::uint64_t flow_id = 0, std::uint32_t pilot = 0,
+            std::uint32_t session = 0)
       : name_(name),
         category_(category),
         flow_id_(flow_id),
         pilot_(pilot),
+        session_(session),
         armed_(TraceRecorder::instance().enabled()) {
     if (armed_) {
       TraceRecorder::instance().record(name_, category_,
                                        TraceKind::kSpanBegin, 0.0,
-                                       flow_id_, pilot_);
+                                       flow_id_, pilot_, session_);
     }
   }
   ~SpanGuard() {
     if (armed_) {
       TraceRecorder::instance().record(name_, category_,
                                        TraceKind::kSpanEnd, 0.0, flow_id_,
-                                       pilot_);
+                                       pilot_, session_);
     }
   }
 
@@ -207,6 +219,7 @@ class SpanGuard {
   const char* category_;
   std::uint64_t flow_id_;
   std::uint32_t pilot_;
+  std::uint32_t session_;
   bool armed_;
 };
 
@@ -242,6 +255,27 @@ class SpanGuard {
   ::entk::obs::TraceRecorder::instance().record(                       \
       (name), (category), ::entk::obs::TraceKind::kCounter,            \
       static_cast<double>(value))
+#define ENTK_TRACE_SPAN_S(name, category, flow_id, pilot, session)     \
+  ::entk::obs::SpanGuard ENTK_OBS_CONCAT(entk_trace_span_, __LINE__)(  \
+      (name), (category), (flow_id), (pilot), (session))
+#define ENTK_TRACE_SPAN_BEGIN_S(name, category, flow_id, pilot,        \
+                                session)                               \
+  ::entk::obs::TraceRecorder::instance().record(                       \
+      (name), (category), ::entk::obs::TraceKind::kSpanBegin, 0.0,     \
+      (flow_id), (pilot), (session))
+#define ENTK_TRACE_SPAN_END_S(name, category, flow_id, pilot, session) \
+  ::entk::obs::TraceRecorder::instance().record(                       \
+      (name), (category), ::entk::obs::TraceKind::kSpanEnd, 0.0,       \
+      (flow_id), (pilot), (session))
+#define ENTK_TRACE_INSTANT_FLOW_S(name, category, flow_id, pilot,      \
+                                  session)                             \
+  ::entk::obs::TraceRecorder::instance().record(                       \
+      (name), (category), ::entk::obs::TraceKind::kInstant, 0.0,       \
+      (flow_id), (pilot), (session))
+#define ENTK_TRACE_COUNTER_S(name, category, value, session)           \
+  ::entk::obs::TraceRecorder::instance().record(                       \
+      (name), (category), ::entk::obs::TraceKind::kCounter,            \
+      static_cast<double>(value), 0, 0, (session))
 #else
 #define ENTK_TRACE_SPAN(name, category) ((void)0)
 #define ENTK_TRACE_SPAN_FLOW(name, category, flow_id, pilot) ((void)0)
@@ -250,5 +284,17 @@ class SpanGuard {
 #define ENTK_TRACE_INSTANT(name, category) ((void)0)
 #define ENTK_TRACE_INSTANT_FLOW(name, category, flow_id, pilot) ((void)0)
 #define ENTK_TRACE_COUNTER(name, category, value) ((void)0)
+#define ENTK_TRACE_SPAN_S(name, category, flow_id, pilot, session) \
+  ((void)0)
+#define ENTK_TRACE_SPAN_BEGIN_S(name, category, flow_id, pilot,    \
+                                session)                           \
+  ((void)0)
+#define ENTK_TRACE_SPAN_END_S(name, category, flow_id, pilot,      \
+                              session)                             \
+  ((void)0)
+#define ENTK_TRACE_INSTANT_FLOW_S(name, category, flow_id, pilot,  \
+                                  session)                         \
+  ((void)0)
+#define ENTK_TRACE_COUNTER_S(name, category, value, session) ((void)0)
 #endif
 // clang-format on

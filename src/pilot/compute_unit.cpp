@@ -10,7 +10,8 @@ ComputeUnit::ComputeUnit(std::string uid, UnitDescription description,
     : uid_(std::move(uid)),
       description_(std::move(description)),
       clock_(clock),
-      trace_flow_(obs::trace_flow_id(uid_)) {}
+      trace_flow_(obs::trace_flow_id(uid_)),
+      session_ordinal_(obs::session_ordinal(description_.session)) {}
 
 UnitState ComputeUnit::state() const {
   MutexLock lock(mutex_);
@@ -102,32 +103,35 @@ Status ComputeUnit::advance_state(UnitState to, Status failure) {
           exec_stopped_at_ = kNoTime;
           finished_at_ = kNoTime;
           ++epoch_;
-          ENTK_TRACE_INSTANT_FLOW("unit.exec_reset", "unit",
-                                  trace_flow_, 0);
+          ENTK_TRACE_INSTANT_FLOW_S("unit.exec_reset", "unit",
+                                    trace_flow_, 0, session_ordinal_);
         }
         break;
       case UnitState::kExecuting:
         exec_started_at_ = now;
-        ENTK_TRACE_SPAN_BEGIN("unit.exec", "unit", trace_flow_, 0);
+        ENTK_TRACE_SPAN_BEGIN_S("unit.exec", "unit", trace_flow_, 0,
+                                session_ordinal_);
         break;
       case UnitState::kStagingOutput:
         exec_stopped_at_ = now;
-        ENTK_TRACE_SPAN_END("unit.exec", "unit", trace_flow_, 0);
+        ENTK_TRACE_SPAN_END_S("unit.exec", "unit", trace_flow_, 0,
+                              session_ordinal_);
         break;
       case UnitState::kDone:
       case UnitState::kFailed:
       case UnitState::kCanceled:
         if (exec_started_at_ != kNoTime && exec_stopped_at_ == kNoTime) {
           exec_stopped_at_ = now;
-          ENTK_TRACE_SPAN_END("unit.exec", "unit", trace_flow_, 0);
+          ENTK_TRACE_SPAN_END_S("unit.exec", "unit", trace_flow_, 0,
+                              session_ordinal_);
         }
         finished_at_ = now;
         break;
       default:
         break;
     }
-    ENTK_TRACE_INSTANT_FLOW(unit_state_name(to), "unit.state",
-                            trace_flow_, 0);
+    ENTK_TRACE_INSTANT_FLOW_S(unit_state_name(to), "unit.state",
+                              trace_flow_, 0, session_ordinal_);
     if (to == UnitState::kFailed) {
       final_status_ = failure.is_ok()
                           ? make_error(Errc::kExecutionFailed,
@@ -201,7 +205,8 @@ Status ComputeUnit::reset_for_retry() {
   exec_stopped_at_ = kNoTime;
   finished_at_ = kNoTime;
   ++epoch_;
-  ENTK_TRACE_INSTANT_FLOW("unit.exec_reset", "unit", trace_flow_, 0);
+  ENTK_TRACE_INSTANT_FLOW_S("unit.exec_reset", "unit", trace_flow_, 0,
+                            session_ordinal_);
   return Status::ok();
 }
 

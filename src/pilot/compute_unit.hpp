@@ -36,6 +36,11 @@ class ComputeUnit {
   /// once so hot-path instrumentation never re-hashes the uid.
   std::uint64_t trace_flow() const { return trace_flow_; }
 
+  /// Trace ordinal of the owning session (obs::session_ordinal of
+  /// description().session), cached so instrumentation in agents never
+  /// re-interns the name. 0 for legacy unnamed sessions.
+  std::uint32_t session_ordinal() const { return session_ordinal_; }
+
   UnitState state() const ENTK_EXCLUDES(mutex_);
   Status final_status() const ENTK_EXCLUDES(mutex_);
 
@@ -99,6 +104,7 @@ class ComputeUnit {
   const UnitDescription description_;
   const Clock& clock_;
   const std::uint64_t trace_flow_;
+  const std::uint32_t session_ordinal_;
 
   mutable Mutex mutex_{LockRank::kComputeUnit};
   UnitState state_ ENTK_GUARDED_BY(mutex_) = UnitState::kNew;

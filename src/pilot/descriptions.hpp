@@ -23,6 +23,7 @@ struct PilotDescription {
   Duration runtime = 3600;   ///< Walltime of the container job.
   std::string queue;         ///< Batch queue (informational).
   std::string project;       ///< Allocation to charge (informational).
+  std::string session;       ///< Owning session; "" = legacy unnamed.
 
   Status validate() const;
 };
@@ -58,6 +59,9 @@ struct UnitDescription {
   std::map<std::string, std::string> environment;
   Count cores = 1;                  ///< Cores (MPI ranks) required.
   bool uses_mpi = false;            ///< Multi-core MPI launch.
+  /// Owning session; "" = legacy unnamed. Stamped by the UnitManager
+  /// on submission — callers never set it by hand.
+  std::string session;
   std::vector<StagingDirective> input_staging;
   std::vector<StagingDirective> output_staging;
 

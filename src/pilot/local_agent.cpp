@@ -65,6 +65,7 @@ Status LocalAgent::submit(std::vector<ComputeUnitPtr> units) {
         continue;
       }
       unit->stamp_submitted();
+      // Aggregate metrics by design. entk-lint: allow(global-run-state)
       obs::Metrics::instance()
           .counter(obs::WellKnownCounter::kSchedulerWaitingPushes)
           .add();
@@ -154,6 +155,7 @@ void LocalAgent::schedule_locked() {
   if (waiting_.empty() || free_ <= 0) return;
   if (waiting_.min_cores() > free_) return;  // nothing can fit
   ENTK_TRACE_SPAN("agent.schedule", "agent");
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   auto& metrics = obs::Metrics::instance();
   metrics.counter(obs::WellKnownCounter::kSchedulerCycles).add();
   auto selected = scheduler_->select_from(waiting_, free_);
@@ -171,8 +173,9 @@ void LocalAgent::schedule_locked() {
     free_ -= unit->description().cores;
     ++running_;
     spawn_total_ += machine_.unit_spawn_overhead;
-    ENTK_TRACE_INSTANT_FLOW("unit.launched", "agent",
-                            unit->trace_flow(), trace_ordinal_);
+    ENTK_TRACE_INSTANT_FLOW_S("unit.launched", "agent",
+                              unit->trace_flow(), trace_ordinal_,
+                              unit->session_ordinal());
     ComputeUnitPtr launched = std::move(unit);
     pool_->submit([this, launched] { execute(launched); });
   }
@@ -180,8 +183,8 @@ void LocalAgent::schedule_locked() {
 
 void LocalAgent::execute(ComputeUnitPtr unit) {
   const auto& desc = unit->description();
-  ENTK_TRACE_SPAN_FLOW("unit.run_payload", "agent", unit->trace_flow(),
-                       trace_ordinal_);
+  ENTK_TRACE_SPAN_S("unit.run_payload", "agent", unit->trace_flow(),
+                    trace_ordinal_, unit->session_ordinal());
   const fs::path sandbox = session_dir_ / "units" / unit->uid();
   Status status;
   std::error_code ec;

@@ -22,6 +22,8 @@ LocalBackend::LocalBackend(Count cores, fs::path session_dir) {
   if (session_dir.empty()) {
     // The uid counter is only process-unique; include the pid so
     // concurrent processes (parallel ctest) never share a session dir.
+    // Names a per-process sandbox dir, not workload state.
+    // entk-lint: allow(global-run-state)
     session_dir_ =
         fs::temp_directory_path() /
         next_uid("entk-session." + std::to_string(::getpid()));
@@ -45,6 +47,8 @@ Result<std::unique_ptr<Agent>> LocalBackend::make_agent(
     Count cores, const std::string& scheduler_policy) {
   auto scheduler = make_scheduler(scheduler_policy);
   if (!scheduler.ok()) return scheduler.status();
+  // Names a per-process sandbox dir, not workload state.
+  // entk-lint: allow(global-run-state)
   return std::unique_ptr<Agent>(std::make_unique<LocalAgent>(
       machine_, cores, scheduler.take(), adaptor_->clock(),
       session_dir_ / next_uid("pilot-session")));

@@ -28,7 +28,17 @@ Result<PilotPtr> PilotManager::submit_pilot(
   auto agent = backend_.make_agent(description.cores, scheduler_policy);
   if (!agent.ok()) return agent.status();
 
-  auto pilot = std::make_shared<Pilot>(next_uid("pilot"), description,
+  // Session-scoped uid family ("alpha.pilot.000000"): two sessions
+  // allocating through one shared manager draw from independent
+  // counters, so each session's pilot uids match its solo run.
+  // resubmit_like() reuses the finished pilot's description, session
+  // included, so replacements stay in the owner's family.
+  const std::string prefix = description.session.empty()
+                                 ? "pilot"
+                                 : description.session + ".pilot";
+  // prefix is already the owning session's pilot uid family.
+  // entk-lint: allow(global-run-state)
+  auto pilot = std::make_shared<Pilot>(next_uid(prefix), description,
                                        backend_.clock());
   pilot->attach_agent(agent.take());
 
@@ -133,6 +143,24 @@ Result<PilotPtr> PilotManager::resubmit_like(
   ENTK_INFO("pilot.manager") << "resubmitting a replacement for "
                              << finished.uid();
   return submit_pilot(finished.description(), scheduler_policy);
+}
+
+std::vector<PilotPtr> PilotManager::pilots_for_session(
+    const std::string& session) const {
+  std::vector<PilotPtr> owned;
+  for (const PilotPtr& pilot : pilots_) {
+    if (pilot->description().session == session) owned.push_back(pilot);
+  }
+  return owned;
+}
+
+std::size_t PilotManager::pilot_count_for_session(
+    const std::string& session) const {
+  std::size_t count = 0;
+  for (const PilotPtr& pilot : pilots_) {
+    if (pilot->description().session == session) ++count;
+  }
+  return count;
 }
 
 Status PilotManager::cancel(const PilotPtr& pilot) {

@@ -43,9 +43,22 @@ class PilotManager {
                                      "backfill");
 
   const std::vector<PilotPtr>& pilots() const { return pilots_; }
+
+  /// Pilots owned by one session (PilotDescription::session; "" =
+  /// legacy unnamed), in submission order.
+  std::vector<PilotPtr> pilots_for_session(
+      const std::string& session) const;
+
+  /// Number of pilots owned by one session.
+  std::size_t pilot_count_for_session(const std::string& session) const;
+
   ExecutionBackend& backend() { return backend_; }
 
  private:
+  // Like the agents' WaitingIndex, the manager is serialized by its
+  // owner: sessions submit and deallocate pilots from the driver
+  // thread (Runtime::run_concurrent drives all sessions on one
+  // thread); agent worker threads never touch the manager.
   ExecutionBackend& backend_;
   std::vector<PilotPtr> pilots_;
 };

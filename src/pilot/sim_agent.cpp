@@ -67,6 +67,7 @@ Status SimAgent::submit(std::vector<ComputeUnitPtr> units) {
       continue;
     }
     unit->stamp_submitted();
+    // Aggregate metrics by design. entk-lint: allow(global-run-state)
     obs::Metrics::instance()
         .counter(obs::WellKnownCounter::kSchedulerWaitingPushes)
         .add();
@@ -110,6 +111,7 @@ void SimAgent::schedule_loop() {
   if (waiting_.min_cores() > free_) return;
   ++scheduler_cycles_;
   ENTK_TRACE_SPAN("agent.schedule", "agent");
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   auto& metrics = obs::Metrics::instance();
   metrics.counter(obs::WellKnownCounter::kSchedulerCycles).add();
   auto selected = scheduler_->select_from(waiting_, free_);
@@ -227,8 +229,8 @@ void SimAgent::handle_node_failure() {
 
 void SimAgent::launch(ComputeUnitPtr unit) {
   const auto& desc = unit->description();
-  ENTK_TRACE_INSTANT_FLOW("unit.launched", "agent", unit->trace_flow(),
-                          trace_ordinal_);
+  ENTK_TRACE_INSTANT_FLOW_S("unit.launched", "agent", unit->trace_flow(),
+                            trace_ordinal_, unit->session_ordinal());
   ENTK_CHECK(unit->advance_state(UnitState::kStagingInput).is_ok(),
              "launch on non-pending unit");
   const Count epoch = unit->epoch();

@@ -28,11 +28,11 @@ Status SimBackend::drive_until(const std::function<bool()>& done,
   const TimePoint deadline =
       timeout == kTimeInfinity ? kTimeInfinity : engine_.now() + timeout;
   while (!done()) {
-    if (step_hook_) {
-      // Between engine steps every callback cascade has run to
-      // completion, so this is a crash-consistent capture point.
-      Status hook = step_hook_();
-      if (!hook.is_ok()) return hook;
+    // Between engine steps every callback cascade has run to
+    // completion, so this is a crash-consistent capture point.
+    for (const auto& [token, hook] : step_hooks_) {
+      Status status = hook();
+      if (!status.is_ok()) return status;
     }
     const TimePoint next = engine_.next_event_time();
     if (next == kTimeInfinity) {

@@ -2,7 +2,10 @@
 // (engine, cluster, batch queue, SAGA adaptor).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "pilot/backend.hpp"
 #include "saga/sim_batch_adaptor.hpp"
@@ -54,8 +57,23 @@ class SimBackend final : public ExecutionBackend {
   /// drive_until — a consistent cut: no event callback is mid-flight.
   /// A non-ok return aborts drive_until with that status (used by the
   /// kill/resume tests to simulate a crash at an exact point).
+  /// Multi-slot so N sessions' checkpoint coordinators can observe one
+  /// shared engine: hooks run in registration order, first error wins.
   using StepHook = std::function<Status()>;
-  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+  /// Registers a hook; returns a token for remove_step_hook.
+  std::uint64_t add_step_hook(StepHook hook) {
+    const std::uint64_t token = next_hook_token_++;
+    step_hooks_.emplace_back(token, std::move(hook));
+    return token;
+  }
+  void remove_step_hook(std::uint64_t token) {
+    for (auto it = step_hooks_.begin(); it != step_hooks_.end(); ++it) {
+      if (it->first == token) {
+        step_hooks_.erase(it);
+        return;
+      }
+    }
+  }
 
  private:
   sim::Engine engine_;
@@ -63,7 +81,9 @@ class SimBackend final : public ExecutionBackend {
   sim::BatchQueue batch_;
   std::unique_ptr<saga::SimBatchAdaptor> adaptor_;
   std::unique_ptr<sim::FaultModel> faults_;
-  StepHook step_hook_;
+  // Owner-serialized like the rest of the sim world (driver thread).
+  std::vector<std::pair<std::uint64_t, StepHook>> step_hooks_;
+  std::uint64_t next_hook_token_ = 1;
 };
 
 }  // namespace entk::pilot

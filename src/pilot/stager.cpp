@@ -12,6 +12,7 @@ namespace fs = std::filesystem;
 Status execute_staging(const std::vector<StagingDirective>& directives,
                        const fs::path& from_base, const fs::path& to_base) {
   ENTK_TRACE_SPAN("stager.execute", "stager");
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   obs::Metrics::instance()
       .counter(obs::WellKnownCounter::kStagingDirectives)
       .add(directives.size());
@@ -60,6 +61,7 @@ Status execute_staging(const std::vector<StagingDirective>& directives,
 
 Duration staging_delay(const sim::MachineProfile& machine,
                        const std::vector<StagingDirective>& directives) {
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   obs::Metrics::instance()
       .counter(obs::WellKnownCounter::kStagingDirectives)
       .add(directives.size());

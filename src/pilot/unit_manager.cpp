@@ -3,14 +3,35 @@
 #include <algorithm>
 
 #include "common/log.hpp"
-#include "common/uid.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pilot/agent.hpp"
 
 namespace entk::pilot {
 
-UnitManager::UnitManager(ExecutionBackend& backend) : backend_(backend) {}
+UnitManager::UnitManager(ExecutionBackend& backend, std::string session)
+    : backend_(backend),
+      session_(std::move(session)),
+      session_ordinal_(obs::session_ordinal(session_)),
+      unit_uids_(session_.empty() ? "unit" : session_ + ".unit"),
+      gate_(std::make_shared<CallbackGate>()) {
+  if (!session_.empty()) {
+    // Session-labelled counters in the shared registry.
+    // entk-lint: allow(global-run-state)
+    auto& metrics = obs::Metrics::instance();
+    session_done_ = &metrics.counter("session." + session_ + ".units_done");
+    session_failed_ =
+        &metrics.counter("session." + session_ + ".units_failed");
+    session_canceled_ =
+        &metrics.counter("session." + session_ + ".units_canceled");
+    session_submitted_ =
+        &metrics.counter("session." + session_ + ".units_submitted");
+    session_retried_ =
+        &metrics.counter("session." + session_ + ".units_retried");
+  }
+}
+
+UnitManager::~UnitManager() { gate_->close(); }
 
 void UnitManager::add_pilot(PilotPtr pilot) {
   {
@@ -18,33 +39,41 @@ void UnitManager::add_pilot(PilotPtr pilot) {
     pilots_.push_back(pilot);
   }
   // Flush held units the moment the pilot comes up; recover stranded
-  // units the moment it fails.
-  pilot->on_state_change([this](Pilot& changed, PilotState state) {
-    if (state == PilotState::kActive) route_pending();
-    if (state == PilotState::kFailed) recover_from_pilot(changed);
-  });
+  // units the moment it fails. The pilot outlives this manager (it is
+  // owned by the shared PilotManager), so the callback is gated: after
+  // this manager closes the gate, later pilot transitions no-op.
+  std::shared_ptr<CallbackGate> gate = gate_;
+  pilot->on_state_change(
+      [this, gate](Pilot& changed, PilotState state) {
+        if (!gate->enter()) return;
+        if (state == PilotState::kActive) route_pending();
+        if (state == PilotState::kFailed) recover_from_pilot(changed);
+        gate->exit();
+      });
   if (pilot->state() == PilotState::kActive) route_pending();
 }
 
 Result<std::vector<ComputeUnitPtr>> UnitManager::submit_units(
     std::vector<UnitDescription> descriptions) {
-  // Interned handle: unit creation takes one relaxed atomic increment
-  // per uid instead of a global map lookup under a mutex.
-  static const UidSource unit_uids("unit");
   std::vector<ComputeUnitPtr> units;
   units.reserve(descriptions.size());
   for (auto& description : descriptions) {
     ENTK_RETURN_IF_ERROR(description.validate());
+    description.session = session_;
     auto unit = std::make_shared<ComputeUnit>(
-        unit_uids.next(), std::move(description), backend_.clock());
+        unit_uids_.next(), std::move(description), backend_.clock());
     unit->stamp_created();
-    ENTK_TRACE_INSTANT_FLOW("unit.created", "unit", unit->trace_flow(),
-                            0);
+    ENTK_TRACE_INSTANT_FLOW_S("unit.created", "unit", unit->trace_flow(),
+                              0, session_ordinal_);
     ENTK_CHECK(unit->advance_state(UnitState::kPendingExecution).is_ok(),
                "fresh unit");
-    unit->on_state_change([this](ComputeUnit& changed, UnitState state) {
-      handle_state_change(changed, state);
-    });
+    std::shared_ptr<CallbackGate> gate = gate_;
+    unit->on_state_change(
+        [this, gate](ComputeUnit& changed, UnitState state) {
+          if (!gate->enter()) return;
+          handle_state_change(changed, state);
+          gate->exit();
+        });
     units.push_back(std::move(unit));
   }
   {
@@ -55,9 +84,11 @@ Result<std::vector<ComputeUnitPtr>> UnitManager::submit_units(
       ++total_units_;
     }
   }
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   obs::Metrics::instance()
       .counter(obs::WellKnownCounter::kUnitsSubmitted)
       .add(units.size());
+  if (session_submitted_ != nullptr) session_submitted_->add(units.size());
   route_pending();
   return units;
 }
@@ -150,10 +181,13 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
     return;
   }
   unit.note_retry();
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   obs::Metrics::instance()
       .counter(obs::WellKnownCounter::kUnitsRetried)
       .add();
-  ENTK_TRACE_INSTANT_FLOW("unit.retry", "unit", unit.trace_flow(), 0);
+  if (session_retried_ != nullptr) session_retried_->add();
+  ENTK_TRACE_INSTANT_FLOW_S("unit.retry", "unit", unit.trace_flow(), 0,
+                            session_ordinal_);
   Duration delay;
   {
     MutexLock lock(mutex_);
@@ -182,17 +216,25 @@ void UnitManager::handle_state_change(ComputeUnit& unit, UnitState state) {
 void UnitManager::schedule_retry_requeue(ComputeUnitPtr retry,
                                          Duration delay) {
   const ComputeUnit* key = retry.get();
+  // The timer lives in the backend's engine, which outlives this
+  // manager — gate the expiry so a timer firing after teardown no-ops.
+  std::shared_ptr<CallbackGate> gate = gate_;
   const std::uint64_t token =
-      backend_.schedule_after(delay, [this, retry] {
+      backend_.schedule_after(delay, [this, gate, retry] {
+        if (!gate->enter()) return;
+        bool requeued = false;
         {
           MutexLock lock(mutex_);
           retry_timers_.erase(retry.get());
           const auto it = entries_.find(retry.get());
-          if (it == entries_.end() || it->second.settled) return;
-          if (retry->state() != UnitState::kPendingExecution) return;
-          unrouted_.push_back(retry);
+          if (it != entries_.end() && !it->second.settled &&
+              retry->state() == UnitState::kPendingExecution) {
+            unrouted_.push_back(retry);
+            requeued = true;
+          }
         }
-        route_pending();
+        if (requeued) route_pending();
+        gate->exit();
       });
   // Token 0 means the backend cannot introspect timers (local backend):
   // nothing to capture. The sim engine fires strictly later on this
@@ -220,6 +262,7 @@ void UnitManager::settle_and_notify(ComputeUnit& unit, UnitState state) {
     // race window the per-event copy had.
     observers = observers_;
   }
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   auto& metrics = obs::Metrics::instance();
   switch (state) {
     case UnitState::kDone:
@@ -234,6 +277,7 @@ void UnitManager::settle_and_notify(ComputeUnit& unit, UnitState state) {
     default:
       break;
   }
+  bump_session_counter(state);
   const Duration execution = settled->execution_time();
   if (execution > 0.0) {
     metrics.histogram(obs::WellKnownHistogram::kUnitExecutionSeconds)
@@ -248,6 +292,22 @@ void UnitManager::settle_and_notify(ComputeUnit& unit, UnitState state) {
   if (observers == nullptr) return;
   for (const auto& [token, observer] : *observers) {
     observer(settled, state);
+  }
+}
+
+void UnitManager::bump_session_counter(UnitState state) {
+  switch (state) {
+    case UnitState::kDone:
+      if (session_done_ != nullptr) session_done_->add();
+      break;
+    case UnitState::kFailed:
+      if (session_failed_ != nullptr) session_failed_->add();
+      break;
+    case UnitState::kCanceled:
+      if (session_canceled_ != nullptr) session_canceled_->add();
+      break;
+    default:
+      break;
   }
 }
 
@@ -291,6 +351,7 @@ void UnitManager::recover_from_pilot(Pilot& pilot) {
     }
     recovered_units_ += requeued;
   }
+  // Aggregate metrics by design. entk-lint: allow(global-run-state)
   obs::Metrics::instance()
       .counter(obs::WellKnownCounter::kUnitsRecovered)
       .add(requeued);
@@ -329,6 +390,46 @@ Status UnitManager::cancel_unit(const ComputeUnitPtr& unit) {
   }
   return make_error(Errc::kNotFound,
                     "unit " + unit->uid() + " is not active anywhere");
+}
+
+Status UnitManager::drain(Duration timeout) {
+  std::vector<ComputeUnitPtr> open;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [key, entry] : entries_) {
+      if (!entry.settled) open.push_back(entry.unit);
+    }
+  }
+  if (open.empty()) return Status::ok();
+  // entries_ iteration order is unordered; cancel in uid order so
+  // teardown is deterministic.
+  std::sort(open.begin(), open.end(),
+            [](const ComputeUnitPtr& a, const ComputeUnitPtr& b) {
+              return a->uid() < b->uid();
+            });
+  for (const ComputeUnitPtr& unit : open) {
+    const Status cancelled = cancel_unit(unit);
+    if (cancelled.is_ok() ||
+        cancelled.code() == Errc::kFailedPrecondition) {
+      // Cancelled, or found-but-unkillable: wait_units rides it out.
+      continue;
+    }
+    // kNotFound: held by nothing — the unit sits in a retry backoff
+    // whose timer would requeue it. Settle it directly; the stale
+    // timer no-ops against the settled entry.
+    bool was_held = false;
+    {
+      MutexLock lock(mutex_);
+      const auto it = entries_.find(unit.get());
+      if (it != entries_.end() && !it->second.settled) {
+        it->second.settled = true;
+        retry_timers_.erase(unit.get());
+        was_held = true;
+      }
+    }
+    if (was_held) (void)unit->advance_state(UnitState::kCanceled);
+  }
+  return wait_units(open, timeout);
 }
 
 Status UnitManager::wait_units(const std::vector<ComputeUnitPtr>& units,
@@ -418,9 +519,13 @@ void UnitManager::restore_unit(const ComputeUnitPtr& unit, bool settled,
   }
   // Settled units refuse the callback (they can never transition
   // again); everything else re-enters the normal retry/settle flow.
-  unit->on_state_change([this](ComputeUnit& changed, UnitState state) {
-    handle_state_change(changed, state);
-  });
+  std::shared_ptr<CallbackGate> gate = gate_;
+  unit->on_state_change(
+      [this, gate](ComputeUnit& changed, UnitState state) {
+        if (!gate->enter()) return;
+        handle_state_change(changed, state);
+        gate->exit();
+      });
 }
 
 bool UnitManager::unit_entry(const ComputeUnit* unit, bool& settled,

@@ -13,23 +13,101 @@
 // pilots, without burning retry budget.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/mutex.hpp"
 #include "common/rng.hpp"
+#include "common/uid.hpp"
 #include "pilot/backend.hpp"
 #include "pilot/pilot.hpp"
 
+namespace entk::obs {
+class Counter;
+}  // namespace entk::obs
+
 namespace entk::pilot {
+
+/// Rundown protection for callbacks whose registrant may die first.
+///
+/// The UnitManager registers callbacks with objects it does not own:
+/// pilots live on in the shared PilotManager after a session is torn
+/// down, and retry-backoff timers live in the backend's engine. Each
+/// such callback captures a shared_ptr to its manager's gate and brackets
+/// its body with enter()/exit(); the manager's destructor close()s the
+/// gate, which flips new entries to no-ops and blocks until every
+/// in-flight body has exited. After close() returns, the manager can be
+/// destroyed: no callback can touch it again.
+///
+/// enter/exit are two relaxed-ish atomics on the hot path; the mutex +
+/// condvar are touched only during close. Entries count nesting, not
+/// threads, so callbacks that re-enter the manager stay cheap.
+class CallbackGate {
+ public:
+  /// Returns false (after undoing its entry) when the gate is closed;
+  /// the caller must return without touching the manager.
+  bool enter() {
+    active_.fetch_add(1, std::memory_order_acquire);
+    if (closed_.load(std::memory_order_acquire)) {
+      exit();
+      return false;
+    }
+    return true;
+  }
+
+  void exit() {
+    if (active_.fetch_sub(1, std::memory_order_release) == 1 &&
+        closed_.load(std::memory_order_acquire)) {
+      MutexLock lock(mutex_);
+      drained_.notify_all();
+    }
+  }
+
+  /// Closes the gate and blocks until every in-flight callback body has
+  /// exited. Idempotent; must not be called from inside a callback.
+  void close() ENTK_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    closed_.store(true, std::memory_order_release);
+    while (active_.load(std::memory_order_acquire) != 0) {
+      drained_.wait(mutex_);
+    }
+  }
+
+ private:
+  std::atomic<bool> closed_{false};
+  std::atomic<std::int64_t> active_{0};
+  Mutex mutex_{LockRank::kCallbackGate};
+  CondVar drained_;
+};
 
 class UnitManager {
  public:
-  explicit UnitManager(ExecutionBackend& backend);
+  /// `session` scopes the manager to one named session: unit uids draw
+  /// from the "<session>.unit" counter family, submitted descriptions
+  /// are stamped with the session, and settle tallies feed
+  /// per-session metrics. The empty name keeps the legacy process-wide
+  /// "unit" family.
+  explicit UnitManager(ExecutionBackend& backend,
+                       std::string session = "");
+
+  /// Closes the callback gate: blocks until in-flight pilot/unit/timer
+  /// callbacks drain, then detaches this manager from all of them.
+  ~UnitManager();
+
+  UnitManager(const UnitManager&) = delete;
+  UnitManager& operator=(const UnitManager&) = delete;
+
+  /// Owning session name; "" for legacy unnamed managers.
+  const std::string& session() const { return session_; }
+  /// Trace ordinal of the owning session (0 = unnamed).
+  std::uint32_t session_ordinal() const { return session_ordinal_; }
 
   /// Registers a pilot as an execution target. Units are distributed
   /// round-robin over active pilots.
@@ -44,6 +122,14 @@ class UnitManager {
   /// cancelled, or failed with retries exhausted.
   Status wait_units(const std::vector<ComputeUnitPtr>& units,
                     Duration timeout = kTimeInfinity);
+
+  /// Cancels every unsettled unit this manager holds — unrouted, in
+  /// retry backoff, waiting in an agent, or (sim) executing — and
+  /// drives the backend until all of them settle. Units the backend
+  /// cannot kill (local executing) are waited out. Teardown path: a
+  /// session destroyed with units in flight drains here instead of
+  /// racing agent callbacks against destruction.
+  Status drain(Duration timeout = kTimeInfinity) ENTK_EXCLUDES(mutex_);
 
   /// Kills one unit (the paper's kill/replace adaptivity): cancels it
   /// wherever it currently lives — held by this manager, waiting in an
@@ -127,7 +213,27 @@ class UnitManager {
   void schedule_retry_requeue(ComputeUnitPtr retry, Duration delay)
       ENTK_EXCLUDES(mutex_);
 
+  /// Bumps the per-session settle counter for `state` (named sessions
+  /// only; the process-wide well-known counters are always bumped).
+  void bump_session_counter(UnitState state);
+
   ExecutionBackend& backend_;
+  const std::string session_;
+  const std::uint32_t session_ordinal_;
+  /// Interned handle: unit creation takes one relaxed atomic increment
+  /// per uid instead of a global map lookup under a mutex. Per-manager
+  /// so each session draws from its own counter family.
+  const UidSource unit_uids_;
+  /// Shared with every callback this manager registers on pilots,
+  /// units and backend timers; closed (and drained) on destruction.
+  const std::shared_ptr<CallbackGate> gate_;
+  /// Per-session dynamic metric counters; nullptr for unnamed
+  /// managers. Resolved once — obs::Metrics map nodes are stable.
+  obs::Counter* session_done_ = nullptr;
+  obs::Counter* session_failed_ = nullptr;
+  obs::Counter* session_canceled_ = nullptr;
+  obs::Counter* session_submitted_ = nullptr;
+  obs::Counter* session_retried_ = nullptr;
 
   struct Entry {
     ComputeUnitPtr unit;

@@ -1,0 +1,50 @@
+// Corpus: the global-run-state rule under a core/ path. Every
+// reference to process-global run state below carries a justified
+// allow(global-run-state), so entk-lint must report zero violations
+// while still exercising the Metrics/TraceRecorder/next_uid token
+// matchers and both suppression placements.
+//
+// Decoys first: mentions in comments and strings never fire.
+// Metrics::instance() next_uid("unit") TraceRecorder::instance()
+const char* kGlobalDecoy =
+    "obs::Metrics::instance().counter(next_uid(\"x\"))";
+
+namespace obs {
+struct Counter {
+  void add() {}
+};
+struct Metrics {
+  static Metrics& instance();
+  Counter& counter(const char*);
+};
+struct TraceRecorder {
+  static TraceRecorder& instance();
+};
+}  // namespace obs
+
+// Declarations for the corpus trip the token matcher too.
+// entk-lint: allow(global-run-state)
+const char* next_uid(const char* prefix);
+void reset_uid_counters_for_testing();  // entk-lint: allow(global-run-state)
+
+void touch_globals() {
+  // Trailing placement covers its own line.
+  obs::Metrics::instance();  // entk-lint: allow(global-run-state)
+
+  // Standalone placement covers the whole following statement,
+  // even when the banned token sits on a continuation line.
+  // entk-lint: allow(global-run-state)
+  obs::Metrics::instance()
+      .counter("corpus.units")
+      .add();
+
+  // entk-lint: allow(global-run-state)
+  obs::TraceRecorder::instance();
+
+  // entk-lint: allow(global-run-state)
+  const char* uid = next_uid("corpus.unit");
+  (void)uid;
+
+  // entk-lint: allow(global-run-state)
+  reset_uid_counters_for_testing();
+}

@@ -5,6 +5,7 @@
 // In comments: std::mutex std::lock_guard std::condition_variable
 // steady_clock::now() thread.detach() sleep_for using namespace std
 // std::ofstream out(path); fopen("artifact.json", "w")
+// Metrics::instance() TraceRecorder::instance() next_uid("unit")
 /* block comment, same trick: std::unique_lock<std::mutex> lock(m);
    system_clock::now(); worker.detach(); sleep_until(t);
    std::ofstream file(path); FILE* f = std::fopen(path, "wb"); */
@@ -20,6 +21,8 @@ const char* kDecoyRaw = R"lint(
   using namespace std;
   std::ofstream trace("trace.json");
   fopen("BENCH_scale.json", "w");
+  obs::Metrics::instance().counter("x").add();
+  auto uid = next_uid("pilot");
 )lint";
 
 const char* kDecoyClock = "steady_clock::now()";

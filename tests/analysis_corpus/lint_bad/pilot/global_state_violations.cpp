@@ -1,0 +1,21 @@
+// Negative corpus: unsuppressed references to process-global run
+// state under a pilot/ path. entk-lint must flag every statement in
+// touch_globals() — the registered ctest runs with WILL_FAIL so a
+// silently disabled rule breaks the suite.
+namespace obs {
+struct Metrics {
+  static Metrics& instance();
+};
+struct TraceRecorder {
+  static TraceRecorder& instance();
+};
+}  // namespace obs
+
+const char* next_uid(const char* prefix);
+
+void touch_globals() {
+  obs::Metrics::instance();
+  obs::TraceRecorder::instance();
+  const char* uid = next_uid("unit");
+  (void)uid;
+}

@@ -102,7 +102,8 @@ TEST(CppLexer, CorpusDecoyHidesEveryBannedToken) {
        {"mutex", "lock_guard", "unique_lock", "scoped_lock",
         "condition_variable", "steady_clock", "system_clock",
         "high_resolution_clock", "detach", "sleep_for", "sleep_until",
-        "namespace", "ofstream", "fopen"}) {
+        "namespace", "ofstream", "fopen", "Metrics", "TraceRecorder",
+        "next_uid"}) {
     EXPECT_FALSE(has_identifier(file, banned)) << banned;
   }
 }
@@ -137,6 +138,22 @@ TEST(Suppressions, StandaloneMarkerCoversWholeFollowingStatement) {
   EXPECT_TRUE(set.allows("raw-mutex", 3));
   EXPECT_TRUE(set.allows("raw-mutex", 4));
   EXPECT_FALSE(set.allows("raw-mutex", 5));
+}
+
+TEST(Suppressions, JustificationTextMaySharePlacementWithMarker) {
+  // The audited-globals idiom: prose before the marker in the same
+  // comment, standalone placement covering the next statement.
+  const LexedFile file = lex_source(
+      "s.cpp",
+      "// Aggregate metrics. entk-lint: allow(global-run-state)\n"
+      "obs::Metrics::instance()\n"
+      "    .counter(\"x\")\n"
+      "    .add();\n"
+      "after();\n");
+  const SuppressionSet set = scan_suppressions(file, "entk-lint");
+  EXPECT_TRUE(set.allows("global-run-state", 2));
+  EXPECT_TRUE(set.allows("global-run-state", 4));
+  EXPECT_FALSE(set.allows("global-run-state", 5));
 }
 
 TEST(Suppressions, FileMarkerCoversEverything) {

@@ -30,6 +30,19 @@ engine-step boundaries off the virtual-time path, so the expected
 value is exactly zero and any drift means a capture perturbed the
 run.  A missing block and a zero-snapshot run are both errors.
 
+--multi-session-isolation-ceiling and
+--multi-session-inflation-ceiling gate the "multi_session" probe block
+(bench/multi_session_probe.hpp: 1/2/4/8 concurrent sessions splitting
+one machine).  The isolation ratio is per-session TTC concurrent over
+the same carve-up run serially -- sessions own their pilots, so the
+expected value is ~1.0 plus the serialised task-creation charge, and
+drift means one session's presence moved another's virtual schedule.
+The normalised inflation is per-session TTC over the solo-full-machine
+TTC, divided by the fleet size -- the shared-capacity stretch, which
+exceeds 1.0 only through scheduling granularity at the thinner
+per-session allocation.  A missing block or an empty fleet is an
+error.
+
 Baseline points absent from the candidate are an error (a sweep point
 silently disappearing is itself a regression); candidate points absent
 from the baseline are reported but do not fail the gate.  Baselines
@@ -121,6 +134,68 @@ def check_checkpoint(candidate, ceiling):
             f"ok checkpoint overhead ({snapshots} snapshots): "
             f"{overhead:.1%} <= {ceiling:.0%} ceiling"
         )
+    return failures, notes
+
+
+def check_multi_session(candidate, isolation_ceiling, inflation_ceiling):
+    """Gates the multi-session probe's two ratios against the ceilings.
+
+    Either ceiling may be None (not gated); the block itself is
+    required whenever this function is called.
+    """
+    failures = []
+    notes = []
+    probe = candidate.get("multi_session")
+    if probe is None:
+        failures.append(
+            "candidate has no 'multi_session' probe block: the bench "
+            "ran without its concurrent-session measurement "
+            "(schema drift?)"
+        )
+        return failures, notes
+    if not probe.get("points"):
+        failures.append(
+            "multi_session probe has no fleet points: the concurrent "
+            "runs measured nothing (fleet drift?)"
+        )
+        return failures, notes
+    sessions = sorted(int(p.get("n_sessions", 0)) for p in probe["points"])
+    if isolation_ceiling is not None:
+        if "max_isolation_ratio" not in probe:
+            failures.append(
+                "multi_session probe has no 'max_isolation_ratio' metric"
+            )
+        else:
+            ratio = float(probe["max_isolation_ratio"])
+            if ratio > isolation_ceiling:
+                failures.append(
+                    f"multi-session isolation ratio {ratio:.4f} exceeds "
+                    f"the {isolation_ceiling:.2f} ceiling (a session's "
+                    f"presence moved another session's virtual schedule)"
+                )
+            else:
+                notes.append(
+                    f"ok multi-session isolation (fleets {sessions}): "
+                    f"{ratio:.4f} <= {isolation_ceiling:.2f} ceiling"
+                )
+    if inflation_ceiling is not None:
+        if "max_normalized_inflation" not in probe:
+            failures.append(
+                "multi_session probe has no 'max_normalized_inflation' "
+                "metric"
+            )
+        else:
+            inflation = float(probe["max_normalized_inflation"])
+            if inflation > inflation_ceiling:
+                failures.append(
+                    f"multi-session normalised inflation {inflation:.2f} "
+                    f"exceeds the {inflation_ceiling:.2f} ceiling"
+                )
+            else:
+                notes.append(
+                    f"ok multi-session normalised inflation: "
+                    f"{inflation:.2f} <= {inflation_ceiling:.2f} ceiling"
+                )
     return failures, notes
 
 
@@ -311,6 +386,56 @@ def self_test():
         )
     )
 
+    # Multi-session probe: over-ceiling ratios fail, under pass, and
+    # absent block / empty fleet / missing metrics are clear failures.
+    multi = {
+        "max_isolation_ratio": 1.02,
+        "max_normalized_inflation": 1.4,
+        "points": [{"n_sessions": 1}, {"n_sessions": 8}],
+    }
+    failures, notes = check_multi_session({"multi_session": multi}, 1.05, 3.0)
+    checks.append(
+        (
+            "multi-session under ceilings passes",
+            not failures
+            and any("isolation" in n for n in notes)
+            and any("inflation" in n for n in notes),
+        )
+    )
+    failures, _ = check_multi_session({"multi_session": multi}, 1.01, 3.0)
+    checks.append(
+        ("multi-session isolation over ceiling caught", bool(failures))
+    )
+    failures, _ = check_multi_session({"multi_session": multi}, 1.05, 1.2)
+    checks.append(
+        ("multi-session inflation over ceiling caught", bool(failures))
+    )
+    failures, _ = check_multi_session({}, 1.05, 3.0)
+    checks.append(
+        (
+            "missing multi-session probe reported",
+            any("multi_session" in f for f in failures),
+        )
+    )
+    failures, _ = check_multi_session(
+        {"multi_session": {"points": []}}, 1.05, 3.0
+    )
+    checks.append(
+        (
+            "empty multi-session fleet reported",
+            any("no fleet points" in f for f in failures),
+        )
+    )
+    failures, _ = check_multi_session(
+        {"multi_session": {"points": [{"n_sessions": 2}]}}, 1.05, None
+    )
+    checks.append(
+        (
+            "missing multi-session metric reported",
+            any("max_isolation_ratio" in f for f in failures),
+        )
+    )
+
     bad = [name for name, ok in checks if not ok]
     for name, ok in checks:
         print(f"{'ok' if ok else 'FAIL'} self-test: {name}")
@@ -352,6 +477,22 @@ def main():
         "overhead_fraction must not exceed this (e.g. 0.05)",
     )
     parser.add_argument(
+        "--multi-session-isolation-ceiling",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="also gate the candidate's multi-session probe: "
+        "max_isolation_ratio must not exceed this (e.g. 1.05)",
+    )
+    parser.add_argument(
+        "--multi-session-inflation-ceiling",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="also gate the candidate's multi-session probe: "
+        "max_normalized_inflation must not exceed this (e.g. 3.0)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in logic checks and exit",
@@ -387,6 +528,17 @@ def main():
         )
         failures.extend(ckpt_failures)
         notes.extend(ckpt_notes)
+    if (
+        args.multi_session_isolation_ceiling is not None
+        or args.multi_session_inflation_ceiling is not None
+    ):
+        multi_failures, multi_notes = check_multi_session(
+            candidate,
+            args.multi_session_isolation_ceiling,
+            args.multi_session_inflation_ceiling,
+        )
+        failures.extend(multi_failures)
+        notes.extend(multi_notes)
     for note in notes:
         print(note)
     if failures:

@@ -35,6 +35,19 @@
 //                          never leaves a torn file; sandbox-local task
 //                          outputs may allow(raw-file-write) with a
 //                          justification (docs/RESILIENCE.md).
+//   global-run-state       No new references to process-global mutable
+//                          run state inside core/ or pilot/ runtime
+//                          code: obs::Metrics::instance(),
+//                          obs::TraceRecorder::instance(), bare
+//                          next_uid() and the uid-counter resets.
+//                          State a workload depends on must hang off
+//                          core::Session / core::Runtime so N sessions
+//                          can share one process without crossing
+//                          wires. The audited pre-existing globals
+//                          carry allow(global-run-state) with a
+//                          justification (aggregate-by-design metrics,
+//                          uid calls whose prefix is already a
+//                          session-scoped family).
 //   own-header-first       A foo.cpp with a sibling foo.hpp includes it
 //                          first, proving the header is self-contained.
 //   using-namespace-header No `using namespace` at any scope in a
@@ -220,6 +233,26 @@ FileReport lint_file(const fs::path& path, const fs::path& relative) {
           "timed sleeps are banned in core/ and pilot/ runtime code; "
           "wait on an entk::CondVar instead");
       continue;
+    }
+
+    if (in_runtime_dir(relative)) {
+      const bool global_singleton =
+          (t.text == "Metrics" || t.text == "TraceRecorder") &&
+          text(i + 1) == "::" && text(i + 2) == "instance";
+      const bool global_uid =
+          (t.text == "next_uid" && text(i + 1) == "(") ||
+          t.text == "reset_uid_counters_for_testing" ||
+          t.text == "reset_uid_counters_with_prefix";
+      if (global_singleton || global_uid) {
+        add(t.line, "global-run-state",
+            t.text +
+                (global_singleton ? "::instance()" : "()") +
+                " is process-global mutable run state, banned in core/ "
+                "and pilot/: hang workload state off core::Session / "
+                "core::Runtime so concurrent sessions cannot cross "
+                "wires, or justify with allow(global-run-state)");
+        continue;
+      }
     }
 
     if (is_header(path) && t.text == "using" &&

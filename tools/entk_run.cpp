@@ -4,6 +4,14 @@
 //            [--trace out.json] [--metrics out.txt]
 //            [--checkpoint-dir ckpts [--checkpoint-every 1000]
 //             [--checkpoint-interval 600] [--resume ckpts/ckpt-000001.entkckpt]]
+//   entk-run --concurrent a.entk b.entk ... [--csv] [--trace out.json]
+//            [--metrics out.txt]
+//
+// --concurrent runs every file as a named session (the file stem) on
+// ONE shared backend: all patterns execute together under a single
+// wait, sharing the machine. All files must agree on the backend and
+// (sim) machine. Checkpointing and profile export are single-workload
+// features and are rejected in concurrent mode.
 //
 // See core/workload_file.hpp for the file format and docs/RESILIENCE.md
 // for checkpoint/restart. Exit codes: 0 success (including a SIGTERM/
@@ -13,7 +21,10 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "ckpt/checkpointed_run.hpp"
 #include "common/atomic_file.hpp"
@@ -49,6 +60,10 @@ void print_usage() {
          "  --resume <snapshot>        resume the workload from a\n"
          "                             snapshot written by an earlier\n"
          "                             checkpointed run\n"
+         "  --concurrent               run every given workload file as\n"
+         "                             a named session on one shared\n"
+         "                             backend (all files must agree on\n"
+         "                             backend/machine)\n"
          "  --help                     this text\n";
 }
 
@@ -71,6 +86,7 @@ int main(int argc, char** argv) {
   using namespace entk;
 
   std::string workload_path;
+  std::vector<std::string> workload_paths;
   std::string profile_prefix;
   std::string trace_path;
   std::string metrics_path;
@@ -79,6 +95,7 @@ int main(int argc, char** argv) {
   std::uint64_t checkpoint_every = 1000;
   double checkpoint_interval = 0.0;
   bool csv = false;
+  bool concurrent = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       print_usage();
@@ -86,6 +103,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--concurrent") == 0) {
+      concurrent = true;
       continue;
     }
     if (std::strcmp(argv[i], "--profile-prefix") == 0) {
@@ -144,21 +165,125 @@ int main(int argc, char** argv) {
       resume_path = argv[++i];
       continue;
     }
-    if (workload_path.empty()) {
-      workload_path = argv[i];
+    if (argv[i][0] != '-') {
+      workload_paths.emplace_back(argv[i]);
       continue;
     }
     print_usage();
     return 1;
   }
-  if (workload_path.empty()) {
+  if (workload_paths.empty()) {
     print_usage();
+    return 1;
+  }
+  if (!concurrent && workload_paths.size() > 1) {
+    print_usage();
+    return 1;
+  }
+  if (!workload_paths.empty()) workload_path = workload_paths.front();
+  if (concurrent &&
+      (!checkpoint_dir.empty() || !resume_path.empty() ||
+       !profile_prefix.empty())) {
+    std::cerr << "entk-run: --concurrent does not support checkpointing "
+                 "or --profile-prefix (single-workload features)\n";
     return 1;
   }
   if (!resume_path.empty() && checkpoint_dir.empty()) {
     std::cerr << "entk-run: --resume needs --checkpoint-dir (the resumed "
                  "run keeps checkpointing into it)\n";
     return 1;
+  }
+
+  if (concurrent) {
+    auto registry = kernels::KernelRegistry::with_builtin_kernels();
+    std::vector<core::ConcurrentWorkload> workloads;
+    for (const std::string& path : workload_paths) {
+      auto spec = core::load_workload(path);
+      if (!spec.ok()) {
+        std::cerr << "entk-run: " << spec.status().to_string() << "\n";
+        return 2;
+      }
+      // Session name = file stem, suffixed on collision so two files
+      // named runs/a.entk and other/a.entk can still run together.
+      std::string name = std::filesystem::path(path).stem().string();
+      if (name.empty()) name = "workload";
+      std::string candidate = name;
+      for (int suffix = 2;; ++suffix) {
+        bool taken = false;
+        for (const auto& workload : workloads) {
+          if (workload.session == candidate) {
+            taken = true;
+            break;
+          }
+        }
+        if (!taken) break;
+        candidate = name + "-" + std::to_string(suffix);
+      }
+      workloads.push_back({std::move(candidate), spec.take()});
+    }
+    if (!trace_path.empty()) {
+      auto& recorder = obs::TraceRecorder::instance();
+      recorder.set_capacity_per_thread(kTraceCapacity);
+      recorder.set_enabled(true);
+    }
+    auto reports = core::run_workloads_concurrent(workloads, registry);
+    if (!trace_path.empty()) {
+      auto& recorder = obs::TraceRecorder::instance();
+      recorder.set_enabled(false);
+      if (Status status = obs::write_chrome_trace(trace_path,
+                                                  recorder.snapshot());
+          !status.is_ok()) {
+        std::cerr << "entk-run: trace export failed: "
+                  << status.to_string() << "\n";
+        return 3;
+      }
+    }
+    if (!metrics_path.empty()) {
+      const std::string text = obs::Metrics::instance().to_text();
+      if (metrics_path == "-") {
+        std::cout << text;
+      } else if (Status status = write_file_atomic(metrics_path, text);
+                 !status.is_ok()) {
+        std::cerr << "entk-run: cannot write metrics to " << metrics_path
+                  << ": " << status.to_string() << "\n";
+        return 3;
+      }
+    }
+    if (!reports.ok()) {
+      std::cerr << "entk-run: " << reports.status().to_string() << "\n";
+      return 3;
+    }
+    bool any_failed = false;
+    if (csv) {
+      std::cout << "session,tasks,ttc,execution_time,outcome\n";
+    }
+    Table table({"session", "tasks", "TTC", "execution time", "outcome"});
+    for (const core::RunReport& report : reports.value()) {
+      const core::OverheadProfile& overheads = report.overheads;
+      const bool failed = !report.outcome.is_ok();
+      any_failed = any_failed || failed;
+      if (csv) {
+        std::cout << report.session << "," << overheads.n_units << ","
+                  << overheads.ttc << "," << overheads.execution_time
+                  << "," << (failed ? "failed" : "ok") << "\n";
+      } else {
+        table.add_row({report.session, std::to_string(overheads.n_units),
+                       format_seconds(overheads.ttc),
+                       format_seconds(overheads.execution_time),
+                       failed ? report.outcome.to_string() : "ok"});
+      }
+    }
+    if (!csv) {
+      std::cout << workload_paths.size()
+                << " workloads ran concurrently on one backend\n\n"
+                << table.to_string();
+    }
+    if (any_failed) {
+      std::cerr << "entk-run: at least one session finished with "
+                   "failures\n";
+      return 3;
+    }
+    return 0;
   }
 
   auto spec = core::load_workload(workload_path);
