@@ -1,10 +1,17 @@
 // Microbenchmarks of the toolkit's hot paths (google-benchmark):
 // event-engine throughput, scheduler selection, kernel translation,
-// the MD force loop and the analysis eigensolver.
+// task-callable construction (TaskFn vs std::function), the MD force
+// loop and the analysis eigensolver.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
 
 #include "analysis/eigen.hpp"
 #include "common/rng.hpp"
+#include "common/task_fn.hpp"
 #include "common/uid.hpp"
 #include "core/execution_plugin.hpp"
 #include "kernels/registry.hpp"
@@ -86,6 +93,67 @@ void BM_ForceFieldCompute(benchmark::State& state) {
   state.SetItemsProcessed(state.range(0) * state.iterations());
 }
 BENCHMARK(BM_ForceFieldCompute)->Arg(512)->Arg(2881);
+
+// ---- task-callable construction: the pools' enqueue hot path ------
+//
+// The pools wrap every submission in a callable; the capture below
+// (two pointers + a counter) is the typical size of a pool task
+// (LocalAgent: this + a shared_ptr). TaskFn stores it inline —
+// counted allocations must be ZERO — while std::function's copyable
+// erasure generally heap-allocates. The counter instruments global
+// operator new, so the two benchmarks report allocations per
+// construct+invoke in the "allocs_per_op" counter.
+
+std::atomic<std::size_t> g_allocs{0};
+
+struct AllocationCounting {
+  static void* allocate(std::size_t size) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+  }
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return AllocationCounting::allocate(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+template <typename Callable>
+void run_callable_bench(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  std::uint64_t* out = &sink;
+  const std::uint64_t step = 3;
+  const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    Callable task([out, step, local = std::uint64_t{0}]() mutable {
+      local += step;
+      *out += local;
+    });
+    task();
+    benchmark::DoNotOptimize(task);
+  }
+  const std::size_t after = g_allocs.load(std::memory_order_relaxed);
+  benchmark::DoNotOptimize(sink);
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(after - before) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1)));
+}
+
+void BM_TaskFnConstructInvoke(benchmark::State& state) {
+  run_callable_bench<TaskFn>(state);
+}
+BENCHMARK(BM_TaskFnConstructInvoke);
+
+void BM_StdFunctionConstructInvoke(benchmark::State& state) {
+  run_callable_bench<std::function<void()>>(state);
+}
+BENCHMARK(BM_StdFunctionConstructInvoke);
 
 void BM_JacobiEigensolver(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

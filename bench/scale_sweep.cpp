@@ -30,6 +30,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <ctime>
 #include <filesystem>
@@ -38,6 +39,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -45,6 +47,8 @@
 #include "common/atomic_file.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/task_fn.hpp"
+#include "common/work_stealing_pool.hpp"
 #include "legacy_engine.hpp"
 #include "multi_session_probe.hpp"
 #include "obs/chrome_trace.hpp"
@@ -553,6 +557,78 @@ CheckpointProbe run_checkpoint_probe(std::size_t n_units) {
 }
 
 // ---------------------------------------------------------------------
+// Part 4: work-stealing parallel runtime (common/work_stealing_pool).
+// ---------------------------------------------------------------------
+
+struct ParallelPoint {
+  std::size_t threads = 0;
+  double wall_seconds = 0.0;
+  double speedup = 1.0;  ///< wall(first point) / wall(this point).
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t parks = 0;
+};
+
+struct ParallelRuntimeProbe {
+  std::size_t n_tasks = 0;
+  double task_block_ms = 0.0;
+  std::vector<ParallelPoint> points;
+
+  double speedup_at(std::size_t threads) const {
+    for (const ParallelPoint& point : points) {
+      if (point.threads == threads) return point.speedup;
+    }
+    return 0.0;
+  }
+};
+
+/// Sweeps WorkStealingPool sizes over a fixed batch of BLOCKING
+/// kernels. Real-mode payloads (LocalAgent units, saga jobs) spend
+/// their time blocked in I/O or subprocess waits, not spinning, so
+/// each kernel sleeps: the pool's job is to keep `threads` of them
+/// in flight at once, and the wall-clock ratio against the one-thread
+/// run is the concurrency actually delivered. (Blocking kernels also
+/// make the measurement meaningful on single-core CI runners, where a
+/// cpu-bound sweep could never beat 1x.) Each external submission
+/// spawns half its work as a submit_local continuation, so the sweep
+/// exercises the per-worker deques and the steal path, not just the
+/// shared inject queue.
+ParallelRuntimeProbe run_parallel_probe(
+    std::size_t n_tasks, double block_ms,
+    const std::vector<std::size_t>& thread_counts) {
+  ParallelRuntimeProbe probe;
+  probe.n_tasks = n_tasks;
+  probe.task_block_ms = block_ms;
+  const auto half_block = std::chrono::microseconds(
+      static_cast<std::int64_t>(block_ms * 500.0));
+  for (const std::size_t threads : thread_counts) {
+    WorkStealingPool pool(threads);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      pool.submit_external(TaskFn([&pool, half_block] {
+        std::this_thread::sleep_for(half_block);
+        (void)pool.submit_local(TaskFn(
+            [half_block] { std::this_thread::sleep_for(half_block); }));
+      }));
+    }
+    pool.wait_idle();
+    ParallelPoint point;
+    point.threads = threads;
+    point.wall_seconds = wall_seconds_since(start);
+    const WorkStealingPool::Stats stats = pool.stats();
+    point.executed = stats.executed;
+    point.stolen = stats.stolen;
+    point.parks = stats.parks;
+    point.speedup = probe.points.empty()
+                        ? 1.0
+                        : probe.points.front().wall_seconds /
+                              std::max(point.wall_seconds, 1e-9);
+    probe.points.push_back(point);
+  }
+  return probe;
+}
+
+// ---------------------------------------------------------------------
 // JSON emission (hand-rolled: no third-party deps in the toolkit).
 // ---------------------------------------------------------------------
 
@@ -568,7 +644,8 @@ void write_json(const std::string& path, const std::string& mode,
                 const std::vector<SweepPoint>& sweeps,
                 const TracingProbe& probe,
                 const CheckpointProbe& ckpt_probe,
-                const bench::MultiSessionProbe& multi_probe) {
+                const bench::MultiSessionProbe& multi_probe,
+                const ParallelRuntimeProbe& parallel_probe) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"schema\": \"entk.bench.scale/1\",\n";
@@ -650,7 +727,29 @@ void write_json(const std::string& path, const std::string& mode,
       << json_number(ckpt_probe.cpu_overhead_fraction) << "\n";
   out << "  },\n";
   out << "  \"multi_session\": "
-      << bench::multi_session_json(multi_probe, "  ") << "\n";
+      << bench::multi_session_json(multi_probe, "  ") << ",\n";
+  out << "  \"parallel_runtime\": {\n";
+  out << "    \"workload\": \"blocking_kernels\",\n";
+  out << "    \"n_tasks\": " << parallel_probe.n_tasks << ",\n";
+  out << "    \"task_block_ms\": "
+      << json_number(parallel_probe.task_block_ms) << ",\n";
+  out << "    \"points\": [\n";
+  for (std::size_t i = 0; i < parallel_probe.points.size(); ++i) {
+    const ParallelPoint& p = parallel_probe.points[i];
+    out << "      {\"threads\": " << p.threads
+        << ", \"wall_seconds\": " << json_number(p.wall_seconds)
+        << ", \"speedup\": " << json_number(p.speedup)
+        << ", \"executed\": " << p.executed
+        << ", \"stolen\": " << p.stolen << ", \"parks\": " << p.parks
+        << "}" << (i + 1 < parallel_probe.points.size() ? "," : "")
+        << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"speedup_at_4\": "
+      << json_number(parallel_probe.speedup_at(4)) << ",\n";
+  out << "    \"speedup_at_16\": "
+      << json_number(parallel_probe.speedup_at(16)) << "\n";
+  out << "  }\n";
   out << "}\n";
 
   if (Status status = write_file_atomic(path, out.str());
@@ -668,6 +767,8 @@ int main(int argc, char** argv) {
   bool full = false;
   std::string out_path = "BENCH_scale.json";
   std::string trace_out;
+  // The speedup baseline is the first point, so it should stay 1.
+  std::vector<std::size_t> thread_counts = {1, 4, 16};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       full = true;
@@ -675,9 +776,26 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts.clear();
+      std::istringstream list(argv[++i]);
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        const unsigned long value = std::strtoul(token.c_str(), nullptr, 10);
+        if (value == 0) {
+          std::cerr << "scale_sweep: bad --threads entry '" << token
+                    << "' (want a comma-separated list like 1,4,16)\n";
+          return 2;
+        }
+        thread_counts.push_back(static_cast<std::size_t>(value));
+      }
+      if (thread_counts.empty()) {
+        std::cerr << "scale_sweep: --threads needs at least one count\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: scale_sweep [--full] [--out path] "
-                   "[--trace-out trace.json]\n";
+                   "[--trace-out trace.json] [--threads 1,4,16]\n";
       return 2;
     }
   }
@@ -787,8 +905,25 @@ int main(int argc, char** argv) {
            : bench::run_multi_session_probe(512, 1000);
   bench::print_multi_session_table(multi_probe);
 
+  // Part 4: work-stealing pool thread sweep over blocking kernels.
+  const ParallelRuntimeProbe parallel_probe =
+      run_parallel_probe(full ? 480 : 240, 4.0, thread_counts);
+  Table parallel_table({"threads", "wall [s]", "speedup", "executed",
+                        "stolen", "parks"});
+  for (const ParallelPoint& p : parallel_probe.points) {
+    parallel_table.add_row(
+        {std::to_string(p.threads), format_double(p.wall_seconds, 3),
+         format_double(p.speedup, 2) + "x", std::to_string(p.executed),
+         std::to_string(p.stolen), std::to_string(p.parks)});
+  }
+  std::cout << "\nparallel runtime (" << parallel_probe.n_tasks
+            << " blocking kernels, "
+            << format_double(parallel_probe.task_block_ms, 1)
+            << " ms each):\n"
+            << parallel_table.to_string();
+
   write_json(out_path, mode, compare, sweeps, probe, ckpt_probe,
-             multi_probe);
+             multi_probe, parallel_probe);
 
   if (compare.speedup < (full ? 5.0 : 2.0)) {
     std::cerr << "BENCH FAILURE: pooled/legacy speedup "
@@ -831,6 +966,26 @@ int main(int argc, char** argv) {
     std::cerr << "BENCH FAILURE: normalised shared-capacity inflation "
               << format_double(multi_probe.max_normalized_inflation, 2)
               << " above the 3.0 ceiling\n";
+    return 1;
+  }
+  // Parallel-runtime floors: blocking kernels make the delivered
+  // concurrency a deterministic wall-clock ratio, so the full gate
+  // sits close to the ideal 16x; smoke gates the cheaper 4-thread
+  // point so one-core CI runners finish in seconds. A custom
+  // --threads list that omits the gated point skips its floor
+  // (speedup_at returns 0 for absent points).
+  if (full && parallel_probe.speedup_at(16) > 0.0 &&
+      parallel_probe.speedup_at(16) < 10.0) {
+    std::cerr << "BENCH FAILURE: parallel runtime speedup at 16 threads "
+              << format_double(parallel_probe.speedup_at(16), 2)
+              << "x below the 10x floor\n";
+    return 1;
+  }
+  if (!full && parallel_probe.speedup_at(4) > 0.0 &&
+      parallel_probe.speedup_at(4) < 2.0) {
+    std::cerr << "BENCH FAILURE: parallel runtime speedup at 4 threads "
+              << format_double(parallel_probe.speedup_at(4), 2)
+              << "x below the 2x floor\n";
     return 1;
   }
   return 0;

@@ -31,6 +31,10 @@ const char* lock_rank_name(LockRank rank) {
       return "kSagaJob";
     case LockRank::kComputeUnit:
       return "kComputeUnit";
+    case LockRank::kWorkStealingPool:
+      return "kWorkStealingPool";
+    case LockRank::kWorkStealingQueue:
+      return "kWorkStealingQueue";
     case LockRank::kThreadPool:
       return "kThreadPool";
     case LockRank::kUidRegistry:

@@ -41,6 +41,8 @@ enum class LockRank : int {
   kBackendTimers = 60,    ///< pilot::LocalBackend::timers_mutex_
   kSagaJob = 65,          ///< saga::Job::mutex_
   kComputeUnit = 70,      ///< pilot::ComputeUnit::mutex_
+  kWorkStealingPool = 76,   ///< WorkStealingPool::state_mutex_ (park/join)
+  kWorkStealingQueue = 78,  ///< WorkStealingPool per-worker deques + inject
   kThreadPool = 80,       ///< ThreadPool::mutex_
   kUidRegistry = 85,      ///< uid.cpp source registry
   kMetricsRegistry = 90,  ///< obs::Metrics::names_mutex_

@@ -43,11 +43,11 @@ void ThreadPool::shutdown() {
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(TaskFn task) {
   ENTK_CHECK(try_submit(std::move(task)), "submit after shutdown");
 }
 
-bool ThreadPool::try_submit(std::function<void()> task) {
+bool ThreadPool::try_submit(TaskFn task) {
   ENTK_CHECK(static_cast<bool>(task), "task must be callable");
   {
     MutexLock lock(mutex_);
@@ -65,7 +65,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    TaskFn task;
     {
       MutexLock lock(mutex_);
       while (!stopping_ && tasks_.empty()) task_ready_.wait(mutex_);

@@ -6,11 +6,11 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <thread>
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "common/task_fn.hpp"
 
 namespace entk {
 
@@ -28,12 +28,12 @@ class ThreadPool {
   /// Enqueues a task; tasks run FIFO across workers. Aborts if shutdown
   /// has already started — callers that can race with shutdown use
   /// try_submit() instead.
-  void submit(std::function<void()> task) ENTK_EXCLUDES(mutex_);
+  void submit(TaskFn task) ENTK_EXCLUDES(mutex_);
 
   /// Enqueues a task unless shutdown has started. Returns false (and
   /// drops the task) once stopping; safe to call concurrently with
   /// shutdown() from any thread.
-  bool try_submit(std::function<void()> task) ENTK_EXCLUDES(mutex_);
+  bool try_submit(TaskFn task) ENTK_EXCLUDES(mutex_);
 
   /// Stops accepting tasks, drains the queue and joins all workers.
   /// Idempotent and safe to call concurrently from multiple threads:
@@ -55,7 +55,7 @@ class ThreadPool {
   CondVar idle_;
   CondVar joined_cv_;
   std::vector<std::thread> workers_ ENTK_GUARDED_BY(mutex_);
-  std::deque<std::function<void()>> tasks_ ENTK_GUARDED_BY(mutex_);
+  std::deque<TaskFn> tasks_ ENTK_GUARDED_BY(mutex_);
   std::size_t active_ ENTK_GUARDED_BY(mutex_) = 0;
   bool stopping_ ENTK_GUARDED_BY(mutex_) = false;
   bool join_started_ ENTK_GUARDED_BY(mutex_) = false;

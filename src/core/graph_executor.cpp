@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "core/parallel_runtime.hpp"
 #include "pilot/states.hpp"
 
 #include "obs/metrics.hpp"
@@ -14,6 +15,11 @@
 namespace entk::core {
 
 namespace {
+
+/// Below this frontier size the spec batch is materialized serially
+/// even with a pool configured: dispatching a handful of SpecFn calls
+/// costs more than running them inline.
+constexpr std::size_t kParallelSpecBatch = 32;
 
 /// A unit is settled when it is final and no retry is pending.
 bool unit_settled(const pilot::ComputeUnit& unit) {
@@ -134,8 +140,64 @@ void GraphExecutor::on_unit_settled(const pilot::ComputeUnitPtr& unit) {
     const auto it = node_of_.find(unit.get());
     if (it == node_of_.end()) return;  // not one of this graph's units
     events_.push_back({it->second, unit->state()});
+    if (deferred_) return;  // advance_local() drains it
   }
   pump();
+}
+
+void GraphExecutor::set_deferred(bool deferred) {
+  MutexLock lock(mutex_);
+  deferred_ = deferred;
+}
+
+bool GraphExecutor::advance_local() {
+  if (!pending_frontier_.empty()) return true;  // unflushed batch
+  {
+    MutexLock lock(mutex_);
+    if (pumping_ || finished_) return false;
+    pumping_ = true;
+  }
+  for (;;) {
+    std::vector<NodeId> frontier;
+    {
+      MutexLock lock(mutex_);
+      if (finished_) {
+        pumping_ = false;
+        return false;
+      }
+      sync_graph_locked();
+      apply_events_locked();
+      decide_stage_groups_locked();
+      propagate_skips_locked();
+      frontier = frontier_locked();
+      if (frontier.empty() && inflight_ > 0) {
+        pumping_ = false;
+        return false;
+      }
+    }
+    if (!frontier.empty()) {
+      pending_specs_ = materialize_specs(frontier);
+      pending_frontier_ = std::move(frontier);
+      MutexLock lock(mutex_);
+      pumping_ = false;
+      return true;
+    }
+    if (!handle_quiesce()) {
+      MutexLock lock(mutex_);
+      pumping_ = false;
+      return false;
+    }
+  }
+}
+
+bool GraphExecutor::flush_submit() {
+  if (pending_frontier_.empty()) return false;
+  std::vector<NodeId> frontier = std::move(pending_frontier_);
+  pending_frontier_.clear();
+  std::vector<TaskSpec> specs = std::move(pending_specs_);
+  pending_specs_.clear();
+  submit_specs(frontier, specs);
+  return true;
 }
 
 void GraphExecutor::pump() {
@@ -457,6 +519,40 @@ std::vector<NodeId> GraphExecutor::frontier_locked() {
 }
 
 void GraphExecutor::submit_frontier(const std::vector<NodeId>& frontier) {
+  std::vector<TaskSpec> specs = materialize_specs(frontier);
+  submit_specs(frontier, specs);
+}
+
+std::vector<TaskSpec> GraphExecutor::materialize_specs(
+    const std::vector<NodeId>& frontier) {
+  // Specs are produced here — at submission time, outside any lock —
+  // so stateful user callbacks observe current application state.
+  std::vector<TaskSpec> specs;
+  WorkStealingPool* pool = parallel_pool();
+  if (pool != nullptr && frontier.size() >= kParallelSpecBatch) {
+    // Index-keyed parallel materialization: each call fills its own
+    // pre-sized slot, so the batch comes out in node-id order and the
+    // serial submit below is bit-identical to the serial path (the
+    // pinned golden digests hold at every thread count). SpecFns must
+    // tolerate concurrent invocation ACROSS DIFFERENT NODES — each
+    // node's own SpecFn still runs exactly once.
+    specs.resize(frontier.size());
+    const TaskGraph& graph = graph_;
+    pool->parallel_for(frontier.size(),
+                       [&specs, &graph, &frontier](std::size_t i) {
+                         specs[i] = graph.node(frontier[i]).make_spec();
+                       });
+    return specs;
+  }
+  specs.reserve(frontier.size());
+  for (const NodeId id : frontier) {
+    specs.push_back(graph_.node(id).make_spec());
+  }
+  return specs;
+}
+
+void GraphExecutor::submit_specs(const std::vector<NodeId>& frontier,
+                                 std::vector<TaskSpec>& specs) {
   ENTK_TRACE_SPAN("graph.submit_frontier", "graph");
   ENTK_TRACE_COUNTER("graph.frontier_batch", "graph", frontier.size());
   // Aggregate metrics by design. entk-lint: allow(global-run-state)
@@ -466,13 +562,6 @@ void GraphExecutor::submit_frontier(const std::vector<NodeId>& frontier) {
       .add(frontier.size());
   metrics.histogram(obs::WellKnownHistogram::kGraphFrontierBatchSize)
       .observe(static_cast<double>(frontier.size()));
-  // Specs are produced here — at submission time, outside any lock —
-  // so stateful user callbacks observe current application state.
-  std::vector<TaskSpec> specs;
-  specs.reserve(frontier.size());
-  for (const NodeId id : frontier) {
-    specs.push_back(graph_.node(id).make_spec());
-  }
   auto submitted = executor_.submit(specs);
   if (submitted.ok()) {
     const auto units = submitted.take();

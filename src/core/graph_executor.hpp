@@ -93,6 +93,28 @@ class GraphExecutor {
   /// executor no longer reacts to settlements.
   void unsubscribe();
 
+  // --- deferred pumping (Runtime::run_concurrent parallel path) ---
+  // In deferred mode a settlement only queues its event; the graph
+  // advances when the driver calls advance_local() (parallelizable
+  // across sessions — it touches only this executor's state and the
+  // user SpecFns) followed by flush_submit() (serial — the backend is
+  // shared across sessions and not thread-safe). advance_local and
+  // flush_submit for ONE executor must not run concurrently with each
+  // other; Runtime alternates a parallel advance phase and a serial
+  // flush phase.
+  /// Enables/disables deferred mode. Toggle only between engine steps
+  /// (no settlement callback in flight, no pending batch unflushed).
+  void set_deferred(bool deferred) ENTK_EXCLUDES(mutex_);
+  /// Parallel-safe half of one pump round: applies queued settlement
+  /// events, decides groups, propagates skips, computes the next
+  /// frontier and materializes its specs — everything except the
+  /// submission itself. Returns true when flush_submit() has a batch.
+  bool advance_local() ENTK_EXCLUDES(mutex_);
+  /// Serial half: submits the batch advance_local() materialized, in
+  /// node-id order. Returns true when anything was submitted (another
+  /// advance round may unblock more work).
+  bool flush_submit() ENTK_EXCLUDES(mutex_);
+
   /// Post-run introspection (tests, tools).
   NodeStatus node_status(NodeId id) const ENTK_EXCLUDES(mutex_);
   std::size_t nodes_submitted() const ENTK_EXCLUDES(mutex_);
@@ -171,6 +193,15 @@ class GraphExecutor {
   bool handle_quiesce() ENTK_EXCLUDES(mutex_);
   void submit_frontier(const std::vector<NodeId>& frontier)
       ENTK_EXCLUDES(mutex_);
+  /// Produces the frontier's specs at submission time, outside any
+  /// lock — across the parallel pool when one is configured and the
+  /// batch is large enough.
+  std::vector<TaskSpec> materialize_specs(
+      const std::vector<NodeId>& frontier) ENTK_EXCLUDES(mutex_);
+  /// Submits an already-materialized batch and adopts the units (the
+  /// back half of submit_frontier; also the flush_submit work).
+  void submit_specs(const std::vector<NodeId>& frontier,
+                    std::vector<TaskSpec>& specs) ENTK_EXCLUDES(mutex_);
   void adopt_unit(NodeId id, const pilot::ComputeUnitPtr& unit)
       ENTK_EXCLUDES(mutex_);
   void fail_submission(NodeId id, const Status& error)
@@ -230,6 +261,12 @@ class GraphExecutor {
   std::size_t inflight_ ENTK_GUARDED_BY(mutex_) = 0;
   std::size_t submitted_count_ ENTK_GUARDED_BY(mutex_) = 0;
   bool pumping_ ENTK_GUARDED_BY(mutex_) = false;
+  bool deferred_ ENTK_GUARDED_BY(mutex_) = false;
+  /// The batch advance_local() materialized for flush_submit().
+  /// Unannotated by design: the advance/flush alternation (documented
+  /// above) is the synchronization, not mutex_.
+  std::vector<NodeId> pending_frontier_;
+  std::vector<TaskSpec> pending_specs_;
   bool aborted_ ENTK_GUARDED_BY(mutex_) = false;
   Status abort_status_ ENTK_GUARDED_BY(mutex_);
   bool finished_ ENTK_GUARDED_BY(mutex_) = false;

@@ -1,0 +1,40 @@
+#include "core/parallel_runtime.hpp"
+
+#include <memory>
+
+#include "obs/pool_metrics.hpp"
+
+namespace entk::core {
+
+namespace {
+
+/// Startup-configured, then read-only for the duration of a run (see
+/// set_parallel_threads); intentionally leaked so worker threads never
+/// outlive it during static destruction.
+WorkStealingPool*& pool_slot() {
+  static WorkStealingPool* pool = nullptr;
+  return pool;
+}
+
+}  // namespace
+
+void set_parallel_threads(std::size_t threads) {
+  WorkStealingPool*& slot = pool_slot();
+  if (slot != nullptr) {
+    slot->shutdown();
+    delete slot;
+    slot = nullptr;
+  }
+  if (threads > 0) {
+    slot = new WorkStealingPool(threads, obs::pool_metric_fn());
+  }
+}
+
+WorkStealingPool* parallel_pool() { return pool_slot(); }
+
+std::size_t parallel_threads() {
+  const WorkStealingPool* pool = pool_slot();
+  return pool == nullptr ? 0 : pool->size();
+}
+
+}  // namespace entk::core

@@ -128,6 +128,9 @@ class ExecutionPattern {
     bool finished() const;
     /// Whether start_execute succeeded and finish_execute has not run.
     bool active() const { return runner_ != nullptr; }
+    /// The underlying executor; nullptr unless active(). Runtime's
+    /// parallel session advancement drives it directly.
+    GraphExecutor* executor() { return runner_.get(); }
 
    private:
     friend class ExecutionPattern;

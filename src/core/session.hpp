@@ -149,6 +149,10 @@ class Session : public std::enable_shared_from_this<Session> {
   /// caller's drive_until verdict), fires the pattern's end hooks and
   /// builds the report.
   Result<RunReport> finish_run(Status driven);
+  /// The in-flight run's graph executor; nullptr when no run is
+  /// active or the run failed to start. Runtime::run_concurrent's
+  /// parallel path toggles deferred pumping through it.
+  GraphExecutor* run_executor();
 
   bool allocated() const;
   /// The first pilot (the only one unless n_pilots > 1).

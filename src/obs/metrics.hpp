@@ -39,7 +39,10 @@
   X(kSagaJobsSubmitted, "saga.jobs_submitted")                         \
   X(kStagingDirectives, "staging.directives")                          \
   X(kCheckpointsWritten, "ckpt.snapshots_written")                     \
-  X(kCheckpointRestores, "ckpt.restores")
+  X(kCheckpointRestores, "ckpt.restores")                              \
+  X(kPoolTasksExecuted, "pool.tasks_executed")                         \
+  X(kPoolTasksStolen, "pool.tasks_stolen")                             \
+  X(kPoolParks, "pool.parks")
 
 /// Last-write-wins instantaneous values.
 #define ENTK_WELL_KNOWN_GAUGES(X)                                      \

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pool_metrics.hpp"
 #include "obs/trace.hpp"
 #include "pilot/stager.hpp"
 
@@ -26,11 +27,15 @@ LocalAgent::LocalAgent(sim::MachineProfile machine, Count cores,
   shared_dir_ = session_dir_ / "shared";
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(cores_), 16);
-  pool_ = std::make_unique<ThreadPool>(workers);
+  pool_ = std::make_unique<WorkStealingPool>(workers, obs::pool_metric_fn());
 }
 
 LocalAgent::~LocalAgent() {
-  // Workers reference this object; drain them before members die.
+  // Workers reference this object — and pool_ itself, when a settling
+  // unit re-enters schedule_locked. Shut down BEFORE reset():
+  // unique_ptr::reset nulls the pointer before running the
+  // destructor, so a worker mid-settlement would dereference null.
+  pool_->shutdown();
   pool_.reset();
 }
 
@@ -177,7 +182,20 @@ void LocalAgent::schedule_locked() {
                               unit->trace_flow(), trace_ordinal_,
                               unit->session_ordinal());
     ComputeUnitPtr launched = std::move(unit);
-    pool_->submit([this, launched] { execute(launched); });
+    // submit_local: a worker finishing a unit re-schedules from its
+    // own thread, so the follow-on unit lands on that worker's deque
+    // and runs hot; driver-thread submissions fall back to the
+    // external queue. The pool refuses once shutdown starts (teardown
+    // racing a late settlement) — undo the reservation and requeue so
+    // the unit stays cancellable instead of vanishing.
+    const bool accepted = pool_->submit_local(
+        TaskFn([this, launched] { execute(launched); }));
+    if (!accepted) {
+      free_ += launched->description().cores;
+      --running_;
+      spawn_total_ -= machine_.unit_spawn_overhead;
+      waiting_.push(std::move(launched));
+    }
   }
 }
 

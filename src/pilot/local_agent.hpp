@@ -9,7 +9,7 @@
 
 #include "common/clock.hpp"
 #include "common/mutex.hpp"
-#include "common/thread_pool.hpp"
+#include "common/work_stealing_pool.hpp"
 #include "pilot/agent.hpp"
 #include "pilot/waiting_index.hpp"
 #include "sim/machine.hpp"
@@ -60,7 +60,7 @@ class LocalAgent final : public Agent {
   const Clock& clock_;
   std::filesystem::path session_dir_;
   std::filesystem::path shared_dir_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<WorkStealingPool> pool_;
 
   mutable Mutex mutex_{LockRank::kLocalAgent};
   CondVar idle_cv_;

@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/uid.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pool_metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace entk::saga {
@@ -15,12 +16,16 @@ LocalAdaptor::LocalAdaptor(Count cores, std::size_t workers)
   if (workers == 0) {
     workers = std::min<std::size_t>(static_cast<std::size_t>(cores), 16);
   }
-  pool_ = std::make_unique<ThreadPool>(workers);
+  pool_ = std::make_unique<WorkStealingPool>(workers, obs::pool_metric_fn());
 }
 
 LocalAdaptor::~LocalAdaptor() {
   // Drain payloads before members are destroyed: worker lambdas
-  // reference this adaptor.
+  // reference this adaptor — and pool_ itself, when finish() launches
+  // the next waiting job. Shut down BEFORE reset(): unique_ptr::reset
+  // nulls the pointer before running the destructor, so a worker
+  // mid-finish would dereference null.
+  pool_->shutdown();
   pool_.reset();
 }
 
@@ -78,12 +83,22 @@ void LocalAdaptor::launch(std::vector<JobPtr> started) {
     for (JobPtr& job : started) {
       if (job->advance_state(JobState::kRunning).is_ok()) {
         if (job->description().payload) {
-          pool_->submit([this, job] {
+          // submit_local: finish() on a worker thread launches the
+          // next waiting job from that same thread, keeping the FIFO
+          // hand-off on the hot deque. The pool refuses once shutdown
+          // starts (a payload finishing while the adaptor tears down)
+          // — cancel the job instead of aborting the process.
+          const bool accepted = pool_->submit_local(TaskFn([this, job] {
             const Status status = job->description().payload();
             finish(job,
                    status.is_ok() ? JobState::kDone : JobState::kFailed,
                    status);
-          });
+          }));
+          if (!accepted) {
+            finish(job, JobState::kCanceled,
+                   make_error(Errc::kCancelled,
+                              "local adaptor is shutting down"));
+          }
         }
         // Container jobs (no payload) keep their cores until
         // complete().

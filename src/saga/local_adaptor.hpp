@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
-#include "common/thread_pool.hpp"
+#include "common/work_stealing_pool.hpp"
 #include "saga/job_service.hpp"
 
 namespace entk::saga {
@@ -60,7 +60,7 @@ class LocalAdaptor final : public JobService {
 
   const Count cores_;
   WallClock clock_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<WorkStealingPool> pool_;
 
   mutable Mutex mutex_{LockRank::kLocalAdaptor};
   Count free_ ENTK_GUARDED_BY(mutex_) = 0;

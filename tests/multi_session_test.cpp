@@ -28,6 +28,7 @@
 #include "ckpt/snapshot.hpp"
 #include "common/uid.hpp"
 #include "core/entk.hpp"
+#include "core/parallel_runtime.hpp"
 #include "scale_test_util.hpp"
 
 namespace entk::core {
@@ -115,6 +116,43 @@ TEST(MultiSession, ConcurrentTracesMatchSoloRunsBitIdentical) {
   }
   EXPECT_EQ(reports.value()[0].session, "alpha");
   EXPECT_EQ(reports.value()[1].session, "beta");
+  EXPECT_EQ(scale_test::trace_digest(reports.value()[0].units),
+            solo_alpha);
+  EXPECT_EQ(scale_test::trace_digest(reports.value()[1].units),
+            solo_beta);
+}
+
+TEST(MultiSession, ParallelAdvancementMatchesSoloRunsBitIdentical) {
+  // Same contract as above, with the work-stealing pool advancing the
+  // two sessions' executors as parallel tasks between engine steps
+  // (Runtime::run_concurrent's deferred-pumping path). Parallelism
+  // must change WHEN graph bookkeeping happens on the host, never
+  // WHAT gets scheduled on the simulated clock.
+  const std::uint64_t solo_alpha = solo_digest("alpha");
+  const std::uint64_t solo_beta = solo_digest("beta");
+  ASSERT_NE(solo_alpha, 0u);
+  ASSERT_NE(solo_beta, 0u);
+
+  struct PoolReset {
+    ~PoolReset() { set_parallel_threads(0); }
+  } reset_on_exit;
+  set_parallel_threads(4);
+  reset_uid_counters_for_testing();
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::SimBackend backend(multi_machine());
+  Runtime runtime(backend, registry);
+  auto alpha = make_session(runtime, "alpha");
+  auto beta = make_session(runtime, "beta");
+  BagOfTasks pattern_a = scale_test::scale_workload(kUnits);
+  BagOfTasks pattern_b = scale_test::scale_workload(kUnits);
+  auto reports = runtime.run_concurrent(
+      {{alpha, &pattern_a}, {beta, &pattern_b}});
+  ASSERT_TRUE(reports.ok()) << reports.status().to_string();
+  ASSERT_EQ(reports.value().size(), 2u);
+  for (const auto& report : reports.value()) {
+    EXPECT_TRUE(report.outcome.is_ok()) << report.outcome.to_string();
+    EXPECT_EQ(report.units.size(), static_cast<std::size_t>(kUnits));
+  }
   EXPECT_EQ(scale_test::trace_digest(reports.value()[0].units),
             solo_alpha);
   EXPECT_EQ(scale_test::trace_digest(reports.value()[1].units),

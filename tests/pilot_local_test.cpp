@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <fstream>
+#include <thread>
 
 #include "core/entk.hpp"
 #include "pilot/local_agent.hpp"
 #include "pilot/local_backend.hpp"
 #include "pilot/pilot_manager.hpp"
+#include "pilot/scheduler.hpp"
 #include "pilot/stager.hpp"
 #include "pilot/unit_manager.hpp"
 
@@ -284,6 +287,64 @@ TEST(LocalEndToEnd, SimulationAnalysisLoopWithRealMd) {
   EXPECT_EQ(pattern.simulation_units().size(), 6u);
   EXPECT_EQ(pattern.analysis_units().size(), 2u);
   ASSERT_TRUE(handle.deallocate().is_ok());
+}
+
+TEST(LocalAgentShutdown, TeardownWhileAUnitFinishesDoesNotAbort) {
+  // Regression for the shutdown footgun: a unit settling while the
+  // agent tears down re-enters schedule_locked from its worker thread
+  // and tries to launch the next waiting unit into a pool that is
+  // already stopping. That submission must be refused cleanly (the
+  // unit goes back to the backlog) — the old ThreadPool::submit path
+  // aborted the whole process on exactly this race.
+  const fs::path root =
+      fs::temp_directory_path() / "entk-agent-teardown-test";
+  fs::remove_all(root);
+  WallClock clock;
+  auto scheduler = make_scheduler("fifo");
+  ASSERT_TRUE(scheduler.ok());
+  auto agent = std::make_unique<LocalAgent>(
+      sim::comet_profile(), 1, scheduler.take(), clock, root);
+  agent->start({});
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  auto blocked = std::make_shared<ComputeUnit>(
+      "teardown.u0",
+      payload_unit([&entered, &release](const UnitRuntimeContext&)
+                       -> Status {
+        entered.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        return Status::ok();
+      }),
+      clock);
+  auto follower = std::make_shared<ComputeUnit>(
+      "teardown.u1",
+      payload_unit(
+          [](const UnitRuntimeContext&) -> Status { return Status::ok(); }),
+      clock);
+  for (const auto& unit : {blocked, follower}) {
+    unit->stamp_created();
+    ASSERT_TRUE(unit->advance_state(UnitState::kPendingExecution).is_ok());
+  }
+  // One core: `blocked` launches, `follower` queues behind it.
+  ASSERT_TRUE(agent->submit({blocked, follower}).is_ok());
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Tear down while the payload is mid-flight; the destructor blocks
+  // joining the worker, so the settle -> reschedule happens with the
+  // pool already stopping.
+  std::thread closer([&agent] { agent.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true, std::memory_order_release);
+  closer.join();
+  EXPECT_EQ(blocked->state(), UnitState::kDone);
+  // The follower's launch was refused by the stopping pool and the
+  // reservation rolled back: still pending, never started, not lost.
+  EXPECT_EQ(follower->state(), UnitState::kPendingExecution);
+  fs::remove_all(root);
 }
 
 }  // namespace

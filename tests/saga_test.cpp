@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
 
 #include "saga/job.hpp"
 #include "saga/local_adaptor.hpp"
@@ -134,6 +137,44 @@ TEST(LocalAdaptor, EnforcesCoreBudgetFifo) {
     EXPECT_EQ(job->state(), JobState::kDone);
   }
   EXPECT_LE(peak.load(), 2);
+}
+
+TEST(LocalAdaptor, TeardownWhileAJobFinishesCancelsTheFollower) {
+  // Regression for the shutdown footgun: a payload finishing while
+  // the adaptor tears down calls finish() from its worker thread,
+  // which reserves the next waiting job and hands its payload to a
+  // pool that is already stopping. The refused submission must cancel
+  // that job cleanly — the old ThreadPool::submit path aborted the
+  // whole process on this race.
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  auto adaptor = std::make_unique<LocalAdaptor>(1);
+  JobDescription first;
+  first.payload = [&entered, &release]() -> Status {
+    entered.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return Status::ok();
+  };
+  JobDescription second;
+  second.payload = []() -> Status { return Status::ok(); };
+  auto blocked = adaptor->submit(std::move(first));
+  ASSERT_TRUE(blocked.ok());
+  auto follower = adaptor->submit(std::move(second));  // queues: 1 core
+  ASSERT_TRUE(follower.ok());
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Tear down while the first payload is mid-flight; the destructor
+  // blocks joining the worker, so finish() runs with the pool already
+  // stopping.
+  std::thread closer([&adaptor] { adaptor.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true, std::memory_order_release);
+  closer.join();
+  EXPECT_EQ(blocked.value()->state(), JobState::kDone);
+  EXPECT_EQ(follower.value()->state(), JobState::kCanceled);
 }
 
 TEST(LocalAdaptor, ContainerJobRunsUntilCompleted) {

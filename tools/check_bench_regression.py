@@ -43,6 +43,16 @@ exceeds 1.0 only through scheduling granularity at the thinner
 per-session allocation.  A missing block or an empty fleet is an
 error.
 
+--parallel-speedup-floor gates the "parallel_runtime" probe block
+(bench/scale_sweep's work-stealing-pool sweep: a fixed batch of
+blocking kernels at 1/4/16 pool threads).  The gated speedup is the
+wall-clock ratio against the one-thread run -- the concurrency the
+pool actually delivered -- and because the kernels block rather than
+spin, the ratio is machine-independent and holds on one-core CI
+runners.  --parallel-speedup-threads picks the gated point (default
+4, the smoke point; the full-mode acceptance point is 16).  A missing
+block is an error.
+
 Baseline points absent from the candidate are an error (a sweep point
 silently disappearing is itself a regression); candidate points absent
 from the baseline are reported but do not fail the gate.  Baselines
@@ -196,6 +206,49 @@ def check_multi_session(candidate, isolation_ceiling, inflation_ceiling):
                     f"ok multi-session normalised inflation: "
                     f"{inflation:.2f} <= {inflation_ceiling:.2f} ceiling"
                 )
+    return failures, notes
+
+
+def check_parallel_runtime(candidate, floor, threads):
+    """Gates the parallel-runtime probe's speedup at `threads` pool
+    threads against `floor`.
+
+    bench/scale_sweep's work-stealing-pool sweep runs a fixed batch of
+    blocking kernels at 1/4/16 threads; the speedup is the wall-clock
+    ratio against the one-thread run, i.e. the concurrency the pool
+    actually delivered. Blocking kernels make the ratio deterministic
+    and meaningful even on one-core runners, so unlike the events/sec
+    points this floor is machine-independent. A missing block is an
+    error -- the runtime silently losing its concurrency measurement
+    is itself a regression.
+    """
+    failures = []
+    notes = []
+    probe = candidate.get("parallel_runtime")
+    if probe is None:
+        failures.append(
+            "candidate has no 'parallel_runtime' probe block: the bench "
+            "ran without its work-stealing-pool measurement "
+            "(schema drift?)"
+        )
+        return failures, notes
+    key = f"speedup_at_{threads}"
+    if key not in probe:
+        failures.append(
+            f"parallel_runtime probe has no '{key}' metric"
+        )
+        return failures, notes
+    speedup = float(probe[key])
+    if speedup < floor:
+        failures.append(
+            f"parallel runtime speedup at {threads} threads "
+            f"{speedup:.2f}x below the {floor:.1f}x floor"
+        )
+    else:
+        notes.append(
+            f"ok parallel runtime speedup at {threads} threads: "
+            f"{speedup:.2f}x >= {floor:.1f}x floor"
+        )
     return failures, notes
 
 
@@ -436,6 +489,39 @@ def self_test():
         )
     )
 
+    # Parallel-runtime probe: below-floor speedup fails, above passes,
+    # and absent block / missing metric are clear failures.
+    runtime = {"speedup_at_4": 3.8, "speedup_at_16": 14.2}
+    failures, notes = check_parallel_runtime(
+        {"parallel_runtime": runtime}, 2.0, 4
+    )
+    checks.append(
+        (
+            "parallel speedup above floor passes",
+            not failures and any("parallel" in n for n in notes),
+        )
+    )
+    failures, _ = check_parallel_runtime(
+        {"parallel_runtime": runtime}, 10.0, 4
+    )
+    checks.append(("parallel speedup below floor caught", bool(failures)))
+    failures, _ = check_parallel_runtime({}, 2.0, 4)
+    checks.append(
+        (
+            "missing parallel_runtime probe reported",
+            any("parallel_runtime" in f for f in failures),
+        )
+    )
+    failures, _ = check_parallel_runtime(
+        {"parallel_runtime": {"points": []}}, 2.0, 16
+    )
+    checks.append(
+        (
+            "missing parallel speedup metric reported",
+            any("speedup_at_16" in f for f in failures),
+        )
+    )
+
     bad = [name for name, ok in checks if not ok]
     for name, ok in checks:
         print(f"{'ok' if ok else 'FAIL'} self-test: {name}")
@@ -493,6 +579,23 @@ def main():
         "max_normalized_inflation must not exceed this (e.g. 3.0)",
     )
     parser.add_argument(
+        "--parallel-speedup-floor",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="also gate the candidate's parallel-runtime probe: the "
+        "work-stealing pool's blocking-kernel speedup must be at "
+        "least this (e.g. 2.0)",
+    )
+    parser.add_argument(
+        "--parallel-speedup-threads",
+        type=int,
+        default=4,
+        metavar="N",
+        help="which pool-thread point --parallel-speedup-floor gates "
+        "(default 4; the full-mode acceptance point is 16)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in logic checks and exit",
@@ -539,6 +642,14 @@ def main():
         )
         failures.extend(multi_failures)
         notes.extend(multi_notes)
+    if args.parallel_speedup_floor is not None:
+        parallel_failures, parallel_notes = check_parallel_runtime(
+            candidate,
+            args.parallel_speedup_floor,
+            args.parallel_speedup_threads,
+        )
+        failures.extend(parallel_failures)
+        notes.extend(parallel_notes)
     for note in notes:
         print(note)
     if failures:
