@@ -55,6 +55,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pilot/sim_agent.hpp"
+#include "serve_probe.hpp"
 
 namespace {
 
@@ -645,7 +646,8 @@ void write_json(const std::string& path, const std::string& mode,
                 const TracingProbe& probe,
                 const CheckpointProbe& ckpt_probe,
                 const bench::MultiSessionProbe& multi_probe,
-                const ParallelRuntimeProbe& parallel_probe) {
+                const ParallelRuntimeProbe& parallel_probe,
+                const bench::ServeProbe& serve_probe) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"schema\": \"entk.bench.scale/1\",\n";
@@ -749,7 +751,8 @@ void write_json(const std::string& path, const std::string& mode,
       << json_number(parallel_probe.speedup_at(4)) << ",\n";
   out << "    \"speedup_at_16\": "
       << json_number(parallel_probe.speedup_at(16)) << "\n";
-  out << "  }\n";
+  out << "  },\n";
+  out << "  \"serve\": " << bench::serve_json(serve_probe, "  ") << "\n";
   out << "}\n";
 
   if (Status status = write_file_atomic(path, out.str());
@@ -922,8 +925,18 @@ int main(int argc, char** argv) {
             << " ms each):\n"
             << parallel_table.to_string();
 
+  // Part 5: the entk-serve submission storm. 8 tenants of equal
+  // weight race >= 1000 workloads through admission and the global
+  // dispatch budget; fairness and the latency tail are gated
+  // (bench/serve_probe.hpp documents the metrics).
+  std::cout << "\n";
+  const bench::ServeProbe serve_probe =
+      full ? bench::run_serve_probe(8, 256, 16)
+           : bench::run_serve_probe(8, 128, 16);
+  bench::print_serve_table(serve_probe);
+
   write_json(out_path, mode, compare, sweeps, probe, ckpt_probe,
-             multi_probe, parallel_probe);
+             multi_probe, parallel_probe, serve_probe);
 
   if (compare.speedup < (full ? 5.0 : 2.0)) {
     std::cerr << "BENCH FAILURE: pooled/legacy speedup "
@@ -988,5 +1001,16 @@ int main(int argc, char** argv) {
               << "x below the 2x floor\n";
     return 1;
   }
+  // Serve gates: admission must not shed from a queue sized for the
+  // storm, every workload must complete, equal weights must dispatch
+  // within 1.5x of each other in contended rounds, and the p99
+  // submit-to-first-dispatch tail must stay under a generous ceiling
+  // (it catches stalled drive loops, not scheduler jitter).
+  const auto serve_failures =
+      bench::serve_gate_failures(serve_probe, 1.5, 30.0);
+  for (const std::string& failure : serve_failures) {
+    std::cerr << "BENCH FAILURE: " << failure << "\n";
+  }
+  if (!serve_failures.empty()) return 1;
   return 0;
 }

@@ -1,0 +1,67 @@
+// Standalone entk-serve load lane: the submission storm from
+// bench/serve_probe.hpp with its gates, runnable on its own (CI's
+// serve lane) without the full scale sweep.
+//
+//   serve_load [--tenants N] [--per-tenant M] [--units U]
+//              [--fairness-ceiling R] [--p99-ceiling-ms MS]
+//
+// Defaults are the acceptance shape: 8 tenants x 128 submissions
+// (1024 workloads) of 16-unit bags, fairness dispersion <= 1.5,
+// p99 submit-to-first-dispatch <= 30 s (generous: the tail includes
+// admission queue wait, and the gate is for order-of-magnitude
+// stalls, not scheduler jitter).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve_probe.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t tenants = 8;
+  std::size_t per_tenant = 128;
+  std::size_t units = 16;
+  double fairness_ceiling = 1.5;
+  double p99_ceiling_ms = 30000.0;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "serve_load: " << argv[i] << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--tenants") == 0) {
+      tenants = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--per-tenant") == 0) {
+      per_tenant = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--units") == 0) {
+      units = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fairness-ceiling") == 0) {
+      fairness_ceiling = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--p99-ceiling-ms") == 0) {
+      p99_ceiling_ms = std::strtod(next(), nullptr);
+    } else {
+      std::cerr << "usage: serve_load [--tenants N] [--per-tenant M] "
+                   "[--units U] [--fairness-ceiling R] "
+                   "[--p99-ceiling-ms MS]\n";
+      return 2;
+    }
+  }
+  if (tenants == 0 || per_tenant == 0 || units == 0) {
+    std::cerr << "serve_load: tenants, per-tenant and units must be "
+                 "positive\n";
+    return 2;
+  }
+
+  const entk::bench::ServeProbe probe =
+      entk::bench::run_serve_probe(tenants, per_tenant, units);
+  entk::bench::print_serve_table(probe);
+
+  const auto failures = entk::bench::serve_gate_failures(
+      probe, fairness_ceiling, p99_ceiling_ms / 1000.0);
+  for (const std::string& failure : failures) {
+    std::cerr << "BENCH FAILURE: " << failure << "\n";
+  }
+  return failures.empty() ? 0 : 1;
+}

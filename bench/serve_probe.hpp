@@ -1,0 +1,363 @@
+// entk-serve load probe, shared by bench/serve_load (the standalone
+// lane) and bench/scale_sweep (which embeds the result into
+// BENCH_scale.json).
+//
+// The question: does the service hold its admission and fairness
+// contracts under a submission storm? N tenant threads each fire M
+// SUBMITs (through the same Service::submit the socket listener
+// calls) at one in-process Service while a single drive thread runs
+// the admit/advance/flush/reap loop, and we measure:
+//
+//  - submission-to-first-dispatch latency per workload (wall seconds
+//    from SUBMIT to the fair-share pass flushing the workload's first
+//    unit — queue wait for admission included). p50 is the headline;
+//    p99 is gated with a generous ceiling, because under a storm the
+//    tail measures the whole service staying live, and an
+//    order-of-magnitude blowout means a lost wakeup or a stalled
+//    drive loop, not noise.
+//
+//  - fairness dispersion: max/min per-tenant units dispatched in
+//    CONTENDED fair-share rounds (rounds where every live tenant had
+//    backlog — uncontended dispatch tracks demand, not policy, so it
+//    is excluded). Equal weights + identical demand → the expected
+//    value is 1.0; the gate allows 1.5 for round-granularity.
+//
+//  - rejected count: the queue is sized for the storm, so any
+//    REJECTED here means admission shed load it had room for
+//    (gate: exactly 0).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/workload_file.hpp"
+#include "serve/service.hpp"
+
+namespace entk::bench {
+
+struct ServeTenantRow {
+  std::string name;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dispatched_units = 0;
+  std::uint64_t contended_dispatched_units = 0;
+  std::size_t peak_active_sessions = 0;
+};
+
+struct ServeProbe {
+  std::size_t n_tenants = 0;
+  std::size_t per_tenant = 0;   ///< Submissions per tenant thread.
+  std::size_t workloads = 0;    ///< n_tenants * per_tenant.
+  std::size_t units_per_workload = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t max_active_sessions = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  double p50_submit_latency = 0.0;  ///< Wall s, SUBMIT -> first dispatch.
+  double p99_submit_latency = 0.0;
+  double max_submit_latency = 0.0;
+  /// max/min per-tenant contended dispatched units; huge when a
+  /// tenant starved entirely (min == 0).
+  double fairness_dispersion = 0.0;
+  std::uint64_t contended_total = 0;
+  double wall_seconds = 0.0;  ///< Full storm, submit -> drained.
+  std::vector<ServeTenantRow> tenants;
+};
+
+namespace serve_probe_detail {
+
+[[noreturn]] inline void fail(const std::string& where,
+                              const Status& status) {
+  std::cerr << "BENCH FAILURE (serve/" << where
+            << "): " << status.to_string() << "\n";
+  std::exit(1);
+}
+
+/// The storm workload: a bag wider than the DRR quantum, so every
+/// workload needs several fair-share rounds to fully dispatch.
+inline core::WorkloadSpec storm_spec(const std::string& machine,
+                                     std::size_t units) {
+  std::ostringstream text;
+  text << "backend = sim\n"
+       << "machine = " << machine << "\n"
+       << "cores   = 2\n"
+       << "runtime = 36000\n"
+       << "pattern = bag\n"
+       << "tasks   = " << units << "\n"
+       << "\n"
+       << "[task]\n"
+       << "kernel   = misc.sleep\n"
+       << "duration = 2\n";
+  auto spec = core::parse_workload(text.str());
+  if (!spec.ok()) fail("spec", spec.status());
+  return spec.take();
+}
+
+inline double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace serve_probe_detail
+
+/// Runs the storm: `n_tenants` submitter threads x `per_tenant`
+/// workloads of `units_per_workload` sleeps each, one drive thread,
+/// equal tenant weights.
+inline ServeProbe run_serve_probe(std::size_t n_tenants,
+                                  std::size_t per_tenant,
+                                  std::size_t units_per_workload) {
+  namespace detail = serve_probe_detail;
+  ServeProbe probe;
+  probe.n_tenants = n_tenants;
+  probe.per_tenant = per_tenant;
+  probe.workloads = n_tenants * per_tenant;
+  probe.units_per_workload = units_per_workload;
+
+  serve::ServiceConfig config;
+  config.machine = "localhost";
+  // Sized for the whole storm: admission must never shed here.
+  config.queue_capacity = probe.workloads + 8;
+  config.max_active_sessions = 2 * n_tenants;
+  // Quantum below the bag width: full dispatch takes several rounds,
+  // so the contended counters see real arbitration.
+  config.drr_quantum = std::max<std::size_t>(1, units_per_workload / 4);
+  probe.queue_capacity = config.queue_capacity;
+  probe.max_active_sessions = config.max_active_sessions;
+
+  auto service = serve::Service::create(config);
+  if (!service.ok()) detail::fail("create", service.status());
+  serve::Service& daemon = *service.value();
+
+  std::vector<std::string> tenant_names;
+  for (std::size_t i = 0; i < n_tenants; ++i) {
+    tenant_names.push_back("tenant" + std::to_string(i));
+    serve::TenantConfig tenant;
+    tenant.weight = 1.0;
+    tenant.max_sessions = 2;
+    tenant.max_inflight_units = 4 * units_per_workload;
+    if (Status status =
+            daemon.configure_tenant(tenant_names.back(), tenant);
+        !status.is_ok()) {
+      detail::fail("configure_tenant", status);
+    }
+  }
+
+  const core::WorkloadSpec spec =
+      detail::storm_spec(config.machine, units_per_workload);
+
+  std::thread driver([&daemon] { daemon.run(); });
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::vector<std::uint64_t>> ids(n_tenants);
+  {
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < n_tenants; ++t) {
+      submitters.emplace_back([&, t] {
+        ids[t].reserve(per_tenant);
+        for (std::size_t i = 0; i < per_tenant; ++i) {
+          auto id = daemon.submit(tenant_names[t], spec,
+                                  "storm" + std::to_string(i));
+          if (id.ok()) ids[t].push_back(id.value());
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+  }
+  daemon.drain();
+  probe.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  std::vector<double> latencies;
+  latencies.reserve(probe.workloads);
+  for (const auto& tenant_ids : ids) {
+    for (const std::uint64_t id : tenant_ids) {
+      auto status = daemon.status(id);
+      if (!status.ok()) detail::fail("status", status.status());
+      if (status.value().submit_latency_seconds >= 0.0) {
+        latencies.push_back(status.value().submit_latency_seconds);
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  probe.p50_submit_latency = detail::percentile(latencies, 0.50);
+  probe.p99_submit_latency = detail::percentile(latencies, 0.99);
+  probe.max_submit_latency =
+      latencies.empty() ? 0.0 : latencies.back();
+
+  const serve::ServiceStats stats = daemon.stats();
+  probe.accepted = stats.accepted;
+  probe.rejected = stats.rejected;
+  probe.completed = stats.completed;
+  probe.failed = stats.failed;
+  probe.cancelled = stats.cancelled;
+  std::uint64_t min_contended = 0;
+  std::uint64_t max_contended = 0;
+  bool first = true;
+  for (const serve::TenantStats& tenant : stats.tenants) {
+    ServeTenantRow row;
+    row.name = tenant.name;
+    row.accepted = tenant.accepted;
+    row.completed = tenant.completed;
+    row.dispatched_units = tenant.dispatched_units;
+    row.contended_dispatched_units = tenant.contended_dispatched_units;
+    row.peak_active_sessions = tenant.peak_active_sessions;
+    probe.tenants.push_back(row);
+    probe.contended_total += tenant.contended_dispatched_units;
+    if (first) {
+      min_contended = max_contended = tenant.contended_dispatched_units;
+      first = false;
+    } else {
+      min_contended =
+          std::min(min_contended, tenant.contended_dispatched_units);
+      max_contended =
+          std::max(max_contended, tenant.contended_dispatched_units);
+    }
+  }
+  probe.fairness_dispersion =
+      min_contended > 0 ? static_cast<double>(max_contended) /
+                              static_cast<double>(min_contended)
+                        : (max_contended > 0 ? 1.0e9 : 0.0);
+
+  daemon.shutdown();
+  driver.join();
+  return probe;
+}
+
+/// Gate failures, empty when the probe holds its contracts; shared by
+/// serve_load and scale_sweep so the two lanes cannot drift.
+inline std::vector<std::string> serve_gate_failures(
+    const ServeProbe& probe, double fairness_ceiling,
+    double p99_ceiling_seconds) {
+  std::vector<std::string> failures;
+  if (probe.rejected != 0) {
+    failures.push_back("admission shed " +
+                       std::to_string(probe.rejected) +
+                       " workloads from a queue sized for the storm");
+  }
+  if (probe.completed != probe.workloads) {
+    failures.push_back(
+        "only " + std::to_string(probe.completed) + "/" +
+        std::to_string(probe.workloads) + " workloads completed");
+  }
+  if (probe.contended_total == 0) {
+    failures.push_back(
+        "no contended fair-share rounds: the storm never exercised "
+        "arbitration (sizing drift?)");
+  }
+  if (probe.fairness_dispersion > fairness_ceiling) {
+    failures.push_back(
+        "fairness dispersion " +
+        format_double(probe.fairness_dispersion, 3) + " above the " +
+        format_double(fairness_ceiling, 2) + " ceiling");
+  }
+  if (probe.p99_submit_latency > p99_ceiling_seconds) {
+    failures.push_back(
+        "p99 submit-to-first-dispatch latency " +
+        format_double(probe.p99_submit_latency, 3) + " s above the " +
+        format_double(p99_ceiling_seconds, 1) + " s ceiling");
+  }
+  return failures;
+}
+
+/// The probe as a JSON object (no trailing newline); `indent` is the
+/// column the opening brace sits at.
+inline std::string serve_json(const ServeProbe& probe,
+                              const std::string& indent) {
+  const auto number = [](double value) {
+    std::ostringstream out;
+    out.precision(6);
+    out << std::fixed << value;
+    return out.str();
+  };
+  std::ostringstream out;
+  out << "{\n";
+  out << indent << "  \"tenants\": " << probe.n_tenants << ",\n";
+  out << indent << "  \"per_tenant\": " << probe.per_tenant << ",\n";
+  out << indent << "  \"workloads\": " << probe.workloads << ",\n";
+  out << indent
+      << "  \"units_per_workload\": " << probe.units_per_workload
+      << ",\n";
+  out << indent << "  \"queue_capacity\": " << probe.queue_capacity
+      << ",\n";
+  out << indent
+      << "  \"max_active_sessions\": " << probe.max_active_sessions
+      << ",\n";
+  out << indent << "  \"accepted\": " << probe.accepted << ",\n";
+  out << indent << "  \"rejected\": " << probe.rejected << ",\n";
+  out << indent << "  \"completed\": " << probe.completed << ",\n";
+  out << indent << "  \"failed\": " << probe.failed << ",\n";
+  out << indent << "  \"cancelled\": " << probe.cancelled << ",\n";
+  out << indent << "  \"p50_submit_latency_seconds\": "
+      << number(probe.p50_submit_latency) << ",\n";
+  out << indent << "  \"p99_submit_latency_seconds\": "
+      << number(probe.p99_submit_latency) << ",\n";
+  out << indent << "  \"max_submit_latency_seconds\": "
+      << number(probe.max_submit_latency) << ",\n";
+  out << indent << "  \"fairness_dispersion\": "
+      << number(probe.fairness_dispersion) << ",\n";
+  out << indent << "  \"contended_total\": " << probe.contended_total
+      << ",\n";
+  out << indent << "  \"wall_seconds\": " << number(probe.wall_seconds)
+      << ",\n";
+  out << indent << "  \"per_tenant_stats\": [\n";
+  for (std::size_t i = 0; i < probe.tenants.size(); ++i) {
+    const ServeTenantRow& row = probe.tenants[i];
+    out << indent << "    {\"name\": \"" << row.name
+        << "\", \"accepted\": " << row.accepted
+        << ", \"completed\": " << row.completed
+        << ", \"dispatched_units\": " << row.dispatched_units
+        << ", \"contended_dispatched_units\": "
+        << row.contended_dispatched_units
+        << ", \"peak_active_sessions\": " << row.peak_active_sessions
+        << "}" << (i + 1 < probe.tenants.size() ? "," : "") << "\n";
+  }
+  out << indent << "  ]\n";
+  out << indent << "}";
+  return out.str();
+}
+
+inline void print_serve_table(const ServeProbe& probe) {
+  std::cout << "serve storm: " << probe.workloads << " workloads ("
+            << probe.n_tenants << " tenants x " << probe.per_tenant
+            << "), " << probe.units_per_workload
+            << " units each, queue " << probe.queue_capacity
+            << ", active cap " << probe.max_active_sessions << "\n"
+            << "  accepted " << probe.accepted << ", rejected "
+            << probe.rejected << ", completed " << probe.completed
+            << "; submit->dispatch p50 "
+            << format_double(1000.0 * probe.p50_submit_latency, 1)
+            << " ms, p99 "
+            << format_double(1000.0 * probe.p99_submit_latency, 1)
+            << " ms, max "
+            << format_double(1000.0 * probe.max_submit_latency, 1)
+            << " ms; fairness dispersion "
+            << format_double(probe.fairness_dispersion, 3) << "; wall "
+            << format_double(probe.wall_seconds, 2) << " s\n";
+  Table table({"tenant", "accepted", "completed", "dispatched",
+               "contended", "peak sessions"});
+  for (const ServeTenantRow& row : probe.tenants) {
+    table.add_row({row.name, std::to_string(row.accepted),
+                   std::to_string(row.completed),
+                   std::to_string(row.dispatched_units),
+                   std::to_string(row.contended_dispatched_units),
+                   std::to_string(row.peak_active_sessions)});
+  }
+  std::cout << table.to_string();
+}
+
+}  // namespace entk::bench

@@ -9,6 +9,10 @@ const char* lock_rank_name(LockRank rank) {
   switch (rank) {
     case LockRank::kNone:
       return "kNone";
+    case LockRank::kServeMailbox:
+      return "kServeMailbox";
+    case LockRank::kServeRegistry:
+      return "kServeRegistry";
     case LockRank::kRuntime:
       return "kRuntime";
     case LockRank::kGraphExecutor:

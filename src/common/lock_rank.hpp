@@ -30,6 +30,8 @@ namespace entk {
 // values, no macros.
 enum class LockRank : int {
   kNone = -1,             ///< Unranked: exempt from order checking.
+  kServeMailbox = 2,      ///< serve::Service::mailbox_mutex_ (admission)
+  kServeRegistry = 3,     ///< serve::Service::registry_mutex_ (workloads)
   kRuntime = 5,           ///< core::Runtime::mutex_ (session registry)
   kGraphExecutor = 10,    ///< core::GraphExecutor::mutex_
   kExecutionPlugin = 20,  ///< core::ExecutionPlugin::mutex_

@@ -200,7 +200,67 @@ bool GraphExecutor::flush_submit() {
   return true;
 }
 
+std::size_t GraphExecutor::flush_submit_bounded(std::size_t max_nodes) {
+  if (pending_frontier_.empty() || max_nodes == 0) return 0;
+  if (max_nodes >= pending_frontier_.size()) {
+    const std::size_t count = pending_frontier_.size();
+    flush_submit();
+    return count;
+  }
+  const auto split = static_cast<std::ptrdiff_t>(max_nodes);
+  std::vector<NodeId> frontier(pending_frontier_.begin(),
+                               pending_frontier_.begin() + split);
+  std::vector<TaskSpec> specs(
+      std::make_move_iterator(pending_specs_.begin()),
+      std::make_move_iterator(pending_specs_.begin() + split));
+  pending_frontier_.erase(pending_frontier_.begin(),
+                          pending_frontier_.begin() + split);
+  pending_specs_.erase(pending_specs_.begin(),
+                       pending_specs_.begin() + split);
+  submit_specs(frontier, specs);
+  return max_nodes;
+}
+
+std::vector<pilot::ComputeUnitPtr> GraphExecutor::cancel(Status reason) {
+  // The unflushed deferred batch would submit units for nodes the
+  // abort sweep is about to retire — drop it before marking the abort.
+  pending_frontier_.clear();
+  pending_specs_.clear();
+  std::vector<pilot::ComputeUnitPtr> inflight;
+  {
+    MutexLock lock(mutex_);
+    if (finished_) return inflight;
+    if (!aborted_) {
+      aborted_ = true;
+      abort_status_ = std::move(reason);
+    }
+    inflight.reserve(inflight_);
+    for (const NodeRun& run : runs_) {
+      if (run.status == NodeStatus::kSubmitted) {
+        inflight.push_back(run.unit);
+      }
+    }
+  }
+  // Run the abort sweep now. With nothing in flight this quiesces and
+  // finishes the run immediately; otherwise the returned units'
+  // settlements finish it through the normal event path.
+  pump();
+  return inflight;
+}
+
 void GraphExecutor::pump() {
+  bool deferred;
+  {
+    MutexLock lock(mutex_);
+    deferred = deferred_;
+  }
+  // In deferred mode every pump source (start, cancel, resume) only
+  // materializes the pending batch; the driver decides when — and how
+  // much of — it submits (flush_submit / flush_submit_bounded).
+  if (deferred) {
+    (void)advance_local();
+    return;
+  }
   {
     MutexLock lock(mutex_);
     if (pumping_ || finished_) return;

@@ -114,6 +114,29 @@ class GraphExecutor {
   /// node-id order. Returns true when anything was submitted (another
   /// advance round may unblock more work).
   bool flush_submit() ENTK_EXCLUDES(mutex_);
+  /// Bounded serial half: submits at most `max_nodes` of the pending
+  /// batch (lowest node ids first) and keeps the remainder pending for
+  /// a later flush — the dispatch hook serve's deficit-round-robin
+  /// interleaves contending sessions through. Returns the number of
+  /// nodes actually submitted. Driver-thread only, like flush_submit.
+  std::size_t flush_submit_bounded(std::size_t max_nodes)
+      ENTK_EXCLUDES(mutex_);
+  /// Nodes advance_local() materialized that flush_submit has not yet
+  /// sent. Driver-thread only (reads the unannotated batch).
+  std::size_t pending_submits() const { return pending_frontier_.size(); }
+
+  // --- cancellation (Session::cancel_run) ---
+  /// Aborts an unfinished run with `reason`: discards any deferred
+  /// batch not yet flushed (its nodes are about to be swept), marks
+  /// the graph aborted so the one-shot skip sweep retires every
+  /// unsubmitted node, and returns the units still in flight so the
+  /// caller can cancel them through its unit manager. Their
+  /// settlements drain through the normal event path and the run
+  /// finishes with `reason` at quiesce. Returns an empty vector on an
+  /// already-finished run. Driver-thread only (must not race an
+  /// active advance_local/flush_submit round).
+  std::vector<pilot::ComputeUnitPtr> cancel(Status reason)
+      ENTK_EXCLUDES(mutex_);
 
   /// Post-run introspection (tests, tools).
   NodeStatus node_status(NodeId id) const ENTK_EXCLUDES(mutex_);

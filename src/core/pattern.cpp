@@ -34,12 +34,14 @@ Status ExecutionPattern::execute(PatternExecutor& executor) {
 }
 
 Status ExecutionPattern::start_execute(GraphRun& run,
-                                       PatternExecutor& executor) {
+                                       PatternExecutor& executor,
+                                       bool deferred) {
   ENTK_CHECK(!run.active(), "GraphRun is already executing a pattern");
   ENTK_RETURN_IF_ERROR(validate());
   auto graph = std::make_unique<TaskGraph>();
   ENTK_RETURN_IF_ERROR(compile(*graph));
   auto runner = std::make_unique<GraphExecutor>(*graph, executor);
+  if (deferred) runner->set_deferred(true);
   bool resuming = false;
   if (graph_run_observer_ != nullptr) {
     auto prepared =

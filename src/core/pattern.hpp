@@ -145,8 +145,12 @@ class ExecutionPattern {
   /// Non-blocking front half of execute(): validate, compile into
   /// `run`, consult the observer, and start the graph (initial
   /// frontier submitted, settled events subscribed). On error the run
-  /// stays inactive and finish_execute must not be called.
-  Status start_execute(GraphRun& run, PatternExecutor& executor);
+  /// stays inactive and finish_execute must not be called. With
+  /// `deferred` the executor starts in deferred-pumping mode: even the
+  /// initial frontier only lands in the pending batch, so the driver
+  /// (entk-serve's fair-share scheduler) decides every submission.
+  Status start_execute(GraphRun& run, PatternExecutor& executor,
+                       bool deferred = false);
 
   /// Blocking back half of execute(): `driven` is the caller's
   /// drive_until verdict. Detaches the executor, resolves the outcome,

@@ -141,7 +141,7 @@ void Session::watch_for_restart(const pilot::PilotPtr& held) {
   });
 }
 
-Status Session::start_run(ExecutionPattern& pattern) {
+Status Session::start_run(ExecutionPattern& pattern, bool deferred) {
   if (!allocated()) {
     return make_error(Errc::kFailedPrecondition,
                       "session is not allocated");
@@ -161,7 +161,7 @@ Status Session::start_run(ExecutionPattern& pattern) {
   run->started = backend().clock().now();
   ENTK_TRACE_SPAN_BEGIN_S("run", "core", 0, 0, trace_ordinal_);
   const Status started = pattern.start_execute(run->graph_run,
-                                               *run->plugin);
+                                               *run->plugin, deferred);
   if (!started.is_ok()) {
     // Same contract as the blocking run(): pattern-level refusals are
     // the run's *outcome*, not a session error.
@@ -180,6 +180,26 @@ bool Session::run_finished() const {
 GraphExecutor* Session::run_executor() {
   if (active_run_ == nullptr || active_run_->start_failed) return nullptr;
   return active_run_->graph_run.executor();
+}
+
+Status Session::cancel_run() {
+  if (active_run_ == nullptr) {
+    return make_error(Errc::kFailedPrecondition,
+                      "session has no run in flight");
+  }
+  if (active_run_->start_failed) return Status::ok();  // born finished
+  GraphExecutor* executor = active_run_->graph_run.executor();
+  if (executor == nullptr || executor->finished()) return Status::ok();
+  obs::ScopedTraceClock trace_clock(backend().clock());
+  ENTK_TRACE_INSTANT("run.cancel", "core");
+  const auto inflight = executor->cancel(make_error(
+      Errc::kCancelled,
+      "session \"" + (name_.empty() ? std::string("<unnamed>") : name_) +
+          "\": run cancelled"));
+  for (const auto& unit : inflight) {
+    (void)unit_manager_->cancel_unit(unit);
+  }
+  return Status::ok();
 }
 
 Result<RunReport> Session::finish_run(Status driven) {

@@ -138,7 +138,11 @@ class Session : public std::enable_shared_from_this<Session> {
   /// (validation, compile, submission) do NOT fail start_run — the
   /// run is born finished and finish_run reports them as the outcome,
   /// exactly as the blocking run() does.
-  Status start_run(ExecutionPattern& pattern);
+  /// With `deferred` the run's executor starts in deferred-pumping
+  /// mode: even the initial frontier only lands in the pending batch,
+  /// so an external driver (entk-serve's fair-share scheduler) owns
+  /// every submission via flush_submit / flush_submit_bounded.
+  Status start_run(ExecutionPattern& pattern, bool deferred = false);
   /// Whether a run is in flight (start_run succeeded, finish_run not
   /// yet called).
   bool run_active() const { return active_run_ != nullptr; }
@@ -153,6 +157,16 @@ class Session : public std::enable_shared_from_this<Session> {
   /// active or the run failed to start. Runtime::run_concurrent's
   /// parallel path toggles deferred pumping through it.
   GraphExecutor* run_executor();
+  /// Cancels an in-flight run: aborts the graph (unsubmitted nodes
+  /// are swept to skipped) and cancels the units still in flight
+  /// through this session's unit manager. The run is NOT finished
+  /// here — drive the backend until run_finished(), then finish_run()
+  /// reports the cancelled outcome. Safe between engine steps while
+  /// other sessions' runs are live on the shared backend: cancelling
+  /// touches only this session's graph and units, so the others'
+  /// virtual schedules are unperturbed (pinned by
+  /// tests/multi_session_test.cpp). No-op on an already-settled run.
+  Status cancel_run();
 
   bool allocated() const;
   /// The first pilot (the only one unless n_pilots > 1).

@@ -94,6 +94,16 @@ Gauge& Metrics::gauge(std::string_view name) {
   return dynamic_gauges_[std::string(name)];
 }
 
+Histogram& Metrics::histogram(std::string_view name) {
+  {
+    SharedReaderLock lock(names_mutex_);
+    auto it = dynamic_histograms_.find(name);
+    if (it != dynamic_histograms_.end()) return it->second;
+  }
+  SharedMutexLock lock(names_mutex_);
+  return dynamic_histograms_[std::string(name)];
+}
+
 const char* Metrics::counter_name(WellKnownCounter id) {
   return kCounterNames[static_cast<std::size_t>(id)];
 }
@@ -115,6 +125,9 @@ std::vector<std::string> Metrics::names() const {
       names.push_back(entry.first);
     }
     for (const auto& entry : dynamic_gauges_) {
+      names.push_back(entry.first);
+    }
+    for (const auto& entry : dynamic_histograms_) {
       names.push_back(entry.first);
     }
   }
@@ -148,6 +161,13 @@ std::string Metrics::to_text() const {
   }
   for (const auto& [name, gauge] : dynamic_gauges_) {
     out << name << " " << gauge.get() << "\n";
+  }
+  for (const auto& [name, histogram] : dynamic_histograms_) {
+    out << name << ".count " << histogram.count() << "\n"
+        << name << ".sum " << histogram.sum() << "\n"
+        << name << ".mean " << histogram.mean() << "\n"
+        << name << ".p50 " << histogram.quantile(0.5) << "\n"
+        << name << ".p99 " << histogram.quantile(0.99) << "\n";
   }
   return out.str();
 }
@@ -196,6 +216,18 @@ std::string Metrics::to_json() const {
         << ", \"p99\": " << histogram.quantile(0.99) << "}";
     separator = ",";
   }
+  {
+    SharedReaderLock lock(names_mutex_);
+    for (const auto& [name, histogram] : dynamic_histograms_) {
+      out << separator << "\n    \"" << name << "\": {"
+          << "\"count\": " << histogram.count()
+          << ", \"sum\": " << histogram.sum()
+          << ", \"mean\": " << histogram.mean()
+          << ", \"p50\": " << histogram.quantile(0.5)
+          << ", \"p99\": " << histogram.quantile(0.99) << "}";
+      separator = ",";
+    }
+  }
   out << "\n  }\n}\n";
   return out.str();
 }
@@ -207,6 +239,7 @@ void Metrics::reset() {
   SharedMutexLock lock(names_mutex_);
   for (auto& entry : dynamic_counters_) entry.second.reset();
   for (auto& entry : dynamic_gauges_) entry.second.reset();
+  for (auto& entry : dynamic_histograms_) entry.second.reset();
 }
 
 bool tracing_compiled_in() { return ENTK_ENABLE_TRACING != 0; }

@@ -42,18 +42,28 @@
   X(kCheckpointRestores, "ckpt.restores")                              \
   X(kPoolTasksExecuted, "pool.tasks_executed")                         \
   X(kPoolTasksStolen, "pool.tasks_stolen")                             \
-  X(kPoolParks, "pool.parks")
+  X(kPoolParks, "pool.parks")                                          \
+  X(kServeSubmitted, "serve.submitted")                                \
+  X(kServeAccepted, "serve.accepted")                                  \
+  X(kServeRejected, "serve.rejected")                                  \
+  X(kServeCancelled, "serve.cancelled")                                \
+  X(kServeCompleted, "serve.completed")                                \
+  X(kServeDispatchedUnits, "serve.dispatched_units")
 
 /// Last-write-wins instantaneous values.
 #define ENTK_WELL_KNOWN_GAUGES(X)                                      \
   X(kEnginePendingEvents, "engine.pending_events")                     \
-  X(kSchedulerWaitingUnits, "scheduler.waiting_units")
+  X(kSchedulerWaitingUnits, "scheduler.waiting_units")                 \
+  X(kServeQueueDepth, "serve.queue_depth")                             \
+  X(kServeActiveSessions, "serve.active_sessions")
 
 /// Log2-bucketed distributions (seconds unless noted).
 #define ENTK_WELL_KNOWN_HISTOGRAMS(X)                                  \
   X(kUnitExecutionSeconds, "unit.execution_seconds")                   \
   X(kUnitQueueWaitSeconds, "unit.queue_wait_seconds")                  \
-  X(kGraphFrontierBatchSize, "graph.frontier_batch_size")
+  X(kGraphFrontierBatchSize, "graph.frontier_batch_size")              \
+  X(kServeSubmitLatencySeconds, "serve.submit_latency_seconds")        \
+  X(kServeQueueWaitSeconds, "serve.queue_wait_seconds")
 // clang-format on
 
 namespace entk::obs {
@@ -143,6 +153,8 @@ class Metrics {
   /// in hot code.
   Counter& counter(std::string_view name) ENTK_EXCLUDES(names_mutex_);
   Gauge& gauge(std::string_view name) ENTK_EXCLUDES(names_mutex_);
+  Histogram& histogram(std::string_view name)
+      ENTK_EXCLUDES(names_mutex_);
 
   static const char* counter_name(WellKnownCounter id);
   static const char* gauge_name(WellKnownGauge id);
@@ -177,6 +189,8 @@ class Metrics {
   std::map<std::string, Counter, std::less<>> dynamic_counters_
       ENTK_GUARDED_BY(names_mutex_);
   std::map<std::string, Gauge, std::less<>> dynamic_gauges_
+      ENTK_GUARDED_BY(names_mutex_);
+  std::map<std::string, Histogram, std::less<>> dynamic_histograms_
       ENTK_GUARDED_BY(names_mutex_);
 };
 

@@ -1,0 +1,406 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace entk::serve {
+
+namespace {
+
+Status parse_error(std::size_t offset, const std::string& what) {
+  return make_error(Errc::kInvalidArgument,
+                    "json: " + what + " at byte " +
+                        std::to_string(offset));
+}
+
+/// Cursor over the input with the shared error shape.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t max_depth;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_whitespace() {
+    while (!done()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      ++pos;
+    }
+  }
+
+  bool consume(char expected) {
+    if (done() || text[pos] != expected) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  Result<Json> parse_value(std::size_t depth);
+  Result<std::string> parse_string_body();
+  Result<Json> parse_number();
+};
+
+void append_utf8(std::string& out, std::uint32_t code_point) {
+  if (code_point < 0x80) {
+    out.push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+Result<std::uint32_t> parse_hex4(Parser& parser) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (parser.done()) {
+      return parse_error(parser.pos, "truncated \\u escape");
+    }
+    const char c = parser.text[parser.pos++];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return parse_error(parser.pos - 1, "bad hex digit in \\u escape");
+    }
+  }
+  return value;
+}
+
+Result<std::string> Parser::parse_string_body() {
+  // The opening quote is already consumed.
+  std::string out;
+  for (;;) {
+    if (done()) return parse_error(pos, "unterminated string");
+    const unsigned char c = static_cast<unsigned char>(text[pos++]);
+    if (c == '"') return out;
+    if (c < 0x20) {
+      return parse_error(pos - 1, "bare control character in string");
+    }
+    if (c != '\\') {
+      out.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (done()) return parse_error(pos, "truncated escape");
+    const char escape = text[pos++];
+    switch (escape) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        auto high = parse_hex4(*this);
+        if (!high.ok()) return high.status();
+        std::uint32_t code_point = high.value();
+        if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+          // High surrogate: a low surrogate must follow.
+          if (!consume('\\') || !consume('u')) {
+            return parse_error(pos, "lone high surrogate");
+          }
+          auto low = parse_hex4(*this);
+          if (!low.ok()) return low.status();
+          if (low.value() < 0xDC00 || low.value() > 0xDFFF) {
+            return parse_error(pos, "invalid low surrogate");
+          }
+          code_point = 0x10000 + ((code_point - 0xD800) << 10) +
+                       (low.value() - 0xDC00);
+        } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+          return parse_error(pos, "lone low surrogate");
+        }
+        append_utf8(out, code_point);
+        break;
+      }
+      default:
+        return parse_error(pos - 1, "unknown escape");
+    }
+  }
+}
+
+Result<Json> Parser::parse_number() {
+  const std::size_t start = pos;
+  if (consume('-')) {
+    // fallthrough to the integer part
+  }
+  if (done()) return parse_error(pos, "truncated number");
+  if (consume('0')) {
+    // A leading zero may not be followed by more digits.
+  } else {
+    if (done() || peek() < '1' || peek() > '9') {
+      return parse_error(pos, "malformed number");
+    }
+    while (!done() && peek() >= '0' && peek() <= '9') ++pos;
+  }
+  if (!done() && peek() == '.') {
+    ++pos;
+    if (done() || peek() < '0' || peek() > '9') {
+      return parse_error(pos, "malformed fraction");
+    }
+    while (!done() && peek() >= '0' && peek() <= '9') ++pos;
+  }
+  if (!done() && (peek() == 'e' || peek() == 'E')) {
+    ++pos;
+    if (!done() && (peek() == '+' || peek() == '-')) ++pos;
+    if (done() || peek() < '0' || peek() > '9') {
+      return parse_error(pos, "malformed exponent");
+    }
+    while (!done() && peek() >= '0' && peek() <= '9') ++pos;
+  }
+  const std::string token(text.substr(start, pos - start));
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+    return parse_error(start, "number out of range");
+  }
+  return Json::number(value);
+}
+
+Result<Json> Parser::parse_value(std::size_t depth) {
+  if (depth > max_depth) {
+    return parse_error(pos, "nesting exceeds the depth cap");
+  }
+  skip_whitespace();
+  if (done()) return parse_error(pos, "unexpected end of input");
+  const char c = peek();
+  if (c == 'n') {
+    if (!consume_word("null")) return parse_error(pos, "bad literal");
+    return Json();
+  }
+  if (c == 't') {
+    if (!consume_word("true")) return parse_error(pos, "bad literal");
+    return Json::boolean(true);
+  }
+  if (c == 'f') {
+    if (!consume_word("false")) return parse_error(pos, "bad literal");
+    return Json::boolean(false);
+  }
+  if (c == '"') {
+    ++pos;
+    auto body = parse_string_body();
+    if (!body.ok()) return body.status();
+    return Json::string(body.take());
+  }
+  if (c == '[') {
+    ++pos;
+    Json array = Json::array();
+    skip_whitespace();
+    if (consume(']')) return array;
+    for (;;) {
+      auto item = parse_value(depth + 1);
+      if (!item.ok()) return item.status();
+      array.push_back(item.take());
+      skip_whitespace();
+      if (consume(']')) return array;
+      if (!consume(',')) {
+        return parse_error(pos, "expected ',' or ']' in array");
+      }
+    }
+  }
+  if (c == '{') {
+    ++pos;
+    Json object = Json::object();
+    skip_whitespace();
+    if (consume('}')) return object;
+    for (;;) {
+      skip_whitespace();
+      if (done() || peek() != '"') {
+        return parse_error(pos, "expected string key in object");
+      }
+      ++pos;
+      auto key = parse_string_body();
+      if (!key.ok()) return key.status();
+      skip_whitespace();
+      if (!consume(':')) {
+        return parse_error(pos, "expected ':' after object key");
+      }
+      auto value = parse_value(depth + 1);
+      if (!value.ok()) return value.status();
+      object.set(key.take(), value.take());
+      skip_whitespace();
+      if (consume('}')) return object;
+      if (!consume(',')) {
+        return parse_error(pos, "expected ',' or '}' in object");
+      }
+    }
+  }
+  if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+  return parse_error(pos, "unexpected character");
+}
+
+void dump_string(const std::string& value, std::string& out) {
+  out.push_back('"');
+  for (const char raw : value) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& value, std::string& out) {
+  switch (value.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      return;
+    case Json::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case Json::Kind::kNumber: {
+      const double number = value.as_number();
+      // Integral values print without a fraction so ids survive a
+      // round trip byte-identically.
+      if (number == std::floor(number) && std::abs(number) < 1e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.0f", number);
+        out += buffer;
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+        out += buffer;
+      }
+      return;
+    }
+    case Json::Kind::kString:
+      dump_string(value.as_string(), out);
+      return;
+    case Json::Kind::kArray: {
+      out.push_back('[');
+      const char* separator = "";
+      for (const Json& item : value.items()) {
+        out += separator;
+        dump_value(item, out);
+        separator = ",";
+      }
+      out.push_back(']');
+      return;
+    }
+    case Json::Kind::kObject: {
+      out.push_back('{');
+      const char* separator = "";
+      for (const auto& [key, member] : value.members()) {
+        out += separator;
+        dump_string(key, out);
+        out.push_back(':');
+        dump_value(member, out);
+        separator = ",";
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::boolean(bool value) {
+  Json json;
+  json.kind_ = Kind::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+Json Json::number(double value) {
+  Json json;
+  json.kind_ = Kind::kNumber;
+  json.number_ = value;
+  return json;
+}
+
+Json Json::string(std::string value) {
+  Json json;
+  json.kind_ = Kind::kString;
+  json.string_ = std::move(value);
+  return json;
+}
+
+Json Json::array() {
+  Json json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+Json Json::object() {
+  Json json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json value) {
+  items_.push_back(std::move(value));
+}
+
+void Json::set(std::string key, Json value) {
+  for (auto& [name, member] : members_) {
+    if (name == key) {
+      member = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Result<Json> Json::parse(std::string_view text, std::size_t max_depth) {
+  Parser parser{text, 0, max_depth};
+  auto value = parser.parse_value(0);
+  if (!value.ok()) return value.status();
+  parser.skip_whitespace();
+  if (!parser.done()) {
+    return parse_error(parser.pos, "trailing garbage after document");
+  }
+  return value;
+}
+
+}  // namespace entk::serve

@@ -1,0 +1,80 @@
+// Minimal strict JSON for the serve line protocol.
+//
+// The daemon speaks newline-delimited JSON to untrusted clients, so
+// the parser is deliberately small and paranoid: UTF-8 pass-through,
+// a hard nesting-depth cap, full-input consumption (trailing garbage
+// is an error), and no recursion deeper than the cap — a hostile
+// "[[[[..." line cannot blow the stack. Serialization is compact
+// (one line, no spaces) so every reply is exactly one protocol frame.
+//
+// This is a wire codec, not a general document model; the rest of the
+// toolkit keeps writing its JSON by hand (bench reports, traces).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace entk::serve {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// Object members keep insertion order, so replies serialize
+  /// deterministically.
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;  ///< null
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; the caller checks the kind first (wrong-kind
+  /// access returns the type's zero value, never traps).
+  bool as_bool() const { return kind_ == Kind::kBool && bool_; }
+  double as_number() const { return kind_ == Kind::kNumber ? number_ : 0.0; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Array append / object set (append or overwrite by key).
+  void push_back(Json value);
+  void set(std::string key, Json value);
+
+  /// Compact one-line serialization (no trailing newline).
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON document. Rejects trailing
+  /// non-whitespace, nesting beyond `max_depth`, malformed escapes,
+  /// lone surrogates, bare control characters in strings, and any
+  /// token the RFC grammar does not allow.
+  static Result<Json> parse(std::string_view text,
+                            std::size_t max_depth = 64);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<Member> members_;
+};
+
+}  // namespace entk::serve

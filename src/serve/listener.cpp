@@ -1,0 +1,232 @@
+#include "serve/listener.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace entk::serve {
+
+namespace {
+
+/// Poll granularity for stop() observation (transport timing only —
+/// no protocol or simulation semantics ride on it).
+constexpr int kPollMillis = 50;
+
+Status socket_error(const std::string& what) {
+  return make_error(Errc::kIoError,
+                    what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer, riding out short writes and EINTR.
+bool write_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written,
+               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Result<int> bind_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return socket_error("socket");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const Status status = socket_error("bind 127.0.0.1:" +
+                                       std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const Status status = socket_error("listen");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> bind_unix(const std::string& path) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) {
+    return make_error(Errc::kInvalidArgument,
+                      "unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return socket_error("socket");
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const Status status = socket_error("bind " + path);
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const Status status = socket_error("listen");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Listener::Listener(Service& service, Options options)
+    : service_(service), unix_path_(std::move(options.unix_path)) {}
+
+Result<std::unique_ptr<Listener>> Listener::start(Service& service,
+                                                  Options options) {
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    return make_error(Errc::kInvalidArgument,
+                      "listener needs a unix path or a tcp port");
+  }
+  const int requested_port = options.tcp_port;
+  std::unique_ptr<Listener> listener(
+      new Listener(service, std::move(options)));
+  if (!listener->unix_path_.empty()) {
+    auto fd = bind_unix(listener->unix_path_);
+    if (!fd.ok()) return fd.status();
+    listener->listen_fds_.push_back(fd.value());
+  }
+  if (requested_port >= 0) {
+    auto fd = bind_tcp(requested_port);
+    if (!fd.ok()) {
+      for (const int open : listener->listen_fds_) ::close(open);
+      return fd.status();
+    }
+    // Read back the kernel-chosen port for the ephemeral case.
+    sockaddr_in bound{};
+    socklen_t length = sizeof(bound);
+    if (::getsockname(fd.value(), reinterpret_cast<sockaddr*>(&bound),
+                      &length) == 0) {
+      listener->tcp_port_ = ntohs(bound.sin_port);
+    } else {
+      listener->tcp_port_ = requested_port;
+    }
+    listener->listen_fds_.push_back(fd.value());
+  }
+  Listener* raw = listener.get();
+  MutexLock lock(raw->mutex_);
+  for (const int fd : raw->listen_fds_) {
+    raw->accept_threads_.emplace_back(
+        [raw, fd] { raw->accept_loop(fd); });
+  }
+  return listener;
+}
+
+Listener::~Listener() { stop(); }
+
+bool Listener::stopping() const {
+  MutexLock lock(mutex_);
+  return stopping_;
+}
+
+void Listener::stop() {
+  std::vector<std::thread> accepting;
+  std::vector<std::thread> serving;
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) {
+      // A concurrent stop() owns the join; nothing left to do here
+      // once the flag is up and the threads were claimed.
+      return;
+    }
+    stopping_ = true;
+    accepting.swap(accept_threads_);
+    serving.swap(connection_threads_);
+  }
+  for (std::thread& thread : accepting) {
+    if (thread.joinable()) thread.join();
+  }
+  for (std::thread& thread : serving) {
+    if (thread.joinable()) thread.join();
+  }
+  for (const int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+void Listener::accept_loop(int listen_fd) {
+  while (!stopping()) {
+    pollfd poller{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, kPollMillis);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    MutexLock lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connection_threads_.emplace_back(
+        [this, fd] { serve_connection(fd); });
+  }
+}
+
+void Listener::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping()) {
+    pollfd poller{fd, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // clean disconnect (possibly mid-line)
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    for (;;) {
+      const std::size_t newline = buffer.find('\n');
+      if (newline == std::string::npos) {
+        if (buffer.size() > kMaxLineBytes) {
+          // Oversized frame: shed it instead of buffering without
+          // bound, then drop the connection (the stream position is
+          // unrecoverable).
+          write_all(fd, error_reply("BAD_REQUEST",
+                                    "request line exceeds " +
+                                        std::to_string(kMaxLineBytes) +
+                                        " bytes") +
+                            "\n");
+          open = false;
+        }
+        break;
+      }
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::string reply = service_.handle_line(line);
+      if (!write_all(fd, reply + "\n")) {
+        open = false;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace entk::serve

@@ -1,0 +1,74 @@
+// Socket front door for the entk-serve daemon.
+//
+// Accepts connections on a loopback TCP port and/or a Unix-domain
+// socket and speaks the newline-delimited JSON protocol: one request
+// line in, one reply line out, many requests per connection. All
+// parsing and policy live in Service::handle_line — the listener only
+// frames lines and enforces the transport-level bounds (oversized
+// lines are shed with a BAD_REQUEST reply and a close; a disconnect
+// mid-line is a clean close).
+//
+// Threading: one accept thread per bound socket plus one thread per
+// live connection, all joined by stop()/the destructor (no detached
+// threads). Threads wake via short poll() timeouts to observe stop().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/status.hpp"
+#include "common/thread_annotations.hpp"
+#include "serve/service.hpp"
+
+namespace entk::serve {
+
+class Listener {
+ public:
+  struct Options {
+    /// Unix-domain socket path; "" = don't bind one. An existing
+    /// socket file at the path is replaced.
+    std::string unix_path;
+    /// Loopback TCP port; -1 = don't bind, 0 = ephemeral (read the
+    /// chosen port back via tcp_port()).
+    int tcp_port = -1;
+  };
+
+  /// Binds the requested sockets and starts the accept threads.
+  static Result<std::unique_ptr<Listener>> start(Service& service,
+                                                 Options options);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Stops accepting, closes every connection and joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// The bound TCP port (resolved when Options::tcp_port was 0), or
+  /// -1 when no TCP socket was requested.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return unix_path_; }
+
+ private:
+  Listener(Service& service, Options options);
+
+  void accept_loop(int listen_fd);
+  void serve_connection(int fd);
+
+  Service& service_;
+  std::string unix_path_;
+  int tcp_port_ = -1;
+  std::vector<int> listen_fds_;
+
+  mutable Mutex mutex_{LockRank::kNone};
+  bool stopping_ ENTK_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> accept_threads_ ENTK_GUARDED_BY(mutex_);
+  std::vector<std::thread> connection_threads_ ENTK_GUARDED_BY(mutex_);
+
+  bool stopping() const ENTK_EXCLUDES(mutex_);
+};
+
+}  // namespace entk::serve

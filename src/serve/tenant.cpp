@@ -1,0 +1,16 @@
+#include "serve/tenant.hpp"
+
+namespace entk::serve {
+
+bool valid_tenant_name(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace entk::serve

@@ -1,0 +1,55 @@
+// Per-tenant service policy and accounting.
+//
+// A tenant is the unit of isolation in entk-serve: quotas cap how much
+// of the shared pilot pool one client can hold, and the fair-share
+// weight sets its share of unit dispatch when the machine is
+// contended. Tenants are created on first submission with the
+// service-wide default config; `entk-serve --tenant` /
+// Service::configure_tenant override per name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace entk::serve {
+
+/// Admission and fair-share policy for one tenant.
+struct TenantConfig {
+  /// Fair-share weight: relative dispatch rate under contention
+  /// (deficit round-robin credits weight * quantum nodes per round).
+  double weight = 1.0;
+  /// Max concurrently RUNNING sessions; further submissions wait in
+  /// the admission queue.
+  std::size_t max_sessions = 4;
+  /// Max units in flight across the tenant's running sessions; the
+  /// fair-share scheduler stops flushing new frontier nodes at the
+  /// cap until settlements free headroom.
+  std::size_t max_inflight_units = 4096;
+};
+
+/// One tenant's lifetime tallies (snapshot via Service::stats()).
+struct TenantStats {
+  std::string name;
+  double weight = 1.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t dispatched_units = 0;
+  /// Units dispatched while every live tenant had backlog — the
+  /// numerator of the fairness-dispersion bench metric (max/min of
+  /// this across tenants under equal weights).
+  std::uint64_t contended_dispatched_units = 0;
+  std::size_t active_sessions = 0;
+  std::size_t peak_active_sessions = 0;
+  std::size_t queued = 0;
+};
+
+/// Tenant names travel on the wire and become session/uid/metric name
+/// fragments, so the charset is tight: [A-Za-z0-9_.-], 1..64 bytes.
+bool valid_tenant_name(std::string_view name);
+
+}  // namespace entk::serve

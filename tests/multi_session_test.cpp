@@ -16,6 +16,10 @@
 //  - Teardown under load: destroying a session with a run in flight
 //    drains through its UnitManager (no callback races) and leaves
 //    the surviving session able to finish.
+//  - Dynamic lifecycle: adding a session or cancelling a run between
+//    engine steps of a live drive leaves the other sessions' traces
+//    bit-identical to their solo baselines (the contract entk-serve
+//    leans on when tenants come and go mid-flight).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -309,6 +313,110 @@ TEST(MultiSession, DestroyingASessionMidRunLeavesTheOtherAlive) {
       << report.value().outcome.to_string();
   EXPECT_EQ(report.value().units_done, static_cast<std::size_t>(kUnits));
   EXPECT_TRUE(survivor->deallocate().is_ok());
+}
+
+TEST(MultiSession, AddingASessionMidDriveLeavesRunningTracesUntouched) {
+  const std::uint64_t baseline = solo_digest("alpha");
+  ASSERT_NE(baseline, 0u);
+
+  reset_uid_counters_for_testing();
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::SimBackend backend(multi_machine());
+  Runtime runtime(backend, registry);
+  auto alpha = make_session(runtime, "alpha");
+  BagOfTasks pattern_a = scale_test::scale_workload(kUnits);
+  ASSERT_TRUE(alpha->start_run(pattern_a).is_ok());
+
+  // Drive alpha visibly mid-flight, then bring up a brand-new session
+  // between engine steps — allocation, pattern start and all — the way
+  // entk-serve admits a tenant while others are running.
+  std::size_t settled = 0;
+  alpha->unit_manager()->add_settled_observer(
+      [&settled](const pilot::ComputeUnitPtr&, pilot::UnitState) {
+        ++settled;
+      });
+  const Status driven =
+      backend.drive_until([&settled] { return settled >= 32; }, 4.0e6);
+  ASSERT_TRUE(driven.is_ok()) << driven.to_string();
+  ASSERT_FALSE(alpha->run_finished());
+
+  auto late = make_session(runtime, "late");
+  BagOfTasks pattern_l = scale_test::scale_workload(256);
+  ASSERT_TRUE(late->start_run(pattern_l).is_ok());
+
+  const Status rest = backend.drive_until(
+      [&alpha, &late] {
+        return alpha->run_finished() && late->run_finished();
+      },
+      4.0e6);
+  ASSERT_TRUE(rest.is_ok()) << rest.to_string();
+
+  auto late_report = late->finish_run(Status::ok());
+  ASSERT_TRUE(late_report.ok()) << late_report.status().to_string();
+  EXPECT_TRUE(late_report.value().outcome.is_ok())
+      << late_report.value().outcome.to_string();
+  EXPECT_EQ(late_report.value().units_done, 256u);
+
+  auto report = alpha->finish_run(Status::ok());
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().outcome.is_ok())
+      << report.value().outcome.to_string();
+  ASSERT_EQ(report.value().units.size(), static_cast<std::size_t>(kUnits));
+  EXPECT_EQ(scale_test::trace_digest(report.value().units), baseline)
+      << "admitting a session mid-drive must not perturb a running "
+         "session's schedule";
+}
+
+TEST(MultiSession, CancellingARunMidDriveLeavesTheOtherTraceUntouched) {
+  const std::uint64_t baseline = solo_digest("alpha");
+  ASSERT_NE(baseline, 0u);
+
+  reset_uid_counters_for_testing();
+  auto registry = kernels::KernelRegistry::with_builtin_kernels();
+  pilot::SimBackend backend(multi_machine());
+  Runtime runtime(backend, registry);
+  auto alpha = make_session(runtime, "alpha");
+  auto victim = make_session(runtime, "victim");
+  BagOfTasks pattern_a = scale_test::scale_workload(kUnits);
+  BagOfTasks pattern_v = scale_test::scale_workload(kUnits);
+  ASSERT_TRUE(alpha->start_run(pattern_a).is_ok());
+  ASSERT_TRUE(victim->start_run(pattern_v).is_ok());
+
+  // Cancel the victim once it is visibly mid-flight (units settling),
+  // exactly between two engine steps — the point entk-serve's drive
+  // loop issues CANCELs from.
+  std::size_t settled = 0;
+  victim->unit_manager()->add_settled_observer(
+      [&settled](const pilot::ComputeUnitPtr&, pilot::UnitState) {
+        ++settled;
+      });
+  const Status driven =
+      backend.drive_until([&settled] { return settled >= 32; }, 4.0e6);
+  ASSERT_TRUE(driven.is_ok()) << driven.to_string();
+  ASSERT_FALSE(victim->run_finished());
+  ASSERT_TRUE(victim->cancel_run().is_ok());
+
+  const Status settled_victim = backend.drive_until(
+      [&victim] { return victim->run_finished(); }, 4.0e6);
+  ASSERT_TRUE(settled_victim.is_ok()) << settled_victim.to_string();
+  auto victim_report = victim->finish_run(Status::ok());
+  ASSERT_TRUE(victim_report.ok()) << victim_report.status().to_string();
+  EXPECT_FALSE(victim_report.value().outcome.is_ok())
+      << "a cancelled run must settle with a non-ok outcome";
+  EXPECT_LT(victim_report.value().units_done,
+            static_cast<std::size_t>(kUnits));
+
+  const Status rest = backend.drive_until(
+      [&alpha] { return alpha->run_finished(); }, 4.0e6);
+  ASSERT_TRUE(rest.is_ok()) << rest.to_string();
+  auto report = alpha->finish_run(Status::ok());
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().outcome.is_ok())
+      << report.value().outcome.to_string();
+  ASSERT_EQ(report.value().units.size(), static_cast<std::size_t>(kUnits));
+  EXPECT_EQ(scale_test::trace_digest(report.value().units), baseline)
+      << "cancelling a neighbour mid-drive must not perturb a running "
+         "session's schedule";
 }
 
 }  // namespace

@@ -43,6 +43,18 @@ exceeds 1.0 only through scheduling granularity at the thinner
 per-session allocation.  A missing block or an empty fleet is an
 error.
 
+--serve-fairness-ceiling and --serve-p99-ceiling-ms gate the "serve"
+probe block (bench/serve_probe.hpp: 8 equal-weight tenants racing
+>= 1000 workloads through one in-process entk-serve Service).  The
+fairness dispersion is max/min per-tenant units dispatched in
+contended fair-share rounds -- equal weights and identical demand
+make the expected value 1.0, so drift means the deficit-round-robin
+favoured someone.  The p99 submission-to-first-dispatch latency is a
+wall-clock tail; its generous ceiling catches stalled drive loops
+(lost wakeups), not scheduler jitter.  Rejected submissions from a
+queue sized for the storm, incomplete workloads, a storm that never
+contended, and a missing block are all errors.
+
 --parallel-speedup-floor gates the "parallel_runtime" probe block
 (bench/scale_sweep's work-stealing-pool sweep: a fixed batch of
 blocking kernels at 1/4/16 pool threads).  The gated speedup is the
@@ -249,6 +261,92 @@ def check_parallel_runtime(candidate, floor, threads):
             f"ok parallel runtime speedup at {threads} threads: "
             f"{speedup:.2f}x >= {floor:.1f}x floor"
         )
+    return failures, notes
+
+
+def check_serve(candidate, fairness_ceiling, p99_ceiling_ms):
+    """Gates the serve probe's fairness dispersion and latency tail.
+
+    Either ceiling may be None (not gated); the block itself is
+    required whenever this function is called, and the storm must
+    actually have exercised the service: >= 1 workload accepted, zero
+    rejected from a queue sized for the storm, every workload
+    completed, and at least one contended fair-share round.
+    """
+    failures = []
+    notes = []
+    probe = candidate.get("serve")
+    if probe is None:
+        failures.append(
+            "candidate has no 'serve' probe block: the bench ran "
+            "without its multi-tenant service measurement "
+            "(schema drift?)"
+        )
+        return failures, notes
+    workloads = int(probe.get("workloads", 0))
+    tenants = int(probe.get("tenants", 0))
+    if workloads < 1000 or tenants < 8:
+        failures.append(
+            f"serve storm shrank to {workloads} workloads across "
+            f"{tenants} tenants (acceptance shape is >= 1000 across "
+            f">= 8)"
+        )
+    rejected = int(probe.get("rejected", 0))
+    if rejected != 0:
+        failures.append(
+            f"serve admission shed {rejected} workloads from a queue "
+            f"sized for the storm"
+        )
+    completed = int(probe.get("completed", 0))
+    if completed != workloads:
+        failures.append(
+            f"serve storm completed only {completed}/{workloads} "
+            f"workloads"
+        )
+    if int(probe.get("contended_total", 0)) == 0:
+        failures.append(
+            "serve storm had no contended fair-share rounds: the "
+            "fairness metric measured nothing (sizing drift?)"
+        )
+    if fairness_ceiling is not None:
+        if "fairness_dispersion" not in probe:
+            failures.append(
+                "serve probe has no 'fairness_dispersion' metric"
+            )
+        else:
+            dispersion = float(probe["fairness_dispersion"])
+            if dispersion > fairness_ceiling:
+                failures.append(
+                    f"serve fairness dispersion {dispersion:.3f} "
+                    f"exceeds the {fairness_ceiling:.2f} ceiling (the "
+                    f"fair-share pass favoured a tenant)"
+                )
+            else:
+                notes.append(
+                    f"ok serve fairness ({tenants} tenants, "
+                    f"{workloads} workloads): dispersion "
+                    f"{dispersion:.3f} <= {fairness_ceiling:.2f} "
+                    f"ceiling"
+                )
+    if p99_ceiling_ms is not None:
+        if "p99_submit_latency_seconds" not in probe:
+            failures.append(
+                "serve probe has no 'p99_submit_latency_seconds' "
+                "metric"
+            )
+        else:
+            p99_ms = 1000.0 * float(probe["p99_submit_latency_seconds"])
+            if p99_ms > p99_ceiling_ms:
+                failures.append(
+                    f"serve p99 submit-to-first-dispatch latency "
+                    f"{p99_ms:.1f} ms exceeds the "
+                    f"{p99_ceiling_ms:.0f} ms ceiling"
+                )
+            else:
+                notes.append(
+                    f"ok serve p99 submit latency: {p99_ms:.1f} ms "
+                    f"<= {p99_ceiling_ms:.0f} ms ceiling"
+                )
     return failures, notes
 
 
@@ -522,6 +620,80 @@ def self_test():
         )
     )
 
+    # Serve probe: over-ceiling dispersion / latency fail, under pass,
+    # and absent block / shed admissions / incomplete storms /
+    # no-contention storms are clear failures.
+    serve = {
+        "tenants": 8,
+        "workloads": 1024,
+        "rejected": 0,
+        "completed": 1024,
+        "contended_total": 16000,
+        "fairness_dispersion": 1.05,
+        "p99_submit_latency_seconds": 0.25,
+    }
+    failures, notes = check_serve({"serve": serve}, 1.5, 30000.0)
+    checks.append(
+        (
+            "serve under ceilings passes",
+            not failures
+            and any("fairness" in n for n in notes)
+            and any("p99" in n for n in notes),
+        )
+    )
+    failures, _ = check_serve(
+        {"serve": dict(serve, fairness_dispersion=2.0)}, 1.5, 30000.0
+    )
+    checks.append(("serve fairness over ceiling caught", bool(failures)))
+    failures, _ = check_serve(
+        {"serve": dict(serve, p99_submit_latency_seconds=45.0)},
+        1.5,
+        30000.0,
+    )
+    checks.append(("serve p99 over ceiling caught", bool(failures)))
+    failures, _ = check_serve({}, 1.5, 30000.0)
+    checks.append(
+        (
+            "missing serve probe reported",
+            any("serve" in f for f in failures),
+        )
+    )
+    failures, _ = check_serve(
+        {"serve": dict(serve, rejected=3)}, 1.5, 30000.0
+    )
+    checks.append(
+        ("serve shed admission caught", any("shed" in f for f in failures))
+    )
+    failures, _ = check_serve(
+        {"serve": dict(serve, completed=1000)}, 1.5, 30000.0
+    )
+    checks.append(
+        (
+            "serve incomplete storm caught",
+            any("completed only" in f for f in failures),
+        )
+    )
+    failures, _ = check_serve(
+        {"serve": dict(serve, contended_total=0)}, 1.5, 30000.0
+    )
+    checks.append(
+        (
+            "serve uncontended storm caught",
+            any("no contended" in f for f in failures),
+        )
+    )
+    failures, _ = check_serve(
+        {"serve": dict(serve, workloads=100, completed=100)},
+        1.5,
+        30000.0,
+    )
+    checks.append(
+        (
+            "serve shrunken storm caught",
+            any("shrank" in f for f in failures),
+        )
+    )
+
     bad = [name for name, ok in checks if not ok]
     for name, ok in checks:
         print(f"{'ok' if ok else 'FAIL'} self-test: {name}")
@@ -596,6 +768,23 @@ def main():
         "(default 4; the full-mode acceptance point is 16)",
     )
     parser.add_argument(
+        "--serve-fairness-ceiling",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="also gate the candidate's serve probe: the contended "
+        "fairness dispersion must not exceed this (e.g. 1.5)",
+    )
+    parser.add_argument(
+        "--serve-p99-ceiling-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="also gate the candidate's serve probe: the p99 "
+        "submit-to-first-dispatch latency must not exceed this "
+        "(e.g. 30000)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in logic checks and exit",
@@ -650,6 +839,17 @@ def main():
         )
         failures.extend(parallel_failures)
         notes.extend(parallel_notes)
+    if (
+        args.serve_fairness_ceiling is not None
+        or args.serve_p99_ceiling_ms is not None
+    ):
+        serve_failures, serve_notes = check_serve(
+            candidate,
+            args.serve_fairness_ceiling,
+            args.serve_p99_ceiling_ms,
+        )
+        failures.extend(serve_failures)
+        notes.extend(serve_notes)
     for note in notes:
         print(note)
     if failures:

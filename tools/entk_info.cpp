@@ -6,6 +6,7 @@
 //   entk-info machines
 //   entk-info schedulers
 //   entk-info observability
+//   entk-info serve
 //   entk-info estimate <kernel> <machine> [key=value ...]
 #include <cstring>
 #include <iostream>
@@ -14,6 +15,8 @@
 #include "common/table.hpp"
 #include "core/entk.hpp"
 #include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -73,6 +76,48 @@ int list_observability() {
   return 0;
 }
 
+int list_serve() {
+  const serve::ServiceConfig defaults;
+  const serve::TenantConfig tenant = defaults.default_tenant;
+  std::cout << "entk-serve speaks newline-delimited JSON over a unix\n"
+               "socket or loopback TCP (max "
+            << serve::kMaxLineBytes
+            << " bytes/line). Start it with\n"
+               "entk-serve, talk to it with entk-submit — see "
+               "docs/SERVICE.md.\n\n";
+  Table verbs({"verb", "request members", "behaviour"});
+  verbs.add_row({"SUBMIT", "tenant, workload[, name]",
+                 "admit a workload (REJECTED when the queue is full)"});
+  verbs.add_row({"STATUS", "id", "lifecycle + dispatch snapshot"});
+  verbs.add_row({"CANCEL", "id", "cancel queued or running work"});
+  verbs.add_row({"RESULTS", "id", "terminal outcome + unit tallies"});
+  verbs.add_row({"STATS", "", "service + per-tenant counters"});
+  verbs.add_row({"SHUTDOWN", "", "shed the queue, abort, exit"});
+  std::cout << verbs.to_string() << "\n";
+  Table config({"default", "value", "meaning"});
+  config.add_row({"machine", defaults.machine,
+                  "simulated machine every workload must name"});
+  config.add_row({"queue_capacity",
+                  std::to_string(defaults.queue_capacity),
+                  "admission bound; beyond it SUBMITs are REJECTED"});
+  config.add_row({"max_active_sessions", "2 x pool threads (min 4)",
+                  "concurrent sessions across all tenants"});
+  config.add_row({"drr_quantum", "8",
+                  "frontier nodes credited per tenant per round"});
+  config.add_row({"max_inflight_total", "2 x machine cores",
+                  "global dispatch budget fair-share divides"});
+  config.add_row({"tenant weight", format_double(tenant.weight, 1),
+                  "fair-share credit scale (entk-serve --tenant)"});
+  config.add_row({"tenant max_sessions",
+                  std::to_string(tenant.max_sessions),
+                  "concurrent sessions per tenant"});
+  config.add_row({"tenant max_inflight_units",
+                  std::to_string(tenant.max_inflight_units),
+                  "dispatched-but-unsettled units per tenant"});
+  std::cout << config.to_string();
+  return 0;
+}
+
 int estimate(const kernels::KernelRegistry& registry, int argc,
              char** argv) {
   if (argc < 4) {
@@ -127,7 +172,8 @@ int main(int argc, char** argv) {
   const auto registry = kernels::KernelRegistry::with_builtin_kernels();
   if (argc < 2) {
     std::cerr << "usage: entk-info "
-                 "kernels|machines|schedulers|observability|estimate\n";
+                 "kernels|machines|schedulers|observability|serve|"
+                 "estimate\n";
     return 1;
   }
   if (std::strcmp(argv[1], "kernels") == 0) return list_kernels(registry);
@@ -136,6 +182,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "observability") == 0) {
     return list_observability();
   }
+  if (std::strcmp(argv[1], "serve") == 0) return list_serve();
   if (std::strcmp(argv[1], "estimate") == 0) {
     return estimate(registry, argc, argv);
   }

@@ -1,0 +1,294 @@
+// entk-submit: command-line client for an entk-serve daemon.
+//
+//   entk-submit [--socket path | --port N [--host 127.0.0.1]] <verb> ...
+//
+//   verbs:
+//     submit <workload.entk> --tenant <name> [--name label]
+//            [--wait] [--id-only]
+//     status <id>
+//     cancel <id>
+//     results <id>
+//     stats
+//     shutdown
+//
+// Speaks one newline-delimited JSON request per line and prints the
+// reply line to stdout. `submit --wait` polls STATUS until the
+// workload settles. Exit codes: 0 ok (submit --wait: workload DONE),
+// 1 usage error, 2 connect/protocol failure, 3 request refused or
+// workload failed/cancelled.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using entk::serve::Json;
+
+void print_usage() {
+  std::cerr
+      << "usage: entk-submit [--socket path | --port n [--host h]] "
+         "<verb> ...\n"
+         "verbs:\n"
+         "  submit <file> --tenant <name> [--name label] [--wait]\n"
+         "         [--id-only]\n"
+         "  status <id> | cancel <id> | results <id> | stats | "
+         "shutdown\n";
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One request, one reply. Returns false on transport failure.
+bool round_trip(int fd, const std::string& request, std::string& reply) {
+  const std::string framed = request + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  reply.clear();
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (c == '\n') return true;
+    reply.push_back(c);
+  }
+}
+
+/// ok:false replies exit 3; malformed replies exit 2.
+int reply_exit_code(const std::string& reply) {
+  auto parsed = Json::parse(reply);
+  if (!parsed.ok() || !parsed.value().is_object()) return 2;
+  const Json* ok = parsed.value().find("ok");
+  return (ok != nullptr && ok->as_bool()) ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::vector<std::string> positional;
+  std::string tenant;
+  std::string label;
+  bool wait = false;
+  bool id_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "entk-submit: " << flag << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--socket") {
+      socket_path = next("--socket");
+    } else if (arg == "--port") {
+      port = std::atoi(next("--port"));
+    } else if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--tenant") {
+      tenant = next("--tenant");
+    } else if (arg == "--name") {
+      label = next("--name");
+    } else if (arg == "--wait") {
+      wait = true;
+    } else if (arg == "--id-only") {
+      id_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "entk-submit: unknown option " << arg << "\n";
+      return 1;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    print_usage();
+    return 1;
+  }
+  if (socket_path.empty() && port < 0) {
+    socket_path = "entk-serve.sock";
+  }
+
+  const int fd = socket_path.empty() ? connect_tcp(host, port)
+                                     : connect_unix(socket_path);
+  if (fd < 0) {
+    std::cerr << "entk-submit: cannot connect to "
+              << (socket_path.empty()
+                      ? host + ":" + std::to_string(port)
+                      : socket_path)
+              << "\n";
+    return 2;
+  }
+
+  const std::string& verb = positional[0];
+  std::string request;
+  if (verb == "submit") {
+    if (positional.size() != 2 || tenant.empty()) {
+      std::cerr << "entk-submit: submit needs a workload file and "
+                   "--tenant\n";
+      ::close(fd);
+      return 1;
+    }
+    std::ifstream in(positional[1]);
+    if (!in) {
+      std::cerr << "entk-submit: cannot read " << positional[1] << "\n";
+      ::close(fd);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Json body = Json::object();
+    body.set("verb", Json::string("SUBMIT"));
+    body.set("tenant", Json::string(tenant));
+    if (!label.empty()) body.set("name", Json::string(label));
+    body.set("workload", Json::string(text.str()));
+    request = body.dump();
+  } else if (verb == "status" || verb == "cancel" || verb == "results") {
+    if (positional.size() != 2) {
+      std::cerr << "entk-submit: " << verb << " needs an id\n";
+      ::close(fd);
+      return 1;
+    }
+    Json body = Json::object();
+    std::string wire = verb;
+    for (char& c : wire) c = static_cast<char>(::toupper(c));
+    body.set("verb", Json::string(wire));
+    body.set("id", Json::number(std::atof(positional[1].c_str())));
+    request = body.dump();
+  } else if (verb == "stats" || verb == "shutdown") {
+    Json body = Json::object();
+    body.set("verb",
+             Json::string(verb == "stats" ? "STATS" : "SHUTDOWN"));
+    request = body.dump();
+  } else {
+    std::cerr << "entk-submit: unknown verb " << verb << "\n";
+    ::close(fd);
+    return 1;
+  }
+
+  std::string reply;
+  if (!round_trip(fd, request, reply)) {
+    std::cerr << "entk-submit: connection failed\n";
+    ::close(fd);
+    return 2;
+  }
+
+  if (verb != "submit" || (!wait && !id_only)) {
+    std::cout << reply << std::endl;
+    ::close(fd);
+    return reply_exit_code(reply);
+  }
+
+  // submit --wait / --id-only: pull the id out of the reply.
+  auto parsed = Json::parse(reply);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    std::cout << reply << std::endl;
+    ::close(fd);
+    return 2;
+  }
+  const Json* ok = parsed.value().find("ok");
+  const Json* id = parsed.value().find("id");
+  if (ok == nullptr || !ok->as_bool() || id == nullptr) {
+    std::cout << reply << std::endl;
+    ::close(fd);
+    return 3;
+  }
+  if (id_only) {
+    std::cout << static_cast<std::uint64_t>(id->as_number())
+              << std::endl;
+    if (!wait) {
+      ::close(fd);
+      return 0;
+    }
+  }
+
+  Json poll_request = Json::object();
+  poll_request.set("verb", Json::string("STATUS"));
+  poll_request.set("id", *id);
+  const std::string poll_line = poll_request.dump();
+  for (;;) {
+    if (!round_trip(fd, poll_line, reply)) {
+      std::cerr << "entk-submit: connection lost while waiting\n";
+      ::close(fd);
+      return 2;
+    }
+    auto snapshot = Json::parse(reply);
+    if (!snapshot.ok() || !snapshot.value().is_object()) {
+      std::cout << reply << std::endl;
+      ::close(fd);
+      return 2;
+    }
+    const Json* state = snapshot.value().find("state");
+    const std::string name =
+        state != nullptr ? state->as_string() : std::string();
+    if (name == "DONE" || name == "FAILED" || name == "CANCELLED") {
+      if (!id_only) std::cout << reply << std::endl;
+      ::close(fd);
+      return name == "DONE" ? 0 : 3;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}

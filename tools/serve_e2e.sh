@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the entk-serve daemon.
+#
+#   tools/serve_e2e.sh [build-dir]    (default build-dev)
+#
+# Starts the daemon on a unix socket with three tenants, drives the
+# whole verb set through entk-submit from two of them, cancels a
+# deliberately-throttled workload mid-run from the third, and shuts
+# the daemon down cleanly. Every step checks the client exit code
+# (0 ok / 3 refused-or-cancelled per entk-submit's contract) and the
+# daemon must exit 0. No sleeps on the happy path: the script polls
+# the daemon's own replies.
+set -euo pipefail
+
+BUILD="${1:-build-dev}"
+SERVE="$BUILD/tools/entk-serve"
+SUBMIT="$BUILD/tools/entk-submit"
+for tool in "$SERVE" "$SUBMIT"; do
+  if [[ ! -x "$tool" ]]; then
+    echo "serve_e2e: missing $tool (build the tools target first)" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/entk-serve.sock"
+LOG="$WORK/serve.log"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# carol's 1-unit in-flight cap turns her bag into a long trickle, so
+# the cancel below deterministically lands while it is RUNNING.
+"$SERVE" --socket "$SOCK" --machine xsede.comet \
+  --tenant alice=1 --tenant bob=2 --tenant carol=1:2:1 \
+  >"$LOG" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q "entk-serve: machine" "$LOG" 2>/dev/null && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "serve_e2e: daemon died during startup:" >&2
+    cat "$LOG" >&2
+    exit 2
+  }
+  sleep 0.1
+done
+grep -q "entk-serve: machine" "$LOG" || {
+  echo "serve_e2e: daemon never announced startup" >&2
+  exit 2
+}
+echo "serve_e2e: daemon up on $SOCK"
+
+# A throttled bag for carol: big enough that 1-unit-at-a-time dispatch
+# cannot finish before the cancel arrives.
+cat >"$WORK/trickle.entk" <<'EOF'
+backend  = sim
+machine  = xsede.comet
+cores    = 1
+runtime  = 360000
+pattern  = bag
+tasks    = 20000
+
+[task]
+kernel   = misc.sleep
+duration = 1
+EOF
+
+# Two tenants run the shipped example to completion.
+"$SUBMIT" --socket "$SOCK" submit examples/bag.entk \
+  --tenant alice --name e2e-alice --wait
+echo "serve_e2e: alice's workload DONE"
+"$SUBMIT" --socket "$SOCK" submit examples/bag.entk \
+  --tenant bob --name e2e-bob --wait
+echo "serve_e2e: bob's workload DONE"
+
+# Third tenant: submit the trickle, wait for RUNNING, cancel mid-run.
+CAROL_ID="$("$SUBMIT" --socket "$SOCK" submit "$WORK/trickle.entk" \
+  --tenant carol --name e2e-carol --id-only)"
+echo "serve_e2e: carol's workload id=$CAROL_ID"
+for _ in $(seq 1 200); do
+  "$SUBMIT" --socket "$SOCK" status "$CAROL_ID" | grep -q '"RUNNING"' &&
+    break
+  sleep 0.05
+done
+"$SUBMIT" --socket "$SOCK" status "$CAROL_ID" | grep -q '"RUNNING"' || {
+  echo "serve_e2e: carol's workload never reached RUNNING" >&2
+  exit 2
+}
+"$SUBMIT" --socket "$SOCK" cancel "$CAROL_ID"
+for _ in $(seq 1 200); do
+  "$SUBMIT" --socket "$SOCK" status "$CAROL_ID" | grep -q '"CANCELLED"' &&
+    break
+  sleep 0.05
+done
+"$SUBMIT" --socket "$SOCK" status "$CAROL_ID" | grep -q '"CANCELLED"' || {
+  echo "serve_e2e: cancel never settled" >&2
+  exit 2
+}
+echo "serve_e2e: carol's workload CANCELLED mid-run"
+
+# Terminal RESULTS carries the cancelled outcome; a bogus id is
+# refused at the client (exit 3).
+"$SUBMIT" --socket "$SOCK" results "$CAROL_ID" | grep -q 'cancelled' || {
+  echo "serve_e2e: results of the cancelled workload lacks the" \
+    "cancelled outcome" >&2
+  exit 2
+}
+set +e
+"$SUBMIT" --socket "$SOCK" results 999999 >/dev/null 2>&1
+RESULTS_RC=$?
+set -e
+if [[ "$RESULTS_RC" -ne 3 ]]; then
+  echo "serve_e2e: results of an unknown id exited" \
+    "$RESULTS_RC, want 3" >&2
+  exit 2
+fi
+
+STATS="$("$SUBMIT" --socket "$SOCK" stats)"
+echo "serve_e2e: stats: $STATS"
+for needle in '"completed":2' '"cancelled":1' '"rejected":0'; do
+  if ! grep -q "$needle" <<<"$STATS"; then
+    echo "serve_e2e: stats missing $needle" >&2
+    exit 2
+  fi
+done
+
+"$SUBMIT" --socket "$SOCK" shutdown
+wait "$DAEMON_PID"
+DAEMON_RC=$?
+DAEMON_PID=""
+if [[ "$DAEMON_RC" -ne 0 ]]; then
+  echo "serve_e2e: daemon exited $DAEMON_RC, want 0" >&2
+  cat "$LOG" >&2
+  exit 2
+fi
+echo "serve_e2e: clean shutdown, all checks passed"
